@@ -1,0 +1,35 @@
+//! Criterion companion to Table 3: planner decision latency.
+//!
+//! `cargo bench -p adapipe-bench --bench decision`
+
+use adapipe_gridsim::net::{LinkSpec, Topology};
+use adapipe_gridsim::rng::unit_at;
+use adapipe_mapper::model::PipelineProfile;
+use adapipe_mapper::search::{plan, PlannerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for &(ns, np) in &[(4usize, 4usize), (8, 8), (16, 16), (32, 32)] {
+        let rates: Vec<f64> = (0..np).map(|i| 0.5 + 3.5 * unit_at(7, i as u64)).collect();
+        let work: Vec<f64> = (0..ns).map(|s| 0.5 + unit_at(11, s as u64)).collect();
+        let profile = PipelineProfile::uniform(work, 50_000);
+        let topology = Topology::clustered(np, (np / 4).max(1), LinkSpec::lan(), LinkSpec::wan());
+        let cfg = PlannerConfig::default();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ns}x{np}")),
+            &(profile, rates, topology, cfg),
+            |b, (profile, rates, topology, cfg)| {
+                b.iter(|| plan(profile, rates, topology, cfg));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

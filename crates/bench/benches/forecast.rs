@@ -1,0 +1,60 @@
+//! Forecaster overhead: the controller feeds every node's availability
+//! into an ensemble each tick, so observe+predict must be cheap.
+//!
+//! `cargo bench -p adapipe-bench --bench forecast`
+
+use adapipe_monitor::forecast::{Ensemble, Ewma, Forecaster, LastValue, SlidingMedian};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_forecasters(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forecast_observe_predict");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
+
+    let series: Vec<f64> = (0..256)
+        .map(|i| 0.5 + 0.4 * ((i as f64) * 0.1).sin())
+        .collect();
+
+    group.bench_function("last_value", |b| {
+        b.iter(|| {
+            let mut f = LastValue::new();
+            for (i, &v) in series.iter().enumerate() {
+                f.observe(i as f64, v);
+                std::hint::black_box(f.predict());
+            }
+        })
+    });
+    group.bench_function("ewma", |b| {
+        b.iter(|| {
+            let mut f = Ewma::new(0.3);
+            for (i, &v) in series.iter().enumerate() {
+                f.observe(i as f64, v);
+                std::hint::black_box(f.predict());
+            }
+        })
+    });
+    group.bench_function("sliding_median_16", |b| {
+        b.iter(|| {
+            let mut f = SlidingMedian::new(16);
+            for (i, &v) in series.iter().enumerate() {
+                f.observe(i as f64, v);
+                std::hint::black_box(f.predict());
+            }
+        })
+    });
+    group.bench_function("nws_ensemble_16", |b| {
+        b.iter(|| {
+            let mut f = Ensemble::nws_default(16);
+            for (i, &v) in series.iter().enumerate() {
+                f.observe(i as f64, v);
+                std::hint::black_box(f.predict());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecasters);
+criterion_main!(benches);

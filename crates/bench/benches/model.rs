@@ -1,0 +1,35 @@
+//! Analytic-model evaluation latency: `evaluate()` is the inner loop of
+//! every optimiser, so its cost bounds planner scalability.
+//!
+//! `cargo bench -p adapipe-bench --bench model`
+
+use adapipe_gridsim::net::{LinkSpec, Topology};
+use adapipe_mapper::mapping::Mapping;
+use adapipe_mapper::model::{evaluate, PipelineProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_evaluate");
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(2));
+    for &ns in &[4usize, 16, 64] {
+        let np = ns;
+        let profile = PipelineProfile::uniform(vec![1.0; ns], 100_000);
+        let topology = Topology::uniform(np, LinkSpec::lan());
+        let rates = vec![1.0; np];
+        let mapping = Mapping::round_robin(ns, np);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{ns}stages")),
+            &(profile, mapping, rates, topology),
+            |b, (profile, mapping, rates, topology)| {
+                b.iter(|| evaluate(profile, mapping, rates, topology));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluate);
+criterion_main!(benches);

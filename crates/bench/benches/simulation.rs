@@ -1,0 +1,58 @@
+//! Simulator throughput: simulated items per wall second. Bounds how
+//! large the parameter sweeps of the repro binaries can afford to be.
+//!
+//! `cargo bench -p adapipe-bench --bench simulation`
+
+use adapipe_core::policy::Policy;
+use adapipe_core::simengine::{run, SimConfig};
+use adapipe_core::spec::PipelineSpec;
+use adapipe_gridsim::grid::{testbed_hetero8, testbed_small3};
+use adapipe_gridsim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_function("small3_static_1k_items", |b| {
+        let grid = testbed_small3();
+        let spec = PipelineSpec::balanced(3, 1.0, 10_000);
+        let cfg = SimConfig {
+            items: 1_000,
+            ..SimConfig::default()
+        };
+        b.iter(|| run(&grid, &spec, &cfg));
+    });
+
+    group.bench_function("hetero8_adaptive_1k_items", |b| {
+        let grid = testbed_hetero8(3);
+        let spec = PipelineSpec::balanced(4, 1.0, 10_000);
+        let cfg = SimConfig {
+            items: 1_000,
+            policy: Policy::Periodic {
+                interval: SimDuration::from_secs(5),
+            },
+            ..SimConfig::default()
+        };
+        b.iter(|| run(&grid, &spec, &cfg));
+    });
+
+    group.bench_function("hetero8_contention_1k_items", |b| {
+        let grid = testbed_hetero8(3);
+        let spec = PipelineSpec::balanced(4, 1.0, 100_000);
+        let cfg = SimConfig {
+            items: 1_000,
+            link_contention: true,
+            ..SimConfig::default()
+        };
+        b.iter(|| run(&grid, &spec, &cfg));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

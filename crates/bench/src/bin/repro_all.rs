@@ -1,0 +1,34 @@
+//! Runs every repro binary in sequence — the one-command regeneration of
+//! the full evaluation. Each sub-experiment is a separate process so a
+//! failure cannot corrupt the others' output.
+//!
+//! `cargo run --release -p adapipe-bench --bin repro_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "repro_t1", "repro_t2", "repro_f1", "repro_f2", "repro_f3", "repro_f4", "repro_t3", "repro_f5",
+    "repro_f6", "repro_t4", "repro_a1", "repro_a2",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let bin_dir = exe.parent().expect("bin directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################\n");
+        let status = Command::new(bin_dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            eprintln!("{name} FAILED with {status}");
+            failures.push(*name);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nFAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Table 1 — the synthetic grid testbeds.
+//!
+//! Prints the node inventory (name, nominal speed, load class) and link
+//! classes of the three reference grids every other experiment names.
+
+use adapipe_bench::{banner, Table};
+use adapipe_gridsim::prelude::*;
+
+fn load_class(model: &LoadModel) -> String {
+    match model {
+        LoadModel::Constant { level } if *level >= 1.0 => "free".to_string(),
+        LoadModel::Constant { level } => format!("constant {level:.2}"),
+        LoadModel::Step { after, at, .. } => {
+            format!("step to {after:.2} @ {:.0}s", at.as_secs_f64())
+        }
+        LoadModel::SquareWave { lo, period, .. } => {
+            format!("square lo={lo:.2} P={:.0}s", period.as_secs_f64())
+        }
+        LoadModel::Trace(trace) => format!("trace ({} segs)", trace.segment_count()),
+        LoadModel::Overlay { .. } => "overlay".to_string(),
+    }
+}
+
+fn main() {
+    banner(
+        "T1",
+        "synthetic grid testbeds",
+        "three grids spanning 1x-8x speed heterogeneity, LAN/WAN links, \
+         and static/random-walk/Markov background load",
+    );
+    let seed = 42;
+    for tb in Testbed::all() {
+        let grid = tb.build(seed);
+        println!(
+            "testbed `{}` ({} nodes, seed {seed}):",
+            tb.name(),
+            grid.len()
+        );
+        let mut table = Table::new(&["node", "speed", "load class", "avail@0s", "avail@300s"]);
+        for id in grid.node_ids() {
+            let node = grid.node(id);
+            table.row(vec![
+                node.spec.name.clone(),
+                format!("{:.2}", node.spec.speed),
+                load_class(&node.load),
+                format!("{:.2}", node.load.availability(SimTime::ZERO)),
+                format!(
+                    "{:.2}",
+                    node.load.availability(SimTime::from_secs_f64(300.0))
+                ),
+            ]);
+        }
+        table.print();
+
+        // Link classes: sample one intra- and one inter-cluster pair.
+        let topo = grid.topology();
+        let n0 = NodeId(0);
+        let n1 = NodeId(1.min(grid.len() - 1));
+        let far = NodeId(grid.len() - 1);
+        println!(
+            "  links: self {:?} | near {:?} | far {:?}",
+            topo.link(n0, n0),
+            topo.link(n0, n1),
+            topo.link(n0, far),
+        );
+        println!();
+    }
+}

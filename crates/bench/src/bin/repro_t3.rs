@@ -1,0 +1,69 @@
+//! Table 3 — adaptation overhead: what one planning cycle costs.
+//!
+//! Wall-times the full planner (model + search + replication pass) over
+//! instance sizes from 4×4 to 32×32 (stages × processors), reporting the
+//! strategy chosen and mean decision time. The claim to validate:
+//! decisions are *orders of magnitude* cheaper than the adaptation
+//! period (seconds), so adaptation overhead is negligible.
+
+use adapipe_bench::{banner, fmt_secs, time_mean, Table};
+use adapipe_gridsim::prelude::*;
+use adapipe_gridsim::rng::unit_at;
+use adapipe_mapper::prelude::*;
+
+fn main() {
+    banner(
+        "T3",
+        "planner decision cost vs instance size",
+        "sub-millisecond for exhaustive instances and well below the 5 s \
+         adaptation period through 16x16; the 32x32 corner approaches \
+         period scale, motivating longer periods on very large grids",
+    );
+
+    let mut table = Table::new(&[
+        "Ns",
+        "Np",
+        "assignments",
+        "strategy",
+        "mean decision",
+        "per period %",
+    ]);
+    let period_s = 5.0;
+
+    for &ns in &[4usize, 8, 16, 32] {
+        for &np in &[4usize, 8, 16, 32] {
+            // Heterogeneous rates + mild work skew for realism.
+            let rates: Vec<f64> = (0..np).map(|i| 0.5 + 3.5 * unit_at(7, i as u64)).collect();
+            let work: Vec<f64> = (0..ns).map(|s| 0.5 + unit_at(11, s as u64)).collect();
+            let profile = PipelineProfile::uniform(work, 50_000);
+            let topology =
+                Topology::clustered(np, (np / 4).max(1), LinkSpec::lan(), LinkSpec::wan());
+            let cfg = PlannerConfig::default();
+
+            // Warm-up + strategy probe.
+            let probe = plan(&profile, &rates, &topology, &cfg);
+            let iters = if probe.strategy == Strategy::Exhaustive {
+                20
+            } else {
+                5
+            };
+            let mean = time_mean(iters, || {
+                std::hint::black_box(plan(&profile, &rates, &topology, &cfg));
+            });
+
+            let count = assignment_count(ns, np)
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| ">u64".to_string());
+            table.row(vec![
+                ns.to_string(),
+                np.to_string(),
+                count,
+                format!("{:?}", probe.strategy),
+                fmt_secs(mean),
+                format!("{:.3}", mean / period_s * 100.0),
+            ]);
+        }
+    }
+    table.print();
+    println!("`per period %` = decision time as a share of a 5 s adaptation period");
+}

@@ -1,0 +1,131 @@
+//! The task-farm skeleton, expressed through the adaptive pipeline.
+//!
+//! Gonzalez-Velez & Cole's adaptive-structured-parallelism line treats
+//! *pipeline* and *farm* as the two workhorse skeletons, and their
+//! composition ("pipelines of farms") as the common application shape.
+//! In this implementation a farm **is** a one-stage pipeline whose stage
+//! is stateless — the planner's replication pass then spreads it over as
+//! many nodes as pay off, and all of the adaptation machinery (monitor,
+//! forecast, re-map, hysteresis) applies unchanged.
+//!
+//! This module provides the conveniences that make that composition
+//! pleasant: farm construction from a worker function, and farm-stage
+//! insertion into a longer pipeline.
+
+use crate::pipeline::{Pipeline, PipelineBuilder};
+use crate::spec::{PipelineSpec, StageSpec};
+
+/// Builds a task farm: a single stateless stage intended for replication
+/// across grid nodes.
+///
+/// `spec` carries the cost metadata (work per item, output size); the
+/// planner decides the replication width at run time, bounded by
+/// `PlannerConfig::max_width`.
+///
+/// ```
+/// use adapipe_core::farm::farm;
+/// use adapipe_core::spec::StageSpec;
+///
+/// let f = farm(StageSpec::balanced("render", 4.0, 1 << 20), |scene: u64| scene * 2);
+/// assert_eq!(f.len(), 1);
+/// ```
+pub fn farm<I, O, F>(spec: StageSpec, worker: F) -> Pipeline<I, O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> O + Send + Clone + 'static,
+{
+    assert!(
+        spec.stateless,
+        "a farm worker must be stateless (it exists to be replicated)"
+    );
+    PipelineBuilder::<I>::new().stage(spec, worker).build()
+}
+
+/// The simulation-side counterpart: a one-stage [`PipelineSpec`] with
+/// the given per-item work and output size.
+pub fn farm_spec(work: f64, bytes: u64) -> PipelineSpec {
+    let mut spec = PipelineSpec::new(vec![StageSpec::balanced("farm", work, bytes)]);
+    spec.input_bytes = bytes;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::simengine::{run, SimConfig};
+    use adapipe_gridsim::grid::GridSpec;
+    use adapipe_gridsim::load::LoadModel;
+    use adapipe_gridsim::net::{LinkSpec, Topology};
+    use adapipe_gridsim::node::{Node, NodeSpec};
+    use adapipe_gridsim::time::SimDuration;
+
+    fn uniform_grid(np: usize) -> GridSpec {
+        let nodes = (0..np)
+            .map(|i| Node::new(NodeSpec::new(format!("n{i}"), 1.0, 1), LoadModel::free()))
+            .collect();
+        GridSpec::new(nodes, Topology::uniform(np, LinkSpec::lan()))
+    }
+
+    #[test]
+    fn farm_is_a_one_stage_pipeline() {
+        let f = farm(StageSpec::balanced("w", 1.0, 8), |x: u32| x + 1);
+        assert_eq!(f.len(), 1);
+        assert!(f.spec().profile().stateless[0]);
+    }
+
+    #[test]
+    fn simulated_farm_scales_with_nodes() {
+        // 1 unit of work per item; the planner may replicate up to 8 wide.
+        let spec = farm_spec(1.0, 1_000);
+        let items = 200u64;
+        let mut makespans = Vec::new();
+        for np in [1usize, 2, 4, 8] {
+            let mut cfg = SimConfig {
+                items,
+                ..SimConfig::default()
+            };
+            cfg.controller.planner.max_width = 8;
+            let report = run(&uniform_grid(np), &spec, &cfg);
+            assert_eq!(report.completed, items);
+            makespans.push(report.makespan.as_secs_f64());
+        }
+        // Farm throughput scales near-linearly: 8 nodes ≥ 6x faster than 1.
+        let speedup = makespans[0] / makespans[3];
+        assert!(speedup > 6.0, "8-node farm speedup {speedup:.2}");
+        // And monotone in between.
+        assert!(makespans.windows(2).all(|w| w[1] <= w[0] * 1.01));
+    }
+
+    #[test]
+    fn adaptive_farm_survives_worker_loss() {
+        use adapipe_gridsim::fault::FaultPlan;
+        use adapipe_gridsim::node::NodeId;
+        use adapipe_gridsim::time::SimTime;
+
+        let mut grid = uniform_grid(4);
+        FaultPlan::new()
+            .crash(NodeId(2), SimTime::from_secs_f64(20.0))
+            .apply(&mut grid);
+        let spec = farm_spec(1.0, 0);
+        let mut cfg = SimConfig {
+            items: 300,
+            policy: Policy::Periodic {
+                interval: SimDuration::from_secs(5),
+            },
+            ..SimConfig::default()
+        };
+        cfg.controller.planner.max_width = 4;
+        let report = run(&grid, &spec, &cfg);
+        assert_eq!(report.completed, 300, "farm must re-spread after the crash");
+        assert!(report.adaptation_count() >= 1);
+        assert!(!report.final_mapping.placement(0).contains(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "stateless")]
+    fn stateful_farm_worker_rejected() {
+        let _ = farm(StageSpec::balanced("w", 1.0, 0).with_state(64), |x: u32| x);
+    }
+}

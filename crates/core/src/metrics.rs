@@ -1,0 +1,173 @@
+//! Per-stage instrumentation: observed service and queueing behaviour.
+//!
+//! The adaptive pattern's founding premise is that the skeleton can
+//! *measure itself*: every task execution yields a service-time sample
+//! attributable to (stage, node). Engines accumulate these into a
+//! [`StageMetrics`] included in the final report — the observable a
+//! deployment would feed to capacity planning, and the ground truth the
+//! evaluation uses to validate the analytic model's service estimates.
+
+use adapipe_gridsim::time::SimDuration;
+use adapipe_monitor::stats::Welford;
+
+/// Accumulated service-time statistics for one pipeline stage.
+#[derive(Clone, Debug, Default)]
+pub struct StageStats {
+    service: Welford,
+    /// Work units processed (sum of draws).
+    work_done: f64,
+}
+
+impl StageStats {
+    /// Records one completed task.
+    pub fn record(&mut self, service: SimDuration, work: f64) {
+        self.service.push(service.as_secs_f64());
+        self.work_done += work;
+    }
+
+    /// Number of tasks recorded.
+    pub fn count(&self) -> u64 {
+        self.service.count()
+    }
+
+    /// Mean service time, if any task completed.
+    pub fn mean_service(&self) -> Option<SimDuration> {
+        self.service.mean().map(SimDuration::from_secs_f64)
+    }
+
+    /// Service-time standard deviation, with ≥ 2 samples.
+    pub fn service_std_dev(&self) -> Option<SimDuration> {
+        self.service.std_dev().map(SimDuration::from_secs_f64)
+    }
+
+    /// Total work units processed.
+    pub fn work_done(&self) -> f64 {
+        self.work_done
+    }
+
+    /// Observed effective rate: work per busy second. Comparing this
+    /// against `speed × availability` validates the engine's slowdown
+    /// accounting end-to-end.
+    pub fn effective_rate(&self) -> Option<f64> {
+        let mean = self.service.mean()?;
+        if mean <= 0.0 || self.service.count() == 0 {
+            return None;
+        }
+        let mean_work = self.work_done / self.service.count() as f64;
+        Some(mean_work / mean)
+    }
+}
+
+/// Service-time statistics for every stage of a run.
+#[derive(Clone, Debug, Default)]
+pub struct StageMetrics {
+    stages: Vec<StageStats>,
+}
+
+impl StageMetrics {
+    /// Creates metrics for `ns` stages.
+    pub fn new(ns: usize) -> Self {
+        StageMetrics {
+            stages: vec![StageStats::default(); ns],
+        }
+    }
+
+    /// Records a completed task of `stage`.
+    pub fn record(&mut self, stage: usize, service: SimDuration, work: f64) {
+        self.stages[stage].record(service, work);
+    }
+
+    /// Statistics of one stage.
+    pub fn stage(&self, s: usize) -> &StageStats {
+        &self.stages[s]
+    }
+
+    /// All stages in order.
+    pub fn stages(&self) -> &[StageStats] {
+        &self.stages
+    }
+
+    /// Number of stages tracked.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if no stages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The stage with the largest mean service time — the empirical
+    /// bottleneck, to compare against the model's prediction.
+    pub fn bottleneck_stage(&self) -> Option<usize> {
+        self.stages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.mean_service().map(|m| (i, m)))
+            .max_by_key(|&(_, m)| m)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(secs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(secs)
+    }
+
+    #[test]
+    fn stats_accumulate_mean_and_count() {
+        let mut s = StageStats::default();
+        s.record(d(1.0), 1.0);
+        s.record(d(3.0), 1.0);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean_service(), Some(d(2.0)));
+        assert_eq!(s.work_done(), 2.0);
+    }
+
+    #[test]
+    fn effective_rate_is_work_per_busy_second() {
+        let mut s = StageStats::default();
+        // 2 units of work in 4 s each time → rate 0.5.
+        s.record(d(4.0), 2.0);
+        s.record(d(4.0), 2.0);
+        let rate = s.effective_rate().unwrap();
+        assert!((rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_no_estimates() {
+        let s = StageStats::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean_service(), None);
+        assert_eq!(s.effective_rate(), None);
+    }
+
+    #[test]
+    fn bottleneck_is_slowest_stage() {
+        let mut m = StageMetrics::new(3);
+        m.record(0, d(1.0), 1.0);
+        m.record(1, d(5.0), 1.0);
+        m.record(2, d(2.0), 1.0);
+        assert_eq!(m.bottleneck_stage(), Some(1));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn empty_metrics_have_no_bottleneck() {
+        let m = StageMetrics::new(2);
+        assert_eq!(m.bottleneck_stage(), None);
+    }
+
+    #[test]
+    fn std_dev_needs_two_samples() {
+        let mut s = StageStats::default();
+        s.record(d(2.0), 1.0);
+        assert_eq!(s.service_std_dev(), None);
+        s.record(d(4.0), 1.0);
+        let sd = s.service_std_dev().unwrap().as_secs_f64();
+        assert!((sd - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

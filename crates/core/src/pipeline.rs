@@ -1,0 +1,261 @@
+//! The typed pipeline builder — the user-facing skeleton API.
+//!
+//! ```
+//! use adapipe_core::pipeline::PipelineBuilder;
+//! use adapipe_core::spec::StageSpec;
+//!
+//! let pipeline = PipelineBuilder::<u32>::new()
+//!     .stage(StageSpec::balanced("square", 1.0, 8), |x: u32| x * x)
+//!     .stage(StageSpec::balanced("format", 0.5, 16), |x: u32| format!("{x}"))
+//!     .build();
+//! assert_eq!(pipeline.len(), 2);
+//! ```
+//!
+//! The builder tracks the current item type at compile time: stage `i+1`
+//! must accept exactly what stage `i` produces. `build` yields a
+//! [`Pipeline`] bundling the erased stage functions with the
+//! [`PipelineSpec`] metadata the planner needs.
+
+use crate::spec::{PipelineSpec, StageSpec};
+use crate::stage::{DynStage, FnStage, StatefulFnStage};
+use adapipe_gridsim::node::NodeId;
+use std::marker::PhantomData;
+
+/// A fully built, type-checked pipeline: erased stage functions plus the
+/// cost metadata.
+pub struct Pipeline<I, O> {
+    spec: PipelineSpec,
+    stages: Vec<Box<dyn DynStage>>,
+    _types: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O> Pipeline<I, O> {
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the pipeline has no stages (unbuildable via the builder).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The planner-facing metadata.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Splits the pipeline into its spec and stage functions — engines
+    /// take ownership of both.
+    pub fn into_parts(self) -> (PipelineSpec, Vec<Box<dyn DynStage>>) {
+        (self.spec, self.stages)
+    }
+}
+
+/// Builder for [`Pipeline`]; `Cur` is the item type flowing out of the
+/// last stage added so far.
+pub struct PipelineBuilder<In, Cur = In> {
+    spec_stages: Vec<StageSpec>,
+    stages: Vec<Box<dyn DynStage>>,
+    input_bytes: u64,
+    source: Option<NodeId>,
+    sink: Option<NodeId>,
+    _types: PhantomData<fn(In) -> Cur>,
+}
+
+impl<In: Send + 'static> PipelineBuilder<In, In> {
+    /// Starts a pipeline whose inputs have type `In`.
+    pub fn new() -> Self {
+        PipelineBuilder {
+            spec_stages: Vec::new(),
+            stages: Vec::new(),
+            input_bytes: 0,
+            source: None,
+            sink: None,
+            _types: PhantomData,
+        }
+    }
+}
+
+impl<In: Send + 'static> Default for PipelineBuilder<In, In> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
+    /// Declares how many bytes each input item carries into stage 0.
+    pub fn input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
+        self
+    }
+
+    /// Pins the input source to a grid node (inputs pay the transfer
+    /// from there to stage 0's host).
+    pub fn source(mut self, node: NodeId) -> Self {
+        self.source = Some(node);
+        self
+    }
+
+    /// Pins the output sink to a grid node.
+    pub fn sink(mut self, node: NodeId) -> Self {
+        self.sink = Some(node);
+        self
+    }
+
+    /// Appends a stateless stage. The closure must be `Clone` so the
+    /// runtime can replicate the stage across nodes.
+    ///
+    /// # Panics
+    /// Panics if `spec` is marked stateful — use
+    /// [`PipelineBuilder::stateful_stage`] for stateful stages.
+    pub fn stage<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        assert!(
+            spec.stateless,
+            "stage '{}' is declared stateful; use stateful_stage()",
+            spec.name
+        );
+        self.stages
+            .push(Box::new(FnStage::new(spec.name.clone(), f)));
+        self.spec_stages.push(spec);
+        PipelineBuilder {
+            spec_stages: self.spec_stages,
+            stages: self.stages,
+            input_bytes: self.input_bytes,
+            source: self.source,
+            sink: self.sink,
+            _types: PhantomData,
+        }
+    }
+
+    /// Appends a stateful stage: it will never be replicated, and
+    /// migrating it costs `spec.state_bytes` of transfer.
+    pub fn stateful_stage<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + 'static,
+    {
+        let spec = if spec.stateless {
+            spec.with_state(0)
+        } else {
+            spec
+        };
+        self.stages
+            .push(Box::new(StatefulFnStage::new(spec.name.clone(), f)));
+        self.spec_stages.push(spec);
+        PipelineBuilder {
+            spec_stages: self.spec_stages,
+            stages: self.stages,
+            input_bytes: self.input_bytes,
+            source: self.source,
+            sink: self.sink,
+            _types: PhantomData,
+        }
+    }
+
+    /// Finalises the pipeline.
+    ///
+    /// # Panics
+    /// Panics if no stage was added.
+    pub fn build(self) -> Pipeline<In, Cur> {
+        assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
+        let mut spec = PipelineSpec::new(self.spec_stages);
+        spec.input_bytes = self.input_bytes;
+        spec.source = self.source;
+        spec.sink = self.sink;
+        Pipeline {
+            spec,
+            stages: self.stages,
+            _types: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains_types() {
+        let p = PipelineBuilder::<u32>::new()
+            .stage(StageSpec::balanced("inc", 1.0, 4), |x: u32| x + 1)
+            .stage(StageSpec::balanced("to_str", 1.0, 16), |x: u32| {
+                x.to_string()
+            })
+            .stage(StageSpec::balanced("len", 1.0, 8), |s: String| s.len())
+            .build();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.spec().names(), vec!["inc", "to_str", "len"]);
+    }
+
+    #[test]
+    fn stages_execute_in_order_when_driven_manually() {
+        let p = PipelineBuilder::<u32>::new()
+            .stage(StageSpec::balanced("inc", 1.0, 4), |x: u32| x + 1)
+            .stage(StageSpec::balanced("double", 1.0, 4), |x: u32| x * 2)
+            .build();
+        let (_, mut stages) = p.into_parts();
+        let mut item: crate::stage::BoxedItem = Box::new(5u32);
+        for s in &mut stages {
+            item = s.process(item);
+        }
+        assert_eq!(*item.downcast::<u32>().unwrap(), 12);
+    }
+
+    #[test]
+    fn stateful_stage_keeps_state_and_refuses_replication() {
+        let p = PipelineBuilder::<u64>::new()
+            .stateful_stage(StageSpec::balanced("sum", 1.0, 8).with_state(8), {
+                let mut acc = 0u64;
+                move |x: u64| {
+                    acc += x;
+                    acc
+                }
+            })
+            .build();
+        assert_eq!(p.spec().profile().stateless, vec![false]);
+        let (_, mut stages) = p.into_parts();
+        assert!(stages[0].replicate().is_none());
+        assert_eq!(
+            *stages[0].process(Box::new(2u64)).downcast::<u64>().unwrap(),
+            2
+        );
+        assert_eq!(
+            *stages[0].process(Box::new(3u64)).downcast::<u64>().unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn builder_records_source_sink_and_input_bytes() {
+        let p = PipelineBuilder::<u8>::new()
+            .input_bytes(1024)
+            .source(NodeId(0))
+            .sink(NodeId(2))
+            .stage(StageSpec::balanced("id", 1.0, 512), |x: u8| x)
+            .build();
+        let spec = p.spec();
+        assert_eq!(spec.input_bytes, 1024);
+        assert_eq!(spec.source, Some(NodeId(0)));
+        assert_eq!(spec.sink, Some(NodeId(2)));
+        let profile = spec.profile();
+        assert_eq!(profile.boundary_bytes, vec![1024, 512]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stateful")]
+    fn stateless_api_rejects_stateful_spec() {
+        let _ = PipelineBuilder::<u8>::new()
+            .stage(StageSpec::balanced("x", 1.0, 0).with_state(64), |x: u8| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_build_panics() {
+        let _ = PipelineBuilder::<u8>::new().build();
+    }
+}

@@ -1,0 +1,173 @@
+//! Run reports: everything an experiment needs to print its table row.
+
+use crate::metrics::StageMetrics;
+use adapipe_gridsim::time::{SimDuration, SimTime};
+use adapipe_gridsim::trace::ThroughputTimeline;
+use adapipe_mapper::mapping::Mapping;
+
+/// One adaptation the controller performed.
+#[derive(Clone, Debug)]
+pub struct AdaptationEvent {
+    /// When the re-mapping was triggered.
+    pub at: SimTime,
+    /// Mapping before.
+    pub from: Mapping,
+    /// Mapping after.
+    pub to: Mapping,
+    /// Stages whose placement changed.
+    pub migrated_stages: Vec<usize>,
+    /// Predicted throughput ratio (candidate / current) that justified
+    /// the move.
+    pub predicted_speedup: f64,
+    /// Migration cost charged (state transfer + drain overhead).
+    pub migration_cost: SimDuration,
+}
+
+/// Summary of one pipeline run (simulated or wall-clock).
+#[derive(Debug)]
+pub struct RunReport {
+    /// Items that reached the sink.
+    pub completed: u64,
+    /// Time of the last completion (== makespan for closed streams).
+    pub makespan: SimTime,
+    /// Mean per-item latency (arrival → sink).
+    pub mean_latency: SimDuration,
+    /// Per-item latency samples (arrival → sink), unsorted. Use
+    /// [`RunReport::latency_percentile`] for quantiles.
+    pub latencies: Vec<SimDuration>,
+    /// Completions bucketed over time.
+    pub timeline: ThroughputTimeline,
+    /// Every re-mapping performed.
+    pub adaptations: Vec<AdaptationEvent>,
+    /// Busy seconds per node.
+    pub node_busy: Vec<SimDuration>,
+    /// The mapping in force when the run ended.
+    pub final_mapping: Mapping,
+    /// Planning cycles the controller ran (accepted or not) — the
+    /// adaptation-overhead denominator.
+    pub planning_cycles: u64,
+    /// Observed per-stage service statistics.
+    pub stage_metrics: StageMetrics,
+    /// True if the run hit its safety horizon before completing.
+    pub truncated: bool,
+}
+
+impl RunReport {
+    /// Mean throughput over the whole run, items per second.
+    pub fn mean_throughput(&self) -> f64 {
+        let secs = self.makespan.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 / secs
+    }
+
+    /// Number of re-mappings performed.
+    pub fn adaptation_count(&self) -> usize {
+        self.adaptations.len()
+    }
+
+    /// Total time charged to migrations.
+    pub fn total_migration_cost(&self) -> SimDuration {
+        self.adaptations.iter().fold(SimDuration::ZERO, |acc, e| {
+            acc.saturating_add(e.migration_cost)
+        })
+    }
+
+    /// Latency percentile `q ∈ [0, 1]`, or `None` if nothing completed.
+    pub fn latency_percentile(&self, q: f64) -> Option<SimDuration> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.latencies.iter().map(|d| d.as_secs_f64()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        Some(SimDuration::from_secs_f64(
+            adapipe_monitor::stats::quantile_sorted(&sorted, q),
+        ))
+    }
+
+    /// Utilisation of node `i` over the makespan.
+    pub fn node_utilisation(&self, i: usize) -> f64 {
+        let horizon = self.makespan.as_secs_f64();
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        (self.node_busy[i].as_secs_f64() / horizon).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_gridsim::node::NodeId;
+
+    fn report(completed: u64, makespan_s: f64) -> RunReport {
+        RunReport {
+            completed,
+            makespan: SimTime::from_secs_f64(makespan_s),
+            mean_latency: SimDuration::from_secs(1),
+            latencies: vec![SimDuration::from_secs(1); completed as usize],
+            timeline: ThroughputTimeline::new(SimDuration::from_secs(1)),
+            adaptations: vec![],
+            node_busy: vec![SimDuration::from_secs(5), SimDuration::ZERO],
+            final_mapping: Mapping::from_assignment(&[NodeId(0)]),
+            planning_cycles: 0,
+            stage_metrics: StageMetrics::new(1),
+            truncated: false,
+        }
+    }
+
+    #[test]
+    fn mean_throughput_divides_by_makespan() {
+        let r = report(100, 50.0);
+        assert!((r.mean_throughput() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_makespan_throughput_is_zero() {
+        let r = report(0, 0.0);
+        assert_eq!(r.mean_throughput(), 0.0);
+        assert_eq!(r.node_utilisation(0), 0.0);
+    }
+
+    #[test]
+    fn utilisation_clamps() {
+        let r = report(10, 2.0);
+        // 5 s busy over 2 s horizon clamps to 1.
+        assert_eq!(r.node_utilisation(0), 1.0);
+        assert_eq!(r.node_utilisation(1), 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_interpolate() {
+        let mut r = report(3, 10.0);
+        r.latencies = vec![
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(9),
+        ];
+        assert_eq!(r.latency_percentile(0.0), Some(SimDuration::from_secs(1)));
+        assert_eq!(r.latency_percentile(0.5), Some(SimDuration::from_secs(2)));
+        assert_eq!(r.latency_percentile(1.0), Some(SimDuration::from_secs(9)));
+        r.latencies.clear();
+        assert_eq!(r.latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn migration_cost_sums_events() {
+        let mut r = report(1, 1.0);
+        let m = Mapping::from_assignment(&[NodeId(0)]);
+        for _ in 0..2 {
+            r.adaptations.push(AdaptationEvent {
+                at: SimTime::ZERO,
+                from: m.clone(),
+                to: m.clone(),
+                migrated_stages: vec![0],
+                predicted_speedup: 1.5,
+                migration_cost: SimDuration::from_millis(250),
+            });
+        }
+        assert_eq!(r.adaptation_count(), 2);
+        assert_eq!(r.total_migration_cost(), SimDuration::from_millis(500));
+    }
+}

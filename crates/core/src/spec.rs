@@ -1,0 +1,266 @@
+//! Pipeline specifications: the metadata the adaptive runtime plans with.
+//!
+//! A [`PipelineSpec`] describes each stage's *cost shape* — expected work
+//! per item, output size, migratable state size, statefulness — without
+//! reference to any particular engine. Both the simulated engine and the
+//! threaded engine consume the same spec; the mapper sees it through
+//! [`PipelineSpec::profile`].
+
+use adapipe_gridsim::node::NodeId;
+use adapipe_gridsim::rng::{mix, unit_f64};
+use adapipe_mapper::model::PipelineProfile;
+
+/// Per-item work drawn for `(stage, item)` pairs.
+///
+/// Implementations must be deterministic functions of the item index so
+/// simulation runs replay exactly; `mean` feeds the analytic model.
+pub trait WorkModel: Send + Sync {
+    /// Work units stage processing of item `item` costs.
+    fn draw(&self, item: u64) -> f64;
+    /// Expected work units per item.
+    fn mean(&self) -> f64;
+}
+
+/// Every item costs exactly `work` units.
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantWork(pub f64);
+
+impl WorkModel for ConstantWork {
+    fn draw(&self, _item: u64) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Work uniform in `[mean·(1−spread), mean·(1+spread)]`, deterministic
+/// per `(seed, item)`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformWork {
+    mean: f64,
+    spread: f64,
+    seed: u64,
+}
+
+impl UniformWork {
+    /// Creates the model; `spread ∈ [0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive or `spread` out of range.
+    pub fn new(mean: f64, spread: f64, seed: u64) -> Self {
+        assert!(mean > 0.0, "mean work must be positive");
+        assert!((0.0..1.0).contains(&spread), "spread must be in [0,1)");
+        UniformWork { mean, spread, seed }
+    }
+}
+
+impl WorkModel for UniformWork {
+    fn draw(&self, item: u64) -> f64 {
+        let u = unit_f64(mix(self.seed, item));
+        self.mean * (1.0 + self.spread * (2.0 * u - 1.0))
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Cost metadata for one stage.
+pub struct StageSpec {
+    /// Stage name for reports.
+    pub name: String,
+    /// Per-item work model.
+    pub work: Box<dyn WorkModel>,
+    /// Bytes each output item carries to the next stage (or the sink).
+    pub out_bytes: u64,
+    /// Bytes of internal state a migration must move (0 for stateless).
+    pub state_bytes: u64,
+    /// True if the stage keeps no per-item state and may be replicated.
+    pub stateless: bool,
+}
+
+impl StageSpec {
+    /// A stateless stage with constant work.
+    pub fn balanced(name: impl Into<String>, work: f64, out_bytes: u64) -> Self {
+        StageSpec {
+            name: name.into(),
+            work: Box::new(ConstantWork(work)),
+            out_bytes,
+            state_bytes: 0,
+            stateless: true,
+        }
+    }
+
+    /// Marks the stage stateful with `state_bytes` of migratable state.
+    pub fn with_state(mut self, state_bytes: u64) -> Self {
+        self.stateless = false;
+        self.state_bytes = state_bytes;
+        self
+    }
+
+    /// Replaces the work model.
+    pub fn with_work(mut self, work: Box<dyn WorkModel>) -> Self {
+        self.work = work;
+        self
+    }
+}
+
+impl std::fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("name", &self.name)
+            .field("mean_work", &self.work.mean())
+            .field("out_bytes", &self.out_bytes)
+            .field("state_bytes", &self.state_bytes)
+            .field("stateless", &self.stateless)
+            .finish()
+    }
+}
+
+/// A complete engine-agnostic pipeline description.
+#[derive(Debug)]
+pub struct PipelineSpec {
+    /// The stages in order.
+    pub stages: Vec<StageSpec>,
+    /// Bytes each input item carries into stage 0.
+    pub input_bytes: u64,
+    /// Node where inputs originate (`None`: materialise at stage 0's
+    /// host for free).
+    pub source: Option<NodeId>,
+    /// Node where outputs must be delivered (`None`: vanish at the last
+    /// stage's host for free).
+    pub sink: Option<NodeId>,
+}
+
+impl PipelineSpec {
+    /// Builds a spec from stages with no explicit source/sink placement.
+    ///
+    /// # Panics
+    /// Panics if `stages` is empty.
+    pub fn new(stages: Vec<StageSpec>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        PipelineSpec {
+            stages,
+            input_bytes: 0,
+            source: None,
+            sink: None,
+        }
+    }
+
+    /// A pipeline of `n` identical stateless stages — the balanced
+    /// synthetic workload.
+    pub fn balanced(n: usize, work: f64, bytes: u64) -> Self {
+        assert!(n > 0);
+        let mut spec = PipelineSpec::new(
+            (0..n)
+                .map(|i| StageSpec::balanced(format!("stage{i}"), work, bytes))
+                .collect(),
+        );
+        spec.input_bytes = bytes;
+        spec
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the spec has no stages (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Per-item work drawn for `(stage, item)`.
+    pub fn draw_work(&self, stage: usize, item: u64) -> f64 {
+        self.stages[stage].work.draw(item)
+    }
+
+    /// The mapper's view: mean work, boundary bytes, statefulness.
+    pub fn profile(&self) -> PipelineProfile {
+        let ns = self.stages.len();
+        let mut boundary_bytes = Vec::with_capacity(ns + 1);
+        boundary_bytes.push(self.input_bytes);
+        for s in &self.stages {
+            boundary_bytes.push(s.out_bytes);
+        }
+        PipelineProfile {
+            stage_work: self.stages.iter().map(|s| s.work.mean()).collect(),
+            boundary_bytes,
+            stateless: self.stages.iter().map(|s| s.stateless).collect(),
+            source: self.source,
+            sink: self.sink,
+        }
+    }
+
+    /// Mean total work per item.
+    pub fn total_mean_work(&self) -> f64 {
+        self.stages.iter().map(|s| s.work.mean()).sum()
+    }
+
+    /// Stage names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.stages.iter().map(|s| s.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_work_is_flat() {
+        let w = ConstantWork(2.5);
+        assert_eq!(w.draw(0), 2.5);
+        assert_eq!(w.draw(999), 2.5);
+        assert_eq!(w.mean(), 2.5);
+    }
+
+    #[test]
+    fn uniform_work_is_bounded_and_deterministic() {
+        let w = UniformWork::new(2.0, 0.5, 7);
+        let w2 = UniformWork::new(2.0, 0.5, 7);
+        for item in 0..1000 {
+            let v = w.draw(item);
+            assert!((1.0..=3.0).contains(&v), "v={v}");
+            assert_eq!(v, w2.draw(item));
+        }
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|i| w.draw(i)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn balanced_spec_profile_round_trips() {
+        let spec = PipelineSpec::balanced(3, 1.5, 100);
+        let profile = spec.profile();
+        profile.validate();
+        assert_eq!(profile.stage_work, vec![1.5, 1.5, 1.5]);
+        assert_eq!(profile.boundary_bytes, vec![100; 4]);
+        assert!(profile.stateless.iter().all(|&s| s));
+        assert_eq!(spec.total_mean_work(), 4.5);
+    }
+
+    #[test]
+    fn with_state_marks_stateful() {
+        let s = StageSpec::balanced("acc", 1.0, 10).with_state(4096);
+        assert!(!s.stateless);
+        assert_eq!(s.state_bytes, 4096);
+        let spec = PipelineSpec::new(vec![s]);
+        assert_eq!(spec.profile().stateless, vec![false]);
+    }
+
+    #[test]
+    fn names_report_in_order() {
+        let spec = PipelineSpec::new(vec![
+            StageSpec::balanced("a", 1.0, 0),
+            StageSpec::balanced("b", 1.0, 0),
+        ]);
+        assert_eq!(spec.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_spec_panics() {
+        let _ = PipelineSpec::new(vec![]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Pipeline stages: the user-supplied computation units.
+//!
+//! Two views exist of a stage:
+//!
+//! * the **typed** view ([`FnStage`]) used when building a pipeline — the
+//!   compiler checks that stage `i`'s output type feeds stage `i+1`;
+//! * the **erased** view ([`DynStage`]) used by execution engines — items
+//!   travel as `Box<dyn Any + Send>` so the runtime can re-wire stages
+//!   across hosts without generic plumbing.
+//!
+//! Stage *functions* are `FnMut`: a stage may carry state (e.g. a running
+//! histogram), in which case it must be declared stateful and will never
+//! be replicated.
+
+use std::any::Any;
+
+/// A type-erased item flowing through the pipeline.
+pub type BoxedItem = Box<dyn Any + Send>;
+
+/// The execution engines' view of a stage.
+pub trait DynStage: Send {
+    /// Processes one item. Engines guarantee items of the declared input
+    /// type; implementations may panic on a type mismatch (it is a
+    /// pipeline construction bug, not a runtime condition).
+    fn process(&mut self, item: BoxedItem) -> BoxedItem;
+
+    /// Creates an independent instance for replication, or `None` if the
+    /// stage cannot be replicated (it is stateful or its closure is not
+    /// cloneable).
+    fn replicate(&self) -> Option<Box<dyn DynStage>>;
+
+    /// Stage name for logs and reports.
+    fn name(&self) -> &str;
+}
+
+/// A stage built from a closure `I -> O`.
+pub struct FnStage<I, O, F>
+where
+    F: FnMut(I) -> O + Send,
+{
+    name: String,
+    f: F,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> FnStage<I, O, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> O + Send,
+{
+    /// Wraps `f` as a named stage.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnStage {
+            name: name.into(),
+            f,
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, O, F> DynStage for FnStage<I, O, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> O + Send + Clone + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> BoxedItem {
+        let input = item
+            .downcast::<I>()
+            .unwrap_or_else(|_| panic!("stage '{}' received an item of the wrong type", self.name));
+        Box::new((self.f)(*input))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        Some(Box::new(FnStage {
+            name: self.name.clone(),
+            f: self.f.clone(),
+            _types: std::marker::PhantomData,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A stage built from a stateful closure: never replicable, and the
+/// closure needs no `Clone` bound.
+pub struct StatefulFnStage<I, O, F>
+where
+    F: FnMut(I) -> O + Send,
+{
+    name: String,
+    f: F,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> StatefulFnStage<I, O, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> O + Send,
+{
+    /// Wraps `f` as a named stateful stage.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        StatefulFnStage {
+            name: name.into(),
+            f,
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, O, F> DynStage for StatefulFnStage<I, O, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> O + Send + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> BoxedItem {
+        let input = item
+            .downcast::<I>()
+            .unwrap_or_else(|_| panic!("stage '{}' received an item of the wrong type", self.name));
+        Box::new((self.f)(*input))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        None
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A stage wrapper that refuses replication regardless of the closure —
+/// used for stages declared stateful.
+pub struct SealedStage {
+    inner: Box<dyn DynStage>,
+}
+
+impl SealedStage {
+    /// Seals `inner` against replication.
+    pub fn new(inner: Box<dyn DynStage>) -> Self {
+        SealedStage { inner }
+    }
+}
+
+impl DynStage for SealedStage {
+    fn process(&mut self, item: BoxedItem) -> BoxedItem {
+        self.inner.process(item)
+    }
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        None
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_stage_processes_typed_items() {
+        let mut s = FnStage::new("double", |x: i64| x * 2);
+        let out = s.process(Box::new(21i64));
+        assert_eq!(*out.downcast::<i64>().unwrap(), 42);
+        assert_eq!(s.name(), "double");
+    }
+
+    #[test]
+    fn fn_stage_may_change_type() {
+        let mut s = FnStage::new("fmt", |x: u32| format!("{x}!"));
+        let out = s.process(Box::new(7u32));
+        assert_eq!(*out.downcast::<String>().unwrap(), "7!");
+    }
+
+    #[test]
+    fn replicas_are_independent() {
+        let counter_stage = FnStage::new("count", {
+            let mut seen = 0u64;
+            move |x: u64| {
+                seen += 1;
+                x + seen
+            }
+        });
+        let mut a: Box<dyn DynStage> = Box::new(counter_stage);
+        let mut b = a.replicate().expect("cloneable");
+        // Each replica keeps its own `seen` counter.
+        assert_eq!(*a.process(Box::new(0u64)).downcast::<u64>().unwrap(), 1);
+        assert_eq!(*a.process(Box::new(0u64)).downcast::<u64>().unwrap(), 2);
+        assert_eq!(*b.process(Box::new(0u64)).downcast::<u64>().unwrap(), 1);
+    }
+
+    #[test]
+    fn sealed_stage_refuses_replication() {
+        let s = SealedStage::new(Box::new(FnStage::new("st", |x: i32| x)));
+        assert!(s.replicate().is_none());
+        assert_eq!(s.name(), "st");
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong type")]
+    fn type_mismatch_panics_with_stage_name() {
+        let mut s = FnStage::new("typed", |x: i64| x);
+        let _ = s.process(Box::new("not an i64"));
+    }
+}

@@ -1,0 +1,1037 @@
+//! The threaded execution engine.
+//!
+//! One worker thread per virtual node; items travel as type-erased
+//! envelopes through unbounded channels. A worker receiving an envelope
+//! for a stage it no longer hosts forwards it according to the shared
+//! routing table, so the controller can re-map a *running* pipeline by
+//! swapping that table — the same drain-and-forward semantics the
+//! simulator models.
+//!
+//! Stage instances live in a depot: stateless stages are replicated from
+//! a prototype on first use per worker; stateful stages exist exactly
+//! once and physically move between workers on migration (the old host
+//! deposits the instance when it processes the controller's
+//! `Relinquish`; the new host picks it up, buffering items meanwhile).
+//!
+//! Ordering: with `preserve_order` (default) the collector resequences
+//! outputs by item index. During a migration window a *stateful* stage
+//! may observe items slightly out of sequence order (items forwarded
+//! from the old host race items routed directly to the new one) — the
+//! same asynchrony a real grid deployment exhibits; applications needing
+//! strict per-stage sequencing should use stateless stages plus a fold
+//! at the sink.
+
+use crate::vnode::VNodeSpec;
+use adapipe_core::controller::{Controller, ControllerConfig};
+use adapipe_core::pipeline::Pipeline;
+use adapipe_core::policy::Policy;
+use adapipe_core::report::RunReport;
+use adapipe_core::spec::PipelineSpec;
+use adapipe_core::stage::{BoxedItem, DynStage};
+use adapipe_gridsim::net::{LinkSpec, Topology};
+use adapipe_gridsim::time::{SimDuration, SimTime};
+use adapipe_gridsim::trace::ThroughputTimeline;
+use adapipe_mapper::mapping::Mapping;
+use adapipe_mapper::model::evaluate;
+use adapipe_monitor::sensor::NoisyChannel;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Threaded-engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// The virtual nodes (one worker thread each).
+    pub vnodes: Vec<VNodeSpec>,
+    /// Adaptation policy (intervals are interpreted as wall time).
+    pub policy: Policy,
+    /// Controller tunables.
+    pub controller: ControllerConfig,
+    /// Launch mapping; `None` plans from availability at start.
+    pub initial_mapping: Option<Mapping>,
+    /// Resequence outputs by item index (the `Pipeline1for1` contract).
+    pub preserve_order: bool,
+    /// Input pacing in items per second (`None` = feed as fast as
+    /// possible).
+    pub pacing_rate: Option<f64>,
+    /// Topology used for *planning* (the box itself has uniform cheap
+    /// links); `None` = uniform local links.
+    pub topology: Option<Topology>,
+    /// Relative availability observation noise.
+    pub observation_noise: f64,
+    /// Noise stream seed.
+    pub noise_seed: u64,
+    /// Timeline bucket width.
+    pub timeline_bucket: SimDuration,
+    /// Emulate network cost on stage boundaries: before handing an item
+    /// to a *different* vnode, the sending worker sleeps the planning
+    /// topology's transfer time for the boundary's declared bytes
+    /// (NIC-serialisation semantics). Off by default: a single box has
+    /// no real network, and the planner then treats links as free.
+    pub emulate_links: bool,
+}
+
+impl EngineConfig {
+    /// A sensible default over the given virtual nodes.
+    pub fn new(vnodes: Vec<VNodeSpec>) -> Self {
+        assert!(!vnodes.is_empty(), "engine needs at least one vnode");
+        EngineConfig {
+            vnodes,
+            policy: Policy::Static,
+            controller: ControllerConfig::default(),
+            initial_mapping: None,
+            preserve_order: true,
+            pacing_rate: None,
+            topology: None,
+            observation_noise: 0.0,
+            noise_seed: 1,
+            timeline_bucket: SimDuration::from_millis(500),
+            emulate_links: false,
+        }
+    }
+}
+
+/// Result of a threaded run: typed outputs plus the standard report.
+pub struct EngineOutcome<O> {
+    /// Pipeline outputs (resequenced if `preserve_order`).
+    pub outputs: Vec<O>,
+    /// Run metrics in the same shape the simulator reports (times are
+    /// wall-clock seconds since engine start).
+    pub report: RunReport,
+}
+
+struct Envelope {
+    seq: u64,
+    stage: usize,
+    born: Instant,
+    payload: BoxedItem,
+}
+
+enum Msg {
+    Work(Envelope),
+    /// Deposit the (stateful) instance of `stage` back into the depot.
+    Relinquish {
+        stage: usize,
+    },
+    Shutdown,
+}
+
+struct Finished {
+    seq: u64,
+    born: Instant,
+    done: Instant,
+    payload: BoxedItem,
+}
+
+/// Everything workers share.
+struct Shared {
+    spec: PipelineSpec,
+    vnodes: Vec<VNodeSpec>,
+    /// Planning topology; also drives link emulation when enabled.
+    topology: Topology,
+    emulate_links: bool,
+    routing: RwLock<Mapping>,
+    /// Per stage: prototype (stateless) or the unique instance (stateful).
+    depot: Vec<Mutex<Option<Box<dyn DynStage>>>>,
+    senders: Vec<Sender<Msg>>,
+    sink: Sender<Finished>,
+    epoch: Instant,
+    completed: AtomicU64,
+    done: AtomicBool,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
+    }
+}
+
+/// Runs `pipeline` over `inputs` on the configured virtual nodes.
+///
+/// # Panics
+/// Panics if the initial mapping references unknown nodes or covers the
+/// wrong number of stages.
+pub fn run_pipeline<I, O>(
+    pipeline: Pipeline<I, O>,
+    inputs: Vec<I>,
+    cfg: &EngineConfig,
+) -> EngineOutcome<O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    let np = cfg.vnodes.len();
+    assert!(np > 0, "engine needs at least one vnode");
+    let (spec, stages) = pipeline.into_parts();
+    let ns = spec.len();
+    let n_items = inputs.len() as u64;
+
+    let topology = cfg
+        .topology
+        .clone()
+        .unwrap_or_else(|| Topology::uniform(np, LinkSpec::local()));
+    assert_eq!(topology.len(), np, "topology must cover every vnode");
+
+    let profile = spec.profile();
+    let speeds: Vec<f64> = cfg.vnodes.iter().map(|v| v.speed).collect();
+    let rates_at_start: Vec<f64> = cfg
+        .vnodes
+        .iter()
+        .map(|v| v.effective_rate(SimTime::ZERO))
+        .collect();
+    let initial_mapping = cfg.initial_mapping.clone().unwrap_or_else(|| {
+        adapipe_mapper::search::plan(
+            &profile,
+            &rates_at_start,
+            &topology,
+            &cfg.controller.planner,
+        )
+        .mapping
+    });
+    assert_eq!(initial_mapping.len(), ns, "mapping must cover every stage");
+    for node in initial_mapping.nodes_used() {
+        assert!(
+            node.index() < np,
+            "mapping uses vnode {node} outside the engine"
+        );
+    }
+
+    let (sink_tx, sink_rx) = unbounded::<Finished>();
+    let mut senders = Vec::with_capacity(np);
+    let mut inboxes = Vec::with_capacity(np);
+    for _ in 0..np {
+        let (tx, rx) = unbounded::<Msg>();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+
+    let shared = Arc::new(Shared {
+        depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+        spec,
+        vnodes: cfg.vnodes.clone(),
+        topology: topology.clone(),
+        emulate_links: cfg.emulate_links,
+        routing: RwLock::new(initial_mapping.clone()),
+        senders,
+        sink: sink_tx,
+        epoch: Instant::now(),
+        completed: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+    });
+
+    // --- workers -----------------------------------------------------
+    let mut workers = Vec::with_capacity(np);
+    for (me, inbox) in inboxes.into_iter().enumerate() {
+        let shared = Arc::clone(&shared);
+        workers.push(std::thread::spawn(move || worker_loop(me, inbox, shared)));
+    }
+
+    // --- source ------------------------------------------------------
+    let source = {
+        let shared = Arc::clone(&shared);
+        let pacing = cfg.pacing_rate;
+        std::thread::spawn(move || {
+            for (seq, input) in inputs.into_iter().enumerate() {
+                if let Some(rate) = pacing {
+                    let due = shared.epoch + Duration::from_secs_f64(seq as f64 / rate);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                let dest = {
+                    let routing = shared.routing.read();
+                    let hosts = routing.placement(0).hosts();
+                    // Items are dealt round-robin over stage 0's replicas;
+                    // the sequence number is exactly that counter.
+                    hosts[seq % hosts.len()].index()
+                };
+                let env = Envelope {
+                    seq: seq as u64,
+                    stage: 0,
+                    born: Instant::now(),
+                    payload: Box::new(input),
+                };
+                // Worker channels outlive the source; send only fails at
+                // teardown, by which point delivery no longer matters.
+                let _ = shared.senders[dest].send(Msg::Work(env));
+            }
+        })
+    };
+
+    // --- collector -----------------------------------------------------
+    let collector = {
+        let shared = Arc::clone(&shared);
+        let preserve = cfg.preserve_order;
+        let bucket = cfg.timeline_bucket;
+        std::thread::spawn(move || {
+            let mut timeline = ThroughputTimeline::new(bucket);
+            let mut latency_sum = 0.0f64;
+            let mut latencies: Vec<SimDuration> = Vec::with_capacity(n_items as usize);
+            let mut last_completion = SimTime::ZERO;
+            let mut outputs: Vec<(u64, BoxedItem)> = Vec::with_capacity(n_items as usize);
+            for _ in 0..n_items {
+                let Ok(fin) = sink_rx.recv() else { break };
+                let at =
+                    SimTime::from_secs_f64(fin.done.duration_since(shared.epoch).as_secs_f64());
+                timeline.record(at);
+                if at > last_completion {
+                    last_completion = at;
+                }
+                let latency = fin.done.duration_since(fin.born).as_secs_f64();
+                latency_sum += latency;
+                latencies.push(SimDuration::from_secs_f64(latency));
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+                outputs.push((fin.seq, fin.payload));
+            }
+            if preserve {
+                outputs.sort_by_key(|&(seq, _)| seq);
+            }
+            (outputs, timeline, latency_sum, latencies, last_completion)
+        })
+    };
+
+    // --- controller ----------------------------------------------------
+    let controller_handle = {
+        let shared = Arc::clone(&shared);
+        let policy = cfg.policy;
+        let controller_cfg = cfg.controller.clone();
+        let topology = topology.clone();
+        let speeds = speeds.clone();
+        let noise_cfg = (cfg.observation_noise, cfg.noise_seed);
+        std::thread::spawn(move || {
+            controller_loop(
+                shared,
+                policy,
+                controller_cfg,
+                topology,
+                profile,
+                speeds,
+                n_items,
+                noise_cfg,
+            )
+        })
+    };
+
+    // --- teardown ------------------------------------------------------
+    let (outputs, timeline, latency_sum, latencies, last_completion) =
+        collector.join().expect("collector panicked");
+    shared.done.store(true, Ordering::SeqCst);
+    for tx in &shared.senders {
+        let _ = tx.send(Msg::Shutdown);
+    }
+    source.join().expect("source panicked");
+    let mut node_busy = vec![SimDuration::ZERO; np];
+    let mut stage_metrics = adapipe_core::metrics::StageMetrics::new(ns);
+    for (i, w) in workers.into_iter().enumerate() {
+        let (busy, worker_metrics) = w.join().expect("worker panicked");
+        node_busy[i] = SimDuration::from_secs_f64(busy.as_secs_f64());
+        for (s, stats) in worker_metrics.stages().iter().enumerate() {
+            // Merge by replaying the aggregate (count × mean) — exact
+            // for mean/work, approximate for the variance, which reports
+            // do not consume.
+            if stats.count() > 0 {
+                let mean = stats.mean_service().expect("count > 0");
+                for _ in 0..stats.count() {
+                    stage_metrics.record(s, mean, stats.work_done() / stats.count() as f64);
+                }
+            }
+        }
+    }
+    let controller = controller_handle.join().expect("controller panicked");
+
+    let completed = outputs.len() as u64;
+    let final_mapping = shared.routing.read().clone();
+    let planning_cycles = controller.plans_evaluated();
+    let report = RunReport {
+        completed,
+        makespan: last_completion,
+        mean_latency: if completed > 0 {
+            SimDuration::from_secs_f64(latency_sum / completed as f64)
+        } else {
+            SimDuration::ZERO
+        },
+        latencies,
+        timeline,
+        adaptations: controller.into_events(),
+        node_busy,
+        final_mapping,
+        planning_cycles,
+        stage_metrics,
+        truncated: completed < n_items,
+    };
+    let outputs = outputs
+        .into_iter()
+        .map(|(_, payload)| {
+            *payload
+                .downcast::<O>()
+                .expect("pipeline output type mismatch")
+        })
+        .collect();
+    EngineOutcome { outputs, report }
+}
+
+/// Worker body: serve envelopes, honour migrations, account busy time.
+fn worker_loop(
+    me: usize,
+    inbox: Receiver<Msg>,
+    shared: Arc<Shared>,
+) -> (Duration, adapipe_core::metrics::StageMetrics) {
+    let ns = shared.spec.len();
+    let mut local: HashMap<usize, Box<dyn DynStage>> = HashMap::new();
+    let mut waiting: HashMap<usize, VecDeque<Envelope>> = HashMap::new();
+    let mut rr: Vec<usize> = vec![0; ns];
+    let mut busy = Duration::ZERO;
+    let mut metrics = adapipe_core::metrics::StageMetrics::new(ns);
+
+    loop {
+        // Serve any stage whose instance became available since we
+        // buffered items for it.
+        let waiting_stages: Vec<usize> = waiting
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&s, _)| s)
+            .collect();
+        for s in waiting_stages {
+            if try_acquire(&shared, &mut local, s) {
+                let queue = waiting.get_mut(&s).expect("stage has a waiting queue");
+                while let Some(env) = queue.pop_front() {
+                    let stage = env.stage;
+                    let took = process_one(me, env, &shared, &mut local, &mut rr);
+                    metrics.record(
+                        stage,
+                        SimDuration::from_secs_f64(took.as_secs_f64()),
+                        shared.spec.stages[stage].work.mean(),
+                    );
+                    busy += took;
+                }
+            }
+        }
+
+        match inbox.recv_timeout(Duration::from_micros(500)) {
+            Ok(Msg::Work(env)) => {
+                let stage = env.stage;
+                let hosted = shared
+                    .routing
+                    .read()
+                    .placement(stage)
+                    .contains(adapipe_gridsim::node::NodeId(me));
+                if !hosted {
+                    forward(&shared, me, env, &mut rr);
+                    continue;
+                }
+                if waiting.get(&stage).is_some_and(|q| !q.is_empty())
+                    || !try_acquire(&shared, &mut local, stage)
+                {
+                    waiting.entry(stage).or_default().push_back(env);
+                    continue;
+                }
+                let took = process_one(me, env, &shared, &mut local, &mut rr);
+                metrics.record(
+                    stage,
+                    SimDuration::from_secs_f64(took.as_secs_f64()),
+                    shared.spec.stages[stage].work.mean(),
+                );
+                busy += took;
+            }
+            Ok(Msg::Relinquish { stage }) => {
+                if let Some(inst) = local.remove(&stage) {
+                    if !shared.spec.stages[stage].stateless {
+                        shared.depot[stage].lock().replace(inst);
+                    }
+                    // Stateless replicas are simply dropped; the depot
+                    // keeps the prototype.
+                }
+            }
+            Ok(Msg::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.done.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    (busy, metrics)
+}
+
+/// Ensures `local` holds an instance of `stage`; true on success.
+fn try_acquire(
+    shared: &Shared,
+    local: &mut HashMap<usize, Box<dyn DynStage>>,
+    stage: usize,
+) -> bool {
+    if local.contains_key(&stage) {
+        return true;
+    }
+    let mut slot = shared.depot[stage].lock();
+    if shared.spec.stages[stage].stateless {
+        if let Some(proto) = slot.as_ref() {
+            if let Some(replica) = proto.replicate() {
+                local.insert(stage, replica);
+                return true;
+            }
+        }
+        false
+    } else {
+        match slot.take() {
+            Some(inst) => {
+                local.insert(stage, inst);
+                true
+            }
+            None => false, // still held by the previous host
+        }
+    }
+}
+
+/// Runs one envelope through its stage, applies the synthetic slowdown,
+/// and routes the result onward. Returns occupied (busy) time.
+fn process_one(
+    me: usize,
+    env: Envelope,
+    shared: &Shared,
+    local: &mut HashMap<usize, Box<dyn DynStage>>,
+    rr: &mut [usize],
+) -> Duration {
+    let stage = env.stage;
+    let started_at = shared.now();
+    let t0 = Instant::now();
+    let inst = local
+        .get_mut(&stage)
+        .expect("instance acquired before process");
+    let out = inst.process(env.payload);
+    let compute = t0.elapsed();
+    let sleep = shared.vnodes[me].slowdown_sleep(compute, started_at);
+    if !sleep.is_zero() {
+        std::thread::sleep(sleep);
+    }
+
+    let ns = shared.spec.len();
+    if stage + 1 == ns {
+        let _ = shared.sink.send(Finished {
+            seq: env.seq,
+            born: env.born,
+            done: Instant::now(),
+            payload: out,
+        });
+    } else {
+        let env = Envelope {
+            seq: env.seq,
+            stage: stage + 1,
+            born: env.born,
+            payload: out,
+        };
+        forward(shared, me, env, rr);
+    }
+    compute + sleep
+}
+
+/// Sends `env` from vnode `from` to the current host of its stage
+/// (round-robin over replicas). With link emulation the sender first
+/// sleeps the topology's transfer time — NIC-serialisation semantics:
+/// a worker cannot compute while its (virtual) NIC is shipping a frame.
+fn forward(shared: &Shared, from: usize, env: Envelope, rr: &mut [usize]) {
+    let dest = {
+        let routing = shared.routing.read();
+        let hosts = routing.placement(env.stage).hosts();
+        let d = hosts[rr[env.stage] % hosts.len()].index();
+        rr[env.stage] += 1;
+        d
+    };
+    if shared.emulate_links && from != dest {
+        let bytes = if env.stage == 0 {
+            shared.spec.input_bytes
+        } else {
+            shared.spec.stages[env.stage - 1].out_bytes
+        };
+        let d = shared
+            .topology
+            .transfer_time(
+                adapipe_gridsim::node::NodeId(from),
+                adapipe_gridsim::node::NodeId(dest),
+                bytes,
+            )
+            .as_secs_f64();
+        if d > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(d));
+        }
+    }
+    let _ = shared.senders[dest].send(Msg::Work(env));
+}
+
+/// The monitoring/adaptation thread.
+#[allow(clippy::too_many_arguments)]
+fn controller_loop(
+    shared: Arc<Shared>,
+    policy: Policy,
+    controller_cfg: ControllerConfig,
+    topology: Topology,
+    profile: adapipe_mapper::model::PipelineProfile,
+    speeds: Vec<f64>,
+    n_items: u64,
+    (noise_mag, noise_seed): (f64, u64),
+) -> Controller {
+    let np = shared.vnodes.len();
+    let mut controller = Controller::new(np, controller_cfg);
+    let Some(interval) = policy.interval() else {
+        return controller; // static: nothing to do
+    };
+    let interval_wall = Duration::from_secs_f64(interval.as_secs_f64());
+    let divisions = controller.config().samples_per_interval.max(1);
+    let sample_wall = interval_wall / divisions;
+    let mut noise = if noise_mag > 0.0 {
+        NoisyChannel::new(noise_seed, noise_mag)
+    } else {
+        NoisyChannel::clean()
+    };
+    let mut expected_tput = {
+        let mapping = shared.routing.read().clone();
+        let rates: Vec<f64> = shared
+            .vnodes
+            .iter()
+            .map(|v| v.effective_rate(SimTime::ZERO))
+            .collect();
+        evaluate(&profile, &mapping, &rates, &topology).throughput
+    };
+    let mut last_completed = 0u64;
+    let mut ticks_seen = 0u32;
+    let warmup = controller.config().warmup_ticks;
+    let state_bytes: Vec<u64> = shared.spec.stages.iter().map(|s| s.state_bytes).collect();
+
+    let sample_ns = SimDuration::from_secs_f64(sample_wall.as_secs_f64()).as_nanos();
+    let mut next_wake = Instant::now() + sample_wall;
+    let mut rounds: u32 = 0;
+    loop {
+        // Sleep in short slices so shutdown is prompt.
+        while Instant::now() < next_wake {
+            if shared.done.load(Ordering::Relaxed) {
+                return controller;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        next_wake += sample_wall;
+        if shared.done.load(Ordering::Relaxed) {
+            return controller;
+        }
+
+        let now = shared.now();
+        let now_secs = now.as_secs_f64();
+        // Mean availability over the elapsed sample window (see the
+        // simulator's on_sample for why point samples alias badly).
+        let window_start = SimTime::from_nanos(now.as_nanos().saturating_sub(sample_ns));
+        for (i, v) in shared.vnodes.iter().enumerate() {
+            let truth = if window_start < now {
+                v.load.mean_availability(window_start, now)
+            } else {
+                v.load.availability(now)
+            };
+            controller.observe_availability(i, now_secs, noise.perturb(truth).clamp(0.0, 1.0));
+        }
+        rounds += 1;
+        if !rounds.is_multiple_of(divisions) {
+            continue; // sensing round only; planning happens per interval
+        }
+
+        let completed = shared.completed.load(Ordering::Relaxed);
+        let remaining = n_items.saturating_sub(completed);
+        ticks_seen += 1;
+        let rates: Option<Vec<f64>> = match policy {
+            _ if ticks_seen <= warmup => None,
+            Policy::Static => None,
+            Policy::Periodic { .. } => Some(controller.forecast_rates(&speeds)),
+            Policy::Reactive { degradation, .. } => {
+                let observed = (completed - last_completed) as f64 / interval.as_secs_f64();
+                last_completed = completed;
+                if observed < degradation * expected_tput {
+                    Some(controller.forecast_rates(&speeds))
+                } else {
+                    None
+                }
+            }
+            Policy::Oracle { .. } => Some(
+                shared
+                    .vnodes
+                    .iter()
+                    .map(|v| v.speed * v.load.mean_availability(now, now + interval))
+                    .collect(),
+            ),
+        };
+
+        if let Some(rates) = rates {
+            let current = shared.routing.read().clone();
+            if let Some(new_mapping) = controller.consider(
+                now,
+                &profile,
+                &topology,
+                &rates,
+                &current,
+                remaining,
+                &state_bytes,
+            ) {
+                expected_tput = evaluate(&profile, &new_mapping, &rates, &topology).throughput;
+                let moved = current.diff(&new_mapping);
+                *shared.routing.write() = new_mapping.clone();
+                // Old hosts must surrender stateful instances (and drop
+                // stateless replicas to reclaim memory).
+                for &s in &moved {
+                    for host in current.placement(s).hosts() {
+                        let _ = shared.senders[host.index()].send(Msg::Relinquish { stage: s });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vnode::spin_for;
+    use adapipe_core::pipeline::PipelineBuilder;
+    use adapipe_core::spec::StageSpec;
+    use adapipe_gridsim::load::LoadModel;
+    use adapipe_gridsim::node::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A stage spinning for `ms` milliseconds per item.
+    fn spin_stage(name: &str, ms: u64) -> (StageSpec, impl FnMut(u64) -> u64 + Send + Clone) {
+        (
+            StageSpec::balanced(name, ms as f64 / 1000.0, 8),
+            move |x: u64| {
+                spin_for(Duration::from_millis(ms));
+                x + 1
+            },
+        )
+    }
+
+    fn free_nodes(k: usize) -> Vec<VNodeSpec> {
+        (0..k).map(|i| VNodeSpec::free(format!("v{i}"))).collect()
+    }
+
+    /// Wall-clock speedup assertions need real hardware parallelism; on
+    /// an undersized host only correctness is asserted.
+    fn multicore(k: usize) -> bool {
+        std::thread::available_parallelism()
+            .map(|p| p.get() >= k)
+            .unwrap_or(false)
+    }
+
+    #[test]
+    fn outputs_are_complete_and_ordered() {
+        let (s0, f0) = spin_stage("a", 1);
+        let (s1, f1) = spin_stage("b", 1);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .build();
+        let cfg = EngineConfig::new(free_nodes(2));
+        let inputs: Vec<u64> = (0..50).collect();
+        let outcome = run_pipeline(pipeline, inputs, &cfg);
+        assert_eq!(outcome.report.completed, 50);
+        assert!(!outcome.report.truncated);
+        // Each item passed both stages exactly once: x + 2, in order.
+        let expect: Vec<u64> = (0..50).map(|x| x + 2).collect();
+        assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn pipeline_parallelism_beats_sequential_time() {
+        // 3 stages × 8 ms on 3 nodes: sequential would be n×24 ms; a
+        // pipeline approaches n×8 ms.
+        let (s0, f0) = spin_stage("a", 8);
+        let (s1, f1) = spin_stage("b", 8);
+        let (s2, f2) = spin_stage("c", 8);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .stage(s2, f2)
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(3));
+        cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1), n(2)]));
+        let items = 40u64;
+        let outcome = run_pipeline(pipeline, (0..items).collect(), &cfg);
+        assert_eq!(outcome.report.completed, items);
+        if multicore(4) {
+            let makespan = outcome.report.makespan.as_secs_f64();
+            let sequential = items as f64 * 0.024;
+            assert!(
+                makespan < sequential * 0.75,
+                "makespan {makespan:.3}s should be well under sequential {sequential:.3}s"
+            );
+        }
+    }
+
+    #[test]
+    fn slow_vnode_slows_its_stage() {
+        let (s0, f0) = spin_stage("a", 5);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        // Same stage on a full-speed vs a quarter-speed node.
+        let mut fast_cfg = EngineConfig::new(vec![VNodeSpec::free("fast")]);
+        fast_cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
+        let mut slow_cfg = EngineConfig::new(vec![VNodeSpec::with_speed("slow", 0.25)]);
+        slow_cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
+        let fast = run_pipeline(
+            PipelineBuilder::<u64>::new()
+                .stage(spin_stage("a", 5).0, spin_stage("a", 5).1)
+                .build(),
+            (0..20).collect(),
+            &fast_cfg,
+        );
+        let slow = run_pipeline(pipeline, (0..20).collect(), &slow_cfg);
+        let ratio = slow.report.makespan.as_secs_f64() / fast.report.makespan.as_secs_f64();
+        assert!(
+            ratio > 2.0,
+            "quarter-speed node should be ≳4× slower, measured ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn adaptive_engine_remaps_away_from_loaded_node() {
+        // Node 1 collapses to 5 % availability 300 ms into the run; the
+        // periodic controller must move its stage elsewhere.
+        let (s0, f0) = spin_stage("a", 4);
+        let (s1, f1) = spin_stage("b", 4);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .build();
+        let vnodes = vec![
+            VNodeSpec::free("v0"),
+            VNodeSpec::free("v1").with_load(LoadModel::step(
+                1.0,
+                0.05,
+                SimTime::from_secs_f64(0.3),
+            )),
+            VNodeSpec::free("v2"),
+        ];
+        let mut cfg = EngineConfig::new(vnodes);
+        cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(200),
+        };
+        let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 150);
+        assert!(
+            outcome.report.adaptation_count() >= 1,
+            "controller must re-map at least once"
+        );
+        // Final mapping avoids the loaded node.
+        let final_hosts = outcome.report.final_mapping.nodes_used();
+        assert!(
+            !final_hosts.contains(&n(1)),
+            "stage still on loaded node: {}",
+            outcome.report.final_mapping
+        );
+        // And every item still processed exactly once, in order.
+        let expect: Vec<u64> = (0..150).map(|x| x + 2).collect();
+        assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn stateful_stage_migrates_with_state_intact() {
+        // A stateful running-sum stage must produce exactly-once,
+        // order-insensitive totals even across a migration.
+        let sum_spec = StageSpec::balanced("sum", 0.003, 8).with_state(8);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stateful_stage(sum_spec, {
+                let mut acc = 0u64;
+                move |x: u64| {
+                    spin_for(Duration::from_millis(3));
+                    acc += x;
+                    acc
+                }
+            })
+            .build();
+        // The host collapses to 5 % almost immediately, so hundreds of
+        // items remain when the controller first looks — migration is
+        // unambiguously worthwhile.
+        let vnodes = vec![
+            VNodeSpec::free("v0").with_load(LoadModel::step(
+                1.0,
+                0.05,
+                SimTime::from_secs_f64(0.1),
+            )),
+            VNodeSpec::free("v1"),
+        ];
+        let mut cfg = EngineConfig::new(vnodes);
+        cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(150),
+        };
+        let items: Vec<u64> = (1..=300).collect();
+        let outcome = run_pipeline(pipeline, items, &cfg);
+        assert_eq!(outcome.report.completed, 300);
+        // The final (largest) accumulator value must be the total sum:
+        // every item added exactly once.
+        let max = outcome.outputs.iter().max().copied().unwrap();
+        assert_eq!(max, 45150, "state lost or duplicated across migration");
+        assert!(outcome.report.adaptation_count() >= 1);
+    }
+
+    #[test]
+    fn reactive_policy_recovers_on_engine() {
+        // Same scenario as the periodic test, but the reactive policy
+        // only plans when observed throughput degrades.
+        let (s0, f0) = spin_stage("a", 4);
+        let (s1, f1) = spin_stage("b", 4);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .build();
+        let vnodes = vec![
+            VNodeSpec::free("v0"),
+            VNodeSpec::free("v1").with_load(LoadModel::step(
+                1.0,
+                0.05,
+                SimTime::from_secs_f64(0.3),
+            )),
+            VNodeSpec::free("v2"),
+        ];
+        let mut cfg = EngineConfig::new(vnodes);
+        cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+        cfg.policy = Policy::Reactive {
+            interval: SimDuration::from_millis(200),
+            degradation: 0.6,
+        };
+        let outcome = run_pipeline(pipeline, (0..200).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 200);
+        assert!(
+            outcome.report.adaptation_count() >= 1,
+            "reactive controller must react to the collapse"
+        );
+        let expect: Vec<u64> = (0..200).map(|x| x + 2).collect();
+        assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn oracle_policy_runs_on_engine() {
+        let (s0, f0) = spin_stage("a", 3);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let vnodes = vec![
+            VNodeSpec::free("v0").with_load(LoadModel::step(
+                1.0,
+                0.05,
+                SimTime::from_secs_f64(0.2),
+            )),
+            VNodeSpec::free("v1"),
+        ];
+        let mut cfg = EngineConfig::new(vnodes);
+        cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
+        cfg.policy = Policy::Oracle {
+            interval: SimDuration::from_millis(150),
+        };
+        let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 150);
+        assert!(outcome.report.adaptation_count() >= 1);
+        assert!(!outcome.report.final_mapping.placement(0).contains(n(0)));
+    }
+
+    #[test]
+    fn observation_noise_on_engine_is_tolerated() {
+        let (s0, f0) = spin_stage("a", 2);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(150),
+        };
+        cfg.observation_noise = 0.10;
+        let outcome = run_pipeline(pipeline, (0..100).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 100);
+        let expect: Vec<u64> = (0..100).map(|x| x + 1).collect();
+        assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn planning_cycles_are_reported() {
+        let (s0, f0) = spin_stage("a", 2);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        };
+        // Pace the input so the run outlives the 2-tick warm-up by a
+        // comfortable margin.
+        cfg.pacing_rate = Some(200.0); // 150 items → ≥ 750 ms
+        let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+        assert!(outcome.report.planning_cycles >= 1);
+    }
+
+    #[test]
+    fn link_emulation_slows_cross_node_boundaries() {
+        let mk_pipeline = || {
+            let (s0, f0) = spin_stage("a", 1);
+            let (s1, f1) = spin_stage("b", 1);
+            let mut p = PipelineBuilder::<u64>::new().stage(s0, f0).stage(s1, f1);
+            p = p.input_bytes(0);
+            p.build()
+        };
+        let slow_link = Topology::uniform(2, LinkSpec::new(SimDuration::from_millis(10), 1e9));
+        let mk_cfg = |emulate: bool| {
+            let mut cfg = EngineConfig::new(free_nodes(2));
+            cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+            cfg.topology = Some(slow_link.clone());
+            cfg.emulate_links = emulate;
+            cfg
+        };
+        let items = 30u64;
+        let without = run_pipeline(mk_pipeline(), (0..items).collect(), &mk_cfg(false));
+        let with = run_pipeline(mk_pipeline(), (0..items).collect(), &mk_cfg(true));
+        assert_eq!(with.report.completed, items);
+        // Each boundary crossing pays ≥ 10 ms of sender serialisation:
+        // the emulated run must be visibly slower.
+        assert!(
+            with.report.makespan.as_secs_f64() > without.report.makespan.as_secs_f64() + 0.1,
+            "emulated {} vs plain {}",
+            with.report.makespan,
+            without.report.makespan
+        );
+        let expect: Vec<u64> = (0..items).map(|x| x + 2).collect();
+        assert_eq!(with.outputs, expect);
+    }
+
+    #[test]
+    fn empty_input_returns_immediately() {
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(1));
+        let outcome = run_pipeline(pipeline, vec![], &cfg);
+        assert_eq!(outcome.report.completed, 0);
+        assert!(outcome.outputs.is_empty());
+    }
+
+    #[test]
+    fn pacing_limits_throughput() {
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.pacing_rate = Some(100.0); // 10 ms between items
+        let outcome = run_pipeline(pipeline, (0..30).collect(), &cfg);
+        // 30 items at 100/s ≥ 0.29 s regardless of stage speed.
+        assert!(outcome.report.makespan.as_secs_f64() > 0.25);
+        assert_eq!(outcome.report.completed, 30);
+    }
+
+    #[test]
+    fn replicated_hot_stage_uses_multiple_nodes() {
+        // One 10 ms stage, 3 nodes: the planner should replicate it, and
+        // the engine must produce exactly-once outputs anyway.
+        let (s0, f0) = spin_stage("hot", 10);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(3));
+        let outcome = run_pipeline(pipeline, (0..60).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 60);
+        let expect: Vec<u64> = (0..60).map(|x| x + 1).collect();
+        assert_eq!(outcome.outputs, expect);
+        // With ≥2 replicas the makespan beats the single-node 600 ms —
+        // only observable with real hardware parallelism.
+        if multicore(4) && outcome.report.final_mapping.placement(0).width() > 1 {
+            assert!(outcome.report.makespan.as_secs_f64() < 0.55);
+        }
+    }
+}

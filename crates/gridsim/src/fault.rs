@@ -1,0 +1,214 @@
+//! Fault injection: planned slowdowns and outages.
+//!
+//! Faults are expressed as *transformations of load models*, keeping the
+//! simulator's "availability is a pure function of time" invariant: the
+//! fault plan is applied to a [`GridSpec`] before the run starts, and the
+//! run itself stays deterministic.
+
+use crate::grid::GridSpec;
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// One planned fault on one node.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// The node's availability drops to `level` from `from` to `to`
+    /// (another job occupies most of the machine).
+    Slowdown {
+        /// Affected node.
+        node: NodeId,
+        /// Start of the degradation.
+        from: SimTime,
+        /// End of the degradation.
+        to: SimTime,
+        /// Availability during the window, in `[0, 1)`.
+        level: f64,
+    },
+    /// The node is completely unusable from `from` to `to`.
+    Outage {
+        /// Affected node.
+        node: NodeId,
+        /// Start of the outage.
+        from: SimTime,
+        /// End of the outage.
+        to: SimTime,
+    },
+    /// The node never recovers after `at`.
+    Crash {
+        /// Affected node.
+        node: NodeId,
+        /// Instant of the crash.
+        at: SimTime,
+    },
+}
+
+impl Fault {
+    /// The node this fault affects.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Fault::Slowdown { node, .. }
+            | Fault::Outage { node, .. }
+            | Fault::Crash { node, .. } => *node,
+        }
+    }
+}
+
+/// An ordered collection of faults applied to a grid before a run.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a slowdown window.
+    pub fn slowdown(mut self, node: NodeId, from: SimTime, to: SimTime, level: f64) -> Self {
+        assert!(from < to, "fault window must be non-empty");
+        assert!(
+            (0.0..1.0).contains(&level),
+            "slowdown level must be in [0,1)"
+        );
+        self.faults.push(Fault::Slowdown {
+            node,
+            from,
+            to,
+            level,
+        });
+        self
+    }
+
+    /// Adds a full outage window.
+    pub fn outage(mut self, node: NodeId, from: SimTime, to: SimTime) -> Self {
+        assert!(from < to, "fault window must be non-empty");
+        self.faults.push(Fault::Outage { node, from, to });
+        self
+    }
+
+    /// Adds a permanent crash.
+    pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.faults.push(Fault::Crash { node, at });
+        self
+    }
+
+    /// The planned faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// True if the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Applies every fault to `grid`, rewriting the affected nodes' load
+    /// models. Faults compose left to right (each overlays the result of
+    /// the previous one, combining via `min`).
+    pub fn apply(&self, grid: &mut GridSpec) {
+        for fault in &self.faults {
+            let node = fault.node();
+            let base = grid.node(node).load.clone();
+            let rewritten = match *fault {
+                Fault::Outage { from, to, .. } => base.with_outages(&[(from, to)]),
+                Fault::Crash { at, .. } => {
+                    // An outage that never ends: overlay zero availability
+                    // from `at` to effectively-forever.
+                    let far = SimTime::from_nanos(u64::MAX / 2);
+                    base.with_outages(&[(at, far)])
+                }
+                Fault::Slowdown {
+                    from, to, level, ..
+                } => base.with_cap_window(from, to, level),
+            };
+            grid.set_load(node, rewritten);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::testbed_small3;
+    use crate::load::LoadModel;
+
+    fn secs(s: f64) -> SimTime {
+        SimTime::from_secs_f64(s)
+    }
+
+    #[test]
+    fn slowdown_caps_availability_in_window_only() {
+        let mut g = testbed_small3();
+        FaultPlan::new()
+            .slowdown(NodeId(0), secs(10.0), secs(20.0), 0.25)
+            .apply(&mut g);
+        let n = g.node(NodeId(0));
+        assert_eq!(n.load.availability(secs(5.0)), 1.0);
+        assert_eq!(n.load.availability(secs(15.0)), 0.25);
+        assert_eq!(n.load.availability(secs(25.0)), 1.0);
+        // Other nodes untouched.
+        assert_eq!(g.node(NodeId(1)).load.availability(secs(15.0)), 1.0);
+    }
+
+    #[test]
+    fn outage_zeroes_window() {
+        let mut g = testbed_small3();
+        FaultPlan::new()
+            .outage(NodeId(2), secs(1.0), secs(2.0))
+            .apply(&mut g);
+        assert_eq!(g.node(NodeId(2)).load.availability(secs(1.5)), 0.0);
+        assert_eq!(g.node(NodeId(2)).load.availability(secs(2.5)), 1.0);
+    }
+
+    #[test]
+    fn crash_is_permanent() {
+        let mut g = testbed_small3();
+        FaultPlan::new().crash(NodeId(1), secs(30.0)).apply(&mut g);
+        let n = g.node(NodeId(1));
+        assert_eq!(n.load.availability(secs(29.0)), 1.0);
+        assert_eq!(n.load.availability(secs(31.0)), 0.0);
+        assert_eq!(n.load.availability(secs(1e6)), 0.0);
+    }
+
+    #[test]
+    fn slowdown_respects_underlying_model() {
+        // Base availability 0.1 is *below* the 0.5 cap: min() keeps 0.1.
+        let mut g = testbed_small3();
+        g.set_load(NodeId(0), LoadModel::constant(0.1));
+        FaultPlan::new()
+            .slowdown(NodeId(0), secs(0.0), secs(10.0), 0.5)
+            .apply(&mut g);
+        assert_eq!(g.node(NodeId(0)).load.availability(secs(5.0)), 0.1);
+    }
+
+    #[test]
+    fn faults_compose() {
+        let mut g = testbed_small3();
+        FaultPlan::new()
+            .slowdown(NodeId(0), secs(0.0), secs(10.0), 0.5)
+            .outage(NodeId(0), secs(2.0), secs(4.0))
+            .apply(&mut g);
+        let n = g.node(NodeId(0));
+        assert_eq!(n.load.availability(secs(1.0)), 0.5);
+        assert_eq!(n.load.availability(secs(3.0)), 0.0);
+        assert_eq!(n.load.availability(secs(5.0)), 0.5);
+        assert_eq!(n.load.availability(secs(11.0)), 1.0);
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let mut g = testbed_small3();
+        let before = g.node(NodeId(0)).load.availability(secs(1.0));
+        FaultPlan::new().apply(&mut g);
+        assert_eq!(g.node(NodeId(0)).load.availability(secs(1.0)), before);
+        assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_window_panics() {
+        let _ = FaultPlan::new().outage(NodeId(0), secs(5.0), secs(1.0));
+    }
+}

@@ -1,0 +1,268 @@
+//! Re-mapping decisions: hysteresis and cost/benefit analysis.
+//!
+//! Finding a better mapping is necessary but not sufficient: migrating
+//! stages costs time (state transfer, pipeline drain), and on a volatile
+//! grid a naive controller oscillates ("thrashes") between mappings,
+//! losing more to migration than adaptation gains. The decision rule
+//! implemented here re-maps only when
+//!
+//! 1. the predicted throughput gain is at least `min_relative_gain`, and
+//! 2. the predicted time saved on the *remaining* stream exceeds the
+//!    migration cost by `cost_benefit_factor`.
+
+use crate::model::Prediction;
+
+/// Tunables for [`should_remap`].
+#[derive(Clone, Copy, Debug)]
+pub struct DecisionConfig {
+    /// Minimum relative throughput improvement (e.g. `0.1` = 10 %).
+    pub min_relative_gain: f64,
+    /// Require `saved_time ≥ factor × migration_cost`.
+    pub cost_benefit_factor: f64,
+}
+
+impl Default for DecisionConfig {
+    fn default() -> Self {
+        DecisionConfig {
+            min_relative_gain: 0.10,
+            cost_benefit_factor: 2.0,
+        }
+    }
+}
+
+/// Outcome of a re-mapping evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decision {
+    /// Keep the current mapping.
+    Keep {
+        /// Why the candidate was rejected.
+        reason: KeepReason,
+    },
+    /// Switch to the candidate mapping.
+    Remap {
+        /// Predicted wall-clock seconds saved on the remaining stream,
+        /// net of migration cost.
+        net_gain_seconds: f64,
+        /// Candidate ÷ current predicted throughput.
+        speedup: f64,
+    },
+}
+
+/// Why a candidate mapping was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeepReason {
+    /// The candidate is no better (or worse) than the current mapping.
+    NoImprovement,
+    /// Improvement below the hysteresis threshold.
+    BelowThreshold,
+    /// Improvement real but migration would cost more than it saves on
+    /// the remaining stream.
+    NotWorthMigration,
+    /// Nothing left to process; adaptation is pointless.
+    StreamExhausted,
+}
+
+/// Decides whether to migrate from `current` to `candidate` given
+/// `remaining_items` still to process and an estimated one-off
+/// `migration_seconds`.
+pub fn should_remap(
+    current: &Prediction,
+    candidate: &Prediction,
+    remaining_items: u64,
+    migration_seconds: f64,
+    config: &DecisionConfig,
+) -> Decision {
+    if remaining_items == 0 {
+        return Decision::Keep {
+            reason: KeepReason::StreamExhausted,
+        };
+    }
+    if candidate.throughput <= current.throughput {
+        return Decision::Keep {
+            reason: KeepReason::NoImprovement,
+        };
+    }
+    // current.throughput may be 0 (dead mapping): any finite candidate is
+    // then infinitely better and must pass the threshold.
+    let speedup = if current.throughput > 0.0 {
+        candidate.throughput / current.throughput
+    } else {
+        f64::INFINITY
+    };
+    if speedup - 1.0 < config.min_relative_gain {
+        return Decision::Keep {
+            reason: KeepReason::BelowThreshold,
+        };
+    }
+    let remaining = remaining_items as f64;
+    let current_time = if current.throughput > 0.0 {
+        remaining / current.throughput
+    } else {
+        f64::INFINITY
+    };
+    let candidate_time = remaining / candidate.throughput + migration_seconds;
+    let net_gain_seconds = current_time - candidate_time;
+    // NaN-safe: any non-comparable value must fail the gate.
+    let worthwhile = net_gain_seconds >= config.cost_benefit_factor * migration_seconds;
+    if !worthwhile {
+        return Decision::Keep {
+            reason: KeepReason::NotWorthMigration,
+        };
+    }
+    Decision::Remap {
+        net_gain_seconds,
+        speedup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Bottleneck;
+    use adapipe_gridsim::node::NodeId;
+
+    fn pred(throughput: f64) -> Prediction {
+        Prediction {
+            throughput,
+            latency: 1.0,
+            bottleneck: Bottleneck::Node(NodeId(0)),
+            node_load: vec![],
+        }
+    }
+
+    #[test]
+    fn clear_win_remaps() {
+        let d = should_remap(
+            &pred(1.0),
+            &pred(2.0),
+            1000,
+            5.0,
+            &DecisionConfig::default(),
+        );
+        match d {
+            Decision::Remap {
+                net_gain_seconds,
+                speedup,
+            } => {
+                // 1000 s now vs 500 + 5 s after: net 495 s.
+                assert!((net_gain_seconds - 495.0).abs() < 1e-9);
+                assert!((speedup - 2.0).abs() < 1e-12);
+            }
+            other => panic!("expected remap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_improvement_keeps() {
+        let d = should_remap(
+            &pred(2.0),
+            &pred(2.0),
+            1000,
+            0.0,
+            &DecisionConfig::default(),
+        );
+        assert_eq!(
+            d,
+            Decision::Keep {
+                reason: KeepReason::NoImprovement
+            }
+        );
+        let d2 = should_remap(
+            &pred(2.0),
+            &pred(1.0),
+            1000,
+            0.0,
+            &DecisionConfig::default(),
+        );
+        assert_eq!(
+            d2,
+            Decision::Keep {
+                reason: KeepReason::NoImprovement
+            }
+        );
+    }
+
+    #[test]
+    fn small_gain_below_threshold_keeps() {
+        // 5 % gain < 10 % threshold.
+        let d = should_remap(
+            &pred(1.0),
+            &pred(1.05),
+            10_000,
+            0.0,
+            &DecisionConfig::default(),
+        );
+        assert_eq!(
+            d,
+            Decision::Keep {
+                reason: KeepReason::BelowThreshold
+            }
+        );
+    }
+
+    #[test]
+    fn short_remaining_stream_rejects_migration() {
+        // Candidate is 2× better, but only 4 items remain and migration
+        // costs 10 s: 4 s now vs 2 + 10 s after.
+        let d = should_remap(&pred(1.0), &pred(2.0), 4, 10.0, &DecisionConfig::default());
+        assert_eq!(
+            d,
+            Decision::Keep {
+                reason: KeepReason::NotWorthMigration
+            }
+        );
+    }
+
+    #[test]
+    fn exhausted_stream_keeps() {
+        let d = should_remap(&pred(1.0), &pred(100.0), 0, 0.0, &DecisionConfig::default());
+        assert_eq!(
+            d,
+            Decision::Keep {
+                reason: KeepReason::StreamExhausted
+            }
+        );
+    }
+
+    #[test]
+    fn dead_current_mapping_always_remaps() {
+        let d = should_remap(
+            &pred(0.0),
+            &pred(0.5),
+            10,
+            100.0,
+            &DecisionConfig::default(),
+        );
+        assert!(matches!(d, Decision::Remap { .. }), "got {d:?}");
+    }
+
+    #[test]
+    fn cost_benefit_factor_scales_bar() {
+        let strict = DecisionConfig {
+            min_relative_gain: 0.1,
+            cost_benefit_factor: 50.0,
+        };
+        // Net gain 495 s < 50 × 10 s.
+        let d = should_remap(&pred(1.0), &pred(2.0), 1000, 10.0, &strict);
+        assert_eq!(
+            d,
+            Decision::Keep {
+                reason: KeepReason::NotWorthMigration
+            }
+        );
+        let lax = DecisionConfig {
+            min_relative_gain: 0.1,
+            cost_benefit_factor: 1.0,
+        };
+        assert!(matches!(
+            should_remap(&pred(1.0), &pred(2.0), 1000, 10.0, &lax),
+            Decision::Remap { .. }
+        ));
+    }
+
+    #[test]
+    fn free_migration_with_real_gain_remaps() {
+        let d = should_remap(&pred(1.0), &pred(1.2), 100, 0.0, &DecisionConfig::default());
+        assert!(matches!(d, Decision::Remap { .. }));
+    }
+}

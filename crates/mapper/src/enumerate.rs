@@ -1,0 +1,275 @@
+//! Candidate-mapping generators.
+//!
+//! Three families feed the optimisers in [`crate::search`]:
+//! full assignment enumeration (small instances), compositions for
+//! contiguous groupings, and neighbourhood moves for local search.
+
+use crate::mapping::{Mapping, Placement};
+use adapipe_gridsim::node::NodeId;
+
+/// Number of unreplicated assignments of `ns` stages to `np` nodes
+/// (`np^ns`), or `None` on overflow — used to gate exhaustive search.
+pub fn assignment_count(ns: usize, np: usize) -> Option<u64> {
+    let np = u64::try_from(np).ok()?;
+    let mut acc: u64 = 1;
+    for _ in 0..ns {
+        acc = acc.checked_mul(np)?;
+    }
+    Some(acc)
+}
+
+/// Iterates every unreplicated assignment of `ns` stages to `np` nodes
+/// in lexicographic order (odometer enumeration).
+pub struct Assignments {
+    np: usize,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl Assignments {
+    /// Creates the iterator.
+    ///
+    /// # Panics
+    /// Panics if `ns` or `np` is zero.
+    pub fn new(ns: usize, np: usize) -> Self {
+        assert!(ns > 0 && np > 0, "need at least one stage and one node");
+        Assignments {
+            np,
+            current: vec![0; ns],
+            done: false,
+        }
+    }
+}
+
+impl Iterator for Assignments {
+    type Item = Mapping;
+
+    fn next(&mut self) -> Option<Mapping> {
+        if self.done {
+            return None;
+        }
+        let mapping =
+            Mapping::from_assignment(&self.current.iter().map(|&i| NodeId(i)).collect::<Vec<_>>());
+        // Advance the odometer.
+        let mut pos = self.current.len();
+        loop {
+            if pos == 0 {
+                self.done = true;
+                break;
+            }
+            pos -= 1;
+            self.current[pos] += 1;
+            if self.current[pos] < self.np {
+                break;
+            }
+            self.current[pos] = 0;
+        }
+        Some(mapping)
+    }
+}
+
+/// All compositions of `n` into exactly `k` positive parts, e.g.
+/// `compositions(3, 2) = [[1,2],[2,1]]`. Ordered lexicographically.
+pub fn compositions(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "need at least one part");
+    let mut out = Vec::new();
+    if k > n {
+        return out; // impossible with positive parts
+    }
+    let mut parts = vec![1usize; k];
+    parts[k - 1] = n - (k - 1);
+    loop {
+        out.push(parts.clone());
+        // Find the rightmost position (excluding the last) we can increment
+        // while keeping all parts positive.
+        let mut i = k.wrapping_sub(2);
+        loop {
+            if i == usize::MAX {
+                return out;
+            }
+            // Incrementing parts[i] steals 1 from the tail budget.
+            let tail_budget: usize = n - parts[..=i].iter().sum::<usize>();
+            // After increment, remaining positions (i+1..k) need ≥ 1 each.
+            if tail_budget >= k - i {
+                parts[i] += 1;
+                let consumed: usize = parts[..=i].iter().sum();
+                for p in parts.iter_mut().take(k - 1).skip(i + 1) {
+                    *p = 1;
+                }
+                let fixed: usize = consumed + (k - 2 - i);
+                parts[k - 1] = n - fixed;
+                break;
+            }
+            i = i.wrapping_sub(1);
+        }
+    }
+}
+
+/// Kinds of neighbourhood moves local search explores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Move {
+    /// Re-host a (single-host) stage on a different node.
+    MoveStage,
+    /// Add one replica to a stateless stage.
+    AddReplica,
+    /// Drop one replica from a replicated stage.
+    DropReplica,
+}
+
+/// Generates the one-move neighbourhood of `mapping` over `np` nodes.
+///
+/// * every single-host stage is re-hosted on every other node;
+/// * every stateless stage gains one replica on every node not already
+///   hosting it, while its width is below `max_width`;
+/// * every replicated stage drops each of its hosts in turn.
+pub fn neighbours(
+    mapping: &Mapping,
+    np: usize,
+    stateless: &[bool],
+    max_width: usize,
+) -> Vec<(Move, Mapping)> {
+    neighbours_touching(mapping, np, stateless, max_width, None)
+}
+
+/// Like [`neighbours`], but when `focus` is given, only generates moves
+/// for stages hosted on one of the focus nodes. Local search uses this
+/// with the *bottleneck* nodes: a move that does not unload the
+/// bottleneck resource cannot raise throughput, so restricting the
+/// neighbourhood this way loses (almost) nothing while shrinking the
+/// per-step cost from `O(Ns·Np)` evaluations to `O(b·Np)` where `b` is
+/// the number of bottleneck-hosted stages.
+pub fn neighbours_touching(
+    mapping: &Mapping,
+    np: usize,
+    stateless: &[bool],
+    max_width: usize,
+    focus: Option<&[NodeId]>,
+) -> Vec<(Move, Mapping)> {
+    assert_eq!(stateless.len(), mapping.len(), "one flag per stage");
+    let mut out = Vec::new();
+    #[allow(clippy::needless_range_loop)] // `s` indexes mapping, stateless, and moves alike
+    for s in 0..mapping.len() {
+        if let Some(focus) = focus {
+            if !focus.iter().any(|&n| mapping.placement(s).contains(n)) {
+                continue;
+            }
+        }
+        let placement = mapping.placement(s);
+        if placement.is_single() {
+            let current = placement.primary();
+            for node in (0..np).map(NodeId) {
+                if node != current {
+                    let mut next = mapping.clone();
+                    *next.placement_mut(s) = Placement::single(node);
+                    out.push((Move::MoveStage, next));
+                }
+            }
+        }
+        if stateless[s] && placement.width() < max_width {
+            for node in (0..np).map(NodeId) {
+                if !placement.contains(node) {
+                    let mut next = mapping.clone();
+                    next.placement_mut(s).add_host(node);
+                    out.push((Move::AddReplica, next));
+                }
+            }
+        }
+        if placement.width() > 1 {
+            for &host in placement.hosts() {
+                let mut next = mapping.clone();
+                next.placement_mut(s).remove_host(host);
+                out.push((Move::DropReplica, next));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn assignment_count_gates_overflow() {
+        assert_eq!(assignment_count(3, 3), Some(27));
+        assert_eq!(assignment_count(1, 1), Some(1));
+        assert_eq!(assignment_count(64, 64), None); // 64^64 overflows
+    }
+
+    #[test]
+    fn assignments_enumerate_np_pow_ns() {
+        let all: Vec<Mapping> = Assignments::new(3, 2).collect();
+        assert_eq!(all.len(), 8);
+        // First is all-on-n0, last is all-on-n1.
+        assert_eq!(all[0].notation(), "(n0 n0 n0)");
+        assert_eq!(all[7].notation(), "(n1 n1 n1)");
+        // All distinct.
+        let mut notations: Vec<String> = all.iter().map(Mapping::notation).collect();
+        notations.sort();
+        notations.dedup();
+        assert_eq!(notations.len(), 8);
+    }
+
+    #[test]
+    fn compositions_cover_all_positive_splits() {
+        let c = compositions(4, 2);
+        assert_eq!(c, vec![vec![1, 3], vec![2, 2], vec![3, 1]]);
+        let c3 = compositions(5, 3);
+        assert_eq!(c3.len(), 6); // C(4,2)
+        assert!(c3.iter().all(|p| p.iter().sum::<usize>() == 5));
+        assert!(c3.iter().all(|p| p.iter().all(|&x| x >= 1)));
+    }
+
+    #[test]
+    fn compositions_edge_cases() {
+        assert_eq!(compositions(3, 1), vec![vec![3]]);
+        assert_eq!(compositions(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(compositions(3, 3), vec![vec![1, 1, 1]]);
+    }
+
+    #[test]
+    fn neighbours_move_stages() {
+        let m = Mapping::from_assignment(&[n(0), n(1)]);
+        let nb = neighbours(&m, 3, &[false, false], 1);
+        // Each stage can move to 2 other nodes; no replication allowed.
+        assert_eq!(nb.len(), 4);
+        assert!(nb.iter().all(|(mv, _)| *mv == Move::MoveStage));
+    }
+
+    #[test]
+    fn neighbours_replicate_stateless_only() {
+        let m = Mapping::from_assignment(&[n(0), n(1)]);
+        let nb = neighbours(&m, 3, &[true, false], 2);
+        let adds: Vec<_> = nb
+            .iter()
+            .filter(|(mv, _)| *mv == Move::AddReplica)
+            .collect();
+        // Only stage 0 may replicate, onto the two nodes not hosting it.
+        assert_eq!(adds.len(), 2);
+    }
+
+    #[test]
+    fn neighbours_drop_replicas() {
+        let m = Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]);
+        let nb = neighbours(&m, 2, &[true], 2);
+        let drops: Vec<_> = nb
+            .iter()
+            .filter(|(mv, _)| *mv == Move::DropReplica)
+            .collect();
+        assert_eq!(drops.len(), 2);
+        for (_, dm) in drops {
+            assert!(dm.placement(0).is_single());
+        }
+    }
+
+    #[test]
+    fn max_width_caps_replication() {
+        let m = Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]);
+        let nb = neighbours(&m, 4, &[true], 2);
+        assert!(nb.iter().all(|(mv, _)| *mv != Move::AddReplica));
+    }
+}

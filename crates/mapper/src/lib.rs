@@ -1,0 +1,60 @@
+//! # adapipe-mapper
+//!
+//! Planning for the adaptive parallel pipeline pattern: given a forecast
+//! of per-node effective rates and the link cost matrix, find the
+//! stage-to-processor mapping with the best predicted throughput, and
+//! decide whether switching to it is worth the migration cost.
+//!
+//! * [`mapping`] — the mapping representation: per-stage host sets with
+//!   coalescing (consecutive stages sharing a host) and replication
+//!   (stateless stages fanned over several hosts);
+//! * [`model`] — the analytic bottleneck model: busy-seconds-per-item on
+//!   every processor and link; throughput = 1 / busiest resource;
+//! * [`enumerate`] — assignment enumeration, compositions, neighbourhood
+//!   moves;
+//! * [`search`] — exhaustive search (small instances), contiguous dynamic
+//!   programming, steepest-descent local search with restarts, and the
+//!   [`search::plan`] facade;
+//! * [`replicate`] — greedy widening of stateless bottleneck stages;
+//! * [`decide`] — hysteresis + cost/benefit re-mapping rule.
+//!
+//! ## Example
+//!
+//! ```
+//! use adapipe_mapper::prelude::*;
+//! use adapipe_gridsim::prelude::*;
+//!
+//! // 3-stage pipeline, uniform work, negligible data; 3 equal nodes.
+//! let profile = PipelineProfile::uniform(vec![1.0, 1.0, 1.0], 0);
+//! let topology = Topology::uniform(3, LinkSpec::lan());
+//! let plan = plan(&profile, &[1.0, 1.0, 1.0], &topology, &PlannerConfig::default());
+//! // The planner spreads the stages: one per node.
+//! assert_eq!(plan.mapping.nodes_used().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod decide;
+pub mod enumerate;
+pub mod mapping;
+pub mod model;
+pub mod replicate;
+pub mod search;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::decide::{should_remap, Decision, DecisionConfig, KeepReason};
+    pub use crate::enumerate::{
+        assignment_count, compositions, neighbours, neighbours_touching, Assignments, Move,
+    };
+    pub use crate::mapping::{ContiguousMapping, Mapping, Placement};
+    pub use crate::model::{evaluate, Bottleneck, PipelineProfile, Prediction};
+    pub use crate::replicate::improve;
+    pub use crate::search::{
+        contiguous_dp, exhaustive_best, exhaustive_frontier, local_search, plan, Plan,
+        PlannerConfig, Strategy,
+    };
+}
+
+pub use prelude::*;

@@ -1,0 +1,437 @@
+//! The analytic performance model.
+//!
+//! The adaptive pattern predicts steady-state pipeline throughput for a
+//! candidate [`Mapping`] from (a) forecast per-node effective rates and
+//! (b) the link cost matrix. The model is the classic bottleneck
+//! argument: in steady state every item visits every stage, so each
+//! resource's *busy time per item* can be summed directly, and throughput
+//! is the reciprocal of the busiest resource.
+//!
+//! Communication is assumed overlapped with computation (links and CPUs
+//! are separate resources); contention inside a link direction is what
+//! the simulator adds on top, and experiment T2 quantifies the gap.
+
+use crate::mapping::Mapping;
+use adapipe_gridsim::net::Topology;
+use adapipe_gridsim::node::NodeId;
+
+/// Static per-pipeline quantities the model needs.
+#[derive(Clone, Debug)]
+pub struct PipelineProfile {
+    /// Work units each stage spends per item (`len = Ns`).
+    pub stage_work: Vec<f64>,
+    /// Bytes crossing each stage boundary per item (`len = Ns + 1`):
+    /// index `0` is the input arriving at stage 0, index `Ns` the output
+    /// leaving the last stage.
+    pub boundary_bytes: Vec<u64>,
+    /// Which stages keep no per-item state and may be replicated.
+    pub stateless: Vec<bool>,
+    /// Node where inputs originate; `None` ignores input-edge transfer.
+    pub source: Option<NodeId>,
+    /// Node where outputs are delivered; `None` ignores output-edge
+    /// transfer.
+    pub sink: Option<NodeId>,
+}
+
+impl PipelineProfile {
+    /// Builds a profile with uniform boundary sizes and all stages
+    /// stateless — the common synthetic-workload shape.
+    pub fn uniform(stage_work: Vec<f64>, bytes_per_item: u64) -> Self {
+        let ns = stage_work.len();
+        assert!(ns > 0, "pipeline needs at least one stage");
+        PipelineProfile {
+            boundary_bytes: vec![bytes_per_item; ns + 1],
+            stateless: vec![true; ns],
+            stage_work,
+            source: None,
+            sink: None,
+        }
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.stage_work.len()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree or any work value is negative.
+    pub fn validate(&self) {
+        let ns = self.stage_work.len();
+        assert!(ns > 0, "pipeline needs at least one stage");
+        assert_eq!(
+            self.boundary_bytes.len(),
+            ns + 1,
+            "need Ns+1 boundary sizes"
+        );
+        assert_eq!(
+            self.stateless.len(),
+            ns,
+            "need one statefulness flag per stage"
+        );
+        assert!(
+            self.stage_work.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "stage work must be non-negative and finite"
+        );
+    }
+
+    /// Total work per item across all stages.
+    pub fn total_work(&self) -> f64 {
+        self.stage_work.iter().sum()
+    }
+}
+
+/// Which resource limits throughput.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bottleneck {
+    /// A processor saturates first.
+    Node(NodeId),
+    /// A network link (direction `src → dst`) saturates first.
+    Link(NodeId, NodeId),
+}
+
+/// Model output for one candidate mapping.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Steady-state items per second.
+    pub throughput: f64,
+    /// One-item traversal latency in seconds (no queueing).
+    pub latency: f64,
+    /// The saturating resource.
+    pub bottleneck: Bottleneck,
+    /// Busy seconds per item on each node (`len = Np`).
+    pub node_load: Vec<f64>,
+}
+
+impl Prediction {
+    /// Estimated makespan for a stream of `n` items: fill the pipe once,
+    /// then drain one item per bottleneck period.
+    pub fn completion_time(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        if self.throughput <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.latency + (n - 1) as f64 / self.throughput
+    }
+}
+
+/// Evaluates `mapping` against per-node effective `rates` (work units per
+/// second, already scaled by predicted availability) and the `topology`.
+///
+/// Returns a [`Prediction`]; a mapping that uses a node with rate ≤ 0
+/// yields zero throughput and infinite latency rather than an error, so
+/// optimisers can rank it (last) without special cases.
+///
+/// # Panics
+/// Panics if the profile is inconsistent, the mapping's stage count
+/// differs from the profile's, or a mapped node index is out of range.
+pub fn evaluate(
+    profile: &PipelineProfile,
+    mapping: &Mapping,
+    rates: &[f64],
+    topology: &Topology,
+) -> Prediction {
+    profile.validate();
+    let ns = profile.stages();
+    assert_eq!(
+        mapping.len(),
+        ns,
+        "mapping covers {} stages, profile {ns}",
+        mapping.len()
+    );
+    for node in mapping.nodes_used() {
+        assert!(
+            node.index() < rates.len(),
+            "node {node} outside rate vector"
+        );
+        assert!(
+            node.index() < topology.len(),
+            "node {node} outside topology"
+        );
+    }
+
+    // --- Node busy time per item -------------------------------------
+    let mut node_load = vec![0.0f64; rates.len()];
+    let mut dead_node_used = false;
+    for s in 0..ns {
+        let placement = mapping.placement(s);
+        let share = 1.0 / placement.width() as f64;
+        for &host in placement.hosts() {
+            let rate = rates[host.index()];
+            if rate <= 0.0 {
+                dead_node_used = true;
+            } else {
+                node_load[host.index()] += profile.stage_work[s] / rate * share;
+            }
+        }
+    }
+
+    // --- Link busy time per item --------------------------------------
+    // Expected seconds per item for each directed link, accumulated over
+    // all stage boundaries; same-host hops use the (cheap) self link.
+    // A dense np×np accumulator: `evaluate` is the optimisers' inner
+    // loop, and a HashMap here dominated planning time on 32-node grids.
+    let np = rates.len().max(topology.len());
+    let mut max_link: (f64, NodeId, NodeId) = (0.0, NodeId(0), NodeId(0));
+    let mut total_comm_latency = 0.0f64;
+    let mut link_seconds = vec![0.0f64; np * np];
+    {
+        let mut add_boundary = |from_hosts: &[NodeId], to_hosts: &[NodeId], bytes: u64| {
+            if bytes == 0 {
+                return;
+            }
+            let frac = 1.0 / (from_hosts.len() * to_hosts.len()) as f64;
+            let mut expected = 0.0;
+            for &a in from_hosts {
+                for &b in to_hosts {
+                    let t = topology.transfer_time(a, b, bytes).as_secs_f64();
+                    expected += frac * t;
+                    if a != b {
+                        link_seconds[a.index() * np + b.index()] += frac * t;
+                    }
+                }
+            }
+            total_comm_latency += expected;
+        };
+
+        if let Some(src) = profile.source {
+            add_boundary(
+                &[src],
+                mapping.placement(0).hosts(),
+                profile.boundary_bytes[0],
+            );
+        }
+        for b in 1..ns {
+            add_boundary(
+                mapping.placement(b - 1).hosts(),
+                mapping.placement(b).hosts(),
+                profile.boundary_bytes[b],
+            );
+        }
+        if let Some(dst) = profile.sink {
+            add_boundary(
+                mapping.placement(ns - 1).hosts(),
+                &[dst],
+                profile.boundary_bytes[ns],
+            );
+        }
+    }
+    for (idx, &secs) in link_seconds.iter().enumerate() {
+        if secs > max_link.0 {
+            max_link = (secs, NodeId(idx / np), NodeId(idx % np));
+        }
+    }
+
+    // --- Combine -------------------------------------------------------
+    let (max_node_load, max_node) =
+        node_load
+            .iter()
+            .enumerate()
+            .fold((0.0f64, 0usize), |(best, arg), (i, &l)| {
+                if l > best {
+                    (l, i)
+                } else {
+                    (best, arg)
+                }
+            });
+
+    if dead_node_used {
+        return Prediction {
+            throughput: 0.0,
+            latency: f64::INFINITY,
+            bottleneck: Bottleneck::Node(NodeId(max_node)),
+            node_load,
+        };
+    }
+
+    let (bottleneck, period) = if max_link.0 > max_node_load {
+        (Bottleneck::Link(max_link.1, max_link.2), max_link.0)
+    } else {
+        (Bottleneck::Node(NodeId(max_node)), max_node_load)
+    };
+
+    // Latency: average service time at each stage + expected transfers.
+    let mut latency = total_comm_latency;
+    for s in 0..ns {
+        let placement = mapping.placement(s);
+        let mean_service: f64 = placement
+            .hosts()
+            .iter()
+            .map(|&h| profile.stage_work[s] / rates[h.index()])
+            .sum::<f64>()
+            / placement.width() as f64;
+        latency += mean_service;
+    }
+
+    let throughput = if period > 0.0 {
+        1.0 / period
+    } else {
+        // Degenerate profile: zero work, zero communication.
+        f64::INFINITY
+    };
+
+    Prediction {
+        throughput,
+        latency,
+        bottleneck,
+        node_load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::Placement;
+    use adapipe_gridsim::net::LinkSpec;
+    use adapipe_gridsim::time::SimDuration;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Unit-speed nodes, effectively free network.
+    fn fast_net(np: usize) -> Topology {
+        Topology::uniform(np, LinkSpec::new(SimDuration::from_nanos(1), 1e12))
+    }
+
+    #[test]
+    fn balanced_one_to_one_throughput_is_inverse_stage_time() {
+        let profile = PipelineProfile::uniform(vec![2.0, 2.0, 2.0], 0);
+        let m = Mapping::from_assignment(&[n(0), n(1), n(2)]);
+        let p = evaluate(&profile, &m, &[1.0, 1.0, 1.0], &fast_net(3));
+        assert!((p.throughput - 0.5).abs() < 1e-9, "tput={}", p.throughput);
+        assert!((p.latency - 6.0).abs() < 1e-6);
+        assert_eq!(p.bottleneck, Bottleneck::Node(n(0)));
+    }
+
+    #[test]
+    fn coalescing_sums_stage_work_on_shared_host() {
+        let profile = PipelineProfile::uniform(vec![1.0, 1.0, 1.0], 0);
+        let m = Mapping::from_assignment(&[n(0), n(0), n(1)]);
+        let p = evaluate(&profile, &m, &[1.0, 1.0], &fast_net(2));
+        // Node 0 does 2 units/item → bottleneck period 2 s.
+        assert!((p.throughput - 0.5).abs() < 1e-9);
+        assert_eq!(p.bottleneck, Bottleneck::Node(n(0)));
+        assert!((p.node_load[0] - 2.0).abs() < 1e-12);
+        assert!((p.node_load[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_node_prefers_heavier_stage() {
+        let profile = PipelineProfile::uniform(vec![4.0, 1.0], 0);
+        let good = Mapping::from_assignment(&[n(0), n(1)]); // heavy on fast
+        let bad = Mapping::from_assignment(&[n(1), n(0)]); // heavy on slow
+        let rates = [4.0, 1.0];
+        let pg = evaluate(&profile, &good, &rates, &fast_net(2));
+        let pb = evaluate(&profile, &bad, &rates, &fast_net(2));
+        assert!(pg.throughput > pb.throughput);
+        assert!((pg.throughput - 1.0).abs() < 1e-9);
+        assert!((pb.throughput - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replication_halves_per_host_load() {
+        let profile = PipelineProfile::uniform(vec![2.0], 0);
+        let single = Mapping::from_assignment(&[n(0)]);
+        let replicated = Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]);
+        let rates = [1.0, 1.0];
+        let ps = evaluate(&profile, &single, &rates, &fast_net(2));
+        let pr = evaluate(&profile, &replicated, &rates, &fast_net(2));
+        assert!((ps.throughput - 0.5).abs() < 1e-9);
+        assert!((pr.throughput - 1.0).abs() < 1e-9, "tput={}", pr.throughput);
+    }
+
+    #[test]
+    fn slow_link_becomes_bottleneck() {
+        let profile = PipelineProfile::uniform(vec![0.1, 0.1], 1_000_000);
+        let mut topo = fast_net(2);
+        // 1 MB per item over a 1 MB/s link = 1 s per item on the link.
+        topo.set_symmetric(n(0), n(1), LinkSpec::new(SimDuration::ZERO, 1e6));
+        let m = Mapping::from_assignment(&[n(0), n(1)]);
+        let p = evaluate(&profile, &m, &[1.0, 1.0], &topo);
+        assert_eq!(p.bottleneck, Bottleneck::Link(n(0), n(1)));
+        assert!((p.throughput - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coalescing_beats_spreading_when_links_are_slow() {
+        let profile = PipelineProfile::uniform(vec![0.1, 0.1], 1_000_000);
+        let mut topo = fast_net(2);
+        topo.set_symmetric(
+            n(0),
+            n(1),
+            LinkSpec::new(SimDuration::from_millis(500), 1e6),
+        );
+        let spread = Mapping::from_assignment(&[n(0), n(1)]);
+        let coalesced = Mapping::from_assignment(&[n(0), n(0)]);
+        let rates = [1.0, 1.0];
+        let ps = evaluate(&profile, &spread, &rates, &topo);
+        let pc = evaluate(&profile, &coalesced, &rates, &topo);
+        assert!(pc.throughput > ps.throughput, "coalescing should win");
+    }
+
+    #[test]
+    fn dead_node_yields_zero_throughput() {
+        let profile = PipelineProfile::uniform(vec![1.0, 1.0], 0);
+        let m = Mapping::from_assignment(&[n(0), n(1)]);
+        let p = evaluate(&profile, &m, &[1.0, 0.0], &fast_net(2));
+        assert_eq!(p.throughput, 0.0);
+        assert!(p.latency.is_infinite());
+        assert_eq!(p.completion_time(10), f64::INFINITY);
+    }
+
+    #[test]
+    fn completion_time_is_fill_plus_drain() {
+        let profile = PipelineProfile::uniform(vec![1.0, 1.0], 0);
+        let m = Mapping::from_assignment(&[n(0), n(1)]);
+        let p = evaluate(&profile, &m, &[1.0, 1.0], &fast_net(2));
+        // latency 2 s, throughput 1/s → 10 items take 2 + 9 = 11 s.
+        assert!((p.completion_time(10) - 11.0).abs() < 1e-6);
+        assert_eq!(p.completion_time(0), 0.0);
+    }
+
+    #[test]
+    fn source_and_sink_edges_count_when_set() {
+        let mut profile = PipelineProfile::uniform(vec![0.01], 1_000_000);
+        let mut topo = fast_net(2);
+        topo.set_symmetric(n(0), n(1), LinkSpec::new(SimDuration::ZERO, 1e6));
+        let m = Mapping::from_assignment(&[n(1)]);
+        // Without source/sink: no transfers at all → CPU-bound.
+        let p0 = evaluate(&profile, &m, &[1.0, 1.0], &topo);
+        assert!(p0.throughput > 10.0);
+        // With source on n0: 1 MB in over the slow link dominates.
+        profile.source = Some(n(0));
+        let p1 = evaluate(&profile, &m, &[1.0, 1.0], &topo);
+        assert_eq!(p1.bottleneck, Bottleneck::Link(n(0), n(1)));
+        assert!((p1.throughput - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn availability_scales_rates() {
+        let profile = PipelineProfile::uniform(vec![1.0], 0);
+        let m = Mapping::from_assignment(&[n(0)]);
+        let full = evaluate(&profile, &m, &[2.0], &fast_net(1));
+        let half = evaluate(&profile, &m, &[1.0], &fast_net(1));
+        assert!((full.throughput / half.throughput - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside rate vector")]
+    fn out_of_range_node_panics() {
+        let profile = PipelineProfile::uniform(vec![1.0], 0);
+        let m = Mapping::from_assignment(&[n(5)]);
+        let _ = evaluate(&profile, &m, &[1.0], &fast_net(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "Ns+1")]
+    fn inconsistent_profile_panics() {
+        let mut profile = PipelineProfile::uniform(vec![1.0, 1.0], 0);
+        profile.boundary_bytes.pop();
+        let m = Mapping::from_assignment(&[n(0), n(0)]);
+        let _ = evaluate(&profile, &m, &[1.0], &fast_net(1));
+    }
+}

@@ -1,0 +1,178 @@
+//! Greedy replication of stateless bottleneck stages.
+//!
+//! When the throughput bottleneck is a processor saturated by a stateless
+//! stage, the pattern can *farm* that stage over several nodes — the
+//! "pipeline of farms" composition from the skeleton literature. This
+//! module widens stages greedily while the model predicts improvement.
+
+use crate::mapping::Mapping;
+use crate::model::{evaluate, Bottleneck, PipelineProfile, Prediction};
+use adapipe_gridsim::net::Topology;
+use adapipe_gridsim::node::NodeId;
+
+/// Greedily adds replicas to stateless stages while doing so strictly
+/// improves predicted throughput. Returns the improved mapping and its
+/// prediction (which may be the input mapping unchanged).
+///
+/// The search is bounded: each iteration adds exactly one replica, and
+/// stage width never exceeds `max_width`, so it terminates after at most
+/// `Ns · max_width` evaluations of the neighbourhood.
+pub fn improve(
+    profile: &PipelineProfile,
+    mapping: Mapping,
+    rates: &[f64],
+    topology: &Topology,
+    max_width: usize,
+) -> (Mapping, Prediction) {
+    let mut current = mapping;
+    let mut current_pred = evaluate(profile, &current, rates, topology);
+    loop {
+        let Some((cand, pred)) =
+            best_single_widening(profile, &current, &current_pred, rates, topology, max_width)
+        else {
+            return (current, current_pred);
+        };
+        current = cand;
+        current_pred = pred;
+    }
+}
+
+/// Tries every legal single-replica addition and returns the best one
+/// that strictly beats `current_pred`, or `None`.
+fn best_single_widening(
+    profile: &PipelineProfile,
+    current: &Mapping,
+    current_pred: &Prediction,
+    rates: &[f64],
+    topology: &Topology,
+    max_width: usize,
+) -> Option<(Mapping, Prediction)> {
+    // Prefer widening stages hosted on the bottleneck node, but consider
+    // all stateless stages: the bottleneck may shift after one addition.
+    let bottleneck_node = match current_pred.bottleneck {
+        Bottleneck::Node(node) => Some(node),
+        Bottleneck::Link(..) => None,
+    };
+    let np = rates.len();
+    let mut best: Option<(Mapping, Prediction)> = None;
+    for s in 0..current.len() {
+        if !profile.stateless[s] {
+            continue;
+        }
+        let placement = current.placement(s);
+        if placement.width() >= max_width {
+            continue;
+        }
+        // Try the bottleneck-hosted stages first for a small constant
+        // factor, but correctness only needs "try them all".
+        let _ = bottleneck_node;
+        for node in (0..np).map(NodeId) {
+            if placement.contains(node) || rates[node.index()] <= 0.0 {
+                continue;
+            }
+            let mut cand = current.clone();
+            cand.placement_mut(s).add_host(node);
+            let pred = evaluate(profile, &cand, rates, topology);
+            let beats_current = pred.throughput > current_pred.throughput;
+            let beats_best = best
+                .as_ref()
+                .is_none_or(|(_, b)| pred.throughput > b.throughput);
+            if beats_current && beats_best {
+                best = Some((cand, pred));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_gridsim::net::LinkSpec;
+    use adapipe_gridsim::time::SimDuration;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn fast_net(np: usize) -> Topology {
+        Topology::uniform(np, LinkSpec::new(SimDuration::from_nanos(1), 1e12))
+    }
+
+    #[test]
+    fn widens_hot_stage_across_spare_nodes() {
+        let profile = PipelineProfile::uniform(vec![4.0, 1.0], 0);
+        let mapping = Mapping::from_assignment(&[n(0), n(1)]);
+        let rates = [1.0, 1.0, 1.0, 1.0];
+        let (m, p) = improve(&profile, mapping, &rates, &fast_net(4), 4);
+        // Hot stage spreads over the 3 free nodes (4/3 s) or similar;
+        // throughput must rise well above the unreplicated 0.25.
+        assert!(p.throughput > 0.5, "tput={}", p.throughput);
+        assert!(m.placement(0).width() >= 2);
+    }
+
+    #[test]
+    fn respects_stateful_stages() {
+        let mut profile = PipelineProfile::uniform(vec![4.0, 1.0], 0);
+        profile.stateless[0] = false;
+        let mapping = Mapping::from_assignment(&[n(0), n(1)]);
+        let rates = [1.0, 1.0, 1.0];
+        let (m, p) = improve(&profile, mapping.clone(), &rates, &fast_net(3), 4);
+        assert_eq!(m, mapping, "stateful stage must not be replicated");
+        assert!((p.throughput - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_max_width() {
+        let profile = PipelineProfile::uniform(vec![8.0], 0);
+        let mapping = Mapping::from_assignment(&[n(0)]);
+        let rates = [1.0; 8];
+        let (m, _) = improve(&profile, mapping, &rates, &fast_net(8), 2);
+        assert!(m.placement(0).width() <= 2);
+    }
+
+    #[test]
+    fn stops_when_no_improvement_possible() {
+        // Balanced pipeline on exactly-fitting nodes: replication cannot
+        // help because every node is equally loaded.
+        let profile = PipelineProfile::uniform(vec![1.0, 1.0], 0);
+        let mapping = Mapping::from_assignment(&[n(0), n(1)]);
+        let rates = [1.0, 1.0];
+        let (m, p) = improve(&profile, mapping.clone(), &rates, &fast_net(2), 4);
+        assert_eq!(m, mapping);
+        assert!((p.throughput - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_dead_nodes() {
+        let profile = PipelineProfile::uniform(vec![4.0, 1.0], 0);
+        let mapping = Mapping::from_assignment(&[n(0), n(1)]);
+        let rates = [1.0, 1.0, 0.0];
+        let (m, _) = improve(&profile, mapping, &rates, &fast_net(3), 4);
+        assert!(
+            !m.placement(0).contains(n(2)),
+            "dead node must not receive replicas"
+        );
+    }
+
+    #[test]
+    fn replication_accounts_for_network_cost() {
+        // Hot stage, but every extra node is behind a dreadful link and
+        // input data is large: widening would make the link the
+        // bottleneck, so the planner must decline.
+        let mut profile = PipelineProfile::uniform(vec![1.0, 0.1], 10_000_000);
+        profile.source = Some(n(0));
+        let mut topo = fast_net(3);
+        topo.set_symmetric(n(0), n(2), LinkSpec::new(SimDuration::from_secs(5), 1e6));
+        topo.set_symmetric(n(1), n(2), LinkSpec::new(SimDuration::from_secs(5), 1e6));
+        let mapping = Mapping::from_assignment(&[n(0), n(1)]);
+        let rates = [1.0, 1.0, 1.0];
+        let before = evaluate(&profile, &mapping, &rates, &topo);
+        let (m, p) = improve(&profile, mapping, &rates, &topo, 4);
+        assert!(p.throughput >= before.throughput);
+        assert!(
+            !m.placement(0).contains(n(2)),
+            "widening across a 5 s link must be rejected, got {m}"
+        );
+    }
+}

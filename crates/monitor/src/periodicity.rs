@@ -1,0 +1,190 @@
+//! Oscillation detection via autocorrelation.
+//!
+//! Ablation A2 identified periodic background load near the control
+//! period as the adversarial regime for forecast-driven adaptation: the
+//! NWS family contains no periodic predictor, so its forecasts alias.
+//! This module provides the diagnostic — a windowed autocorrelation scan
+//! that flags a dominant oscillation period in an availability series —
+//! which deployments can use to lengthen the control period or enable
+//! verdict confirmation when a node's load is provably periodic.
+
+use std::collections::VecDeque;
+
+/// Normalised autocorrelation of `values` at the given `lag`
+/// (`1` = perfectly periodic at this lag, `0` = unrelated).
+///
+/// Returns `None` when the series is too short (needs at least
+/// `2 × lag` samples) or has zero variance.
+pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
+    if lag == 0 || values.len() < 2 * lag {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+    if var <= 1e-12 {
+        return None;
+    }
+    let cov: f64 = (0..n - lag)
+        .map(|i| (values[i] - mean) * (values[i + lag] - mean))
+        .sum();
+    Some(cov / var)
+}
+
+/// Scans lags `1..=max_lag` and returns the lag with the highest
+/// autocorrelation if it exceeds `threshold` — the dominant period in
+/// sample units.
+pub fn dominant_period(values: &[f64], max_lag: usize, threshold: f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for lag in 1..=max_lag {
+        if let Some(ac) = autocorrelation(values, lag) {
+            if ac >= threshold && best.is_none_or(|(_, b)| ac > b) {
+                best = Some((lag, ac));
+            }
+        }
+    }
+    best.map(|(lag, _)| lag)
+}
+
+/// A bounded-window oscillation detector for one monitored quantity.
+#[derive(Clone, Debug)]
+pub struct PeriodicityDetector {
+    window: VecDeque<f64>,
+    capacity: usize,
+    threshold: f64,
+}
+
+impl PeriodicityDetector {
+    /// Creates a detector over the last `capacity` samples, flagging
+    /// periods whose autocorrelation reaches `threshold` (a sensible
+    /// default is `0.5`).
+    ///
+    /// # Panics
+    /// Panics if `capacity < 4` or the threshold is outside `(0, 1]`.
+    pub fn new(capacity: usize, threshold: f64) -> Self {
+        assert!(capacity >= 4, "need at least 4 samples to detect a period");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0,1]"
+        );
+        PeriodicityDetector {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            threshold,
+        }
+    }
+
+    /// Feeds one sample.
+    pub fn observe(&mut self, value: f64) {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(value);
+    }
+
+    /// The dominant oscillation period in sample units, if any. Lags up
+    /// to half the window are considered (longer ones cannot repeat
+    /// twice inside it).
+    pub fn period(&self) -> Option<usize> {
+        let values: Vec<f64> = self.window.iter().copied().collect();
+        dominant_period(&values, values.len() / 2, self.threshold)
+    }
+
+    /// True if the series currently looks periodic.
+    pub fn is_oscillating(&self) -> bool {
+        self.period().is_some()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True if no samples retained.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(period: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if (i / (period / 2)) % 2 == 0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn square_wave_detected_at_its_period() {
+        let series = square(8, 64);
+        let detected = dominant_period(&series, 16, 0.5).expect("period found");
+        assert_eq!(detected, 8);
+    }
+
+    #[test]
+    fn sinusoid_detected_at_its_period() {
+        let series: Vec<f64> = (0..120)
+            .map(|i| 0.5 + 0.4 * (std::f64::consts::TAU * i as f64 / 12.0).sin())
+            .collect();
+        let detected = dominant_period(&series, 30, 0.5).expect("period found");
+        assert_eq!(detected, 12);
+    }
+
+    #[test]
+    fn constant_series_has_no_period() {
+        let series = vec![0.7; 64];
+        assert_eq!(dominant_period(&series, 16, 0.5), None);
+        assert_eq!(autocorrelation(&series, 4), None, "zero variance");
+    }
+
+    #[test]
+    fn white_noise_has_no_strong_period() {
+        // Deterministic pseudo-noise via splitmix-style hashing.
+        let series: Vec<f64> = (0..256u64)
+            .map(|i| {
+                let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD6E8_FEB8_6659_FD93;
+                x ^= x >> 29;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        assert_eq!(dominant_period(&series, 32, 0.5), None);
+    }
+
+    #[test]
+    fn short_series_yields_none() {
+        assert_eq!(autocorrelation(&[1.0, 0.0, 1.0], 2), None);
+        assert_eq!(autocorrelation(&[1.0, 0.0], 0), None);
+    }
+
+    #[test]
+    fn detector_tracks_a_live_stream() {
+        let mut d = PeriodicityDetector::new(64, 0.5);
+        assert!(!d.is_oscillating());
+        for v in square(8, 64) {
+            d.observe(v);
+        }
+        assert_eq!(d.period(), Some(8));
+        assert!(d.is_oscillating());
+        // Flood with a constant: oscillation flag must clear.
+        for _ in 0..64 {
+            d.observe(0.7);
+        }
+        assert!(!d.is_oscillating());
+        assert_eq!(d.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        let _ = PeriodicityDetector::new(8, 0.0);
+    }
+}

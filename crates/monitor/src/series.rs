@@ -1,0 +1,170 @@
+//! Bounded observation windows.
+//!
+//! Monitoring keeps only a sliding window of recent measurements; the
+//! window length is itself an experiment knob (figure F5 sweeps it).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO of `(timestamp, value)` observations; pushing beyond
+/// capacity evicts the oldest entry.
+///
+/// Timestamps are seconds on whatever clock the producer uses (simulated
+/// or wall); the monitor only requires them to be non-decreasing.
+#[derive(Clone, Debug)]
+pub struct ObservationWindow {
+    capacity: usize,
+    buf: VecDeque<(f64, f64)>,
+}
+
+impl ObservationWindow {
+    /// Creates a window holding at most `capacity` observations.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        ObservationWindow {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends an observation, evicting the oldest if full.
+    ///
+    /// # Panics
+    /// Panics if `t` precedes the latest recorded timestamp.
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some(&(last, _)) = self.buf.back() {
+            assert!(t >= last, "observations must arrive in time order");
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back((t, value));
+    }
+
+    /// Maximum number of retained observations.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of retained observations.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no observations are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Latest observation, if any.
+    pub fn latest(&self) -> Option<(f64, f64)> {
+        self.buf.back().copied()
+    }
+
+    /// Oldest retained observation, if any.
+    pub fn oldest(&self) -> Option<(f64, f64)> {
+        self.buf.front().copied()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Values only, oldest → newest.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().map(|&(_, v)| v)
+    }
+
+    /// Mean of retained values, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(self.values().sum::<f64>() / self.buf.len() as f64)
+    }
+
+    /// Discards all observations, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_evicts_oldest_beyond_capacity() {
+        let mut w = ObservationWindow::new(3);
+        for i in 0..5 {
+            w.push(i as f64, i as f64 * 10.0);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.oldest(), Some((2.0, 20.0)));
+        assert_eq!(w.latest(), Some((4.0, 40.0)));
+    }
+
+    #[test]
+    fn mean_covers_retained_window_only() {
+        let mut w = ObservationWindow::new(2);
+        w.push(0.0, 100.0); // will be evicted
+        w.push(1.0, 1.0);
+        w.push(2.0, 3.0);
+        assert_eq!(w.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn empty_window_behaviour() {
+        let w = ObservationWindow::new(4);
+        assert!(w.is_empty());
+        assert_eq!(w.latest(), None);
+        assert_eq!(w.mean(), None);
+        assert_eq!(w.capacity(), 4);
+    }
+
+    #[test]
+    fn iter_runs_oldest_to_newest() {
+        let mut w = ObservationWindow::new(10);
+        w.push(0.0, 1.0);
+        w.push(1.0, 2.0);
+        let vals: Vec<f64> = w.values().collect();
+        assert_eq!(vals, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut w = ObservationWindow::new(2);
+        w.push(0.0, 1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.capacity(), 2);
+        // Time ordering restarts after clear.
+        w.push(0.0, 5.0);
+        assert_eq!(w.latest(), Some((0.0, 5.0)));
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut w = ObservationWindow::new(3);
+        w.push(1.0, 1.0);
+        w.push(1.0, 2.0);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn backwards_time_panics() {
+        let mut w = ObservationWindow::new(3);
+        w.push(2.0, 1.0);
+        w.push(1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = ObservationWindow::new(0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for forecasting invariants.
+
+use adapipe_monitor::prelude::*;
+use proptest::prelude::*;
+
+fn feed(f: &mut dyn Forecaster, values: &[f64]) {
+    for (i, &v) in values.iter().enumerate() {
+        f.observe(i as f64, v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every forecaster converges exactly on a constant series.
+    #[test]
+    fn constant_series_is_learned_exactly(
+        value in -1e6f64..1e6,
+        n in 2usize..100,
+    ) {
+        let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingMean::new(8)),
+            Box::new(SlidingMedian::new(8)),
+            Box::new(Ewma::new(0.3)),
+            Box::new(AdaptiveEwma::new(0.05, 0.9)),
+            Box::new(Ensemble::nws_default(8)),
+        ];
+        let series = vec![value; n];
+        for f in &mut forecasters {
+            feed(f.as_mut(), &series);
+            let p = f.predict().expect("observed data");
+            prop_assert!(
+                (p - value).abs() <= 1e-9 * value.abs().max(1.0),
+                "{} predicted {p} for constant {value}",
+                f.name()
+            );
+        }
+    }
+
+    /// Mean-family predictions stay within the observed value range.
+    #[test]
+    fn predictions_stay_in_observed_range(
+        values in prop::collection::vec(-1e3f64..1e3, 1..200),
+    ) {
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(RunningMean::new()),
+            Box::new(SlidingMean::new(16)),
+            Box::new(SlidingMedian::new(16)),
+            Box::new(Ewma::new(0.5)),
+            Box::new(Ensemble::nws_default(16)),
+        ];
+        for f in &mut forecasters {
+            feed(f.as_mut(), &values);
+            let p = f.predict().expect("observed data");
+            let slack = 1e-9 * hi.abs().max(lo.abs()).max(1.0);
+            prop_assert!(
+                p >= lo - slack && p <= hi + slack,
+                "{} predicted {p} outside [{lo}, {hi}]",
+                f.name()
+            );
+        }
+    }
+
+    /// Welford's streaming moments match the naive two-pass formulas.
+    #[test]
+    fn welford_matches_naive(
+        values in prop::collection::vec(-1e4f64..1e4, 2..100),
+    ) {
+        let mut w = Welford::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        prop_assert!((w.mean().unwrap() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        prop_assert!((w.variance().unwrap() - var).abs() < 1e-5 * var.abs().max(1.0));
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantiles_are_monotone(
+        mut values in prop::collection::vec(-1e4f64..1e4, 1..100),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile_sorted(&values, lo_q);
+        let b = quantile_sorted(&values, hi_q);
+        prop_assert!(a <= b + 1e-12);
+        prop_assert!(a >= values[0] - 1e-12);
+        prop_assert!(b <= values[values.len() - 1] + 1e-12);
+    }
+
+    /// The observation window never exceeds its capacity and always
+    /// keeps the most recent items.
+    #[test]
+    fn window_keeps_most_recent(
+        capacity in 1usize..32,
+        values in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut w = ObservationWindow::new(capacity);
+        for (i, &v) in values.iter().enumerate() {
+            w.push(i as f64, v);
+        }
+        prop_assert!(w.len() <= capacity);
+        let kept: Vec<f64> = w.values().collect();
+        let expected: Vec<f64> = values
+            .iter()
+            .skip(values.len().saturating_sub(capacity))
+            .copied()
+            .collect();
+        prop_assert_eq!(kept, expected);
+    }
+
+    /// Ensemble trailing errors: on any series, the ensemble's one-step
+    /// MAE is within a factor of the best member's (dynamic selection
+    /// may lag, but must not be wildly worse).
+    #[test]
+    fn ensemble_tracks_best_member(
+        seed_values in prop::collection::vec(0.0f64..1.0, 50..150),
+    ) {
+        let window = 8;
+        let mut members: Vec<Box<dyn Forecaster>> = vec![
+            Box::new(LastValue::new()),
+            Box::new(SlidingMean::new(window)),
+            Box::new(SlidingMedian::new(window)),
+            Box::new(Ewma::new(0.3)),
+        ];
+        let mut ensemble = Ensemble::nws_default(window);
+        let mut member_errors = vec![ErrorStats::new(); members.len()];
+        let mut ensemble_errors = ErrorStats::new();
+        for (i, &v) in seed_values.iter().enumerate() {
+            let t = i as f64;
+            for (m, errs) in members.iter().zip(member_errors.iter_mut()) {
+                if let Some(p) = m.predict() {
+                    errs.record(p, v);
+                }
+            }
+            if let Some(p) = ensemble.predict() {
+                ensemble_errors.record(p, v);
+            }
+            for m in &mut members {
+                m.observe(t, v);
+            }
+            ensemble.observe(t, v);
+        }
+        if let Some(e_mae) = ensemble_errors.mae() {
+            let best = member_errors
+                .iter()
+                .filter_map(|e| e.mae())
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                e_mae <= best * 3.0 + 1e-9,
+                "ensemble MAE {e_mae} vs best member {best}"
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Stage-cost distributions beyond the uniform/constant models in
+//! `adapipe-core`: exponential, Pareto (heavy tail), and bimodal — the
+//! shapes grid workload studies report for real stage service times.
+
+use adapipe_core::spec::WorkModel;
+use adapipe_gridsim::rng::{exp_at, mix, unit_f64};
+
+/// Exponentially distributed work with the given mean.
+#[derive(Clone, Copy, Debug)]
+pub struct ExponentialWork {
+    mean: f64,
+    seed: u64,
+}
+
+impl ExponentialWork {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics if `mean` is not positive.
+    pub fn new(mean: f64, seed: u64) -> Self {
+        assert!(mean > 0.0, "mean must be positive");
+        ExponentialWork { mean, seed }
+    }
+}
+
+impl WorkModel for ExponentialWork {
+    fn draw(&self, item: u64) -> f64 {
+        exp_at(self.seed, item, self.mean)
+    }
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Pareto-distributed work (heavy tail): occasional items cost far more
+/// than the mean, stressing the adaptation logic with service-time
+/// variance the forecaster cannot smooth away.
+#[derive(Clone, Copy, Debug)]
+pub struct ParetoWork {
+    /// Scale (minimum work).
+    xm: f64,
+    /// Tail index; must exceed 1 for a finite mean.
+    alpha: f64,
+    seed: u64,
+}
+
+impl ParetoWork {
+    /// Creates a Pareto model with scale `xm` and tail index `alpha > 1`.
+    ///
+    /// # Panics
+    /// Panics if parameters are out of range.
+    pub fn new(xm: f64, alpha: f64, seed: u64) -> Self {
+        assert!(xm > 0.0, "scale must be positive");
+        assert!(alpha > 1.0, "tail index must exceed 1 for a finite mean");
+        ParetoWork { xm, alpha, seed }
+    }
+}
+
+impl WorkModel for ParetoWork {
+    fn draw(&self, item: u64) -> f64 {
+        let u = unit_f64(mix(self.seed, item));
+        // Inverse CDF; guard u→1 which would blow up.
+        self.xm / (1.0 - u.min(0.999_999_9)).powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        self.alpha * self.xm / (self.alpha - 1.0)
+    }
+}
+
+/// Bimodal work: a fraction `heavy_frac` of items cost `heavy`, the rest
+/// cost `light` — the "mostly cheap, sometimes expensive" shape of
+/// filter-then-analyse pipelines.
+#[derive(Clone, Copy, Debug)]
+pub struct BimodalWork {
+    light: f64,
+    heavy: f64,
+    heavy_frac: f64,
+    seed: u64,
+}
+
+impl BimodalWork {
+    /// Creates the model.
+    ///
+    /// # Panics
+    /// Panics if costs are non-positive or `heavy_frac` out of `[0, 1]`.
+    pub fn new(light: f64, heavy: f64, heavy_frac: f64, seed: u64) -> Self {
+        assert!(light > 0.0 && heavy > 0.0, "costs must be positive");
+        assert!(
+            (0.0..=1.0).contains(&heavy_frac),
+            "fraction must be in [0,1]"
+        );
+        BimodalWork {
+            light,
+            heavy,
+            heavy_frac,
+            seed,
+        }
+    }
+}
+
+impl WorkModel for BimodalWork {
+    fn draw(&self, item: u64) -> f64 {
+        if unit_f64(mix(self.seed, item)) < self.heavy_frac {
+            self.heavy
+        } else {
+            self.light
+        }
+    }
+    fn mean(&self) -> f64 {
+        self.heavy_frac * self.heavy + (1.0 - self.heavy_frac) * self.light
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(model: &dyn WorkModel, n: u64) -> f64 {
+        (0..n).map(|i| model.draw(i)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let m = ExponentialWork::new(3.0, 11);
+        assert_eq!(m.mean(), 3.0);
+        let emp = empirical_mean(&m, 200_000);
+        assert!((emp - 3.0).abs() < 0.05, "emp={emp}");
+        assert!((0..1000).all(|i| m.draw(i) >= 0.0));
+    }
+
+    #[test]
+    fn pareto_mean_and_minimum() {
+        let m = ParetoWork::new(1.0, 3.0, 5);
+        assert!((m.mean() - 1.5).abs() < 1e-12);
+        assert!((0..100_000).all(|i| m.draw(i) >= 1.0));
+        let emp = empirical_mean(&m, 400_000);
+        assert!((emp - 1.5).abs() < 0.05, "emp={emp}");
+    }
+
+    #[test]
+    fn pareto_has_heavy_tail() {
+        let m = ParetoWork::new(1.0, 1.5, 5);
+        let big = (0..100_000).filter(|&i| m.draw(i) > 10.0).count();
+        // P(X > 10) = 10^-1.5 ≈ 3.2 %.
+        assert!(big > 1500 && big < 5500, "big={big}");
+    }
+
+    #[test]
+    fn bimodal_mixes_two_levels() {
+        let m = BimodalWork::new(1.0, 10.0, 0.25, 9);
+        assert!((m.mean() - 3.25).abs() < 1e-12);
+        let n = 100_000u64;
+        let heavy = (0..n).filter(|&i| m.draw(i) == 10.0).count();
+        let frac = heavy as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "frac={frac}");
+        assert!((0..1000).all(|i| {
+            let v = m.draw(i);
+            v == 1.0 || v == 10.0
+        }));
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        let a = ExponentialWork::new(1.0, 3);
+        let b = ExponentialWork::new(1.0, 3);
+        let c = ExponentialWork::new(1.0, 4);
+        assert_eq!(a.draw(42), b.draw(42));
+        assert_ne!(a.draw(42), c.draw(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "tail index")]
+    fn infinite_mean_pareto_rejected() {
+        let _ = ParetoWork::new(1.0, 1.0, 0);
+    }
+}

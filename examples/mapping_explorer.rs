@@ -1,0 +1,72 @@
+//! Mapping explorer: how network quality and processor load move the
+//! optimal stage-to-processor mapping.
+//!
+//! For a 3-stage pipeline on 3 processors this prints, for each grid
+//! condition, the model-optimal mapping and its predicted throughput —
+//! the decision table the adaptive pattern consults internally.
+//!
+//! Run with: `cargo run --release --example mapping_explorer`
+
+use adapipe::prelude::*;
+
+fn main() {
+    // One work unit per stage; 1 MB items.
+    let profile = PipelineProfile::uniform(vec![1.0, 1.0, 1.0], 1 << 20);
+
+    struct Case {
+        label: &'static str,
+        link: LinkSpec,
+        rates: [f64; 3],
+    }
+    let cases = [
+        Case {
+            label: "fast LAN, equal nodes",
+            link: LinkSpec::lan(),
+            rates: [1.0, 1.0, 1.0],
+        },
+        Case {
+            label: "fast LAN, node 2 busy (25%)",
+            link: LinkSpec::lan(),
+            rates: [1.0, 1.0, 0.25],
+        },
+        Case {
+            label: "WAN links, equal nodes",
+            link: LinkSpec::wan(),
+            rates: [1.0, 1.0, 1.0],
+        },
+        Case {
+            label: "slow WAN, equal nodes",
+            link: LinkSpec::slow_wan(),
+            rates: [1.0, 1.0, 1.0],
+        },
+        Case {
+            label: "slow WAN, node 2 is 4x faster",
+            link: LinkSpec::slow_wan(),
+            rates: [1.0, 1.0, 4.0],
+        },
+    ];
+
+    println!("== optimal mapping of a 3-stage pipeline onto 3 processors ==\n");
+    println!(
+        "{:<32} {:>18} {:>12} {:>10}",
+        "grid condition", "best mapping", "tput (it/s)", "groups"
+    );
+    for case in &cases {
+        let topology = Topology::uniform(3, case.link);
+        let best = plan(&profile, &case.rates, &topology, &PlannerConfig::default());
+        println!(
+            "{:<32} {:>18} {:>12.3} {:>10}",
+            case.label,
+            best.mapping.notation(),
+            best.prediction.throughput,
+            best.mapping.nodes_used().len(),
+        );
+    }
+
+    println!("\nReading the table: on an even grid the planner spreads the");
+    println!("stages (one per node). When a node loses capacity it farms the");
+    println!("affected stage over the survivors ({{...}} sets), and when one");
+    println!("node dominates in speed it concentrates and replicates work");
+    println!("there — exactly the trade-offs the adaptive pattern");
+    println!("re-evaluates every monitoring period.");
+}

@@ -1,0 +1,71 @@
+//! A task farm on the grid: the degenerate one-stage pipeline that the
+//! planner replicates as wide as it pays, surviving a worker crash.
+//!
+//! Simulates a "render farm": each item costs ~4 work units (±30 %
+//! per-frame jitter); the planner spreads the stage over the 8-node
+//! heterogeneous testbed, and when the fastest node crashes mid-run the
+//! controller re-spreads without losing a frame.
+//!
+//! Run with: `cargo run --release --example render_farm`
+
+use adapipe::prelude::*;
+
+fn main() {
+    let mut grid = testbed_hetero8(21);
+    FaultPlan::new()
+        .crash(NodeId(0), SimTime::from_secs_f64(120.0))
+        .apply(&mut grid);
+
+    // The farm: one stateless stage, jittered cost, 256 KiB frames.
+    let mut spec = farm_spec(4.0, 256 << 10);
+    spec.stages[0].work = Box::new(UniformWork::new(4.0, 0.3, 77));
+
+    let mut run_with = |policy: Policy, max_width: usize| {
+        let mut cfg = SimConfig {
+            items: 600,
+            policy,
+            ..SimConfig::default()
+        };
+        cfg.controller.planner.max_width = max_width;
+        sim_run(&grid, &spec, &cfg)
+    };
+
+    println!("== render farm: 600 frames on hetero8, fastest node crashes at t=120s ==\n");
+    let narrow = run_with(Policy::Static, 1);
+    let static_wide = run_with(Policy::Static, 8);
+    let adaptive = run_with(Policy::periodic_default(), 8);
+
+    let describe = |name: &str, r: &RunReport| {
+        println!(
+            "{name:>16}: {} frames in {:>8.1}s ({:>5.2} f/s) | width {} | remaps {}{}",
+            r.completed,
+            r.makespan.as_secs_f64(),
+            r.mean_throughput(),
+            r.final_mapping.placement(0).width(),
+            r.adaptation_count(),
+            if r.truncated { " | TRUNCATED" } else { "" },
+        );
+    };
+    describe("single node", &narrow);
+    describe("static farm", &static_wide);
+    describe("adaptive farm", &adaptive);
+
+    println!(
+        "\nlatency p50/p95/p99 (adaptive): {:.1}s / {:.1}s / {:.1}s",
+        adaptive.latency_percentile(0.50).unwrap().as_secs_f64(),
+        adaptive.latency_percentile(0.95).unwrap().as_secs_f64(),
+        adaptive.latency_percentile(0.99).unwrap().as_secs_f64(),
+    );
+    for e in &adaptive.adaptations {
+        println!(
+            "re-mapped at t={:.0}s: width {} -> {}",
+            e.at.as_secs_f64(),
+            e.from.placement(0).width(),
+            e.to.placement(0).width(),
+        );
+    }
+    println!(
+        "\nThe static farm loses every frame queued on the crashed node\n\
+         (truncated run); the adaptive farm re-spreads and finishes all 600."
+    );
+}

@@ -1,0 +1,51 @@
+//! # adapipe — An Adaptive Parallel Pipeline Pattern for Grids
+//!
+//! A Rust reconstruction of the adaptive parallel pipeline *algorithmic
+//! skeleton* of Gonzalez-Velez & Cole (IPDPS 2008): the programmer
+//! supplies per-stage functions; the skeleton owns placement on a set of
+//! heterogeneous, dynamically loaded processors and **re-maps the
+//! running pipeline** as resource availability changes.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`gridsim`] | deterministic discrete-event grid substrate |
+//! | [`monitor`] | NWS-style measurement + forecasting |
+//! | [`mapper`] | throughput model + mapping optimisers |
+//! | [`core`] | the skeleton: stages, policies, controller, sim engine |
+//! | [`engine`] | threaded engine with synthetic heterogeneity |
+//! | [`workloads`] | cost models, imaging & signal pipelines, scenarios |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adapipe::prelude::*;
+//!
+//! // A 3-stage pipeline on a 3-node grid, simulated.
+//! let grid = testbed_small3();
+//! let spec = PipelineSpec::balanced(3, 1.0, 0);
+//! let report = sim_run(&grid, &spec, &SimConfig { items: 100, ..SimConfig::default() });
+//! assert_eq!(report.completed, 100);
+//! ```
+//!
+//! See `examples/` for runnable programs and `crates/bench` for the
+//! experiment reproduction harness.
+
+pub use adapipe_core as core;
+pub use adapipe_engine as engine;
+pub use adapipe_gridsim as gridsim;
+pub use adapipe_mapper as mapper;
+pub use adapipe_monitor as monitor;
+pub use adapipe_workloads as workloads;
+
+/// One glob import for applications: brings in the preludes of every
+/// sub-crate.
+pub mod prelude {
+    pub use adapipe_core::prelude::*;
+    pub use adapipe_engine::prelude::*;
+    pub use adapipe_gridsim::prelude::*;
+    pub use adapipe_mapper::prelude::*;
+    pub use adapipe_monitor::prelude::*;
+    pub use adapipe_workloads::prelude::*;
+}

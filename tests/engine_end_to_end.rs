@@ -1,0 +1,172 @@
+//! Cross-crate integration: the threaded engine runs the real domain
+//! pipelines (imaging, signal) correctly, including under adaptation.
+
+use adapipe::prelude::*;
+use adapipe::workloads::{imaging, signal};
+
+/// True if the host can actually run `k` threads in parallel. Wall-clock
+/// speedup assertions are gated on this: on an undersized host the OS
+/// time-shares the virtual nodes and parallel speedups are scheduler
+/// noise, so only correctness (not timing) is asserted there.
+fn multicore(k: usize) -> bool {
+    std::thread::available_parallelism()
+        .map(|p| p.get() >= k)
+        .unwrap_or(false)
+}
+
+#[test]
+fn imaging_pipeline_produces_identical_results_on_any_mapping() {
+    // Ground truth: run the kernels sequentially in-process.
+    let side = 32;
+    let n = 20u64;
+    let expected: Vec<u64> = imaging::frames(side, n)
+        .into_iter()
+        .map(|f| {
+            let q = imaging::quantise(&imaging::sobel(&imaging::blur(&f)), 8);
+            q.pixels.iter().map(|&p| p as u64).sum::<u64>()
+        })
+        .collect();
+
+    // Spread mapping on 4 nodes.
+    let mut cfg = EngineConfig::new((0..4).map(|i| VNodeSpec::free(format!("v{i}"))).collect());
+    cfg.initial_mapping = Some(Mapping::from_assignment(&[
+        NodeId(0),
+        NodeId(1),
+        NodeId(2),
+        NodeId(3),
+    ]));
+    let spread = run_pipeline(imaging_pipeline(side), imaging::frames(side, n), &cfg);
+    assert_eq!(spread.outputs, expected);
+
+    // Fully coalesced mapping must give byte-identical answers.
+    let mut cfg2 = EngineConfig::new(vec![VNodeSpec::free("solo")]);
+    cfg2.initial_mapping = Some(Mapping::all_on(NodeId(0), 4));
+    let coalesced = run_pipeline(imaging_pipeline(side), imaging::frames(side, n), &cfg2);
+    assert_eq!(coalesced.outputs, expected);
+}
+
+#[test]
+fn signal_pipeline_outputs_are_stable_under_remapping() {
+    let frame_len = 512;
+    let n = 40u64;
+    // Ground truth, sequential.
+    let expected: Vec<f64> = {
+        let (_, mut stages) = signal_pipeline(frame_len).into_parts();
+        signal::frames(frame_len, n)
+            .into_iter()
+            .map(|f| {
+                let mut item: adapipe::core::stage::BoxedItem = Box::new(f);
+                for s in &mut stages {
+                    item = s.process(item);
+                }
+                *item.downcast::<f64>().unwrap()
+            })
+            .collect()
+    };
+
+    // Adaptive run with a mid-run load step.
+    let vnodes = vec![
+        VNodeSpec::free("v0"),
+        VNodeSpec::free("v1").with_load(LoadModel::step(1.0, 0.05, SimTime::from_secs_f64(0.2))),
+        VNodeSpec::free("v2"),
+    ];
+    let mut cfg = EngineConfig::new(vnodes);
+    cfg.policy = Policy::Periodic {
+        interval: SimDuration::from_millis(150),
+    };
+    cfg.initial_mapping = Some(Mapping::from_assignment(&[
+        NodeId(0),
+        NodeId(1),
+        NodeId(2),
+        NodeId(0),
+    ]));
+    let outcome = run_pipeline(
+        signal_pipeline(frame_len),
+        signal::frames(frame_len, n),
+        &cfg,
+    );
+    assert_eq!(outcome.report.completed, n);
+    // Stateless numeric kernels: results must be bit-identical regardless
+    // of which node computed them or whether a migration happened.
+    assert_eq!(outcome.outputs, expected);
+}
+
+#[test]
+fn synthetic_twin_matches_sim_shape() {
+    // The same middle-heavy spec, run (a) in simulation and (b) on the
+    // threaded engine with spin items; the *shape* (which mapping class
+    // wins) must agree: replication of the heavy stage helps both.
+    let spec = synthetic_spec(3, CostShape::MiddleHeavy, 1.0, 0, 0.0, 5);
+
+    // (a) simulation on 4 free nodes.
+    let grid = {
+        let nodes = (0..4)
+            .map(|i| Node::new(NodeSpec::new(format!("n{i}"), 1.0, 1), LoadModel::free()))
+            .collect();
+        GridSpec::new(nodes, Topology::uniform(4, LinkSpec::lan()))
+    };
+    let narrow = Mapping::from_assignment(&[NodeId(0), NodeId(1), NodeId(2)]);
+    let wide = Mapping::new(vec![
+        Placement::single(NodeId(0)),
+        Placement::replicated(vec![NodeId(1), NodeId(3)]),
+        Placement::single(NodeId(2)),
+    ]);
+    let sim_narrow = sim_run(
+        &grid,
+        &spec,
+        &SimConfig {
+            items: 200,
+            initial_mapping: Some(narrow.clone()),
+            ..SimConfig::default()
+        },
+    );
+    let sim_wide = sim_run(
+        &grid,
+        &spec,
+        &SimConfig {
+            items: 200,
+            initial_mapping: Some(wide.clone()),
+            ..SimConfig::default()
+        },
+    );
+    assert!(
+        sim_wide.makespan.as_secs_f64() < sim_narrow.makespan.as_secs_f64() * 0.75,
+        "sim: replication must clearly win ({} vs {})",
+        sim_wide.makespan,
+        sim_narrow.makespan
+    );
+
+    // (b) threaded engine, 2 ms work units.
+    let items = 120u64;
+    let mk_cfg = |mapping: Mapping| {
+        let mut cfg = EngineConfig::new((0..4).map(|i| VNodeSpec::free(format!("v{i}"))).collect());
+        cfg.initial_mapping = Some(mapping);
+        cfg
+    };
+    let eng_narrow = run_pipeline(
+        synth_pipeline(&spec),
+        synth_items(&spec, items, 0.002),
+        &mk_cfg(narrow),
+    );
+    let eng_wide = run_pipeline(
+        synth_pipeline(&spec),
+        synth_items(&spec, items, 0.002),
+        &mk_cfg(wide),
+    );
+    assert_eq!(eng_narrow.report.completed, items);
+    assert_eq!(eng_wide.report.completed, items);
+    if multicore(5) {
+        assert!(
+            eng_wide.report.makespan.as_secs_f64() < eng_narrow.report.makespan.as_secs_f64() * 0.9,
+            "engine: replication must win ({} vs {})",
+            eng_wide.report.makespan,
+            eng_narrow.report.makespan
+        );
+    } else {
+        eprintln!(
+            "host has <5 cores: skipping wall-clock speedup assertion \
+             (narrow {}, wide {})",
+            eng_narrow.report.makespan, eng_wide.report.makespan
+        );
+    }
+}

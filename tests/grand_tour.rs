@@ -1,0 +1,102 @@
+//! The grand tour: one scenario exercising every subsystem together —
+//! domain workload cost shape, heterogeneous grid, background load,
+//! fault injection, adaptive control with all stability mechanisms, and
+//! report plumbing (timeline, latencies, stage metrics, events).
+
+use adapipe::prelude::*;
+
+#[test]
+fn everything_at_once() {
+    // Grid: hetero8 with one extra slowdown and one crash on top of its
+    // built-in random-walk load.
+    let seed = 1234;
+    let mut grid = testbed_hetero8(seed);
+    FaultPlan::new()
+        .slowdown(
+            NodeId(2),
+            SimTime::from_secs_f64(80.0),
+            SimTime::from_secs_f64(400.0),
+            0.2,
+        )
+        .crash(NodeId(4), SimTime::from_secs_f64(150.0))
+        .apply(&mut grid);
+
+    // Workload: the imaging pipeline's cost shape, jittered per item,
+    // with a stateful final stage carrying 8 MB of state.
+    let imaging_profile = imaging_pipeline(96).spec().profile();
+    let mut stages: Vec<StageSpec> = imaging_profile
+        .stage_work
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            StageSpec::balanced(format!("img{i}"), w, imaging_profile.boundary_bytes[i + 1])
+                .with_work(Box::new(UniformWork::new(w, 0.25, seed + i as u64)))
+        })
+        .collect();
+    let last = stages.len() - 1;
+    stages[last] = StageSpec::balanced("collect", 0.1, 8).with_state(8 << 20);
+    let mut spec = PipelineSpec::new(stages);
+    spec.input_bytes = imaging_profile.boundary_bytes[0];
+
+    let items = 800u64;
+    let mk = |policy| SimConfig {
+        items,
+        arrivals: ArrivalProcess::Poisson { rate: 2.0, seed },
+        policy,
+        observation_noise: 0.05,
+        noise_seed: seed,
+        ..SimConfig::default()
+    };
+
+    let static_r = sim_run(&grid, &spec, &mk(Policy::Static));
+    let adaptive_r = sim_run(&grid, &spec, &mk(Policy::periodic_default()));
+
+    // Adaptive must complete everything despite the crash; static may
+    // strand items on the dead node (if it mapped anything there).
+    assert_eq!(adaptive_r.completed, items);
+    assert!(!adaptive_r.truncated);
+    assert!(adaptive_r.adaptation_count() >= 1, "faults must trigger adaptation");
+
+    // If static also completed (planner may have avoided n4 at launch),
+    // adaptive must not be meaningfully slower; if static stranded
+    // items, adaptation already proved its point.
+    if !static_r.truncated {
+        assert!(
+            adaptive_r.makespan.as_secs_f64() <= static_r.makespan.as_secs_f64() * 1.10,
+            "adaptive {} vs static {}",
+            adaptive_r.makespan,
+            static_r.makespan
+        );
+    }
+
+    // Report plumbing end-to-end.
+    assert_eq!(adaptive_r.timeline.total(), items);
+    assert_eq!(adaptive_r.latencies.len(), items as usize);
+    let p50 = adaptive_r.latency_percentile(0.5).expect("latencies recorded");
+    let p99 = adaptive_r.latency_percentile(0.99).expect("latencies recorded");
+    assert!(p50 <= p99);
+    assert!(adaptive_r.mean_latency > SimDuration::ZERO);
+    assert!(adaptive_r.planning_cycles > 0);
+    // Every stage processed every item exactly once (stage metrics count
+    // tasks, which can exceed items only via... nothing: no retries).
+    for s in 0..spec.len() {
+        assert_eq!(
+            adaptive_r.stage_metrics.stage(s).count(),
+            items,
+            "stage {s} task count"
+        );
+    }
+    // The final mapping avoids the crashed node.
+    assert!(
+        !adaptive_r
+            .final_mapping
+            .nodes_used()
+            .contains(&NodeId(4)),
+        "crashed node still mapped: {}",
+        adaptive_r.final_mapping
+    );
+    // Determinism of the whole tour.
+    let again = sim_run(&grid, &spec, &mk(Policy::periodic_default()));
+    assert_eq!(again.makespan, adaptive_r.makespan);
+    assert_eq!(again.adaptation_count(), adaptive_r.adaptation_count());
+}

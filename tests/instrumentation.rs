@@ -1,0 +1,100 @@
+//! Integration tests for self-instrumentation: the skeleton's measured
+//! service times must agree with the physics it simulates — the property
+//! that makes "plan from your own measurements" sound at all.
+
+use adapipe::prelude::*;
+
+#[test]
+fn measured_service_times_match_configuration() {
+    // Stage works 1, 2, 3 on unit-speed free nodes: mean service must be
+    // 1 s, 2 s, 3 s.
+    let grid = testbed_small3();
+    let spec = PipelineSpec::new(vec![
+        StageSpec::balanced("s0", 1.0, 0),
+        StageSpec::balanced("s1", 2.0, 0),
+        StageSpec::balanced("s2", 3.0, 0),
+    ]);
+    let report = sim_run(
+        &grid,
+        &spec,
+        &SimConfig {
+            items: 100,
+            initial_mapping: Some(Mapping::from_assignment(&[NodeId(0), NodeId(1), NodeId(2)])),
+            ..SimConfig::default()
+        },
+    );
+    for (s, want) in [(0usize, 1.0f64), (1, 2.0), (2, 3.0)] {
+        let stats = report.stage_metrics.stage(s);
+        assert_eq!(stats.count(), 100);
+        let mean = stats.mean_service().unwrap().as_secs_f64();
+        assert!(
+            (mean - want).abs() < 1e-6,
+            "stage {s}: measured {mean}, expected {want}"
+        );
+    }
+    assert_eq!(report.stage_metrics.bottleneck_stage(), Some(2));
+}
+
+#[test]
+fn measured_effective_rate_reflects_background_load() {
+    // One stage on a node at 40 % availability: effective rate must be
+    // measured as ≈ 0.4 work units per busy second.
+    let mut grid = testbed_small3();
+    grid.set_load(NodeId(0), LoadModel::constant(0.4));
+    let spec = PipelineSpec::balanced(1, 1.0, 0);
+    let report = sim_run(
+        &grid,
+        &spec,
+        &SimConfig {
+            items: 50,
+            initial_mapping: Some(Mapping::from_assignment(&[NodeId(0)])),
+            ..SimConfig::default()
+        },
+    );
+    let rate = report.stage_metrics.stage(0).effective_rate().unwrap();
+    assert!((rate - 0.4).abs() < 1e-6, "measured rate {rate}");
+}
+
+#[test]
+fn threaded_engine_reports_stage_metrics() {
+    let pipeline = PipelineBuilder::<u64>::new()
+        .stage(StageSpec::balanced("spin", 0.004, 8), |x: u64| {
+            spin_for(std::time::Duration::from_millis(4));
+            x
+        })
+        .build();
+    let cfg = EngineConfig::new(vec![VNodeSpec::free("v0")]);
+    let outcome = run_pipeline(pipeline, (0..30).collect(), &cfg);
+    let stats = outcome.report.stage_metrics.stage(0);
+    assert_eq!(stats.count(), 30);
+    let mean_ms = stats.mean_service().unwrap().as_secs_f64() * 1e3;
+    assert!(
+        mean_ms >= 4.0 && mean_ms < 50.0,
+        "wall service {mean_ms:.1} ms for a 4 ms spin"
+    );
+}
+
+#[test]
+fn slowdown_is_visible_in_measured_service() {
+    // Same 3 ms spin on a free vs a 25 %-speed vnode: the measured mean
+    // service time must reflect the compensating sleep.
+    let mk = || {
+        PipelineBuilder::<u64>::new()
+            .stage(StageSpec::balanced("spin", 0.003, 8), |x: u64| {
+                spin_for(std::time::Duration::from_millis(3));
+                x
+            })
+            .build()
+    };
+    let fast_cfg = EngineConfig::new(vec![VNodeSpec::free("fast")]);
+    let slow_cfg = EngineConfig::new(vec![VNodeSpec::with_speed("slow", 0.25)]);
+    let fast = run_pipeline(mk(), (0..20).collect(), &fast_cfg);
+    let slow = run_pipeline(mk(), (0..20).collect(), &slow_cfg);
+    let fast_mean = fast.report.stage_metrics.stage(0).mean_service().unwrap();
+    let slow_mean = slow.report.stage_metrics.stage(0).mean_service().unwrap();
+    let ratio = slow_mean.as_secs_f64() / fast_mean.as_secs_f64();
+    assert!(
+        ratio > 2.5,
+        "quarter speed should inflate service ~4x, measured {ratio:.2}x"
+    );
+}
