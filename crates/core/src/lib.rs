@@ -53,15 +53,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod controller;
 pub mod farm;
-pub mod metrics;
 pub mod pipeline;
-pub mod policy;
-pub mod report;
 pub mod simengine;
 pub mod spec;
 pub mod stage;
+
+// The adaptation machinery (controller, policies, reports, metrics)
+// moved to `adapipe-runtime`, the backend-agnostic runtime layer; the
+// historical `adapipe_core::*` paths remain valid through these
+// re-exports.
+pub use adapipe_runtime::{controller, metrics, policy, report};
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -74,6 +76,9 @@ pub mod prelude {
     pub use crate::simengine::{run as sim_run, ArrivalProcess, SimConfig};
     pub use crate::spec::{ConstantWork, PipelineSpec, StageSpec, UniformWork, WorkModel};
     pub use crate::stage::{BoxedItem, DynStage, FnStage, SealedStage, StatefulFnStage};
+    pub use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
+    pub use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
+    pub use adapipe_runtime::routing::{RoutingTable, Selection};
 }
 
 pub use prelude::*;

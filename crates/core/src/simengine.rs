@@ -7,71 +7,35 @@
 //! the node's availability function exactly, so background load slows
 //! service in precisely the way the pattern must detect and react to.
 //!
-//! Re-mapping semantics: in-flight tasks finish on their old host; queued
-//! items of a moved stage re-home to the new host after the migration
-//! cost (state transfer + drain overhead); items already in transit
-//! towards an old host are forwarded on arrival. Stateful stages
-//! additionally block their new instance until the state arrives.
+//! This module is the *simulation backend* of the shared adaptive
+//! runtime: routing goes through `adapipe-runtime`'s
+//! [`RoutingTable`], and sensing/planning/re-mapping through its
+//! [`AdaptationLoop`] — the identical code the threaded engine runs.
+//! What lives here is only what is physically simulated: event
+//! scheduling, queueing, transfers, and the re-mapping *commit*
+//! semantics — in-flight tasks finish on their old host; queued items of
+//! a moved stage re-home to the new host after the migration cost (state
+//! transfer + drain overhead); items already in transit towards an old
+//! host are forwarded on arrival. Stateful stages additionally block
+//! their new instance until the state arrives.
 
-use crate::controller::{Controller, ControllerConfig};
-use crate::policy::Policy;
-use crate::report::RunReport;
 use crate::spec::PipelineSpec;
 use adapipe_gridsim::event::EventQueue;
 use adapipe_gridsim::grid::GridSpec;
 use adapipe_gridsim::net::LinkQueue;
 use adapipe_gridsim::node::NodeId;
-use adapipe_gridsim::rng::{exp_at, mix, unit_f64};
 use adapipe_gridsim::time::{SimDuration, SimTime};
-use adapipe_gridsim::trace::ThroughputTimeline;
 use adapipe_mapper::mapping::Mapping;
-use adapipe_mapper::model::evaluate;
-use adapipe_monitor::sensor::NoisyChannel;
+use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
+use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
+use adapipe_runtime::controller::ControllerConfig;
+use adapipe_runtime::policy::Policy;
+use adapipe_runtime::report::{ReportBuilder, RunReport};
+use adapipe_runtime::routing::{RoutingTable, Selection};
 use std::collections::{HashMap, VecDeque};
+use std::sync::RwLock;
 
-/// How input items enter the pipeline.
-#[derive(Clone, Copy, Debug)]
-pub enum ArrivalProcess {
-    /// The whole stream is available at `t = 0` (closed workload).
-    AllAtOnce,
-    /// One item every `1/rate` seconds.
-    Uniform {
-        /// Items per second.
-        rate: f64,
-    },
-    /// Poisson arrivals with the given mean rate, deterministic per seed.
-    Poisson {
-        /// Mean items per second.
-        rate: f64,
-        /// Stream seed.
-        seed: u64,
-    },
-}
-
-impl ArrivalProcess {
-    /// Materialises the arrival time of every item.
-    fn schedule(&self, items: u64) -> Vec<SimTime> {
-        match *self {
-            ArrivalProcess::AllAtOnce => vec![SimTime::ZERO; items as usize],
-            ArrivalProcess::Uniform { rate } => {
-                assert!(rate > 0.0, "arrival rate must be positive");
-                (0..items)
-                    .map(|i| SimTime::from_secs_f64(i as f64 / rate))
-                    .collect()
-            }
-            ArrivalProcess::Poisson { rate, seed } => {
-                assert!(rate > 0.0, "arrival rate must be positive");
-                let mut t = 0.0f64;
-                (0..items)
-                    .map(|i| {
-                        t += exp_at(seed, i, 1.0 / rate);
-                        SimTime::from_secs_f64(t)
-                    })
-                    .collect()
-            }
-        }
-    }
-}
+pub use adapipe_runtime::arrivals::ArrivalProcess;
 
 /// Simulation run configuration.
 #[derive(Clone, Debug)]
@@ -86,6 +50,8 @@ pub struct SimConfig {
     pub controller: ControllerConfig,
     /// Launch mapping; `None` plans one from availability at `t = 0`.
     pub initial_mapping: Option<Mapping>,
+    /// How items are dealt among a replicated stage's hosts.
+    pub selection: Selection,
     /// Relative magnitude of availability observation noise (0 = clean).
     pub observation_noise: f64,
     /// Seed for the observation noise stream.
@@ -107,6 +73,7 @@ impl Default for SimConfig {
             policy: Policy::Static,
             controller: ControllerConfig::default(),
             initial_mapping: None,
+            selection: Selection::RoundRobin,
             observation_noise: 0.0,
             noise_seed: 1,
             timeline_bucket: SimDuration::from_secs(5),
@@ -147,44 +114,34 @@ pub fn run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
     Sim::new(grid, spec, cfg).run()
 }
 
-struct Sim<'a> {
+/// The physically simulated world: event queue, node queues, transfers.
+/// Implements [`ExecutionBackend`] so the shared [`AdaptationLoop`] can
+/// sense it and commit re-mappings into it.
+struct SimWorld<'a> {
     grid: &'a GridSpec,
     spec: &'a PipelineSpec,
-    cfg: &'a SimConfig,
-    profile: adapipe_mapper::model::PipelineProfile,
-    speeds: Vec<f64>,
-    state_bytes: Vec<u64>,
     ns: usize,
+    horizon: SimTime,
+    link_contention: bool,
 
     events: EventQueue<Ev>,
-    mapping: Mapping,
+    now: SimTime,
     queues: HashMap<(usize, usize), VecDeque<u64>>,
     ready_at: HashMap<(usize, usize), SimTime>,
     free_cores: Vec<u32>,
-    rr_route: Vec<usize>,
     rr_exec: Vec<usize>,
     link_q: HashMap<(usize, usize), LinkQueue>,
 
-    controller: Controller,
-    noise: NoisyChannel,
-    expected_tput: f64,
-    last_tick_completed: u64,
-    ticks_seen: u32,
-    /// Mapping to revert to if the regret guard trips, with the tick the
-    /// current mapping was adopted.
-    guard_prev: Option<(Mapping, u32)>,
-    guard_bad: u32,
-    hold_until_tick: u32,
-
-    horizon: SimTime,
     arrival_time: Vec<SimTime>,
-    completed: u64,
-    latency_sum: SimDuration,
-    latencies: Vec<SimDuration>,
-    last_completion: SimTime,
     node_busy: Vec<SimDuration>,
-    timeline: ThroughputTimeline,
+    report: ReportBuilder,
     stage_metrics: crate::metrics::StageMetrics,
+}
+
+struct Sim<'a> {
+    world: SimWorld<'a>,
+    routing: RwLock<RoutingTable>,
+    aloop: AdaptationLoop,
 }
 
 impl<'a> Sim<'a> {
@@ -193,14 +150,18 @@ impl<'a> Sim<'a> {
         profile.validate();
         let np = grid.len();
         let speeds: Vec<f64> = grid.node_ids().map(|id| grid.node(id).spec.speed).collect();
-        let controller = Controller::new(np, cfg.controller.clone());
 
         // Launch mapping: supplied, or planned from availability at t=0
         // (what a launch-time scheduler with fresh information would do).
+        let launch_rates = grid.rates_at(SimTime::ZERO);
         let mapping = cfg.initial_mapping.clone().unwrap_or_else(|| {
-            let rates = grid.rates_at(SimTime::ZERO);
-            adapipe_mapper::search::plan(&profile, &rates, grid.topology(), &cfg.controller.planner)
-                .mapping
+            adapipe_mapper::search::plan(
+                &profile,
+                &launch_rates,
+                grid.topology(),
+                &cfg.controller.planner,
+            )
+            .mapping
         });
         assert_eq!(mapping.len(), spec.len(), "mapping must cover every stage");
         for node in mapping.nodes_used() {
@@ -210,116 +171,143 @@ impl<'a> Sim<'a> {
             );
         }
 
-        let launch_rates = grid.rates_at(SimTime::ZERO);
-        let expected_tput = evaluate(&profile, &mapping, &launch_rates, grid.topology()).throughput;
-
-        Sim {
-            ns: spec.len(),
-            state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
+        let runtime_cfg = RuntimeConfig {
+            policy: cfg.policy,
+            controller: cfg.controller.clone(),
             profile,
+            topology: grid.topology().clone(),
             speeds,
+            state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
+            total_items: cfg.items,
+            observation_noise: cfg.observation_noise,
+            noise_seed: cfg.noise_seed,
+        };
+        let aloop = AdaptationLoop::new(runtime_cfg, &mapping, &launch_rates);
+
+        let world = SimWorld {
             grid,
             spec,
-            cfg,
+            ns: spec.len(),
+            horizon: SimTime::ZERO + cfg.max_sim_time,
+            link_contention: cfg.link_contention,
             events: EventQueue::new(),
-            mapping,
+            now: SimTime::ZERO,
             queues: HashMap::new(),
             ready_at: HashMap::new(),
             free_cores: grid.node_ids().map(|id| grid.node(id).spec.cores).collect(),
-            rr_route: vec![0; spec.len()],
             rr_exec: vec![0; np],
             link_q: HashMap::new(),
-            controller,
-            noise: if cfg.observation_noise > 0.0 {
-                NoisyChannel::new(cfg.noise_seed, cfg.observation_noise)
-            } else {
-                NoisyChannel::clean()
-            },
-            expected_tput,
-            last_tick_completed: 0,
-            ticks_seen: 0,
-            guard_prev: None,
-            guard_bad: 0,
-            hold_until_tick: 0,
-            horizon: SimTime::ZERO + cfg.max_sim_time,
             arrival_time: vec![SimTime::ZERO; cfg.items as usize],
-            completed: 0,
-            latency_sum: SimDuration::ZERO,
-            latencies: Vec::with_capacity(cfg.items as usize),
-            last_completion: SimTime::ZERO,
             node_busy: vec![SimDuration::ZERO; np],
-            timeline: ThroughputTimeline::new(cfg.timeline_bucket),
+            report: ReportBuilder::new(cfg.timeline_bucket, cfg.items),
             stage_metrics: crate::metrics::StageMetrics::new(spec.len()),
+        };
+
+        let mut sim = Sim {
+            world,
+            routing: RwLock::new(RoutingTable::with_selection(mapping, cfg.selection)),
+            aloop,
+        };
+        for (item, &at) in cfg.arrivals.schedule(cfg.items).iter().enumerate() {
+            sim.world
+                .events
+                .schedule(at, Ev::Arrive { item: item as u64 });
         }
+        if let Some(interval) = sim.aloop.interval() {
+            sim.world
+                .events
+                .schedule(SimTime::ZERO + interval, Ev::Tick);
+            let sample_dt = sim.aloop.sample_dt().expect("interval implies samples");
+            sim.world
+                .events
+                .schedule(SimTime::ZERO + sample_dt, Ev::Sample);
+        }
+        sim
     }
 
-    fn run(mut self) -> RunReport {
-        for (item, &at) in self
-            .cfg
-            .arrivals
-            .schedule(self.cfg.items)
-            .iter()
-            .enumerate()
-        {
-            self.events.schedule(at, Ev::Arrive { item: item as u64 });
-        }
-        if let Some(interval) = self.cfg.policy.interval() {
-            self.events.schedule(SimTime::ZERO + interval, Ev::Tick);
-            let sample_dt = self.sample_dt(interval);
-            self.events.schedule(SimTime::ZERO + sample_dt, Ev::Sample);
-        }
+    fn run(self) -> RunReport {
+        let Sim {
+            mut world,
+            routing,
+            mut aloop,
+        } = self;
 
-        let horizon = self.horizon;
-        let mut truncated = false;
-        while self.completed < self.cfg.items {
-            let Some((now, ev)) = self.events.pop() else {
-                truncated = true;
-                break;
+        let horizon = world.horizon;
+        while !world.report.all_done() {
+            let Some((now, ev)) = world.events.pop() else {
+                break; // starved: the report stays truncated
             };
             if now > horizon {
-                truncated = true;
                 break;
             }
+            world.now = now;
             match ev {
-                Ev::Arrive { item } => self.on_arrive(item, now),
-                Ev::StageIn { item, stage, node } => self.on_stage_in(item, stage, node, now),
+                Ev::Arrive { item } => {
+                    let table = routing.read().expect("routing lock poisoned");
+                    world.on_arrive(&table, item, now);
+                }
+                Ev::StageIn { item, stage, node } => {
+                    let table = routing.read().expect("routing lock poisoned");
+                    world.on_stage_in(&table, item, stage, node, now);
+                }
                 Ev::Done {
                     item,
                     stage,
                     node,
                     started,
-                } => self.on_done(item, stage, node, started, now),
-                Ev::Tick => self.on_tick(now),
-                Ev::Sample => self.on_sample(now),
-                Ev::Retry { node } => self.try_dispatch(node, now),
+                } => {
+                    let table = routing.read().expect("routing lock poisoned");
+                    world.on_done(&table, item, stage, node, started, now);
+                }
+                Ev::Retry { node } => {
+                    let table = routing.read().expect("routing lock poisoned");
+                    world.try_dispatch(&table, node, now);
+                }
+                Ev::Tick => {
+                    let _ = aloop.tick(&mut world, &routing);
+                    if !world.report.all_done() {
+                        let interval = aloop.interval().expect("tick implies interval");
+                        world.events.schedule(now + interval, Ev::Tick);
+                    }
+                }
+                Ev::Sample => {
+                    aloop.sample(&world);
+                    if !world.report.all_done() {
+                        let sample_dt = aloop.sample_dt().expect("sample implies interval");
+                        world.events.schedule(now + sample_dt, Ev::Sample);
+                    }
+                }
             }
         }
 
-        let planning_cycles = self.controller.plans_evaluated();
-        RunReport {
-            completed: self.completed,
-            makespan: self.last_completion,
-            mean_latency: if self.completed > 0 {
-                SimDuration::from_secs_f64(self.latency_sum.as_secs_f64() / self.completed as f64)
-            } else {
-                SimDuration::ZERO
-            },
-            latencies: self.latencies,
-            timeline: self.timeline,
-            adaptations: self.controller.into_events(),
-            node_busy: self.node_busy,
-            final_mapping: self.mapping,
+        let (adaptations, planning_cycles) = aloop.finish();
+        let final_mapping = routing
+            .into_inner()
+            .expect("routing lock poisoned")
+            .mapping()
+            .clone();
+        let SimWorld {
+            report,
+            node_busy,
+            stage_metrics,
+            ..
+        } = world;
+        report.finish(
+            final_mapping,
+            adaptations,
             planning_cycles,
-            stage_metrics: self.stage_metrics,
-            truncated,
-        }
+            node_busy,
+            stage_metrics,
+        )
     }
+}
 
+impl SimWorld<'_> {
     // --- event handlers -------------------------------------------------
 
-    fn on_arrive(&mut self, item: u64, now: SimTime) {
+    fn on_arrive(&mut self, routing: &RoutingTable, item: u64, now: SimTime) {
         self.arrival_time[item as usize] = now;
-        let dest = self.choose_replica(0);
+        let dest = self.route_item(routing, 0);
         let at = match self.spec.source {
             Some(src) => self.transfer(src.index(), dest, self.spec.input_bytes, now),
             None => now,
@@ -334,14 +322,21 @@ impl<'a> Sim<'a> {
         );
     }
 
-    fn on_stage_in(&mut self, item: u64, stage: usize, node: usize, now: SimTime) {
+    fn on_stage_in(
+        &mut self,
+        routing: &RoutingTable,
+        item: u64,
+        stage: usize,
+        node: usize,
+        now: SimTime,
+    ) {
         if stage == self.ns {
             self.record_completion(item, now);
             return;
         }
-        if !self.mapping.placement(stage).contains(NodeId(node)) {
+        if !routing.contains(stage, NodeId(node)) {
             // The stage moved while this item was in transit: forward it.
-            let dest = self.choose_replica(stage);
+            let dest = self.route_item(routing, stage);
             let bytes = self.boundary_bytes_into(stage);
             let at = self.transfer(node, dest, bytes, now);
             self.events.schedule(
@@ -358,10 +353,18 @@ impl<'a> Sim<'a> {
             .entry((stage, node))
             .or_default()
             .push_back(item);
-        self.try_dispatch(node, now);
+        self.try_dispatch(routing, node, now);
     }
 
-    fn on_done(&mut self, item: u64, stage: usize, node: usize, started: SimTime, now: SimTime) {
+    fn on_done(
+        &mut self,
+        routing: &RoutingTable,
+        item: u64,
+        stage: usize,
+        node: usize,
+        started: SimTime,
+        now: SimTime,
+    ) {
         self.free_cores[node] += 1;
         self.node_busy[node] = self.node_busy[node].saturating_add(now - started);
         self.stage_metrics
@@ -384,7 +387,7 @@ impl<'a> Sim<'a> {
                 None => self.record_completion(item, now),
             }
         } else {
-            let dest = self.choose_replica(stage + 1);
+            let dest = self.route_item(routing, stage + 1);
             let at = self.transfer(node, dest, self.spec.stages[stage].out_bytes, now);
             self.events.schedule(
                 at,
@@ -395,143 +398,20 @@ impl<'a> Sim<'a> {
                 },
             );
         }
-        self.try_dispatch(node, now);
-    }
-
-    /// Sub-interval spacing of availability observations.
-    fn sample_dt(&self, interval: SimDuration) -> SimDuration {
-        let divisions = self.cfg.controller.samples_per_interval.max(1);
-        SimDuration::from_nanos((interval.as_nanos() / divisions as u64).max(1))
-    }
-
-    /// One availability observation on every node (the NWS stand-in).
-    /// Like NWS's CPU sensor, the observation is the *mean* availability
-    /// over the elapsed sample window, not a point sample: point-sampling
-    /// a load oscillating near the sensing frequency aliases into
-    /// forecast flapping and re-mapping churn.
-    fn on_sample(&mut self, now: SimTime) {
-        let interval = self.cfg.policy.interval().expect("sample implies interval");
-        let sample_dt = self.sample_dt(interval);
-        let now_secs = now.as_secs_f64();
-        let window_start = SimTime::from_nanos(now.as_nanos().saturating_sub(sample_dt.as_nanos()));
-        for i in 0..self.grid.len() {
-            let load = &self.grid.node(NodeId(i)).load;
-            let truth = if window_start < now {
-                load.mean_availability(window_start, now)
-            } else {
-                load.availability(now)
-            };
-            let observed = self.noise.perturb(truth).clamp(0.0, 1.0);
-            self.controller.observe_availability(i, now_secs, observed);
-        }
-        if self.completed < self.cfg.items {
-            self.events.schedule(now + sample_dt, Ev::Sample);
-        }
-    }
-
-    fn on_tick(&mut self, now: SimTime) {
-        let interval = self.cfg.policy.interval().expect("tick implies interval");
-
-        // 2. Realized-throughput regret guard: compare what the adopted
-        // mapping delivers against what the model promised; on sustained
-        // shortfall revert and hold. Measured throughput is immune to the
-        // forecast pathologies that motivate this (see ControllerConfig).
-        self.ticks_seen += 1;
-        let realized = (self.completed - self.last_tick_completed) as f64 / interval.as_secs_f64();
-        self.last_tick_completed = self.completed;
-        let guard_cfg_ticks = self.cfg.controller.guard_bad_ticks;
-        if guard_cfg_ticks > 0 {
-            if let Some((prev, adopted_tick)) = self.guard_prev.clone() {
-                // Skip the adoption tick itself: migration transients
-                // depress throughput legitimately.
-                if self.ticks_seen > adopted_tick + 1 && self.expected_tput > 0.0 {
-                    if realized < self.cfg.controller.guard_tolerance * self.expected_tput {
-                        self.guard_bad += 1;
-                    } else {
-                        self.guard_bad = 0;
-                        // The mapping has proven itself: stop guarding it.
-                        if self.ticks_seen > adopted_tick + 3 {
-                            self.guard_prev = None;
-                        }
-                    }
-                    if self.guard_bad >= guard_cfg_ticks {
-                        // Revert and hold.
-                        let rates = self.controller.forecast_rates(&self.speeds);
-                        self.expected_tput =
-                            evaluate(&self.profile, &prev, &rates, self.grid.topology()).throughput;
-                        self.apply_remap(prev, now);
-                        self.guard_prev = None;
-                        self.guard_bad = 0;
-                        self.hold_until_tick =
-                            self.ticks_seen + self.cfg.controller.guard_hold_ticks;
-                    }
-                }
-            }
-        }
-
-        // 3. Policy-specific planning — but never before the warm-up
-        // observation history exists, and not during a guard hold-down.
-        let warmed_up = self.ticks_seen > self.cfg.controller.warmup_ticks
-            && self.ticks_seen >= self.hold_until_tick;
-        let remaining = self.cfg.items - self.completed;
-        let rates: Option<Vec<f64>> = match self.cfg.policy {
-            _ if !warmed_up => None,
-            Policy::Static => None,
-            Policy::Periodic { .. } => Some(self.controller.forecast_rates(&self.speeds)),
-            Policy::Reactive { degradation, .. } => {
-                if realized < degradation * self.expected_tput {
-                    Some(self.controller.forecast_rates(&self.speeds))
-                } else {
-                    None
-                }
-            }
-            Policy::Oracle { .. } => {
-                // True mean availability over the next interval.
-                let to = now + interval;
-                Some(
-                    (0..self.grid.len())
-                        .map(|i| {
-                            self.speeds[i]
-                                * self.grid.node(NodeId(i)).load.mean_availability(now, to)
-                        })
-                        .collect(),
-                )
-            }
-        };
-
-        if let Some(rates) = rates {
-            let new = self.controller.consider(
-                now,
-                &self.profile,
-                self.grid.topology(),
-                &rates,
-                &self.mapping,
-                remaining,
-                &self.state_bytes,
-            );
-            if let Some(new_mapping) = new {
-                self.expected_tput =
-                    evaluate(&self.profile, &new_mapping, &rates, self.grid.topology()).throughput;
-                self.guard_prev = Some((self.mapping.clone(), self.ticks_seen));
-                self.guard_bad = 0;
-                self.apply_remap(new_mapping, now);
-            }
-        }
-
-        // 4. Next tick (unless the stream is already finished).
-        if self.completed < self.cfg.items {
-            self.events.schedule(now + interval, Ev::Tick);
-        }
+        self.try_dispatch(routing, node, now);
     }
 
     // --- mechanics --------------------------------------------------------
 
-    /// Chooses the replica host of `stage` for the next item (round-robin).
-    fn choose_replica(&mut self, stage: usize) -> usize {
-        let placement = self.mapping.placement(stage);
-        let idx = self.rr_route[stage] % placement.width();
-        self.rr_route[stage] += 1;
-        placement.hosts()[idx].index()
+    /// Destination replica for the next item of `stage`, under the
+    /// configured selection policy (least-loaded probes the simulated
+    /// queue depths).
+    fn route_item(&self, routing: &RoutingTable, stage: usize) -> usize {
+        routing
+            .route_with_load(stage, |n| {
+                self.queues.get(&(stage, n.index())).map_or(0, |q| q.len())
+            })
+            .index()
     }
 
     /// Bytes entering `stage` (its upstream boundary).
@@ -549,7 +429,7 @@ impl<'a> Sim<'a> {
             .grid
             .topology()
             .transfer_time(NodeId(from), NodeId(to), bytes);
-        if self.cfg.link_contention && from != to {
+        if self.link_contention && from != to {
             self.link_q.entry((from, to)).or_default().schedule(now, d)
         } else {
             now + d
@@ -557,9 +437,9 @@ impl<'a> Sim<'a> {
     }
 
     /// Starts as many queued tasks as the node has free cores.
-    fn try_dispatch(&mut self, node: usize, now: SimTime) {
+    fn try_dispatch(&mut self, routing: &RoutingTable, node: usize, now: SimTime) {
         while self.free_cores[node] > 0 {
-            let Some(stage) = self.pick_ready_stage(node, now) else {
+            let Some(stage) = self.pick_ready_stage(routing, node, now) else {
                 break;
             };
             let item = self
@@ -581,6 +461,7 @@ impl<'a> Sim<'a> {
                 break;
             }
             self.free_cores[node] -= 1;
+            self.on_dispatch(stage, node, item);
             self.events.schedule(
                 done_at,
                 Ev::Done {
@@ -595,12 +476,17 @@ impl<'a> Sim<'a> {
 
     /// The next stage hosted on `node` with a ready, non-empty queue,
     /// scanned round-robin for fairness among coalesced stages.
-    fn pick_ready_stage(&mut self, node: usize, now: SimTime) -> Option<usize> {
+    fn pick_ready_stage(
+        &mut self,
+        routing: &RoutingTable,
+        node: usize,
+        now: SimTime,
+    ) -> Option<usize> {
         let ns = self.ns;
         let start = self.rr_exec[node];
         for off in 0..ns {
             let stage = (start + off) % ns;
-            if !self.mapping.placement(stage).contains(NodeId(node)) {
+            if !routing.contains(stage, NodeId(node)) {
                 continue;
             }
             if self
@@ -623,40 +509,52 @@ impl<'a> Sim<'a> {
     }
 
     fn record_completion(&mut self, item: u64, now: SimTime) {
-        self.completed += 1;
-        self.timeline.record(now);
-        self.last_completion = now;
         let latency = now.saturating_since(self.arrival_time[item as usize]);
-        self.latency_sum = self.latency_sum.saturating_add(latency);
-        self.latencies.push(latency);
+        self.report.record_completion(now, latency);
+    }
+}
+
+impl ExecutionBackend for SimWorld<'_> {
+    fn node_count(&self) -> usize {
+        self.grid.len()
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn mean_availability(&self, node: usize, from: SimTime, to: SimTime) -> f64 {
+        self.grid
+            .node(NodeId(node))
+            .load
+            .mean_availability(from, to)
+    }
+
+    fn completed(&self) -> u64 {
+        self.report.completed()
+    }
+
+    fn oracle_rates(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        (0..self.grid.len())
+            .map(|i| {
+                let node = self.grid.node(NodeId(i));
+                node.spec.speed * node.load.mean_availability(from, to)
+            })
+            .collect()
     }
 
     /// Applies an accepted re-mapping: queued items of moved stages
     /// re-home to the new hosts after the migration cost; stateful stages
     /// block their new instance until state arrives.
-    fn apply_remap(&mut self, new_mapping: Mapping, now: SimTime) {
-        let moved = self.mapping.diff(&new_mapping);
-        let cost = self.controller.migration_cost(
-            &self.mapping,
-            &new_mapping,
-            &self.state_bytes,
-            self.grid.topology(),
-        );
-        let ready = now + cost;
-        for &stage in &moved {
-            let old_hosts: Vec<usize> = self
-                .mapping
-                .placement(stage)
-                .hosts()
-                .iter()
-                .map(|h| h.index())
-                .collect();
-            let new_placement = new_mapping.placement(stage).clone();
+    fn commit_remap(&mut self, plan: &RemapPlan) {
+        let ready = plan.ready_at;
+        for &stage in &plan.moved {
+            let new_placement = plan.to.placement(stage);
             // Drain queues on hosts that no longer serve this stage.
             let mut orphans: Vec<u64> = Vec::new();
-            for &host in &old_hosts {
-                if !new_placement.contains(NodeId(host)) {
-                    if let Some(q) = self.queues.get_mut(&(stage, host)) {
+            for host in plan.from.placement(stage).hosts() {
+                if !new_placement.contains(*host) {
+                    if let Some(q) = self.queues.get_mut(&(stage, host.index())) {
                         orphans.extend(q.drain(..));
                     }
                 }
@@ -683,17 +581,8 @@ impl<'a> Sim<'a> {
                         .schedule(ready, Ev::Retry { node: host.index() });
                 }
             }
-            // Round-robin routing restarts deterministically.
-            self.rr_route[stage] = 0;
         }
-        self.mapping = new_mapping;
     }
-}
-
-/// Deterministic jitter helper exposed for workload crates: uniform in
-/// `[0, 1)` for `(seed, index)` without materialising a stream.
-pub fn jitter(seed: u64, index: u64) -> f64 {
-    unit_f64(mix(seed, index))
 }
 
 #[cfg(test)]
@@ -702,8 +591,6 @@ mod tests {
     use adapipe_gridsim::fault::FaultPlan;
     use adapipe_gridsim::grid::{testbed_hetero8, testbed_small3, GridSpec};
     use adapipe_gridsim::load::LoadModel;
-    use adapipe_gridsim::net::{LinkSpec, Topology};
-    use adapipe_gridsim::node::{Node, NodeSpec};
 
     fn secs(s: f64) -> SimTime {
         SimTime::from_secs_f64(s)
@@ -914,6 +801,38 @@ mod tests {
     }
 
     #[test]
+    fn least_loaded_selection_favours_the_faster_replica() {
+        // One stage replicated over a fast and a 4×-slower node. Under
+        // least-loaded selection items pile up behind the slow replica
+        // and new arrivals steer to the fast one, so the run beats
+        // round-robin (which deals the slow node an equal share).
+        let mut grid = testbed_small3();
+        grid.set_load(n(1), LoadModel::constant(0.25));
+        let spec = PipelineSpec::balanced(1, 1.0, 0);
+        let mapping = Mapping::new(vec![adapipe_mapper::mapping::Placement::replicated(vec![
+            n(0),
+            n(1),
+        ])]);
+        let mk = |selection| SimConfig {
+            items: 200,
+            initial_mapping: Some(mapping.clone()),
+            arrivals: ArrivalProcess::Uniform { rate: 1.2 },
+            selection,
+            ..SimConfig::default()
+        };
+        let rr = run(&grid, &spec, &mk(Selection::RoundRobin));
+        let ll = run(&grid, &spec, &mk(Selection::LeastLoaded));
+        assert_eq!(rr.completed, 200);
+        assert_eq!(ll.completed, 200);
+        assert!(
+            ll.makespan < rr.makespan,
+            "least-loaded {} should beat round-robin {}",
+            ll.makespan,
+            rr.makespan
+        );
+    }
+
+    #[test]
     fn stateful_stage_blocks_until_state_arrives() {
         // Stage 1 is stateful with 100 MB of state: migration over a LAN
         // takes ≈ 0.8 s; the adaptive run must still complete correctly.
@@ -1024,7 +943,7 @@ mod tests {
         // the link is the bottleneck and serialises strictly.
         let grid = testbed_small3();
         let mut spec = PipelineSpec::balanced(2, 0.01, 0);
-        spec.stages[0].out_bytes = 125_000_00; // 12.5 MB over 1 Gbit/s LAN = 0.1 s
+        spec.stages[0].out_bytes = 12_500_000; // 12.5 MB over 1 Gbit/s LAN = 0.1 s
         let mapping = Mapping::from_assignment(&[n(0), n(1)]);
         let mk = |contention| SimConfig {
             items: 100,
@@ -1049,91 +968,6 @@ mod tests {
         assert_eq!(report.completed, 0);
         assert_eq!(report.makespan, SimTime::ZERO);
         assert!(!report.truncated);
-    }
-
-    #[test]
-    fn observation_noise_does_not_break_adaptation() {
-        let mut grid = testbed_small3();
-        FaultPlan::new()
-            .slowdown(n(1), secs(40.0), secs(100_000.0), 0.05)
-            .apply(&mut grid);
-        let spec = PipelineSpec::balanced(3, 1.0, 0);
-        let cfg = SimConfig {
-            items: 400,
-            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
-            policy: Policy::Periodic {
-                interval: SimDuration::from_secs(5),
-            },
-            observation_noise: 0.10,
-            ..SimConfig::default()
-        };
-        let report = run(&grid, &spec, &cfg);
-        assert_eq!(report.completed, 400);
-        assert!(report.adaptation_count() >= 1);
-    }
-
-    #[test]
-    fn regret_guard_reverts_underperforming_remap() {
-        // A load pattern the NWS family mispredicts: square wave
-        // phase-locked to the adaptation interval. Force a remap-prone
-        // controller (no hysteresis) and verify the guard steps in:
-        // the run must end within a modest factor of static.
-        let period = SimDuration::from_secs(10);
-        let nodes = (0..4)
-            .map(|i| {
-                let load = match i {
-                    1 => LoadModel::square_wave(1.0, 0.1, period, 0.5, SimDuration::ZERO),
-                    3 => LoadModel::square_wave(1.0, 0.1, period, 0.5, period.mul_f64(0.5)),
-                    _ => LoadModel::free(),
-                };
-                Node::new(NodeSpec::new(format!("n{i}"), 1.0, 1), load)
-            })
-            .collect();
-        let grid = GridSpec::new(nodes, Topology::uniform(4, LinkSpec::lan()));
-        let spec = PipelineSpec::balanced(4, 1.0, 0);
-        let mapping = Mapping::from_assignment(&[n(0), n(1), n(2), n(3)]);
-
-        let mut with_guard = SimConfig {
-            items: 400,
-            policy: Policy::Periodic {
-                interval: SimDuration::from_secs(5),
-            },
-            initial_mapping: Some(mapping.clone()),
-            ..SimConfig::default()
-        };
-        with_guard.controller.decision = adapipe_mapper::decide::DecisionConfig {
-            min_relative_gain: 0.0,
-            cost_benefit_factor: 0.0,
-        };
-
-        let mut without_guard = with_guard.clone();
-        without_guard.controller.guard_bad_ticks = 0; // disable
-
-        let static_cfg = SimConfig {
-            items: 400,
-            initial_mapping: Some(mapping),
-            ..SimConfig::default()
-        };
-
-        let guarded = run(&grid, &spec, &with_guard);
-        let unguarded = run(&grid, &spec, &without_guard);
-        let static_r = run(&grid, &spec, &static_cfg);
-        assert_eq!(guarded.completed, 400);
-        assert_eq!(unguarded.completed, 400);
-        // The guard must not make things worse than the unguarded
-        // controller, and must keep the loss vs static bounded.
-        assert!(
-            guarded.makespan.as_secs_f64() <= unguarded.makespan.as_secs_f64() * 1.05,
-            "guard hurt: {} vs {}",
-            guarded.makespan,
-            unguarded.makespan
-        );
-        assert!(
-            guarded.makespan.as_secs_f64() <= static_r.makespan.as_secs_f64() * 1.30,
-            "guarded adaptive lost too much to static: {} vs {}",
-            guarded.makespan,
-            static_r.makespan
-        );
     }
 
     #[test]

@@ -7,6 +7,14 @@
 //! swapping that table — the same drain-and-forward semantics the
 //! simulator models.
 //!
+//! This module is the *threaded backend* of the shared adaptive
+//! runtime: routing goes through `adapipe-runtime`'s [`RoutingTable`],
+//! and sensing/planning/re-mapping through its [`AdaptationLoop`] — the
+//! identical code the simulator runs (including the realized-throughput
+//! regret guard). What lives here is only what is physically threaded:
+//! workers, channels, the stage depot, and the re-mapping *commit*
+//! (telling vacated hosts to relinquish their stage instances).
+//!
 //! Stage instances live in a depot: stateless stages are replicated from
 //! a prototype on first use per worker; stateful stages exist exactly
 //! once and physically move between workers on migration (the old host
@@ -22,23 +30,23 @@
 //! at the sink.
 
 use crate::vnode::VNodeSpec;
-use adapipe_core::controller::{Controller, ControllerConfig};
 use adapipe_core::pipeline::Pipeline;
-use adapipe_core::policy::Policy;
-use adapipe_core::report::RunReport;
 use adapipe_core::spec::PipelineSpec;
 use adapipe_core::stage::{BoxedItem, DynStage};
 use adapipe_gridsim::net::{LinkSpec, Topology};
+use adapipe_gridsim::node::NodeId;
 use adapipe_gridsim::time::{SimDuration, SimTime};
-use adapipe_gridsim::trace::ThroughputTimeline;
 use adapipe_mapper::mapping::Mapping;
-use adapipe_mapper::model::evaluate;
-use adapipe_monitor::sensor::NoisyChannel;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Mutex, RwLock};
+use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
+use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
+use adapipe_runtime::controller::ControllerConfig;
+use adapipe_runtime::policy::Policy;
+use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
+use adapipe_runtime::routing::RoutingTable;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 /// Threaded-engine configuration.
@@ -133,7 +141,7 @@ struct Shared {
     /// Planning topology; also drives link emulation when enabled.
     topology: Topology,
     emulate_links: bool,
-    routing: RwLock<Mapping>,
+    routing: RwLock<RoutingTable>,
     /// Per stage: prototype (stateless) or the unique instance (stateful).
     depot: Vec<Mutex<Option<Box<dyn DynStage>>>>,
     senders: Vec<Sender<Msg>>,
@@ -146,6 +154,58 @@ struct Shared {
 impl Shared {
     fn now(&self) -> SimTime {
         SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
+    }
+
+    fn route(&self, stage: usize) -> usize {
+        self.routing
+            .read()
+            .expect("routing lock poisoned")
+            .route(stage)
+            .index()
+    }
+}
+
+/// The threaded engine's view for the shared [`AdaptationLoop`]: wall
+/// clock, vnode load schedules, the completion counter, and the
+/// relinquish-on-remap commit.
+struct EngineBackend {
+    shared: Arc<Shared>,
+}
+
+impl ExecutionBackend for EngineBackend {
+    fn node_count(&self) -> usize {
+        self.shared.vnodes.len()
+    }
+
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    fn mean_availability(&self, node: usize, from: SimTime, to: SimTime) -> f64 {
+        self.shared.vnodes[node].load.mean_availability(from, to)
+    }
+
+    fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    fn oracle_rates(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        self.shared
+            .vnodes
+            .iter()
+            .map(|v| v.speed * v.load.mean_availability(from, to))
+            .collect()
+    }
+
+    fn commit_remap(&mut self, plan: &RemapPlan) {
+        // Old hosts must surrender stateful instances (and drop
+        // stateless replicas to reclaim memory); the new hosts pick them
+        // up from the depot on first use, buffering items meanwhile.
+        for &stage in &plan.moved {
+            for host in plan.from.placement(stage).hosts() {
+                let _ = self.shared.senders[host.index()].send(Msg::Relinquish { stage });
+            }
+        }
     }
 }
 
@@ -176,20 +236,14 @@ where
     assert_eq!(topology.len(), np, "topology must cover every vnode");
 
     let profile = spec.profile();
-    let speeds: Vec<f64> = cfg.vnodes.iter().map(|v| v.speed).collect();
-    let rates_at_start: Vec<f64> = cfg
+    let launch_rates: Vec<f64> = cfg
         .vnodes
         .iter()
         .map(|v| v.effective_rate(SimTime::ZERO))
         .collect();
     let initial_mapping = cfg.initial_mapping.clone().unwrap_or_else(|| {
-        adapipe_mapper::search::plan(
-            &profile,
-            &rates_at_start,
-            &topology,
-            &cfg.controller.planner,
-        )
-        .mapping
+        adapipe_mapper::search::plan(&profile, &launch_rates, &topology, &cfg.controller.planner)
+            .mapping
     });
     assert_eq!(initial_mapping.len(), ns, "mapping must cover every stage");
     for node in initial_mapping.nodes_used() {
@@ -199,11 +253,24 @@ where
         );
     }
 
-    let (sink_tx, sink_rx) = unbounded::<Finished>();
+    let runtime_cfg = RuntimeConfig {
+        policy: cfg.policy,
+        controller: cfg.controller.clone(),
+        profile,
+        topology: topology.clone(),
+        speeds: cfg.vnodes.iter().map(|v| v.speed).collect(),
+        state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
+        total_items: n_items,
+        observation_noise: cfg.observation_noise,
+        noise_seed: cfg.noise_seed,
+    };
+    let aloop = AdaptationLoop::new(runtime_cfg, &initial_mapping, &launch_rates);
+
+    let (sink_tx, sink_rx) = channel::<Finished>();
     let mut senders = Vec::with_capacity(np);
     let mut inboxes = Vec::with_capacity(np);
     for _ in 0..np {
-        let (tx, rx) = unbounded::<Msg>();
+        let (tx, rx) = channel::<Msg>();
         senders.push(tx);
         inboxes.push(rx);
     }
@@ -212,9 +279,9 @@ where
         depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
         spec,
         vnodes: cfg.vnodes.clone(),
-        topology: topology.clone(),
+        topology,
         emulate_links: cfg.emulate_links,
-        routing: RwLock::new(initial_mapping.clone()),
+        routing: RwLock::new(RoutingTable::new(initial_mapping)),
         senders,
         sink: sink_tx,
         epoch: Instant::now(),
@@ -242,13 +309,9 @@ where
                         std::thread::sleep(due - now);
                     }
                 }
-                let dest = {
-                    let routing = shared.routing.read();
-                    let hosts = routing.placement(0).hosts();
-                    // Items are dealt round-robin over stage 0's replicas;
-                    // the sequence number is exactly that counter.
-                    hosts[seq % hosts.len()].index()
-                };
+                // Items are dealt over stage 0's replicas by the shared
+                // routing table.
+                let dest = shared.route(0);
                 let env = Envelope {
                     seq: seq as u64,
                     stage: 0,
@@ -268,57 +331,33 @@ where
         let preserve = cfg.preserve_order;
         let bucket = cfg.timeline_bucket;
         std::thread::spawn(move || {
-            let mut timeline = ThroughputTimeline::new(bucket);
-            let mut latency_sum = 0.0f64;
-            let mut latencies: Vec<SimDuration> = Vec::with_capacity(n_items as usize);
-            let mut last_completion = SimTime::ZERO;
+            let mut report = ReportBuilder::new(bucket, n_items);
             let mut outputs: Vec<(u64, BoxedItem)> = Vec::with_capacity(n_items as usize);
             for _ in 0..n_items {
                 let Ok(fin) = sink_rx.recv() else { break };
                 let at =
                     SimTime::from_secs_f64(fin.done.duration_since(shared.epoch).as_secs_f64());
-                timeline.record(at);
-                if at > last_completion {
-                    last_completion = at;
-                }
-                let latency = fin.done.duration_since(fin.born).as_secs_f64();
-                latency_sum += latency;
-                latencies.push(SimDuration::from_secs_f64(latency));
+                let latency =
+                    SimDuration::from_secs_f64(fin.done.duration_since(fin.born).as_secs_f64());
+                report.record_completion(at, latency);
                 shared.completed.fetch_add(1, Ordering::Relaxed);
                 outputs.push((fin.seq, fin.payload));
             }
             if preserve {
                 outputs.sort_by_key(|&(seq, _)| seq);
             }
-            (outputs, timeline, latency_sum, latencies, last_completion)
+            (outputs, report)
         })
     };
 
-    // --- controller ----------------------------------------------------
-    let controller_handle = {
+    // --- adaptation ----------------------------------------------------
+    let adaptation = {
         let shared = Arc::clone(&shared);
-        let policy = cfg.policy;
-        let controller_cfg = cfg.controller.clone();
-        let topology = topology.clone();
-        let speeds = speeds.clone();
-        let noise_cfg = (cfg.observation_noise, cfg.noise_seed);
-        std::thread::spawn(move || {
-            controller_loop(
-                shared,
-                policy,
-                controller_cfg,
-                topology,
-                profile,
-                speeds,
-                n_items,
-                noise_cfg,
-            )
-        })
+        std::thread::spawn(move || adaptation_thread(shared, aloop))
     };
 
     // --- teardown ------------------------------------------------------
-    let (outputs, timeline, latency_sum, latencies, last_completion) =
-        collector.join().expect("collector panicked");
+    let (outputs, report) = collector.join().expect("collector panicked");
     shared.done.store(true, Ordering::SeqCst);
     for tx in &shared.senders {
         let _ = tx.send(Msg::Shutdown);
@@ -329,40 +368,23 @@ where
     for (i, w) in workers.into_iter().enumerate() {
         let (busy, worker_metrics) = w.join().expect("worker panicked");
         node_busy[i] = SimDuration::from_secs_f64(busy.as_secs_f64());
-        for (s, stats) in worker_metrics.stages().iter().enumerate() {
-            // Merge by replaying the aggregate (count × mean) — exact
-            // for mean/work, approximate for the variance, which reports
-            // do not consume.
-            if stats.count() > 0 {
-                let mean = stats.mean_service().expect("count > 0");
-                for _ in 0..stats.count() {
-                    stage_metrics.record(s, mean, stats.work_done() / stats.count() as f64);
-                }
-            }
-        }
+        stage_metrics.absorb(&worker_metrics);
     }
-    let controller = controller_handle.join().expect("controller panicked");
+    let (adaptations, planning_cycles) = adaptation.join().expect("adaptation thread panicked");
 
-    let completed = outputs.len() as u64;
-    let final_mapping = shared.routing.read().clone();
-    let planning_cycles = controller.plans_evaluated();
-    let report = RunReport {
-        completed,
-        makespan: last_completion,
-        mean_latency: if completed > 0 {
-            SimDuration::from_secs_f64(latency_sum / completed as f64)
-        } else {
-            SimDuration::ZERO
-        },
-        latencies,
-        timeline,
-        adaptations: controller.into_events(),
-        node_busy,
+    let final_mapping = shared
+        .routing
+        .read()
+        .expect("routing lock poisoned")
+        .mapping()
+        .clone();
+    let report = report.finish(
         final_mapping,
+        adaptations,
         planning_cycles,
+        node_busy,
         stage_metrics,
-        truncated: completed < n_items,
-    };
+    );
     let outputs = outputs
         .into_iter()
         .map(|(_, payload)| {
@@ -383,7 +405,6 @@ fn worker_loop(
     let ns = shared.spec.len();
     let mut local: HashMap<usize, Box<dyn DynStage>> = HashMap::new();
     let mut waiting: HashMap<usize, VecDeque<Envelope>> = HashMap::new();
-    let mut rr: Vec<usize> = vec![0; ns];
     let mut busy = Duration::ZERO;
     let mut metrics = adapipe_core::metrics::StageMetrics::new(ns);
 
@@ -399,14 +420,7 @@ fn worker_loop(
             if try_acquire(&shared, &mut local, s) {
                 let queue = waiting.get_mut(&s).expect("stage has a waiting queue");
                 while let Some(env) = queue.pop_front() {
-                    let stage = env.stage;
-                    let took = process_one(me, env, &shared, &mut local, &mut rr);
-                    metrics.record(
-                        stage,
-                        SimDuration::from_secs_f64(took.as_secs_f64()),
-                        shared.spec.stages[stage].work.mean(),
-                    );
-                    busy += took;
+                    busy += process_one(me, env, &shared, &mut local, &mut metrics);
                 }
             }
         }
@@ -417,10 +431,10 @@ fn worker_loop(
                 let hosted = shared
                     .routing
                     .read()
-                    .placement(stage)
-                    .contains(adapipe_gridsim::node::NodeId(me));
+                    .expect("routing lock poisoned")
+                    .contains(stage, NodeId(me));
                 if !hosted {
-                    forward(&shared, me, env, &mut rr);
+                    forward(&shared, me, env);
                     continue;
                 }
                 if waiting.get(&stage).is_some_and(|q| !q.is_empty())
@@ -429,18 +443,15 @@ fn worker_loop(
                     waiting.entry(stage).or_default().push_back(env);
                     continue;
                 }
-                let took = process_one(me, env, &shared, &mut local, &mut rr);
-                metrics.record(
-                    stage,
-                    SimDuration::from_secs_f64(took.as_secs_f64()),
-                    shared.spec.stages[stage].work.mean(),
-                );
-                busy += took;
+                busy += process_one(me, env, &shared, &mut local, &mut metrics);
             }
             Ok(Msg::Relinquish { stage }) => {
                 if let Some(inst) = local.remove(&stage) {
                     if !shared.spec.stages[stage].stateless {
-                        shared.depot[stage].lock().replace(inst);
+                        shared.depot[stage]
+                            .lock()
+                            .expect("depot lock poisoned")
+                            .replace(inst);
                     }
                     // Stateless replicas are simply dropped; the depot
                     // keeps the prototype.
@@ -467,7 +478,7 @@ fn try_acquire(
     if local.contains_key(&stage) {
         return true;
     }
-    let mut slot = shared.depot[stage].lock();
+    let mut slot = shared.depot[stage].lock().expect("depot lock poisoned");
     if shared.spec.stages[stage].stateless {
         if let Some(proto) = slot.as_ref() {
             if let Some(replica) = proto.replicate() {
@@ -488,13 +499,14 @@ fn try_acquire(
 }
 
 /// Runs one envelope through its stage, applies the synthetic slowdown,
-/// and routes the result onward. Returns occupied (busy) time.
+/// records the service sample, and routes the result onward. Returns
+/// occupied (busy) time.
 fn process_one(
     me: usize,
     env: Envelope,
     shared: &Shared,
     local: &mut HashMap<usize, Box<dyn DynStage>>,
-    rr: &mut [usize],
+    metrics: &mut adapipe_core::metrics::StageMetrics,
 ) -> Duration {
     let stage = env.stage;
     let started_at = shared.now();
@@ -524,23 +536,24 @@ fn process_one(
             born: env.born,
             payload: out,
         };
-        forward(shared, me, env, rr);
+        forward(shared, me, env);
     }
-    compute + sleep
+    let took = compute + sleep;
+    metrics.record(
+        stage,
+        SimDuration::from_secs_f64(took.as_secs_f64()),
+        shared.spec.stages[stage].work.mean(),
+    );
+    took
 }
 
-/// Sends `env` from vnode `from` to the current host of its stage
-/// (round-robin over replicas). With link emulation the sender first
-/// sleeps the topology's transfer time — NIC-serialisation semantics:
-/// a worker cannot compute while its (virtual) NIC is shipping a frame.
-fn forward(shared: &Shared, from: usize, env: Envelope, rr: &mut [usize]) {
-    let dest = {
-        let routing = shared.routing.read();
-        let hosts = routing.placement(env.stage).hosts();
-        let d = hosts[rr[env.stage] % hosts.len()].index();
-        rr[env.stage] += 1;
-        d
-    };
+/// Sends `env` from vnode `from` to the current host of its stage (the
+/// shared routing table deals round-robin over replicas). With link
+/// emulation the sender first sleeps the topology's transfer time —
+/// NIC-serialisation semantics: a worker cannot compute while its
+/// (virtual) NIC is shipping a frame.
+fn forward(shared: &Shared, from: usize, env: Envelope) {
+    let dest = shared.route(env.stage);
     if shared.emulate_links && from != dest {
         let bytes = if env.stage == 0 {
             shared.spec.input_bytes
@@ -549,11 +562,7 @@ fn forward(shared: &Shared, from: usize, env: Envelope, rr: &mut [usize]) {
         };
         let d = shared
             .topology
-            .transfer_time(
-                adapipe_gridsim::node::NodeId(from),
-                adapipe_gridsim::node::NodeId(dest),
-                bytes,
-            )
+            .transfer_time(NodeId(from), NodeId(dest), bytes)
             .as_secs_f64();
         if d > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(d));
@@ -562,130 +571,45 @@ fn forward(shared: &Shared, from: usize, env: Envelope, rr: &mut [usize]) {
     let _ = shared.senders[dest].send(Msg::Work(env));
 }
 
-/// The monitoring/adaptation thread.
-#[allow(clippy::too_many_arguments)]
-fn controller_loop(
+/// The monitoring/adaptation thread: wakes `samples_per_interval` times
+/// per adaptation interval to feed the shared loop an observation, and
+/// once per interval lets it tick (plan/decide/re-map).
+fn adaptation_thread(
     shared: Arc<Shared>,
-    policy: Policy,
-    controller_cfg: ControllerConfig,
-    topology: Topology,
-    profile: adapipe_mapper::model::PipelineProfile,
-    speeds: Vec<f64>,
-    n_items: u64,
-    (noise_mag, noise_seed): (f64, u64),
-) -> Controller {
-    let np = shared.vnodes.len();
-    let mut controller = Controller::new(np, controller_cfg);
-    let Some(interval) = policy.interval() else {
-        return controller; // static: nothing to do
+    mut aloop: AdaptationLoop,
+) -> (Vec<AdaptationEvent>, u64) {
+    let Some(sample_dt) = aloop.sample_dt() else {
+        return aloop.finish(); // static: nothing to do
     };
-    let interval_wall = Duration::from_secs_f64(interval.as_secs_f64());
-    let divisions = controller.config().samples_per_interval.max(1);
-    let sample_wall = interval_wall / divisions;
-    let mut noise = if noise_mag > 0.0 {
-        NoisyChannel::new(noise_seed, noise_mag)
-    } else {
-        NoisyChannel::clean()
+    let sample_wall = Duration::from_secs_f64(sample_dt.as_secs_f64());
+    let divisions = aloop.samples_per_interval();
+    let mut backend = EngineBackend {
+        shared: Arc::clone(&shared),
     };
-    let mut expected_tput = {
-        let mapping = shared.routing.read().clone();
-        let rates: Vec<f64> = shared
-            .vnodes
-            .iter()
-            .map(|v| v.effective_rate(SimTime::ZERO))
-            .collect();
-        evaluate(&profile, &mapping, &rates, &topology).throughput
-    };
-    let mut last_completed = 0u64;
-    let mut ticks_seen = 0u32;
-    let warmup = controller.config().warmup_ticks;
-    let state_bytes: Vec<u64> = shared.spec.stages.iter().map(|s| s.state_bytes).collect();
 
-    let sample_ns = SimDuration::from_secs_f64(sample_wall.as_secs_f64()).as_nanos();
     let mut next_wake = Instant::now() + sample_wall;
     let mut rounds: u32 = 0;
     loop {
         // Sleep in short slices so shutdown is prompt.
         while Instant::now() < next_wake {
             if shared.done.load(Ordering::Relaxed) {
-                return controller;
+                return aloop.finish();
             }
             std::thread::sleep(Duration::from_millis(2));
         }
         next_wake += sample_wall;
         if shared.done.load(Ordering::Relaxed) {
-            return controller;
+            return aloop.finish();
         }
 
-        let now = shared.now();
-        let now_secs = now.as_secs_f64();
-        // Mean availability over the elapsed sample window (see the
-        // simulator's on_sample for why point samples alias badly).
-        let window_start = SimTime::from_nanos(now.as_nanos().saturating_sub(sample_ns));
-        for (i, v) in shared.vnodes.iter().enumerate() {
-            let truth = if window_start < now {
-                v.load.mean_availability(window_start, now)
-            } else {
-                v.load.availability(now)
-            };
-            controller.observe_availability(i, now_secs, noise.perturb(truth).clamp(0.0, 1.0));
-        }
+        aloop.sample(&backend);
         rounds += 1;
-        if !rounds.is_multiple_of(divisions) {
-            continue; // sensing round only; planning happens per interval
-        }
-
-        let completed = shared.completed.load(Ordering::Relaxed);
-        let remaining = n_items.saturating_sub(completed);
-        ticks_seen += 1;
-        let rates: Option<Vec<f64>> = match policy {
-            _ if ticks_seen <= warmup => None,
-            Policy::Static => None,
-            Policy::Periodic { .. } => Some(controller.forecast_rates(&speeds)),
-            Policy::Reactive { degradation, .. } => {
-                let observed = (completed - last_completed) as f64 / interval.as_secs_f64();
-                last_completed = completed;
-                if observed < degradation * expected_tput {
-                    Some(controller.forecast_rates(&speeds))
-                } else {
-                    None
-                }
-            }
-            Policy::Oracle { .. } => Some(
-                shared
-                    .vnodes
-                    .iter()
-                    .map(|v| v.speed * v.load.mean_availability(now, now + interval))
-                    .collect(),
-            ),
-        };
-
-        if let Some(rates) = rates {
-            let current = shared.routing.read().clone();
-            if let Some(new_mapping) = controller.consider(
-                now,
-                &profile,
-                &topology,
-                &rates,
-                &current,
-                remaining,
-                &state_bytes,
-            ) {
-                expected_tput = evaluate(&profile, &new_mapping, &rates, &topology).throughput;
-                let moved = current.diff(&new_mapping);
-                *shared.routing.write() = new_mapping.clone();
-                // Old hosts must surrender stateful instances (and drop
-                // stateless replicas to reclaim memory).
-                for &s in &moved {
-                    for host in current.placement(s).hosts() {
-                        let _ = shared.senders[host.index()].send(Msg::Relinquish { stage: s });
-                    }
-                }
-            }
+        if rounds.is_multiple_of(divisions) {
+            // Planning happens once per interval; sensing every round.
+            let _ = aloop.tick(&mut backend, &shared.routing);
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -792,48 +716,6 @@ mod tests {
     }
 
     #[test]
-    fn adaptive_engine_remaps_away_from_loaded_node() {
-        // Node 1 collapses to 5 % availability 300 ms into the run; the
-        // periodic controller must move its stage elsewhere.
-        let (s0, f0) = spin_stage("a", 4);
-        let (s1, f1) = spin_stage("b", 4);
-        let pipeline = PipelineBuilder::<u64>::new()
-            .stage(s0, f0)
-            .stage(s1, f1)
-            .build();
-        let vnodes = vec![
-            VNodeSpec::free("v0"),
-            VNodeSpec::free("v1").with_load(LoadModel::step(
-                1.0,
-                0.05,
-                SimTime::from_secs_f64(0.3),
-            )),
-            VNodeSpec::free("v2"),
-        ];
-        let mut cfg = EngineConfig::new(vnodes);
-        cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
-        cfg.policy = Policy::Periodic {
-            interval: SimDuration::from_millis(200),
-        };
-        let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
-        assert_eq!(outcome.report.completed, 150);
-        assert!(
-            outcome.report.adaptation_count() >= 1,
-            "controller must re-map at least once"
-        );
-        // Final mapping avoids the loaded node.
-        let final_hosts = outcome.report.final_mapping.nodes_used();
-        assert!(
-            !final_hosts.contains(&n(1)),
-            "stage still on loaded node: {}",
-            outcome.report.final_mapping
-        );
-        // And every item still processed exactly once, in order.
-        let expect: Vec<u64> = (0..150).map(|x| x + 2).collect();
-        assert_eq!(outcome.outputs, expect);
-    }
-
-    #[test]
     fn stateful_stage_migrates_with_state_intact() {
         // A stateful running-sum stage must produce exactly-once,
         // order-insensitive totals even across a migration.
@@ -872,94 +754,6 @@ mod tests {
         let max = outcome.outputs.iter().max().copied().unwrap();
         assert_eq!(max, 45150, "state lost or duplicated across migration");
         assert!(outcome.report.adaptation_count() >= 1);
-    }
-
-    #[test]
-    fn reactive_policy_recovers_on_engine() {
-        // Same scenario as the periodic test, but the reactive policy
-        // only plans when observed throughput degrades.
-        let (s0, f0) = spin_stage("a", 4);
-        let (s1, f1) = spin_stage("b", 4);
-        let pipeline = PipelineBuilder::<u64>::new()
-            .stage(s0, f0)
-            .stage(s1, f1)
-            .build();
-        let vnodes = vec![
-            VNodeSpec::free("v0"),
-            VNodeSpec::free("v1").with_load(LoadModel::step(
-                1.0,
-                0.05,
-                SimTime::from_secs_f64(0.3),
-            )),
-            VNodeSpec::free("v2"),
-        ];
-        let mut cfg = EngineConfig::new(vnodes);
-        cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
-        cfg.policy = Policy::Reactive {
-            interval: SimDuration::from_millis(200),
-            degradation: 0.6,
-        };
-        let outcome = run_pipeline(pipeline, (0..200).collect(), &cfg);
-        assert_eq!(outcome.report.completed, 200);
-        assert!(
-            outcome.report.adaptation_count() >= 1,
-            "reactive controller must react to the collapse"
-        );
-        let expect: Vec<u64> = (0..200).map(|x| x + 2).collect();
-        assert_eq!(outcome.outputs, expect);
-    }
-
-    #[test]
-    fn oracle_policy_runs_on_engine() {
-        let (s0, f0) = spin_stage("a", 3);
-        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
-        let vnodes = vec![
-            VNodeSpec::free("v0").with_load(LoadModel::step(
-                1.0,
-                0.05,
-                SimTime::from_secs_f64(0.2),
-            )),
-            VNodeSpec::free("v1"),
-        ];
-        let mut cfg = EngineConfig::new(vnodes);
-        cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
-        cfg.policy = Policy::Oracle {
-            interval: SimDuration::from_millis(150),
-        };
-        let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
-        assert_eq!(outcome.report.completed, 150);
-        assert!(outcome.report.adaptation_count() >= 1);
-        assert!(!outcome.report.final_mapping.placement(0).contains(n(0)));
-    }
-
-    #[test]
-    fn observation_noise_on_engine_is_tolerated() {
-        let (s0, f0) = spin_stage("a", 2);
-        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
-        let mut cfg = EngineConfig::new(free_nodes(2));
-        cfg.policy = Policy::Periodic {
-            interval: SimDuration::from_millis(150),
-        };
-        cfg.observation_noise = 0.10;
-        let outcome = run_pipeline(pipeline, (0..100).collect(), &cfg);
-        assert_eq!(outcome.report.completed, 100);
-        let expect: Vec<u64> = (0..100).map(|x| x + 1).collect();
-        assert_eq!(outcome.outputs, expect);
-    }
-
-    #[test]
-    fn planning_cycles_are_reported() {
-        let (s0, f0) = spin_stage("a", 2);
-        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
-        let mut cfg = EngineConfig::new(free_nodes(2));
-        cfg.policy = Policy::Periodic {
-            interval: SimDuration::from_millis(100),
-        };
-        // Pace the input so the run outlives the 2-tick warm-up by a
-        // comfortable margin.
-        cfg.pacing_rate = Some(200.0); // 150 items → ≥ 750 ms
-        let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
-        assert!(outcome.report.planning_cycles >= 1);
     }
 
     #[test]

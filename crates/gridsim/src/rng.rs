@@ -2,14 +2,17 @@
 //!
 //! Load models need two kinds of randomness:
 //!
-//! * **Stateful streams** (`rand::StdRng`) for one-shot generation such as
+//! * **Stateful streams** ([`Rng64`]) for one-shot generation such as
 //!   testbed construction, and
 //! * **Stateless hashing** (SplitMix64) so that a model can compute the
 //!   random contribution of step *k* without generating steps `0..k`,
 //!   keeping availability queries O(1) and order-independent.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! Everything here is self-contained: the workspace builds offline, so
+//! the stateful generator is a SplitMix64 counter stream rather than an
+//! external `rand` dependency. The quality is ample for testbed
+//! construction and planner restarts; cryptographic uses are out of
+//! scope.
 
 /// SplitMix64: a tiny, high-quality 64-bit mixer.
 ///
@@ -52,10 +55,51 @@ pub fn exp_at(seed: u64, index: u64, mean: f64) -> f64 {
     -mean * (1.0 - u).ln()
 }
 
-/// Builds a seeded `StdRng`; the standard entry point for all stateful
+/// A seeded stateful generator: a SplitMix64 counter stream.
+///
+/// Successive calls walk an internal counter through [`splitmix64`], so
+/// the stream is exactly reproducible from its seed on every platform.
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator for `seed`.
+    pub fn new(seed: u64) -> Self {
+        // Pre-mix so nearby seeds do not yield correlated first draws.
+        Rng64 {
+            state: splitmix64(seed ^ 0x1656_7A09_B5A3_E6D1),
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn next_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "range bound must be positive");
+        // Multiply-shift rejection-free mapping; bias is < 2^-53 for the
+        // bounds used here (node counts), far below observable effect.
+        (self.next_unit() * bound as f64) as usize % bound
+    }
+}
+
+/// Builds a seeded [`Rng64`]; the standard entry point for all stateful
 /// randomness in the workspace so seeds are visible in one place.
-pub fn std_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn std_rng(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 /// Derives an independent child seed, e.g. one per node of a testbed.
@@ -107,9 +151,28 @@ mod tests {
 
     #[test]
     fn std_rng_reproducible() {
-        use rand::Rng;
-        let a: u64 = std_rng(11).gen();
-        let b: u64 = std_rng(11).gen();
+        let a: u64 = std_rng(11).next_u64();
+        let b: u64 = std_rng(11).next_u64();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rng64_range_is_in_bounds_and_covers() {
+        let mut rng = Rng64::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.next_range(7);
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable: {seen:?}");
+    }
+
+    #[test]
+    fn rng64_units_are_roughly_uniform() {
+        let mut rng = Rng64::new(17);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
     }
 }

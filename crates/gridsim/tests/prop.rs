@@ -1,176 +1,213 @@
-//! Property-based tests for the grid substrate's core invariants.
+//! Property-style tests for the grid substrate's core invariants.
+//!
+//! The workspace builds offline, so instead of a property-testing
+//! framework these sweep each invariant over a deterministic fan of
+//! seeded load models and probe times. Failures print the offending
+//! case, which reproduces exactly.
 
 use adapipe_gridsim::prelude::*;
-use proptest::prelude::*;
+use adapipe_gridsim::rng::Rng64;
 
-/// An arbitrary load model drawn from every class.
-fn arb_load_model() -> impl Strategy<Value = LoadModel> {
-    prop_oneof![
-        (0.0f64..=1.0).prop_map(LoadModel::constant),
-        (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..1000.0)
-            .prop_map(|(b, a, t)| { LoadModel::step(b, a, SimTime::from_secs_f64(t)) }),
-        (0.0f64..=1.0, 0.0f64..=1.0, 1u64..300, 1u32..99).prop_map(|(hi, lo, p, duty)| {
+/// One load model from every class, parameterised by a case seed.
+fn load_models(case: u64) -> Vec<LoadModel> {
+    let mut rng = Rng64::new(0x10AD + case);
+    let frac = |rng: &mut Rng64| rng.next_unit();
+    vec![
+        LoadModel::constant(frac(&mut rng)),
+        LoadModel::step(
+            frac(&mut rng),
+            frac(&mut rng),
+            SimTime::from_secs_f64(1000.0 * frac(&mut rng)),
+        ),
+        {
+            let (hi, lo) = (frac(&mut rng), frac(&mut rng));
             LoadModel::square_wave(
                 hi,
                 lo,
-                SimDuration::from_secs(p),
-                duty as f64 / 100.0,
+                SimDuration::from_secs(1 + rng.next_range(299) as u64),
+                (1 + rng.next_range(98)) as f64 / 100.0,
                 SimDuration::ZERO,
             )
-        }),
-        (0.0f64..=1.0, 0.0f64..=0.5, 2u64..600).prop_map(|(mean, amp, p)| {
+        },
+        {
+            let amp = 0.5 * frac(&mut rng);
+            let mean = frac(&mut rng).min(1.0 - amp).max(amp);
             LoadModel::sinusoid(
-                mean.min(1.0 - amp).max(amp),
+                mean,
                 amp,
-                SimDuration::from_secs(p),
+                SimDuration::from_secs(2 + rng.next_range(598) as u64),
                 8,
             )
-        }),
-        (any::<u64>(), 1u64..60).prop_map(|(seed, dt)| {
-            LoadModel::random_walk(
-                seed,
-                0.7,
-                0.1,
-                SimDuration::from_secs(dt),
-                0.1,
-                1.0,
-                SimDuration::from_secs(600),
-            )
-        }),
-        (any::<u64>(), 1u64..120, 1u64..120).prop_map(|(seed, up, down)| {
-            LoadModel::markov_on_off(
-                seed,
-                SimDuration::from_secs(up),
-                SimDuration::from_secs(down),
-                0.3,
-                SimDuration::from_secs(600),
-            )
-        }),
+        },
+        LoadModel::random_walk(
+            rng.next_u64(),
+            0.7,
+            0.1,
+            SimDuration::from_secs(1 + rng.next_range(59) as u64),
+            0.1,
+            1.0,
+            SimDuration::from_secs(600),
+        ),
+        LoadModel::markov_on_off(
+            rng.next_u64(),
+            SimDuration::from_secs(1 + rng.next_range(119) as u64),
+            SimDuration::from_secs(1 + rng.next_range(119) as u64),
+            0.3,
+            SimDuration::from_secs(600),
+        ),
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 12;
 
-    /// Availability is always within [0, 1], at any time, for any model.
-    #[test]
-    fn availability_is_always_a_fraction(
-        model in arb_load_model(),
-        t in 0.0f64..100_000.0,
-    ) {
-        let a = model.availability(SimTime::from_secs_f64(t));
-        prop_assert!((0.0..=1.0).contains(&a), "a={a} at t={t}");
-    }
-
-    /// next_breakpoint is strictly in the future and availability is
-    /// constant up to (just before) it.
-    #[test]
-    fn breakpoints_delimit_constant_segments(
-        model in arb_load_model(),
-        t in 0.0f64..10_000.0,
-    ) {
-        let t0 = SimTime::from_secs_f64(t);
-        if let Some(bp) = model.next_breakpoint(t0) {
-            prop_assert!(bp > t0, "breakpoint {bp} not after {t0}");
-            let a0 = model.availability(t0);
-            // Probe a midpoint strictly inside the segment.
-            let mid = SimTime::from_nanos(
-                t0.as_nanos() + (bp.as_nanos() - t0.as_nanos()) / 2,
-            );
-            if mid > t0 && mid < bp {
-                prop_assert_eq!(model.availability(mid), a0);
+/// Availability is always within [0, 1], at any time, for any model.
+#[test]
+fn availability_is_always_a_fraction() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA11 + case);
+        for model in load_models(case) {
+            for _ in 0..8 {
+                let t = 100_000.0 * rng.next_unit();
+                let a = model.availability(SimTime::from_secs_f64(t));
+                assert!((0.0..=1.0).contains(&a), "case {case}: a={a} at t={t}");
             }
         }
     }
+}
 
-    /// Work integration: completion time is monotone in the amount of
-    /// work, and never earlier than start.
-    #[test]
-    fn completion_time_is_monotone_in_work(
-        model in arb_load_model(),
-        start in 0.0f64..1_000.0,
-        w1 in 0.0f64..100.0,
-        extra in 0.0f64..100.0,
-    ) {
-        let node = Node::new(NodeSpec::new("p", 2.0, 1), model);
-        let start = SimTime::from_secs_f64(start);
-        let c1 = node.completion_time(start, w1);
-        let c2 = node.completion_time(start, w1 + extra);
-        prop_assert!(c1 >= start);
-        prop_assert!(c2 >= c1, "more work finished earlier: {c2} < {c1}");
+/// next_breakpoint is strictly in the future and availability is
+/// constant up to (just before) it.
+#[test]
+fn breakpoints_delimit_constant_segments() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xB4EA + case);
+        for model in load_models(case) {
+            for _ in 0..4 {
+                let t0 = SimTime::from_secs_f64(10_000.0 * rng.next_unit());
+                if let Some(bp) = model.next_breakpoint(t0) {
+                    assert!(bp > t0, "case {case}: breakpoint {bp} not after {t0}");
+                    let a0 = model.availability(t0);
+                    // Probe a midpoint strictly inside the segment.
+                    let mid =
+                        SimTime::from_nanos(t0.as_nanos() + (bp.as_nanos() - t0.as_nanos()) / 2);
+                    if mid > t0 && mid < bp {
+                        assert_eq!(model.availability(mid), a0, "case {case}");
+                    }
+                }
+            }
+        }
     }
+}
 
-    /// work_done inverts completion_time (up to float tolerance)
-    /// whenever the work completes.
-    #[test]
-    fn work_done_inverts_completion_time(
-        model in arb_load_model(),
-        start in 0.0f64..500.0,
-        work in 0.01f64..50.0,
-    ) {
-        let node = Node::new(NodeSpec::new("p", 1.5, 1), model);
-        let start = SimTime::from_secs_f64(start);
-        let done = node.completion_time(start, work);
-        prop_assume!(done != SimTime::MAX);
-        let measured = node.work_done(start, done);
-        prop_assert!(
-            (measured - work).abs() < 1e-6 * work.max(1.0),
-            "measured {measured} vs {work}"
-        );
+/// Work integration: completion time is monotone in the amount of work,
+/// and never earlier than start.
+#[test]
+fn completion_time_is_monotone_in_work() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xC03 + case);
+        for model in load_models(case) {
+            let node = Node::new(NodeSpec::new("p", 2.0, 1), model);
+            for _ in 0..4 {
+                let start = SimTime::from_secs_f64(1_000.0 * rng.next_unit());
+                let w1 = 100.0 * rng.next_unit();
+                let extra = 100.0 * rng.next_unit();
+                let c1 = node.completion_time(start, w1);
+                let c2 = node.completion_time(start, w1 + extra);
+                assert!(c1 >= start, "case {case}");
+                assert!(
+                    c2 >= c1,
+                    "case {case}: more work finished earlier: {c2} < {c1}"
+                );
+            }
+        }
     }
+}
 
-    /// Mean availability lies within the model's observed range.
-    #[test]
-    fn mean_availability_is_bounded(
-        model in arb_load_model(),
-        from in 0.0f64..1_000.0,
-        span in 0.1f64..500.0,
-    ) {
-        let from = SimTime::from_secs_f64(from);
-        let to = SimTime::from_secs_f64(from.as_secs_f64() + span);
-        let mean = model.mean_availability(from, to);
-        prop_assert!((0.0..=1.0).contains(&mean), "mean={mean}");
+/// work_done inverts completion_time (up to float tolerance) whenever
+/// the work completes.
+#[test]
+fn work_done_inverts_completion_time() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xD0E + case);
+        for model in load_models(case) {
+            let node = Node::new(NodeSpec::new("p", 1.5, 1), model);
+            for _ in 0..4 {
+                let start = SimTime::from_secs_f64(500.0 * rng.next_unit());
+                let work = 0.01 + 49.99 * rng.next_unit();
+                let done = node.completion_time(start, work);
+                if done == SimTime::MAX {
+                    continue; // never completes under this load
+                }
+                let measured = node.work_done(start, done);
+                assert!(
+                    (measured - work).abs() < 1e-6 * work.max(1.0),
+                    "case {case}: measured {measured} vs {work}"
+                );
+            }
+        }
     }
+}
 
-    /// The event queue releases events in non-decreasing time order with
-    /// FIFO tie-breaks, regardless of insertion order.
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(
-        times in prop::collection::vec(0u64..1_000, 1..200),
-    ) {
+/// Mean availability lies within [0, 1] over any window.
+#[test]
+fn mean_availability_is_bounded() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xE4A + case);
+        for model in load_models(case) {
+            for _ in 0..4 {
+                let from = SimTime::from_secs_f64(1_000.0 * rng.next_unit());
+                let to = SimTime::from_secs_f64(from.as_secs_f64() + 0.1 + 499.9 * rng.next_unit());
+                let mean = model.mean_availability(from, to);
+                assert!((0.0..=1.0).contains(&mean), "case {case}: mean={mean}");
+            }
+        }
+    }
+}
+
+/// The event queue releases events in non-decreasing time order with
+/// FIFO tie-breaks, regardless of insertion order.
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for case in 0..24u64 {
+        let mut rng = Rng64::new(0xF1F0 + case);
+        let n = 1 + rng.next_range(199);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_nanos(t), i);
+        for i in 0..n {
+            q.schedule(SimTime::from_nanos(rng.next_range(1_000) as u64), i);
         }
         let mut last: Option<(SimTime, usize)> = None;
         while let Some((at, id)) = q.pop() {
             if let Some((lt, lid)) = last {
-                prop_assert!(at >= lt);
+                assert!(at >= lt, "case {case}");
                 if at == lt {
-                    prop_assert!(id > lid, "FIFO violated for ties");
+                    assert!(id > lid, "case {case}: FIFO violated for ties");
                 }
             }
             last = Some((at, id));
         }
     }
+}
 
-    /// Outage overlays force zero inside and preserve the base outside.
-    #[test]
-    fn outage_overlay_is_exact(
-        model in arb_load_model(),
-        from in 0.0f64..500.0,
-        len in 0.1f64..100.0,
-        probe in 0.0f64..1_000.0,
-    ) {
-        let from_t = SimTime::from_secs_f64(from);
-        let to_t = SimTime::from_secs_f64(from + len);
-        let overlaid = model.clone().with_outages(&[(from_t, to_t)]);
-        let p = SimTime::from_secs_f64(probe);
-        let expected = if p >= from_t && p < to_t {
-            0.0
-        } else {
-            model.availability(p)
-        };
-        prop_assert_eq!(overlaid.availability(p), expected);
+/// Outage overlays force zero inside and preserve the base outside.
+#[test]
+fn outage_overlay_is_exact() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x0F_F1 + case);
+        for model in load_models(case) {
+            let from = 500.0 * rng.next_unit();
+            let len = 0.1 + 99.9 * rng.next_unit();
+            let from_t = SimTime::from_secs_f64(from);
+            let to_t = SimTime::from_secs_f64(from + len);
+            let overlaid = model.clone().with_outages(&[(from_t, to_t)]);
+            for _ in 0..6 {
+                let p = SimTime::from_secs_f64(1_000.0 * rng.next_unit());
+                let expected = if p >= from_t && p < to_t {
+                    0.0
+                } else {
+                    model.availability(p)
+                };
+                assert_eq!(overlaid.availability(p), expected, "case {case} at {p}");
+            }
+        }
     }
 }

@@ -17,9 +17,7 @@ use crate::model::{evaluate, PipelineProfile, Prediction};
 use crate::replicate;
 use adapipe_gridsim::net::Topology;
 use adapipe_gridsim::node::NodeId;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use adapipe_gridsim::rng::Rng64;
 
 /// Tunables for the planner.
 #[derive(Clone, Debug)]
@@ -355,7 +353,7 @@ fn plan_large(
 ) -> Plan {
     let ns = profile.stages();
     let np = rates.len();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng64::new(config.seed);
 
     // Nodes sorted by effective rate, fastest first.
     let mut by_rate: Vec<NodeId> = (0..np).map(NodeId).collect();
@@ -402,7 +400,7 @@ fn plan_large(
 
     // Seed 2: random restarts.
     for _ in 0..config.restarts {
-        let assignment: Vec<NodeId> = (0..ns).map(|_| NodeId(rng.gen_range(0..np))).collect();
+        let assignment: Vec<NodeId> = (0..ns).map(|_| NodeId(rng.next_range(np))).collect();
         let seed = Mapping::from_assignment(&assignment);
         let (m, p) = local_search(
             profile,

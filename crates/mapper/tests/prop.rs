@@ -1,148 +1,144 @@
-//! Property-based tests for the planner's model and optimisers.
+//! Property-style tests for the planner's model and optimisers.
+//!
+//! The workspace builds offline, so instead of a property-testing
+//! framework these sweep each property over a deterministic fan of
+//! seeded instances. Failures print the offending case, which
+//! reproduces exactly.
 
 use adapipe_gridsim::net::{LinkSpec, Topology};
 use adapipe_gridsim::node::NodeId;
+use adapipe_gridsim::rng::Rng64;
 use adapipe_gridsim::time::SimDuration;
 use adapipe_mapper::prelude::*;
-use proptest::prelude::*;
 
 fn fast_net(np: usize) -> Topology {
     Topology::uniform(np, LinkSpec::new(SimDuration::from_nanos(1), 1e12))
 }
 
-// `adapipe_mapper::prelude::Strategy` (the planner enum) collides with
-// `proptest::strategy::Strategy`; qualify the trait explicitly.
-use proptest::strategy::Strategy as _;
-
-fn arb_instance() -> impl proptest::strategy::Strategy<Value = (Vec<f64>, Vec<f64>, Vec<usize>)> {
-    // (stage work, node rates, assignment)
-    (1usize..6, 1usize..6).prop_flat_map(|(ns, np)| {
-        (
-            prop::collection::vec(0.1f64..10.0, ns),
-            prop::collection::vec(0.1f64..4.0, np),
-            prop::collection::vec(0usize..np, ns),
-        )
-    })
+/// A seeded (stage work, node rates, assignment) instance.
+fn instance(rng: &mut Rng64) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+    let ns = 1 + rng.next_range(5);
+    let np = 1 + rng.next_range(5);
+    let work = (0..ns).map(|_| 0.1 + 9.9 * rng.next_unit()).collect();
+    let rates = (0..np).map(|_| 0.1 + 3.9 * rng.next_unit()).collect();
+    let assignment = (0..ns).map(|_| rng.next_range(np)).collect();
+    (work, rates, assignment)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn to_mapping(assignment: &[usize]) -> Mapping {
+    Mapping::from_assignment(&assignment.iter().map(|&i| NodeId(i)).collect::<Vec<_>>())
+}
 
-    /// Raising any node's rate never lowers predicted throughput.
-    #[test]
-    fn model_is_monotone_in_rates(
-        (work, mut rates, assignment) in arb_instance(),
-        boost_idx_seed in any::<u64>(),
-        boost in 1.01f64..4.0,
-    ) {
+const CASES: u64 = 48;
+
+/// Raising any node's rate never lowers predicted throughput.
+#[test]
+fn model_is_monotone_in_rates() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x3A7E + case);
+        let (work, mut rates, assignment) = instance(&mut rng);
+        let boost = 1.01 + 2.99 * rng.next_unit();
         let profile = PipelineProfile::uniform(work, 0);
-        let mapping = Mapping::from_assignment(
-            &assignment.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
+        let mapping = to_mapping(&assignment);
         let topo = fast_net(rates.len());
         let before = evaluate(&profile, &mapping, &rates, &topo);
-        let idx = (boost_idx_seed as usize) % rates.len();
+        let idx = rng.next_range(rates.len());
         rates[idx] *= boost;
         let after = evaluate(&profile, &mapping, &rates, &topo);
-        prop_assert!(
+        assert!(
             after.throughput >= before.throughput - 1e-12,
-            "boosting a node lowered throughput: {} -> {}",
+            "case {case}: boosting node {idx} lowered throughput: {} -> {}",
             before.throughput,
             after.throughput
         );
     }
+}
 
-    /// With free communication and *equal-rate* nodes, replicating a
-    /// stage onto an unused node never lowers predicted throughput.
-    ///
-    /// (The equal-rate restriction is essential: items are dealt
-    /// round-robin, so a much slower replica receives an equal share it
-    /// cannot sustain and becomes the new bottleneck — a real property
-    /// of the pattern that the greedy replication pass must, and does,
-    /// account for via the model.)
-    #[test]
-    fn replication_never_hurts_on_equal_nodes(
-        (work, rates, assignment) in arb_instance(),
-        stage_seed in any::<u64>(),
-        rate in 0.1f64..4.0,
-    ) {
+/// With free communication and *equal-rate* nodes, replicating a stage
+/// onto an unused node never lowers predicted throughput.
+///
+/// (The equal-rate restriction is essential: items are dealt
+/// round-robin, so a much slower replica receives an equal share it
+/// cannot sustain and becomes the new bottleneck — a real property of
+/// the pattern that the greedy replication pass must, and does, account
+/// for via the model.)
+#[test]
+fn replication_never_hurts_on_equal_nodes() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x4E61 + case);
+        let (work, rates, assignment) = instance(&mut rng);
+        let rate = 0.1 + 3.9 * rng.next_unit();
         let np = rates.len() + 1; // ensure at least one unused node exists
         let rates = vec![rate; np];
         let profile = PipelineProfile::uniform(work, 0);
-        let base = Mapping::from_assignment(
-            &assignment.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
+        let base = to_mapping(&assignment);
         let topo = fast_net(np);
         let before = evaluate(&profile, &base, &rates, &topo);
-        let stage = (stage_seed as usize) % base.len();
+        let stage = rng.next_range(base.len());
         // A node hosting nothing at all.
         let used = base.nodes_used();
-        let candidate = (0..np).map(NodeId).find(|n| !used.contains(n));
-        prop_assume!(candidate.is_some());
+        let Some(candidate) = (0..np).map(NodeId).find(|n| !used.contains(n)) else {
+            continue;
+        };
         let mut widened = base.clone();
-        widened.placement_mut(stage).add_host(candidate.unwrap());
+        widened.placement_mut(stage).add_host(candidate);
         let after = evaluate(&profile, &widened, &rates, &topo);
-        prop_assert!(
+        assert!(
             after.throughput >= before.throughput - 1e-9,
-            "replication hurt: {} -> {} ({base} -> {widened})",
+            "case {case}: replication hurt: {} -> {} ({base} -> {widened})",
             before.throughput,
             after.throughput
         );
     }
+}
 
-    /// The greedy replication pass itself never returns something worse
-    /// than its input, even on wildly heterogeneous nodes.
-    #[test]
-    fn replication_pass_never_regresses(
-        (work, rates, assignment) in arb_instance(),
-    ) {
+/// The greedy replication pass itself never returns something worse
+/// than its input, even on wildly heterogeneous nodes.
+#[test]
+fn replication_pass_never_regresses() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x5EED + case);
+        let (work, rates, assignment) = instance(&mut rng);
         let profile = PipelineProfile::uniform(work, 1000);
-        let base = Mapping::from_assignment(
-            &assignment.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
+        let base = to_mapping(&assignment);
         let topo = Topology::uniform(rates.len(), LinkSpec::lan());
         let before = evaluate(&profile, &base, &rates, &topo);
         let (_, after) = improve(&profile, base, &rates, &topo, 4);
-        prop_assert!(after.throughput >= before.throughput - 1e-12);
+        assert!(after.throughput >= before.throughput - 1e-12, "case {case}");
     }
+}
 
-    /// Exhaustive search really is optimal: no random mapping beats it.
-    #[test]
-    fn exhaustive_dominates_random_mappings(
-        (work, rates, assignment) in arb_instance(),
-    ) {
+/// Exhaustive search really is optimal: no random mapping beats it.
+#[test]
+fn exhaustive_dominates_random_mappings() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x6001 + case);
+        let (work, rates, assignment) = instance(&mut rng);
         let profile = PipelineProfile::uniform(work, 1000);
         let topo = Topology::uniform(rates.len(), LinkSpec::lan());
         let best = exhaustive_best(&profile, &rates, &topo, 100_000);
-        let random = Mapping::from_assignment(
-            &assignment.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
+        let random = to_mapping(&assignment);
         let rp = evaluate(&profile, &random, &rates, &topo);
-        prop_assert!(
+        assert!(
             best.prediction.throughput >= rp.throughput - 1e-12,
-            "random {random} beat exhaustive: {} > {}",
+            "case {case}: random {random} beat exhaustive: {} > {}",
             rp.throughput,
             best.prediction.throughput
         );
     }
+}
 
-    /// The contiguous DP dominates random contiguous splits when
-    /// communication is free (identical objectives).
-    #[test]
-    fn dp_dominates_random_contiguous_splits(
-        ns in 2usize..8,
-        k in 1usize..4,
-        work_seed in any::<u64>(),
-        split_seed in any::<u64>(),
-    ) {
-        prop_assume!(k <= ns);
-        let work: Vec<f64> = (0..ns)
-            .map(|i| 0.5 + ((work_seed.wrapping_mul(i as u64 + 1) % 100) as f64) / 25.0)
-            .collect();
+/// The contiguous DP dominates random contiguous splits when
+/// communication is free (identical objectives).
+#[test]
+fn dp_dominates_random_contiguous_splits() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x7D0 + case);
+        let ns = 2 + rng.next_range(6);
+        let k = (1 + rng.next_range(3)).min(ns);
+        let work: Vec<f64> = (0..ns).map(|_| 0.5 + 4.0 * rng.next_unit()).collect();
         let profile = PipelineProfile::uniform(work, 0);
-        let rates: Vec<f64> = (0..k)
-            .map(|i| 0.5 + ((split_seed.wrapping_mul(i as u64 + 3) % 50) as f64) / 20.0)
-            .collect();
+        let rates: Vec<f64> = (0..k).map(|_| 0.5 + 2.5 * rng.next_unit()).collect();
         let hosts: Vec<NodeId> = (0..k).map(NodeId).collect();
         let topo = fast_net(k);
         let dp = contiguous_dp(&profile, &rates, &topo, &hosts).expect("feasible");
@@ -150,7 +146,7 @@ proptest! {
 
         // Build one random contiguous split with k parts.
         let all = compositions(ns, k);
-        let parts = &all[(split_seed as usize) % all.len()];
+        let parts = &all[rng.next_range(all.len())];
         let mut ends = Vec::with_capacity(k);
         let mut acc = 0;
         for &p in parts {
@@ -159,72 +155,76 @@ proptest! {
         }
         let rand_cm = ContiguousMapping::new(ends, hosts.clone());
         let rand_pred = evaluate(&profile, &rand_cm.to_mapping(), &rates, &topo);
-        prop_assert!(
+        assert!(
             dp_pred.throughput >= rand_pred.throughput - 1e-9,
-            "DP lost to a random split: {} < {}",
+            "case {case}: DP lost to a random split: {} < {}",
             dp_pred.throughput,
             rand_pred.throughput
         );
     }
+}
 
-    /// The planner never returns a mapping that uses a dead node when a
-    /// live alternative exists.
-    #[test]
-    fn planner_avoids_dead_nodes(
-        ns in 1usize..5,
-        dead_seed in any::<u64>(),
-    ) {
+/// The planner never returns a mapping that uses a dead node when a
+/// live alternative exists.
+#[test]
+fn planner_avoids_dead_nodes() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x8BAD + case);
+        let ns = 1 + rng.next_range(4);
         let np = 4usize;
         let mut rates = vec![1.0; np];
-        let dead = (dead_seed as usize) % np;
+        let dead = rng.next_range(np);
         rates[dead] = 0.0;
         let profile = PipelineProfile::uniform(vec![1.0; ns], 1000);
         let topo = Topology::uniform(np, LinkSpec::lan());
         let plan = plan(&profile, &rates, &topo, &PlannerConfig::default());
-        prop_assert!(
+        assert!(
             !plan.mapping.nodes_used().contains(&NodeId(dead)),
-            "planner used dead node {dead}: {}",
+            "case {case}: planner used dead node {dead}: {}",
             plan.mapping
         );
-        prop_assert!(plan.prediction.throughput > 0.0);
+        assert!(plan.prediction.throughput > 0.0, "case {case}");
     }
+}
 
-    /// Mapping diff is empty iff mappings are equal, and symmetric.
-    #[test]
-    fn diff_is_consistent(
-        (_, _, a) in arb_instance(),
-        swap_seed in any::<u64>(),
-    ) {
+/// Mapping diff is empty iff mappings are equal, and symmetric.
+#[test]
+fn diff_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x91FF + case);
+        let (_, _, a) = instance(&mut rng);
         let np = a.iter().max().unwrap() + 2;
-        let ma = Mapping::from_assignment(
-            &a.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
+        let ma = to_mapping(&a);
         let mut b = a.clone();
-        let idx = (swap_seed as usize) % b.len();
+        let idx = rng.next_range(b.len());
         b[idx] = (b[idx] + 1) % np;
-        let mb = Mapping::from_assignment(
-            &b.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
-        prop_assert!(ma.diff(&ma).is_empty());
-        prop_assert_eq!(ma.diff(&mb), mb.diff(&ma));
-        prop_assert_eq!(ma.diff(&mb), vec![idx]);
+        let mb = to_mapping(&b);
+        assert!(ma.diff(&ma).is_empty(), "case {case}");
+        assert_eq!(ma.diff(&mb), mb.diff(&ma), "case {case}");
+        assert_eq!(ma.diff(&mb), vec![idx], "case {case}");
     }
+}
 
-    /// completion_time(n) is monotone in n and ≥ latency.
-    #[test]
-    fn completion_estimate_is_monotone(
-        (work, rates, assignment) in arb_instance(),
-        n1 in 1u64..1_000,
-        n2 in 1u64..1_000,
-    ) {
+/// completion_time(n) is monotone in n and ≥ latency.
+#[test]
+fn completion_estimate_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xA0FE + case);
+        let (work, rates, assignment) = instance(&mut rng);
+        let n1 = 1 + rng.next_range(999) as u64;
+        let n2 = 1 + rng.next_range(999) as u64;
         let profile = PipelineProfile::uniform(work, 100);
-        let mapping = Mapping::from_assignment(
-            &assignment.iter().map(|&i| NodeId(i)).collect::<Vec<_>>(),
-        );
+        let mapping = to_mapping(&assignment);
         let topo = Topology::uniform(rates.len(), LinkSpec::lan());
         let pred = evaluate(&profile, &mapping, &rates, &topo);
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        prop_assert!(pred.completion_time(lo) <= pred.completion_time(hi));
-        prop_assert!(pred.completion_time(1) >= pred.latency - 1e-12);
+        assert!(
+            pred.completion_time(lo) <= pred.completion_time(hi),
+            "case {case}"
+        );
+        assert!(
+            pred.completion_time(1) >= pred.latency - 1e-12,
+            "case {case}"
+        );
     }
 }

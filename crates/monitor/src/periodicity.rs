@@ -113,7 +113,7 @@ mod tests {
     fn square(period: usize, n: usize) -> Vec<f64> {
         (0..n)
             .map(|i| {
-                if (i / (period / 2)) % 2 == 0 {
+                if (i / (period / 2)).is_multiple_of(2) {
                     1.0
                 } else {
                     0.1

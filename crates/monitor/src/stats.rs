@@ -43,6 +43,24 @@ impl Welford {
     pub fn std_dev(&self) -> Option<f64> {
         self.variance().map(f64::sqrt)
     }
+
+    /// Merges another accumulator into this one — the exact parallel
+    /// combination (Chan et al.), so per-worker accumulators fold into
+    /// the same moments a single stream would have produced.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n;
+        self.mean += delta * other.n as f64 / n;
+        self.n += other.n;
+    }
 }
 
 /// Linear-interpolated quantile of a **sorted** slice, `q ∈ [0, 1]`.

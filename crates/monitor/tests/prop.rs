@@ -1,7 +1,13 @@
-//! Property-based tests for forecasting invariants.
+//! Property-style tests for forecasting invariants.
+//!
+//! The workspace builds offline, so instead of a property-testing
+//! framework these sweep each invariant over a deterministic fan of
+//! seeded series (seeds drive `adapipe_gridsim::rng::Rng64`, a dev
+//! dependency). Failures print the offending case, which reproduces
+//! exactly.
 
+use adapipe_gridsim::rng::Rng64;
 use adapipe_monitor::prelude::*;
-use proptest::prelude::*;
 
 fn feed(f: &mut dyn Forecaster, values: &[f64]) {
     for (i, &v) in values.iter().enumerate() {
@@ -9,15 +15,19 @@ fn feed(f: &mut dyn Forecaster, values: &[f64]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn series(rng: &mut Rng64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| lo + (hi - lo) * rng.next_unit()).collect()
+}
 
-    /// Every forecaster converges exactly on a constant series.
-    #[test]
-    fn constant_series_is_learned_exactly(
-        value in -1e6f64..1e6,
-        n in 2usize..100,
-    ) {
+const CASES: u64 = 32;
+
+/// Every forecaster converges exactly on a constant series.
+#[test]
+fn constant_series_is_learned_exactly() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xC0 + case);
+        let value = -1e6 + 2e6 * rng.next_unit();
+        let n = 2 + rng.next_range(98);
         let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
             Box::new(LastValue::new()),
             Box::new(RunningMean::new()),
@@ -31,19 +41,22 @@ proptest! {
         for f in &mut forecasters {
             feed(f.as_mut(), &series);
             let p = f.predict().expect("observed data");
-            prop_assert!(
+            assert!(
                 (p - value).abs() <= 1e-9 * value.abs().max(1.0),
-                "{} predicted {p} for constant {value}",
+                "case {case}: {} predicted {p} for constant {value}",
                 f.name()
             );
         }
     }
+}
 
-    /// Mean-family predictions stay within the observed value range.
-    #[test]
-    fn predictions_stay_in_observed_range(
-        values in prop::collection::vec(-1e3f64..1e3, 1..200),
-    ) {
+/// Mean-family predictions stay within the observed value range.
+#[test]
+fn predictions_stay_in_observed_range() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x4A6E + case);
+        let len = 1 + rng.next_range(199);
+        let values = series(&mut rng, len, -1e3, 1e3);
         let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut forecasters: Vec<Box<dyn Forecaster>> = vec![
@@ -58,19 +71,22 @@ proptest! {
             feed(f.as_mut(), &values);
             let p = f.predict().expect("observed data");
             let slack = 1e-9 * hi.abs().max(lo.abs()).max(1.0);
-            prop_assert!(
+            assert!(
                 p >= lo - slack && p <= hi + slack,
-                "{} predicted {p} outside [{lo}, {hi}]",
+                "case {case}: {} predicted {p} outside [{lo}, {hi}]",
                 f.name()
             );
         }
     }
+}
 
-    /// Welford's streaming moments match the naive two-pass formulas.
-    #[test]
-    fn welford_matches_naive(
-        values in prop::collection::vec(-1e4f64..1e4, 2..100),
-    ) {
+/// Welford's streaming moments match the naive two-pass formulas.
+#[test]
+fn welford_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x3E1F + case);
+        let len = 2 + rng.next_range(98);
+        let values = series(&mut rng, len, -1e4, 1e4);
         let mut w = Welford::new();
         for &v in &values {
             w.push(v);
@@ -78,54 +94,99 @@ proptest! {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0);
-        prop_assert!((w.mean().unwrap() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((w.variance().unwrap() - var).abs() < 1e-5 * var.abs().max(1.0));
+        assert!(
+            (w.mean().unwrap() - mean).abs() < 1e-6 * mean.abs().max(1.0),
+            "case {case}"
+        );
+        assert!(
+            (w.variance().unwrap() - var).abs() < 1e-5 * var.abs().max(1.0),
+            "case {case}"
+        );
     }
+}
 
-    /// Quantiles are monotone in q and bounded by the extremes.
-    #[test]
-    fn quantiles_are_monotone(
-        mut values in prop::collection::vec(-1e4f64..1e4, 1..100),
-        q1 in 0.0f64..=1.0,
-        q2 in 0.0f64..=1.0,
-    ) {
+/// Welford's parallel merge matches one accumulator over the
+/// concatenated stream, at any split point.
+#[test]
+fn welford_merge_matches_single_stream() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x3E20 + case);
+        let len = 2 + rng.next_range(98);
+        let values = series(&mut rng, len, -1e4, 1e4);
+        let split = rng.next_range(values.len() + 1);
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        let mut whole = Welford::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i < split {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+            whole.push(v);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count(), "case {case}");
+        let (lm, wm) = (left.mean().unwrap(), whole.mean().unwrap());
+        assert!((lm - wm).abs() < 1e-9 * wm.abs().max(1.0), "case {case}");
+        if let (Some(lv), Some(wv)) = (left.variance(), whole.variance()) {
+            assert!((lv - wv).abs() < 1e-6 * wv.abs().max(1.0), "case {case}");
+        }
+    }
+}
+
+/// Quantiles are monotone in q and bounded by the extremes.
+#[test]
+fn quantiles_are_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x9A4 + case);
+        let len = 1 + rng.next_range(99);
+        let mut values = series(&mut rng, len, -1e4, 1e4);
+        let q1 = rng.next_unit();
+        let q2 = rng.next_unit();
         values.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let a = quantile_sorted(&values, lo_q);
         let b = quantile_sorted(&values, hi_q);
-        prop_assert!(a <= b + 1e-12);
-        prop_assert!(a >= values[0] - 1e-12);
-        prop_assert!(b <= values[values.len() - 1] + 1e-12);
+        assert!(a <= b + 1e-12, "case {case}");
+        assert!(a >= values[0] - 1e-12, "case {case}");
+        assert!(b <= values[values.len() - 1] + 1e-12, "case {case}");
     }
+}
 
-    /// The observation window never exceeds its capacity and always
-    /// keeps the most recent items.
-    #[test]
-    fn window_keeps_most_recent(
-        capacity in 1usize..32,
-        values in prop::collection::vec(-1e3f64..1e3, 1..100),
-    ) {
+/// The observation window never exceeds its capacity and always keeps
+/// the most recent items.
+#[test]
+fn window_keeps_most_recent() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0x817D + case);
+        let capacity = 1 + rng.next_range(31);
+        let len = 1 + rng.next_range(99);
+        let values = series(&mut rng, len, -1e3, 1e3);
         let mut w = ObservationWindow::new(capacity);
         for (i, &v) in values.iter().enumerate() {
             w.push(i as f64, v);
         }
-        prop_assert!(w.len() <= capacity);
+        assert!(w.len() <= capacity, "case {case}");
         let kept: Vec<f64> = w.values().collect();
         let expected: Vec<f64> = values
             .iter()
             .skip(values.len().saturating_sub(capacity))
             .copied()
             .collect();
-        prop_assert_eq!(kept, expected);
+        assert_eq!(kept, expected, "case {case}");
     }
+}
 
-    /// Ensemble trailing errors: on any series, the ensemble's one-step
-    /// MAE is within a factor of the best member's (dynamic selection
-    /// may lag, but must not be wildly worse).
-    #[test]
-    fn ensemble_tracks_best_member(
-        seed_values in prop::collection::vec(0.0f64..1.0, 50..150),
-    ) {
+/// Ensemble trailing errors: on any series, the ensemble's one-step MAE
+/// is within a factor of the best member's (dynamic selection may lag,
+/// but must not be wildly worse).
+#[test]
+fn ensemble_tracks_best_member() {
+    for case in 0..CASES {
+        let mut rng = Rng64::new(0xE75E + case);
+        let len = 50 + rng.next_range(100);
+        let seed_values = series(&mut rng, len, 0.0, 1.0);
         let window = 8;
         let mut members: Vec<Box<dyn Forecaster>> = vec![
             Box::new(LastValue::new()),
@@ -156,9 +217,9 @@ proptest! {
                 .iter()
                 .filter_map(|e| e.mae())
                 .fold(f64::INFINITY, f64::min);
-            prop_assert!(
+            assert!(
                 e_mae <= best * 3.0 + 1e-9,
-                "ensemble MAE {e_mae} vs best member {best}"
+                "case {case}: ensemble MAE {e_mae} vs best member {best}"
             );
         }
     }

@@ -1,0 +1,503 @@
+//! The shared adaptation loop: instrument → forecast → plan → re-map.
+//!
+//! Historically each engine re-implemented this cycle (the simulator in
+//! its `on_sample`/`on_tick` event handlers, the threaded engine in a
+//! dedicated controller thread), and the two copies drifted — the
+//! threaded engine, for instance, never gained the regret guard. The
+//! [`AdaptationLoop`] is the single implementation both drive now:
+//!
+//! * **sensing** ([`AdaptationLoop::sample`]) — windowed mean
+//!   availability per node, perturbed by observation noise, several
+//!   times per adaptation interval (point samples alias against load
+//!   oscillating near the sensing frequency);
+//! * **deciding** ([`AdaptationLoop::tick`]) — once per interval:
+//!   realized-throughput regret guard, warm-up and hold-down gating,
+//!   policy-specific rate selection, then one
+//!   [`Controller::consider`] cycle; accepted mappings are swapped into
+//!   the [`RoutingTable`] and handed to the backend as a
+//!   [`RemapPlan`] to commit physically.
+//!
+//! Backends only choose *when* to call these (the simulator schedules
+//! events, the engine sleeps on a wall clock) — never *what* happens.
+
+use crate::backend::{ExecutionBackend, RemapPlan};
+use crate::controller::{Controller, ControllerConfig};
+use crate::policy::Policy;
+use crate::report::AdaptationEvent;
+use crate::routing::RoutingTable;
+use adapipe_gridsim::net::Topology;
+use adapipe_gridsim::time::{SimDuration, SimTime};
+use adapipe_mapper::mapping::Mapping;
+use adapipe_mapper::model::{evaluate, PipelineProfile};
+use adapipe_monitor::sensor::NoisyChannel;
+use std::sync::RwLock;
+
+/// Everything the shared runtime needs to adapt one pipeline run,
+/// independent of which backend executes it.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Adaptation policy.
+    pub policy: Policy,
+    /// Controller tunables (planner, hysteresis, monitoring window).
+    pub controller: ControllerConfig,
+    /// The mapper's view of the pipeline.
+    pub profile: PipelineProfile,
+    /// Planning topology.
+    pub topology: Topology,
+    /// Nominal node speeds (forecast rates = speed × predicted
+    /// availability).
+    pub speeds: Vec<f64>,
+    /// Migratable state per stage, in bytes.
+    pub state_bytes: Vec<u64>,
+    /// Stream length (drives remaining-work amortisation).
+    pub total_items: u64,
+    /// Relative magnitude of availability observation noise (0 = clean).
+    pub observation_noise: f64,
+    /// Seed for the observation noise stream.
+    pub noise_seed: u64,
+}
+
+impl RuntimeConfig {
+    fn noise(&self) -> NoisyChannel {
+        if self.observation_noise > 0.0 {
+            NoisyChannel::new(self.noise_seed, self.observation_noise)
+        } else {
+            NoisyChannel::clean()
+        }
+    }
+}
+
+/// The adaptation state machine shared by every backend.
+pub struct AdaptationLoop {
+    cfg: RuntimeConfig,
+    controller: Controller,
+    noise: NoisyChannel,
+    /// Model-predicted throughput of the mapping currently in force.
+    expected_tput: f64,
+    last_tick_completed: u64,
+    ticks_seen: u32,
+    /// Mapping to revert to if the regret guard trips, with the tick the
+    /// current mapping was adopted.
+    guard_prev: Option<(Mapping, u32)>,
+    guard_bad: u32,
+    hold_until_tick: u32,
+}
+
+impl AdaptationLoop {
+    /// Creates the loop for one run. `initial` is the launch mapping and
+    /// `launch_rates` the effective rates it was planned against (they
+    /// seed the expected-throughput baseline the regret guard and the
+    /// reactive policy compare in).
+    pub fn new(cfg: RuntimeConfig, initial: &Mapping, launch_rates: &[f64]) -> Self {
+        let controller = Controller::new(cfg.speeds.len(), cfg.controller.clone());
+        let expected_tput = evaluate(&cfg.profile, initial, launch_rates, &cfg.topology).throughput;
+        let noise = cfg.noise();
+        AdaptationLoop {
+            controller,
+            noise,
+            expected_tput,
+            last_tick_completed: 0,
+            ticks_seen: 0,
+            guard_prev: None,
+            guard_bad: 0,
+            hold_until_tick: 0,
+            cfg,
+        }
+    }
+
+    /// The adaptation interval, or `None` under [`Policy::Static`].
+    pub fn interval(&self) -> Option<SimDuration> {
+        self.cfg.policy.interval()
+    }
+
+    /// Sub-interval spacing of availability observations, or `None`
+    /// under [`Policy::Static`] (nothing ever consumes the samples).
+    pub fn sample_dt(&self) -> Option<SimDuration> {
+        let interval = self.cfg.policy.interval()?;
+        let divisions = self.cfg.controller.samples_per_interval.max(1);
+        Some(SimDuration::from_nanos(
+            (interval.as_nanos() / divisions as u64).max(1),
+        ))
+    }
+
+    /// Observations per adaptation interval (≥ 1).
+    pub fn samples_per_interval(&self) -> u32 {
+        self.cfg.controller.samples_per_interval.max(1)
+    }
+
+    /// One availability observation on every node (the NWS stand-in).
+    /// Like NWS's CPU sensor, the observation is the *mean* availability
+    /// over the elapsed sample window, not a point sample: point-sampling
+    /// a load oscillating near the sensing frequency aliases into
+    /// forecast flapping and re-mapping churn.
+    pub fn sample<B: ExecutionBackend>(&mut self, backend: &B) {
+        let Some(dt) = self.sample_dt() else { return };
+        let now = backend.now();
+        let window_start = SimTime::from_nanos(now.as_nanos().saturating_sub(dt.as_nanos()));
+        if window_start >= now {
+            return; // no elapsed window yet (t = 0): nothing to observe
+        }
+        let t = now.as_secs_f64();
+        for node in 0..backend.node_count() {
+            let truth = backend.mean_availability(node, window_start, now);
+            let observed = self.noise.perturb(truth).clamp(0.0, 1.0);
+            self.controller.observe_availability(node, t, observed);
+        }
+    }
+
+    /// One adaptation tick: regret guard, warm-up gating, policy rate
+    /// selection, plan/decide, and — on acceptance — the routing-table
+    /// swap plus backend commit. Returns the committed [`RemapPlan`], if
+    /// any (a guard revert also surfaces here).
+    pub fn tick<B: ExecutionBackend>(
+        &mut self,
+        backend: &mut B,
+        routing: &RwLock<RoutingTable>,
+    ) -> Option<RemapPlan> {
+        let interval = self.cfg.policy.interval()?;
+        let now = backend.now();
+        let completed = backend.completed();
+
+        // 1. Realized throughput over the elapsed tick: the one signal
+        // immune to the forecast pathologies the guard exists for.
+        self.ticks_seen += 1;
+        let realized =
+            completed.saturating_sub(self.last_tick_completed) as f64 / interval.as_secs_f64();
+        self.last_tick_completed = completed;
+
+        let mut committed: Option<RemapPlan> = None;
+
+        // 2. Regret guard: compare what the adopted mapping delivers
+        // against what the model promised; on sustained shortfall revert
+        // and hold planning down.
+        let guard_ticks = self.cfg.controller.guard_bad_ticks;
+        if guard_ticks > 0 {
+            if let Some((prev, adopted_tick)) = self.guard_prev.clone() {
+                // Skip the adoption tick itself: migration transients
+                // depress throughput legitimately.
+                if self.ticks_seen > adopted_tick + 1 && self.expected_tput > 0.0 {
+                    if realized < self.cfg.controller.guard_tolerance * self.expected_tput {
+                        self.guard_bad += 1;
+                    } else {
+                        self.guard_bad = 0;
+                        // The mapping has proven itself: stop guarding it.
+                        if self.ticks_seen > adopted_tick + 3 {
+                            self.guard_prev = None;
+                        }
+                    }
+                    if self.guard_bad >= guard_ticks {
+                        let rates = self.controller.forecast_rates(&self.cfg.speeds);
+                        self.expected_tput =
+                            evaluate(&self.cfg.profile, &prev, &rates, &self.cfg.topology)
+                                .throughput;
+                        committed = Some(self.apply(backend, routing, prev, now));
+                        self.guard_prev = None;
+                        self.guard_bad = 0;
+                        self.hold_until_tick =
+                            self.ticks_seen + self.cfg.controller.guard_hold_ticks;
+                    }
+                }
+            }
+        }
+
+        // 3. Policy-specific planning — but never before the warm-up
+        // observation history exists, and not during a guard hold-down.
+        let warmed_up = self.ticks_seen > self.cfg.controller.warmup_ticks
+            && self.ticks_seen >= self.hold_until_tick;
+        let remaining = self.cfg.total_items.saturating_sub(completed);
+        let rates: Option<Vec<f64>> = match self.cfg.policy {
+            _ if !warmed_up => None,
+            Policy::Static => None,
+            Policy::Periodic { .. } => Some(self.controller.forecast_rates(&self.cfg.speeds)),
+            Policy::Reactive { degradation, .. } => {
+                if realized < degradation * self.expected_tput {
+                    Some(self.controller.forecast_rates(&self.cfg.speeds))
+                } else {
+                    None
+                }
+            }
+            Policy::Oracle { .. } => Some(backend.oracle_rates(now, now + interval)),
+        };
+
+        if let Some(rates) = rates {
+            let current = routing
+                .read()
+                .expect("routing lock poisoned")
+                .mapping()
+                .clone();
+            let accepted = self.controller.consider(
+                now,
+                &self.cfg.profile,
+                &self.cfg.topology,
+                &rates,
+                &current,
+                remaining,
+                &self.cfg.state_bytes,
+            );
+            if let Some(new_mapping) = accepted {
+                self.expected_tput =
+                    evaluate(&self.cfg.profile, &new_mapping, &rates, &self.cfg.topology)
+                        .throughput;
+                self.guard_prev = Some((current, self.ticks_seen));
+                self.guard_bad = 0;
+                committed = Some(self.apply(backend, routing, new_mapping, now));
+            }
+        }
+        committed
+    }
+
+    /// Swaps `new` into the routing table and hands the priced plan to
+    /// the backend for physical commit.
+    fn apply<B: ExecutionBackend>(
+        &mut self,
+        backend: &mut B,
+        routing: &RwLock<RoutingTable>,
+        new: Mapping,
+        now: SimTime,
+    ) -> RemapPlan {
+        let mut table = routing.write().expect("routing lock poisoned");
+        let from = table.mapping().clone();
+        let migration_cost =
+            self.controller
+                .migration_cost(&from, &new, &self.cfg.state_bytes, &self.cfg.topology);
+        let moved = table.install(new.clone());
+        drop(table);
+        let plan = RemapPlan {
+            from,
+            to: new,
+            moved,
+            migration_cost,
+            at: now,
+            ready_at: now + migration_cost,
+        };
+        backend.commit_remap(&plan);
+        plan
+    }
+
+    /// The wrapped controller (diagnostics).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Adaptation ticks seen so far.
+    pub fn ticks_seen(&self) -> u32 {
+        self.ticks_seen
+    }
+
+    /// Consumes the loop, returning the accepted re-mapping events and
+    /// the number of planning cycles run — the report's adaptation
+    /// fields, assembled identically for every backend.
+    pub fn finish(self) -> (Vec<AdaptationEvent>, u64) {
+        let cycles = self.controller.plans_evaluated();
+        (self.controller.into_events(), cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_gridsim::net::LinkSpec;
+    use adapipe_gridsim::node::NodeId;
+
+    /// A minimal in-memory backend: constant availability per node,
+    /// scripted completion counter, records committed plans.
+    struct TestBackend {
+        avail: Vec<f64>,
+        now: SimTime,
+        completed: u64,
+        commits: Vec<RemapPlan>,
+    }
+
+    impl ExecutionBackend for TestBackend {
+        fn node_count(&self) -> usize {
+            self.avail.len()
+        }
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn mean_availability(&self, node: usize, _from: SimTime, _to: SimTime) -> f64 {
+            self.avail[node]
+        }
+        fn completed(&self) -> u64 {
+            self.completed
+        }
+        fn oracle_rates(&self, _from: SimTime, _to: SimTime) -> Vec<f64> {
+            self.avail.clone()
+        }
+        fn commit_remap(&mut self, plan: &RemapPlan) {
+            self.commits.push(plan.clone());
+        }
+    }
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn rig(policy: Policy, np: usize) -> (RuntimeConfig, Mapping) {
+        let profile = PipelineProfile::uniform(vec![1.0; np.min(3)], 0);
+        let mapping = Mapping::from_assignment(&(0..np.min(3)).map(n).collect::<Vec<_>>());
+        let cfg = RuntimeConfig {
+            policy,
+            controller: ControllerConfig::default(),
+            profile,
+            topology: Topology::uniform(np, LinkSpec::lan()),
+            speeds: vec![1.0; np],
+            state_bytes: vec![0; np.min(3)],
+            total_items: 10_000,
+            observation_noise: 0.0,
+            noise_seed: 1,
+        };
+        (cfg, mapping)
+    }
+
+    #[test]
+    fn static_policy_never_ticks() {
+        let (cfg, mapping) = rig(Policy::Static, 3);
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(10.0),
+            completed: 5,
+            commits: vec![],
+        };
+        assert!(aloop.interval().is_none());
+        assert!(aloop.sample_dt().is_none());
+        assert!(aloop.tick(&mut backend, &routing).is_none());
+        let (events, cycles) = aloop.finish();
+        assert!(events.is_empty());
+        assert_eq!(cycles, 0);
+    }
+
+    #[test]
+    fn periodic_remaps_off_collapsed_node_after_warmup() {
+        let (cfg, mapping) = rig(Policy::periodic_default(), 3);
+        let warmup = cfg.controller.warmup_ticks;
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping.clone()));
+        let mut backend = TestBackend {
+            avail: vec![1.0, 0.05, 1.0], // node 1 collapsed
+            now: SimTime::ZERO,
+            completed: 0,
+            commits: vec![],
+        };
+        let mut committed = None;
+        for k in 0..warmup + 4 {
+            backend.now = SimTime::from_secs_f64((k + 1) as f64 * 5.0);
+            aloop.sample(&backend);
+            if let Some(plan) = aloop.tick(&mut backend, &routing) {
+                assert!(k >= warmup, "acted during warm-up at tick {k}");
+                committed = Some(plan);
+                break;
+            }
+        }
+        let plan = committed.expect("collapsed node must force a re-map");
+        assert!(!plan.moved.is_empty());
+        assert_eq!(backend.commits.len(), 1);
+        // The routing table now points at the new mapping.
+        let table = routing.read().unwrap();
+        assert_eq!(table.mapping(), &plan.to);
+        assert_ne!(table.mapping(), &mapping);
+        let (events, cycles) = aloop.finish();
+        assert_eq!(events.len(), 1);
+        assert!(cycles >= 1);
+    }
+
+    #[test]
+    fn reactive_plans_only_on_degradation() {
+        let (cfg, mapping) = rig(
+            Policy::Reactive {
+                interval: SimDuration::from_secs(5),
+                degradation: 0.7,
+            },
+            3,
+        );
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping));
+        let mut backend = TestBackend {
+            avail: vec![1.0, 0.05, 1.0],
+            now: SimTime::ZERO,
+            completed: 0,
+            commits: vec![],
+        };
+        // Healthy throughput (≥ expected 1 item/s × 5 s per tick): the
+        // forecast sees a collapsed node, but reactive never even plans.
+        for k in 0..8u64 {
+            backend.now = SimTime::from_secs_f64((k + 1) as f64 * 5.0);
+            backend.completed = (k + 1) * 5;
+            aloop.sample(&backend);
+            assert!(aloop.tick(&mut backend, &routing).is_none());
+        }
+        let cycles_before = aloop.controller().plans_evaluated();
+        assert_eq!(cycles_before, 0, "healthy reactive run must not plan");
+        // Throughput collapses: now it must plan and re-map.
+        let mut remapped = false;
+        for k in 8..12u64 {
+            backend.now = SimTime::from_secs_f64((k + 1) as f64 * 5.0);
+            aloop.sample(&backend);
+            if aloop.tick(&mut backend, &routing).is_some() {
+                remapped = true;
+                break;
+            }
+        }
+        assert!(remapped, "degraded reactive run must re-map");
+    }
+
+    #[test]
+    fn regret_guard_reverts_underperforming_mapping() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        // Make the planner remap-happy and the guard fast.
+        cfg.controller.decision = adapipe_mapper::decide::DecisionConfig {
+            min_relative_gain: 0.0,
+            cost_benefit_factor: 0.0,
+        };
+        cfg.controller.guard_bad_ticks = 2;
+        let guard_hold = cfg.controller.guard_hold_ticks;
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping.clone()));
+        let mut backend = TestBackend {
+            avail: vec![1.0, 0.05, 1.0],
+            now: SimTime::ZERO,
+            completed: 0,
+            commits: vec![],
+        };
+        // Drive until the forecast-led re-map happens…
+        let mut tick = 0u64;
+        loop {
+            tick += 1;
+            backend.now = SimTime::from_secs_f64(tick as f64 * 5.0);
+            aloop.sample(&backend);
+            if aloop.tick(&mut backend, &routing).is_some() {
+                break;
+            }
+            assert!(tick < 20, "no initial re-map");
+        }
+        let adopted = routing.read().unwrap().mapping().clone();
+        // …then starve realized throughput (completed never moves): the
+        // guard must revert to the original mapping within a few ticks.
+        let mut reverted = None;
+        for _ in 0..4 {
+            tick += 1;
+            backend.now = SimTime::from_secs_f64(tick as f64 * 5.0);
+            aloop.sample(&backend);
+            if let Some(plan) = aloop.tick(&mut backend, &routing) {
+                reverted = Some(plan);
+                break;
+            }
+        }
+        let plan = reverted.expect("guard must revert");
+        assert_eq!(plan.from, adopted);
+        assert_eq!(plan.to, mapping, "revert restores the guarded mapping");
+        // Planning is held down afterwards.
+        let held_until = aloop.ticks_seen() + guard_hold;
+        for _ in aloop.ticks_seen()..held_until.saturating_sub(1) {
+            tick += 1;
+            backend.now = SimTime::from_secs_f64(tick as f64 * 5.0);
+            aloop.sample(&backend);
+            assert!(
+                aloop.tick(&mut backend, &routing).is_none(),
+                "hold-down violated"
+            );
+        }
+    }
+}

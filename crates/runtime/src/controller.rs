@@ -330,7 +330,7 @@ mod tests {
         let current = Mapping::from_assignment(&[n(0), n(1), n(2)]);
         let rates = c.forecast_rates(&[1.0, 1.0, 1.0]);
         let state = [0u64, 0, 0];
-        let mut consider = |c: &mut Controller, t: f64| {
+        let consider = |c: &mut Controller, t: f64| {
             c.consider(
                 SimTime::from_secs_f64(t),
                 &profile,

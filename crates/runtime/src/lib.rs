@@ -1,0 +1,58 @@
+//! # adapipe-runtime
+//!
+//! The backend-agnostic half of adaptive pipeline execution — the part
+//! of the pattern that is *the same* no matter what actually runs the
+//! stages. The paper's contribution is a single adaptive skeleton
+//! (instrument → forecast → plan → re-map); this crate is that skeleton,
+//! factored out so every execution backend shares one implementation:
+//!
+//! * [`backend`] — the [`backend::ExecutionBackend`] trait: the five
+//!   things a backend must expose to be adapted (time source,
+//!   availability probe, completion counter, oracle rates, physical
+//!   re-map commit);
+//! * [`routing`] — the [`routing::RoutingTable`]: live stage→replica-set
+//!   routing with round-robin or least-loaded selection, swappable under
+//!   a running pipeline;
+//! * [`adapt`] — the [`adapt::AdaptationLoop`]: windowed sensing,
+//!   warm-up, policy dispatch, and the realized-throughput regret guard,
+//!   driving the [`controller::Controller`] identically for every
+//!   backend;
+//! * [`controller`] — monitor → plan → decide, with hysteresis and
+//!   migration-cost accounting;
+//! * [`policy`] — when the controller wakes up and what it may see;
+//! * [`report`] — [`report::RunReport`] and the shared
+//!   [`report::ReportBuilder`] so every backend's report has an
+//!   identical shape;
+//! * [`metrics`] — per-stage service instrumentation.
+//!
+//! Concrete backends live elsewhere: the discrete-event simulation
+//! backend in `adapipe-core::simengine`, the threaded vnode backend in
+//! `adapipe-engine::exec`. Both are thin: they own item transport and
+//! implement [`backend::ExecutionBackend`]; everything adaptive lives
+//! here.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adapt;
+pub mod arrivals;
+pub mod backend;
+pub mod controller;
+pub mod metrics;
+pub mod policy;
+pub mod report;
+pub mod routing;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::adapt::{AdaptationLoop, RuntimeConfig};
+    pub use crate::arrivals::ArrivalProcess;
+    pub use crate::backend::{ExecutionBackend, RemapPlan};
+    pub use crate::controller::{Controller, ControllerConfig};
+    pub use crate::metrics::{StageMetrics, StageStats};
+    pub use crate::policy::Policy;
+    pub use crate::report::{AdaptationEvent, ReportBuilder, RunReport};
+    pub use crate::routing::{RoutingTable, Selection};
+}
+
+pub use prelude::*;

@@ -45,6 +45,14 @@ impl StageStats {
         self.work_done
     }
 
+    /// Merges another stage's statistics into this one (exact for all
+    /// reported moments) — how per-worker accumulators fold into one
+    /// report.
+    pub fn absorb(&mut self, other: &StageStats) {
+        self.service.merge(&other.service);
+        self.work_done += other.work_done;
+    }
+
     /// Observed effective rate: work per busy second. Comparing this
     /// against `speed × availability` validates the engine's slowdown
     /// accounting end-to-end.
@@ -75,6 +83,22 @@ impl StageMetrics {
     /// Records a completed task of `stage`.
     pub fn record(&mut self, stage: usize, service: SimDuration, work: f64) {
         self.stages[stage].record(service, work);
+    }
+
+    /// Merges another run's (or worker's) metrics into this one,
+    /// stage by stage.
+    ///
+    /// # Panics
+    /// Panics if the stage counts differ.
+    pub fn absorb(&mut self, other: &StageMetrics) {
+        assert_eq!(
+            self.stages.len(),
+            other.stages.len(),
+            "stage count mismatch"
+        );
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            mine.absorb(theirs);
+        }
     }
 
     /// Statistics of one stage.
@@ -159,6 +183,34 @@ mod tests {
     fn empty_metrics_have_no_bottleneck() {
         let m = StageMetrics::new(2);
         assert_eq!(m.bottleneck_stage(), None);
+    }
+
+    #[test]
+    fn absorb_equals_single_stream() {
+        // Two workers' accumulators folded together must match one
+        // accumulator that saw every sample.
+        let mut a = StageMetrics::new(1);
+        let mut b = StageMetrics::new(1);
+        let mut whole = StageMetrics::new(1);
+        for (i, v) in [1.0, 2.0, 4.0, 8.0, 16.0].iter().enumerate() {
+            let target = if i % 2 == 0 { &mut a } else { &mut b };
+            target.record(0, d(*v), *v);
+            whole.record(0, d(*v), *v);
+        }
+        a.absorb(&b);
+        let (merged, single) = (a.stage(0), whole.stage(0));
+        assert_eq!(merged.count(), single.count());
+        assert_eq!(merged.work_done(), single.work_done());
+        let (ms, ss) = (
+            merged.mean_service().unwrap().as_secs_f64(),
+            single.mean_service().unwrap().as_secs_f64(),
+        );
+        assert!((ms - ss).abs() < 1e-12);
+        let (md, sd) = (
+            merged.service_std_dev().unwrap().as_secs_f64(),
+            single.service_std_dev().unwrap().as_secs_f64(),
+        );
+        assert!((md - sd).abs() < 1e-9, "variance merge must be exact");
     }
 
     #[test]

@@ -96,6 +96,85 @@ impl RunReport {
     }
 }
 
+/// Accumulates per-completion observations and assembles the final
+/// [`RunReport`] — the one place report shape is defined, so every
+/// backend's report is identical in structure and derivation.
+#[derive(Debug)]
+pub struct ReportBuilder {
+    expected_items: u64,
+    completed: u64,
+    latency_sum: SimDuration,
+    latencies: Vec<SimDuration>,
+    last_completion: SimTime,
+    timeline: ThroughputTimeline,
+}
+
+impl ReportBuilder {
+    /// Creates a builder for a stream of `expected_items`, bucketing the
+    /// throughput timeline at `bucket`.
+    pub fn new(bucket: SimDuration, expected_items: u64) -> Self {
+        ReportBuilder {
+            expected_items,
+            completed: 0,
+            latency_sum: SimDuration::ZERO,
+            latencies: Vec::with_capacity(expected_items.min(1 << 20) as usize),
+            last_completion: SimTime::ZERO,
+            timeline: ThroughputTimeline::new(bucket),
+        }
+    }
+
+    /// Records one item reaching the sink at `at` after `latency`.
+    pub fn record_completion(&mut self, at: SimTime, latency: SimDuration) {
+        self.completed += 1;
+        self.timeline.record(at);
+        if at > self.last_completion {
+            self.last_completion = at;
+        }
+        self.latency_sum = self.latency_sum.saturating_add(latency);
+        self.latencies.push(latency);
+    }
+
+    /// Completions recorded so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// True once every expected item has completed.
+    pub fn all_done(&self) -> bool {
+        self.completed >= self.expected_items
+    }
+
+    /// Assembles the final report from the accumulated completions plus
+    /// the run's terminal state.
+    pub fn finish(
+        self,
+        final_mapping: Mapping,
+        adaptations: Vec<AdaptationEvent>,
+        planning_cycles: u64,
+        node_busy: Vec<SimDuration>,
+        stage_metrics: StageMetrics,
+    ) -> RunReport {
+        let truncated = self.completed < self.expected_items;
+        RunReport {
+            completed: self.completed,
+            makespan: self.last_completion,
+            mean_latency: if self.completed > 0 {
+                SimDuration::from_secs_f64(self.latency_sum.as_secs_f64() / self.completed as f64)
+            } else {
+                SimDuration::ZERO
+            },
+            latencies: self.latencies,
+            timeline: self.timeline,
+            adaptations,
+            node_busy,
+            final_mapping,
+            planning_cycles,
+            stage_metrics,
+            truncated,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +230,44 @@ mod tests {
         assert_eq!(r.latency_percentile(1.0), Some(SimDuration::from_secs(9)));
         r.latencies.clear();
         assert_eq!(r.latency_percentile(0.5), None);
+    }
+
+    #[test]
+    fn builder_assembles_report_identically_for_any_backend() {
+        let mut b = ReportBuilder::new(SimDuration::from_secs(1), 3);
+        b.record_completion(SimTime::from_secs_f64(1.0), SimDuration::from_secs(1));
+        b.record_completion(SimTime::from_secs_f64(3.0), SimDuration::from_secs(3));
+        assert_eq!(b.completed(), 2);
+        assert!(!b.all_done());
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            4,
+            vec![SimDuration::from_secs(2)],
+            StageMetrics::new(1),
+        );
+        assert_eq!(r.completed, 2);
+        assert!(r.truncated, "2 of 3 expected items is a truncated run");
+        assert_eq!(r.makespan, SimTime::from_secs_f64(3.0));
+        assert_eq!(r.mean_latency, SimDuration::from_secs(2));
+        assert_eq!(r.planning_cycles, 4);
+    }
+
+    #[test]
+    fn builder_with_no_completions_reports_zeroes() {
+        let b = ReportBuilder::new(SimDuration::from_secs(1), 0);
+        assert!(b.all_done());
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![],
+            StageMetrics::new(1),
+        );
+        assert_eq!(r.completed, 0);
+        assert!(!r.truncated);
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert_eq!(r.mean_latency, SimDuration::ZERO);
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Live stage→replica routing.
+//!
+//! A [`RoutingTable`] wraps the current [`Mapping`] with per-stage
+//! replica-selection state. Both execution backends route every item
+//! through it, and the adaptation loop re-points a *running* pipeline by
+//! [`RoutingTable::install`]ing a new mapping: items already in flight
+//! towards an old host are forwarded on arrival (backends check
+//! [`RoutingTable::contains`]), new items go straight to the new hosts.
+//!
+//! Selection state is kept in atomics so the hot path takes `&self`:
+//! the threaded engine routes concurrently from many workers under a
+//! read lock, and the simulator gets identical (deterministic)
+//! round-robin behaviour through the same code.
+
+use adapipe_gridsim::node::NodeId;
+use adapipe_mapper::mapping::Mapping;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How the table picks one replica among a stage's hosts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Selection {
+    /// Deal items cyclically over the replica set (the paper's scheme;
+    /// deterministic given arrival order).
+    #[default]
+    RoundRobin,
+    /// Send each item to the replica with the smallest reported load
+    /// (queue depth); ties break towards the lowest node id. Requires
+    /// the backend to supply a load probe via
+    /// [`RoutingTable::route_least_loaded`].
+    LeastLoaded,
+}
+
+/// The shared stage→replica-set routing table.
+#[derive(Debug)]
+pub struct RoutingTable {
+    mapping: Mapping,
+    /// Per-stage round-robin cursor. Atomic so routing takes `&self`.
+    rr: Vec<AtomicUsize>,
+    selection: Selection,
+}
+
+impl RoutingTable {
+    /// Creates a table routing according to `mapping` with round-robin
+    /// replica selection.
+    pub fn new(mapping: Mapping) -> Self {
+        Self::with_selection(mapping, Selection::RoundRobin)
+    }
+
+    /// Creates a table with an explicit selection policy.
+    pub fn with_selection(mapping: Mapping, selection: Selection) -> Self {
+        let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
+        RoutingTable {
+            mapping,
+            rr,
+            selection,
+        }
+    }
+
+    /// The mapping currently in force.
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// The selection policy.
+    pub fn selection(&self) -> Selection {
+        self.selection
+    }
+
+    /// Number of stages routed.
+    pub fn len(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// True if the table routes no stages (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.mapping.len() == 0
+    }
+
+    /// The replica hosts of `stage`.
+    pub fn hosts(&self, stage: usize) -> &[NodeId] {
+        self.mapping.placement(stage).hosts()
+    }
+
+    /// True if `node` currently hosts `stage` — backends use this to
+    /// detect items that were in flight across a re-mapping and must be
+    /// forwarded.
+    pub fn contains(&self, stage: usize, node: NodeId) -> bool {
+        self.mapping.placement(stage).contains(node)
+    }
+
+    /// Picks the destination replica for the next item of `stage`,
+    /// always round-robin. Tables configured with
+    /// [`Selection::LeastLoaded`] need a load probe — route through
+    /// [`RoutingTable::route_with_load`] instead (debug builds assert
+    /// this so a least-loaded table cannot silently round-robin).
+    pub fn route(&self, stage: usize) -> NodeId {
+        debug_assert!(
+            self.selection == Selection::RoundRobin,
+            "route() ignores the {:?} policy; use route_with_load with a load probe",
+            self.selection
+        );
+        self.route_round_robin(stage)
+    }
+
+    fn route_round_robin(&self, stage: usize) -> NodeId {
+        let hosts = self.mapping.placement(stage).hosts();
+        let k = self.rr[stage].fetch_add(1, Ordering::Relaxed);
+        hosts[k % hosts.len()]
+    }
+
+    /// Picks the destination replica for the next item of `stage` using
+    /// the configured selection policy; `load` reports the backend's
+    /// current queue depth per node (only consulted under
+    /// [`Selection::LeastLoaded`]).
+    pub fn route_with_load(&self, stage: usize, load: impl Fn(NodeId) -> usize) -> NodeId {
+        match self.selection {
+            Selection::RoundRobin => self.route_round_robin(stage),
+            Selection::LeastLoaded => self.route_least_loaded(stage, load),
+        }
+    }
+
+    /// Picks the currently least-loaded replica of `stage`; ties break
+    /// towards the lowest node id (hosts are stored sorted).
+    pub fn route_least_loaded(&self, stage: usize, load: impl Fn(NodeId) -> usize) -> NodeId {
+        let hosts = self.mapping.placement(stage).hosts();
+        *hosts
+            .iter()
+            .min_by_key(|&&h| load(h))
+            .expect("placement is never empty")
+    }
+
+    /// Swaps in a new mapping, returning the stages whose placement
+    /// changed. Selection cursors of moved stages restart at zero so
+    /// post-remap routing is deterministic.
+    pub fn install(&mut self, new: Mapping) -> Vec<usize> {
+        assert_eq!(new.len(), self.mapping.len(), "mapping length must match");
+        let moved = self.mapping.diff(&new);
+        for &stage in &moved {
+            self.rr[stage].store(0, Ordering::Relaxed);
+        }
+        self.mapping = new;
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_mapper::mapping::Placement;
+
+    fn n(i: usize) -> NodeId {
+        NodeId(i)
+    }
+
+    fn replicated_two() -> RoutingTable {
+        RoutingTable::new(Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::single(n(2)),
+        ]))
+    }
+
+    #[test]
+    fn round_robin_cycles_hosts() {
+        let rt = replicated_two();
+        let picks: Vec<NodeId> = (0..4).map(|_| rt.route(0)).collect();
+        assert_eq!(picks, vec![n(0), n(1), n(0), n(1)]);
+        assert_eq!(rt.route(1), n(2));
+    }
+
+    #[test]
+    fn least_loaded_picks_emptiest_replica() {
+        let rt = replicated_two();
+        let dest = rt.route_least_loaded(0, |h| if h == n(0) { 5 } else { 1 });
+        assert_eq!(dest, n(1));
+        // Ties break to the lowest id.
+        assert_eq!(rt.route_least_loaded(0, |_| 3), n(0));
+    }
+
+    #[test]
+    fn route_with_load_respects_selection() {
+        let rr = replicated_two();
+        assert_eq!(rr.route_with_load(0, |_| 0), n(0)); // round-robin first pick
+        let ll = RoutingTable::with_selection(
+            Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]),
+            Selection::LeastLoaded,
+        );
+        let dest = ll.route_with_load(0, |h| if h == n(0) { 9 } else { 0 });
+        assert_eq!(dest, n(1));
+    }
+
+    #[test]
+    fn install_reports_moved_stages_and_resets_cursor() {
+        let mut rt = replicated_two();
+        let _ = rt.route(0); // advance the cursor off zero
+        let new = Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::single(n(0)), // stage 1 moves
+        ]);
+        let moved = rt.install(new);
+        assert_eq!(moved, vec![1]);
+        // Unmoved stage keeps its cursor (next pick continues the cycle).
+        assert_eq!(rt.route(0), n(1));
+        assert_eq!(rt.route(1), n(0));
+    }
+
+    #[test]
+    fn contains_tracks_current_mapping() {
+        let mut rt = replicated_two();
+        assert!(rt.contains(1, n(2)));
+        let moved = rt.install(Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::single(n(1)),
+        ]));
+        assert_eq!(moved, vec![1]);
+        assert!(!rt.contains(1, n(2)));
+        assert!(rt.contains(1, n(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn install_rejects_wrong_arity() {
+        let mut rt = replicated_two();
+        rt.install(Mapping::new(vec![Placement::single(n(0))]));
+    }
+}

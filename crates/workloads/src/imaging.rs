@@ -183,7 +183,7 @@ mod tests {
         let out = blur(&img);
         // The impulse spreads: centre becomes 255/9 = 28.
         assert_eq!(out.pixels[2 * 5 + 2], 28);
-        assert_eq!(out.pixels[1 * 5 + 1], 28);
+        assert_eq!(out.pixels[5 + 1], 28);
         assert_eq!(out.pixels[0], 0);
     }
 

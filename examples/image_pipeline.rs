@@ -66,9 +66,7 @@ fn main() {
 
     println!("\nthroughput timeline (500 ms buckets):");
     for (t, rate) in report.timeline.series() {
-        let bar: String = std::iter::repeat('#')
-            .take((rate / 4.0).round() as usize)
-            .collect();
+        let bar: String = std::iter::repeat_n('#', (rate / 4.0).round() as usize).collect();
         println!("  t={:>5.2}s {:>6.1} f/s |{bar}", t.as_secs_f64(), rate);
     }
 

@@ -20,7 +20,7 @@ fn main() {
     let mut spec = farm_spec(4.0, 256 << 10);
     spec.stages[0].work = Box::new(UniformWork::new(4.0, 0.3, 77));
 
-    let mut run_with = |policy: Policy, max_width: usize| {
+    let run_with = |policy: Policy, max_width: usize| {
         let mut cfg = SimConfig {
             items: 600,
             policy,

@@ -13,9 +13,13 @@
 //! | [`gridsim`] | deterministic discrete-event grid substrate |
 //! | [`monitor`] | NWS-style measurement + forecasting |
 //! | [`mapper`] | throughput model + mapping optimisers |
-//! | [`core`] | the skeleton: stages, policies, controller, sim engine |
-//! | [`engine`] | threaded engine with synthetic heterogeneity |
+//! | [`runtime`] | backend-agnostic adaptive runtime: routing table, adaptation loop, controller, policies, reports |
+//! | [`core`] | the skeleton: stages, specs, pipelines, simulation backend |
+//! | [`engine`] | threaded backend with synthetic heterogeneity |
 //! | [`workloads`] | cost models, imaging & signal pipelines, scenarios |
+//!
+//! Both execution backends sit under the shared [`runtime`] layer (see
+//! `README.md` for the diagram and a "writing a new backend" guide).
 //!
 //! ## Quickstart
 //!
@@ -37,6 +41,7 @@ pub use adapipe_engine as engine;
 pub use adapipe_gridsim as gridsim;
 pub use adapipe_mapper as mapper;
 pub use adapipe_monitor as monitor;
+pub use adapipe_runtime as runtime;
 pub use adapipe_workloads as workloads;
 
 /// One glob import for applications: brings in the preludes of every

@@ -55,7 +55,10 @@ fn everything_at_once() {
     // strand items on the dead node (if it mapped anything there).
     assert_eq!(adaptive_r.completed, items);
     assert!(!adaptive_r.truncated);
-    assert!(adaptive_r.adaptation_count() >= 1, "faults must trigger adaptation");
+    assert!(
+        adaptive_r.adaptation_count() >= 1,
+        "faults must trigger adaptation"
+    );
 
     // If static also completed (planner may have avoided n4 at launch),
     // adaptive must not be meaningfully slower; if static stranded
@@ -72,8 +75,12 @@ fn everything_at_once() {
     // Report plumbing end-to-end.
     assert_eq!(adaptive_r.timeline.total(), items);
     assert_eq!(adaptive_r.latencies.len(), items as usize);
-    let p50 = adaptive_r.latency_percentile(0.5).expect("latencies recorded");
-    let p99 = adaptive_r.latency_percentile(0.99).expect("latencies recorded");
+    let p50 = adaptive_r
+        .latency_percentile(0.5)
+        .expect("latencies recorded");
+    let p99 = adaptive_r
+        .latency_percentile(0.99)
+        .expect("latencies recorded");
     assert!(p50 <= p99);
     assert!(adaptive_r.mean_latency > SimDuration::ZERO);
     assert!(adaptive_r.planning_cycles > 0);
@@ -88,10 +95,7 @@ fn everything_at_once() {
     }
     // The final mapping avoids the crashed node.
     assert!(
-        !adaptive_r
-            .final_mapping
-            .nodes_used()
-            .contains(&NodeId(4)),
+        !adaptive_r.final_mapping.nodes_used().contains(&NodeId(4)),
         "crashed node still mapped: {}",
         adaptive_r.final_mapping
     );

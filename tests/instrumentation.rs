@@ -69,7 +69,7 @@ fn threaded_engine_reports_stage_metrics() {
     assert_eq!(stats.count(), 30);
     let mean_ms = stats.mean_service().unwrap().as_secs_f64() * 1e3;
     assert!(
-        mean_ms >= 4.0 && mean_ms < 50.0,
+        (4.0..50.0).contains(&mean_ms),
         "wall service {mean_ms:.1} ms for a 4 ms spin"
     );
 }

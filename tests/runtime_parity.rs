@@ -1,0 +1,264 @@
+//! Cross-engine parity: the same spec + policy + seed must behave the
+//! same on both execution backends, because both now run the *same*
+//! adaptive runtime (`adapipe-runtime`'s routing table and adaptation
+//! loop). These tests drive one scenario — a node collapsing shortly
+//! after launch — through the discrete-event simulation backend and the
+//! threaded vnode backend and compare the outcomes, plus
+//! adaptation-behaviour checks on the threaded backend alone.
+
+use adapipe::prelude::*;
+use std::time::Duration;
+
+fn n(i: usize) -> NodeId {
+    NodeId(i)
+}
+
+/// Per-item work each stage performs, as wall/sim seconds.
+const STAGE_SECS: f64 = 0.004;
+const ITEMS: u64 = 150;
+/// Node 1 collapses to 5 % availability at t = 0.3 s.
+fn collapse() -> LoadModel {
+    LoadModel::step(1.0, 0.05, SimTime::from_secs_f64(0.3))
+}
+
+fn stage_spec(name: &str) -> StageSpec {
+    StageSpec::balanced(name, STAGE_SECS, 8)
+}
+
+/// The scenario on the simulation backend.
+fn run_sim(policy: Policy, noise_seed: u64) -> RunReport {
+    let nodes = (0..3)
+        .map(|i| {
+            let load = if i == 1 {
+                collapse()
+            } else {
+                LoadModel::free()
+            };
+            Node::new(NodeSpec::new(format!("n{i}"), 1.0, 1), load)
+        })
+        .collect();
+    let grid = GridSpec::new(nodes, Topology::uniform(3, LinkSpec::local()));
+    let spec = PipelineSpec::new(vec![stage_spec("a"), stage_spec("b")]);
+    let cfg = SimConfig {
+        items: ITEMS,
+        policy,
+        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
+        observation_noise: 0.05,
+        noise_seed,
+        timeline_bucket: SimDuration::from_millis(500),
+        ..SimConfig::default()
+    };
+    sim_run(&grid, &spec, &cfg)
+}
+
+/// The same scenario on the threaded backend.
+fn run_threaded(policy: Policy, noise_seed: u64) -> EngineOutcome<u64> {
+    let pipeline = PipelineBuilder::<u64>::new()
+        .stage(stage_spec("a"), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .stage(stage_spec("b"), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .build();
+    let vnodes = vec![
+        VNodeSpec::free("v0"),
+        VNodeSpec::free("v1").with_load(collapse()),
+        VNodeSpec::free("v2"),
+    ];
+    let mut cfg = EngineConfig::new(vnodes);
+    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+    cfg.policy = policy;
+    cfg.observation_noise = 0.05;
+    cfg.noise_seed = noise_seed;
+    run_pipeline(pipeline, (0..ITEMS).collect(), &cfg)
+}
+
+/// Asserts the two backends agree on the observable adaptive behaviour.
+fn assert_parity(policy: Policy) {
+    let sim = run_sim(policy, 7);
+    let threaded = run_threaded(policy, 7);
+
+    // Same completed-item counts on both backends.
+    assert_eq!(sim.completed, ITEMS, "sim backend lost items");
+    assert_eq!(
+        threaded.report.completed, ITEMS,
+        "threaded backend lost items"
+    );
+    assert_eq!(sim.completed, threaded.report.completed);
+
+    // Both adapt away from the collapsed node (non-empty event logs with
+    // identical structure: the shared runtime assembled both reports).
+    assert!(
+        sim.adaptation_count() >= 1,
+        "sim backend never adapted under {policy:?}"
+    );
+    assert!(
+        threaded.report.adaptation_count() >= 1,
+        "threaded backend never adapted under {policy:?}"
+    );
+    for report in [&sim, &threaded.report] {
+        assert!(report.planning_cycles >= 1);
+        for event in &report.adaptations {
+            assert!(!event.migrated_stages.is_empty());
+            assert!(event.predicted_speedup > 1.0);
+        }
+    }
+
+    // Exactly-once processing on the threaded side (x + 2 per item).
+    let expect: Vec<u64> = (0..ITEMS).map(|x| x + 2).collect();
+    assert_eq!(threaded.outputs, expect);
+}
+
+#[test]
+fn parity_under_periodic_policy() {
+    assert_parity(Policy::Periodic {
+        interval: SimDuration::from_millis(200),
+    });
+}
+
+#[test]
+fn parity_under_reactive_policy() {
+    assert_parity(Policy::Reactive {
+        interval: SimDuration::from_millis(200),
+        degradation: 0.6,
+    });
+}
+
+// --- adaptation behaviour on the threaded backend alone ---------------
+// (Moved here from the engine's unit tests: they exercise the shared
+// runtime's policies, which now live above the engine.)
+
+fn spin_stage(name: &str, ms: u64) -> (StageSpec, impl FnMut(u64) -> u64 + Send + Clone) {
+    (
+        StageSpec::balanced(name, ms as f64 / 1000.0, 8),
+        move |x: u64| {
+            spin_for(Duration::from_millis(ms));
+            x + 1
+        },
+    )
+}
+
+fn free_nodes(k: usize) -> Vec<VNodeSpec> {
+    (0..k).map(|i| VNodeSpec::free(format!("v{i}"))).collect()
+}
+
+#[test]
+fn adaptive_engine_remaps_away_from_loaded_node() {
+    // Node 1 collapses to 5 % availability 300 ms into the run; the
+    // periodic controller must move its stage elsewhere.
+    let (s0, f0) = spin_stage("a", 4);
+    let (s1, f1) = spin_stage("b", 4);
+    let pipeline = PipelineBuilder::<u64>::new()
+        .stage(s0, f0)
+        .stage(s1, f1)
+        .build();
+    let vnodes = vec![
+        VNodeSpec::free("v0"),
+        VNodeSpec::free("v1").with_load(collapse()),
+        VNodeSpec::free("v2"),
+    ];
+    let mut cfg = EngineConfig::new(vnodes);
+    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+    cfg.policy = Policy::Periodic {
+        interval: SimDuration::from_millis(200),
+    };
+    let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+    assert_eq!(outcome.report.completed, 150);
+    assert!(
+        outcome.report.adaptation_count() >= 1,
+        "controller must re-map at least once"
+    );
+    // Final mapping avoids the loaded node.
+    let final_hosts = outcome.report.final_mapping.nodes_used();
+    assert!(
+        !final_hosts.contains(&n(1)),
+        "stage still on loaded node: {}",
+        outcome.report.final_mapping
+    );
+    // And every item still processed exactly once, in order.
+    let expect: Vec<u64> = (0..150).map(|x| x + 2).collect();
+    assert_eq!(outcome.outputs, expect);
+}
+
+#[test]
+fn reactive_policy_recovers_on_engine() {
+    // Same scenario as the periodic test, but the reactive policy only
+    // plans when observed throughput degrades.
+    let (s0, f0) = spin_stage("a", 4);
+    let (s1, f1) = spin_stage("b", 4);
+    let pipeline = PipelineBuilder::<u64>::new()
+        .stage(s0, f0)
+        .stage(s1, f1)
+        .build();
+    let vnodes = vec![
+        VNodeSpec::free("v0"),
+        VNodeSpec::free("v1").with_load(collapse()),
+        VNodeSpec::free("v2"),
+    ];
+    let mut cfg = EngineConfig::new(vnodes);
+    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+    cfg.policy = Policy::Reactive {
+        interval: SimDuration::from_millis(200),
+        degradation: 0.6,
+    };
+    let outcome = run_pipeline(pipeline, (0..200).collect(), &cfg);
+    assert_eq!(outcome.report.completed, 200);
+    assert!(
+        outcome.report.adaptation_count() >= 1,
+        "reactive controller must react to the collapse"
+    );
+    let expect: Vec<u64> = (0..200).map(|x| x + 2).collect();
+    assert_eq!(outcome.outputs, expect);
+}
+
+#[test]
+fn oracle_policy_runs_on_engine() {
+    let (s0, f0) = spin_stage("a", 3);
+    let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+    let vnodes = vec![
+        VNodeSpec::free("v0").with_load(LoadModel::step(1.0, 0.05, SimTime::from_secs_f64(0.2))),
+        VNodeSpec::free("v1"),
+    ];
+    let mut cfg = EngineConfig::new(vnodes);
+    cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
+    cfg.policy = Policy::Oracle {
+        interval: SimDuration::from_millis(150),
+    };
+    let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+    assert_eq!(outcome.report.completed, 150);
+    assert!(outcome.report.adaptation_count() >= 1);
+    assert!(!outcome.report.final_mapping.placement(0).contains(n(0)));
+}
+
+#[test]
+fn observation_noise_on_engine_is_tolerated() {
+    let (s0, f0) = spin_stage("a", 2);
+    let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+    let mut cfg = EngineConfig::new(free_nodes(2));
+    cfg.policy = Policy::Periodic {
+        interval: SimDuration::from_millis(150),
+    };
+    cfg.observation_noise = 0.10;
+    let outcome = run_pipeline(pipeline, (0..100).collect(), &cfg);
+    assert_eq!(outcome.report.completed, 100);
+    let expect: Vec<u64> = (0..100).map(|x| x + 1).collect();
+    assert_eq!(outcome.outputs, expect);
+}
+
+#[test]
+fn planning_cycles_are_reported() {
+    let (s0, f0) = spin_stage("a", 2);
+    let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+    let mut cfg = EngineConfig::new(free_nodes(2));
+    cfg.policy = Policy::Periodic {
+        interval: SimDuration::from_millis(100),
+    };
+    // Pace the input so the run outlives the 2-tick warm-up by a
+    // comfortable margin.
+    cfg.pacing_rate = Some(200.0); // 150 items → ≥ 750 ms
+    let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+    assert!(outcome.report.planning_cycles >= 1);
+}
