@@ -3,18 +3,16 @@
 //! The F1 story re-run on real threads: a 3-stage spin-work pipeline on
 //! 3 virtual nodes; the node hosting stage 1 collapses to 5 % shortly
 //! into the run. Compares static / adaptive / oracle wall-clock
-//! makespans and prints the adaptive throughput timeline.
+//! makespans and prints the adaptive throughput timeline. The scenario
+//! is written once against the unified `adapipe::api` surface and
+//! parameterised by policy.
 //!
 //! The slowdown mechanism (measured compute + compensating sleep) works
 //! on any host, including single-core CI boxes; see the engine docs for
 //! why *speedup*-type claims live in the simulator instead.
 
+use adapipe::prelude::*;
 use adapipe_bench::{banner, Table};
-use adapipe_core::prelude::*;
-use adapipe_engine::prelude::*;
-use adapipe_gridsim::prelude::*;
-use adapipe_mapper::prelude::*;
-use adapipe_workloads::prelude::*;
 
 fn vnodes() -> Vec<VNodeSpec> {
     vec![
@@ -39,7 +37,6 @@ fn main() {
         calibrate_host() / 1e6
     );
 
-    let spec = synthetic_spec(3, CostShape::Balanced, 1.0, 0, 0.0, 1);
     let items_n = 400u64;
     let unit = 0.003; // 3 ms of spin per stage per item
     let interval = SimDuration::from_millis(250);
@@ -52,14 +49,22 @@ fn main() {
         Policy::Periodic { interval },
         Policy::Oracle { interval },
     ] {
-        let mut cfg = EngineConfig::new(vnodes());
-        cfg.policy = policy;
-        cfg.initial_mapping = Some(mapping.clone());
-        let outcome = run_pipeline(
-            synth_pipeline(&spec),
-            synth_items(&spec, items_n, unit),
-            &cfg,
-        );
+        let spec = synthetic_spec(3, CostShape::Balanced, 1.0, 0, 0.0, 1);
+        let items = synth_items(&spec, items_n, unit);
+        let outcome = PipelineBuilder::from_pipeline(synth_pipeline(&spec))
+            .policy(policy)
+            .feed(move |i| items[i as usize].clone())
+            .build()
+            .expect("f6 pipeline builds")
+            .run(
+                Backend::Threads(vnodes()),
+                RunConfig {
+                    items: items_n,
+                    initial_mapping: Some(mapping.clone()),
+                    ..RunConfig::default()
+                },
+            )
+            .expect("threaded run");
         let report = &outcome.report;
         table.row(vec![
             policy.name().to_string(),

@@ -9,6 +9,7 @@
 
 use adapipe_bench::{banner, Table};
 use adapipe_core::prelude::*;
+use adapipe_core::simengine::run as sim_run;
 use adapipe_gridsim::prelude::*;
 use adapipe_mapper::prelude::*;
 

@@ -35,15 +35,20 @@
 //! throughput stays far below its prediction. Forecasts can be fooled;
 //! measurements cannot.
 //!
-//! ## Quick example (simulated)
+//! ## Quick example (simulated, backend-level)
+//!
+//! Applications should prefer the unified `adapipe::api::Pipeline`
+//! builder in the facade crate; this is the backend-level entry point
+//! it delegates to.
 //!
 //! ```
 //! use adapipe_core::prelude::*;
+//! use adapipe_core::simengine;
 //! use adapipe_gridsim::prelude::*;
 //!
 //! let grid = testbed_small3();
 //! let spec = PipelineSpec::balanced(3, 1.0, 0);
-//! let report = sim_run(&grid, &spec, &SimConfig {
+//! let report = simengine::run(&grid, &spec, &SimConfig {
 //!     items: 50,
 //!     ..SimConfig::default()
 //! });
@@ -66,19 +71,28 @@ pub mod stage;
 pub use adapipe_runtime::{controller, metrics, policy, report};
 
 /// Convenient glob-import surface.
+///
+/// The legacy typed builder (`pipeline::Pipeline` /
+/// `pipeline::PipelineBuilder`) is deliberately *not* re-exported here:
+/// the facade crate's `adapipe::api` module exports a unified `Pipeline`
+/// under the same names, and both preludes are glob-merged there.
+/// Backends and tests that need the engine-level builder import it from
+/// [`crate::pipeline`] directly.
 pub mod prelude {
     pub use crate::controller::{Controller, ControllerConfig};
     pub use crate::farm::{farm, farm_spec};
     pub use crate::metrics::{StageMetrics, StageStats};
-    pub use crate::pipeline::{Pipeline, PipelineBuilder};
     pub use crate::policy::Policy;
     pub use crate::report::{AdaptationEvent, RunReport};
-    pub use crate::simengine::{run as sim_run, ArrivalProcess, SimConfig};
+    #[allow(deprecated)]
+    pub use crate::simengine::sim_run;
+    pub use crate::simengine::{ArrivalProcess, SimConfig};
     pub use crate::spec::{ConstantWork, PipelineSpec, StageSpec, UniformWork, WorkModel};
     pub use crate::stage::{BoxedItem, DynStage, FnStage, SealedStage, StatefulFnStage};
     pub use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
     pub use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
     pub use adapipe_runtime::routing::{RoutingTable, Selection};
+    pub use adapipe_runtime::session::{BuildError, RunConfig, RunHooks};
 }
 
 pub use prelude::*;

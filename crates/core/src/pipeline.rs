@@ -50,6 +50,25 @@ impl<I, O> Pipeline<I, O> {
     pub fn into_parts(self) -> (PipelineSpec, Vec<Box<dyn DynStage>>) {
         (self.spec, self.stages)
     }
+
+    /// Reassembles a pipeline from a spec and matching stage functions.
+    ///
+    /// The caller asserts the type discipline the builder normally
+    /// enforces: stage `0` accepts `I`, each stage feeds the next, and
+    /// the last produces `O`. The unified `adapipe::api` builder uses
+    /// this to hand its (already type-checked) stages to an engine.
+    ///
+    /// # Panics
+    /// Panics if `stages` is empty or its length disagrees with `spec`.
+    pub fn from_parts(spec: PipelineSpec, stages: Vec<Box<dyn DynStage>>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        assert_eq!(spec.len(), stages.len(), "spec must cover every stage");
+        Pipeline {
+            spec,
+            stages,
+            _types: PhantomData,
+        }
+    }
 }
 
 /// Builder for [`Pipeline`]; `Cur` is the item type flowing out of the

@@ -63,6 +63,8 @@ pub struct SimConfig {
     pub link_contention: bool,
     /// Safety horizon: the run stops (truncated) past this time.
     pub max_sim_time: SimDuration,
+    /// Live observation callbacks (invoked at the simulated instant).
+    pub hooks: adapipe_runtime::session::RunHooks,
 }
 
 impl Default for SimConfig {
@@ -79,6 +81,7 @@ impl Default for SimConfig {
             timeline_bucket: SimDuration::from_secs(5),
             link_contention: false,
             max_sim_time: SimDuration::from_secs(7 * 24 * 3600),
+            hooks: adapipe_runtime::session::RunHooks::default(),
         }
     }
 }
@@ -110,8 +113,22 @@ enum Ev {
 }
 
 /// Runs `spec` on `grid` under `cfg` and reports the outcome.
+///
+/// This is the simulation *backend* entry point; applications should
+/// prefer the unified `adapipe::api::Pipeline` builder, which delegates
+/// here via `Backend::Sim`.
 pub fn run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
     Sim::new(grid, spec, cfg).run()
+}
+
+/// Legacy entry point for simulated runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use adapipe::api::Pipeline::builder() with Backend::Sim (or the \
+            backend-level simengine::run for backend internals)"
+)]
+pub fn sim_run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
+    run(grid, spec, cfg)
 }
 
 /// The physically simulated world: event queue, node queues, transfers.
@@ -181,6 +198,7 @@ impl<'a> Sim<'a> {
             total_items: cfg.items,
             observation_noise: cfg.observation_noise,
             noise_seed: cfg.noise_seed,
+            hooks: cfg.hooks.clone(),
         };
         let aloop = AdaptationLoop::new(runtime_cfg, &mapping, &launch_rates);
 

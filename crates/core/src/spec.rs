@@ -77,6 +77,10 @@ pub struct StageSpec {
     pub state_bytes: u64,
     /// True if the stage keeps no per-item state and may be replicated.
     pub stateless: bool,
+    /// Declared replica-width cap for the planner (`usize::MAX` leaves
+    /// the width to the planner's global `max_width`; meaningful only
+    /// for stateless stages — stateful stages are never replicated).
+    pub max_replicas: usize,
 }
 
 impl StageSpec {
@@ -88,6 +92,7 @@ impl StageSpec {
             out_bytes,
             state_bytes: 0,
             stateless: true,
+            max_replicas: usize::MAX,
         }
     }
 
@@ -95,6 +100,15 @@ impl StageSpec {
     pub fn with_state(mut self, state_bytes: u64) -> Self {
         self.stateless = false;
         self.state_bytes = state_bytes;
+        self
+    }
+
+    /// Declares how wide the runtime may legally replicate this stage
+    /// (Danelutto-style state-access declaration: the programmer states
+    /// the replication property, the planner exploits it). The bound is
+    /// validated by the unified builder — zero is rejected at `build()`.
+    pub fn with_replicas(mut self, max_replicas: usize) -> Self {
+        self.max_replicas = max_replicas;
         self
     }
 
@@ -113,6 +127,7 @@ impl std::fmt::Debug for StageSpec {
             .field("out_bytes", &self.out_bytes)
             .field("state_bytes", &self.state_bytes)
             .field("stateless", &self.stateless)
+            .field("max_replicas", &self.max_replicas)
             .finish()
     }
 }
@@ -176,6 +191,13 @@ impl PipelineSpec {
     }
 
     /// The mapper's view: mean work, boundary bytes, statefulness.
+    ///
+    /// Replica bounds: a declared bound of zero passes through — the
+    /// unified builder rejects it at `build()` with a typed error, and
+    /// backend-level callers hit `PipelineProfile::validate`'s assert.
+    /// A bound above one on a *stateful* stage clamps to the only legal
+    /// width (one) here; the unified builder additionally rejects that
+    /// declaration as a typed error before it ever reaches a backend.
     pub fn profile(&self) -> PipelineProfile {
         let ns = self.stages.len();
         let mut boundary_bytes = Vec::with_capacity(ns + 1);
@@ -187,6 +209,17 @@ impl PipelineSpec {
             stage_work: self.stages.iter().map(|s| s.work.mean()).collect(),
             boundary_bytes,
             stateless: self.stages.iter().map(|s| s.stateless).collect(),
+            replica_cap: self
+                .stages
+                .iter()
+                .map(|s| {
+                    if s.stateless {
+                        s.max_replicas
+                    } else {
+                        s.max_replicas.min(1)
+                    }
+                })
+                .collect(),
             source: self.source,
             sink: self.sink,
         }
@@ -247,6 +280,21 @@ mod tests {
         assert_eq!(s.state_bytes, 4096);
         let spec = PipelineSpec::new(vec![s]);
         assert_eq!(spec.profile().stateless, vec![false]);
+    }
+
+    #[test]
+    fn replica_bounds_flow_into_the_profile() {
+        let spec = PipelineSpec::new(vec![
+            StageSpec::balanced("wide", 1.0, 0).with_replicas(3),
+            StageSpec::balanced("free", 1.0, 0),
+            StageSpec::balanced("acc", 1.0, 0)
+                .with_state(8)
+                .with_replicas(5),
+        ]);
+        let profile = spec.profile();
+        profile.validate();
+        // Stateful stages are pinned to width 1 regardless of the bound.
+        assert_eq!(profile.replica_cap, vec![3, usize::MAX, 1]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! print the offending case, which reproduces exactly.
 
 use adapipe_core::prelude::*;
+use adapipe_core::simengine::run as sim_run;
 use adapipe_gridsim::prelude::*;
 use adapipe_gridsim::rng::{unit_at, Rng64};
 use adapipe_mapper::prelude::*;

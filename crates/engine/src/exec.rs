@@ -38,11 +38,13 @@ use adapipe_gridsim::node::NodeId;
 use adapipe_gridsim::time::{SimDuration, SimTime};
 use adapipe_mapper::mapping::Mapping;
 use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
+use adapipe_runtime::arrivals::ArrivalProcess;
 use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
 use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
 use adapipe_runtime::routing::RoutingTable;
+use adapipe_runtime::session::RunHooks;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -62,8 +64,12 @@ pub struct EngineConfig {
     pub initial_mapping: Option<Mapping>,
     /// Resequence outputs by item index (the `Pipeline1for1` contract).
     pub preserve_order: bool,
-    /// Input pacing in items per second (`None` = feed as fast as
-    /// possible).
+    /// Arrival process pacing the source thread against the wall clock
+    /// (the same backend-independent schedule the simulator
+    /// materialises as events).
+    pub arrivals: ArrivalProcess,
+    /// Legacy input pacing in items per second; when set it overrides
+    /// `arrivals` with `ArrivalProcess::Uniform` at this rate.
     pub pacing_rate: Option<f64>,
     /// Topology used for *planning* (the box itself has uniform cheap
     /// links); `None` = uniform local links.
@@ -80,6 +86,8 @@ pub struct EngineConfig {
     /// (NIC-serialisation semantics). Off by default: a single box has
     /// no real network, and the planner then treats links as free.
     pub emulate_links: bool,
+    /// Live observation callbacks (invoked on the adaptation thread).
+    pub hooks: RunHooks,
 }
 
 impl EngineConfig {
@@ -92,12 +100,23 @@ impl EngineConfig {
             controller: ControllerConfig::default(),
             initial_mapping: None,
             preserve_order: true,
+            arrivals: ArrivalProcess::AllAtOnce,
             pacing_rate: None,
             topology: None,
             observation_noise: 0.0,
             noise_seed: 1,
             timeline_bucket: SimDuration::from_millis(500),
             emulate_links: false,
+            hooks: RunHooks::default(),
+        }
+    }
+
+    /// The effective arrival process: the legacy `pacing_rate` knob wins
+    /// when set, otherwise `arrivals`.
+    fn effective_arrivals(&self) -> ArrivalProcess {
+        match self.pacing_rate {
+            Some(rate) => ArrivalProcess::Uniform { rate },
+            None => self.arrivals,
         }
     }
 }
@@ -211,10 +230,14 @@ impl ExecutionBackend for EngineBackend {
 
 /// Runs `pipeline` over `inputs` on the configured virtual nodes.
 ///
+/// This is the threaded *backend* entry point; applications should
+/// prefer the unified `adapipe::api::Pipeline` builder, which delegates
+/// here via `Backend::Threads`.
+///
 /// # Panics
 /// Panics if the initial mapping references unknown nodes or covers the
 /// wrong number of stages.
-pub fn run_pipeline<I, O>(
+pub fn execute<I, O>(
     pipeline: Pipeline<I, O>,
     inputs: Vec<I>,
     cfg: &EngineConfig,
@@ -223,11 +246,39 @@ where
     I: Send + 'static,
     O: Send + 'static,
 {
+    let n_items = inputs.len() as u64;
+    let mut it = inputs.into_iter();
+    execute_fed(
+        pipeline,
+        n_items,
+        move |_| it.next().expect("iterator covers n_items"),
+        cfg,
+    )
+}
+
+/// Like [`execute`], but draws each input lazily from `feed` at its
+/// scheduled arrival time — memory stays proportional to the in-flight
+/// window, not the whole stream, which matters for paced open streams
+/// of large items.
+///
+/// # Panics
+/// Panics if the initial mapping references unknown nodes or covers the
+/// wrong number of stages.
+pub fn execute_fed<I, O, F>(
+    pipeline: Pipeline<I, O>,
+    n_items: u64,
+    feed: F,
+    cfg: &EngineConfig,
+) -> EngineOutcome<O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(u64) -> I + Send + 'static,
+{
     let np = cfg.vnodes.len();
     assert!(np > 0, "engine needs at least one vnode");
     let (spec, stages) = pipeline.into_parts();
     let ns = spec.len();
-    let n_items = inputs.len() as u64;
 
     let topology = cfg
         .topology
@@ -236,6 +287,7 @@ where
     assert_eq!(topology.len(), np, "topology must cover every vnode");
 
     let profile = spec.profile();
+    profile.validate();
     let launch_rates: Vec<f64> = cfg
         .vnodes
         .iter()
@@ -263,6 +315,7 @@ where
         total_items: n_items,
         observation_noise: cfg.observation_noise,
         noise_seed: cfg.noise_seed,
+        hooks: cfg.hooks.clone(),
     };
     let aloop = AdaptationLoop::new(runtime_cfg, &initial_mapping, &launch_rates);
 
@@ -299,21 +352,31 @@ where
     // --- source ------------------------------------------------------
     let source = {
         let shared = Arc::clone(&shared);
-        let pacing = cfg.pacing_rate;
+        // Stream the backend-independent arrival schedule (O(1) state)
+        // and pace the source thread against the wall clock with it —
+        // the exact times the simulator would turn into arrival events.
+        // Inputs are drawn from the feed only when their slot comes up.
+        let mut arrivals = cfg.effective_arrivals().stream();
+        let mut feed = feed;
         std::thread::spawn(move || {
-            for (seq, input) in inputs.into_iter().enumerate() {
-                if let Some(rate) = pacing {
-                    let due = shared.epoch + Duration::from_secs_f64(seq as f64 / rate);
+            for seq in 0..n_items {
+                let at = arrivals
+                    .next()
+                    .expect("arrival stream is infinite")
+                    .as_secs_f64();
+                if at > 0.0 {
+                    let due = shared.epoch + Duration::from_secs_f64(at);
                     let now = Instant::now();
                     if due > now {
                         std::thread::sleep(due - now);
                     }
                 }
+                let input = feed(seq);
                 // Items are dealt over stage 0's replicas by the shared
                 // routing table.
                 let dest = shared.route(0);
                 let env = Envelope {
-                    seq: seq as u64,
+                    seq,
                     stage: 0,
                     born: Instant::now(),
                     payload: Box::new(input),
@@ -394,6 +457,24 @@ where
         })
         .collect();
     EngineOutcome { outputs, report }
+}
+
+/// Legacy entry point for threaded runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use adapipe::api::Pipeline::builder() with Backend::Threads (or the \
+            backend-level exec::execute for backend internals)"
+)]
+pub fn run_pipeline<I, O>(
+    pipeline: Pipeline<I, O>,
+    inputs: Vec<I>,
+    cfg: &EngineConfig,
+) -> EngineOutcome<O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    execute(pipeline, inputs, cfg)
 }
 
 /// Worker body: serve envelopes, honour migrations, account busy time.
@@ -656,7 +737,7 @@ mod tests {
             .build();
         let cfg = EngineConfig::new(free_nodes(2));
         let inputs: Vec<u64> = (0..50).collect();
-        let outcome = run_pipeline(pipeline, inputs, &cfg);
+        let outcome = execute(pipeline, inputs, &cfg);
         assert_eq!(outcome.report.completed, 50);
         assert!(!outcome.report.truncated);
         // Each item passed both stages exactly once: x + 2, in order.
@@ -679,7 +760,7 @@ mod tests {
         let mut cfg = EngineConfig::new(free_nodes(3));
         cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1), n(2)]));
         let items = 40u64;
-        let outcome = run_pipeline(pipeline, (0..items).collect(), &cfg);
+        let outcome = execute(pipeline, (0..items).collect(), &cfg);
         assert_eq!(outcome.report.completed, items);
         if multicore(4) {
             let makespan = outcome.report.makespan.as_secs_f64();
@@ -700,14 +781,14 @@ mod tests {
         fast_cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
         let mut slow_cfg = EngineConfig::new(vec![VNodeSpec::with_speed("slow", 0.25)]);
         slow_cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
-        let fast = run_pipeline(
+        let fast = execute(
             PipelineBuilder::<u64>::new()
                 .stage(spin_stage("a", 5).0, spin_stage("a", 5).1)
                 .build(),
             (0..20).collect(),
             &fast_cfg,
         );
-        let slow = run_pipeline(pipeline, (0..20).collect(), &slow_cfg);
+        let slow = execute(pipeline, (0..20).collect(), &slow_cfg);
         let ratio = slow.report.makespan.as_secs_f64() / fast.report.makespan.as_secs_f64();
         assert!(
             ratio > 2.0,
@@ -747,7 +828,7 @@ mod tests {
             interval: SimDuration::from_millis(150),
         };
         let items: Vec<u64> = (1..=300).collect();
-        let outcome = run_pipeline(pipeline, items, &cfg);
+        let outcome = execute(pipeline, items, &cfg);
         assert_eq!(outcome.report.completed, 300);
         // The final (largest) accumulator value must be the total sum:
         // every item added exactly once.
@@ -774,8 +855,8 @@ mod tests {
             cfg
         };
         let items = 30u64;
-        let without = run_pipeline(mk_pipeline(), (0..items).collect(), &mk_cfg(false));
-        let with = run_pipeline(mk_pipeline(), (0..items).collect(), &mk_cfg(true));
+        let without = execute(mk_pipeline(), (0..items).collect(), &mk_cfg(false));
+        let with = execute(mk_pipeline(), (0..items).collect(), &mk_cfg(true));
         assert_eq!(with.report.completed, items);
         // Each boundary crossing pays ≥ 10 ms of sender serialisation:
         // the emulated run must be visibly slower.
@@ -794,7 +875,7 @@ mod tests {
         let (s0, f0) = spin_stage("a", 1);
         let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
         let cfg = EngineConfig::new(free_nodes(1));
-        let outcome = run_pipeline(pipeline, vec![], &cfg);
+        let outcome = execute(pipeline, vec![], &cfg);
         assert_eq!(outcome.report.completed, 0);
         assert!(outcome.outputs.is_empty());
     }
@@ -805,7 +886,7 @@ mod tests {
         let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
         let mut cfg = EngineConfig::new(free_nodes(1));
         cfg.pacing_rate = Some(100.0); // 10 ms between items
-        let outcome = run_pipeline(pipeline, (0..30).collect(), &cfg);
+        let outcome = execute(pipeline, (0..30).collect(), &cfg);
         // 30 items at 100/s ≥ 0.29 s regardless of stage speed.
         assert!(outcome.report.makespan.as_secs_f64() > 0.25);
         assert_eq!(outcome.report.completed, 30);
@@ -818,7 +899,7 @@ mod tests {
         let (s0, f0) = spin_stage("hot", 10);
         let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
         let cfg = EngineConfig::new(free_nodes(3));
-        let outcome = run_pipeline(pipeline, (0..60).collect(), &cfg);
+        let outcome = execute(pipeline, (0..60).collect(), &cfg);
         assert_eq!(outcome.report.completed, 60);
         let expect: Vec<u64> = (0..60).map(|x| x + 1).collect();
         assert_eq!(outcome.outputs, expect);

@@ -120,15 +120,17 @@ pub enum Move {
 ///
 /// * every single-host stage is re-hosted on every other node;
 /// * every stateless stage gains one replica on every node not already
-///   hosting it, while its width is below `max_width`;
+///   hosting it, while its width is below both `max_width` and the
+///   stage's declared `replica_cap`;
 /// * every replicated stage drops each of its hosts in turn.
 pub fn neighbours(
     mapping: &Mapping,
     np: usize,
     stateless: &[bool],
+    replica_cap: &[usize],
     max_width: usize,
 ) -> Vec<(Move, Mapping)> {
-    neighbours_touching(mapping, np, stateless, max_width, None)
+    neighbours_touching(mapping, np, stateless, replica_cap, max_width, None)
 }
 
 /// Like [`neighbours`], but when `focus` is given, only generates moves
@@ -142,10 +144,12 @@ pub fn neighbours_touching(
     mapping: &Mapping,
     np: usize,
     stateless: &[bool],
+    replica_cap: &[usize],
     max_width: usize,
     focus: Option<&[NodeId]>,
 ) -> Vec<(Move, Mapping)> {
     assert_eq!(stateless.len(), mapping.len(), "one flag per stage");
+    assert_eq!(replica_cap.len(), mapping.len(), "one cap per stage");
     let mut out = Vec::new();
     #[allow(clippy::needless_range_loop)] // `s` indexes mapping, stateless, and moves alike
     for s in 0..mapping.len() {
@@ -165,7 +169,7 @@ pub fn neighbours_touching(
                 }
             }
         }
-        if stateless[s] && placement.width() < max_width {
+        if stateless[s] && placement.width() < max_width.min(replica_cap[s]) {
             for node in (0..np).map(NodeId) {
                 if !placement.contains(node) {
                     let mut next = mapping.clone();
@@ -234,7 +238,7 @@ mod tests {
     #[test]
     fn neighbours_move_stages() {
         let m = Mapping::from_assignment(&[n(0), n(1)]);
-        let nb = neighbours(&m, 3, &[false, false], 1);
+        let nb = neighbours(&m, 3, &[false, false], &[usize::MAX; 2], 1);
         // Each stage can move to 2 other nodes; no replication allowed.
         assert_eq!(nb.len(), 4);
         assert!(nb.iter().all(|(mv, _)| *mv == Move::MoveStage));
@@ -243,7 +247,7 @@ mod tests {
     #[test]
     fn neighbours_replicate_stateless_only() {
         let m = Mapping::from_assignment(&[n(0), n(1)]);
-        let nb = neighbours(&m, 3, &[true, false], 2);
+        let nb = neighbours(&m, 3, &[true, false], &[usize::MAX; 2], 2);
         let adds: Vec<_> = nb
             .iter()
             .filter(|(mv, _)| *mv == Move::AddReplica)
@@ -255,7 +259,7 @@ mod tests {
     #[test]
     fn neighbours_drop_replicas() {
         let m = Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]);
-        let nb = neighbours(&m, 2, &[true], 2);
+        let nb = neighbours(&m, 2, &[true], &[usize::MAX], 2);
         let drops: Vec<_> = nb
             .iter()
             .filter(|(mv, _)| *mv == Move::DropReplica)
@@ -269,7 +273,22 @@ mod tests {
     #[test]
     fn max_width_caps_replication() {
         let m = Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]);
-        let nb = neighbours(&m, 4, &[true], 2);
+        let nb = neighbours(&m, 4, &[true], &[usize::MAX], 2);
+        assert!(nb.iter().all(|(mv, _)| *mv != Move::AddReplica));
+    }
+
+    #[test]
+    fn declared_replica_cap_caps_replication() {
+        // Global max_width would allow widening, but the stage's
+        // declared bound of 1 forbids it.
+        let m = Mapping::from_assignment(&[n(0)]);
+        let nb = neighbours(&m, 4, &[true], &[1], 4);
+        assert!(nb.iter().all(|(mv, _)| *mv != Move::AddReplica));
+        // A cap of 2 admits replicas up to width 2 and no further.
+        let nb = neighbours(&m, 4, &[true], &[2], 4);
+        assert!(nb.iter().any(|(mv, _)| *mv == Move::AddReplica));
+        let wide = Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]);
+        let nb = neighbours(&wide, 4, &[true], &[2], 4);
         assert!(nb.iter().all(|(mv, _)| *mv != Move::AddReplica));
     }
 }

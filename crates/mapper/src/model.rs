@@ -26,6 +26,10 @@ pub struct PipelineProfile {
     pub boundary_bytes: Vec<u64>,
     /// Which stages keep no per-item state and may be replicated.
     pub stateless: Vec<bool>,
+    /// Per-stage replica-width caps declared by the programmer
+    /// (`len = Ns`, every entry ≥ 1). `usize::MAX` leaves the width to
+    /// the planner's global `max_width`; stateful stages carry `1`.
+    pub replica_cap: Vec<usize>,
     /// Node where inputs originate; `None` ignores input-edge transfer.
     pub source: Option<NodeId>,
     /// Node where outputs are delivered; `None` ignores output-edge
@@ -42,6 +46,7 @@ impl PipelineProfile {
         PipelineProfile {
             boundary_bytes: vec![bytes_per_item; ns + 1],
             stateless: vec![true; ns],
+            replica_cap: vec![usize::MAX; ns],
             stage_work,
             source: None,
             sink: None,
@@ -69,6 +74,11 @@ impl PipelineProfile {
             self.stateless.len(),
             ns,
             "need one statefulness flag per stage"
+        );
+        assert_eq!(self.replica_cap.len(), ns, "need one replica cap per stage");
+        assert!(
+            self.replica_cap.iter().all(|&c| c >= 1),
+            "replica caps must be at least 1"
         );
         assert!(
             self.stage_work.iter().all(|&w| w >= 0.0 && w.is_finite()),

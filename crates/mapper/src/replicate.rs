@@ -15,7 +15,8 @@ use adapipe_gridsim::node::NodeId;
 /// prediction (which may be the input mapping unchanged).
 ///
 /// The search is bounded: each iteration adds exactly one replica, and
-/// stage width never exceeds `max_width`, so it terminates after at most
+/// stage width never exceeds `max_width` nor the stage's declared
+/// [`PipelineProfile::replica_cap`], so it terminates after at most
 /// `Ns · max_width` evaluations of the neighbourhood.
 pub fn improve(
     profile: &PipelineProfile,
@@ -60,7 +61,7 @@ fn best_single_widening(
             continue;
         }
         let placement = current.placement(s);
-        if placement.width() >= max_width {
+        if placement.width() >= max_width.min(profile.replica_cap[s]) {
             continue;
         }
         // Try the bottleneck-hosted stages first for a small constant
@@ -129,6 +130,20 @@ mod tests {
         let rates = [1.0; 8];
         let (m, _) = improve(&profile, mapping, &rates, &fast_net(8), 2);
         assert!(m.placement(0).width() <= 2);
+    }
+
+    #[test]
+    fn respects_per_stage_replica_cap() {
+        // Same hot stage as `widens_hot_stage_across_spare_nodes`, but
+        // the programmer declared at most 2 replicas for it: the greedy
+        // pass must stop widening there even though the global
+        // `max_width` would allow 4.
+        let mut profile = PipelineProfile::uniform(vec![4.0, 1.0], 0);
+        profile.replica_cap[0] = 2;
+        let mapping = Mapping::from_assignment(&[n(0), n(1)]);
+        let rates = [1.0, 1.0, 1.0, 1.0];
+        let (m, _) = improve(&profile, mapping, &rates, &fast_net(4), 4);
+        assert!(m.placement(0).width() <= 2, "cap violated: {m}");
     }
 
     #[test]

@@ -254,6 +254,7 @@ pub fn local_search(
             &current,
             np,
             &profile.stateless,
+            &profile.replica_cap,
             max_width,
             Some(&focus),
         ) {
@@ -266,7 +267,13 @@ pub fn local_search(
         }
         if !improved {
             // One full pass for polish; stop if even that cannot help.
-            for (_, cand) in neighbours(&current, np, &profile.stateless, max_width) {
+            for (_, cand) in neighbours(
+                &current,
+                np,
+                &profile.stateless,
+                &profile.replica_cap,
+                max_width,
+            ) {
                 let pred = evaluate(profile, &cand, rates, topology);
                 if better(&pred, &current_pred) {
                     current = cand;
@@ -509,6 +516,37 @@ mod tests {
         assert!(contiguous_dp(&profile, &[1.0, 1.0], &topo, &[n(0), n(1)]).is_none());
         // Dead host ⇒ infinite cost everywhere.
         assert!(contiguous_dp(&profile, &[0.0], &fast_net(1), &[n(0)]).is_none());
+    }
+
+    #[test]
+    fn local_search_respects_declared_replica_cap() {
+        // A hot single stage on 4 free nodes with a declared bound of 1:
+        // neither bottleneck-focused nor full-neighbourhood passes may
+        // widen it, even though max_width = 4 would allow it.
+        let mut profile = PipelineProfile::uniform(vec![4.0], 0);
+        profile.replica_cap[0] = 1;
+        let rates = [1.0; 4];
+        let topo = fast_net(4);
+        let (m, _) = local_search(
+            &profile,
+            &rates,
+            &topo,
+            Mapping::from_assignment(&[n(0)]),
+            4,
+            200,
+        );
+        assert_eq!(m.placement(0).width(), 1, "cap violated: {m}");
+        // With the cap lifted the identical search must widen.
+        profile.replica_cap[0] = usize::MAX;
+        let (m, _) = local_search(
+            &profile,
+            &rates,
+            &topo,
+            Mapping::from_assignment(&[n(0)]),
+            4,
+            200,
+        );
+        assert!(m.placement(0).width() > 1, "uncapped search must widen");
     }
 
     #[test]

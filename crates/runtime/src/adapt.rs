@@ -55,6 +55,8 @@ pub struct RuntimeConfig {
     pub observation_noise: f64,
     /// Seed for the observation noise stream.
     pub noise_seed: u64,
+    /// Live observation callbacks (invoked as the run progresses).
+    pub hooks: crate::session::RunHooks,
 }
 
 impl RuntimeConfig {
@@ -271,6 +273,9 @@ impl AdaptationLoop {
             ready_at: now + migration_cost,
         };
         backend.commit_remap(&plan);
+        if let Some(hook) = &self.cfg.hooks.on_remap {
+            hook(&plan);
+        }
         plan
     }
 
@@ -346,6 +351,7 @@ mod tests {
             total_items: 10_000,
             observation_noise: 0.0,
             noise_seed: 1,
+            hooks: crate::session::RunHooks::default(),
         };
         (cfg, mapping)
     }
@@ -401,6 +407,36 @@ mod tests {
         let (events, cycles) = aloop.finish();
         assert_eq!(events.len(), 1);
         assert!(cycles >= 1);
+    }
+
+    #[test]
+    fn remap_hook_fires_on_commit() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&fired);
+        cfg.hooks = crate::session::RunHooks::on_remap(move |plan| {
+            assert!(!plan.moved.is_empty());
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        let warmup = cfg.controller.warmup_ticks;
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping));
+        let mut backend = TestBackend {
+            avail: vec![1.0, 0.05, 1.0],
+            now: SimTime::ZERO,
+            completed: 0,
+            commits: vec![],
+        };
+        for k in 0..warmup + 4 {
+            backend.now = SimTime::from_secs_f64((k + 1) as f64 * 5.0);
+            aloop.sample(&backend);
+            if aloop.tick(&mut backend, &routing).is_some() {
+                break;
+            }
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "hook must fire once");
     }
 
     #[test]

@@ -29,25 +29,52 @@ pub enum ArrivalProcess {
 impl ArrivalProcess {
     /// Materialises the arrival time of every item.
     pub fn schedule(&self, items: u64) -> Vec<SimTime> {
-        match *self {
-            ArrivalProcess::AllAtOnce => vec![SimTime::ZERO; items as usize],
-            ArrivalProcess::Uniform { rate } => {
-                assert!(rate > 0.0, "arrival rate must be positive");
-                (0..items)
-                    .map(|i| SimTime::from_secs_f64(i as f64 / rate))
-                    .collect()
-            }
-            ArrivalProcess::Poisson { rate, seed } => {
-                assert!(rate > 0.0, "arrival rate must be positive");
-                let mut t = 0.0f64;
-                (0..items)
-                    .map(|i| {
-                        t += exp_at(seed, i, 1.0 / rate);
-                        SimTime::from_secs_f64(t)
-                    })
-                    .collect()
-            }
+        self.stream().take(items as usize).collect()
+    }
+
+    /// Streaming form of [`ArrivalProcess::schedule`]: an infinite
+    /// iterator yielding item `i`'s arrival time on the `i`-th call,
+    /// with O(1) state — long paced streams need no materialised
+    /// schedule.
+    ///
+    /// # Panics
+    /// Panics if a rate-based process declares a non-positive rate.
+    pub fn stream(&self) -> ArrivalStream {
+        if let ArrivalProcess::Uniform { rate } | ArrivalProcess::Poisson { rate, .. } = *self {
+            assert!(rate > 0.0, "arrival rate must be positive");
         }
+        ArrivalStream {
+            process: *self,
+            index: 0,
+            elapsed: 0.0,
+        }
+    }
+}
+
+/// Infinite iterator over an [`ArrivalProcess`]'s arrival times; see
+/// [`ArrivalProcess::stream`].
+#[derive(Clone, Debug)]
+pub struct ArrivalStream {
+    process: ArrivalProcess,
+    index: u64,
+    /// Running arrival-time accumulator (Poisson inter-arrival sums).
+    elapsed: f64,
+}
+
+impl Iterator for ArrivalStream {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        let i = self.index;
+        self.index += 1;
+        Some(match self.process {
+            ArrivalProcess::AllAtOnce => SimTime::ZERO,
+            ArrivalProcess::Uniform { rate } => SimTime::from_secs_f64(i as f64 / rate),
+            ArrivalProcess::Poisson { rate, seed } => {
+                self.elapsed += exp_at(seed, i, 1.0 / rate);
+                SimTime::from_secs_f64(self.elapsed)
+            }
+        })
     }
 }
 
@@ -66,6 +93,19 @@ mod tests {
         let s = ArrivalProcess::Uniform { rate: 2.0 }.schedule(4);
         let secs: Vec<f64> = s.iter().map(|t| t.as_secs_f64()).collect();
         assert_eq!(secs, vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn stream_matches_materialised_schedule() {
+        for process in [
+            ArrivalProcess::AllAtOnce,
+            ArrivalProcess::Uniform { rate: 3.0 },
+            ArrivalProcess::Poisson { rate: 2.0, seed: 5 },
+        ] {
+            let materialised = process.schedule(64);
+            let streamed: Vec<SimTime> = process.stream().take(64).collect();
+            assert_eq!(materialised, streamed, "{process:?}");
+        }
     }
 
     #[test]

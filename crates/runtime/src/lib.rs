@@ -23,7 +23,10 @@
 //! * [`report`] — [`report::RunReport`] and the shared
 //!   [`report::ReportBuilder`] so every backend's report has an
 //!   identical shape;
-//! * [`metrics`] — per-stage service instrumentation.
+//! * [`metrics`] — per-stage service instrumentation;
+//! * [`session`] — the backend-agnostic half of the unified `Pipeline`
+//!   API: typed [`session::BuildError`] validation, the shared
+//!   [`session::RunConfig`], and live [`session::RunHooks`].
 //!
 //! Concrete backends live elsewhere: the discrete-event simulation
 //! backend in `adapipe-core::simengine`, the threaded vnode backend in
@@ -42,6 +45,7 @@ pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod routing;
+pub mod session;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -53,6 +57,7 @@ pub mod prelude {
     pub use crate::policy::Policy;
     pub use crate::report::{AdaptationEvent, ReportBuilder, RunReport};
     pub use crate::routing::{RoutingTable, Selection};
+    pub use crate::session::{BuildError, RunConfig, RunHooks, Session};
 }
 
 pub use prelude::*;

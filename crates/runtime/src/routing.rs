@@ -119,8 +119,14 @@ impl RoutingTable {
         }
     }
 
-    /// Picks the currently least-loaded replica of `stage`; ties break
-    /// towards the lowest node id (hosts are stored sorted).
+    /// Picks the currently least-loaded replica of `stage`.
+    ///
+    /// Tie-breaking is deterministic: among replicas reporting the
+    /// minimal load, the **lowest node id** wins — hosts are stored
+    /// sorted and `min_by_key` keeps the first minimum. In particular,
+    /// when *all* replicas report equal load (the common cold-start
+    /// case), every call routes to the lowest-id host; unlike
+    /// round-robin there is no cursor, so repeated ties do not rotate.
     pub fn route_least_loaded(&self, stage: usize, load: impl Fn(NodeId) -> usize) -> NodeId {
         let hosts = self.mapping.placement(stage).hosts();
         *hosts
@@ -174,6 +180,27 @@ mod tests {
         assert_eq!(dest, n(1));
         // Ties break to the lowest id.
         assert_eq!(rt.route_least_loaded(0, |_| 3), n(0));
+    }
+
+    #[test]
+    fn least_loaded_all_equal_ties_break_to_lowest_id_deterministically() {
+        // Three replicas all reporting the same depth: every pick must
+        // be the lowest node id, and repeated ties must not rotate
+        // (there is no cursor — determinism is positional, not stateful).
+        let rt = RoutingTable::with_selection(
+            Mapping::new(vec![Placement::replicated(vec![n(2), n(0), n(1)])]),
+            Selection::LeastLoaded,
+        );
+        for depth in [0, 3, 7] {
+            for _ in 0..4 {
+                assert_eq!(rt.route_least_loaded(0, |_| depth), n(0));
+                assert_eq!(rt.route_with_load(0, |_| depth), n(0));
+            }
+        }
+        // A partial tie among the higher ids still resolves to the
+        // lowest id within the tied set.
+        let pick = rt.route_least_loaded(0, |h| if h == n(0) { 9 } else { 2 });
+        assert_eq!(pick, n(1));
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! The backend-agnostic half of the unified `Pipeline` API.
+//!
+//! The facade crate's `adapipe::api` module is the user-facing builder;
+//! everything in it that does **not** depend on a concrete backend lives
+//! here so the rules are defined — and testable — exactly once:
+//!
+//! * [`BuildError`] — the typed validation errors `build()` and `run()`
+//!   return instead of panicking;
+//! * [`Session`] — a validated (policy, arrivals) pair: constructing one
+//!   enforces every policy/arrival compatibility rule;
+//! * [`RunConfig`] — the single run-time knob set shared by all
+//!   backends, replacing the per-backend halves of `SimConfig` and
+//!   `EngineConfig`;
+//! * [`RunHooks`] — live observation callbacks the adaptation loop
+//!   invokes while the pipeline runs.
+//!
+//! ## Validation rules
+//!
+//! Stage rules: a pipeline needs at least one stage; stage names must be
+//! unique (reports and hooks identify stages by name); a declared
+//! replica bound of zero is contradictory (a stage that may never be
+//! placed); a replica bound above one on a *stateful* stage declares
+//! replication the runtime must refuse (state would fork).
+//!
+//! Policy/arrival rules: rate-based arrival processes need a positive,
+//! finite rate; adaptive policies need a positive interval; the reactive
+//! degradation threshold must sit in `(0, 1]`. Two combinations are
+//! rejected outright:
+//!
+//! * [`Policy::Static`] with a rate-paced open stream — a paced stream
+//!   declares a live, varying workload, a static policy declares a
+//!   fixed launch mapping; in every scenario this repo has carried, the
+//!   combination was a mis-specified baseline. A deliberate baseline
+//!   is declared by constructing the session with
+//!   [`Session::baseline`] (the builder's `as_baseline()`), which
+//!   waives only this pairing rule.
+//! * [`Policy::Reactive`] with a rate-paced open stream — the
+//!   degradation trigger compares realized throughput against the
+//!   model's *saturated-capacity* prediction; an arrival-limited stream
+//!   keeps realized throughput at the arrival rate regardless of grid
+//!   health, misfiring the trigger every interval.
+
+use crate::backend::RemapPlan;
+use crate::controller::ControllerConfig;
+use crate::policy::Policy;
+use crate::routing::Selection;
+use adapipe_gridsim::net::Topology;
+use adapipe_gridsim::time::SimDuration;
+use adapipe_mapper::mapping::Mapping;
+use std::sync::Arc;
+
+pub use crate::arrivals::ArrivalProcess;
+
+/// Typed validation failure from the unified builder's `build()` or
+/// `run()` — every rule the old API enforced by panicking (or not at
+/// all) surfaces here as a matchable variant.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq)]
+pub enum BuildError {
+    /// The pipeline has no stages.
+    EmptyPipeline,
+    /// Two stages declared the same name.
+    DuplicateStage {
+        /// The name declared twice.
+        name: String,
+    },
+    /// A stage declared a replica bound of zero.
+    ZeroReplicas {
+        /// The offending stage.
+        stage: String,
+    },
+    /// A stateful stage declared a replica bound above one.
+    StatefulReplicated {
+        /// The offending stage.
+        stage: String,
+    },
+    /// A rate-based arrival process declared a non-positive or
+    /// non-finite rate.
+    InvalidArrivalRate {
+        /// The declared rate.
+        rate: f64,
+    },
+    /// An adaptive policy declared a zero interval.
+    NonPositiveInterval {
+        /// `Policy::name()` of the offending policy.
+        policy: &'static str,
+    },
+    /// A reactive policy declared a degradation threshold outside
+    /// `(0, 1]`.
+    DegradationOutOfRange {
+        /// The declared threshold.
+        degradation: f64,
+    },
+    /// The declared policy and arrival process contradict each other
+    /// (see the module docs for the two rejected combinations).
+    PolicyArrivalsMismatch {
+        /// `Policy::name()` of the offending policy.
+        policy: &'static str,
+        /// Why the combination is rejected.
+        reason: &'static str,
+    },
+    /// The chosen backend executes stage functions on real inputs, but
+    /// the pipeline declared no input feed.
+    MissingFeed {
+        /// The backend that needed inputs.
+        backend: &'static str,
+    },
+    /// The chosen backend cannot honour the requested replica-selection
+    /// policy (e.g. least-loaded needs a queue-depth probe the threaded
+    /// backend does not expose).
+    UnsupportedSelection {
+        /// The backend that lacks the probe.
+        backend: &'static str,
+    },
+    /// The supplied launch mapping contradicts the pipeline declaration
+    /// or the backend (wrong arity, stage wider than its legal replica
+    /// bound, host outside the node set).
+    InvalidMapping {
+        /// What is wrong with the mapping.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyPipeline => write!(f, "pipeline needs at least one stage"),
+            BuildError::DuplicateStage { name } => {
+                write!(f, "duplicate stage name '{name}'")
+            }
+            BuildError::ZeroReplicas { stage } => {
+                write!(f, "stage '{stage}' declares a replica bound of zero")
+            }
+            BuildError::StatefulReplicated { stage } => {
+                write!(f, "stateful stage '{stage}' cannot be replicated")
+            }
+            BuildError::InvalidArrivalRate { rate } => {
+                write!(f, "arrival rate must be positive and finite, got {rate}")
+            }
+            BuildError::NonPositiveInterval { policy } => {
+                write!(f, "{policy} policy needs a positive adaptation interval")
+            }
+            BuildError::DegradationOutOfRange { degradation } => {
+                write!(
+                    f,
+                    "reactive degradation threshold must be in (0, 1], got {degradation}"
+                )
+            }
+            BuildError::PolicyArrivalsMismatch { policy, reason } => {
+                write!(f, "{policy} policy incompatible with arrivals: {reason}")
+            }
+            BuildError::MissingFeed { backend } => {
+                write!(
+                    f,
+                    "the {backend} backend runs stage functions on real inputs; \
+                     declare an input feed on the builder"
+                )
+            }
+            BuildError::UnsupportedSelection { backend } => {
+                write!(
+                    f,
+                    "the {backend} backend exposes no queue-depth probe for \
+                     least-loaded replica selection"
+                )
+            }
+            BuildError::InvalidMapping { detail } => {
+                write!(f, "invalid launch mapping: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// A shareable callback observing committed re-mappings.
+pub type RemapHook = Arc<dyn Fn(&RemapPlan) + Send + Sync>;
+
+/// Live observation callbacks for a run. Cloned into the adaptation
+/// loop; invoked on the thread (or at the simulated instant) the event
+/// occurs, while the pipeline keeps running.
+#[derive(Clone, Default)]
+pub struct RunHooks {
+    /// Called after every committed re-mapping (including regret-guard
+    /// reverts) with the priced plan.
+    pub on_remap: Option<RemapHook>,
+}
+
+impl RunHooks {
+    /// Hooks that observe committed re-mappings.
+    pub fn on_remap(f: impl Fn(&RemapPlan) + Send + Sync + 'static) -> Self {
+        RunHooks {
+            on_remap: Some(Arc::new(f)),
+        }
+    }
+}
+
+impl std::fmt::Debug for RunHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("on_remap", &self.on_remap.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
+
+/// Backend-independent run-time knobs for one pipeline run — the single
+/// config every backend consumes. Fields a backend cannot honour are
+/// documented as such and ignored there (they do not error: a scenario
+/// parameterised by backend sets them once).
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Stream length.
+    pub items: u64,
+    /// Controller tunables (planner, hysteresis, monitoring window).
+    pub controller: ControllerConfig,
+    /// Launch mapping; `None` plans one from availability at start.
+    pub initial_mapping: Option<Mapping>,
+    /// How items are dealt among a replicated stage's hosts.
+    /// Least-loaded needs a queue-depth probe and is rejected by the
+    /// threaded backend.
+    pub selection: Selection,
+    /// Relative magnitude of availability observation noise (0 = clean).
+    pub observation_noise: f64,
+    /// Seed for the observation noise stream.
+    pub noise_seed: u64,
+    /// Bucket width of the reported throughput timeline; `None` uses
+    /// the backend's native default (5 s simulated, 500 ms wall).
+    pub timeline_bucket: Option<SimDuration>,
+    /// Planning topology override. The simulation backend always plans
+    /// on the grid's own topology; the threaded backend defaults to
+    /// uniform local links.
+    pub topology: Option<Topology>,
+    /// Serialise per-direction link transfers (simulation backend only).
+    pub link_contention: bool,
+    /// Emulate network cost on cross-node boundaries (threaded backend
+    /// only).
+    pub emulate_links: bool,
+    /// Resequence outputs by item index (threaded backend only).
+    pub preserve_order: bool,
+    /// Safety horizon: a simulated run stops (truncated) past this time.
+    pub max_sim_time: SimDuration,
+    /// Live observation callbacks.
+    pub hooks: RunHooks,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            items: 1_000,
+            controller: ControllerConfig::default(),
+            initial_mapping: None,
+            selection: Selection::RoundRobin,
+            observation_noise: 0.0,
+            noise_seed: 1,
+            timeline_bucket: None,
+            topology: None,
+            link_contention: false,
+            emulate_links: false,
+            preserve_order: true,
+            max_sim_time: SimDuration::from_secs(7 * 24 * 3600),
+            hooks: RunHooks::default(),
+        }
+    }
+}
+
+/// A validated (policy, arrivals) pair — the part of a built pipeline
+/// the runtime owns. Constructing one runs every policy/arrival rule in
+/// the module docs, so holding a `Session` *is* the proof the
+/// combination is legal.
+#[derive(Clone, Debug)]
+pub struct Session {
+    policy: Policy,
+    arrivals: ArrivalProcess,
+}
+
+impl Session {
+    /// Validates the pair; see the module docs for the rules.
+    pub fn new(policy: Policy, arrivals: ArrivalProcess) -> Result<Self, BuildError> {
+        validate_policy(&policy)?;
+        validate_arrivals(&arrivals)?;
+        validate_policy_arrivals(&policy, &arrivals)?;
+        Ok(Session { policy, arrivals })
+    }
+
+    /// Like [`Session::new`], but skips the policy × arrivals pairing
+    /// rule — the acknowledged escape hatch for *deliberate* baselines
+    /// (e.g. a static mapping under a paced open stream, run to show
+    /// what non-adaptive scheduling costs). Policy and arrivals are
+    /// still validated in isolation.
+    pub fn baseline(policy: Policy, arrivals: ArrivalProcess) -> Result<Self, BuildError> {
+        validate_policy(&policy)?;
+        validate_arrivals(&arrivals)?;
+        Ok(Session { policy, arrivals })
+    }
+
+    /// The adaptation policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The arrival process.
+    pub fn arrivals(&self) -> ArrivalProcess {
+        self.arrivals
+    }
+}
+
+/// Validates a policy in isolation: adaptive intervals must be positive
+/// and the reactive degradation threshold must sit in `(0, 1]`.
+pub fn validate_policy(policy: &Policy) -> Result<(), BuildError> {
+    if let Some(interval) = policy.interval() {
+        if interval == SimDuration::ZERO {
+            return Err(BuildError::NonPositiveInterval {
+                policy: policy.name(),
+            });
+        }
+    }
+    if let Policy::Reactive { degradation, .. } = *policy {
+        if !(degradation > 0.0 && degradation <= 1.0) {
+            return Err(BuildError::DegradationOutOfRange { degradation });
+        }
+    }
+    Ok(())
+}
+
+/// Validates an arrival process in isolation: rate-based processes need
+/// a positive, finite rate (the legacy API asserts this at schedule
+/// time — mid-run — instead of at build time).
+pub fn validate_arrivals(arrivals: &ArrivalProcess) -> Result<(), BuildError> {
+    match *arrivals {
+        ArrivalProcess::AllAtOnce => Ok(()),
+        ArrivalProcess::Uniform { rate } | ArrivalProcess::Poisson { rate, .. } => {
+            if rate > 0.0 && rate.is_finite() {
+                Ok(())
+            } else {
+                Err(BuildError::InvalidArrivalRate { rate })
+            }
+        }
+    }
+}
+
+/// Validates the policy × arrivals combination; see the module docs for
+/// why the two rejected pairings exist.
+pub fn validate_policy_arrivals(
+    policy: &Policy,
+    arrivals: &ArrivalProcess,
+) -> Result<(), BuildError> {
+    let open_stream = !matches!(arrivals, ArrivalProcess::AllAtOnce);
+    match *policy {
+        Policy::Static if open_stream => Err(BuildError::PolicyArrivalsMismatch {
+            policy: policy.name(),
+            reason: "a rate-paced open stream declares a live workload; a static \
+                     policy declares a fixed launch mapping — use an adaptive \
+                     policy, or acknowledge a deliberate baseline with \
+                     as_baseline()",
+        }),
+        Policy::Reactive { .. } if open_stream => Err(BuildError::PolicyArrivalsMismatch {
+            policy: policy.name(),
+            reason: "the reactive degradation trigger compares realized throughput \
+                     against the saturated-capacity model; an arrival-limited \
+                     stream misfires it every interval — acknowledge a deliberate \
+                     baseline with as_baseline()",
+        }),
+        _ => Ok(()),
+    }
+}
+
+/// Validates a supplied launch mapping against the declared stage
+/// properties and the backend's node set: arity must match, no stage
+/// may be mapped wider than its legal replica bound (stateful = 1,
+/// stateless = declared cap), and every host must exist. The backends
+/// assert the same invariants — this turns the panic into a typed
+/// [`BuildError::InvalidMapping`] at the unified surface.
+pub fn validate_mapping(
+    mapping: &Mapping,
+    stateless: &[bool],
+    replica_cap: &[usize],
+    node_count: usize,
+) -> Result<(), BuildError> {
+    if mapping.len() != stateless.len() {
+        return Err(BuildError::InvalidMapping {
+            detail: format!(
+                "mapping covers {} stages, pipeline declares {}",
+                mapping.len(),
+                stateless.len()
+            ),
+        });
+    }
+    for s in 0..mapping.len() {
+        let placement = mapping.placement(s);
+        let cap = if stateless[s] { replica_cap[s] } else { 1 };
+        if placement.width() > cap {
+            return Err(BuildError::InvalidMapping {
+                detail: format!(
+                    "stage {s} mapped at width {} above its legal replica bound {cap}",
+                    placement.width()
+                ),
+            });
+        }
+        for host in placement.hosts() {
+            if host.index() >= node_count {
+                return Err(BuildError::InvalidMapping {
+                    detail: format!(
+                        "stage {s} mapped on node {host} outside the {node_count}-node backend"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates the stage-name list: non-empty and duplicate-free.
+pub fn validate_stage_names<S: AsRef<str>>(names: &[S]) -> Result<(), BuildError> {
+    if names.is_empty() {
+        return Err(BuildError::EmptyPipeline);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for name in names {
+        if !seen.insert(name.as_ref()) {
+            return Err(BuildError::DuplicateStage {
+                name: name.as_ref().to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates one stage's declared replica bound against its
+/// statefulness. `usize::MAX` is the *unset* default ("planner
+/// decides") and is always legal; an explicit bound above one on a
+/// stateful stage declares replication the runtime must refuse.
+pub fn validate_replicas(stage: &str, stateless: bool, bound: usize) -> Result<(), BuildError> {
+    if bound == 0 {
+        return Err(BuildError::ZeroReplicas {
+            stage: stage.to_string(),
+        });
+    }
+    if !stateless && bound > 1 && bound != usize::MAX {
+        return Err(BuildError::StatefulReplicated {
+            stage: stage.to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapipe_gridsim::time::SimDuration;
+
+    #[test]
+    fn session_accepts_the_canonical_pairs() {
+        for arrivals in [
+            ArrivalProcess::AllAtOnce,
+            ArrivalProcess::Uniform { rate: 2.0 },
+            ArrivalProcess::Poisson { rate: 1.0, seed: 7 },
+        ] {
+            let s = Session::new(Policy::periodic_default(), arrivals).unwrap();
+            assert_eq!(s.policy(), Policy::periodic_default());
+        }
+        assert!(Session::new(Policy::Static, ArrivalProcess::AllAtOnce).is_ok());
+    }
+
+    #[test]
+    fn static_with_open_stream_is_rejected() {
+        let err = Session::new(Policy::Static, ArrivalProcess::Uniform { rate: 1.0 }).unwrap_err();
+        assert!(matches!(
+            err,
+            BuildError::PolicyArrivalsMismatch {
+                policy: "static",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reactive_with_open_stream_is_rejected() {
+        let policy = Policy::Reactive {
+            interval: SimDuration::from_secs(5),
+            degradation: 0.8,
+        };
+        let err = Session::new(policy, ArrivalProcess::Poisson { rate: 1.0, seed: 1 }).unwrap_err();
+        assert!(matches!(err, BuildError::PolicyArrivalsMismatch { .. }));
+    }
+
+    #[test]
+    fn zero_interval_and_bad_degradation_are_typed_errors() {
+        let zero = Policy::Periodic {
+            interval: SimDuration::ZERO,
+        };
+        assert_eq!(
+            validate_policy(&zero),
+            Err(BuildError::NonPositiveInterval { policy: "adaptive" })
+        );
+        let bad = Policy::Reactive {
+            interval: SimDuration::from_secs(1),
+            degradation: 1.5,
+        };
+        assert_eq!(
+            validate_policy(&bad),
+            Err(BuildError::DegradationOutOfRange { degradation: 1.5 })
+        );
+    }
+
+    #[test]
+    fn arrival_rates_must_be_positive_and_finite() {
+        for rate in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = validate_arrivals(&ArrivalProcess::Uniform { rate }).unwrap_err();
+            assert!(matches!(err, BuildError::InvalidArrivalRate { .. }));
+        }
+    }
+
+    #[test]
+    fn stage_name_rules() {
+        assert_eq!(
+            validate_stage_names::<&str>(&[]),
+            Err(BuildError::EmptyPipeline)
+        );
+        assert!(validate_stage_names(&["a", "b"]).is_ok());
+        assert_eq!(
+            validate_stage_names(&["a", "b", "a"]),
+            Err(BuildError::DuplicateStage { name: "a".into() })
+        );
+    }
+
+    #[test]
+    fn replica_rules() {
+        assert!(validate_replicas("s", true, 4).is_ok());
+        assert!(validate_replicas("s", false, 1).is_ok());
+        // The unset default (usize::MAX) never trips the stateful check.
+        assert!(validate_replicas("s", false, usize::MAX).is_ok());
+        assert_eq!(
+            validate_replicas("s", true, 0),
+            Err(BuildError::ZeroReplicas { stage: "s".into() })
+        );
+        assert_eq!(
+            validate_replicas("s", false, 2),
+            Err(BuildError::StatefulReplicated { stage: "s".into() })
+        );
+    }
+
+    #[test]
+    fn baseline_session_skips_only_the_pairing_rule() {
+        // The pairing rule is waived…
+        let s = Session::baseline(Policy::Static, ArrivalProcess::Uniform { rate: 1.0 }).unwrap();
+        assert_eq!(s.policy(), Policy::Static);
+        // …but the isolated rules still apply.
+        assert!(matches!(
+            Session::baseline(Policy::Static, ArrivalProcess::Uniform { rate: 0.0 }),
+            Err(BuildError::InvalidArrivalRate { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_rules() {
+        use adapipe_gridsim::node::NodeId;
+        use adapipe_mapper::mapping::Placement;
+        let wide = Mapping::new(vec![Placement::replicated(vec![NodeId(0), NodeId(1)])]);
+        // Stateless within cap and node set: fine.
+        assert!(validate_mapping(&wide, &[true], &[2], 3).is_ok());
+        // Stateful stage mapped wide: rejected.
+        assert!(matches!(
+            validate_mapping(&wide, &[false], &[1], 3),
+            Err(BuildError::InvalidMapping { .. })
+        ));
+        // Width above the declared cap: rejected.
+        assert!(matches!(
+            validate_mapping(&wide, &[true], &[1], 3),
+            Err(BuildError::InvalidMapping { .. })
+        ));
+        // Arity mismatch: rejected.
+        assert!(matches!(
+            validate_mapping(&wide, &[true, true], &[2, 2], 3),
+            Err(BuildError::InvalidMapping { .. })
+        ));
+        // Host outside the backend: rejected.
+        assert!(matches!(
+            validate_mapping(&wide, &[true], &[2], 1),
+            Err(BuildError::InvalidMapping { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = BuildError::DuplicateStage {
+            name: "blur".into(),
+        };
+        assert!(e.to_string().contains("blur"));
+        let e = BuildError::MissingFeed { backend: "threads" };
+        assert!(e.to_string().contains("threads"));
+    }
+}

@@ -1,17 +1,20 @@
 //! Real compute, real threads: the imaging pipeline on the threaded
-//! engine with a synthetic load step on one virtual node.
+//! backend of the unified API, with a synthetic load step on one
+//! virtual node.
 //!
 //! Frames pass through blur → Sobel → quantise → checksum with genuine
 //! pixel arithmetic; virtual node `v1` loses 90 % of its capacity 0.5 s
-//! into the run and the periodic controller re-maps around it.
+//! into the run and the periodic controller re-maps around it — watch
+//! it happen live through the `on_remap` hook.
 //!
 //! Run with: `cargo run --release --example image_pipeline`
 
 use adapipe::prelude::*;
+use adapipe::workloads::imaging::{imaging_pipeline, Image};
 
 fn main() {
     let side = 96; // 96×96 frames: a few ms of real kernels each
-    let n_frames = 120;
+    let n_frames = 120u64;
 
     let vnodes = vec![
         VNodeSpec::free("v0"),
@@ -20,18 +23,15 @@ fn main() {
         VNodeSpec::free("v3"),
     ];
 
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(250),
-    };
-    // Put the heavy Sobel stage on the node that is about to degrade, so
-    // the controller has something to fix.
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[
-        NodeId(0),
-        NodeId(1),
-        NodeId(2),
-        NodeId(3),
-    ]));
+    // The unified program: the imaging stages (with their cost
+    // metadata), a periodic policy, and a frame feed.
+    let pipeline = PipelineBuilder::from_pipeline(imaging_pipeline(side))
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(250),
+        })
+        .feed(move |i| Image::synthetic(side, side, i))
+        .build()
+        .expect("a valid pipeline");
 
     println!(
         "== imaging pipeline on 4 virtual nodes (host rate {:.0} Mspin/s) ==",
@@ -39,22 +39,41 @@ fn main() {
     );
     println!("processing {n_frames} frames of {side}x{side} px; v1 degrades to 10% at t=0.5s\n");
 
-    let outcome = run_pipeline(
-        imaging_pipeline(side),
-        adapipe::workloads::imaging::frames(side, n_frames),
-        &cfg,
-    );
-    let report = &outcome.report;
+    let cfg = RunConfig {
+        items: n_frames,
+        // Put the heavy Sobel stage on the node that is about to
+        // degrade, so the controller has something to fix.
+        initial_mapping: Some(Mapping::from_assignment(&[
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+        ])),
+        // Live observation: print each re-mapping as it commits.
+        hooks: RunHooks::on_remap(|plan| {
+            println!(
+                "  [live] re-mapped at t={:.2}s: stages {:?} moved",
+                plan.at.as_secs_f64(),
+                plan.moved,
+            );
+        }),
+        ..RunConfig::default()
+    };
+
+    let handle = pipeline
+        .run(Backend::Threads(vnodes), cfg)
+        .expect("a compatible backend");
+    let report = handle.report();
 
     println!(
-        "completed {} frames in {:.2}s ({:.1} frames/s), mean latency {:.0} ms",
+        "\ncompleted {} frames in {:.2}s ({:.1} frames/s), mean latency {:.0} ms",
         report.completed,
         report.makespan.as_secs_f64(),
         report.mean_throughput(),
         report.mean_latency.as_secs_f64() * 1000.0,
     );
     println!("final mapping: {}", report.final_mapping);
-    for event in &report.adaptations {
+    for event in handle.adaptations() {
         println!(
             "re-mapped at t={:.2}s: {} -> {} (stages {:?})",
             event.at.as_secs_f64(),
@@ -71,5 +90,5 @@ fn main() {
     }
 
     // Show one output so the kernels demonstrably ran.
-    println!("\nchecksum of frame 0: {}", outcome.outputs[0]);
+    println!("\nchecksum of frame 0: {}", handle.outputs[0]);
 }

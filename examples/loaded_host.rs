@@ -13,17 +13,19 @@ use std::time::Duration;
 fn main() {
     let spec = synthetic_spec(3, CostShape::Balanced, 1.0, 0, 0.2, 42);
     let items = synth_items(&spec, 150, 0.004); // ~4 ms per stage per item
-    let pipeline = synth_pipeline(&spec);
+    let pipeline = PipelineBuilder::from_pipeline(synth_pipeline(&spec))
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(300),
+        })
+        .feed(move |i| items[i as usize].clone())
+        .build()
+        .expect("a valid pipeline");
 
     let vnodes = vec![
         VNodeSpec::free("v0"),
         VNodeSpec::free("v1"),
         VNodeSpec::free("v2"),
     ];
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(300),
-    };
 
     println!("== 3-stage spin pipeline, 150 items, real CPU contention ==");
     println!("starting 2 burner threads at 80% duty after ~0.6s...\n");
@@ -35,10 +37,18 @@ fn main() {
         injector.stop();
     });
 
-    let outcome = run_pipeline(pipeline, items, &cfg);
+    let outcome = pipeline
+        .run(
+            Backend::Threads(vnodes),
+            RunConfig {
+                items: 150,
+                ..RunConfig::default()
+            },
+        )
+        .expect("a compatible backend");
     handle.join().expect("injector thread");
 
-    let report = &outcome.report;
+    let report = outcome.report();
     println!(
         "completed {} items in {:.2}s ({:.1} items/s)",
         report.completed,

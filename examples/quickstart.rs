@@ -1,4 +1,4 @@
-//! Quickstart: the adaptive pipeline in 60 lines.
+//! Quickstart: the adaptive pipeline in 60 lines, on the unified API.
 //!
 //! Simulates a 4-stage pipeline on the heterogeneous 8-node testbed,
 //! injects a load spike on one of the hosts mid-run, and compares the
@@ -25,16 +25,22 @@ fn main() {
         .apply(&mut grid);
 
     // A 4-stage pipeline: every stage costs ~2 work units per item and
-    // forwards 64 KiB to its successor.
-    let spec = PipelineSpec::balanced(4, 2.0, 64 << 10);
-
+    // forwards 64 KiB to its successor. One program, built per policy,
+    // validated at build() time, run on the simulation backend.
     let run_with = |policy: Policy| {
-        let cfg = SimConfig {
-            items: 500,
-            policy,
-            ..SimConfig::default()
-        };
-        sim_run(&grid, &spec, &cfg)
+        PipelineBuilder::from_spec(PipelineSpec::balanced(4, 2.0, 64 << 10))
+            .policy(policy)
+            .build()
+            .expect("a valid pipeline")
+            .run(
+                Backend::Sim(&grid),
+                RunConfig {
+                    items: 500,
+                    ..RunConfig::default()
+                },
+            )
+            .expect("a compatible backend")
+            .report
     };
 
     let static_report = run_with(Policy::Static);

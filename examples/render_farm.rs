@@ -4,7 +4,9 @@
 //! Simulates a "render farm": each item costs ~4 work units (±30 %
 //! per-frame jitter); the planner spreads the stage over the 8-node
 //! heterogeneous testbed, and when the fastest node crashes mid-run the
-//! controller re-spreads without losing a frame.
+//! controller re-spreads without losing a frame. The replication width
+//! is declared in the API (`with_replicas`), so the runtime farms only
+//! as wide as the programmer permitted.
 //!
 //! Run with: `cargo run --release --example render_farm`
 
@@ -16,18 +18,26 @@ fn main() {
         .crash(NodeId(0), SimTime::from_secs_f64(120.0))
         .apply(&mut grid);
 
-    // The farm: one stateless stage, jittered cost, 256 KiB frames.
-    let mut spec = farm_spec(4.0, 256 << 10);
-    spec.stages[0].work = Box::new(UniformWork::new(4.0, 0.3, 77));
-
-    let run_with = |policy: Policy, max_width: usize| {
-        let mut cfg = SimConfig {
+    // The farm: one stateless stage, jittered cost, 256 KiB frames,
+    // replicable up to `width` nodes — the bound declared in the API.
+    let run_with = |policy: Policy, width: usize| {
+        let stage = StageSpec::balanced("render", 4.0, 256 << 10)
+            .with_work(Box::new(UniformWork::new(4.0, 0.3, 77)))
+            .with_replicas(width);
+        let mut spec = PipelineSpec::new(vec![stage]);
+        spec.input_bytes = 256 << 10;
+        let mut cfg = RunConfig {
             items: 600,
-            policy,
-            ..SimConfig::default()
+            ..RunConfig::default()
         };
-        cfg.controller.planner.max_width = max_width;
-        sim_run(&grid, &spec, &cfg)
+        cfg.controller.planner.max_width = width.max(1);
+        PipelineBuilder::from_spec(spec)
+            .policy(policy)
+            .build()
+            .expect("a valid pipeline")
+            .run(Backend::Sim(&grid), cfg)
+            .expect("a compatible backend")
+            .report
     };
 
     println!("== render farm: 600 frames on hetero8, fastest node crashes at t=120s ==\n");

@@ -1,16 +1,17 @@
 //! The signal-processing workload on the 32-node simulated grid:
-//! static vs reactive vs adaptive vs oracle under Markov on/off load.
+//! static vs reactive vs adaptive vs oracle under Markov on/off load —
+//! one program, parameterised by policy, on the unified API.
 //!
 //! Run with: `cargo run --release --example signal_grid`
 
 use adapipe::prelude::*;
+use adapipe::workloads::signal::signal_pipeline;
 
 fn main() {
     let grid = testbed_grid32(11);
-    // Use the signal pipeline's cost shape for the simulator: the spec's
-    // work means and boundary sizes are what the planner sees.
-    let pipeline = signal_pipeline(4096);
-    let spec_profile = pipeline.spec().profile();
+    // The signal pipeline's cost shape is what the planner sees; the
+    // simulation backend consumes exactly that metadata.
+    let spec_profile = signal_pipeline(4096).spec().profile();
     println!(
         "== signal pipeline ({} stages, work {:?}) on grid32 ==\n",
         spec_profile.stages(),
@@ -20,18 +21,6 @@ fn main() {
             .map(|w| (w * 100.0).round() / 100.0)
             .collect::<Vec<_>>(),
     );
-
-    // Rebuild an equivalent sim spec (the sim needs only the metadata).
-    let mut stages: Vec<StageSpec> = Vec::new();
-    for (i, w) in spec_profile.stage_work.iter().enumerate() {
-        stages.push(StageSpec::balanced(
-            format!("sig{i}"),
-            *w,
-            spec_profile.boundary_bytes[i + 1],
-        ));
-    }
-    let mut spec = PipelineSpec::new(stages);
-    spec.input_bytes = spec_profile.boundary_bytes[0];
 
     let interval = SimDuration::from_secs(10);
     let policies = [
@@ -49,12 +38,22 @@ fn main() {
         "policy", "makespan(s)", "tput(it/s)", "latency(s)", "remaps"
     );
     for policy in policies {
-        let cfg = SimConfig {
-            items: 2_000,
-            policy,
-            ..SimConfig::default()
-        };
-        let report = sim_run(&grid, &spec, &cfg);
+        // The same program each time — only the policy differs. The
+        // builder re-wraps the real signal stages; on the simulation
+        // backend only their declared costs execute.
+        let report = PipelineBuilder::from_pipeline(signal_pipeline(4096))
+            .policy(policy)
+            .build()
+            .expect("a valid pipeline")
+            .run(
+                Backend::Sim(&grid),
+                RunConfig {
+                    items: 2_000,
+                    ..RunConfig::default()
+                },
+            )
+            .expect("a compatible backend")
+            .report;
         println!(
             "{:<10} {:>12.1} {:>12.2} {:>12.3} {:>8}",
             policy.name(),

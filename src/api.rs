@@ -1,0 +1,499 @@
+//! The unified `Pipeline` API: one typed, backend-agnostic entry point
+//! for every execution backend.
+//!
+//! The paper presents *one* adaptive pipeline skeleton that hides
+//! placement and re-mapping behind a single programming surface.
+//! Historically this repo exposed two divergent entry points —
+//! `sim_run(&grid, &spec, &SimConfig)` for the discrete-event backend
+//! and `run_pipeline(pipeline, items, &EngineConfig)` for the threaded
+//! backend — so every scenario was written twice. This module is the
+//! single surface both now sit behind:
+//!
+//! ```
+//! use adapipe::prelude::*;
+//!
+//! let pipeline = Pipeline::<u64>::builder()
+//!     .stage("inc", |x: u64| x + 1)
+//!     .stage_replicated("double", |x: u64| x * 2, 4)
+//!     .policy(Policy::periodic_default())
+//!     .feed(|i| i)
+//!     .build()
+//!     .expect("valid pipeline");
+//!
+//! // The same program runs on any backend.
+//! let grid = testbed_small3();
+//! let handle = pipeline
+//!     .run(Backend::Sim(&grid), RunConfig { items: 50, ..RunConfig::default() })
+//!     .expect("compatible backend");
+//! assert_eq!(handle.report.completed, 50);
+//! ```
+//!
+//! `build()` validates the declaration (non-empty, unique stage names,
+//! legal replica bounds, policy/arrival compatibility) and returns a
+//! typed [`BuildError`] instead of panicking mid-run; `run()` adds the
+//! backend-dependent checks (input feed present, selection supported).
+//! Stage state and replication properties are declared in the API —
+//! [`PipelineBuilder::stage_replicated`] bounds how wide the planner may
+//! legally farm a stage, [`PipelineBuilder::stateful_stage`] pins a
+//! stage to width one — so the runtime can replicate exactly what the
+//! programmer permitted.
+//!
+//! Live observation goes through [`RunConfig`]'s [`RunHooks`]
+//! (`on_remap` fires at each committed re-mapping while the pipeline
+//! runs); post-run observation through the [`RunHandle`].
+
+use adapipe_core::pipeline::Pipeline as CorePipeline;
+use adapipe_core::simengine::{self, SimConfig};
+use adapipe_core::spec::{PipelineSpec, StageSpec};
+use adapipe_core::stage::{DynStage, FnStage, StatefulFnStage};
+use adapipe_engine::exec::{execute_fed, EngineConfig};
+use adapipe_engine::vnode::VNodeSpec;
+use adapipe_gridsim::grid::GridSpec;
+use adapipe_gridsim::node::NodeId;
+use adapipe_runtime::metrics::StageStats;
+use adapipe_runtime::policy::Policy;
+use adapipe_runtime::report::{AdaptationEvent, RunReport};
+use adapipe_runtime::routing::Selection;
+use adapipe_runtime::session::{self, Session};
+use std::marker::PhantomData;
+
+pub use adapipe_runtime::session::{ArrivalProcess, BuildError, RunConfig, RunHooks};
+
+/// Which execution backend a built [`Pipeline`] runs on.
+pub enum Backend<'a> {
+    /// Deterministic discrete-event execution on a simulated grid (the
+    /// evaluation substrate). Stage *functions* are not invoked — the
+    /// simulator executes the declared cost metadata — so the returned
+    /// [`RunHandle::outputs`] is empty.
+    Sim(&'a GridSpec),
+    /// Real OS threads over the given virtual nodes, with synthetic
+    /// heterogeneity. Stage functions process real inputs drawn from the
+    /// pipeline's feed.
+    Threads(Vec<VNodeSpec>),
+}
+
+impl Backend<'_> {
+    /// Short backend name for errors and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sim(_) => "sim",
+            Backend::Threads(_) => "threads",
+        }
+    }
+}
+
+/// The outcome of one run: typed outputs (threaded backend) plus the
+/// backend-independent [`RunReport`] — a single shape for every
+/// backend.
+#[derive(Debug)]
+pub struct RunHandle<O> {
+    /// Pipeline outputs in item order (empty under [`Backend::Sim`]).
+    pub outputs: Vec<O>,
+    /// Run metrics, shape-identical across backends.
+    pub report: RunReport,
+}
+
+impl<O> RunHandle<O> {
+    /// The run report.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Every re-mapping the controller committed, in order.
+    pub fn adaptations(&self) -> &[AdaptationEvent] {
+        &self.report.adaptations
+    }
+
+    /// Observed service statistics of one stage.
+    pub fn stage_stats(&self, stage: usize) -> &StageStats {
+        self.report.stage_metrics.stage(stage)
+    }
+
+    /// Splits the handle into outputs and report.
+    pub fn into_parts(self) -> (Vec<O>, RunReport) {
+        (self.outputs, self.report)
+    }
+}
+
+/// A validated, backend-agnostic pipeline program: typed stage
+/// functions, cost metadata, adaptation policy, and arrival process.
+/// Built by [`PipelineBuilder`]; executed by [`Pipeline::run`] on any
+/// [`Backend`].
+pub struct Pipeline<I, O = I> {
+    spec: PipelineSpec,
+    stages: Vec<Box<dyn DynStage>>,
+    session: Session,
+    feed: Option<Box<dyn Fn(u64) -> I + Send>>,
+    _types: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O> std::fmt::Debug for Pipeline<I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("spec", &self.spec)
+            .field("session", &self.session)
+            .field("feed", &self.feed.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
+
+impl<I: Send + 'static> Pipeline<I, I> {
+    /// Starts a builder for a pipeline whose inputs have type `I`.
+    pub fn builder() -> PipelineBuilder<I, I> {
+        PipelineBuilder::new()
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True if the pipeline has no stages (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The planner-facing cost metadata.
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// The validated adaptation policy.
+    pub fn policy(&self) -> Policy {
+        self.session.policy()
+    }
+
+    /// The validated arrival process.
+    pub fn arrivals(&self) -> ArrivalProcess {
+        self.session.arrivals()
+    }
+
+    /// Runs the pipeline on `backend` under `cfg`.
+    ///
+    /// Backend-dependent validation happens here: the threaded backend
+    /// needs an input [`PipelineBuilder::feed`] (the simulator only
+    /// consumes metadata) and exposes no queue-depth probe for
+    /// [`Selection::LeastLoaded`].
+    pub fn run(self, backend: Backend<'_>, cfg: RunConfig) -> Result<RunHandle<O>, BuildError> {
+        // A supplied launch mapping must honour the declared stage
+        // properties (statefulness, replica bounds) and the backend's
+        // node set — otherwise the typed-validation contract would be
+        // silently bypassed by the one knob that places stages directly.
+        if let Some(mapping) = &cfg.initial_mapping {
+            let node_count = match &backend {
+                Backend::Sim(grid) => grid.len(),
+                Backend::Threads(vnodes) => vnodes.len(),
+            };
+            let stateless: Vec<bool> = self.spec.stages.iter().map(|s| s.stateless).collect();
+            let replica_cap: Vec<usize> = self.spec.stages.iter().map(|s| s.max_replicas).collect();
+            session::validate_mapping(mapping, &stateless, &replica_cap, node_count)?;
+        }
+        match backend {
+            Backend::Sim(grid) => {
+                // `None` knobs defer to the backend's own defaults so
+                // the unified path tracks them as they evolve.
+                let defaults = SimConfig::default();
+                let sim_cfg = SimConfig {
+                    items: cfg.items,
+                    arrivals: self.session.arrivals(),
+                    policy: self.session.policy(),
+                    controller: cfg.controller,
+                    initial_mapping: cfg.initial_mapping,
+                    selection: cfg.selection,
+                    observation_noise: cfg.observation_noise,
+                    noise_seed: cfg.noise_seed,
+                    timeline_bucket: cfg.timeline_bucket.unwrap_or(defaults.timeline_bucket),
+                    link_contention: cfg.link_contention,
+                    max_sim_time: cfg.max_sim_time,
+                    hooks: cfg.hooks,
+                };
+                let report = simengine::run(grid, &self.spec, &sim_cfg);
+                Ok(RunHandle {
+                    outputs: Vec::new(),
+                    report,
+                })
+            }
+            Backend::Threads(vnodes) => {
+                if cfg.selection == Selection::LeastLoaded {
+                    return Err(BuildError::UnsupportedSelection { backend: "threads" });
+                }
+                let feed = self
+                    .feed
+                    .ok_or(BuildError::MissingFeed { backend: "threads" })?;
+                let mut engine_cfg = EngineConfig::new(vnodes);
+                engine_cfg.policy = self.session.policy();
+                engine_cfg.controller = cfg.controller;
+                engine_cfg.initial_mapping = cfg.initial_mapping;
+                engine_cfg.preserve_order = cfg.preserve_order;
+                engine_cfg.arrivals = self.session.arrivals();
+                engine_cfg.topology = cfg.topology;
+                engine_cfg.observation_noise = cfg.observation_noise;
+                engine_cfg.noise_seed = cfg.noise_seed;
+                if let Some(bucket) = cfg.timeline_bucket {
+                    engine_cfg.timeline_bucket = bucket;
+                }
+                engine_cfg.emulate_links = cfg.emulate_links;
+                engine_cfg.hooks = cfg.hooks;
+                let core = CorePipeline::from_parts(self.spec, self.stages);
+                // Inputs are drawn lazily from the feed at their
+                // scheduled arrival times — memory stays proportional
+                // to the in-flight window, not the stream length.
+                let outcome = execute_fed(core, cfg.items, feed, &engine_cfg);
+                Ok(RunHandle {
+                    outputs: outcome.outputs,
+                    report: outcome.report,
+                })
+            }
+        }
+    }
+}
+
+/// Typed builder for the unified [`Pipeline`]; `Cur` is the item type
+/// flowing out of the last stage added so far, so stage `i+1` must
+/// accept exactly what stage `i` produces — checked at compile time.
+/// Everything else is checked by [`PipelineBuilder::build`], which
+/// returns a typed [`BuildError`] instead of panicking.
+pub struct PipelineBuilder<In, Cur = In> {
+    specs: Vec<StageSpec>,
+    stages: Vec<Box<dyn DynStage>>,
+    input_bytes: u64,
+    source: Option<NodeId>,
+    sink: Option<NodeId>,
+    policy: Policy,
+    arrivals: ArrivalProcess,
+    baseline: bool,
+    feed: Option<Box<dyn Fn(u64) -> In + Send>>,
+    _types: PhantomData<fn(In) -> Cur>,
+}
+
+impl<In: Send + 'static> PipelineBuilder<In, In> {
+    /// Starts a pipeline whose inputs have type `In`.
+    pub fn new() -> Self {
+        PipelineBuilder {
+            specs: Vec::new(),
+            stages: Vec::new(),
+            input_bytes: 0,
+            source: None,
+            sink: None,
+            policy: Policy::Static,
+            arrivals: ArrivalProcess::AllAtOnce,
+            baseline: false,
+            feed: None,
+            _types: PhantomData,
+        }
+    }
+}
+
+impl<In: Send + 'static> Default for PipelineBuilder<In, In> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PipelineBuilder<u64, u64> {
+    /// Builds from an engine-agnostic [`PipelineSpec`] alone: each stage
+    /// becomes an identity function over `u64`, and the feed defaults to
+    /// the item index. The simulation backend only consumes the
+    /// metadata, so this is the natural entry point for simulation
+    /// scenarios (and still runs — trivially — on the threaded backend).
+    pub fn from_spec(spec: PipelineSpec) -> Self {
+        let stages: Vec<Box<dyn DynStage>> = spec
+            .stages
+            .iter()
+            .map(|s| -> Box<dyn DynStage> {
+                if s.stateless {
+                    Box::new(FnStage::new(s.name.clone(), |x: u64| x))
+                } else {
+                    Box::new(StatefulFnStage::new(s.name.clone(), |x: u64| x))
+                }
+            })
+            .collect();
+        PipelineBuilder {
+            input_bytes: spec.input_bytes,
+            source: spec.source,
+            sink: spec.sink,
+            specs: spec.stages,
+            stages,
+            policy: Policy::Static,
+            arrivals: ArrivalProcess::AllAtOnce,
+            baseline: false,
+            feed: Some(Box::new(|i| i)),
+            _types: PhantomData,
+        }
+    }
+}
+
+impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
+    /// Adopts an already-built engine-level pipeline (e.g. the imaging
+    /// or signal workloads), keeping its stages and cost metadata; the
+    /// unified policy/arrivals/feed declarations still apply.
+    pub fn from_pipeline(pipeline: CorePipeline<In, Cur>) -> Self {
+        let (spec, stages) = pipeline.into_parts();
+        PipelineBuilder {
+            input_bytes: spec.input_bytes,
+            source: spec.source,
+            sink: spec.sink,
+            specs: spec.stages,
+            stages,
+            policy: Policy::Static,
+            arrivals: ArrivalProcess::AllAtOnce,
+            baseline: false,
+            feed: None,
+            _types: PhantomData,
+        }
+    }
+
+    /// Declares how many bytes each input item carries into stage 0.
+    pub fn input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
+        self
+    }
+
+    /// Pins the input source to a grid node (inputs pay the transfer
+    /// from there to stage 0's host).
+    pub fn source(mut self, node: NodeId) -> Self {
+        self.source = Some(node);
+        self
+    }
+
+    /// Pins the output sink to a grid node.
+    pub fn sink(mut self, node: NodeId) -> Self {
+        self.sink = Some(node);
+        self
+    }
+
+    /// Sets the adaptation policy (default [`Policy::Static`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the arrival process (default [`ArrivalProcess::AllAtOnce`]).
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Acknowledges a *deliberate* baseline: waives the policy × arrival
+    /// pairing rule (e.g. `Policy::Static` under a paced open stream,
+    /// run to show what non-adaptive scheduling costs). Every other
+    /// validation still applies.
+    pub fn as_baseline(mut self) -> Self {
+        self.baseline = true;
+        self
+    }
+
+    /// Declares the input feed: item index → input. Backends that
+    /// execute stage functions on real items (threads) require one; the
+    /// simulator ignores it.
+    pub fn feed(mut self, f: impl Fn(u64) -> In + Send + 'static) -> Self {
+        self.feed = Some(Box::new(f));
+        self
+    }
+
+    /// Appends a stateless stage with default cost metadata (1 work
+    /// unit per item, no boundary bytes). The closure must be `Clone`
+    /// so the runtime can replicate the stage across nodes.
+    pub fn stage<Out, F>(self, name: impl Into<String>, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        self.stage_with(StageSpec::balanced(name, 1.0, 0), f)
+    }
+
+    /// Appends a stateless stage replicable up to `replicas` nodes —
+    /// the declared replication property the planner may exploit. A
+    /// bound of zero is rejected at [`PipelineBuilder::build`].
+    pub fn stage_replicated<Out, F>(
+        self,
+        name: impl Into<String>,
+        f: F,
+        replicas: usize,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        self.stage_with(StageSpec::balanced(name, 1.0, 0).with_replicas(replicas), f)
+    }
+
+    /// Appends a stage with explicit cost metadata. A spec marked
+    /// stateful produces a stateful (never-replicated) stage instance.
+    pub fn stage_with<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        let stage: Box<dyn DynStage> = if spec.stateless {
+            Box::new(FnStage::new(spec.name.clone(), f))
+        } else {
+            Box::new(StatefulFnStage::new(spec.name.clone(), f))
+        };
+        self.stages.push(stage);
+        self.specs.push(spec);
+        self.retype()
+    }
+
+    /// Appends a stateful stage: it will never be replicated, and
+    /// migrating it costs `spec.state_bytes` of transfer. The closure
+    /// needs no `Clone` bound.
+    pub fn stateful_stage<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + 'static,
+    {
+        let spec = if spec.stateless {
+            spec.with_state(0)
+        } else {
+            spec
+        };
+        self.stages
+            .push(Box::new(StatefulFnStage::new(spec.name.clone(), f)));
+        self.specs.push(spec);
+        self.retype()
+    }
+
+    fn retype<Out: Send + 'static>(self) -> PipelineBuilder<In, Out> {
+        PipelineBuilder {
+            specs: self.specs,
+            stages: self.stages,
+            input_bytes: self.input_bytes,
+            source: self.source,
+            sink: self.sink,
+            policy: self.policy,
+            arrivals: self.arrivals,
+            baseline: self.baseline,
+            feed: self.feed,
+            _types: PhantomData,
+        }
+    }
+
+    /// Validates and finalises the pipeline. See the module docs (and
+    /// [`adapipe_runtime::session`]) for the full rule set.
+    pub fn build(self) -> Result<Pipeline<In, Cur>, BuildError> {
+        let names: Vec<&str> = self.specs.iter().map(|s| s.name.as_str()).collect();
+        session::validate_stage_names(&names)?;
+        for spec in &self.specs {
+            session::validate_replicas(&spec.name, spec.stateless, spec.max_replicas)?;
+        }
+        let session = if self.baseline {
+            Session::baseline(self.policy, self.arrivals)?
+        } else {
+            Session::new(self.policy, self.arrivals)?
+        };
+        let mut spec = PipelineSpec::new(self.specs);
+        spec.input_bytes = self.input_bytes;
+        spec.source = self.source;
+        spec.sink = self.sink;
+        Ok(Pipeline {
+            spec,
+            stages: self.stages,
+            session,
+            feed: self.feed,
+            _types: PhantomData,
+        })
+    }
+}

@@ -6,35 +6,82 @@
 //! heterogeneous, dynamically loaded processors and **re-maps the
 //! running pipeline** as resource availability changes.
 //!
-//! This facade crate re-exports the whole workspace:
+//! This facade crate re-exports the whole workspace and adds the
+//! unified, backend-agnostic [`api`]:
 //!
 //! | Crate | Role |
 //! |---|---|
 //! | [`gridsim`] | deterministic discrete-event grid substrate |
 //! | [`monitor`] | NWS-style measurement + forecasting |
 //! | [`mapper`] | throughput model + mapping optimisers |
-//! | [`runtime`] | backend-agnostic adaptive runtime: routing table, adaptation loop, controller, policies, reports |
-//! | [`core`] | the skeleton: stages, specs, pipelines, simulation backend |
+//! | [`runtime`] | backend-agnostic adaptive runtime: routing table, adaptation loop, controller, policies, reports, sessions |
+//! | [`core`] | the skeleton: stages, specs, and the simulation backend |
 //! | [`engine`] | threaded backend with synthetic heterogeneity |
 //! | [`workloads`] | cost models, imaging & signal pipelines, scenarios |
 //!
-//! Both execution backends sit under the shared [`runtime`] layer (see
-//! `README.md` for the diagram and a "writing a new backend" guide).
+//! Both execution backends sit under the shared [`runtime`] layer and
+//! behind the one [`api::Pipeline`] surface (see `README.md` for the
+//! diagram and a "writing a new backend" guide).
 //!
 //! ## Quickstart
+//!
+//! One program, any backend: declare stages (with their replication
+//! properties), a policy, and an arrival process; `build()` validates;
+//! `run()` executes on the backend you hand it.
 //!
 //! ```
 //! use adapipe::prelude::*;
 //!
-//! // A 3-stage pipeline on a 3-node grid, simulated.
 //! let grid = testbed_small3();
-//! let spec = PipelineSpec::balanced(3, 1.0, 0);
-//! let report = sim_run(&grid, &spec, &SimConfig { items: 100, ..SimConfig::default() });
+//! let pipeline = Pipeline::<u64>::builder()
+//!     .stage("parse", |x: u64| x + 1)
+//!     .stage_replicated("transform", |x: u64| x * 2, 2)
+//!     .stage("emit", |x: u64| x)
+//!     .policy(Policy::periodic_default())
+//!     .feed(|i| i)
+//!     .build()
+//!     .expect("a valid pipeline");
+//!
+//! // Simulated on a 3-node grid…
+//! let report = pipeline
+//!     .run(Backend::Sim(&grid), RunConfig { items: 100, ..RunConfig::default() })
+//!     .expect("sim run")
+//!     .report;
 //! assert_eq!(report.completed, 100);
+//!
+//! // …or for real, on threads (same program, same report shape):
+//! let pipeline = Pipeline::<u64>::builder()
+//!     .stage("parse", |x: u64| x + 1)
+//!     .stage_replicated("transform", |x: u64| x * 2, 2)
+//!     .stage("emit", |x: u64| x)
+//!     .feed(|i| i)
+//!     .build()
+//!     .expect("a valid pipeline");
+//! let handle = pipeline
+//!     .run(
+//!         Backend::Threads(vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]),
+//!         RunConfig { items: 10, ..RunConfig::default() },
+//!     )
+//!     .expect("threaded run");
+//! assert_eq!(handle.outputs, (0..10).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+//! ```
+//!
+//! Invalid declarations fail at `build()` with a typed error:
+//!
+//! ```
+//! use adapipe::prelude::*;
+//!
+//! let err = Pipeline::<u64>::builder()
+//!     .stage_replicated("hot", |x: u64| x, 0) // zero replicas
+//!     .build()
+//!     .unwrap_err();
+//! assert!(matches!(err, BuildError::ZeroReplicas { .. }));
 //! ```
 //!
 //! See `examples/` for runnable programs and `crates/bench` for the
 //! experiment reproduction harness.
+
+pub mod api;
 
 pub use adapipe_core as core;
 pub use adapipe_engine as engine;
@@ -45,8 +92,14 @@ pub use adapipe_runtime as runtime;
 pub use adapipe_workloads as workloads;
 
 /// One glob import for applications: brings in the preludes of every
-/// sub-crate.
+/// sub-crate plus the unified [`api`] surface. The `Pipeline` and
+/// `PipelineBuilder` names resolve to the unified API; the engine-level
+/// builder remains at [`core::pipeline`].
 pub mod prelude {
+    pub use crate::api::{
+        ArrivalProcess, Backend, BuildError, Pipeline, PipelineBuilder, RunConfig, RunHandle,
+        RunHooks,
+    };
     pub use adapipe_core::prelude::*;
     pub use adapipe_engine::prelude::*;
     pub use adapipe_gridsim::prelude::*;
@@ -54,3 +107,9 @@ pub mod prelude {
     pub use adapipe_monitor::prelude::*;
     pub use adapipe_workloads::prelude::*;
 }
+
+// Compile-and-run the README's code blocks as doctests so the quickstart
+// can never drift from the API again.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;

@@ -5,6 +5,7 @@
 //! forecast aliasing against oscillating load, cold-start
 //! over-extrapolation, and re-mapping churn.
 
+use adapipe::core::simengine::run as sim_run;
 use adapipe::prelude::*;
 
 /// Two of four nodes oscillate 1.0 ↔ 0.1 with a period near the

@@ -1,8 +1,10 @@
-//! Cross-crate integration: the threaded engine runs the real domain
-//! pipelines (imaging, signal) correctly, including under adaptation.
+//! Cross-crate integration: the threaded backend runs the real domain
+//! pipelines (imaging, signal) correctly, including under adaptation —
+//! all through the unified `Pipeline` API.
 
 use adapipe::prelude::*;
-use adapipe::workloads::{imaging, signal};
+use adapipe::workloads::imaging::{self, Image};
+use adapipe::workloads::signal::{self, Frame};
 
 /// True if the host can actually run `k` threads in parallel. Wall-clock
 /// speedup assertions are gated on this: on an undersized host the OS
@@ -12,6 +14,10 @@ fn multicore(k: usize) -> bool {
     std::thread::available_parallelism()
         .map(|p| p.get() >= k)
         .unwrap_or(false)
+}
+
+fn free_vnodes(k: usize) -> Vec<VNodeSpec> {
+    (0..k).map(|i| VNodeSpec::free(format!("v{i}"))).collect()
 }
 
 #[test]
@@ -27,21 +33,31 @@ fn imaging_pipeline_produces_identical_results_on_any_mapping() {
         })
         .collect();
 
+    let run_on = |vnodes: Vec<VNodeSpec>, mapping: Mapping| {
+        PipelineBuilder::from_pipeline(imaging_pipeline(side))
+            .feed(move |i| Image::synthetic(side, side, i))
+            .build()
+            .expect("imaging pipeline builds")
+            .run(
+                Backend::Threads(vnodes),
+                RunConfig {
+                    items: n,
+                    initial_mapping: Some(mapping),
+                    ..RunConfig::default()
+                },
+            )
+            .expect("threaded run")
+    };
+
     // Spread mapping on 4 nodes.
-    let mut cfg = EngineConfig::new((0..4).map(|i| VNodeSpec::free(format!("v{i}"))).collect());
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[
-        NodeId(0),
-        NodeId(1),
-        NodeId(2),
-        NodeId(3),
-    ]));
-    let spread = run_pipeline(imaging_pipeline(side), imaging::frames(side, n), &cfg);
+    let spread = run_on(
+        free_vnodes(4),
+        Mapping::from_assignment(&[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]),
+    );
     assert_eq!(spread.outputs, expected);
 
     // Fully coalesced mapping must give byte-identical answers.
-    let mut cfg2 = EngineConfig::new(vec![VNodeSpec::free("solo")]);
-    cfg2.initial_mapping = Some(Mapping::all_on(NodeId(0), 4));
-    let coalesced = run_pipeline(imaging_pipeline(side), imaging::frames(side, n), &cfg2);
+    let coalesced = run_on(free_vnodes(1), Mapping::all_on(NodeId(0), 4));
     assert_eq!(coalesced.outputs, expected);
 }
 
@@ -70,21 +86,27 @@ fn signal_pipeline_outputs_are_stable_under_remapping() {
         VNodeSpec::free("v1").with_load(LoadModel::step(1.0, 0.05, SimTime::from_secs_f64(0.2))),
         VNodeSpec::free("v2"),
     ];
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(150),
-    };
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[
-        NodeId(0),
-        NodeId(1),
-        NodeId(2),
-        NodeId(0),
-    ]));
-    let outcome = run_pipeline(
-        signal_pipeline(frame_len),
-        signal::frames(frame_len, n),
-        &cfg,
-    );
+    let outcome = PipelineBuilder::from_pipeline(signal_pipeline(frame_len))
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(150),
+        })
+        .feed(move |i| Frame::synthetic(frame_len, i))
+        .build()
+        .expect("signal pipeline builds")
+        .run(
+            Backend::Threads(vnodes),
+            RunConfig {
+                items: n,
+                initial_mapping: Some(Mapping::from_assignment(&[
+                    NodeId(0),
+                    NodeId(1),
+                    NodeId(2),
+                    NodeId(0),
+                ])),
+                ..RunConfig::default()
+            },
+        )
+        .expect("threaded run");
     assert_eq!(outcome.report.completed, n);
     // Stateless numeric kernels: results must be bit-identical regardless
     // of which node computed them or whether a migration happened.
@@ -94,9 +116,10 @@ fn signal_pipeline_outputs_are_stable_under_remapping() {
 #[test]
 fn synthetic_twin_matches_sim_shape() {
     // The same middle-heavy spec, run (a) in simulation and (b) on the
-    // threaded engine with spin items; the *shape* (which mapping class
-    // wins) must agree: replication of the heavy stage helps both.
-    let spec = synthetic_spec(3, CostShape::MiddleHeavy, 1.0, 0, 0.0, 5);
+    // threaded backend with spin items — through the one unified
+    // program shape; the *shape* (which mapping class wins) must agree:
+    // replication of the heavy stage helps both.
+    let mk_spec = || synthetic_spec(3, CostShape::MiddleHeavy, 1.0, 0, 0.0, 5);
 
     // (a) simulation on 4 free nodes.
     let grid = {
@@ -111,24 +134,23 @@ fn synthetic_twin_matches_sim_shape() {
         Placement::replicated(vec![NodeId(1), NodeId(3)]),
         Placement::single(NodeId(2)),
     ]);
-    let sim_narrow = sim_run(
-        &grid,
-        &spec,
-        &SimConfig {
-            items: 200,
-            initial_mapping: Some(narrow.clone()),
-            ..SimConfig::default()
-        },
-    );
-    let sim_wide = sim_run(
-        &grid,
-        &spec,
-        &SimConfig {
-            items: 200,
-            initial_mapping: Some(wide.clone()),
-            ..SimConfig::default()
-        },
-    );
+    let sim_with = |mapping: Mapping| {
+        PipelineBuilder::from_spec(mk_spec())
+            .build()
+            .expect("sim twin builds")
+            .run(
+                Backend::Sim(&grid),
+                RunConfig {
+                    items: 200,
+                    initial_mapping: Some(mapping),
+                    ..RunConfig::default()
+                },
+            )
+            .expect("sim run")
+            .report
+    };
+    let sim_narrow = sim_with(narrow.clone());
+    let sim_wide = sim_with(wide.clone());
     assert!(
         sim_wide.makespan.as_secs_f64() < sim_narrow.makespan.as_secs_f64() * 0.75,
         "sim: replication must clearly win ({} vs {})",
@@ -136,23 +158,27 @@ fn synthetic_twin_matches_sim_shape() {
         sim_narrow.makespan
     );
 
-    // (b) threaded engine, 2 ms work units.
+    // (b) threaded backend, 2 ms work units.
     let items = 120u64;
-    let mk_cfg = |mapping: Mapping| {
-        let mut cfg = EngineConfig::new((0..4).map(|i| VNodeSpec::free(format!("v{i}"))).collect());
-        cfg.initial_mapping = Some(mapping);
-        cfg
+    let eng_with = |mapping: Mapping| {
+        let spec = mk_spec();
+        let feed_items = synth_items(&spec, items, 0.002);
+        PipelineBuilder::from_pipeline(synth_pipeline(&spec))
+            .feed(move |i| feed_items[i as usize].clone())
+            .build()
+            .expect("threaded twin builds")
+            .run(
+                Backend::Threads(free_vnodes(4)),
+                RunConfig {
+                    items,
+                    initial_mapping: Some(mapping),
+                    ..RunConfig::default()
+                },
+            )
+            .expect("threaded run")
     };
-    let eng_narrow = run_pipeline(
-        synth_pipeline(&spec),
-        synth_items(&spec, items, 0.002),
-        &mk_cfg(narrow),
-    );
-    let eng_wide = run_pipeline(
-        synth_pipeline(&spec),
-        synth_items(&spec, items, 0.002),
-        &mk_cfg(wide),
-    );
+    let eng_narrow = eng_with(narrow);
+    let eng_wide = eng_with(wide);
     assert_eq!(eng_narrow.report.completed, items);
     assert_eq!(eng_wide.report.completed, items);
     if multicore(5) {

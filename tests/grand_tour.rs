@@ -1,9 +1,31 @@
 //! The grand tour: one scenario exercising every subsystem together —
 //! domain workload cost shape, heterogeneous grid, background load,
 //! fault injection, adaptive control with all stability mechanisms, and
-//! report plumbing (timeline, latencies, stage metrics, events).
+//! report plumbing (timeline, latencies, stage metrics, events) — all
+//! through the unified `Pipeline` API.
 
 use adapipe::prelude::*;
+
+/// The tour's pipeline spec: the imaging pipeline's cost shape,
+/// jittered per item, with a stateful final stage carrying 8 MB of
+/// state.
+fn tour_spec(seed: u64) -> PipelineSpec {
+    let imaging_profile = imaging_pipeline(96).spec().profile();
+    let mut stages: Vec<StageSpec> = imaging_profile
+        .stage_work
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            StageSpec::balanced(format!("img{i}"), w, imaging_profile.boundary_bytes[i + 1])
+                .with_work(Box::new(UniformWork::new(w, 0.25, seed + i as u64)))
+        })
+        .collect();
+    let last = stages.len() - 1;
+    stages[last] = StageSpec::balanced("collect", 0.1, 8).with_state(8 << 20);
+    let mut spec = PipelineSpec::new(stages);
+    spec.input_bytes = imaging_profile.boundary_bytes[0];
+    spec
+}
 
 #[test]
 fn everything_at_once() {
@@ -21,35 +43,49 @@ fn everything_at_once() {
         .crash(NodeId(4), SimTime::from_secs_f64(150.0))
         .apply(&mut grid);
 
-    // Workload: the imaging pipeline's cost shape, jittered per item,
-    // with a stateful final stage carrying 8 MB of state.
-    let imaging_profile = imaging_pipeline(96).spec().profile();
-    let mut stages: Vec<StageSpec> = imaging_profile
-        .stage_work
-        .iter()
-        .enumerate()
-        .map(|(i, &w)| {
-            StageSpec::balanced(format!("img{i}"), w, imaging_profile.boundary_bytes[i + 1])
-                .with_work(Box::new(UniformWork::new(w, 0.25, seed + i as u64)))
-        })
-        .collect();
-    let last = stages.len() - 1;
-    stages[last] = StageSpec::balanced("collect", 0.1, 8).with_state(8 << 20);
-    let mut spec = PipelineSpec::new(stages);
-    spec.input_bytes = imaging_profile.boundary_bytes[0];
-
     let items = 800u64;
-    let mk = |policy| SimConfig {
+    let arrivals = ArrivalProcess::Poisson { rate: 2.0, seed };
+    let cfg = || RunConfig {
         items,
-        arrivals: ArrivalProcess::Poisson { rate: 2.0, seed },
-        policy,
         observation_noise: 0.05,
         noise_seed: seed,
-        ..SimConfig::default()
+        ..RunConfig::default()
     };
 
-    let static_r = sim_run(&grid, &spec, &mk(Policy::Static));
-    let adaptive_r = sim_run(&grid, &spec, &mk(Policy::periodic_default()));
+    // The adaptive run, through the unified API.
+    let run_adaptive = || {
+        PipelineBuilder::from_spec(tour_spec(seed))
+            .policy(Policy::periodic_default())
+            .arrivals(arrivals)
+            .build()
+            .expect("tour pipeline builds")
+            .run(Backend::Sim(&grid), cfg())
+            .expect("sim run")
+            .report
+    };
+    let adaptive_r = run_adaptive();
+
+    // The static baseline pairs Policy::Static with a Poisson stream —
+    // a combination the unified builder rejects unless the scenario
+    // *acknowledges* it as a deliberate baseline. This is exactly such
+    // a baseline, so: rejected plain, accepted with as_baseline().
+    assert!(matches!(
+        PipelineBuilder::from_spec(tour_spec(seed))
+            .policy(Policy::Static)
+            .arrivals(arrivals)
+            .build()
+            .unwrap_err(),
+        BuildError::PolicyArrivalsMismatch { .. }
+    ));
+    let static_r = PipelineBuilder::from_spec(tour_spec(seed))
+        .policy(Policy::Static)
+        .arrivals(arrivals)
+        .as_baseline()
+        .build()
+        .expect("acknowledged baseline builds")
+        .run(Backend::Sim(&grid), cfg())
+        .expect("sim run")
+        .report;
 
     // Adaptive must complete everything despite the crash; static may
     // strand items on the dead node (if it mapped anything there).
@@ -86,7 +122,7 @@ fn everything_at_once() {
     assert!(adaptive_r.planning_cycles > 0);
     // Every stage processed every item exactly once (stage metrics count
     // tasks, which can exceed items only via... nothing: no retries).
-    for s in 0..spec.len() {
+    for s in 0..adaptive_r.stage_metrics.len() {
         assert_eq!(
             adaptive_r.stage_metrics.stage(s).count(),
             items,
@@ -99,8 +135,8 @@ fn everything_at_once() {
         "crashed node still mapped: {}",
         adaptive_r.final_mapping
     );
-    // Determinism of the whole tour.
-    let again = sim_run(&grid, &spec, &mk(Policy::periodic_default()));
+    // Determinism of the whole tour, through the unified API.
+    let again = run_adaptive();
     assert_eq!(again.makespan, adaptive_r.makespan);
     assert_eq!(again.adaptation_count(), adaptive_r.adaptation_count());
 }

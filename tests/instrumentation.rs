@@ -2,6 +2,9 @@
 //! service times must agree with the physics it simulates — the property
 //! that makes "plan from your own measurements" sound at all.
 
+use adapipe::core::pipeline::PipelineBuilder;
+use adapipe::core::simengine::run as sim_run;
+use adapipe::engine::exec::execute as run_pipeline;
 use adapipe::prelude::*;
 
 #[test]

@@ -2,6 +2,7 @@
 //! — oracle ≥ adaptive ≥ static under dynamic load — hold end-to-end in
 //! simulation, across seeds and scenarios.
 
+use adapipe::core::simengine::run as sim_run;
 use adapipe::prelude::*;
 
 fn secs(s: f64) -> SimTime {

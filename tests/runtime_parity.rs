@@ -1,10 +1,10 @@
-//! Cross-engine parity: the same spec + policy + seed must behave the
-//! same on both execution backends, because both now run the *same*
-//! adaptive runtime (`adapipe-runtime`'s routing table and adaptation
-//! loop). These tests drive one scenario — a node collapsing shortly
-//! after launch — through the discrete-event simulation backend and the
-//! threaded vnode backend and compare the outcomes, plus
-//! adaptation-behaviour checks on the threaded backend alone.
+//! Cross-engine parity through the *unified* API: the same built
+//! pipeline (spec + policy + seed) must behave the same on both
+//! execution backends, because both run the same adaptive runtime and
+//! both now sit behind one `Pipeline::builder()` surface. One scenario —
+//! a node collapsing shortly after launch — is written exactly once and
+//! parameterised by [`Backend`]; the deprecated `sim_run`/`run_pipeline`
+//! shims are exercised too and must agree with the builder path.
 
 use adapipe::prelude::*;
 use std::time::Duration;
@@ -25,8 +25,39 @@ fn stage_spec(name: &str) -> StageSpec {
     StageSpec::balanced(name, STAGE_SECS, 8)
 }
 
-/// The scenario on the simulation backend.
-fn run_sim(policy: Policy, noise_seed: u64) -> RunReport {
+/// The one scenario program: two stages that spin for their declared
+/// work (the threaded backend runs them; the simulator runs the
+/// metadata), under `policy`, fed by the item index.
+fn scenario(policy: Policy) -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage_with(stage_spec("a"), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .stage_with(stage_spec("b"), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .policy(policy)
+        .feed(|i| i)
+        .build()
+        .expect("scenario builds")
+}
+
+/// The run configuration, identical for both backends.
+fn scenario_cfg(noise_seed: u64) -> RunConfig {
+    RunConfig {
+        items: ITEMS,
+        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
+        observation_noise: 0.05,
+        noise_seed,
+        timeline_bucket: Some(SimDuration::from_millis(500)),
+        ..RunConfig::default()
+    }
+}
+
+/// The simulated grid twin of the vnode box.
+fn scenario_grid() -> GridSpec {
     let nodes = (0..3)
         .map(|i| {
             let load = if i == 1 {
@@ -37,49 +68,27 @@ fn run_sim(policy: Policy, noise_seed: u64) -> RunReport {
             Node::new(NodeSpec::new(format!("n{i}"), 1.0, 1), load)
         })
         .collect();
-    let grid = GridSpec::new(nodes, Topology::uniform(3, LinkSpec::local()));
-    let spec = PipelineSpec::new(vec![stage_spec("a"), stage_spec("b")]);
-    let cfg = SimConfig {
-        items: ITEMS,
-        policy,
-        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
-        observation_noise: 0.05,
-        noise_seed,
-        timeline_bucket: SimDuration::from_millis(500),
-        ..SimConfig::default()
-    };
-    sim_run(&grid, &spec, &cfg)
+    GridSpec::new(nodes, Topology::uniform(3, LinkSpec::local()))
 }
 
-/// The same scenario on the threaded backend.
-fn run_threaded(policy: Policy, noise_seed: u64) -> EngineOutcome<u64> {
-    let pipeline = PipelineBuilder::<u64>::new()
-        .stage(stage_spec("a"), |x: u64| {
-            spin_for(Duration::from_secs_f64(STAGE_SECS));
-            x + 1
-        })
-        .stage(stage_spec("b"), |x: u64| {
-            spin_for(Duration::from_secs_f64(STAGE_SECS));
-            x + 1
-        })
-        .build();
-    let vnodes = vec![
+fn scenario_vnodes() -> Vec<VNodeSpec> {
+    vec![
         VNodeSpec::free("v0"),
         VNodeSpec::free("v1").with_load(collapse()),
         VNodeSpec::free("v2"),
-    ];
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
-    cfg.policy = policy;
-    cfg.observation_noise = 0.05;
-    cfg.noise_seed = noise_seed;
-    run_pipeline(pipeline, (0..ITEMS).collect(), &cfg)
+    ]
 }
 
 /// Asserts the two backends agree on the observable adaptive behaviour.
 fn assert_parity(policy: Policy) {
-    let sim = run_sim(policy, 7);
-    let threaded = run_threaded(policy, 7);
+    let grid = scenario_grid();
+    let sim = scenario(policy)
+        .run(Backend::Sim(&grid), scenario_cfg(7))
+        .expect("sim run")
+        .report;
+    let threaded = scenario(policy)
+        .run(Backend::Threads(scenario_vnodes()), scenario_cfg(7))
+        .expect("threaded run");
 
     // Same completed-item counts on both backends.
     assert_eq!(sim.completed, ITEMS, "sim backend lost items");
@@ -101,6 +110,7 @@ fn assert_parity(policy: Policy) {
     );
     for report in [&sim, &threaded.report] {
         assert!(report.planning_cycles >= 1);
+        assert_eq!(report.stage_metrics.len(), 2, "one stats slot per stage");
         for event in &report.adaptations {
             assert!(!event.migrated_stages.is_empty());
             assert!(event.predicted_speedup > 1.0);
@@ -127,45 +137,114 @@ fn parity_under_reactive_policy() {
     });
 }
 
-// --- adaptation behaviour on the threaded backend alone ---------------
-// (Moved here from the engine's unit tests: they exercise the shared
-// runtime's policies, which now live above the engine.)
+// --- deprecated shims --------------------------------------------------
+// The legacy entry points must keep compiling, emit deprecation
+// warnings (suppressed here), and produce the same observable outcome
+// as the builder path they delegate to.
 
-fn spin_stage(name: &str, ms: u64) -> (StageSpec, impl FnMut(u64) -> u64 + Send + Clone) {
-    (
-        StageSpec::balanced(name, ms as f64 / 1000.0, 8),
-        move |x: u64| {
-            spin_for(Duration::from_millis(ms));
-            x + 1
-        },
-    )
+#[test]
+#[allow(deprecated)]
+fn deprecated_sim_shim_matches_builder_path() {
+    let grid = scenario_grid();
+    let policy = Policy::Periodic {
+        interval: SimDuration::from_millis(200),
+    };
+    let via_builder = scenario(policy)
+        .run(Backend::Sim(&grid), scenario_cfg(7))
+        .expect("builder path")
+        .report;
+
+    let spec = PipelineSpec::new(vec![stage_spec("a"), stage_spec("b")]);
+    let cfg = SimConfig {
+        items: ITEMS,
+        policy,
+        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
+        observation_noise: 0.05,
+        noise_seed: 7,
+        timeline_bucket: SimDuration::from_millis(500),
+        ..SimConfig::default()
+    };
+    let via_shim = sim_run(&grid, &spec, &cfg);
+
+    // The simulator is deterministic, so the shim must agree exactly.
+    assert_eq!(via_shim.completed, via_builder.completed);
+    assert_eq!(via_shim.makespan, via_builder.makespan);
+    assert_eq!(via_shim.adaptation_count(), via_builder.adaptation_count());
+    assert_eq!(via_shim.planning_cycles, via_builder.planning_cycles);
+    assert_eq!(via_shim.final_mapping, via_builder.final_mapping);
 }
 
-fn free_nodes(k: usize) -> Vec<VNodeSpec> {
-    (0..k).map(|i| VNodeSpec::free(format!("v{i}"))).collect()
+#[test]
+#[allow(deprecated)]
+fn deprecated_threaded_shim_still_runs() {
+    use adapipe::core::pipeline::PipelineBuilder as CoreBuilder;
+    let pipeline = CoreBuilder::<u64>::new()
+        .stage(stage_spec("a"), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .stage(stage_spec("b"), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .build();
+    let mut cfg = EngineConfig::new(scenario_vnodes());
+    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+    cfg.policy = Policy::Periodic {
+        interval: SimDuration::from_millis(200),
+    };
+    let outcome = run_pipeline(pipeline, (0..ITEMS).collect(), &cfg);
+    assert_eq!(outcome.report.completed, ITEMS);
+    assert!(outcome.report.adaptation_count() >= 1);
+    let expect: Vec<u64> = (0..ITEMS).map(|x| x + 2).collect();
+    assert_eq!(outcome.outputs, expect);
+}
+
+// --- adaptation behaviour on the threaded backend alone ---------------
+// (These exercise the shared runtime's policies through the unified
+// API; the scenarios need real threads because they assert on wall
+// clocks and real outputs.)
+
+fn spin_scenario(policy: Policy, ms: u64) -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage_with(
+            StageSpec::balanced("a", ms as f64 / 1000.0, 8),
+            move |x: u64| {
+                spin_for(Duration::from_millis(ms));
+                x + 1
+            },
+        )
+        .stage_with(
+            StageSpec::balanced("b", ms as f64 / 1000.0, 8),
+            move |x: u64| {
+                spin_for(Duration::from_millis(ms));
+                x + 1
+            },
+        )
+        .policy(policy)
+        .feed(|i| i)
+        .build()
+        .expect("spin scenario builds")
 }
 
 #[test]
 fn adaptive_engine_remaps_away_from_loaded_node() {
     // Node 1 collapses to 5 % availability 300 ms into the run; the
     // periodic controller must move its stage elsewhere.
-    let (s0, f0) = spin_stage("a", 4);
-    let (s1, f1) = spin_stage("b", 4);
-    let pipeline = PipelineBuilder::<u64>::new()
-        .stage(s0, f0)
-        .stage(s1, f1)
-        .build();
-    let vnodes = vec![
-        VNodeSpec::free("v0"),
-        VNodeSpec::free("v1").with_load(collapse()),
-        VNodeSpec::free("v2"),
-    ];
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(200),
+    let pipeline = spin_scenario(
+        Policy::Periodic {
+            interval: SimDuration::from_millis(200),
+        },
+        4,
+    );
+    let cfg = RunConfig {
+        items: 150,
+        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
+        ..RunConfig::default()
     };
-    let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+    let outcome = pipeline
+        .run(Backend::Threads(scenario_vnodes()), cfg)
+        .expect("threaded run");
     assert_eq!(outcome.report.completed, 150);
     assert!(
         outcome.report.adaptation_count() >= 1,
@@ -187,24 +266,21 @@ fn adaptive_engine_remaps_away_from_loaded_node() {
 fn reactive_policy_recovers_on_engine() {
     // Same scenario as the periodic test, but the reactive policy only
     // plans when observed throughput degrades.
-    let (s0, f0) = spin_stage("a", 4);
-    let (s1, f1) = spin_stage("b", 4);
-    let pipeline = PipelineBuilder::<u64>::new()
-        .stage(s0, f0)
-        .stage(s1, f1)
-        .build();
-    let vnodes = vec![
-        VNodeSpec::free("v0"),
-        VNodeSpec::free("v1").with_load(collapse()),
-        VNodeSpec::free("v2"),
-    ];
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
-    cfg.policy = Policy::Reactive {
-        interval: SimDuration::from_millis(200),
-        degradation: 0.6,
+    let pipeline = spin_scenario(
+        Policy::Reactive {
+            interval: SimDuration::from_millis(200),
+            degradation: 0.6,
+        },
+        4,
+    );
+    let cfg = RunConfig {
+        items: 200,
+        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
+        ..RunConfig::default()
     };
-    let outcome = run_pipeline(pipeline, (0..200).collect(), &cfg);
+    let outcome = pipeline
+        .run(Backend::Threads(scenario_vnodes()), cfg)
+        .expect("threaded run");
     assert_eq!(outcome.report.completed, 200);
     assert!(
         outcome.report.adaptation_count() >= 1,
@@ -216,18 +292,29 @@ fn reactive_policy_recovers_on_engine() {
 
 #[test]
 fn oracle_policy_runs_on_engine() {
-    let (s0, f0) = spin_stage("a", 3);
-    let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+    let pipeline = Pipeline::<u64>::builder()
+        .stage_with(StageSpec::balanced("a", 0.003, 8), |x: u64| {
+            spin_for(Duration::from_millis(3));
+            x + 1
+        })
+        .policy(Policy::Oracle {
+            interval: SimDuration::from_millis(150),
+        })
+        .feed(|i| i)
+        .build()
+        .expect("oracle scenario builds");
     let vnodes = vec![
         VNodeSpec::free("v0").with_load(LoadModel::step(1.0, 0.05, SimTime::from_secs_f64(0.2))),
         VNodeSpec::free("v1"),
     ];
-    let mut cfg = EngineConfig::new(vnodes);
-    cfg.initial_mapping = Some(Mapping::all_on(n(0), 1));
-    cfg.policy = Policy::Oracle {
-        interval: SimDuration::from_millis(150),
+    let cfg = RunConfig {
+        items: 150,
+        initial_mapping: Some(Mapping::all_on(n(0), 1)),
+        ..RunConfig::default()
     };
-    let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+    let outcome = pipeline
+        .run(Backend::Threads(vnodes), cfg)
+        .expect("threaded run");
     assert_eq!(outcome.report.completed, 150);
     assert!(outcome.report.adaptation_count() >= 1);
     assert!(!outcome.report.final_mapping.placement(0).contains(n(0)));
@@ -235,30 +322,52 @@ fn oracle_policy_runs_on_engine() {
 
 #[test]
 fn observation_noise_on_engine_is_tolerated() {
-    let (s0, f0) = spin_stage("a", 2);
-    let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
-    let mut cfg = EngineConfig::new(free_nodes(2));
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(150),
+    let pipeline = spin_scenario(
+        Policy::Periodic {
+            interval: SimDuration::from_millis(150),
+        },
+        2,
+    );
+    let cfg = RunConfig {
+        items: 100,
+        observation_noise: 0.10,
+        ..RunConfig::default()
     };
-    cfg.observation_noise = 0.10;
-    let outcome = run_pipeline(pipeline, (0..100).collect(), &cfg);
+    let outcome = pipeline
+        .run(
+            Backend::Threads(vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]),
+            cfg,
+        )
+        .expect("threaded run");
     assert_eq!(outcome.report.completed, 100);
-    let expect: Vec<u64> = (0..100).map(|x| x + 1).collect();
+    let expect: Vec<u64> = (0..100).map(|x| x + 2).collect();
     assert_eq!(outcome.outputs, expect);
 }
 
 #[test]
 fn planning_cycles_are_reported() {
-    let (s0, f0) = spin_stage("a", 2);
-    let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
-    let mut cfg = EngineConfig::new(free_nodes(2));
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(100),
-    };
-    // Pace the input so the run outlives the 2-tick warm-up by a
-    // comfortable margin.
-    cfg.pacing_rate = Some(200.0); // 150 items → ≥ 750 ms
-    let outcome = run_pipeline(pipeline, (0..150).collect(), &cfg);
+    // Pace the input (through the unified arrivals declaration) so the
+    // run outlives the 2-tick warm-up by a comfortable margin.
+    let pipeline = Pipeline::<u64>::builder()
+        .stage_with(StageSpec::balanced("a", 0.002, 8), |x: u64| {
+            spin_for(Duration::from_millis(2));
+            x + 1
+        })
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        })
+        .arrivals(ArrivalProcess::Uniform { rate: 200.0 }) // 150 items → ≥ 750 ms
+        .feed(|i| i)
+        .build()
+        .expect("paced scenario builds");
+    let outcome = pipeline
+        .run(
+            Backend::Threads(vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]),
+            RunConfig {
+                items: 150,
+                ..RunConfig::default()
+            },
+        )
+        .expect("threaded run");
     assert!(outcome.report.planning_cycles >= 1);
 }
