@@ -1,0 +1,122 @@
+//! Streaming-session overhead: the live `spawn`/`push`/`drain` path
+//! must deliver throughput within a few percent of batch `run()` —
+//! batch is now sugar over the session, so this pair bounds the cost of
+//! the session surface itself (per-push credit checks, the output
+//! channel, resequencing) at 1k and 10k items on both backends.
+//!
+//! Reading the pairs: `threads_session_push` vs `threads_batch_run` is
+//! the apples-to-apples comparison (identical work, different driving
+//! surface). The `sim_session_push` leg does strictly *more* than its
+//! batch twin — a session executes the real stage functions on every
+//! pushed item and materialises typed outputs, which the metadata-only
+//! sim batch path never did — so a modest gap there is the price of
+//! the new capability, not session-surface tax.
+//!
+//! `cargo bench -p adapipe-bench --bench streaming`
+//!
+//! Regenerate the committed baseline with:
+//! `ADAPIPE_BENCH_JSON=$PWD/BENCH_streaming.json \
+//!     cargo bench -p adapipe-bench --bench streaming`
+
+use adapipe::api::{Backend, Pipeline, PipelineBuilder, RunConfig};
+use adapipe_core::spec::PipelineSpec;
+use adapipe_engine::vnode::VNodeSpec;
+use adapipe_gridsim::grid::testbed_small3;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// A trivial 2-stage pipeline: the work is the plumbing, so the session
+/// tax shows up loudest.
+fn threads_pipeline() -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage("inc", |x: u64| x + 1)
+        .stage("double", |x: u64| x * 2)
+        .feed(|i| i)
+        .build()
+        .expect("valid pipeline")
+}
+
+fn vnodes() -> Vec<VNodeSpec> {
+    vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]
+}
+
+fn cfg(items: u64) -> RunConfig {
+    RunConfig {
+        items,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streaming");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for items in [1_000u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("threads_batch_run", items),
+            &items,
+            |b, &items| {
+                b.iter(|| {
+                    threads_pipeline()
+                        .run(Backend::Threads(vnodes()), cfg(items))
+                        .expect("batch run")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("threads_session_push", items),
+            &items,
+            |b, &items| {
+                b.iter(|| {
+                    let mut session = threads_pipeline()
+                        .spawn(Backend::Threads(vnodes()), cfg(items))
+                        .expect("spawn");
+                    for i in 0..items {
+                        session.push(i);
+                    }
+                    session.drain()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sim_batch_run", items),
+            &items,
+            |b, &items| {
+                let grid = testbed_small3();
+                b.iter(|| {
+                    PipelineBuilder::from_spec(PipelineSpec::balanced(3, 1.0, 10_000))
+                        .build()
+                        .expect("valid pipeline")
+                        .run(Backend::Sim(&grid), cfg(items))
+                        .expect("sim run")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sim_session_push", items),
+            &items,
+            |b, &items| {
+                let grid = testbed_small3();
+                b.iter(|| {
+                    let mut session =
+                        PipelineBuilder::from_spec(PipelineSpec::balanced(3, 1.0, 10_000))
+                            .build()
+                            .expect("valid pipeline")
+                            .spawn(Backend::Sim(&grid), cfg(items))
+                            .expect("spawn");
+                    for i in 0..items {
+                        session.push(i);
+                    }
+                    session.drain()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

@@ -18,6 +18,18 @@
 //! transfer + drain overhead); items already in transit towards an old
 //! host are forwarded on arrival. Stateful stages additionally block
 //! their new instance until the state arrives.
+//!
+//! ## Steppable execution
+//!
+//! The event loop is exposed as a cooperative [`SimStepper`]: a live
+//! session injects arrivals one at a time ([`SimStepper::push_at`]),
+//! advances the world event by event ([`SimStepper::step`]) or
+//! completion by completion ([`SimStepper::next_completion`]), and
+//! closes the stream when the caller says so. The batch [`run`] entry
+//! point is a thin wrapper — schedule every arrival up front, close,
+//! step to completion — that reproduces the pre-stepper event order
+//! exactly (arrivals first, then the control events), so batch results
+//! are bit-identical to the historical monolithic loop.
 
 use crate::spec::PipelineSpec;
 use adapipe_gridsim::event::EventQueue;
@@ -65,6 +77,9 @@ pub struct SimConfig {
     pub max_sim_time: SimDuration,
     /// Live observation callbacks (invoked at the simulated instant).
     pub hooks: adapipe_runtime::session::RunHooks,
+    /// In-flight steering flags (pause/resume/force re-map) shared with
+    /// a live session driving this run.
+    pub control: adapipe_runtime::session::SessionControl,
 }
 
 impl Default for SimConfig {
@@ -82,6 +97,7 @@ impl Default for SimConfig {
             link_contention: false,
             max_sim_time: SimDuration::from_secs(7 * 24 * 3600),
             hooks: adapipe_runtime::session::RunHooks::default(),
+            control: adapipe_runtime::session::SessionControl::default(),
         }
     }
 }
@@ -116,9 +132,18 @@ enum Ev {
 ///
 /// This is the simulation *backend* entry point; applications should
 /// prefer the unified `adapipe::api::Pipeline` builder, which delegates
-/// here via `Backend::Sim`.
+/// here via `Backend::Sim`. Batch execution is sugar over the
+/// [`SimStepper`]: every arrival is injected up front, the stream is
+/// closed, and the stepper runs to completion — the same event order
+/// the historical monolithic loop produced.
 pub fn run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
-    Sim::new(grid, spec, cfg).run()
+    let mut stepper = SimStepper::new(grid, spec.clone(), cfg);
+    for &at in &cfg.arrivals.schedule(cfg.items) {
+        stepper.push_at(at);
+    }
+    stepper.close();
+    while !stepper.all_done() && stepper.step() {}
+    stepper.finish()
 }
 
 /// Legacy entry point for simulated runs.
@@ -136,7 +161,7 @@ pub fn sim_run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunRepo
 /// sense it and commit re-mappings into it.
 struct SimWorld<'a> {
     grid: &'a GridSpec,
-    spec: &'a PipelineSpec,
+    spec: PipelineSpec,
     ns: usize,
     horizon: SimTime,
     link_contention: bool,
@@ -149,20 +174,56 @@ struct SimWorld<'a> {
     rr_exec: Vec<usize>,
     link_q: HashMap<(usize, usize), LinkQueue>,
 
-    arrival_time: Vec<SimTime>,
+    /// Arrival instant of every *in-flight* item (removed at
+    /// completion), so an open-ended session's footprint tracks the
+    /// in-flight window, not the stream length.
+    arrival_time: HashMap<u64, SimTime>,
     node_busy: Vec<SimDuration>,
     report: ReportBuilder,
     stage_metrics: crate::metrics::StageMetrics,
+    /// Completion log (item indices in completion order) a live session
+    /// drains through [`SimStepper::next_completion`]. Comparable in
+    /// footprint to the per-item latency samples the report keeps.
+    completed_log: VecDeque<u64>,
 }
 
-struct Sim<'a> {
+/// The cooperative, session-driven form of the simulation backend: the
+/// caller injects arrivals and advances the world explicitly, instead of
+/// handing the whole schedule over and blocking until it drains.
+///
+/// Lifecycle: [`SimStepper::push_at`] any number of items (their
+/// simulated arrival instants must be non-decreasing against the
+/// stepper's clock — past times clamp to *now*), interleaved with
+/// [`SimStepper::step`] / [`SimStepper::next_completion`]; then
+/// [`SimStepper::close`] to declare the stream complete and
+/// [`SimStepper::finish`] for the standard [`RunReport`].
+///
+/// Determinism: a given sequence of `push_at`/`step` calls replays
+/// exactly (the world is a pure function of its event insertions). The
+/// batch [`run`] wrapper inserts all arrivals before the first step, so
+/// it reproduces the historical event order bit for bit.
+pub struct SimStepper<'a> {
     world: SimWorld<'a>,
     routing: RwLock<RoutingTable>,
     aloop: AdaptationLoop,
+    /// Tick/Sample events are scheduled lazily at the first step so
+    /// batch arrivals keep their historical head position in the event
+    /// order.
+    control_scheduled: bool,
+    pushed: u64,
+    closed: bool,
+    /// Set once the event queue starved or the horizon was crossed:
+    /// no further event will ever fire.
+    exhausted: bool,
 }
 
-impl<'a> Sim<'a> {
-    fn new(grid: &'a GridSpec, spec: &'a PipelineSpec, cfg: &'a SimConfig) -> Self {
+impl<'a> SimStepper<'a> {
+    /// Creates a steppable world for `spec` on `grid` under `cfg`, with
+    /// no arrivals scheduled. `cfg.items` is only the planning hint for
+    /// remaining-work amortisation (the real stream length is declared
+    /// by [`SimStepper::close`]); `cfg.arrivals` is ignored — arrival
+    /// instants come from `push_at`.
+    pub fn new(grid: &'a GridSpec, spec: PipelineSpec, cfg: &SimConfig) -> Self {
         let profile = spec.profile();
         profile.validate();
         let np = grid.len();
@@ -199,13 +260,15 @@ impl<'a> Sim<'a> {
             observation_noise: cfg.observation_noise,
             noise_seed: cfg.noise_seed,
             hooks: cfg.hooks.clone(),
+            control: cfg.control.clone(),
         };
         let aloop = AdaptationLoop::new(runtime_cfg, &mapping, &launch_rates);
 
+        let ns = spec.len();
         let world = SimWorld {
             grid,
+            ns,
             spec,
-            ns: spec.len(),
             horizon: SimTime::ZERO + cfg.max_sim_time,
             link_contention: cfg.link_contention,
             events: EventQueue::new(),
@@ -215,89 +278,173 @@ impl<'a> Sim<'a> {
             free_cores: grid.node_ids().map(|id| grid.node(id).spec.cores).collect(),
             rr_exec: vec![0; np],
             link_q: HashMap::new(),
-            arrival_time: vec![SimTime::ZERO; cfg.items as usize],
+            arrival_time: HashMap::new(),
             node_busy: vec![SimDuration::ZERO; np],
-            report: ReportBuilder::new(cfg.timeline_bucket, cfg.items),
-            stage_metrics: crate::metrics::StageMetrics::new(spec.len()),
+            // The stream length is open until `close()`.
+            report: ReportBuilder::new(cfg.timeline_bucket, u64::MAX),
+            stage_metrics: crate::metrics::StageMetrics::new(ns),
+            completed_log: VecDeque::new(),
         };
 
-        let mut sim = Sim {
+        SimStepper {
             world,
             routing: RwLock::new(RoutingTable::with_selection(mapping, cfg.selection)),
             aloop,
-        };
-        for (item, &at) in cfg.arrivals.schedule(cfg.items).iter().enumerate() {
-            sim.world
-                .events
-                .schedule(at, Ev::Arrive { item: item as u64 });
+            control_scheduled: false,
+            pushed: 0,
+            closed: false,
+            exhausted: false,
         }
-        if let Some(interval) = sim.aloop.interval() {
-            sim.world
-                .events
-                .schedule(SimTime::ZERO + interval, Ev::Tick);
-            let sample_dt = sim.aloop.sample_dt().expect("interval implies samples");
-            sim.world
-                .events
-                .schedule(SimTime::ZERO + sample_dt, Ev::Sample);
-        }
-        sim
     }
 
-    fn run(self) -> RunReport {
-        let Sim {
-            mut world,
-            routing,
-            mut aloop,
-        } = self;
+    /// The stepper's current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.events.now()
+    }
 
-        let horizon = world.horizon;
-        while !world.report.all_done() {
-            let Some((now, ev)) = world.events.pop() else {
-                break; // starved: the report stays truncated
-            };
-            if now > horizon {
-                break;
+    /// Items injected so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Items that reached the sink so far.
+    pub fn completed(&self) -> u64 {
+        self.world.report.completed()
+    }
+
+    /// True once the stream is closed and every pushed item completed.
+    pub fn all_done(&self) -> bool {
+        self.world.report.all_done()
+    }
+
+    /// True once no further event can ever fire (queue starved or the
+    /// safety horizon was crossed) — the run is over, complete or not.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Injects the next item, arriving at simulated instant `at`
+    /// (clamped to the stepper's current time — the simulator cannot
+    /// rewrite history). Returns the item's sequence number.
+    ///
+    /// # Panics
+    /// Panics if the stream was already closed.
+    pub fn push_at(&mut self, at: SimTime) -> u64 {
+        assert!(!self.closed, "cannot push into a closed stream");
+        let item = self.pushed;
+        self.pushed += 1;
+        let at = at.max(self.world.events.now());
+        self.world.events.schedule(at, Ev::Arrive { item });
+        item
+    }
+
+    /// Declares the input stream complete: no further `push_at`, and
+    /// the expected item count becomes the number pushed (so
+    /// [`SimStepper::all_done`] and the report's `truncated` flag mean
+    /// what they say).
+    pub fn close(&mut self) {
+        self.closed = true;
+        self.world.report.set_expected(self.pushed);
+    }
+
+    /// Processes one event. Returns `false` — permanently — once the
+    /// event queue is starved or the next event lies beyond the safety
+    /// horizon.
+    pub fn step(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        // Control events enter the queue lazily at the first step so
+        // arrivals injected before any stepping (the batch wrapper)
+        // keep their historical head position in the event order.
+        if !self.control_scheduled {
+            self.control_scheduled = true;
+            if let Some(interval) = self.aloop.interval() {
+                let now = self.world.events.now();
+                self.world.events.schedule(now + interval, Ev::Tick);
+                let sample_dt = self.aloop.sample_dt().expect("interval implies samples");
+                self.world.events.schedule(now + sample_dt, Ev::Sample);
             }
-            world.now = now;
-            match ev {
-                Ev::Arrive { item } => {
-                    let table = routing.read().expect("routing lock poisoned");
-                    world.on_arrive(&table, item, now);
+        }
+        let Some((now, ev)) = self.world.events.pop() else {
+            self.exhausted = true; // starved: the report stays truncated
+            return false;
+        };
+        if now > self.world.horizon {
+            self.exhausted = true;
+            return false;
+        }
+        self.world.now = now;
+        match ev {
+            Ev::Arrive { item } => {
+                let table = self.routing.read().expect("routing lock poisoned");
+                self.world.on_arrive(&table, item, now);
+            }
+            Ev::StageIn { item, stage, node } => {
+                let table = self.routing.read().expect("routing lock poisoned");
+                self.world.on_stage_in(&table, item, stage, node, now);
+            }
+            Ev::Done {
+                item,
+                stage,
+                node,
+                started,
+            } => {
+                let table = self.routing.read().expect("routing lock poisoned");
+                self.world.on_done(&table, item, stage, node, started, now);
+            }
+            Ev::Retry { node } => {
+                let table = self.routing.read().expect("routing lock poisoned");
+                self.world.try_dispatch(&table, node, now);
+            }
+            Ev::Tick => {
+                let _ = self.aloop.tick(&mut self.world, &self.routing);
+                if !self.world.report.all_done() {
+                    let interval = self.aloop.interval().expect("tick implies interval");
+                    self.world.events.schedule(now + interval, Ev::Tick);
                 }
-                Ev::StageIn { item, stage, node } => {
-                    let table = routing.read().expect("routing lock poisoned");
-                    world.on_stage_in(&table, item, stage, node, now);
-                }
-                Ev::Done {
-                    item,
-                    stage,
-                    node,
-                    started,
-                } => {
-                    let table = routing.read().expect("routing lock poisoned");
-                    world.on_done(&table, item, stage, node, started, now);
-                }
-                Ev::Retry { node } => {
-                    let table = routing.read().expect("routing lock poisoned");
-                    world.try_dispatch(&table, node, now);
-                }
-                Ev::Tick => {
-                    let _ = aloop.tick(&mut world, &routing);
-                    if !world.report.all_done() {
-                        let interval = aloop.interval().expect("tick implies interval");
-                        world.events.schedule(now + interval, Ev::Tick);
-                    }
-                }
-                Ev::Sample => {
-                    aloop.sample(&world);
-                    if !world.report.all_done() {
-                        let sample_dt = aloop.sample_dt().expect("sample implies interval");
-                        world.events.schedule(now + sample_dt, Ev::Sample);
-                    }
+            }
+            Ev::Sample => {
+                self.aloop.sample(&self.world);
+                if !self.world.report.all_done() {
+                    let sample_dt = self.aloop.sample_dt().expect("sample implies interval");
+                    self.world.events.schedule(now + sample_dt, Ev::Sample);
                 }
             }
         }
+        true
+    }
 
+    /// Advances the world until one more item completes, returning its
+    /// sequence number — or `None` when nothing further can complete
+    /// (no item in flight, queue starved, or horizon crossed).
+    pub fn next_completion(&mut self) -> Option<u64> {
+        loop {
+            if let Some(item) = self.world.completed_log.pop_front() {
+                return Some(item);
+            }
+            if self.completed() >= self.pushed {
+                return None; // nothing in flight: stepping cannot help
+            }
+            if !self.step() {
+                return None;
+            }
+        }
+    }
+
+    /// Consumes the stepper and assembles the standard [`RunReport`].
+    /// An unclosed stream is settled first (expected = pushed), so an
+    /// aborted session reports `truncated` iff items were lost.
+    pub fn finish(mut self) -> RunReport {
+        if !self.closed {
+            self.close();
+        }
+        let SimStepper {
+            world,
+            routing,
+            aloop,
+            ..
+        } = self;
         let (adaptations, planning_cycles) = aloop.finish();
         let final_mapping = routing
             .into_inner()
@@ -324,7 +471,7 @@ impl SimWorld<'_> {
     // --- event handlers -------------------------------------------------
 
     fn on_arrive(&mut self, routing: &RoutingTable, item: u64, now: SimTime) {
-        self.arrival_time[item as usize] = now;
+        self.arrival_time.insert(item, now);
         let dest = self.route_item(routing, 0);
         let at = match self.spec.source {
             Some(src) => self.transfer(src.index(), dest, self.spec.input_bytes, now),
@@ -527,8 +674,10 @@ impl SimWorld<'_> {
     }
 
     fn record_completion(&mut self, item: u64, now: SimTime) {
-        let latency = now.saturating_since(self.arrival_time[item as usize]);
+        let arrived = self.arrival_time.remove(&item).unwrap_or(SimTime::ZERO);
+        let latency = now.saturating_since(arrived);
         self.report.record_completion(now, latency);
+        self.completed_log.push_back(item);
     }
 }
 
@@ -986,6 +1135,97 @@ mod tests {
         assert_eq!(report.completed, 0);
         assert_eq!(report.makespan, SimTime::ZERO);
         assert!(!report.truncated);
+    }
+
+    #[test]
+    fn stepper_matches_batch_run_exactly() {
+        // Driving the stepper by hand — pushes interleaved with
+        // completion-by-completion stepping — must land on the same
+        // report as the batch wrapper, because batch is the same world
+        // fed all at once.
+        let grid = testbed_hetero8(42);
+        let spec = PipelineSpec::balanced(4, 1.0, 10_000);
+        let cfg = SimConfig {
+            items: 120,
+            policy: Policy::periodic_default(),
+            ..SimConfig::default()
+        };
+        let batch = run(&grid, &spec, &cfg);
+
+        let mut stepper = SimStepper::new(&grid, spec.clone(), &cfg);
+        for &at in &cfg.arrivals.schedule(cfg.items) {
+            stepper.push_at(at);
+        }
+        stepper.close();
+        let mut seen = Vec::new();
+        while let Some(item) = stepper.next_completion() {
+            seen.push(item);
+        }
+        assert_eq!(seen.len() as u64, cfg.items);
+        // Every item completes exactly once.
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..cfg.items).collect::<Vec<_>>());
+        let report = stepper.finish();
+        assert_eq!(report.completed, batch.completed);
+        assert_eq!(report.makespan, batch.makespan);
+        assert_eq!(report.adaptations.len(), batch.adaptations.len());
+        assert_eq!(report.final_mapping, batch.final_mapping);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn stepper_supports_live_interleaved_pushes() {
+        // An open-stream session: push a few items, drain them, push
+        // more — the world keeps its clock and the report accounts for
+        // everything exactly once.
+        let (grid, spec) = balanced_setup();
+        let cfg = SimConfig {
+            items: 10, // amortisation hint only
+            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
+            ..SimConfig::default()
+        };
+        let mut stepper = SimStepper::new(&grid, spec, &cfg);
+        for _ in 0..3 {
+            stepper.push_at(stepper.now());
+        }
+        let mut first = Vec::new();
+        while let Some(item) = stepper.next_completion() {
+            first.push(item);
+        }
+        assert_eq!(first, vec![0, 1, 2]);
+        assert!(!stepper.is_exhausted(), "open stream stays live");
+        // The clock advanced; later pushes arrive later.
+        let t = stepper.now();
+        assert!(t > SimTime::ZERO);
+        for _ in 0..2 {
+            stepper.push_at(stepper.now());
+        }
+        stepper.close();
+        let mut second = Vec::new();
+        while let Some(item) = stepper.next_completion() {
+            second.push(item);
+        }
+        assert_eq!(second, vec![3, 4]);
+        assert!(stepper.all_done());
+        let report = stepper.finish();
+        assert_eq!(report.completed, 5);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn unfinished_stepper_reports_truncation() {
+        let (grid, spec) = balanced_setup();
+        let cfg = SimConfig::default();
+        let mut stepper = SimStepper::new(&grid, spec, &cfg);
+        for _ in 0..4 {
+            stepper.push_at(SimTime::ZERO);
+        }
+        // Deliver just one completion, then abandon the rest.
+        assert_eq!(stepper.next_completion(), Some(0));
+        let report = stepper.finish();
+        assert_eq!(report.completed, 1);
+        assert!(report.truncated, "3 items were pushed but never drained");
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub trait WorkModel: Send + Sync {
     fn draw(&self, item: u64) -> f64;
     /// Expected work units per item.
     fn mean(&self) -> f64;
+    /// An owned copy of this model, so specs (and therefore whole
+    /// pipelines) are cloneable — streaming sessions own their spec.
+    fn clone_box(&self) -> Box<dyn WorkModel>;
+}
+
+impl Clone for Box<dyn WorkModel> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
 }
 
 /// Every item costs exactly `work` units.
@@ -31,6 +40,9 @@ impl WorkModel for ConstantWork {
     }
     fn mean(&self) -> f64 {
         self.0
+    }
+    fn clone_box(&self) -> Box<dyn WorkModel> {
+        Box::new(*self)
     }
 }
 
@@ -63,9 +75,13 @@ impl WorkModel for UniformWork {
     fn mean(&self) -> f64 {
         self.mean
     }
+    fn clone_box(&self) -> Box<dyn WorkModel> {
+        Box::new(*self)
+    }
 }
 
 /// Cost metadata for one stage.
+#[derive(Clone)]
 pub struct StageSpec {
     /// Stage name for reports.
     pub name: String,
@@ -133,7 +149,7 @@ impl std::fmt::Debug for StageSpec {
 }
 
 /// A complete engine-agnostic pipeline description.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PipelineSpec {
     /// The stages in order.
     pub stages: Vec<StageSpec>,

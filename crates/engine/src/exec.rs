@@ -1,7 +1,7 @@
 //! The threaded execution engine.
 //!
 //! One worker thread per virtual node; items travel as type-erased
-//! envelopes through unbounded channels. A worker receiving an envelope
+//! envelopes through per-worker channels. A worker receiving an envelope
 //! for a stage it no longer hosts forwards it according to the shared
 //! routing table, so the controller can re-map a *running* pipeline by
 //! swapping that table — the same drain-and-forward semantics the
@@ -15,19 +15,47 @@
 //! workers, channels, the stage depot, and the re-mapping *commit*
 //! (telling vacated hosts to relinquish their stage instances).
 //!
+//! ## Streaming sessions and backpressure
+//!
+//! The primary entry point is [`spawn`], which starts the workers and
+//! returns a live [`EngineSession`]: the caller pushes items while the
+//! pipeline runs, pulls outputs as they complete, and finishes with a
+//! graceful [`EngineSession::drain`] or an [`EngineSession::abort`].
+//! The batch entry points ([`execute`], [`execute_fed`]) are thin
+//! wrappers — spawn, feed the arrival schedule, drain.
+//!
+//! With `EngineConfig::queue_capacity` set, the session enforces a
+//! bounded-queue discipline: the total number of in-flight items is
+//! capped at `capacity × (stages + 1)` — one bounded buffer per stage
+//! boundary, source and sink boundaries included — and
+//! [`EngineSession::push`] blocks until a completion frees a slot. The
+//! bound is enforced end-to-end with a credit counter rather than with
+//! per-channel blocking sends: stages may be *coalesced* on one worker,
+//! and with blocking channel sends two workers hosting interleaved
+//! stages can block sending to each other's full inboxes — a classic
+//! pipeline deadlock. A worker therefore never blocks; only the source
+//! does, which is exactly where backpressure belongs, and every
+//! inter-stage queue's occupancy is still bounded by the same total.
+//!
+//! Workers block on their inbox (`recv`) and are woken by messages
+//! only — work envelopes, depot hand-over notifications, and an
+//! explicit shutdown sentinel message at teardown. There is no
+//! polling timeout and no idle busy-wake.
+//!
 //! Stage instances live in a depot: stateless stages are replicated from
 //! a prototype on first use per worker; stateful stages exist exactly
 //! once and physically move between workers on migration (the old host
 //! deposits the instance when it processes the controller's
-//! `Relinquish`; the new host picks it up, buffering items meanwhile).
+//! `Relinquish`, then notifies the new hosts, which buffer items
+//! meanwhile).
 //!
-//! Ordering: with `preserve_order` (default) the collector resequences
-//! outputs by item index. During a migration window a *stateful* stage
-//! may observe items slightly out of sequence order (items forwarded
-//! from the old host race items routed directly to the new one) — the
-//! same asynchrony a real grid deployment exhibits; applications needing
-//! strict per-stage sequencing should use stateless stages plus a fold
-//! at the sink.
+//! Ordering: with `preserve_order` (default) outputs are resequenced by
+//! item index. During a migration window a *stateful* stage may observe
+//! items slightly out of sequence order (items forwarded from the old
+//! host race items routed directly to the new one) — the same asynchrony
+//! a real grid deployment exhibits; applications needing strict
+//! per-stage sequencing should use stateless stages plus a fold at the
+//! sink.
 
 use crate::vnode::VNodeSpec;
 use adapipe_core::pipeline::Pipeline;
@@ -44,11 +72,13 @@ use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
 use adapipe_runtime::routing::RoutingTable;
-use adapipe_runtime::session::RunHooks;
-use std::collections::{HashMap, VecDeque};
+use adapipe_runtime::session::{RunEvent, RunHooks, SessionControl, TryNext};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Threaded-engine configuration.
@@ -64,9 +94,10 @@ pub struct EngineConfig {
     pub initial_mapping: Option<Mapping>,
     /// Resequence outputs by item index (the `Pipeline1for1` contract).
     pub preserve_order: bool,
-    /// Arrival process pacing the source thread against the wall clock
-    /// (the same backend-independent schedule the simulator
-    /// materialises as events).
+    /// Arrival process pacing the batch entry points against the wall
+    /// clock (the same backend-independent schedule the simulator
+    /// materialises as events). Sessions ignore it — a pushed item
+    /// arrives when the caller pushes it.
     pub arrivals: ArrivalProcess,
     /// Legacy input pacing in items per second; when set it overrides
     /// `arrivals` with `ArrivalProcess::Uniform` at this rate.
@@ -88,6 +119,12 @@ pub struct EngineConfig {
     pub emulate_links: bool,
     /// Live observation callbacks (invoked on the adaptation thread).
     pub hooks: RunHooks,
+    /// Per-stage-boundary queue bound: caps total in-flight items at
+    /// `capacity × (stages + 1)` so `push()` blocks under backpressure.
+    /// `None` = unbounded (the legacy batch behaviour). Must be ≥ 1.
+    pub queue_capacity: Option<usize>,
+    /// In-flight steering flags shared with a live session.
+    pub control: SessionControl,
 }
 
 impl EngineConfig {
@@ -108,6 +145,8 @@ impl EngineConfig {
             timeline_bucket: SimDuration::from_millis(500),
             emulate_links: false,
             hooks: RunHooks::default(),
+            queue_capacity: None,
+            control: SessionControl::default(),
         }
     }
 
@@ -143,6 +182,10 @@ enum Msg {
     Relinquish {
         stage: usize,
     },
+    /// A stateful instance landed in the depot: retry buffered items
+    /// (pure wake-up; the post-message service scan finds the stage).
+    DepotReady,
+    /// Teardown sentinel: the worker exits after processing it.
     Shutdown,
 }
 
@@ -151,6 +194,59 @@ struct Finished {
     born: Instant,
     done: Instant,
     payload: BoxedItem,
+}
+
+/// Collector-side control plane, multiplexed with finished items.
+enum SinkMsg {
+    Done(Finished),
+    /// The input stream is closed; `expected` items were pushed.
+    Closed {
+        expected: u64,
+    },
+    /// Stop collecting immediately (session abort).
+    Abort {
+        pushed: u64,
+    },
+}
+
+/// End-to-end in-flight credit gate: `push()` acquires one slot per
+/// item, the collector releases it at the sink. See the module docs for
+/// why the bound is end-to-end rather than per-channel blocking sends.
+struct Credits {
+    available: Mutex<u64>,
+    freed: Condvar,
+}
+
+impl Credits {
+    fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "credit capacity must be positive");
+        Credits {
+            available: Mutex::new(capacity),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a slot frees; returns the blocked wall time, or
+    /// `None` if a slot was immediately available.
+    fn acquire(&self) -> Option<Duration> {
+        let mut available = self.available.lock().expect("credit lock poisoned");
+        if *available > 0 {
+            *available -= 1;
+            return None;
+        }
+        let t0 = Instant::now();
+        while *available == 0 {
+            available = self.freed.wait(available).expect("credit lock poisoned");
+        }
+        *available -= 1;
+        Some(t0.elapsed())
+    }
+
+    fn release(&self) {
+        let mut available = self.available.lock().expect("credit lock poisoned");
+        *available += 1;
+        self.freed.notify_one();
+    }
 }
 
 /// Everything workers share.
@@ -164,9 +260,11 @@ struct Shared {
     /// Per stage: prototype (stateless) or the unique instance (stateful).
     depot: Vec<Mutex<Option<Box<dyn DynStage>>>>,
     senders: Vec<Sender<Msg>>,
-    sink: Sender<Finished>,
+    sink: Sender<SinkMsg>,
     epoch: Instant,
     completed: AtomicU64,
+    /// Teardown flag for the adaptation thread (workers exit on the
+    /// [`Msg::Shutdown`] sentinel instead of polling this).
     done: AtomicBool,
 }
 
@@ -228,52 +326,303 @@ impl ExecutionBackend for EngineBackend {
     }
 }
 
-/// Runs `pipeline` over `inputs` on the configured virtual nodes.
+/// A live threaded pipeline: workers are running, the caller feeds
+/// items and pulls outputs while adaptation happens underneath. See the
+/// module docs for the backpressure discipline.
 ///
-/// This is the threaded *backend* entry point; applications should
-/// prefer the unified `adapipe::api::Pipeline` builder, which delegates
-/// here via `Backend::Threads`.
-///
-/// # Panics
-/// Panics if the initial mapping references unknown nodes or covers the
-/// wrong number of stages.
-pub fn execute<I, O>(
-    pipeline: Pipeline<I, O>,
-    inputs: Vec<I>,
-    cfg: &EngineConfig,
-) -> EngineOutcome<O>
+/// Obtained from [`spawn`]; applications should prefer the unified
+/// `adapipe::api::Pipeline::spawn`, which wraps this per backend.
+pub struct EngineSession<I, O> {
+    shared: Arc<Shared>,
+    credits: Option<Arc<Credits>>,
+    workers: Vec<JoinHandle<(Duration, adapipe_core::metrics::StageMetrics)>>,
+    collector: Option<JoinHandle<ReportBuilder>>,
+    adaptation: Option<JoinHandle<(Vec<AdaptationEvent>, u64)>>,
+    out_rx: Receiver<Finished>,
+    events: adapipe_runtime::session::EventBus,
+    pushed: u64,
+    closed: bool,
+    preserve_order: bool,
+    /// Resequencing buffer (`preserve_order` only); bounded by the
+    /// in-flight credit when `queue_capacity` is set.
+    reorder: BTreeMap<u64, O>,
+    next_seq: u64,
+    _types: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O> EngineSession<I, O>
 where
     I: Send + 'static,
     O: Send + 'static,
 {
-    let n_items = inputs.len() as u64;
-    let mut it = inputs.into_iter();
-    execute_fed(
-        pipeline,
-        n_items,
-        move |_| it.next().expect("iterator covers n_items"),
-        cfg,
-    )
+    /// Feeds one item into stage 0. Blocks while the bounded in-flight
+    /// budget is exhausted (emitting [`RunEvent::BackpressureStall`]);
+    /// returns the item's sequence number.
+    ///
+    /// # Panics
+    /// Panics if the session was already closed.
+    pub fn push(&mut self, item: I) -> u64 {
+        assert!(!self.closed, "cannot push into a closed session");
+        let seq = self.pushed;
+        if let Some(credits) = &self.credits {
+            if let Some(waited) = credits.acquire() {
+                self.events.emit(RunEvent::BackpressureStall {
+                    seq,
+                    waited: SimDuration::from_secs_f64(waited.as_secs_f64()),
+                });
+            }
+        }
+        self.pushed += 1;
+        let dest = self.shared.route(0);
+        let env = Envelope {
+            seq,
+            stage: 0,
+            born: Instant::now(),
+            payload: Box::new(item),
+        };
+        // Worker channels outlive the session; send only fails at
+        // teardown, by which point delivery no longer matters.
+        let _ = self.shared.senders[dest].send(Msg::Work(env));
+        seq
+    }
+
+    /// Declares the input stream complete. Idempotent; pushing after
+    /// close panics.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            let _ = self.shared.sink.send(SinkMsg::Closed {
+                expected: self.pushed,
+            });
+        }
+    }
+
+    /// Items pushed so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Items that reached the sink so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Items currently between source and sink.
+    pub fn in_flight(&self) -> u64 {
+        self.pushed.saturating_sub(self.completed())
+    }
+
+    /// The session's wall-clock epoch (all report times are relative to
+    /// it).
+    pub fn epoch(&self) -> Instant {
+        self.shared.epoch
+    }
+
+    /// Non-blocking poll of the output side.
+    pub fn try_next(&mut self) -> TryNext<O> {
+        loop {
+            if self.preserve_order {
+                if let Some(o) = self.pop_ordered() {
+                    return TryNext::Item(o);
+                }
+            }
+            match self.out_rx.try_recv() {
+                Ok(fin) => {
+                    if let Some(o) = self.deliver(fin) {
+                        return TryNext::Item(o);
+                    }
+                }
+                Err(TryRecvError::Empty) => return TryNext::Pending,
+                Err(TryRecvError::Disconnected) => {
+                    return match self.flush_reorder() {
+                        Some(o) => TryNext::Item(o),
+                        None => TryNext::Done,
+                    }
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, fin: Finished) -> Option<O> {
+        let out = *fin
+            .payload
+            .downcast::<O>()
+            .expect("pipeline output type mismatch");
+        if self.preserve_order {
+            self.reorder.insert(fin.seq, out);
+            self.pop_ordered()
+        } else {
+            Some(out)
+        }
+    }
+
+    fn pop_ordered(&mut self) -> Option<O> {
+        let o = self.reorder.remove(&self.next_seq)?;
+        self.next_seq += 1;
+        Some(o)
+    }
+
+    /// After the collector is gone, deliver whatever the resequencing
+    /// buffer still holds, in sequence order (gaps — aborted items —
+    /// are skipped).
+    fn flush_reorder(&mut self) -> Option<O> {
+        let (&seq, _) = self.reorder.iter().next()?;
+        self.next_seq = seq + 1;
+        self.reorder.remove(&seq)
+    }
+
+    /// Graceful shutdown: closes the stream, waits for every pushed
+    /// item to complete, and returns the remaining (un-pulled) outputs
+    /// plus the standard report. Items already pulled via
+    /// [`EngineSession::next`] are not repeated.
+    pub fn drain(mut self) -> EngineOutcome<O> {
+        self.close();
+        let mut outputs = Vec::new();
+        for o in self.by_ref() {
+            outputs.push(o);
+        }
+        self.teardown(outputs)
+    }
+
+    /// Immediate shutdown: in-flight items are dropped and the report
+    /// comes back `truncated` if anything was lost. Workers bail after
+    /// at most the item they are currently processing — the queued
+    /// backlog is discarded, not drained.
+    pub fn abort(mut self) -> RunReport {
+        let _ = self.shared.sink.send(SinkMsg::Abort {
+            pushed: self.pushed,
+        });
+        // Raise the flag *before* the wake-up sentinels: a worker
+        // chewing through a deep backlog checks it between items and
+        // exits without serving the rest of its inbox.
+        self.shared.done.store(true, Ordering::SeqCst);
+        self.closed = true;
+        self.teardown(Vec::new()).report
+    }
+
+    /// Joins every thread and assembles the report. The collector must
+    /// already be on its way out (stream closed and delivered, or
+    /// aborted).
+    fn teardown(&mut self, outputs: Vec<O>) -> EngineOutcome<O> {
+        let report = self
+            .collector
+            .take()
+            .expect("collector joined twice")
+            .join()
+            .expect("collector panicked");
+        self.shared.done.store(true, Ordering::SeqCst);
+        for tx in &self.shared.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        let np = self.shared.vnodes.len();
+        let ns = self.shared.spec.len();
+        let mut node_busy = vec![SimDuration::ZERO; np];
+        let mut stage_metrics = adapipe_core::metrics::StageMetrics::new(ns);
+        for (i, w) in self.workers.drain(..).enumerate() {
+            let (busy, worker_metrics) = w.join().expect("worker panicked");
+            node_busy[i] = SimDuration::from_secs_f64(busy.as_secs_f64());
+            stage_metrics.absorb(&worker_metrics);
+        }
+        let (adaptations, planning_cycles) = self
+            .adaptation
+            .take()
+            .expect("adaptation joined twice")
+            .join()
+            .expect("adaptation thread panicked");
+        let final_mapping = self
+            .shared
+            .routing
+            .read()
+            .expect("routing lock poisoned")
+            .mapping()
+            .clone();
+        let report = report.finish(
+            final_mapping,
+            adaptations,
+            planning_cycles,
+            node_busy,
+            stage_metrics,
+        );
+        EngineOutcome { outputs, report }
+    }
 }
 
-/// Like [`execute`], but draws each input lazily from `feed` at its
-/// scheduled arrival time — memory stays proportional to the in-flight
-/// window, not the whole stream, which matters for paced open streams
-/// of large items.
-///
-/// # Panics
-/// Panics if the initial mapping references unknown nodes or covers the
-/// wrong number of stages.
-pub fn execute_fed<I, O, F>(
-    pipeline: Pipeline<I, O>,
-    n_items: u64,
-    feed: F,
-    cfg: &EngineConfig,
-) -> EngineOutcome<O>
+/// A session dropped without [`EngineSession::drain`] or
+/// [`EngineSession::abort`] (an error path, a panic unwind) must not
+/// leak its threads: workers hold their own `Arc<Shared>`, so the
+/// channels never disconnect on their own, and the adaptation thread
+/// sleeps in a loop until the done flag rises. Drop performs the abort
+/// shutdown — signal, wake, join — discarding outputs and the report.
+impl<I, O> Drop for EngineSession<I, O> {
+    fn drop(&mut self) {
+        if self.collector.is_none() {
+            return; // drain()/abort() already tore the run down
+        }
+        let _ = self.shared.sink.send(SinkMsg::Abort {
+            pushed: self.pushed,
+        });
+        self.shared.done.store(true, Ordering::SeqCst);
+        for tx in &self.shared.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(collector) = self.collector.take() {
+            let _ = collector.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(adaptation) = self.adaptation.take() {
+            let _ = adaptation.join();
+        }
+    }
+}
+
+/// Blocking output iteration: `next()` waits for the next completed
+/// output and yields `None` once the stream is finished (closed and
+/// fully delivered, or aborted). With `preserve_order` outputs come in
+/// push order; otherwise in completion order.
+impl<I, O> Iterator for EngineSession<I, O>
 where
     I: Send + 'static,
     O: Send + 'static,
-    F: FnMut(u64) -> I + Send + 'static,
+{
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        loop {
+            if self.preserve_order {
+                if let Some(o) = self.pop_ordered() {
+                    return Some(o);
+                }
+            }
+            match self.out_rx.recv() {
+                Ok(fin) => {
+                    if let Some(o) = self.deliver(fin) {
+                        return Some(o);
+                    }
+                }
+                Err(_) => return self.flush_reorder(),
+            }
+        }
+    }
+}
+
+/// Starts `pipeline` on the configured virtual nodes and returns the
+/// live [`EngineSession`]. `items_hint` seeds the adaptation loop's
+/// remaining-work amortisation (a session's true length is unknown
+/// until it closes); batch wrappers pass the exact stream length.
+///
+/// # Panics
+/// Panics if the initial mapping references unknown nodes or covers the
+/// wrong number of stages, or if `queue_capacity` is zero.
+pub fn spawn<I, O>(
+    pipeline: Pipeline<I, O>,
+    cfg: &EngineConfig,
+    items_hint: u64,
+) -> EngineSession<I, O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
 {
     let np = cfg.vnodes.len();
     assert!(np > 0, "engine needs at least one vnode");
@@ -312,14 +661,15 @@ where
         topology: topology.clone(),
         speeds: cfg.vnodes.iter().map(|v| v.speed).collect(),
         state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
-        total_items: n_items,
+        total_items: items_hint,
         observation_noise: cfg.observation_noise,
         noise_seed: cfg.noise_seed,
         hooks: cfg.hooks.clone(),
+        control: cfg.control.clone(),
     };
     let aloop = AdaptationLoop::new(runtime_cfg, &initial_mapping, &launch_rates);
 
-    let (sink_tx, sink_rx) = channel::<Finished>();
+    let (sink_tx, sink_rx) = channel::<SinkMsg>();
     let mut senders = Vec::with_capacity(np);
     let mut inboxes = Vec::with_capacity(np);
     for _ in 0..np {
@@ -342,6 +692,12 @@ where
         done: AtomicBool::new(false),
     });
 
+    // One in-flight slot per stage boundary (source→s0, s0→s1, …,
+    // s_last→sink) per unit of declared capacity.
+    let credits = cfg
+        .queue_capacity
+        .map(|c| Arc::new(Credits::new((c * (ns + 1)) as u64)));
+
     // --- workers -----------------------------------------------------
     let mut workers = Vec::with_capacity(np);
     for (me, inbox) in inboxes.into_iter().enumerate() {
@@ -349,114 +705,148 @@ where
         workers.push(std::thread::spawn(move || worker_loop(me, inbox, shared)));
     }
 
-    // --- source ------------------------------------------------------
-    let source = {
-        let shared = Arc::clone(&shared);
-        // Stream the backend-independent arrival schedule (O(1) state)
-        // and pace the source thread against the wall clock with it —
-        // the exact times the simulator would turn into arrival events.
-        // Inputs are drawn from the feed only when their slot comes up.
-        let mut arrivals = cfg.effective_arrivals().stream();
-        let mut feed = feed;
-        std::thread::spawn(move || {
-            for seq in 0..n_items {
-                let at = arrivals
-                    .next()
-                    .expect("arrival stream is infinite")
-                    .as_secs_f64();
-                if at > 0.0 {
-                    let due = shared.epoch + Duration::from_secs_f64(at);
-                    let now = Instant::now();
-                    if due > now {
-                        std::thread::sleep(due - now);
-                    }
-                }
-                let input = feed(seq);
-                // Items are dealt over stage 0's replicas by the shared
-                // routing table.
-                let dest = shared.route(0);
-                let env = Envelope {
-                    seq,
-                    stage: 0,
-                    born: Instant::now(),
-                    payload: Box::new(input),
-                };
-                // Worker channels outlive the source; send only fails at
-                // teardown, by which point delivery no longer matters.
-                let _ = shared.senders[dest].send(Msg::Work(env));
-            }
-        })
-    };
-
-    // --- collector -----------------------------------------------------
+    // --- collector ---------------------------------------------------
+    let (out_tx, out_rx) = channel::<Finished>();
     let collector = {
         let shared = Arc::clone(&shared);
-        let preserve = cfg.preserve_order;
+        let credits = credits.clone();
         let bucket = cfg.timeline_bucket;
         std::thread::spawn(move || {
-            let mut report = ReportBuilder::new(bucket, n_items);
-            let mut outputs: Vec<(u64, BoxedItem)> = Vec::with_capacity(n_items as usize);
-            for _ in 0..n_items {
-                let Ok(fin) = sink_rx.recv() else { break };
-                let at =
-                    SimTime::from_secs_f64(fin.done.duration_since(shared.epoch).as_secs_f64());
-                let latency =
-                    SimDuration::from_secs_f64(fin.done.duration_since(fin.born).as_secs_f64());
-                report.record_completion(at, latency);
-                shared.completed.fetch_add(1, Ordering::Relaxed);
-                outputs.push((fin.seq, fin.payload));
+            let mut report = ReportBuilder::new(bucket, u64::MAX);
+            let mut expected: Option<u64> = None;
+            loop {
+                if expected.is_some_and(|e| report.completed() >= e) {
+                    break;
+                }
+                let Ok(msg) = sink_rx.recv() else { break };
+                match msg {
+                    SinkMsg::Done(fin) => {
+                        let at = SimTime::from_secs_f64(
+                            fin.done.duration_since(shared.epoch).as_secs_f64(),
+                        );
+                        let latency = SimDuration::from_secs_f64(
+                            fin.done.duration_since(fin.born).as_secs_f64(),
+                        );
+                        report.record_completion(at, latency);
+                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                        if let Some(c) = &credits {
+                            c.release();
+                        }
+                        // The session may have gone away (abort path):
+                        // delivery failures are fine.
+                        let _ = out_tx.send(fin);
+                    }
+                    SinkMsg::Closed { expected: e } => {
+                        report.set_expected(e);
+                        expected = Some(e);
+                    }
+                    SinkMsg::Abort { pushed } => {
+                        report.set_expected(pushed);
+                        return report;
+                    }
+                }
             }
-            if preserve {
-                outputs.sort_by_key(|&(seq, _)| seq);
-            }
-            (outputs, report)
+            report
         })
     };
 
-    // --- adaptation ----------------------------------------------------
+    // --- adaptation --------------------------------------------------
     let adaptation = {
         let shared = Arc::clone(&shared);
         std::thread::spawn(move || adaptation_thread(shared, aloop))
     };
 
-    // --- teardown ------------------------------------------------------
-    let (outputs, report) = collector.join().expect("collector panicked");
-    shared.done.store(true, Ordering::SeqCst);
-    for tx in &shared.senders {
-        let _ = tx.send(Msg::Shutdown);
+    EngineSession {
+        shared,
+        credits,
+        workers,
+        collector: Some(collector),
+        adaptation: Some(adaptation),
+        out_rx,
+        events: cfg.hooks.events.clone(),
+        pushed: 0,
+        closed: false,
+        preserve_order: cfg.preserve_order,
+        reorder: BTreeMap::new(),
+        next_seq: 0,
+        _types: PhantomData,
     }
-    source.join().expect("source panicked");
-    let mut node_busy = vec![SimDuration::ZERO; np];
-    let mut stage_metrics = adapipe_core::metrics::StageMetrics::new(ns);
-    for (i, w) in workers.into_iter().enumerate() {
-        let (busy, worker_metrics) = w.join().expect("worker panicked");
-        node_busy[i] = SimDuration::from_secs_f64(busy.as_secs_f64());
-        stage_metrics.absorb(&worker_metrics);
-    }
-    let (adaptations, planning_cycles) = adaptation.join().expect("adaptation thread panicked");
+}
 
-    let final_mapping = shared
-        .routing
-        .read()
-        .expect("routing lock poisoned")
-        .mapping()
-        .clone();
-    let report = report.finish(
-        final_mapping,
-        adaptations,
-        planning_cycles,
-        node_busy,
-        stage_metrics,
-    );
-    let outputs = outputs
-        .into_iter()
-        .map(|(_, payload)| {
-            *payload
-                .downcast::<O>()
-                .expect("pipeline output type mismatch")
-        })
-        .collect();
-    EngineOutcome { outputs, report }
+/// Runs `pipeline` over `inputs` on the configured virtual nodes.
+///
+/// This is the threaded *backend* batch entry point; applications
+/// should prefer the unified `adapipe::api::Pipeline` builder, which
+/// delegates here via `Backend::Threads`.
+///
+/// # Panics
+/// Panics if the initial mapping references unknown nodes or covers the
+/// wrong number of stages.
+pub fn execute<I, O>(
+    pipeline: Pipeline<I, O>,
+    inputs: Vec<I>,
+    cfg: &EngineConfig,
+) -> EngineOutcome<O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    let n_items = inputs.len() as u64;
+    let mut it = inputs.into_iter();
+    execute_fed(
+        pipeline,
+        n_items,
+        move |_| it.next().expect("iterator covers n_items"),
+        cfg,
+    )
+}
+
+/// Like [`execute`], but draws each input lazily from `feed` at its
+/// scheduled arrival time — memory stays proportional to the in-flight
+/// window, not the whole stream, which matters for paced open streams
+/// of large items.
+///
+/// Batch execution is sugar over the streaming session: [`spawn`], feed
+/// the arrival schedule (pacing the pushes against the wall clock),
+/// [`EngineSession::drain`].
+///
+/// # Panics
+/// Panics if the initial mapping references unknown nodes or covers the
+/// wrong number of stages.
+pub fn execute_fed<I, O, F>(
+    pipeline: Pipeline<I, O>,
+    n_items: u64,
+    feed: F,
+    cfg: &EngineConfig,
+) -> EngineOutcome<O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(u64) -> I + Send + 'static,
+{
+    let mut session = spawn(pipeline, cfg, n_items);
+    // Stream the backend-independent arrival schedule (O(1) state) and
+    // pace the pushes against the wall clock with it — the exact times
+    // the simulator would turn into arrival events. Inputs are drawn
+    // from the feed only when their slot comes up.
+    let mut arrivals = cfg.effective_arrivals().stream();
+    let mut feed = feed;
+    let epoch = session.epoch();
+    for seq in 0..n_items {
+        let at = arrivals
+            .next()
+            .expect("arrival stream is infinite")
+            .as_secs_f64();
+        if at > 0.0 {
+            let due = epoch + Duration::from_secs_f64(at);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        session.push(feed(seq));
+    }
+    session.drain()
 }
 
 /// Legacy entry point for threaded runs.
@@ -478,6 +868,8 @@ where
 }
 
 /// Worker body: serve envelopes, honour migrations, account busy time.
+/// Blocks on the inbox; the only exits are the [`Msg::Shutdown`]
+/// sentinel and channel disconnection.
 fn worker_loop(
     me: usize,
     inbox: Receiver<Msg>,
@@ -490,24 +882,16 @@ fn worker_loop(
     let mut metrics = adapipe_core::metrics::StageMetrics::new(ns);
 
     loop {
-        // Serve any stage whose instance became available since we
-        // buffered items for it.
-        let waiting_stages: Vec<usize> = waiting
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&s, _)| s)
-            .collect();
-        for s in waiting_stages {
-            if try_acquire(&shared, &mut local, s) {
-                let queue = waiting.get_mut(&s).expect("stage has a waiting queue");
-                while let Some(env) = queue.pop_front() {
-                    busy += process_one(me, env, &shared, &mut local, &mut metrics);
-                }
-            }
+        let Ok(msg) = inbox.recv() else { break };
+        // An aborted (or fully torn-down) run discards the backlog: the
+        // flag is raised before the Shutdown sentinels, so a worker deep
+        // in queued work exits here instead of serving the rest of its
+        // inbox first.
+        if shared.done.load(Ordering::Relaxed) {
+            break;
         }
-
-        match inbox.recv_timeout(Duration::from_micros(500)) {
-            Ok(Msg::Work(env)) => {
+        match msg {
+            Msg::Work(env) => {
                 let stage = env.stage;
                 let hosted = shared
                     .routing
@@ -516,17 +900,15 @@ fn worker_loop(
                     .contains(stage, NodeId(me));
                 if !hosted {
                     forward(&shared, me, env);
-                    continue;
-                }
-                if waiting.get(&stage).is_some_and(|q| !q.is_empty())
+                } else if waiting.get(&stage).is_some_and(|q| !q.is_empty())
                     || !try_acquire(&shared, &mut local, stage)
                 {
                     waiting.entry(stage).or_default().push_back(env);
-                    continue;
+                } else {
+                    busy += process_one(me, env, &shared, &mut local, &mut metrics);
                 }
-                busy += process_one(me, env, &shared, &mut local, &mut metrics);
             }
-            Ok(Msg::Relinquish { stage }) => {
+            Msg::Relinquish { stage } => {
                 if let Some(inst) = local.remove(&stage) {
                     if !shared.spec.stages[stage].stateless {
                         shared.depot[stage]
@@ -537,17 +919,88 @@ fn worker_loop(
                     // Stateless replicas are simply dropped; the depot
                     // keeps the prototype.
                 }
-            }
-            Ok(Msg::Shutdown) => break,
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.done.load(Ordering::Relaxed) {
-                    break;
+                // Wake the stage's current hosts: items they buffered
+                // while the instance was in transit can be served now.
+                // Also covers the case where this worker never held the
+                // instance (it sat in the depot through a double
+                // migration) — the notification is idempotent.
+                if !shared.spec.stages[stage].stateless {
+                    let in_depot = shared.depot[stage]
+                        .lock()
+                        .expect("depot lock poisoned")
+                        .is_some();
+                    if in_depot {
+                        let hosts: Vec<usize> = shared
+                            .routing
+                            .read()
+                            .expect("routing lock poisoned")
+                            .hosts(stage)
+                            .iter()
+                            .map(|h| h.index())
+                            .collect();
+                        for host in hosts {
+                            if host != me {
+                                let _ = shared.senders[host].send(Msg::DepotReady);
+                            }
+                        }
+                    }
                 }
             }
-            Err(RecvTimeoutError::Disconnected) => break,
+            Msg::DepotReady => {} // wake-up only; service below
+            Msg::Shutdown => break,
         }
+        // After every message, serve or re-route anything that became
+        // actionable: buffered items whose instance landed in the depot,
+        // or whose stage has moved away in the meantime.
+        serve_waiting(
+            me,
+            &shared,
+            &mut local,
+            &mut waiting,
+            &mut busy,
+            &mut metrics,
+        );
     }
     (busy, metrics)
+}
+
+/// Serves every waiting queue that became actionable: processes queues
+/// whose stage instance is (now) acquirable, forwards queues whose
+/// stage is no longer hosted here.
+fn serve_waiting(
+    me: usize,
+    shared: &Shared,
+    local: &mut HashMap<usize, Box<dyn DynStage>>,
+    waiting: &mut HashMap<usize, VecDeque<Envelope>>,
+    busy: &mut Duration,
+    metrics: &mut adapipe_core::metrics::StageMetrics,
+) {
+    let stages: Vec<usize> = waiting
+        .iter()
+        .filter(|(_, q)| !q.is_empty())
+        .map(|(&s, _)| s)
+        .collect();
+    for stage in stages {
+        let hosted = shared
+            .routing
+            .read()
+            .expect("routing lock poisoned")
+            .contains(stage, NodeId(me));
+        if !hosted {
+            // The stage moved away while these items were buffered:
+            // forward them to its current hosts.
+            if let Some(mut queue) = waiting.remove(&stage) {
+                while let Some(env) = queue.pop_front() {
+                    forward(shared, me, env);
+                }
+            }
+        } else if try_acquire(shared, local, stage) {
+            let queue = waiting.get_mut(&stage).expect("stage has a waiting queue");
+            while let Some(env) = queue.pop_front() {
+                *busy += process_one(me, env, shared, local, metrics);
+            }
+        }
+    }
 }
 
 /// Ensures `local` holds an instance of `stage`; true on success.
@@ -604,12 +1057,12 @@ fn process_one(
 
     let ns = shared.spec.len();
     if stage + 1 == ns {
-        let _ = shared.sink.send(Finished {
+        let _ = shared.sink.send(SinkMsg::Done(Finished {
             seq: env.seq,
             born: env.born,
             done: Instant::now(),
             payload: out,
-        });
+        }));
     } else {
         let env = Envelope {
             seq: env.seq,
@@ -743,6 +1196,138 @@ mod tests {
         // Each item passed both stages exactly once: x + 2, in order.
         let expect: Vec<u64> = (0..50).map(|x| x + 2).collect();
         assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn session_streams_outputs_while_pushing() {
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(2));
+        let mut session = spawn(pipeline, &cfg, 20);
+        let mut got = Vec::new();
+        for i in 0..20u64 {
+            session.push(i);
+            // Interleave pulls with pushes — the pipeline is live.
+            if let TryNext::Item(o) = session.try_next() {
+                got.push(o);
+            }
+        }
+        assert!(session.in_flight() <= 20);
+        let outcome = session.drain();
+        got.extend(outcome.outputs);
+        assert_eq!(got, (1..=20).collect::<Vec<_>>());
+        assert_eq!(outcome.report.completed, 20);
+        assert!(!outcome.report.truncated);
+    }
+
+    #[test]
+    fn session_next_blocks_until_each_output() {
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 5);
+        for i in 0..5u64 {
+            session.push(i);
+        }
+        session.close();
+        let mut got = Vec::new();
+        for o in session.by_ref() {
+            got.push(o);
+        }
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+        let outcome = session.drain();
+        assert!(outcome.outputs.is_empty(), "everything already pulled");
+        assert_eq!(outcome.report.completed, 5);
+    }
+
+    #[test]
+    fn bounded_session_blocks_push_under_stall() {
+        // capacity 1 over a 1-stage pipeline ⇒ 2 in-flight slots. The
+        // stage takes ≥ 20 ms per item, so pushing 8 items must block
+        // the source for roughly (8 − 2) × 20 ms.
+        let (s0, f0) = spin_stage("slow", 20);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.queue_capacity = Some(1);
+        let events = cfg.hooks.events.subscribe();
+        let mut session = spawn(pipeline, &cfg, 8);
+        let t0 = Instant::now();
+        for i in 0..8u64 {
+            session.push(i);
+        }
+        let pushing = t0.elapsed();
+        assert!(
+            pushing >= Duration::from_millis(80),
+            "8 pushes through 2 slots of a 20 ms stage took only {pushing:?}"
+        );
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 8);
+        assert_eq!(outcome.outputs, (1..=8).collect::<Vec<_>>());
+        let stalls = events
+            .try_iter()
+            .filter(|e| matches!(e, RunEvent::BackpressureStall { .. }))
+            .count();
+        assert!(stalls >= 4, "expected repeated stalls, saw {stalls}");
+    }
+
+    #[test]
+    fn abort_discards_backlog_instead_of_draining_it() {
+        // 200 queued items of a 5 ms stage ≈ 1 s of backlog; abort must
+        // return after at most the item in flight, not chew through it.
+        let (s0, f0) = spin_stage("slow", 5);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 200);
+        for i in 0..200u64 {
+            session.push(i);
+        }
+        let t0 = Instant::now();
+        let report = session.abort();
+        let took = t0.elapsed();
+        assert!(
+            took < Duration::from_millis(400),
+            "abort must not drain the ~1 s backlog, took {took:?}"
+        );
+        assert!(report.truncated);
+    }
+
+    #[test]
+    fn dropping_a_session_reclaims_its_threads() {
+        // A session abandoned without drain()/abort() (error path) must
+        // shut its workers, collector, and adaptation thread down via
+        // Drop — promptly, even with a deep backlog queued.
+        let (s0, f0) = spin_stage("slow", 5);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        };
+        let mut session = spawn(pipeline, &cfg, 100);
+        for i in 0..100u64 {
+            session.push(i);
+        }
+        let t0 = Instant::now();
+        drop(session);
+        assert!(
+            t0.elapsed() < Duration::from_millis(400),
+            "drop must join all threads without draining the backlog"
+        );
+    }
+
+    #[test]
+    fn abort_reports_truncation() {
+        let (s0, f0) = spin_stage("slow", 20);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 50);
+        for i in 0..50u64 {
+            session.push(i);
+        }
+        let report = session.abort();
+        assert!(
+            report.truncated || report.completed == 50,
+            "an aborted run either lost items (truncated) or got lucky"
+        );
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct RuntimeConfig {
     pub noise_seed: u64,
     /// Live observation callbacks (invoked as the run progresses).
     pub hooks: crate::session::RunHooks,
+    /// In-flight steering flags a live session may flip (pause/resume
+    /// adaptation, force a planning cycle). Checked here — not in the
+    /// backends — so every backend honours them identically.
+    pub control: crate::session::SessionControl,
 }
 
 impl RuntimeConfig {
@@ -167,6 +171,27 @@ impl AdaptationLoop {
             completed.saturating_sub(self.last_tick_completed) as f64 / interval.as_secs_f64();
         self.last_tick_completed = completed;
 
+        let paused = self.cfg.control.is_paused();
+        if !self.cfg.hooks.events.is_idle() {
+            self.cfg
+                .hooks
+                .events
+                .emit(crate::session::RunEvent::WindowStats {
+                    at: now,
+                    realized,
+                    expected: self.expected_tput,
+                    completed,
+                    paused,
+                });
+        }
+        // Paused: sensing and window reporting continue (above), but
+        // nothing may commit — not the planner, not the regret guard. A
+        // pending force request stays pending until resumed.
+        if paused {
+            return None;
+        }
+        let forced = self.cfg.control.take_force_remap();
+
         let mut committed: Option<RemapPlan> = None;
 
         // 2. Regret guard: compare what the adopted mapping delivers
@@ -204,10 +229,17 @@ impl AdaptationLoop {
 
         // 3. Policy-specific planning — but never before the warm-up
         // observation history exists, and not during a guard hold-down.
+        // A forced tick (SessionControl::force_remap) bypasses the
+        // warm-up gate, any hold-down, and the reactive trigger: the
+        // caller asked for one planning cycle *now*.
         let warmed_up = self.ticks_seen > self.cfg.controller.warmup_ticks
             && self.ticks_seen >= self.hold_until_tick;
         let remaining = self.cfg.total_items.saturating_sub(completed);
         let rates: Option<Vec<f64>> = match self.cfg.policy {
+            _ if forced => match self.cfg.policy {
+                Policy::Oracle { .. } => Some(backend.oracle_rates(now, now + interval)),
+                _ => Some(self.controller.forecast_rates(&self.cfg.speeds)),
+            },
             _ if !warmed_up => None,
             Policy::Static => None,
             Policy::Periodic { .. } => Some(self.controller.forecast_rates(&self.cfg.speeds)),
@@ -275,6 +307,12 @@ impl AdaptationLoop {
         backend.commit_remap(&plan);
         if let Some(hook) = &self.cfg.hooks.on_remap {
             hook(&plan);
+        }
+        if !self.cfg.hooks.events.is_idle() {
+            self.cfg
+                .hooks
+                .events
+                .emit(crate::session::RunEvent::Remap(plan.clone()));
         }
         plan
     }
@@ -352,6 +390,7 @@ mod tests {
             observation_noise: 0.0,
             noise_seed: 1,
             hooks: crate::session::RunHooks::default(),
+            control: crate::session::SessionControl::default(),
         };
         (cfg, mapping)
     }
@@ -437,6 +476,88 @@ mod tests {
             }
         }
         assert_eq!(fired.load(Ordering::SeqCst), 1, "hook must fire once");
+    }
+
+    #[test]
+    fn paused_loop_senses_but_never_commits() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        let control = crate::session::SessionControl::new();
+        cfg.control = control.clone();
+        let events = cfg.hooks.events.subscribe();
+        let warmup = cfg.controller.warmup_ticks;
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping.clone()));
+        let mut backend = TestBackend {
+            avail: vec![1.0, 0.05, 1.0], // would force a re-map if live
+            now: SimTime::ZERO,
+            completed: 0,
+            commits: vec![],
+        };
+        control.pause_adaptation();
+        for k in 0..warmup + 4 {
+            backend.now = SimTime::from_secs_f64((k + 1) as f64 * 5.0);
+            aloop.sample(&backend);
+            assert!(
+                aloop.tick(&mut backend, &routing).is_none(),
+                "paused loop committed at tick {k}"
+            );
+        }
+        assert_eq!(routing.read().unwrap().mapping(), &mapping);
+        // Window statistics kept flowing while paused.
+        let stats: Vec<_> = events.try_iter().collect();
+        assert_eq!(stats.len() as u32, warmup + 4);
+        assert!(stats.iter().all(|e| matches!(
+            e,
+            crate::session::RunEvent::WindowStats { paused: true, .. }
+        )));
+        // Resuming lets the collapsed node force the usual re-map.
+        control.resume_adaptation();
+        let mut committed = false;
+        for k in 0..4 {
+            backend.now += SimDuration::from_secs(5);
+            aloop.sample(&backend);
+            if aloop.tick(&mut backend, &routing).is_some() {
+                committed = true;
+                break;
+            }
+            assert!(k < 3, "resume must re-enable planning");
+        }
+        assert!(committed);
+    }
+
+    #[test]
+    fn forced_tick_bypasses_warmup_and_emits_remap_event() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        // Make acceptance easy so the forced cycle visibly commits.
+        cfg.controller.decision = adapipe_mapper::decide::DecisionConfig {
+            min_relative_gain: 0.0,
+            cost_benefit_factor: 0.0,
+        };
+        let control = crate::session::SessionControl::new();
+        cfg.control = control.clone();
+        let events = cfg.hooks.events.subscribe();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::new(mapping));
+        let mut backend = TestBackend {
+            avail: vec![1.0, 0.05, 1.0],
+            now: SimTime::ZERO,
+            completed: 0,
+            commits: vec![],
+        };
+        // One observation, then a forced tick *inside* the warm-up
+        // window: it must plan (and here commit) anyway.
+        backend.now = SimTime::from_secs_f64(5.0);
+        aloop.sample(&backend);
+        control.force_remap();
+        let plan = aloop
+            .tick(&mut backend, &routing)
+            .expect("forced tick must plan");
+        assert!(!plan.moved.is_empty());
+        let remaps: Vec<_> = events
+            .try_iter()
+            .filter(|e| matches!(e, crate::session::RunEvent::Remap(_)))
+            .collect();
+        assert_eq!(remaps.len(), 1, "Remap event mirrors the commit");
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct RunReport {
     /// Mean per-item latency (arrival → sink).
     pub mean_latency: SimDuration,
     /// Per-item latency samples (arrival → sink), unsorted. Use
-    /// [`RunReport::latency_percentile`] for quantiles.
+    /// [`RunReport::latency_percentile`] for quantiles. Bounded: runs
+    /// beyond ~1M completions retain a deterministic, approximately
+    /// uniform subsample (see [`ReportBuilder::record_completion`]), so
+    /// quantiles become estimates there while `mean_latency` stays
+    /// exact.
     pub latencies: Vec<SimDuration>,
     /// Completions bucketed over time.
     pub timeline: ThroughputTimeline,
@@ -94,7 +98,92 @@ impl RunReport {
         }
         (self.node_busy[i].as_secs_f64() / horizon).clamp(0.0, 1.0)
     }
+
+    /// Serialises the report as one machine-readable JSON object, so
+    /// bench binaries and long-running services emit comparable records
+    /// without ad-hoc formatting. Times are seconds (`f64`); the final
+    /// mapping is an array of per-stage host arrays; the per-item
+    /// latency samples are summarised as quantiles rather than dumped.
+    pub fn to_json(&self) -> String {
+        let mapping_json = |m: &Mapping| {
+            let stages: Vec<String> = (0..m.len())
+                .map(|s| {
+                    let hosts: Vec<String> = m
+                        .placement(s)
+                        .hosts()
+                        .iter()
+                        .map(|h| h.index().to_string())
+                        .collect();
+                    format!("[{}]", hosts.join(","))
+                })
+                .collect();
+            format!("[{}]", stages.join(","))
+        };
+        let adaptations: Vec<String> = self
+            .adaptations
+            .iter()
+            .map(|e| {
+                let stages: Vec<String> = e.migrated_stages.iter().map(|s| s.to_string()).collect();
+                format!(
+                    "{{\"at_secs\":{},\"migrated_stages\":[{}],\"predicted_speedup\":{},\
+                     \"migration_cost_secs\":{},\"to\":{}}}",
+                    json_f64(e.at.as_secs_f64()),
+                    stages.join(","),
+                    json_f64(e.predicted_speedup),
+                    json_f64(e.migration_cost.as_secs_f64()),
+                    mapping_json(&e.to),
+                )
+            })
+            .collect();
+        let node_busy: Vec<String> = self
+            .node_busy
+            .iter()
+            .map(|d| json_f64(d.as_secs_f64()))
+            .collect();
+        let quantile = |q: f64| {
+            self.latency_percentile(q)
+                .map_or_else(|| "null".to_string(), |d| json_f64(d.as_secs_f64()))
+        };
+        format!(
+            "{{\"completed\":{},\"makespan_secs\":{},\"mean_throughput\":{},\
+             \"mean_latency_secs\":{},\"latency_p50_secs\":{},\"latency_p95_secs\":{},\
+             \"latency_p99_secs\":{},\"adaptation_count\":{},\"total_migration_cost_secs\":{},\
+             \"planning_cycles\":{},\"truncated\":{},\"node_busy_secs\":[{}],\
+             \"final_mapping\":{},\"adaptations\":[{}]}}",
+            self.completed,
+            json_f64(self.makespan.as_secs_f64()),
+            json_f64(self.mean_throughput()),
+            json_f64(self.mean_latency.as_secs_f64()),
+            quantile(0.50),
+            quantile(0.95),
+            quantile(0.99),
+            self.adaptation_count(),
+            json_f64(self.total_migration_cost().as_secs_f64()),
+            self.planning_cycles,
+            self.truncated,
+            node_busy.join(","),
+            mapping_json(&self.final_mapping),
+            adaptations.join(","),
+        )
+    }
 }
+
+/// JSON-safe float: finite values render plainly, NaN/∞ become `null`
+/// (JSON has no spelling for them).
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Upper bound on retained per-item latency samples (8 MiB of
+/// `SimDuration`). Beyond it the builder decimates deterministically —
+/// see [`ReportBuilder::record_completion`] — so an *open-ended*
+/// streaming session can run indefinitely without the report growing
+/// per item.
+const LATENCY_SAMPLE_CAP: usize = 1 << 20;
 
 /// Accumulates per-completion observations and assembles the final
 /// [`RunReport`] — the one place report shape is defined, so every
@@ -105,33 +194,64 @@ pub struct ReportBuilder {
     completed: u64,
     latency_sum: SimDuration,
     latencies: Vec<SimDuration>,
+    /// Record every `latency_stride`-th completion's latency sample;
+    /// doubles whenever the sample buffer hits [`LATENCY_SAMPLE_CAP`].
+    latency_stride: u64,
     last_completion: SimTime,
     timeline: ThroughputTimeline,
 }
 
 impl ReportBuilder {
     /// Creates a builder for a stream of `expected_items`, bucketing the
-    /// throughput timeline at `bucket`.
+    /// throughput timeline at `bucket`. Streaming sessions whose length
+    /// is unknown until close pass `u64::MAX` and settle the count later
+    /// with [`ReportBuilder::set_expected`].
     pub fn new(bucket: SimDuration, expected_items: u64) -> Self {
         ReportBuilder {
             expected_items,
             completed: 0,
             latency_sum: SimDuration::ZERO,
-            latencies: Vec::with_capacity(expected_items.min(1 << 20) as usize),
+            latencies: Vec::with_capacity(expected_items.min(4096) as usize),
+            latency_stride: 1,
             last_completion: SimTime::ZERO,
             timeline: ThroughputTimeline::new(bucket),
         }
     }
 
+    /// Settles the expected stream length — a streaming session calls
+    /// this at `close()`, when the number of pushed items becomes known.
+    pub fn set_expected(&mut self, expected_items: u64) {
+        self.expected_items = expected_items;
+    }
+
     /// Records one item reaching the sink at `at` after `latency`.
+    ///
+    /// Memory stays bounded on open-ended streams: the latency *sum*
+    /// (and therefore the reported mean) is exact over every
+    /// completion, while the per-item samples backing the quantiles are
+    /// capped (at ~1M samples) via deterministic doubling
+    /// decimation — when the buffer fills, every other sample is
+    /// dropped and only every `2×stride`-th completion is sampled from
+    /// then on, keeping the retained samples approximately uniform over
+    /// the whole run.
     pub fn record_completion(&mut self, at: SimTime, latency: SimDuration) {
-        self.completed += 1;
         self.timeline.record(at);
         if at > self.last_completion {
             self.last_completion = at;
         }
         self.latency_sum = self.latency_sum.saturating_add(latency);
-        self.latencies.push(latency);
+        if self.latencies.len() >= LATENCY_SAMPLE_CAP {
+            let mut keep = false;
+            self.latencies.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.latency_stride *= 2;
+        }
+        if self.completed.is_multiple_of(self.latency_stride) {
+            self.latencies.push(latency);
+        }
+        self.completed += 1;
     }
 
     /// Completions recorded so far.
@@ -268,6 +388,104 @@ mod tests {
         assert!(!r.truncated);
         assert_eq!(r.makespan, SimTime::ZERO);
         assert_eq!(r.mean_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn latency_samples_stay_bounded_on_endless_streams() {
+        // 2.5 M completions — an open-ended session's lifetime in
+        // miniature. The sample buffer must stay at or under the cap,
+        // the mean must stay exact, and quantiles must stay sane.
+        let mut b = ReportBuilder::new(SimDuration::from_secs(3600), u64::MAX);
+        let n = 2_500_000u64;
+        for i in 0..n {
+            // Latencies 1..=10 s, cycling: mean 5.5 s, p50 ≈ 5–6 s.
+            let latency = SimDuration::from_secs((i % 10) + 1);
+            b.record_completion(SimTime::from_secs_f64(i as f64 * 1e-3), latency);
+        }
+        assert_eq!(b.completed(), n);
+        assert!(
+            b.latencies.len() <= LATENCY_SAMPLE_CAP,
+            "samples grew past the cap: {}",
+            b.latencies.len()
+        );
+        // Still a substantial sample after decimation.
+        assert!(b.latencies.len() > LATENCY_SAMPLE_CAP / 4);
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![SimDuration::ZERO],
+            StageMetrics::new(1),
+        );
+        assert!(
+            (r.mean_latency.as_secs_f64() - 5.5).abs() < 1e-3,
+            "mean is exact"
+        );
+        let p50 = r.latency_percentile(0.5).unwrap().as_secs_f64();
+        assert!((4.0..=7.0).contains(&p50), "p50 estimate off: {p50}");
+    }
+
+    #[test]
+    fn set_expected_settles_an_open_stream() {
+        let mut b = ReportBuilder::new(SimDuration::from_secs(1), u64::MAX);
+        b.record_completion(SimTime::from_secs_f64(1.0), SimDuration::from_secs(1));
+        assert!(!b.all_done());
+        b.set_expected(1);
+        assert!(b.all_done());
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![SimDuration::ZERO],
+            StageMetrics::new(1),
+        );
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn to_json_emits_every_headline_field() {
+        let mut r = report(10, 5.0);
+        let m = Mapping::from_assignment(&[NodeId(0)]);
+        r.adaptations.push(AdaptationEvent {
+            at: SimTime::from_secs_f64(2.0),
+            from: m.clone(),
+            to: m,
+            migrated_stages: vec![0],
+            predicted_speedup: 1.4,
+            migration_cost: SimDuration::from_millis(100),
+        });
+        let json = r.to_json();
+        for key in [
+            "\"completed\":10",
+            "\"makespan_secs\":5",
+            "\"mean_throughput\":2",
+            "\"latency_p95_secs\":",
+            "\"adaptation_count\":1",
+            "\"planning_cycles\":0",
+            "\"truncated\":false",
+            "\"final_mapping\":[[0]]",
+            "\"migrated_stages\":[0]",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Structurally sound: balanced braces/brackets, no raw NaN/inf.
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "unbalanced JSON: {json}");
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn to_json_renders_non_finite_values_as_null() {
+        let mut r = report(0, 0.0);
+        r.mean_latency = SimDuration::from_secs_f64(0.0);
+        let json = r.to_json();
+        // No completions: quantiles are null, throughput is finite 0.
+        assert!(json.contains("\"latency_p50_secs\":null"));
+        assert!(json.contains("\"mean_throughput\":0"));
     }
 
     #[test]

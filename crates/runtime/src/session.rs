@@ -12,7 +12,13 @@
 //!   backends, replacing the per-backend halves of `SimConfig` and
 //!   `EngineConfig`;
 //! * [`RunHooks`] — live observation callbacks the adaptation loop
-//!   invokes while the pipeline runs.
+//!   invokes while the pipeline runs;
+//! * [`RunEvent`] / [`EventBus`] — the broadcast generalisation of
+//!   those callbacks: streaming sessions subscribe to re-mappings,
+//!   window statistics, and backpressure stalls as they happen;
+//! * [`SessionControl`] — in-flight steering (pause/resume adaptation,
+//!   force a re-map) shared between a live session and the adaptation
+//!   loop, honoured identically by every backend.
 //!
 //! ## Validation rules
 //!
@@ -45,9 +51,11 @@ use crate::controller::ControllerConfig;
 use crate::policy::Policy;
 use crate::routing::Selection;
 use adapipe_gridsim::net::Topology;
-use adapipe_gridsim::time::SimDuration;
+use adapipe_gridsim::time::{SimDuration, SimTime};
 use adapipe_mapper::mapping::Mapping;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 pub use crate::arrivals::ArrivalProcess;
 
@@ -119,6 +127,9 @@ pub enum BuildError {
         /// What is wrong with the mapping.
         detail: String,
     },
+    /// A bounded session declared a queue capacity of zero — it could
+    /// never admit an item.
+    ZeroQueueCapacity,
 }
 
 impl std::fmt::Display for BuildError {
@@ -166,6 +177,13 @@ impl std::fmt::Display for BuildError {
             BuildError::InvalidMapping { detail } => {
                 write!(f, "invalid launch mapping: {detail}")
             }
+            BuildError::ZeroQueueCapacity => {
+                write!(
+                    f,
+                    "queue capacity must be at least 1 (a zero-capacity session \
+                     could never admit an item); use None for unbounded queues"
+                )
+            }
         }
     }
 }
@@ -175,6 +193,142 @@ impl std::error::Error for BuildError {}
 /// A shareable callback observing committed re-mappings.
 pub type RemapHook = Arc<dyn Fn(&RemapPlan) + Send + Sync>;
 
+/// One live occurrence inside a running pipeline, published to every
+/// [`EventBus`] subscriber. Generalises the single `on_remap` callback:
+/// a streaming session can watch re-mappings, per-interval window
+/// statistics, and backpressure stalls while the run is in flight.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum RunEvent {
+    /// The controller committed a re-mapping (including regret-guard
+    /// reverts). Mirrors the `on_remap` hook exactly: both fire once
+    /// per committed plan, in the same order.
+    Remap(RemapPlan),
+    /// One adaptation interval elapsed: what the loop observed.
+    WindowStats {
+        /// Backend time of the tick.
+        at: SimTime,
+        /// Realized throughput over the elapsed interval (items/s).
+        realized: f64,
+        /// Model-predicted throughput of the mapping in force.
+        expected: f64,
+        /// Items completed so far.
+        completed: u64,
+        /// True while [`SessionControl::pause_adaptation`] is in force.
+        paused: bool,
+    },
+    /// A `push()` blocked on a full bounded queue (threaded backend).
+    BackpressureStall {
+        /// Sequence number of the item whose push stalled.
+        seq: u64,
+        /// How long the push waited for a free slot.
+        waited: SimDuration,
+    },
+}
+
+/// A broadcast channel for [`RunEvent`]s: any number of subscribers,
+/// each receiving every event emitted after it subscribed. Cloning the
+/// bus shares the subscriber list (it is a handle, not a copy).
+/// Emission with no subscribers is a cheap no-op, so the bus rides in
+/// [`RunHooks`] unconditionally.
+#[derive(Clone, Default)]
+pub struct EventBus {
+    subs: Arc<Mutex<Vec<Sender<RunEvent>>>>,
+}
+
+impl EventBus {
+    /// A bus with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber; events emitted from now on arrive on the
+    /// returned channel. Dropping the receiver unsubscribes it.
+    pub fn subscribe(&self) -> Receiver<RunEvent> {
+        let (tx, rx) = channel();
+        self.subs.lock().expect("event bus lock poisoned").push(tx);
+        rx
+    }
+
+    /// True if nobody is listening (emission would be a no-op).
+    pub fn is_idle(&self) -> bool {
+        self.subs
+            .lock()
+            .expect("event bus lock poisoned")
+            .is_empty()
+    }
+
+    /// Publishes `event` to every live subscriber, dropping subscribers
+    /// whose receiver has gone away.
+    pub fn emit(&self, event: RunEvent) {
+        let mut subs = self.subs.lock().expect("event bus lock poisoned");
+        subs.retain(|tx| tx.send(event.clone()).is_ok());
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field(
+                "subscribers",
+                &self.subs.lock().expect("event bus lock poisoned").len(),
+            )
+            .finish()
+    }
+}
+
+/// In-flight steering shared between a live session and the adaptation
+/// loop. Cloning shares the flags (it is a handle). Both backends
+/// honour it identically because the checks live in the shared
+/// [`crate::adapt::AdaptationLoop`], not in either engine.
+#[derive(Clone, Debug, Default)]
+pub struct SessionControl {
+    flags: Arc<ControlFlags>,
+}
+
+#[derive(Debug, Default)]
+struct ControlFlags {
+    paused: AtomicBool,
+    force_remap: AtomicBool,
+}
+
+impl SessionControl {
+    /// Fresh, unpaused control flags.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes adaptation: ticks keep sensing and reporting window
+    /// statistics, but no re-mapping (planner or regret guard) commits
+    /// until [`SessionControl::resume_adaptation`].
+    pub fn pause_adaptation(&self) {
+        self.flags.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Lifts a [`SessionControl::pause_adaptation`].
+    pub fn resume_adaptation(&self) {
+        self.flags.paused.store(false, Ordering::SeqCst);
+    }
+
+    /// True while adaptation is paused.
+    pub fn is_paused(&self) -> bool {
+        self.flags.paused.load(Ordering::SeqCst)
+    }
+
+    /// Requests one forced planning cycle at the next adaptation tick,
+    /// bypassing warm-up gating, guard hold-downs, and the reactive
+    /// policy's degradation trigger. No-op under `Policy::Static`
+    /// (a static run has no adaptation ticks to force).
+    pub fn force_remap(&self) {
+        self.flags.force_remap.store(true, Ordering::SeqCst);
+    }
+
+    /// Consumes a pending force request (the adaptation loop's side).
+    pub fn take_force_remap(&self) -> bool {
+        self.flags.force_remap.swap(false, Ordering::SeqCst)
+    }
+}
+
 /// Live observation callbacks for a run. Cloned into the adaptation
 /// loop; invoked on the thread (or at the simulated instant) the event
 /// occurs, while the pipeline keeps running.
@@ -183,6 +337,10 @@ pub struct RunHooks {
     /// Called after every committed re-mapping (including regret-guard
     /// reverts) with the priced plan.
     pub on_remap: Option<RemapHook>,
+    /// Broadcast stream of [`RunEvent`]s — the generalised, multi-
+    /// subscriber form of the callbacks above. `RunSession::events()`
+    /// subscribes to this bus.
+    pub events: EventBus,
 }
 
 impl RunHooks {
@@ -190,6 +348,7 @@ impl RunHooks {
     pub fn on_remap(f: impl Fn(&RemapPlan) + Send + Sync + 'static) -> Self {
         RunHooks {
             on_remap: Some(Arc::new(f)),
+            events: EventBus::default(),
         }
     }
 }
@@ -198,8 +357,21 @@ impl std::fmt::Debug for RunHooks {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunHooks")
             .field("on_remap", &self.on_remap.as_ref().map(|_| "Fn"))
+            .field("events", &self.events)
             .finish()
     }
+}
+
+/// Outcome of a non-blocking poll on a streaming session's output side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TryNext<O> {
+    /// An output was ready.
+    Item(O),
+    /// Nothing ready *yet* — more outputs may still arrive.
+    Pending,
+    /// The stream is finished: every output has been delivered (or the
+    /// run was aborted/starved) and no further item will ever arrive.
+    Done,
 }
 
 /// Backend-independent run-time knobs for one pipeline run — the single
@@ -208,7 +380,9 @@ impl std::fmt::Debug for RunHooks {
 /// parameterised by backend sets them once).
 #[derive(Clone, Debug)]
 pub struct RunConfig {
-    /// Stream length.
+    /// Stream length for batch `run()`. A streaming session's true
+    /// length is whatever gets pushed before `close()`; there `items`
+    /// only seeds the adaptation loop's remaining-work amortisation.
     pub items: u64,
     /// Controller tunables (planner, hysteresis, monitoring window).
     pub controller: ControllerConfig,
@@ -240,6 +414,24 @@ pub struct RunConfig {
     pub max_sim_time: SimDuration,
     /// Live observation callbacks.
     pub hooks: RunHooks,
+    /// Per-stage-boundary queue bound for streaming sessions. `None`
+    /// leaves queues unbounded (the legacy batch behaviour). With
+    /// `Some(c)` the threaded backend caps the total in-flight item
+    /// count at `c × (stages + 1)` — one bounded buffer per stage
+    /// boundary, source and sink included — so `push()` blocks under
+    /// real backpressure instead of queueing without limit. The bound
+    /// is enforced end-to-end (a completion frees a slot) rather than
+    /// per physical channel: with stages coalesced on one worker,
+    /// per-channel blocking sends can deadlock (worker A full and
+    /// blocked sending to full worker B, which is blocked sending back
+    /// to A), while an end-to-end credit never blocks a worker and
+    /// still bounds every inter-stage queue by the same total. The
+    /// simulation backend models no wall-clock memory pressure and
+    /// ignores the knob.
+    pub queue_capacity: Option<usize>,
+    /// In-flight steering flags (pause/resume/force re-map) shared with
+    /// the session that owns the run.
+    pub control: SessionControl,
 }
 
 impl Default for RunConfig {
@@ -258,6 +450,8 @@ impl Default for RunConfig {
             preserve_order: true,
             max_sim_time: SimDuration::from_secs(7 * 24 * 3600),
             hooks: RunHooks::default(),
+            queue_capacity: None,
+            control: SessionControl::default(),
         }
     }
 }
@@ -577,6 +771,60 @@ mod tests {
             validate_mapping(&wide, &[true], &[2], 1),
             Err(BuildError::InvalidMapping { .. })
         ));
+    }
+
+    #[test]
+    fn event_bus_broadcasts_to_every_subscriber() {
+        let bus = EventBus::new();
+        assert!(bus.is_idle());
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        assert!(!bus.is_idle());
+        bus.emit(RunEvent::BackpressureStall {
+            seq: 3,
+            waited: SimDuration::from_millis(5),
+        });
+        for rx in [&a, &b] {
+            match rx.try_recv().expect("event delivered") {
+                RunEvent::BackpressureStall { seq, .. } => assert_eq!(seq, 3),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // A dropped subscriber is pruned on the next emission.
+        drop(a);
+        bus.emit(RunEvent::WindowStats {
+            at: SimTime::ZERO,
+            realized: 1.0,
+            expected: 1.0,
+            completed: 0,
+            paused: false,
+        });
+        assert_eq!(bus.subs.lock().unwrap().len(), 1);
+        assert_eq!(b.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn session_control_flags_round_trip() {
+        let ctl = SessionControl::new();
+        assert!(!ctl.is_paused());
+        ctl.pause_adaptation();
+        // A clone shares the flags — it is a handle, not a copy.
+        let other = ctl.clone();
+        assert!(other.is_paused());
+        other.resume_adaptation();
+        assert!(!ctl.is_paused());
+        assert!(!ctl.take_force_remap());
+        ctl.force_remap();
+        assert!(other.take_force_remap(), "force flag is shared");
+        assert!(!ctl.take_force_remap(), "force flag is one-shot");
+    }
+
+    #[test]
+    fn run_config_defaults_to_unbounded_queues() {
+        let cfg = RunConfig::default();
+        assert_eq!(cfg.queue_capacity, None);
+        assert!(!cfg.control.is_paused());
+        assert!(cfg.hooks.events.is_idle());
     }
 
     #[test]

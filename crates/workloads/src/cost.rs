@@ -30,6 +30,9 @@ impl WorkModel for ExponentialWork {
     fn mean(&self) -> f64 {
         self.mean
     }
+    fn clone_box(&self) -> Box<dyn WorkModel> {
+        Box::new(*self)
+    }
 }
 
 /// Pareto-distributed work (heavy tail): occasional items cost far more
@@ -64,6 +67,9 @@ impl WorkModel for ParetoWork {
     }
     fn mean(&self) -> f64 {
         self.alpha * self.xm / (self.alpha - 1.0)
+    }
+    fn clone_box(&self) -> Box<dyn WorkModel> {
+        Box::new(*self)
     }
 }
 
@@ -108,6 +114,9 @@ impl WorkModel for BimodalWork {
     }
     fn mean(&self) -> f64 {
         self.heavy_frac * self.heavy + (1.0 - self.heavy_frac) * self.light
+    }
+    fn clone_box(&self) -> Box<dyn WorkModel> {
+        Box::new(*self)
     }
 }
 

@@ -30,34 +30,86 @@
 //!
 //! `build()` validates the declaration (non-empty, unique stage names,
 //! legal replica bounds, policy/arrival compatibility) and returns a
-//! typed [`BuildError`] instead of panicking mid-run; `run()` adds the
-//! backend-dependent checks (input feed present, selection supported).
-//! Stage state and replication properties are declared in the API —
-//! [`PipelineBuilder::stage_replicated`] bounds how wide the planner may
-//! legally farm a stage, [`PipelineBuilder::stateful_stage`] pins a
-//! stage to width one — so the runtime can replicate exactly what the
-//! programmer permitted.
+//! typed [`BuildError`] instead of panicking mid-run; `run()`/`spawn()`
+//! add the backend-dependent checks (input feed present, selection
+//! supported). Stage state and replication properties are declared in
+//! the API — [`PipelineBuilder::stage_replicated`] bounds how wide the
+//! planner may legally farm a stage,
+//! [`PipelineBuilder::stateful_stage`] pins a stage to width one — so
+//! the runtime can replicate exactly what the programmer permitted.
+//!
+//! ## Streaming sessions
+//!
+//! Batch `run()` is sugar. The primary execution surface is the live
+//! session: [`Pipeline::spawn`] starts the pipeline and hands back a
+//! [`RunSession`] whose input side ([`RunSession::push`],
+//! [`RunSession::close`]) and output side ([`RunSession::next`],
+//! [`RunSession::try_next`]) the caller drives while adaptation runs
+//! underneath:
+//!
+//! ```
+//! use adapipe::prelude::*;
+//!
+//! let pipeline = Pipeline::<u64>::builder()
+//!     .stage("inc", |x: u64| x + 1)
+//!     .build()
+//!     .expect("valid pipeline");
+//! let mut session = pipeline
+//!     .spawn(
+//!         Backend::Threads(vec![VNodeSpec::free("v0")]),
+//!         RunConfig { queue_capacity: Some(64), ..RunConfig::default() },
+//!     )
+//!     .expect("spawn");
+//! for i in 0..10 {
+//!     session.push(i); // blocks only when the bounded queues are full
+//! }
+//! let handle = session.drain(); // graceful: every pushed item completes
+//! assert_eq!(handle.outputs, (1..=10).collect::<Vec<_>>());
+//! ```
+//!
+//! In-flight control rides on the session:
+//! [`RunSession::pause_adaptation`] / [`RunSession::resume_adaptation`]
+//! freeze and thaw re-mapping, [`RunSession::force_remap`] demands one
+//! planning cycle now, [`RunSession::abort`] kills the run (vs. the
+//! graceful [`RunSession::drain`]), and [`RunSession::events`]
+//! subscribes to the live [`RunEvent`] stream (re-mappings, window
+//! statistics, backpressure stalls) that generalises the one-callback
+//! [`RunHooks`].
+//!
+//! The same session API runs on the simulator: the discrete-event world
+//! advances cooperatively as the session is driven (`next()`/`drain()`
+//! step it; virtual time never advances on its own), pushed items take
+//! their arrival instants from the pipeline's declared
+//! [`ArrivalProcess`], and stage functions are applied to pushed items
+//! in push order — so one scenario written against [`RunSession`]
+//! produces item-identical outputs on either backend.
 //!
 //! Live observation goes through [`RunConfig`]'s [`RunHooks`]
 //! (`on_remap` fires at each committed re-mapping while the pipeline
-//! runs); post-run observation through the [`RunHandle`].
+//! runs) or the richer [`RunSession::events`] stream; post-run
+//! observation through the [`RunHandle`].
 
 use adapipe_core::pipeline::Pipeline as CorePipeline;
-use adapipe_core::simengine::{self, SimConfig};
+use adapipe_core::simengine::{SimConfig, SimStepper};
 use adapipe_core::spec::{PipelineSpec, StageSpec};
-use adapipe_core::stage::{DynStage, FnStage, StatefulFnStage};
-use adapipe_engine::exec::{execute_fed, EngineConfig};
+use adapipe_core::stage::{BoxedItem, DynStage, FnStage, StatefulFnStage};
+use adapipe_engine::exec::{self, EngineConfig, EngineSession};
 use adapipe_engine::vnode::VNodeSpec;
 use adapipe_gridsim::grid::GridSpec;
 use adapipe_gridsim::node::NodeId;
+use adapipe_runtime::arrivals::ArrivalStream;
 use adapipe_runtime::metrics::StageStats;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, RunReport};
 use adapipe_runtime::routing::Selection;
-use adapipe_runtime::session::{self, Session};
+use adapipe_runtime::session::{self, EventBus, Session, SessionControl};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::marker::PhantomData;
+use std::sync::mpsc::Receiver;
 
-pub use adapipe_runtime::session::{ArrivalProcess, BuildError, RunConfig, RunHooks};
+pub use adapipe_runtime::session::{
+    ArrivalProcess, BuildError, RunConfig, RunEvent, RunHooks, TryNext,
+};
 
 /// Which execution backend a built [`Pipeline`] runs on.
 pub enum Backend<'a> {
@@ -170,19 +222,18 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
         self.session.arrivals()
     }
 
-    /// Runs the pipeline on `backend` under `cfg`.
-    ///
-    /// Backend-dependent validation happens here: the threaded backend
-    /// needs an input [`PipelineBuilder::feed`] (the simulator only
-    /// consumes metadata) and exposes no queue-depth probe for
-    /// [`Selection::LeastLoaded`].
-    pub fn run(self, backend: Backend<'_>, cfg: RunConfig) -> Result<RunHandle<O>, BuildError> {
-        // A supplied launch mapping must honour the declared stage
-        // properties (statefulness, replica bounds) and the backend's
-        // node set — otherwise the typed-validation contract would be
-        // silently bypassed by the one knob that places stages directly.
+    /// Shared `run()`/`spawn()` validation: the launch mapping must
+    /// honour the declared stage properties (statefulness, replica
+    /// bounds) and the backend's node set — otherwise the
+    /// typed-validation contract would be silently bypassed by the one
+    /// knob that places stages directly — and a declared queue bound
+    /// must be able to admit at least one item.
+    fn validate_run(&self, backend: &Backend<'_>, cfg: &RunConfig) -> Result<(), BuildError> {
+        if cfg.queue_capacity == Some(0) {
+            return Err(BuildError::ZeroQueueCapacity);
+        }
         if let Some(mapping) = &cfg.initial_mapping {
-            let node_count = match &backend {
+            let node_count = match backend {
                 Backend::Sim(grid) => grid.len(),
                 Backend::Threads(vnodes) => vnodes.len(),
             };
@@ -190,10 +241,33 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
             let replica_cap: Vec<usize> = self.spec.stages.iter().map(|s| s.max_replicas).collect();
             session::validate_mapping(mapping, &stateless, &replica_cap, node_count)?;
         }
-        match backend {
+        if matches!(backend, Backend::Threads(_)) && cfg.selection == Selection::LeastLoaded {
+            return Err(BuildError::UnsupportedSelection { backend: "threads" });
+        }
+        Ok(())
+    }
+
+    /// Starts the pipeline on `backend` and returns the live
+    /// [`RunSession`]: push items, pull outputs, steer adaptation — all
+    /// while the run is in flight. `cfg.items` only seeds the
+    /// adaptation loop's remaining-work amortisation (the true stream
+    /// length is whatever is pushed before [`RunSession::close`]).
+    ///
+    /// No input feed is required: the session's `push` supplies real
+    /// items on every backend. Under [`Backend::Sim`] the pushed items
+    /// take their simulated arrival instants from the pipeline's
+    /// declared [`ArrivalProcess`], and the stage functions are applied
+    /// in push order, so the session yields real outputs there too.
+    pub fn spawn<'g>(
+        self,
+        backend: Backend<'g>,
+        cfg: RunConfig,
+    ) -> Result<RunSession<'g, I, O>, BuildError> {
+        self.validate_run(&backend, &cfg)?;
+        let control = cfg.control.clone();
+        let bus = cfg.hooks.events.clone();
+        let inner = match backend {
             Backend::Sim(grid) => {
-                // `None` knobs defer to the backend's own defaults so
-                // the unified path tracks them as they evolve.
                 let defaults = SimConfig::default();
                 let sim_cfg = SimConfig {
                     items: cfg.items,
@@ -208,39 +282,77 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                     link_contention: cfg.link_contention,
                     max_sim_time: cfg.max_sim_time,
                     hooks: cfg.hooks,
+                    control: cfg.control,
                 };
-                let report = simengine::run(grid, &self.spec, &sim_cfg);
+                let arrivals = self.session.arrivals().stream();
+                SessionInner::Sim(Box::new(SimSession {
+                    stepper: SimStepper::new(grid, self.spec, &sim_cfg),
+                    stages: self.stages,
+                    arrivals,
+                    outputs: HashMap::new(),
+                    done_ordered: BTreeSet::new(),
+                    done_unordered: VecDeque::new(),
+                    next_seq: 0,
+                    preserve_order: cfg.preserve_order,
+                }))
+            }
+            Backend::Threads(vnodes) => {
+                let items = cfg.items;
+                let engine_cfg = engine_config(&self.session, vnodes, cfg);
+                let core = CorePipeline::from_parts(self.spec, self.stages);
+                SessionInner::Threads(exec::spawn(core, &engine_cfg, items))
+            }
+        };
+        Ok(RunSession {
+            inner,
+            control,
+            bus,
+        })
+    }
+
+    /// Runs the pipeline to completion on `backend` under `cfg` —
+    /// batch sugar over [`Pipeline::spawn`]: spawn a session, feed
+    /// `cfg.items` items on the declared arrival schedule, and
+    /// [`RunSession::drain`].
+    ///
+    /// Backend-dependent validation happens here: the threaded backend
+    /// needs an input [`PipelineBuilder::feed`] to synthesise the items
+    /// (a live session pushes real items instead) and exposes no
+    /// queue-depth probe for [`Selection::LeastLoaded`]. Under
+    /// [`Backend::Sim`] the batch path feeds arrival *metadata* only —
+    /// stage functions are not invoked and [`RunHandle::outputs`] stays
+    /// empty, exactly as before the streaming API existed.
+    pub fn run(mut self, backend: Backend<'_>, cfg: RunConfig) -> Result<RunHandle<O>, BuildError> {
+        // The Sim branch validates inside spawn(); the Threads branch
+        // bypasses spawn (it delegates to the engine's batch wrapper)
+        // and must validate here — before the feed check, so
+        // declaration errors (bad mapping, unsupported selection)
+        // surface with the same precedence the pre-session API had.
+        if matches!(backend, Backend::Threads(_)) {
+            self.validate_run(&backend, &cfg)?;
+        }
+        let items = cfg.items;
+        let feed = self.feed.take();
+        match backend {
+            Backend::Sim(grid) => {
+                let mut session = self.spawn(Backend::Sim(grid), cfg)?;
+                for _ in 0..items {
+                    session.push_marker();
+                }
+                let handle = session.drain();
                 Ok(RunHandle {
                     outputs: Vec::new(),
-                    report,
+                    report: handle.report,
                 })
             }
             Backend::Threads(vnodes) => {
-                if cfg.selection == Selection::LeastLoaded {
-                    return Err(BuildError::UnsupportedSelection { backend: "threads" });
-                }
-                let feed = self
-                    .feed
-                    .ok_or(BuildError::MissingFeed { backend: "threads" })?;
-                let mut engine_cfg = EngineConfig::new(vnodes);
-                engine_cfg.policy = self.session.policy();
-                engine_cfg.controller = cfg.controller;
-                engine_cfg.initial_mapping = cfg.initial_mapping;
-                engine_cfg.preserve_order = cfg.preserve_order;
-                engine_cfg.arrivals = self.session.arrivals();
-                engine_cfg.topology = cfg.topology;
-                engine_cfg.observation_noise = cfg.observation_noise;
-                engine_cfg.noise_seed = cfg.noise_seed;
-                if let Some(bucket) = cfg.timeline_bucket {
-                    engine_cfg.timeline_bucket = bucket;
-                }
-                engine_cfg.emulate_links = cfg.emulate_links;
-                engine_cfg.hooks = cfg.hooks;
+                let feed = feed.ok_or(BuildError::MissingFeed { backend: "threads" })?;
+                // `execute_fed` is itself spawn + arrival-paced pushes +
+                // drain, so the batch wall-clock pacing logic lives in
+                // exactly one place (the engine crate).
+                let engine_cfg = engine_config(&self.session, vnodes, cfg);
                 let core = CorePipeline::from_parts(self.spec, self.stages);
-                // Inputs are drawn lazily from the feed at their
-                // scheduled arrival times — memory stays proportional
-                // to the in-flight window, not the stream length.
-                let outcome = execute_fed(core, cfg.items, feed, &engine_cfg);
+                let outcome = exec::execute_fed(core, items, feed, &engine_cfg);
                 Ok(RunHandle {
                     outputs: outcome.outputs,
                     report: outcome.report,
@@ -248,6 +360,317 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
             }
         }
     }
+}
+
+/// Translates the backend-independent [`RunConfig`] (plus the validated
+/// session's policy/arrivals) into the threaded backend's config — the
+/// one place `spawn()` and batch `run()` both go through.
+fn engine_config(session: &Session, vnodes: Vec<VNodeSpec>, cfg: RunConfig) -> EngineConfig {
+    let mut engine_cfg = EngineConfig::new(vnodes);
+    engine_cfg.policy = session.policy();
+    engine_cfg.controller = cfg.controller;
+    engine_cfg.initial_mapping = cfg.initial_mapping;
+    engine_cfg.preserve_order = cfg.preserve_order;
+    engine_cfg.arrivals = session.arrivals();
+    engine_cfg.topology = cfg.topology;
+    engine_cfg.observation_noise = cfg.observation_noise;
+    engine_cfg.noise_seed = cfg.noise_seed;
+    if let Some(bucket) = cfg.timeline_bucket {
+        engine_cfg.timeline_bucket = bucket;
+    }
+    engine_cfg.emulate_links = cfg.emulate_links;
+    engine_cfg.hooks = cfg.hooks;
+    engine_cfg.queue_capacity = cfg.queue_capacity;
+    engine_cfg.control = cfg.control;
+    engine_cfg
+}
+
+/// A live pipeline run: the streaming counterpart of [`RunHandle`].
+/// Obtained from [`Pipeline::spawn`]; one session is one run.
+///
+/// * **Input side** — [`RunSession::push`] feeds items (blocking under
+///   a bounded `queue_capacity` on the threaded backend);
+///   [`RunSession::close`] declares the stream complete.
+/// * **Output side** — [`RunSession::next`] blocks for the next output
+///   (driving the simulated world forward under [`Backend::Sim`]);
+///   [`RunSession::try_next`] polls without blocking.
+/// * **Control** — pause/resume/force adaptation, graceful
+///   [`RunSession::drain`] vs. immediate [`RunSession::abort`], and the
+///   [`RunSession::events`] subscription stream.
+pub struct RunSession<'g, I, O> {
+    inner: SessionInner<'g, I, O>,
+    control: SessionControl,
+    bus: EventBus,
+}
+
+impl<I, O> std::fmt::Debug for RunSession<'_, I, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = match &self.inner {
+            SessionInner::Sim(_) => "sim",
+            SessionInner::Threads(_) => "threads",
+        };
+        f.debug_struct("RunSession")
+            .field("backend", &backend)
+            .field("control", &self.control)
+            .finish()
+    }
+}
+
+enum SessionInner<'g, I, O> {
+    /// Cooperative discrete-event session (boxed: the simulated world
+    /// is much larger than the threaded handle).
+    Sim(Box<SimSession<'g>>),
+    Threads(EngineSession<I, O>),
+}
+
+/// Simulation-backend session state: the steppable world plus eager
+/// stage execution. Stage functions run on the caller's thread at push
+/// time, in push order — the canonical sequential semantics — and each
+/// result is released when the simulated world completes that item.
+struct SimSession<'g> {
+    stepper: SimStepper<'g>,
+    stages: Vec<Box<dyn DynStage>>,
+    arrivals: ArrivalStream,
+    /// Outputs computed at push, keyed by sequence number; absent for
+    /// marker pushes (the batch wrapper's metadata-only items).
+    outputs: HashMap<u64, BoxedItem>,
+    /// Completed-but-undelivered sequence numbers (`preserve_order`).
+    done_ordered: BTreeSet<u64>,
+    /// Completed-but-undelivered sequence numbers, completion order.
+    done_unordered: VecDeque<u64>,
+    next_seq: u64,
+    preserve_order: bool,
+}
+
+impl SimSession<'_> {
+    fn note_completion(&mut self, seq: u64) {
+        if self.preserve_order {
+            self.done_ordered.insert(seq);
+        } else {
+            self.done_unordered.push_back(seq);
+        }
+    }
+
+    /// Takes the next deliverable output, if any completed item holds
+    /// one (marker items complete without an output and are skipped).
+    fn pop_ready(&mut self) -> Option<BoxedItem> {
+        if self.preserve_order {
+            while self.done_ordered.remove(&self.next_seq) {
+                let out = self.outputs.remove(&self.next_seq);
+                self.next_seq += 1;
+                if let Some(out) = out {
+                    return Some(out);
+                }
+            }
+            None
+        } else {
+            while let Some(seq) = self.done_unordered.pop_front() {
+                if let Some(out) = self.outputs.remove(&seq) {
+                    return Some(out);
+                }
+            }
+            None
+        }
+    }
+
+    /// True when no output can ever be delivered again: the stream is
+    /// closed and fully drained (or the world can never fire another
+    /// event), and every completed output has been handed out. An idle
+    /// *open* stream is `Pending`, not `Done` — the caller may still
+    /// push.
+    fn finished(&self) -> bool {
+        (self.stepper.all_done() || self.stepper.is_exhausted())
+            && self.done_ordered.is_empty()
+            && self.done_unordered.is_empty()
+    }
+}
+
+impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
+    /// Feeds one item into the pipeline, returning its sequence number.
+    ///
+    /// Threaded backend: the item arrives now; with a bounded
+    /// `queue_capacity` the call blocks while the in-flight budget is
+    /// exhausted (real backpressure) and emits
+    /// [`RunEvent::BackpressureStall`]. Simulation backend: the item's
+    /// arrival instant comes from the declared [`ArrivalProcess`]
+    /// (clamped to the world's current virtual time), its stage
+    /// functions run immediately in push order, and the output is
+    /// withheld until the simulated world completes the item.
+    ///
+    /// # Panics
+    /// Panics if the session was closed.
+    pub fn push(&mut self, item: I) -> u64 {
+        match &mut self.inner {
+            SessionInner::Sim(sim) => {
+                let at = sim.arrivals.next().expect("arrival stream is infinite");
+                let seq = sim.stepper.push_at(at);
+                let mut boxed: BoxedItem = Box::new(item);
+                for stage in &mut sim.stages {
+                    boxed = stage.process(boxed);
+                }
+                sim.outputs.insert(seq, boxed);
+                seq
+            }
+            SessionInner::Threads(engine) => engine.push(item),
+        }
+    }
+
+    /// Feeds arrival *metadata* only (simulation backend): the item
+    /// enters the simulated world but no stage function runs and no
+    /// output is produced. This is how the batch `run()` wrapper
+    /// reproduces the historical metadata-driven simulation exactly.
+    fn push_marker(&mut self) {
+        match &mut self.inner {
+            SessionInner::Sim(sim) => {
+                let at = sim.arrivals.next().expect("arrival stream is infinite");
+                sim.stepper.push_at(at);
+            }
+            SessionInner::Threads(_) => unreachable!("markers are a simulation-only device"),
+        }
+    }
+
+    /// Declares the input stream complete: no further pushes; `drain`
+    /// and `next` now have a definite end.
+    pub fn close(&mut self) {
+        match &mut self.inner {
+            SessionInner::Sim(sim) => sim.stepper.close(),
+            SessionInner::Threads(engine) => engine.close(),
+        }
+    }
+
+    /// Items pushed so far.
+    pub fn pushed(&self) -> u64 {
+        match &self.inner {
+            SessionInner::Sim(sim) => sim.stepper.pushed(),
+            SessionInner::Threads(engine) => engine.pushed(),
+        }
+    }
+
+    /// Items that reached the sink so far.
+    pub fn completed(&self) -> u64 {
+        match &self.inner {
+            SessionInner::Sim(sim) => sim.stepper.completed(),
+            SessionInner::Threads(engine) => engine.completed(),
+        }
+    }
+
+    /// Items currently between source and sink.
+    pub fn in_flight(&self) -> u64 {
+        self.pushed().saturating_sub(self.completed())
+    }
+
+    /// Non-blocking poll of the output side. Under [`Backend::Sim`]
+    /// this never advances virtual time — it only surfaces outputs that
+    /// earlier `next()`/`drain()` stepping already completed.
+    pub fn try_next(&mut self) -> TryNext<O> {
+        match &mut self.inner {
+            SessionInner::Sim(sim) => {
+                if let Some(out) = sim.pop_ready() {
+                    TryNext::Item(downcast_output(out))
+                } else if sim.finished() {
+                    TryNext::Done
+                } else {
+                    TryNext::Pending
+                }
+            }
+            SessionInner::Threads(engine) => engine.try_next(),
+        }
+    }
+
+    /// Freezes adaptation: sensing and window statistics continue, but
+    /// no re-mapping (planner or regret guard) commits until resumed.
+    pub fn pause_adaptation(&self) {
+        self.control.pause_adaptation();
+    }
+
+    /// Lifts a [`RunSession::pause_adaptation`].
+    pub fn resume_adaptation(&self) {
+        self.control.resume_adaptation();
+    }
+
+    /// Requests one planning cycle at the next adaptation tick,
+    /// bypassing warm-up gating, guard hold-downs, and the reactive
+    /// trigger. No-op under [`Policy::Static`] (nothing ever ticks).
+    pub fn force_remap(&self) {
+        self.control.force_remap();
+    }
+
+    /// Subscribes to the live [`RunEvent`] stream (re-mappings, window
+    /// statistics, backpressure stalls). Events emitted before the
+    /// subscription are not replayed — subscribe right after `spawn`
+    /// to see everything.
+    pub fn events(&self) -> Receiver<RunEvent> {
+        self.bus.subscribe()
+    }
+
+    /// Graceful shutdown: closes the stream, waits until every pushed
+    /// item has completed, and returns the remaining (un-pulled)
+    /// outputs plus the standard report. Items already pulled via
+    /// [`RunSession::next`] are not repeated.
+    pub fn drain(mut self) -> RunHandle<O> {
+        self.close();
+        match self.inner {
+            SessionInner::Sim(mut sim) => {
+                while let Some(seq) = sim.stepper.next_completion() {
+                    sim.note_completion(seq);
+                }
+                let mut outputs = Vec::new();
+                while let Some(out) = sim.pop_ready() {
+                    outputs.push(downcast_output(out));
+                }
+                RunHandle {
+                    outputs,
+                    report: sim.stepper.finish(),
+                }
+            }
+            SessionInner::Threads(engine) => {
+                let outcome = engine.drain();
+                RunHandle {
+                    outputs: outcome.outputs,
+                    report: outcome.report,
+                }
+            }
+        }
+    }
+
+    /// Immediate shutdown: in-flight items are dropped and the report
+    /// comes back `truncated` if anything was lost.
+    pub fn abort(self) -> RunReport {
+        match self.inner {
+            SessionInner::Sim(sim) => sim.stepper.finish(),
+            SessionInner::Threads(engine) => engine.abort(),
+        }
+    }
+}
+
+/// Blocking output iteration: `next()` waits until the next output is
+/// available and yields `None` once no output can ever arrive again
+/// (stream closed and fully delivered, run aborted, or — simulation
+/// backend — the world starved or hit its horizon). Under
+/// [`Backend::Sim`], "blocking" means driving the simulated world
+/// forward; with nothing in flight it yields `None` rather than wait
+/// for pushes that cannot happen (the session is single-threaded by
+/// construction). With `preserve_order` outputs come in push order;
+/// otherwise in completion order.
+impl<I: Send + 'static, O: Send + 'static> Iterator for RunSession<'_, I, O> {
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        match &mut self.inner {
+            SessionInner::Sim(sim) => loop {
+                if let Some(out) = sim.pop_ready() {
+                    return Some(downcast_output(out));
+                }
+                let seq = sim.stepper.next_completion()?;
+                sim.note_completion(seq);
+            },
+            SessionInner::Threads(engine) => engine.next(),
+        }
+    }
+}
+
+fn downcast_output<O: 'static>(out: BoxedItem) -> O {
+    *out.downcast::<O>().expect("pipeline output type mismatch")
 }
 
 /// Typed builder for the unified [`Pipeline`]; `Cur` is the item type

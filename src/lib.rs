@@ -78,8 +78,59 @@
 //! assert!(matches!(err, BuildError::ZeroReplicas { .. }));
 //! ```
 //!
-//! See `examples/` for runnable programs and `crates/bench` for the
-//! experiment reproduction harness.
+//! ## Streaming quickstart
+//!
+//! Batch `run()` is sugar over the live session API. `spawn()` starts
+//! the pipeline and hands back a [`api::RunSession`]: push items while
+//! the run is live, pull outputs as they complete, and steer adaptation
+//! in flight. With a bounded `queue_capacity`, `push()` blocks under
+//! real backpressure instead of queueing without limit:
+//!
+//! ```
+//! use adapipe::prelude::*;
+//!
+//! let pipeline = Pipeline::<u64>::builder()
+//!     .stage("parse", |x: u64| x + 1)
+//!     .stage("emit", |x: u64| x * 2)
+//!     .build()
+//!     .expect("valid pipeline");
+//!
+//! let mut session = pipeline
+//!     .spawn(
+//!         Backend::Threads(vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]),
+//!         RunConfig { queue_capacity: Some(8), ..RunConfig::default() },
+//!     )
+//!     .expect("spawn");
+//!
+//! let events = session.events(); // live remaps / window stats / stalls
+//! let mut outputs = Vec::new();
+//! for i in 0..20 {
+//!     session.push(i); // blocks only when the bounded queues are full
+//!     if let TryNext::Item(o) = session.try_next() {
+//!         outputs.push(o); // consume while producing
+//!     }
+//! }
+//! let handle = session.drain(); // graceful: every pushed item completes
+//! outputs.extend(handle.outputs);
+//! assert_eq!(outputs, (0..20).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+//! assert_eq!(handle.report.completed, 20);
+//! drop(events);
+//! ```
+//!
+//! The same session program runs under `Backend::Sim(&grid)`: the
+//! simulated world advances as the session is driven, and stage
+//! functions are applied to pushed items in push order, so outputs are
+//! item-identical across backends.
+//!
+//! **Migrating from batch:** `run(backend, cfg)` ≡ `spawn(backend,
+//! cfg)` + push `cfg.items` items on the declared arrival schedule +
+//! `drain()`. Existing batch code needs no change; switch to `spawn`
+//! when the item stream is open-ended, when outputs must be consumed
+//! while producing, or when the run needs in-flight control
+//! (`pause_adaptation`, `force_remap`, `abort`).
+//!
+//! See `examples/` (notably `examples/live_service.rs`) for runnable
+//! programs and `crates/bench` for the experiment reproduction harness.
 
 pub mod api;
 
@@ -97,8 +148,8 @@ pub use adapipe_workloads as workloads;
 /// builder remains at [`core::pipeline`].
 pub mod prelude {
     pub use crate::api::{
-        ArrivalProcess, Backend, BuildError, Pipeline, PipelineBuilder, RunConfig, RunHandle,
-        RunHooks,
+        ArrivalProcess, Backend, BuildError, Pipeline, PipelineBuilder, RunConfig, RunEvent,
+        RunHandle, RunHooks, RunSession, TryNext,
     };
     pub use adapipe_core::prelude::*;
     pub use adapipe_engine::prelude::*;
