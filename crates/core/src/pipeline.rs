@@ -220,7 +220,7 @@ mod tests {
         let (_, mut stages) = p.into_parts();
         let mut item: crate::stage::BoxedItem = Box::new(5u32);
         for s in &mut stages {
-            item = s.process(item);
+            item = s.process(item).expect("stages are type-aligned");
         }
         assert_eq!(*item.downcast::<u32>().unwrap(), 12);
     }
@@ -240,11 +240,19 @@ mod tests {
         let (_, mut stages) = p.into_parts();
         assert!(stages[0].replicate().is_none());
         assert_eq!(
-            *stages[0].process(Box::new(2u64)).downcast::<u64>().unwrap(),
+            *stages[0]
+                .process(Box::new(2u64))
+                .expect("typed item")
+                .downcast::<u64>()
+                .unwrap(),
             2
         );
         assert_eq!(
-            *stages[0].process(Box::new(3u64)).downcast::<u64>().unwrap(),
+            *stages[0]
+                .process(Box::new(3u64))
+                .expect("typed item")
+                .downcast::<u64>()
+                .unwrap(),
             5
         );
     }

@@ -33,6 +33,7 @@
 
 use crate::spec::PipelineSpec;
 use adapipe_gridsim::event::EventQueue;
+use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::grid::GridSpec;
 use adapipe_gridsim::net::LinkQueue;
 use adapipe_gridsim::node::NodeId;
@@ -44,6 +45,8 @@ use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{ReportBuilder, RunReport};
 use adapipe_runtime::routing::{RoutingTable, Selection};
+use adapipe_runtime::session::{RunEvent, RunHooks, SessionControl};
+use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 use std::sync::RwLock;
 
@@ -76,10 +79,15 @@ pub struct SimConfig {
     /// Safety horizon: the run stops (truncated) past this time.
     pub max_sim_time: SimDuration,
     /// Live observation callbacks (invoked at the simulated instant).
-    pub hooks: adapipe_runtime::session::RunHooks,
+    pub hooks: RunHooks,
     /// In-flight steering flags (pause/resume/force re-map) shared with
     /// a live session driving this run.
-    pub control: adapipe_runtime::session::SessionControl,
+    pub control: SessionControl,
+    /// Scheduled faults: applied to a private copy of the grid's load
+    /// models before the run starts (the original `GridSpec` is never
+    /// mutated), with down/up transitions driven through the shared
+    /// adaptation loop at their exact simulated instants.
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -96,8 +104,9 @@ impl Default for SimConfig {
             timeline_bucket: SimDuration::from_secs(5),
             link_contention: false,
             max_sim_time: SimDuration::from_secs(7 * 24 * 3600),
-            hooks: adapipe_runtime::session::RunHooks::default(),
-            control: adapipe_runtime::session::SessionControl::default(),
+            hooks: RunHooks::default(),
+            control: SessionControl::default(),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -126,6 +135,9 @@ enum Ev {
     Sample,
     /// Wake a node whose instance became ready after migration.
     Retry { node: usize },
+    /// A fault-plan transition (node down/up) is due; the next one is
+    /// chained from the handler.
+    Fault,
 }
 
 /// Runs `spec` on `grid` under `cfg` and reports the outcome.
@@ -160,11 +172,21 @@ pub fn sim_run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunRepo
 /// Implements [`ExecutionBackend`] so the shared [`AdaptationLoop`] can
 /// sense it and commit re-mappings into it.
 struct SimWorld<'a> {
-    grid: &'a GridSpec,
+    /// The grid, with the run's fault plan already applied to the load
+    /// models (owned copy when a plan is present; the caller's grid is
+    /// never mutated).
+    grid: Cow<'a, GridSpec>,
     spec: PipelineSpec,
     ns: usize,
     horizon: SimTime,
     link_contention: bool,
+    /// Per-node down flags mirroring the fault tracker (set through
+    /// [`ExecutionBackend::on_node_down`]), used to tell a *replay* —
+    /// an item rescued off a dead host — from an ordinary migration
+    /// re-home.
+    down: Vec<bool>,
+    /// Event bus for replay notifications.
+    hooks: RunHooks,
 
     events: EventQueue<Ev>,
     now: SimTime,
@@ -226,6 +248,17 @@ impl<'a> SimStepper<'a> {
     pub fn new(grid: &'a GridSpec, spec: PipelineSpec, cfg: &SimConfig) -> Self {
         let profile = spec.profile();
         profile.validate();
+        // Fault physics: the plan rewrites the load models of a private
+        // copy of the grid, so availability — and therefore every
+        // integrated service time — reflects the scheduled degradation
+        // exactly, while the caller's grid stays untouched.
+        let grid: Cow<'a, GridSpec> = if cfg.faults.is_empty() {
+            Cow::Borrowed(grid)
+        } else {
+            let mut faulted = grid.clone();
+            cfg.faults.apply(&mut faulted);
+            Cow::Owned(faulted)
+        };
         let np = grid.len();
         let speeds: Vec<f64> = grid.node_ids().map(|id| grid.node(id).spec.speed).collect();
 
@@ -256,6 +289,8 @@ impl<'a> SimStepper<'a> {
             topology: grid.topology().clone(),
             speeds,
             state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
+            stateless: spec.stages.iter().map(|s| s.stateless).collect(),
+            faults: cfg.faults.clone(),
             total_items: cfg.items,
             observation_noise: cfg.observation_noise,
             noise_seed: cfg.noise_seed,
@@ -265,30 +300,37 @@ impl<'a> SimStepper<'a> {
         let aloop = AdaptationLoop::new(runtime_cfg, &mapping, &launch_rates);
 
         let ns = spec.len();
+        let mut report = ReportBuilder::new(cfg.timeline_bucket, u64::MAX);
+        if !cfg.faults.is_empty() {
+            report.set_faults(cfg.faults.clone(), np);
+        }
+        let free_cores = grid.node_ids().map(|id| grid.node(id).spec.cores).collect();
         let world = SimWorld {
             grid,
             ns,
             spec,
             horizon: SimTime::ZERO + cfg.max_sim_time,
             link_contention: cfg.link_contention,
+            down: vec![false; np],
+            hooks: cfg.hooks.clone(),
             events: EventQueue::new(),
             now: SimTime::ZERO,
             queues: HashMap::new(),
             ready_at: HashMap::new(),
-            free_cores: grid.node_ids().map(|id| grid.node(id).spec.cores).collect(),
+            free_cores,
             rr_exec: vec![0; np],
             link_q: HashMap::new(),
             arrival_time: HashMap::new(),
             node_busy: vec![SimDuration::ZERO; np],
             // The stream length is open until `close()`.
-            report: ReportBuilder::new(cfg.timeline_bucket, u64::MAX),
+            report,
             stage_metrics: crate::metrics::StageMetrics::new(ns),
             completed_log: VecDeque::new(),
         };
 
         SimStepper {
             world,
-            routing: RwLock::new(RoutingTable::with_selection(mapping, cfg.selection)),
+            routing: RwLock::new(RoutingTable::with_selection(mapping, cfg.selection, np)),
             aloop,
             control_scheduled: false,
             pushed: 0,
@@ -365,6 +407,12 @@ impl<'a> SimStepper<'a> {
                 let sample_dt = self.aloop.sample_dt().expect("interval implies samples");
                 self.world.events.schedule(now + sample_dt, Ev::Sample);
             }
+            // Fault transitions fire at their exact simulated instants,
+            // chained one event at a time (independent of the policy:
+            // even a static run marks nodes down and surfaces errors).
+            if let Some(at) = self.aloop.next_fault_at() {
+                self.world.events.schedule(at, Ev::Fault);
+            }
         }
         let Some((now, ev)) = self.world.events.pop() else {
             self.exhausted = true; // starved: the report stays truncated
@@ -399,6 +447,13 @@ impl<'a> SimStepper<'a> {
             }
             Ev::Tick => {
                 let _ = self.aloop.tick(&mut self.world, &self.routing);
+                // Only a *fatal* fault exhausts the run — the error slot
+                // alone may carry non-fatal errors (a wrong-typed push
+                // completes as a marker and the stream continues).
+                if self.aloop.is_fatal() {
+                    self.exhausted = true; // nothing can progress
+                    return true;
+                }
                 if !self.world.report.all_done() {
                     let interval = self.aloop.interval().expect("tick implies interval");
                     self.world.events.schedule(now + interval, Ev::Tick);
@@ -409,6 +464,16 @@ impl<'a> SimStepper<'a> {
                 if !self.world.report.all_done() {
                     let sample_dt = self.aloop.sample_dt().expect("sample implies interval");
                     self.world.events.schedule(now + sample_dt, Ev::Sample);
+                }
+            }
+            Ev::Fault => {
+                let outcome = self.aloop.poll_faults(&mut self.world, &self.routing);
+                if outcome.fatal {
+                    self.exhausted = true; // error recorded on `control`
+                    return true;
+                }
+                if let Some(at) = self.aloop.next_fault_at() {
+                    self.world.events.schedule(at, Ev::Fault);
                 }
             }
         }
@@ -712,23 +777,34 @@ impl ExecutionBackend for SimWorld<'_> {
 
     /// Applies an accepted re-mapping: queued items of moved stages
     /// re-home to the new hosts after the migration cost; stateful stages
-    /// block their new instance until state arrives.
+    /// block their new instance until state arrives. Items rescued off a
+    /// *down* host additionally count as replays (at-least-once
+    /// re-delivery after a node loss) and announce themselves on the
+    /// event bus.
     fn commit_remap(&mut self, plan: &RemapPlan) {
         let ready = plan.ready_at;
         for &stage in &plan.moved {
             let new_placement = plan.to.placement(stage);
             // Drain queues on hosts that no longer serve this stage.
-            let mut orphans: Vec<u64> = Vec::new();
+            let mut orphans: Vec<(u64, usize)> = Vec::new();
             for host in plan.from.placement(stage).hosts() {
                 if !new_placement.contains(*host) {
                     if let Some(q) = self.queues.get_mut(&(stage, host.index())) {
-                        orphans.extend(q.drain(..));
+                        orphans.extend(q.drain(..).map(|item| (item, host.index())));
                     }
                 }
             }
             // Re-home orphans round-robin over the new hosts; they arrive
             // once migration completes.
-            for (k, item) in orphans.into_iter().enumerate() {
+            for (k, (item, from)) in orphans.into_iter().enumerate() {
+                if self.down[from] {
+                    self.report.record_replay();
+                    self.hooks.events.emit(RunEvent::ItemReplayed {
+                        seq: item,
+                        stage,
+                        from,
+                    });
+                }
                 let dest = new_placement.hosts()[k % new_placement.width()].index();
                 self.events.schedule(
                     ready,
@@ -749,6 +825,14 @@ impl ExecutionBackend for SimWorld<'_> {
                 }
             }
         }
+    }
+
+    fn on_node_down(&mut self, node: usize, _at: SimTime) {
+        self.down[node] = true;
+    }
+
+    fn on_node_up(&mut self, node: usize, _at: SimTime) {
+        self.down[node] = false;
     }
 }
 
@@ -1025,6 +1109,91 @@ mod tests {
             migration > SimDuration::from_millis(500),
             "state transfer must dominate migration cost, got {migration}"
         );
+    }
+
+    #[test]
+    fn config_fault_plan_replays_items_and_reports_downtime() {
+        // The same crash as crash_under_adaptive_policy_completes, but
+        // declared on SimConfig: the grid passed in stays pristine, the
+        // run survives, stranded items count as replays, and the report
+        // carries per-node downtime.
+        let grid = testbed_small3();
+        let spec = PipelineSpec::balanced(3, 1.0, 0);
+        let hooks = adapipe_runtime::session::RunHooks::default();
+        let events = hooks.events.subscribe();
+        let cfg = SimConfig {
+            items: 200,
+            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
+            policy: Policy::Periodic {
+                interval: SimDuration::from_secs(5),
+            },
+            faults: FaultPlan::new().crash(n(1), secs(10.0)),
+            hooks,
+            ..SimConfig::default()
+        };
+        let report = run(&grid, &spec, &cfg);
+        assert_eq!(report.completed, 200, "crash must be survived");
+        assert!(!report.truncated);
+        // The caller's grid was not mutated by the fault plan.
+        assert_eq!(grid.node(n(1)).load.availability(secs(20.0)), 1.0);
+        // Items queued on the dead node were rescued and counted.
+        assert!(report.replays > 0, "stranded items must replay");
+        assert!(!report.final_mapping.nodes_used().contains(&n(1)));
+        assert_eq!(report.node_downtime.len(), 3);
+        assert!(report.node_downtime[1] > SimDuration::ZERO);
+        assert_eq!(report.node_downtime[0], SimDuration::ZERO);
+        let seen: Vec<_> = events.try_iter().collect();
+        use adapipe_runtime::session::RunEvent;
+        assert!(seen
+            .iter()
+            .any(|e| matches!(e, RunEvent::NodeDown { node: 1, .. })));
+        let replay_events = seen
+            .iter()
+            .filter(|e| matches!(e, RunEvent::ItemReplayed { .. }))
+            .count() as u64;
+        assert_eq!(replay_events, report.replays);
+    }
+
+    #[test]
+    fn config_faults_match_manually_applied_plan() {
+        // Declaring a slowdown through SimConfig must produce the exact
+        // run a manually pre-faulted grid produces: same physics, and
+        // a slowdown alone adds no control-plane interference.
+        let plan = FaultPlan::new().slowdown(n(1), secs(50.0), secs(100_000.0), 0.05);
+        let spec = PipelineSpec::balanced(3, 1.0, 0);
+        let mapping = Mapping::from_assignment(&[n(0), n(1), n(2)]);
+        let policy = Policy::Periodic {
+            interval: SimDuration::from_secs(5),
+        };
+        let mut pre_faulted = testbed_small3();
+        plan.apply(&mut pre_faulted);
+        let manual = run(
+            &pre_faulted,
+            &spec,
+            &SimConfig {
+                items: 300,
+                initial_mapping: Some(mapping.clone()),
+                policy,
+                ..SimConfig::default()
+            },
+        );
+        let grid = testbed_small3();
+        let declared = run(
+            &grid,
+            &spec,
+            &SimConfig {
+                items: 300,
+                initial_mapping: Some(mapping),
+                policy,
+                faults: plan,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(declared.completed, manual.completed);
+        assert_eq!(declared.makespan, manual.makespan);
+        assert_eq!(declared.adaptations.len(), manual.adaptations.len());
+        assert_eq!(declared.final_mapping, manual.final_mapping);
+        assert_eq!(declared.replays, 0, "a slowdown strands nothing");
     }
 
     #[test]

@@ -17,12 +17,39 @@ use std::any::Any;
 /// A type-erased item flowing through the pipeline.
 pub type BoxedItem = Box<dyn Any + Send>;
 
+/// A stage received an item whose dynamic type is not its declared
+/// input — a pipeline assembled from mismatched erased parts. Surfaced
+/// as a typed error so execution engines can fail the *session* (the
+/// historical behaviour was a panic inside a worker thread, which
+/// killed the run opaquely).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageTypeError {
+    /// Name of the stage that rejected the item.
+    pub stage: String,
+    /// The input type the stage declared.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for StageTypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stage '{}' received an item that is not a {}",
+            self.stage, self.expected
+        )
+    }
+}
+
+impl std::error::Error for StageTypeError {}
+
 /// The execution engines' view of a stage.
 pub trait DynStage: Send {
-    /// Processes one item. Engines guarantee items of the declared input
-    /// type; implementations may panic on a type mismatch (it is a
-    /// pipeline construction bug, not a runtime condition).
-    fn process(&mut self, item: BoxedItem) -> BoxedItem;
+    /// Processes one item. Engines guarantee items of the declared
+    /// input type when pipelines come from the typed builder; a
+    /// mismatch (mis-assembled erased parts) surfaces as a typed
+    /// [`StageTypeError`] the engine turns into a session-level run
+    /// error instead of a worker-thread panic.
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError>;
 
     /// Creates an independent instance for replication, or `None` if the
     /// stage cannot be replicated (it is stateful or its closure is not
@@ -65,11 +92,12 @@ where
     O: Send + 'static,
     F: FnMut(I) -> O + Send + Clone + 'static,
 {
-    fn process(&mut self, item: BoxedItem) -> BoxedItem {
-        let input = item
-            .downcast::<I>()
-            .unwrap_or_else(|_| panic!("stage '{}' received an item of the wrong type", self.name));
-        Box::new((self.f)(*input))
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        let input = item.downcast::<I>().map_err(|_| StageTypeError {
+            stage: self.name.clone(),
+            expected: std::any::type_name::<I>(),
+        })?;
+        Ok(Box::new((self.f)(*input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -118,11 +146,12 @@ where
     O: Send + 'static,
     F: FnMut(I) -> O + Send + 'static,
 {
-    fn process(&mut self, item: BoxedItem) -> BoxedItem {
-        let input = item
-            .downcast::<I>()
-            .unwrap_or_else(|_| panic!("stage '{}' received an item of the wrong type", self.name));
-        Box::new((self.f)(*input))
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        let input = item.downcast::<I>().map_err(|_| StageTypeError {
+            stage: self.name.clone(),
+            expected: std::any::type_name::<I>(),
+        })?;
+        Ok(Box::new((self.f)(*input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -148,7 +177,7 @@ impl SealedStage {
 }
 
 impl DynStage for SealedStage {
-    fn process(&mut self, item: BoxedItem) -> BoxedItem {
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
         self.inner.process(item)
     }
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -166,7 +195,7 @@ mod tests {
     #[test]
     fn fn_stage_processes_typed_items() {
         let mut s = FnStage::new("double", |x: i64| x * 2);
-        let out = s.process(Box::new(21i64));
+        let out = s.process(Box::new(21i64)).expect("typed item");
         assert_eq!(*out.downcast::<i64>().unwrap(), 42);
         assert_eq!(s.name(), "double");
     }
@@ -174,7 +203,7 @@ mod tests {
     #[test]
     fn fn_stage_may_change_type() {
         let mut s = FnStage::new("fmt", |x: u32| format!("{x}!"));
-        let out = s.process(Box::new(7u32));
+        let out = s.process(Box::new(7u32)).expect("typed item");
         assert_eq!(*out.downcast::<String>().unwrap(), "7!");
     }
 
@@ -189,10 +218,16 @@ mod tests {
         });
         let mut a: Box<dyn DynStage> = Box::new(counter_stage);
         let mut b = a.replicate().expect("cloneable");
+        let run = |s: &mut Box<dyn DynStage>| {
+            *s.process(Box::new(0u64))
+                .expect("typed item")
+                .downcast::<u64>()
+                .unwrap()
+        };
         // Each replica keeps its own `seen` counter.
-        assert_eq!(*a.process(Box::new(0u64)).downcast::<u64>().unwrap(), 1);
-        assert_eq!(*a.process(Box::new(0u64)).downcast::<u64>().unwrap(), 2);
-        assert_eq!(*b.process(Box::new(0u64)).downcast::<u64>().unwrap(), 1);
+        assert_eq!(run(&mut a), 1);
+        assert_eq!(run(&mut a), 2);
+        assert_eq!(run(&mut b), 1);
     }
 
     #[test]
@@ -203,9 +238,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wrong type")]
-    fn type_mismatch_panics_with_stage_name() {
+    fn type_mismatch_is_a_typed_error_not_a_panic() {
         let mut s = FnStage::new("typed", |x: i64| x);
-        let _ = s.process(Box::new("not an i64"));
+        let err = s.process(Box::new("not an i64")).unwrap_err();
+        assert_eq!(err.stage, "typed");
+        assert_eq!(err.expected, std::any::type_name::<i64>());
+        assert!(err.to_string().contains("'typed'"));
+        // Stateful stages report identically.
+        let mut s = StatefulFnStage::new("acc", |x: u64| x);
+        let err = s.process(Box::new(1i8)).unwrap_err();
+        assert_eq!(err.stage, "acc");
     }
 }

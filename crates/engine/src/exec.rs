@@ -61,6 +61,7 @@ use crate::vnode::VNodeSpec;
 use adapipe_core::pipeline::Pipeline;
 use adapipe_core::spec::PipelineSpec;
 use adapipe_core::stage::{BoxedItem, DynStage};
+use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::net::{LinkSpec, Topology};
 use adapipe_gridsim::node::NodeId;
 use adapipe_gridsim::time::{SimDuration, SimTime};
@@ -72,7 +73,7 @@ use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
 use adapipe_runtime::routing::RoutingTable;
-use adapipe_runtime::session::{RunEvent, RunHooks, SessionControl, TryNext};
+use adapipe_runtime::session::{RunError, RunEvent, RunHooks, SessionControl, TryNext};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -125,6 +126,13 @@ pub struct EngineConfig {
     pub queue_capacity: Option<usize>,
     /// In-flight steering flags shared with a live session.
     pub control: SessionControl,
+    /// Scheduled faults, with times read as wall-clock offsets from
+    /// engine start. Slowdowns and outages rewrite the named vnodes'
+    /// load schedules; outages and crashes additionally take the vnode
+    /// *down*: its worker stops serving (in-flight items are re-dealt
+    /// to live replicas or parked until the forced re-map rescues
+    /// them), routing excludes it, and `RunEvent::NodeDown` fires.
+    pub faults: FaultPlan,
 }
 
 impl EngineConfig {
@@ -147,6 +155,7 @@ impl EngineConfig {
             hooks: RunHooks::default(),
             queue_capacity: None,
             control: SessionControl::default(),
+            faults: FaultPlan::new(),
         }
     }
 
@@ -207,6 +216,10 @@ enum SinkMsg {
     Abort {
         pushed: u64,
     },
+    /// Stop collecting: the run failed fatally (the typed error is on
+    /// the shared `SessionControl`). Unlike `Abort`, the expected count
+    /// is left as declared, so the report honestly shows truncation.
+    Fatal,
 }
 
 /// End-to-end in-flight credit gate: `push()` acquires one slot per
@@ -215,6 +228,10 @@ enum SinkMsg {
 struct Credits {
     available: Mutex<u64>,
     freed: Condvar,
+    /// Raised at fatal teardown: nothing will ever release a slot
+    /// again, so blocked pushers must wake and give up instead of
+    /// waiting on a collector that is gone.
+    broken: AtomicBool,
 }
 
 impl Credits {
@@ -223,22 +240,23 @@ impl Credits {
         Credits {
             available: Mutex::new(capacity),
             freed: Condvar::new(),
+            broken: AtomicBool::new(false),
         }
     }
 
     /// Blocks until a slot frees; returns the blocked wall time, or
-    /// `None` if a slot was immediately available.
+    /// `None` if a slot was immediately available (or the gate broke).
     fn acquire(&self) -> Option<Duration> {
         let mut available = self.available.lock().expect("credit lock poisoned");
-        if *available > 0 {
-            *available -= 1;
+        if *available > 0 || self.broken.load(Ordering::SeqCst) {
+            *available = available.saturating_sub(1);
             return None;
         }
         let t0 = Instant::now();
-        while *available == 0 {
+        while *available == 0 && !self.broken.load(Ordering::SeqCst) {
             available = self.freed.wait(available).expect("credit lock poisoned");
         }
-        *available -= 1;
+        *available = available.saturating_sub(1);
         Some(t0.elapsed())
     }
 
@@ -246,6 +264,13 @@ impl Credits {
         let mut available = self.available.lock().expect("credit lock poisoned");
         *available += 1;
         self.freed.notify_one();
+    }
+
+    /// Wakes every blocked pusher permanently (fatal teardown).
+    fn break_gate(&self) {
+        let _guard = self.available.lock().expect("credit lock poisoned");
+        self.broken.store(true, Ordering::SeqCst);
+        self.freed.notify_all();
     }
 }
 
@@ -266,6 +291,15 @@ struct Shared {
     /// Teardown flag for the adaptation thread (workers exit on the
     /// [`Msg::Shutdown`] sentinel instead of polling this).
     done: AtomicBool,
+    /// Event bus + error slot shared with the session (fault
+    /// notifications, replay announcements, fatal failures).
+    hooks: RunHooks,
+    control: SessionControl,
+    /// Items re-dealt to a live host after their vnode went down.
+    replays: AtomicU64,
+    /// The in-flight credit gate (shared so fatal teardown can wake a
+    /// blocked `push()`).
+    credits: Option<Arc<Credits>>,
 }
 
 impl Shared {
@@ -279,6 +313,31 @@ impl Shared {
             .expect("routing lock poisoned")
             .route(stage)
             .index()
+    }
+
+    /// Records one item rescued off the down vnode `from`.
+    fn note_replay(&self, seq: u64, stage: usize, from: usize) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        self.hooks
+            .events
+            .emit(RunEvent::ItemReplayed { seq, stage, from });
+    }
+}
+
+/// Irrecoverable failure (stateful stage lost, every node down, wrong-
+/// typed item): record nothing further, stop the collector, raise the
+/// done flag, wake every worker and any pusher blocked on the credit
+/// gate. The typed error is already on `shared.control`; the session
+/// surfaces it via `error()` while `drain()`/`next()` unwind cleanly
+/// with a truncated report.
+fn fatal_teardown(shared: &Shared) {
+    shared.done.store(true, Ordering::SeqCst);
+    let _ = shared.sink.send(SinkMsg::Fatal);
+    for tx in &shared.senders {
+        let _ = tx.send(Msg::Shutdown);
+    }
+    if let Some(credits) = &shared.credits {
+        credits.break_gate();
     }
 }
 
@@ -323,6 +382,18 @@ impl ExecutionBackend for EngineBackend {
                 let _ = self.shared.senders[host.index()].send(Msg::Relinquish { stage });
             }
         }
+    }
+
+    fn on_node_down(&mut self, node: usize, _at: SimTime) {
+        // Wake the dead worker: its post-message service scan re-deals
+        // buffered items to live replicas (or parks them for the forced
+        // re-map's Relinquish to flush).
+        let _ = self.shared.senders[node].send(Msg::DepotReady);
+    }
+
+    fn on_node_up(&mut self, node: usize, _at: SimTime) {
+        // Wake the recovered worker so parked items resume service.
+        let _ = self.shared.senders[node].send(Msg::DepotReady);
     }
 }
 
@@ -418,6 +489,14 @@ where
         self.shared.epoch
     }
 
+    /// The run's fatal error, if one was recorded (stateful stage lost
+    /// to a crashed vnode, every vnode down, wrong-typed item). The
+    /// failed run unwinds cleanly: `next()` stops yielding, `drain()`
+    /// returns the truncated report, and this surfaces why.
+    pub fn error(&self) -> Option<RunError> {
+        self.shared.control.error()
+    }
+
     /// Non-blocking poll of the output side.
     pub fn try_next(&mut self) -> TryNext<O> {
         loop {
@@ -504,12 +583,13 @@ where
     /// already be on its way out (stream closed and delivered, or
     /// aborted).
     fn teardown(&mut self, outputs: Vec<O>) -> EngineOutcome<O> {
-        let report = self
+        let mut report = self
             .collector
             .take()
             .expect("collector joined twice")
             .join()
             .expect("collector panicked");
+        report.set_replays(self.shared.replays.load(Ordering::Relaxed));
         self.shared.done.store(true, Ordering::SeqCst);
         for tx in &self.shared.senders {
             let _ = tx.send(Msg::Shutdown);
@@ -629,6 +709,25 @@ where
     let (spec, stages) = pipeline.into_parts();
     let ns = spec.len();
 
+    // Fault physics: the plan rewrites the vnode load schedules exactly
+    // as it rewrites a simulated grid's, so slowdown/outage windows
+    // degrade workers through the same availability → sleep machinery.
+    // The down/up control plane (routing exclusion, forced re-maps,
+    // replay) runs through the shared adaptation loop.
+    let vnodes: Vec<VNodeSpec> = if cfg.faults.is_empty() {
+        cfg.vnodes.clone()
+    } else {
+        cfg.vnodes
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let mut v = v.clone();
+                v.load = cfg.faults.rewrite_load(NodeId(i), v.load);
+                v
+            })
+            .collect()
+    };
+
     let topology = cfg
         .topology
         .clone()
@@ -637,8 +736,7 @@ where
 
     let profile = spec.profile();
     profile.validate();
-    let launch_rates: Vec<f64> = cfg
-        .vnodes
+    let launch_rates: Vec<f64> = vnodes
         .iter()
         .map(|v| v.effective_rate(SimTime::ZERO))
         .collect();
@@ -659,8 +757,10 @@ where
         controller: cfg.controller.clone(),
         profile,
         topology: topology.clone(),
-        speeds: cfg.vnodes.iter().map(|v| v.speed).collect(),
+        speeds: vnodes.iter().map(|v| v.speed).collect(),
         state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
+        stateless: spec.stages.iter().map(|s| s.stateless).collect(),
+        faults: cfg.faults.clone(),
         total_items: items_hint,
         observation_noise: cfg.observation_noise,
         noise_seed: cfg.noise_seed,
@@ -678,25 +778,33 @@ where
         inboxes.push(rx);
     }
 
-    let shared = Arc::new(Shared {
-        depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
-        spec,
-        vnodes: cfg.vnodes.clone(),
-        topology,
-        emulate_links: cfg.emulate_links,
-        routing: RwLock::new(RoutingTable::new(initial_mapping)),
-        senders,
-        sink: sink_tx,
-        epoch: Instant::now(),
-        completed: AtomicU64::new(0),
-        done: AtomicBool::new(false),
-    });
-
     // One in-flight slot per stage boundary (source→s0, s0→s1, …,
     // s_last→sink) per unit of declared capacity.
     let credits = cfg
         .queue_capacity
         .map(|c| Arc::new(Credits::new((c * (ns + 1)) as u64)));
+
+    let shared = Arc::new(Shared {
+        depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+        spec,
+        vnodes,
+        topology,
+        emulate_links: cfg.emulate_links,
+        routing: RwLock::new(RoutingTable::with_selection(
+            initial_mapping,
+            adapipe_runtime::routing::Selection::RoundRobin,
+            np,
+        )),
+        senders,
+        sink: sink_tx,
+        epoch: Instant::now(),
+        completed: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+        hooks: cfg.hooks.clone(),
+        control: cfg.control.clone(),
+        replays: AtomicU64::new(0),
+        credits: credits.clone(),
+    });
 
     // --- workers -----------------------------------------------------
     let mut workers = Vec::with_capacity(np);
@@ -711,8 +819,12 @@ where
         let shared = Arc::clone(&shared);
         let credits = credits.clone();
         let bucket = cfg.timeline_bucket;
+        let faults = cfg.faults.clone();
         std::thread::spawn(move || {
             let mut report = ReportBuilder::new(bucket, u64::MAX);
+            if !faults.is_empty() {
+                report.set_faults(faults, shared.vnodes.len());
+            }
             let mut expected: Option<u64> = None;
             loop {
                 if expected.is_some_and(|e| report.completed() >= e) {
@@ -744,6 +856,9 @@ where
                         report.set_expected(pushed);
                         return report;
                     }
+                    // The declared expectation stands: a fatal run
+                    // reports honestly as truncated.
+                    SinkMsg::Fatal => return report,
                 }
             }
             report
@@ -893,13 +1008,23 @@ fn worker_loop(
         match msg {
             Msg::Work(env) => {
                 let stage = env.stage;
-                let hosted = shared
-                    .routing
-                    .read()
-                    .expect("routing lock poisoned")
-                    .contains(stage, NodeId(me));
+                let (hosted, me_down) = {
+                    let table = shared.routing.read().expect("routing lock poisoned");
+                    (table.contains(stage, NodeId(me)), table.is_down(NodeId(me)))
+                };
                 if !hosted {
+                    // Off a down vnode this is a rescue: the stage
+                    // moved away because this node died.
+                    if me_down {
+                        shared.note_replay(env.seq, stage, me);
+                    }
                     forward(&shared, me, env);
+                } else if me_down {
+                    // This vnode is down: it must not serve. Re-deal the
+                    // item to a live replica when one exists; otherwise
+                    // park it — the forced re-map will move the stage
+                    // away, and the Relinquish wake-up flushes the queue.
+                    divert_off_dead(&shared, me, env, &mut waiting);
                 } else if waiting.get(&stage).is_some_and(|q| !q.is_empty())
                     || !try_acquire(&shared, &mut local, stage)
                 {
@@ -964,9 +1089,35 @@ fn worker_loop(
     (busy, metrics)
 }
 
+/// Re-routes an envelope away from the down vnode `me`: to a live
+/// replica when the routing table can name one (counted and announced
+/// as a replay), otherwise parked in `waiting` — every replica is down,
+/// so only a re-map can rescue the item, and the rescue flush happens
+/// on the Relinquish wake-up that re-map sends here.
+fn divert_off_dead(
+    shared: &Shared,
+    me: usize,
+    env: Envelope,
+    waiting: &mut HashMap<usize, VecDeque<Envelope>>,
+) {
+    let stage = env.stage;
+    let (dest, dest_down) = {
+        let table = shared.routing.read().expect("routing lock poisoned");
+        let dest = table.route(stage);
+        (dest.index(), table.is_down(dest))
+    };
+    if dest == me || dest_down {
+        waiting.entry(stage).or_default().push_back(env);
+    } else {
+        shared.note_replay(env.seq, stage, me);
+        let _ = shared.senders[dest].send(Msg::Work(env));
+    }
+}
+
 /// Serves every waiting queue that became actionable: processes queues
 /// whose stage instance is (now) acquirable, forwards queues whose
-/// stage is no longer hosted here.
+/// stage is no longer hosted here, and — when this vnode is down —
+/// re-deals buffered items to live replicas.
 fn serve_waiting(
     me: usize,
     shared: &Shared,
@@ -981,18 +1132,42 @@ fn serve_waiting(
         .map(|(&s, _)| s)
         .collect();
     for stage in stages {
-        let hosted = shared
-            .routing
-            .read()
-            .expect("routing lock poisoned")
-            .contains(stage, NodeId(me));
+        let (hosted, me_down) = {
+            let table = shared.routing.read().expect("routing lock poisoned");
+            (table.contains(stage, NodeId(me)), table.is_down(NodeId(me)))
+        };
         if !hosted {
             // The stage moved away while these items were buffered:
-            // forward them to its current hosts.
+            // forward them to its current hosts. Off a down vnode this
+            // is the post-re-map rescue — each item counts as a replay.
             if let Some(mut queue) = waiting.remove(&stage) {
                 while let Some(env) = queue.pop_front() {
+                    if me_down {
+                        shared.note_replay(env.seq, stage, me);
+                    }
                     forward(shared, me, env);
                 }
+            }
+        } else if me_down {
+            // Still hosted but down: re-deal whatever a live replica
+            // can absorb; the rest stays parked for the re-map. One
+            // read-lock acquisition for the whole backlog — a deep
+            // stranded queue must not contend the adaptation thread's
+            // recovery re-map once per envelope.
+            if let Some(queue) = waiting.get_mut(&stage) {
+                let mut parked = VecDeque::new();
+                let table = shared.routing.read().expect("routing lock poisoned");
+                while let Some(env) = queue.pop_front() {
+                    let dest = table.route(stage);
+                    if dest.index() == me || table.is_down(dest) {
+                        parked.push_back(env);
+                    } else {
+                        shared.note_replay(env.seq, stage, me);
+                        let _ = shared.senders[dest.index()].send(Msg::Work(env));
+                    }
+                }
+                drop(table);
+                *queue = parked;
             }
         } else if try_acquire(shared, local, stage) {
             let queue = waiting.get_mut(&stage).expect("stage has a waiting queue");
@@ -1048,7 +1223,19 @@ fn process_one(
     let inst = local
         .get_mut(&stage)
         .expect("instance acquired before process");
-    let out = inst.process(env.payload);
+    let out = match inst.process(env.payload) {
+        Ok(out) => out,
+        Err(type_err) => {
+            // A wrong-typed item is a pipeline assembly bug, but it
+            // must fail the *session* with a typed error — not kill
+            // this worker thread and hang everyone blocked on it.
+            shared.control.fail(RunError::StageTypeMismatch {
+                stage: type_err.stage,
+            });
+            fatal_teardown(shared);
+            return t0.elapsed();
+        }
+    };
     let compute = t0.elapsed();
     let sleep = shared.vnodes[me].slowdown_sleep(compute, started_at);
     if !sleep.is_zero() {
@@ -1107,23 +1294,35 @@ fn forward(shared: &Shared, from: usize, env: Envelope) {
 
 /// The monitoring/adaptation thread: wakes `samples_per_interval` times
 /// per adaptation interval to feed the shared loop an observation, and
-/// once per interval lets it tick (plan/decide/re-map).
+/// once per interval lets it tick (plan/decide/re-map). Fault
+/// transitions get their own wake-ups at their exact scheduled wall
+/// offsets — even under `Policy::Static`, where no sampling runs but
+/// nodes must still go down (and fatal losses must still surface).
 fn adaptation_thread(
     shared: Arc<Shared>,
     mut aloop: AdaptationLoop,
 ) -> (Vec<AdaptationEvent>, u64) {
-    let Some(sample_dt) = aloop.sample_dt() else {
-        return aloop.finish(); // static: nothing to do
-    };
-    let sample_wall = Duration::from_secs_f64(sample_dt.as_secs_f64());
+    let sample_wall = aloop
+        .sample_dt()
+        .map(|dt| Duration::from_secs_f64(dt.as_secs_f64()));
     let divisions = aloop.samples_per_interval();
     let mut backend = EngineBackend {
         shared: Arc::clone(&shared),
     };
 
-    let mut next_wake = Instant::now() + sample_wall;
+    let mut next_sample = sample_wall.map(|w| Instant::now() + w);
     let mut rounds: u32 = 0;
     loop {
+        let next_fault = aloop
+            .next_fault_at()
+            .map(|at| shared.epoch + Duration::from_secs_f64(at.as_secs_f64()));
+        let next_wake = match (next_sample, next_fault) {
+            (Some(s), Some(f)) => s.min(f),
+            (Some(s), None) => s,
+            (None, Some(f)) => f,
+            // Static policy and no further faults: nothing to do, ever.
+            (None, None) => return aloop.finish(),
+        };
         // Sleep in short slices so shutdown is prompt.
         while Instant::now() < next_wake {
             if shared.done.load(Ordering::Relaxed) {
@@ -1131,16 +1330,33 @@ fn adaptation_thread(
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        next_wake += sample_wall;
         if shared.done.load(Ordering::Relaxed) {
             return aloop.finish();
         }
 
-        aloop.sample(&backend);
-        rounds += 1;
-        if rounds.is_multiple_of(divisions) {
-            // Planning happens once per interval; sensing every round.
-            let _ = aloop.tick(&mut backend, &shared.routing);
+        if next_fault.is_some_and(|f| f <= Instant::now()) {
+            let outcome = aloop.poll_faults(&mut backend, &shared.routing);
+            if outcome.fatal {
+                fatal_teardown(&shared);
+                return aloop.finish();
+            }
+        }
+        if let Some(due) = next_sample {
+            if due <= Instant::now() {
+                next_sample = Some(due + sample_wall.expect("sample schedule implies width"));
+                aloop.sample(&backend);
+                rounds += 1;
+                if rounds.is_multiple_of(divisions) {
+                    // Planning happens once per interval; sensing every
+                    // round. The tick also settles due fault transitions;
+                    // an unrecoverable one latches the loop's fatal flag.
+                    let _ = aloop.tick(&mut backend, &shared.routing);
+                    if aloop.is_fatal() {
+                        fatal_teardown(&shared);
+                        return aloop.finish();
+                    }
+                }
+            }
         }
     }
 }
@@ -1420,6 +1636,88 @@ mod tests {
         let max = outcome.outputs.iter().max().copied().unwrap();
         assert_eq!(max, 45150, "state lost or duplicated across migration");
         assert!(outcome.report.adaptation_count() >= 1);
+    }
+
+    #[test]
+    fn vnode_crash_mid_run_loses_nothing() {
+        // Stage "slow" starts pinned to v1; v1 crashes at 150 ms with a
+        // deep backlog queued. The fault wake-up must mark it down,
+        // force a re-map onto a live vnode, and replay the stranded
+        // envelopes — every output delivered exactly once, in order.
+        let (s0, f0) = spin_stage("slow", 4);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.initial_mapping = Some(Mapping::all_on(n(1), 1));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        };
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(0.15));
+        let events = cfg.hooks.events.subscribe();
+        let mut session = spawn(pipeline, &cfg, 100);
+        for i in 0..100u64 {
+            session.push(i);
+        }
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 100, "items lost to the crash");
+        assert!(!outcome.report.truncated);
+        assert_eq!(outcome.outputs, (1..=100).collect::<Vec<_>>());
+        assert!(outcome.report.replays > 0, "backlog must replay");
+        assert!(!outcome.report.final_mapping.nodes_used().contains(&n(1)));
+        assert!(outcome.report.node_downtime[1] > SimDuration::ZERO);
+        let seen: Vec<_> = events.try_iter().collect();
+        assert!(seen
+            .iter()
+            .any(|e| matches!(e, RunEvent::NodeDown { node: 1, .. })));
+        assert!(seen
+            .iter()
+            .any(|e| matches!(e, RunEvent::ItemReplayed { .. })));
+    }
+
+    #[test]
+    fn wrong_typed_item_fails_session_with_typed_error() {
+        // Assemble a deliberately mis-typed pipeline from erased parts:
+        // the stage declares u64 but the session pushes strings. The
+        // run must fail with StageTypeMismatch on the session — not
+        // panic a worker thread and hang the drain.
+        use adapipe_core::spec::StageSpec;
+        use adapipe_core::stage::FnStage;
+        let spec =
+            adapipe_core::spec::PipelineSpec::new(vec![StageSpec::balanced("typed", 0.001, 8)]);
+        let stages: Vec<Box<dyn DynStage>> = vec![Box::new(FnStage::new("typed", |x: u64| x + 1))];
+        let pipeline: Pipeline<String, u64> = Pipeline::from_parts(spec, stages);
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 4);
+        for i in 0..4 {
+            session.push(format!("item {i}"));
+        }
+        // The failure is asynchronous; drain unwinds cleanly.
+        let outcome = session.drain();
+        assert!(outcome.report.truncated);
+        assert!(outcome.report.completed < 4);
+    }
+
+    #[test]
+    fn wrong_typed_item_error_is_readable_before_drain() {
+        use adapipe_core::spec::StageSpec;
+        use adapipe_core::stage::FnStage;
+        let spec =
+            adapipe_core::spec::PipelineSpec::new(vec![StageSpec::balanced("typed", 0.001, 8)]);
+        let stages: Vec<Box<dyn DynStage>> = vec![Box::new(FnStage::new("typed", |x: u64| x + 1))];
+        let pipeline: Pipeline<String, u64> = Pipeline::from_parts(spec, stages);
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 1);
+        session.push("oops".to_string());
+        let t0 = Instant::now();
+        while session.error().is_none() && t0.elapsed() < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(
+            session.error(),
+            Some(RunError::StageTypeMismatch {
+                stage: "typed".into()
+            })
+        );
+        let _ = session.drain(); // unwinds, no hang
     }
 
     #[test]

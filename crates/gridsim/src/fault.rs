@@ -1,13 +1,30 @@
-//! Fault injection: planned slowdowns and outages.
+//! Fault injection: planned slowdowns, outages, and crashes.
 //!
 //! Faults are expressed as *transformations of load models*, keeping the
 //! simulator's "availability is a pure function of time" invariant: the
-//! fault plan is applied to a [`GridSpec`] before the run starts, and the
-//! run itself stays deterministic.
+//! fault plan is applied to a [`GridSpec`] (or any per-node set of
+//! [`LoadModel`]s — the threaded engine rewrites its vnode loads through
+//! [`FaultPlan::rewrite_load`]) before the run starts, and the run
+//! itself stays deterministic.
+//!
+//! Beyond the physical degradation, a plan also answers two
+//! control-plane questions the adaptive runtime asks:
+//!
+//! * [`FaultPlan::down_intervals`] — when is each node *down* (outage or
+//!   crashed, as opposed to merely slowed)? The runtime turns these into
+//!   `NodeDown`/`NodeUp` transitions, routing exclusions, and forced
+//!   re-maps.
+//! * [`FaultPlan::downtime`] — how much downtime did each node accrue
+//!   over a run horizon? Reported per node in `RunReport`.
 
 use crate::grid::GridSpec;
+use crate::load::LoadModel;
 use crate::node::NodeId;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
+
+/// The stand-in for "never recovers": far enough that no run horizon
+/// reaches it, small enough that arithmetic on it cannot overflow.
+pub const FOREVER: SimTime = SimTime::from_nanos(u64::MAX / 2);
 
 /// One planned fault on one node.
 #[derive(Clone, Debug)]
@@ -104,27 +121,97 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// Appends every fault of `other` after this plan's own (faults
+    /// compose left to right).
+    pub fn merge(mut self, other: &FaultPlan) -> Self {
+        self.faults.extend(other.faults.iter().cloned());
+        self
+    }
+
+    /// The highest node index any fault names, or `None` for an empty
+    /// plan — validation against a backend's node count.
+    pub fn max_node(&self) -> Option<NodeId> {
+        self.faults.iter().map(|f| f.node()).max_by_key(|n| n.0)
+    }
+
+    /// Rewrites one node's load model through every fault of this plan
+    /// that targets it — the single definition of fault physics, shared
+    /// by the simulator ([`FaultPlan::apply`]) and the threaded engine
+    /// (which feeds its vnode load schedules through here).
+    pub fn rewrite_load(&self, node: NodeId, load: LoadModel) -> LoadModel {
+        let mut load = load;
+        for fault in &self.faults {
+            if fault.node() != node {
+                continue;
+            }
+            load = match *fault {
+                Fault::Outage { from, to, .. } => load.with_outages(&[(from, to)]),
+                // An outage that never ends: overlay zero availability
+                // from `at` to effectively-forever.
+                Fault::Crash { at, .. } => load.with_outages(&[(at, FOREVER)]),
+                Fault::Slowdown {
+                    from, to, level, ..
+                } => load.with_cap_window(from, to, level),
+            };
+        }
+        load
+    }
+
     /// Applies every fault to `grid`, rewriting the affected nodes' load
     /// models. Faults compose left to right (each overlays the result of
     /// the previous one, combining via `min`).
     pub fn apply(&self, grid: &mut GridSpec) {
-        for fault in &self.faults {
-            let node = fault.node();
+        for id in 0..grid.len() {
+            let node = NodeId(id);
             let base = grid.node(node).load.clone();
-            let rewritten = match *fault {
-                Fault::Outage { from, to, .. } => base.with_outages(&[(from, to)]),
-                Fault::Crash { at, .. } => {
-                    // An outage that never ends: overlay zero availability
-                    // from `at` to effectively-forever.
-                    let far = SimTime::from_nanos(u64::MAX / 2);
-                    base.with_outages(&[(at, far)])
-                }
-                Fault::Slowdown {
-                    from, to, level, ..
-                } => base.with_cap_window(from, to, level),
-            };
+            let rewritten = self.rewrite_load(node, base);
             grid.set_load(node, rewritten);
         }
+    }
+
+    /// The merged, disjoint *down* intervals of `node` — the union of
+    /// its outage windows and crash tail. Slowdowns degrade but do not
+    /// take a node down, so they contribute nothing here. A crash tail
+    /// ends at [`FOREVER`]. Intervals are sorted by start.
+    pub fn down_intervals(&self, node: NodeId) -> Vec<(SimTime, SimTime)> {
+        let mut raw: Vec<(SimTime, SimTime)> = self
+            .faults
+            .iter()
+            .filter(|f| f.node() == node)
+            .filter_map(|f| match *f {
+                Fault::Outage { from, to, .. } => Some((from, to)),
+                Fault::Crash { at, .. } => Some((at, FOREVER)),
+                Fault::Slowdown { .. } => None,
+            })
+            .collect();
+        raw.sort();
+        let mut merged: Vec<(SimTime, SimTime)> = Vec::with_capacity(raw.len());
+        for (from, to) in raw {
+            match merged.last_mut() {
+                Some(last) if from <= last.1 => last.1 = last.1.max(to),
+                _ => merged.push((from, to)),
+            }
+        }
+        merged
+    }
+
+    /// Downtime each of `node_count` nodes accrues over `[0, horizon)`:
+    /// the total measure of its down intervals clamped to the horizon.
+    pub fn downtime(&self, node_count: usize, horizon: SimTime) -> Vec<SimDuration> {
+        (0..node_count)
+            .map(|i| {
+                self.down_intervals(NodeId(i))
+                    .iter()
+                    .fold(SimDuration::ZERO, |acc, &(from, to)| {
+                        let to = to.min(horizon);
+                        if to > from {
+                            acc.saturating_add(to - from)
+                        } else {
+                            acc
+                        }
+                    })
+            })
+            .collect()
     }
 }
 
@@ -210,5 +297,64 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn inverted_window_panics() {
         let _ = FaultPlan::new().outage(NodeId(0), secs(5.0), secs(1.0));
+    }
+
+    #[test]
+    fn rewrite_load_matches_apply() {
+        let plan = FaultPlan::new()
+            .slowdown(NodeId(0), secs(0.0), secs(10.0), 0.5)
+            .outage(NodeId(0), secs(2.0), secs(4.0));
+        let mut g = testbed_small3();
+        let direct = plan.rewrite_load(NodeId(0), g.node(NodeId(0)).load.clone());
+        plan.apply(&mut g);
+        for t in [1.0, 3.0, 5.0, 11.0] {
+            assert_eq!(
+                direct.availability(secs(t)),
+                g.node(NodeId(0)).load.availability(secs(t))
+            );
+        }
+        // Untargeted nodes pass through unchanged.
+        let other = plan.rewrite_load(NodeId(1), LoadModel::constant(0.7));
+        assert_eq!(other.availability(secs(3.0)), 0.7);
+    }
+
+    #[test]
+    fn down_intervals_merge_and_ignore_slowdowns() {
+        let plan = FaultPlan::new()
+            .slowdown(NodeId(0), secs(0.0), secs(100.0), 0.1)
+            .outage(NodeId(0), secs(10.0), secs(20.0))
+            .outage(NodeId(0), secs(15.0), secs(25.0))
+            .crash(NodeId(0), secs(50.0));
+        let ivs = plan.down_intervals(NodeId(0));
+        assert_eq!(ivs.len(), 2, "overlapping outages merge: {ivs:?}");
+        assert_eq!(ivs[0], (secs(10.0), secs(25.0)));
+        assert_eq!(ivs[1].0, secs(50.0));
+        assert_eq!(ivs[1].1, FOREVER);
+        assert!(plan.down_intervals(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn downtime_clamps_to_horizon() {
+        let plan = FaultPlan::new()
+            .outage(NodeId(1), secs(10.0), secs(20.0))
+            .crash(NodeId(1), secs(30.0));
+        let dt = plan.downtime(3, secs(40.0));
+        assert_eq!(dt.len(), 3);
+        assert_eq!(dt[0], SimDuration::ZERO);
+        // 10 s of outage + 10 s of crash tail within the 40 s horizon.
+        assert!((dt[1].as_secs_f64() - 20.0).abs() < 1e-9);
+        assert_eq!(dt[2], SimDuration::ZERO);
+        // A horizon before the first fault accrues nothing.
+        assert_eq!(plan.downtime(3, secs(5.0))[1], SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_appends_in_order() {
+        let a = FaultPlan::new().crash(NodeId(0), secs(1.0));
+        let b = FaultPlan::new().outage(NodeId(1), secs(2.0), secs(3.0));
+        let merged = a.merge(&b);
+        assert_eq!(merged.faults().len(), 2);
+        assert_eq!(merged.max_node(), Some(NodeId(1)));
+        assert_eq!(FaultPlan::new().max_node(), None);
     }
 }

@@ -22,9 +22,12 @@
 
 use crate::backend::{ExecutionBackend, RemapPlan};
 use crate::controller::{Controller, ControllerConfig};
+use crate::fault::{FaultTracker, FaultTransition};
 use crate::policy::Policy;
 use crate::report::AdaptationEvent;
 use crate::routing::RoutingTable;
+use crate::session::{RunError, RunEvent};
+use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::net::Topology;
 use adapipe_gridsim::time::{SimDuration, SimTime};
 use adapipe_mapper::mapping::Mapping;
@@ -49,6 +52,17 @@ pub struct RuntimeConfig {
     pub speeds: Vec<f64>,
     /// Migratable state per stage, in bytes.
     pub state_bytes: Vec<u64>,
+    /// Statelessness per stage: a *stateful* stage pinned to a node
+    /// that goes down permanently is a fatal
+    /// [`RunError::StatefulStageLost`] (its state cannot be replayed),
+    /// while stateless stages re-deal their stranded items
+    /// at-least-once and finite outages park-and-recover.
+    pub stateless: Vec<bool>,
+    /// Scheduled faults of this run. The backend applies the physics
+    /// (degraded load schedules) itself; the loop owns the control
+    /// plane — down/up transitions, routing exclusion, forced re-maps,
+    /// and replay orchestration — identically for every backend.
+    pub faults: FaultPlan,
     /// Stream length (drives remaining-work amortisation).
     pub total_items: u64,
     /// Relative magnitude of availability observation noise (0 = clean).
@@ -87,6 +101,28 @@ pub struct AdaptationLoop {
     guard_prev: Option<(Mapping, u32)>,
     guard_bad: u32,
     hold_until_tick: u32,
+    /// Node-health state machine for the run's fault plan.
+    tracker: FaultTracker,
+    /// A node went down and the mapping still touches a down node: keep
+    /// forcing planning cycles until a committed re-map excludes every
+    /// down node.
+    fault_remap_pending: bool,
+    /// Latched once a fault transition proved the run unrecoverable
+    /// (see [`FaultOutcome::fatal`]). Distinct from the session's error
+    /// slot, which may carry non-fatal errors (e.g. the simulator's
+    /// marker-semantics type mismatch).
+    fatal: bool,
+}
+
+/// What [`AdaptationLoop::poll_faults`] did about the transitions due.
+#[derive(Debug, Default)]
+pub struct FaultOutcome {
+    /// A fault-driven re-map committed by this poll, if any.
+    pub committed: Option<RemapPlan>,
+    /// True if the run can no longer proceed (stateful stage lost,
+    /// every node down): the error is recorded on the session control
+    /// and the backend should tear the run down.
+    pub fatal: bool,
 }
 
 impl AdaptationLoop {
@@ -98,6 +134,7 @@ impl AdaptationLoop {
         let controller = Controller::new(cfg.speeds.len(), cfg.controller.clone());
         let expected_tput = evaluate(&cfg.profile, initial, launch_rates, &cfg.topology).throughput;
         let noise = cfg.noise();
+        let tracker = FaultTracker::new(&cfg.faults, cfg.speeds.len());
         AdaptationLoop {
             controller,
             noise,
@@ -107,8 +144,19 @@ impl AdaptationLoop {
             guard_prev: None,
             guard_bad: 0,
             hold_until_tick: 0,
+            tracker,
+            fault_remap_pending: false,
+            fatal: false,
             cfg,
         }
+    }
+
+    /// True once a fault transition proved the run unrecoverable (the
+    /// typed error is on the session control). Backends use this — not
+    /// the session's error slot, which may carry non-fatal errors — to
+    /// decide whether to stop the run.
+    pub fn is_fatal(&self) -> bool {
+        self.fatal
     }
 
     /// The adaptation interval, or `None` under [`Policy::Static`].
@@ -151,10 +199,181 @@ impl AdaptationLoop {
         }
     }
 
-    /// One adaptation tick: regret guard, warm-up gating, policy rate
-    /// selection, plan/decide, and — on acceptance — the routing-table
-    /// swap plus backend commit. Returns the committed [`RemapPlan`], if
-    /// any (a guard revert also surfaces here).
+    /// The instant of the next unprocessed fault transition, if any —
+    /// wall-clock backends use this to wake exactly when a fault is due
+    /// (the simulator schedules an event per transition instead).
+    pub fn next_fault_at(&self) -> Option<SimTime> {
+        self.tracker.next_transition_at()
+    }
+
+    /// True if `node` is currently down per the processed fault plan.
+    pub fn is_node_down(&self, node: usize) -> bool {
+        self.tracker.is_down(node)
+    }
+
+    /// Processes every fault transition due at the backend's current
+    /// time. For each node going **down**: mark it down in the routing
+    /// table (all selection policies skip it from now on), emit
+    /// [`RunEvent::NodeDown`], notify the backend
+    /// ([`ExecutionBackend::on_node_down`] — the threaded engine
+    /// evacuates the dead worker, the simulator arms replay
+    /// accounting), fail fatally if a *stateful* stage was pinned to a
+    /// permanently lost node (a finite outage parks and recovers
+    /// instead) or if every node is now down, and otherwise force a planning
+    /// cycle that keeps retrying until a committed re-map excludes
+    /// every down node. Nodes coming back **up** are re-admitted to
+    /// routing and left for the regular adaptation cycle to re-adopt.
+    ///
+    /// Idempotent and cheap when nothing is due; called from every
+    /// [`AdaptationLoop::tick`] and from the backends' fault wake-ups,
+    /// so both backends run the identical recovery sequence.
+    pub fn poll_faults<B: ExecutionBackend>(
+        &mut self,
+        backend: &mut B,
+        routing: &RwLock<RoutingTable>,
+    ) -> FaultOutcome {
+        let now = backend.now();
+        let mut outcome = FaultOutcome::default();
+        let due = self.tracker.poll(now);
+        if due.is_empty() && !self.fault_remap_pending {
+            return outcome;
+        }
+        for transition in due {
+            match transition {
+                FaultTransition::Down { node, at } => {
+                    let table = routing.read().expect("routing lock poisoned");
+                    table.mark_down(node);
+                    let lost_stateful = (0..table.len()).find(|&s| {
+                        !self.cfg.stateless.get(s).copied().unwrap_or(true)
+                            && table.contains(s, node)
+                    });
+                    drop(table);
+                    self.cfg.hooks.events.emit(RunEvent::NodeDown {
+                        node: node.index(),
+                        at,
+                    });
+                    backend.on_node_down(node.index(), at);
+                    // State dies only with a *permanent* loss: a finite
+                    // outage parks the stage's items and the node (and
+                    // its state) comes back at the scheduled recovery.
+                    if let Some(stage) = lost_stateful {
+                        if self.tracker.is_permanently_down(node.index()) {
+                            self.cfg.control.fail(RunError::StatefulStageLost {
+                                stage,
+                                node: node.index(),
+                            });
+                            outcome.fatal = true;
+                        }
+                    }
+                    if self.tracker.all_down() {
+                        self.cfg.control.fail(RunError::AllNodesDown);
+                        outcome.fatal = true;
+                    }
+                    // A permanent loss of a hosting node under a policy
+                    // that never re-maps can never be recovered: fail
+                    // now instead of starving forever.
+                    if self.cfg.policy.interval().is_none()
+                        && self.tracker.is_permanently_down(node.index())
+                        && routing
+                            .read()
+                            .expect("routing lock poisoned")
+                            .mapping()
+                            .nodes_used()
+                            .contains(&node)
+                    {
+                        self.cfg
+                            .control
+                            .fail(RunError::NodeLostUnderStatic { node: node.index() });
+                        outcome.fatal = true;
+                    }
+                    self.fault_remap_pending = true;
+                }
+                FaultTransition::Up { node, at } => {
+                    routing.read().expect("routing lock poisoned").mark_up(node);
+                    self.cfg.hooks.events.emit(RunEvent::NodeUp {
+                        node: node.index(),
+                        at,
+                    });
+                    backend.on_node_up(node.index(), at);
+                }
+            }
+        }
+        if outcome.fatal {
+            self.fatal = true;
+            return outcome;
+        }
+        if self.fault_remap_pending {
+            outcome.committed = self.fault_remap(backend, routing, now);
+        }
+        outcome
+    }
+
+    /// One forced planning cycle away from the down nodes. Bypasses
+    /// warm-up (recovery cannot wait for observation history — forecast
+    /// rates of down nodes are masked to zero, and the controller's
+    /// dead-mapping bypass skips confirmation). Clears the pending flag
+    /// only once the mapping in force excludes every down node.
+    fn fault_remap<B: ExecutionBackend>(
+        &mut self,
+        backend: &mut B,
+        routing: &RwLock<RoutingTable>,
+        now: SimTime,
+    ) -> Option<RemapPlan> {
+        let current = routing
+            .read()
+            .expect("routing lock poisoned")
+            .mapping()
+            .clone();
+        let touches_down = |m: &Mapping| {
+            m.placements()
+                .iter()
+                .any(|p| p.hosts().iter().any(|h| self.tracker.is_down(h.index())))
+        };
+        if !touches_down(&current) {
+            self.fault_remap_pending = false;
+            return None;
+        }
+        // Static policy never re-maps, faults included: the run honours
+        // the paper's baseline semantics and starves (the session
+        // surfaces no progress; the simulator truncates).
+        self.cfg.policy.interval()?;
+        let mut rates = self.controller.forecast_rates(&self.cfg.speeds);
+        self.tracker.mask_rates(&mut rates);
+        // Stranded items guarantee work remains even when the
+        // remaining-items hint has run out — never let the amortisation
+        // veto crash recovery.
+        let remaining = self
+            .cfg
+            .total_items
+            .saturating_sub(backend.completed())
+            .max(1);
+        let accepted = self.controller.consider(
+            now,
+            &self.cfg.profile,
+            &self.cfg.topology,
+            &rates,
+            &current,
+            remaining,
+            &self.cfg.state_bytes,
+        );
+        let new_mapping = accepted?;
+        self.expected_tput =
+            evaluate(&self.cfg.profile, &new_mapping, &rates, &self.cfg.topology).throughput;
+        // Never arm the regret guard on a recovery mapping: a revert
+        // would re-adopt the mapping that includes the dead node.
+        self.guard_prev = None;
+        self.guard_bad = 0;
+        if !touches_down(&new_mapping) {
+            self.fault_remap_pending = false;
+        }
+        Some(self.apply(backend, routing, new_mapping, now))
+    }
+
+    /// One adaptation tick: fault transitions, regret guard, warm-up
+    /// gating, policy rate selection, plan/decide, and — on acceptance —
+    /// the routing-table swap plus backend commit. Returns the committed
+    /// [`RemapPlan`], if any (guard reverts and fault-driven recovery
+    /// re-maps also surface here).
     pub fn tick<B: ExecutionBackend>(
         &mut self,
         backend: &mut B,
@@ -163,6 +382,14 @@ impl AdaptationLoop {
         let interval = self.cfg.policy.interval()?;
         let now = backend.now();
         let completed = backend.completed();
+
+        // 0. Fault transitions due since the last look (and pending
+        // recovery re-maps) are settled before anything else senses or
+        // plans: the rest of the tick must see the post-fault world.
+        let fault = self.poll_faults(backend, routing);
+        if fault.fatal {
+            return fault.committed;
+        }
 
         // 1. Realized throughput over the elapsed tick: the one signal
         // immune to the forecast pathologies the guard exists for.
@@ -192,7 +419,20 @@ impl AdaptationLoop {
         }
         let forced = self.cfg.control.take_force_remap();
 
-        let mut committed: Option<RemapPlan> = None;
+        let mut committed: Option<RemapPlan> = fault.committed;
+
+        // A guard revert must never re-adopt a mapping that touches a
+        // node now known to be down.
+        if let Some((prev, _)) = &self.guard_prev {
+            if prev
+                .placements()
+                .iter()
+                .any(|p| p.hosts().iter().any(|h| self.tracker.is_down(h.index())))
+            {
+                self.guard_prev = None;
+                self.guard_bad = 0;
+            }
+        }
 
         // 2. Regret guard: compare what the adopted mapping delivers
         // against what the model promised; on sustained shortfall revert
@@ -252,6 +492,12 @@ impl AdaptationLoop {
             }
             Policy::Oracle { .. } => Some(backend.oracle_rates(now, now + interval)),
         };
+        // No planning path may map work onto a node known to be down,
+        // even before the forecast catches up with the failure.
+        let rates = rates.map(|mut r| {
+            self.tracker.mask_rates(&mut r);
+            r
+        });
 
         if let Some(rates) = rates {
             let current = routing
@@ -386,6 +632,8 @@ mod tests {
             topology: Topology::uniform(np, LinkSpec::lan()),
             speeds: vec![1.0; np],
             state_bytes: vec![0; np.min(3)],
+            stateless: vec![true; np.min(3)],
+            faults: FaultPlan::new(),
             total_items: 10_000,
             observation_noise: 0.0,
             noise_seed: 1,
@@ -598,6 +846,192 @@ mod tests {
             }
         }
         assert!(remapped, "degraded reactive run must re-map");
+    }
+
+    #[test]
+    fn crash_forces_committed_remap_off_dead_node_before_warmup() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(2.0));
+        let control = cfg.control.clone();
+        let events = cfg.hooks.events.subscribe();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping.clone(),
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3], // the forecast has not seen the crash
+            now: SimTime::from_secs_f64(2.5),
+            completed: 0,
+            commits: vec![],
+        };
+        assert_eq!(aloop.next_fault_at(), Some(SimTime::from_secs_f64(2.0)));
+        // Well inside warm-up, no samples at all: recovery still plans
+        // and commits immediately.
+        let outcome = aloop.poll_faults(&mut backend, &routing);
+        assert!(!outcome.fatal);
+        let plan = outcome.committed.expect("crash must force a re-map");
+        assert!(
+            !plan.to.nodes_used().contains(&n(1)),
+            "recovery mapping still uses the dead node: {}",
+            plan.to
+        );
+        assert!(aloop.is_node_down(1));
+        assert!(routing.read().unwrap().is_down(n(1)));
+        assert_eq!(control.error(), None);
+        let kinds: Vec<_> = events.try_iter().collect();
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, crate::session::RunEvent::NodeDown { node: 1, .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, crate::session::RunEvent::Remap(_))));
+        // Idempotent: polling again does nothing further.
+        let again = aloop.poll_faults(&mut backend, &routing);
+        assert!(again.committed.is_none() && !again.fatal);
+    }
+
+    #[test]
+    fn outage_marks_down_then_up_in_routing() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.faults = FaultPlan::new().outage(
+            n(2),
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(4.0),
+        );
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping,
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(1.5),
+            commits: vec![],
+            completed: 0,
+        };
+        let _ = aloop.poll_faults(&mut backend, &routing);
+        assert!(routing.read().unwrap().is_down(n(2)));
+        backend.now = SimTime::from_secs_f64(4.5);
+        let _ = aloop.poll_faults(&mut backend, &routing);
+        assert!(!routing.read().unwrap().is_down(n(2)));
+        assert_eq!(aloop.next_fault_at(), None);
+    }
+
+    #[test]
+    fn stateful_stage_on_crashed_node_is_fatal() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.stateless = vec![true, false, true]; // stage 1 stateful on n1
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(1.0));
+        let control = cfg.control.clone();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping,
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(1.5),
+            commits: vec![],
+            completed: 0,
+        };
+        let outcome = aloop.poll_faults(&mut backend, &routing);
+        assert!(outcome.fatal);
+        assert_eq!(
+            control.error(),
+            Some(crate::session::RunError::StatefulStageLost { stage: 1, node: 1 })
+        );
+    }
+
+    #[test]
+    fn stateful_stage_survives_a_finite_outage() {
+        // An outage is recoverable: the stage's items park and the node
+        // (with its state) comes back — no fatal error, unlike a crash.
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.stateless = vec![true, false, true]; // stage 1 stateful on n1
+        cfg.faults = FaultPlan::new().outage(
+            n(1),
+            SimTime::from_secs_f64(1.0),
+            SimTime::from_secs_f64(3.0),
+        );
+        let control = cfg.control.clone();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping,
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(1.5),
+            commits: vec![],
+            completed: 0,
+        };
+        let outcome = aloop.poll_faults(&mut backend, &routing);
+        assert!(!outcome.fatal, "a finite outage must not be fatal");
+        assert!(!aloop.is_fatal());
+        assert_eq!(control.error(), None);
+        assert!(routing.read().unwrap().is_down(n(1)));
+    }
+
+    #[test]
+    fn all_nodes_down_is_fatal() {
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.faults = FaultPlan::new()
+            .crash(n(0), SimTime::from_secs_f64(1.0))
+            .crash(n(1), SimTime::from_secs_f64(1.0))
+            .crash(n(2), SimTime::from_secs_f64(1.0));
+        let control = cfg.control.clone();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping,
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(2.0),
+            commits: vec![],
+            completed: 0,
+        };
+        assert!(aloop.poll_faults(&mut backend, &routing).fatal);
+        assert_eq!(
+            control.error(),
+            Some(crate::session::RunError::AllNodesDown)
+        );
+    }
+
+    #[test]
+    fn static_policy_marks_down_but_never_remaps_and_fails_on_permanent_loss() {
+        let (mut cfg, mapping) = rig(Policy::Static, 3);
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(1.0));
+        let control = cfg.control.clone();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping.clone(),
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(1.5),
+            commits: vec![],
+            completed: 0,
+        };
+        let outcome = aloop.poll_faults(&mut backend, &routing);
+        assert!(outcome.committed.is_none(), "static must not re-map");
+        assert!(routing.read().unwrap().is_down(n(1)));
+        assert_eq!(routing.read().unwrap().mapping(), &mapping);
+        // A permanent loss of a hosting node can never complete under
+        // static: surfaced as the typed fatal error.
+        assert!(outcome.fatal);
+        assert_eq!(
+            control.error(),
+            Some(crate::session::RunError::NodeLostUnderStatic { node: 1 })
+        );
     }
 
     #[test]

@@ -73,4 +73,15 @@ pub trait ExecutionBackend {
     /// worker threads, like the threaded engine, cannot). The default
     /// does nothing; override to count or trace per-replica dispatch.
     fn on_dispatch(&mut self, _stage: usize, _node: usize, _item: u64) {}
+
+    /// A node of the run's fault plan went down at `at` (the routing
+    /// table has already been updated to exclude it). Backends override
+    /// this to do the physical part: the threaded engine wakes the dead
+    /// worker so it evacuates buffered items to live replicas, the
+    /// simulator arms its replay accounting. The default does nothing.
+    fn on_node_down(&mut self, _node: usize, _at: SimTime) {}
+
+    /// A node recovered at `at` (routing may use it again). The default
+    /// does nothing.
+    fn on_node_up(&mut self, _node: usize, _at: SimTime) {}
 }

@@ -19,6 +19,10 @@
 //!   backend;
 //! * [`controller`] — monitor → plan → decide, with hysteresis and
 //!   migration-cost accounting;
+//! * [`fault`] — the [`fault::FaultTracker`] node-health state machine:
+//!   down/up transitions derived from a fault plan, driving routing
+//!   exclusion, forced recovery re-maps, and item replay identically on
+//!   every backend;
 //! * [`policy`] — when the controller wakes up and what it may see;
 //! * [`report`] — [`report::RunReport`] and the shared
 //!   [`report::ReportBuilder`] so every backend's report has an
@@ -41,6 +45,7 @@ pub mod adapt;
 pub mod arrivals;
 pub mod backend;
 pub mod controller;
+pub mod fault;
 pub mod metrics;
 pub mod policy;
 pub mod report;
@@ -49,15 +54,17 @@ pub mod session;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::adapt::{AdaptationLoop, RuntimeConfig};
+    pub use crate::adapt::{AdaptationLoop, FaultOutcome, RuntimeConfig};
     pub use crate::arrivals::ArrivalProcess;
     pub use crate::backend::{ExecutionBackend, RemapPlan};
     pub use crate::controller::{Controller, ControllerConfig};
+    pub use crate::fault::{FaultTracker, FaultTransition};
     pub use crate::metrics::{StageMetrics, StageStats};
     pub use crate::policy::Policy;
     pub use crate::report::{AdaptationEvent, ReportBuilder, RunReport};
     pub use crate::routing::{RoutingTable, Selection};
-    pub use crate::session::{BuildError, RunConfig, RunHooks, Session};
+    pub use crate::session::{BuildError, RunConfig, RunError, RunHooks, Session};
+    pub use adapipe_gridsim::fault::{Fault, FaultPlan};
 }
 
 pub use prelude::*;

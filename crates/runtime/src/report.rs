@@ -1,6 +1,7 @@
 //! Run reports: everything an experiment needs to print its table row.
 
 use crate::metrics::StageMetrics;
+use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::time::{SimDuration, SimTime};
 use adapipe_gridsim::trace::ThroughputTimeline;
 use adapipe_mapper::mapping::Mapping;
@@ -54,6 +55,12 @@ pub struct RunReport {
     pub stage_metrics: StageMetrics,
     /// True if the run hit its safety horizon before completing.
     pub truncated: bool,
+    /// Items re-dealt to a live host after their assigned node went
+    /// down (at-least-once replay under the run's fault plan).
+    pub replays: u64,
+    /// Downtime each node accrued over the run (outages plus crash
+    /// tails, clamped to the makespan). Empty when no fault plan ran.
+    pub node_downtime: Vec<SimDuration>,
 }
 
 impl RunReport {
@@ -78,11 +85,15 @@ impl RunReport {
         })
     }
 
-    /// Latency percentile `q ∈ [0, 1]`, or `None` if nothing completed.
+    /// Latency percentile, or `None` if nothing completed or `q` is
+    /// NaN. An out-of-range `q` is clamped into `[0, 1]` (q < 0 reads
+    /// the minimum, q > 1 the maximum) rather than forwarded into the
+    /// quantile kernel, whose interpolation indices it would break.
     pub fn latency_percentile(&self, q: f64) -> Option<SimDuration> {
-        if self.latencies.is_empty() {
+        if self.latencies.is_empty() || q.is_nan() {
             return None;
         }
+        let q = q.clamp(0.0, 1.0);
         let mut sorted: Vec<f64> = self.latencies.iter().map(|d| d.as_secs_f64()).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
         Some(SimDuration::from_secs_f64(
@@ -90,13 +101,18 @@ impl RunReport {
         ))
     }
 
-    /// Utilisation of node `i` over the makespan.
+    /// Utilisation of node `i` over the makespan; 0.0 for a node index
+    /// the run never covered (reports are often probed with a foreign
+    /// grid's node range — out of range is "never busy", not a panic).
     pub fn node_utilisation(&self, i: usize) -> f64 {
         let horizon = self.makespan.as_secs_f64();
+        let Some(busy) = self.node_busy.get(i) else {
+            return 0.0;
+        };
         if horizon <= 0.0 {
             return 0.0;
         }
-        (self.node_busy[i].as_secs_f64() / horizon).clamp(0.0, 1.0)
+        (busy.as_secs_f64() / horizon).clamp(0.0, 1.0)
     }
 
     /// Serialises the report as one machine-readable JSON object, so
@@ -104,6 +120,13 @@ impl RunReport {
     /// without ad-hoc formatting. Times are seconds (`f64`); the final
     /// mapping is an array of per-stage host arrays; the per-item
     /// latency samples are summarised as quantiles rather than dumped.
+    ///
+    /// **Quantile caveat:** the emitted `latency_p50/p95/p99` values are
+    /// computed from the retained latency samples. Runs beyond ~1M
+    /// completions retain a decimated subsample (see
+    /// [`ReportBuilder::record_completion`]), so on very long streams
+    /// these quantiles are *estimates*, while `mean_latency_secs` stays
+    /// exact over every completion.
     pub fn to_json(&self) -> String {
         let mapping_json = |m: &Mapping| {
             let stages: Vec<String> = (0..m.len())
@@ -140,6 +163,11 @@ impl RunReport {
             .iter()
             .map(|d| json_f64(d.as_secs_f64()))
             .collect();
+        let node_downtime: Vec<String> = self
+            .node_downtime
+            .iter()
+            .map(|d| json_f64(d.as_secs_f64()))
+            .collect();
         let quantile = |q: f64| {
             self.latency_percentile(q)
                 .map_or_else(|| "null".to_string(), |d| json_f64(d.as_secs_f64()))
@@ -148,8 +176,8 @@ impl RunReport {
             "{{\"completed\":{},\"makespan_secs\":{},\"mean_throughput\":{},\
              \"mean_latency_secs\":{},\"latency_p50_secs\":{},\"latency_p95_secs\":{},\
              \"latency_p99_secs\":{},\"adaptation_count\":{},\"total_migration_cost_secs\":{},\
-             \"planning_cycles\":{},\"truncated\":{},\"node_busy_secs\":[{}],\
-             \"final_mapping\":{},\"adaptations\":[{}]}}",
+             \"planning_cycles\":{},\"truncated\":{},\"replays\":{},\"node_busy_secs\":[{}],\
+             \"node_downtime_secs\":[{}],\"final_mapping\":{},\"adaptations\":[{}]}}",
             self.completed,
             json_f64(self.makespan.as_secs_f64()),
             json_f64(self.mean_throughput()),
@@ -161,7 +189,9 @@ impl RunReport {
             json_f64(self.total_migration_cost().as_secs_f64()),
             self.planning_cycles,
             self.truncated,
+            self.replays,
             node_busy.join(","),
+            node_downtime.join(","),
             mapping_json(&self.final_mapping),
             adaptations.join(","),
         )
@@ -199,6 +229,10 @@ pub struct ReportBuilder {
     latency_stride: u64,
     last_completion: SimTime,
     timeline: ThroughputTimeline,
+    replays: u64,
+    /// The run's fault plan and node count; per-node downtime is
+    /// settled against the makespan at [`ReportBuilder::finish`].
+    faults: Option<(FaultPlan, usize)>,
 }
 
 impl ReportBuilder {
@@ -215,6 +249,8 @@ impl ReportBuilder {
             latency_stride: 1,
             last_completion: SimTime::ZERO,
             timeline: ThroughputTimeline::new(bucket),
+            replays: 0,
+            faults: None,
         }
     }
 
@@ -222,6 +258,26 @@ impl ReportBuilder {
     /// this at `close()`, when the number of pushed items becomes known.
     pub fn set_expected(&mut self, expected_items: u64) {
         self.expected_items = expected_items;
+    }
+
+    /// Declares the fault plan this run executes under, over
+    /// `node_count` nodes; [`ReportBuilder::finish`] settles the
+    /// per-node downtime from it against the final makespan.
+    pub fn set_faults(&mut self, plan: FaultPlan, node_count: usize) {
+        self.faults = Some((plan, node_count));
+    }
+
+    /// Records one item re-dealt to a live host after its assigned node
+    /// went down.
+    pub fn record_replay(&mut self) {
+        self.replays += 1;
+    }
+
+    /// Overwrites the replay counter — for backends that count replays
+    /// outside the builder (e.g. an atomic shared across worker
+    /// threads) and settle it at teardown.
+    pub fn set_replays(&mut self, replays: u64) {
+        self.replays = replays;
     }
 
     /// Records one item reaching the sink at `at` after `latency`.
@@ -275,6 +331,10 @@ impl ReportBuilder {
         stage_metrics: StageMetrics,
     ) -> RunReport {
         let truncated = self.completed < self.expected_items;
+        let node_downtime = match &self.faults {
+            Some((plan, node_count)) => plan.downtime(*node_count, self.last_completion),
+            None => Vec::new(),
+        };
         RunReport {
             completed: self.completed,
             makespan: self.last_completion,
@@ -291,6 +351,8 @@ impl ReportBuilder {
             planning_cycles,
             stage_metrics,
             truncated,
+            replays: self.replays,
+            node_downtime,
         }
     }
 }
@@ -313,6 +375,8 @@ mod tests {
             planning_cycles: 0,
             stage_metrics: StageMetrics::new(1),
             truncated: false,
+            replays: 0,
+            node_downtime: Vec::new(),
         }
     }
 
@@ -335,6 +399,66 @@ mod tests {
         // 5 s busy over 2 s horizon clamps to 1.
         assert_eq!(r.node_utilisation(0), 1.0);
         assert_eq!(r.node_utilisation(1), 0.0);
+    }
+
+    #[test]
+    fn node_utilisation_is_zero_out_of_range() {
+        // Probing a node index the run never covered must read as
+        // "never busy", not panic (node_busy has 2 entries here).
+        let r = report(10, 2.0);
+        assert_eq!(r.node_utilisation(2), 0.0);
+        assert_eq!(r.node_utilisation(usize::MAX), 0.0);
+        // In-range indices are unaffected.
+        assert_eq!(r.node_utilisation(0), 1.0);
+    }
+
+    #[test]
+    fn latency_percentile_rejects_nan_and_clamps_out_of_range() {
+        let mut r = report(3, 10.0);
+        r.latencies = vec![
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(9),
+        ];
+        // NaN has no meaningful quantile: None, not a poisoned index.
+        assert_eq!(r.latency_percentile(f64::NAN), None);
+        // q < 0 clamps to the minimum, q > 1 to the maximum.
+        assert_eq!(r.latency_percentile(-0.5), Some(SimDuration::from_secs(1)));
+        assert_eq!(r.latency_percentile(1.5), Some(SimDuration::from_secs(9)));
+    }
+
+    #[test]
+    fn replays_and_downtime_flow_into_the_report() {
+        use adapipe_gridsim::fault::FaultPlan;
+        let mut b = ReportBuilder::new(SimDuration::from_secs(1), 2);
+        b.record_completion(SimTime::from_secs_f64(10.0), SimDuration::from_secs(1));
+        b.record_completion(SimTime::from_secs_f64(40.0), SimDuration::from_secs(1));
+        b.record_replay();
+        b.record_replay();
+        // Node 1 is out [5, 15) and crashed at 30: downtime clamps to
+        // the 40 s makespan → 10 + 10 = 20 s.
+        let plan = FaultPlan::new()
+            .outage(
+                NodeId(1),
+                SimTime::from_secs_f64(5.0),
+                SimTime::from_secs_f64(15.0),
+            )
+            .crash(NodeId(1), SimTime::from_secs_f64(30.0));
+        b.set_faults(plan, 2);
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![SimDuration::ZERO; 2],
+            StageMetrics::new(1),
+        );
+        assert_eq!(r.replays, 2);
+        assert_eq!(r.node_downtime.len(), 2);
+        assert_eq!(r.node_downtime[0], SimDuration::ZERO);
+        assert!((r.node_downtime[1].as_secs_f64() - 20.0).abs() < 1e-9);
+        let json = r.to_json();
+        assert!(json.contains("\"replays\":2"), "missing replays in {json}");
+        assert!(json.contains("\"node_downtime_secs\":[0,20]"), "{json}");
     }
 
     #[test]

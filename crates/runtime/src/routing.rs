@@ -14,7 +14,7 @@
 
 use adapipe_gridsim::node::NodeId;
 use adapipe_mapper::mapping::Mapping;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// How the table picks one replica among a stage's hosts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,22 +37,38 @@ pub struct RoutingTable {
     /// Per-stage round-robin cursor. Atomic so routing takes `&self`.
     rr: Vec<AtomicUsize>,
     selection: Selection,
+    /// Per-node health flag: a down node is skipped by every selection
+    /// policy while at least one of the stage's hosts is up. Atomic so
+    /// fault transitions take `&self` (they race only with routing
+    /// reads, never with `install`'s write lock).
+    down: Vec<AtomicBool>,
 }
 
 impl RoutingTable {
     /// Creates a table routing according to `mapping` with round-robin
-    /// replica selection.
+    /// replica selection. Node health covers the mapping's own hosts;
+    /// prefer [`RoutingTable::with_selection`] with the backend's true
+    /// node count when faults may name nodes outside the mapping.
     pub fn new(mapping: Mapping) -> Self {
-        Self::with_selection(mapping, Selection::RoundRobin)
+        let nodes = mapping
+            .nodes_used()
+            .iter()
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0);
+        Self::with_selection(mapping, Selection::RoundRobin, nodes)
     }
 
-    /// Creates a table with an explicit selection policy.
-    pub fn with_selection(mapping: Mapping, selection: Selection) -> Self {
+    /// Creates a table with an explicit selection policy over a backend
+    /// of `node_count` nodes.
+    pub fn with_selection(mapping: Mapping, selection: Selection, node_count: usize) -> Self {
         let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
+        let down = (0..node_count).map(|_| AtomicBool::new(false)).collect();
         RoutingTable {
             mapping,
             rr,
             selection,
+            down,
         }
     }
 
@@ -88,6 +104,39 @@ impl RoutingTable {
         self.mapping.placement(stage).contains(node)
     }
 
+    /// Marks `node` down: every selection policy skips it while any
+    /// alternative host is alive. Out-of-range nodes are ignored.
+    pub fn mark_down(&self, node: NodeId) {
+        if let Some(flag) = self.down.get(node.index()) {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Lifts a [`RoutingTable::mark_down`].
+    pub fn mark_up(&self, node: NodeId) {
+        if let Some(flag) = self.down.get(node.index()) {
+            flag.store(false, Ordering::SeqCst);
+        }
+    }
+
+    /// True if `node` is currently marked down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.down
+            .get(node.index())
+            .is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// True if every host of `stage` is currently marked down — routing
+    /// cannot avoid a dead destination and items will park until a
+    /// re-map rescues them.
+    pub fn all_hosts_down(&self, stage: usize) -> bool {
+        self.mapping
+            .placement(stage)
+            .hosts()
+            .iter()
+            .all(|&h| self.is_down(h))
+    }
+
     /// Picks the destination replica for the next item of `stage`,
     /// always round-robin. Tables configured with
     /// [`Selection::LeastLoaded`] need a load probe — route through
@@ -105,6 +154,16 @@ impl RoutingTable {
     fn route_round_robin(&self, stage: usize) -> NodeId {
         let hosts = self.mapping.placement(stage).hosts();
         let k = self.rr[stage].fetch_add(1, Ordering::Relaxed);
+        // Skip hosts marked down, scanning from the cursor so live
+        // hosts still share the load cyclically. With every host down
+        // the plain pick stands: the item parks on schedule and a
+        // re-map rescues it.
+        for off in 0..hosts.len() {
+            let h = hosts[(k + off) % hosts.len()];
+            if !self.is_down(h) {
+                return h;
+            }
+        }
         hosts[k % hosts.len()]
     }
 
@@ -129,10 +188,19 @@ impl RoutingTable {
     /// round-robin there is no cursor, so repeated ties do not rotate.
     pub fn route_least_loaded(&self, stage: usize, load: impl Fn(NodeId) -> usize) -> NodeId {
         let hosts = self.mapping.placement(stage).hosts();
-        *hosts
+        hosts
             .iter()
+            .filter(|&&h| !self.is_down(h))
             .min_by_key(|&&h| load(h))
-            .expect("placement is never empty")
+            .copied()
+            // Every host down: pick the nominal minimum anyway — the
+            // item parks on schedule and a re-map rescues it.
+            .unwrap_or_else(|| {
+                *hosts
+                    .iter()
+                    .min_by_key(|&&h| load(h))
+                    .expect("placement is never empty")
+            })
     }
 
     /// Swaps in a new mapping, returning the stages whose placement
@@ -190,6 +258,7 @@ mod tests {
         let rt = RoutingTable::with_selection(
             Mapping::new(vec![Placement::replicated(vec![n(2), n(0), n(1)])]),
             Selection::LeastLoaded,
+            3,
         );
         for depth in [0, 3, 7] {
             for _ in 0..4 {
@@ -210,6 +279,7 @@ mod tests {
         let ll = RoutingTable::with_selection(
             Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]),
             Selection::LeastLoaded,
+            2,
         );
         let dest = ll.route_with_load(0, |h| if h == n(0) { 9 } else { 0 });
         assert_eq!(dest, n(1));
@@ -248,5 +318,53 @@ mod tests {
     fn install_rejects_wrong_arity() {
         let mut rt = replicated_two();
         rt.install(Mapping::new(vec![Placement::single(n(0))]));
+    }
+
+    #[test]
+    fn round_robin_skips_down_hosts() {
+        let rt = replicated_two();
+        rt.mark_down(n(0));
+        assert!(rt.is_down(n(0)));
+        // Every pick lands on the surviving replica.
+        let picks: Vec<NodeId> = (0..4).map(|_| rt.route(0)).collect();
+        assert_eq!(picks, vec![n(1); 4]);
+        // Recovery restores the cycle over both hosts.
+        rt.mark_up(n(0));
+        let picks: Vec<NodeId> = (0..4).map(|_| rt.route(0)).collect();
+        assert!(picks.contains(&n(0)) && picks.contains(&n(1)));
+    }
+
+    #[test]
+    fn least_loaded_skips_down_hosts() {
+        let rt = RoutingTable::with_selection(
+            Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]),
+            Selection::LeastLoaded,
+            2,
+        );
+        // Node 0 is emptier but down: the pick must avoid it.
+        rt.mark_down(n(0));
+        let pick = rt.route_least_loaded(0, |h| if h == n(0) { 0 } else { 9 });
+        assert_eq!(pick, n(1));
+    }
+
+    #[test]
+    fn all_hosts_down_falls_back_to_nominal_pick() {
+        let rt = replicated_two();
+        rt.mark_down(n(0));
+        rt.mark_down(n(1));
+        assert!(rt.all_hosts_down(0));
+        assert!(!rt.all_hosts_down(1), "stage 1's host n2 is alive");
+        // The pick still lands on a declared host (items park there
+        // until a re-map rescues them) rather than panicking.
+        let pick = rt.route(0);
+        assert!([n(0), n(1)].contains(&pick));
+    }
+
+    #[test]
+    fn down_marks_outside_node_range_are_ignored() {
+        let rt = replicated_two();
+        rt.mark_down(NodeId(99));
+        assert!(!rt.is_down(NodeId(99)));
+        assert_eq!(rt.route(1), n(2));
     }
 }

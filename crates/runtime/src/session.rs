@@ -50,6 +50,7 @@ use crate::backend::RemapPlan;
 use crate::controller::ControllerConfig;
 use crate::policy::Policy;
 use crate::routing::Selection;
+use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::net::Topology;
 use adapipe_gridsim::time::{SimDuration, SimTime};
 use adapipe_mapper::mapping::Mapping;
@@ -130,6 +131,12 @@ pub enum BuildError {
     /// A bounded session declared a queue capacity of zero — it could
     /// never admit an item.
     ZeroQueueCapacity,
+    /// The declared fault plan contradicts the backend (a fault names a
+    /// node outside the backend's node set).
+    InvalidFault {
+        /// What is wrong with the plan.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -184,6 +191,9 @@ impl std::fmt::Display for BuildError {
                      could never admit an item); use None for unbounded queues"
                 )
             }
+            BuildError::InvalidFault { detail } => {
+                write!(f, "invalid fault plan: {detail}")
+            }
         }
     }
 }
@@ -224,7 +234,104 @@ pub enum RunEvent {
         /// How long the push waited for a free slot.
         waited: SimDuration,
     },
+    /// A node went down (outage start or crash) per the run's fault
+    /// plan: it is now excluded from routing, and — under an adaptive
+    /// policy — a committed re-map away from it is forced.
+    NodeDown {
+        /// The failed node.
+        node: usize,
+        /// The scheduled instant of the failure, on the backend clock.
+        at: SimTime,
+    },
+    /// A node recovered (outage end): routing may use it again, and the
+    /// regular adaptation cycle is free to re-adopt it.
+    NodeUp {
+        /// The recovered node.
+        node: usize,
+        /// The scheduled instant of the recovery, on the backend clock.
+        at: SimTime,
+    },
+    /// An in-flight item stranded on a down node was re-dealt to a live
+    /// host (at-least-once replay). Fires once per rescue; the total is
+    /// reported in `RunReport::replays`.
+    ItemReplayed {
+        /// Sequence number of the replayed item.
+        seq: u64,
+        /// The stage the item was waiting for.
+        stage: usize,
+        /// The down node it was rescued from.
+        from: usize,
+    },
 }
+
+/// A typed, non-panicking run failure surfaced on the session (via
+/// `RunSession::error()` / `RunHandle::error`) instead of killing a
+/// worker thread opaquely. A run with an error set still tears down
+/// cleanly and reports what it completed (`truncated` when items were
+/// lost).
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A stage received an item of the wrong dynamic type — a pipeline
+    /// assembled from mismatched erased parts (the typed builder cannot
+    /// produce this).
+    StageTypeMismatch {
+        /// Name of the stage that rejected the item.
+        stage: String,
+    },
+    /// A *stateful* stage was pinned to a node that went down
+    /// permanently (a crash; a finite outage parks the stage's items
+    /// and recovers instead). Stateful stages cannot be replicated, so
+    /// their state dies with the node and at-least-once replay is
+    /// impossible; the run fails instead of silently re-running the
+    /// stage from forked or lost state.
+    StatefulStageLost {
+        /// Index of the stateful stage.
+        stage: usize,
+        /// The crashed node it was pinned to.
+        node: usize,
+    },
+    /// Every node of the backend is down: no mapping can make progress
+    /// and no re-map can rescue the in-flight items.
+    AllNodesDown,
+    /// A node hosting pipeline stages crashed permanently under
+    /// [`crate::policy::Policy::Static`]: a static policy never
+    /// re-maps, so the stranded items could never complete — the run
+    /// fails instead of starving forever.
+    NodeLostUnderStatic {
+        /// The crashed node.
+        node: usize,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::StageTypeMismatch { stage } => {
+                write!(f, "stage '{stage}' received an item of the wrong type")
+            }
+            RunError::StatefulStageLost { stage, node } => {
+                write!(
+                    f,
+                    "stateful stage {stage} was pinned to node {node}, which went \
+                     down; its state is lost and cannot be replayed"
+                )
+            }
+            RunError::AllNodesDown => {
+                write!(f, "every node is down; the pipeline cannot make progress")
+            }
+            RunError::NodeLostUnderStatic { node } => {
+                write!(
+                    f,
+                    "node {node} crashed permanently but the static policy never \
+                     re-maps; the stranded items can never complete"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 /// A broadcast channel for [`RunEvent`]s: any number of subscribers,
 /// each receiving every event emitted after it subscribed. Cloning the
@@ -290,6 +397,9 @@ pub struct SessionControl {
 struct ControlFlags {
     paused: AtomicBool,
     force_remap: AtomicBool,
+    /// First fatal run error, surfaced to the session owner. Later
+    /// errors are dropped: the first failure is the actionable one.
+    error: Mutex<Option<RunError>>,
 }
 
 impl SessionControl {
@@ -326,6 +436,24 @@ impl SessionControl {
     /// Consumes a pending force request (the adaptation loop's side).
     pub fn take_force_remap(&self) -> bool {
         self.flags.force_remap.swap(false, Ordering::SeqCst)
+    }
+
+    /// Records a fatal run error (runtime/backend side). The first
+    /// error sticks; subsequent calls are no-ops.
+    pub fn fail(&self, error: RunError) {
+        let mut slot = self.flags.error.lock().expect("error slot poisoned");
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+    }
+
+    /// The run's fatal error, if one was recorded.
+    pub fn error(&self) -> Option<RunError> {
+        self.flags
+            .error
+            .lock()
+            .expect("error slot poisoned")
+            .clone()
     }
 }
 
@@ -432,6 +560,17 @@ pub struct RunConfig {
     /// In-flight steering flags (pause/resume/force re-map) shared with
     /// the session that owns the run.
     pub control: SessionControl,
+    /// Scheduled faults injected into the run, honoured by every
+    /// backend: slowdowns and outages degrade the named nodes' load
+    /// schedules (the simulator's availability windows; the threaded
+    /// engine's vnode loads), and outages/crashes additionally take the
+    /// node *down* — excluded from routing, `RunEvent::NodeDown`
+    /// emitted, and (under an adaptive policy) a committed re-map away
+    /// from it forced, replaying stranded items at-least-once. Times are
+    /// on the backend clock: simulated seconds, or wall seconds since
+    /// engine start. Merged after any plan the pipeline builder
+    /// declared.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -452,6 +591,7 @@ impl Default for RunConfig {
             hooks: RunHooks::default(),
             queue_capacity: None,
             control: SessionControl::default(),
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -597,6 +737,19 @@ pub fn validate_mapping(
                     ),
                 });
             }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a fault plan against a backend's node set: every fault
+/// must name a node the backend actually has.
+pub fn validate_faults(plan: &FaultPlan, node_count: usize) -> Result<(), BuildError> {
+    if let Some(node) = plan.max_node() {
+        if node.index() >= node_count {
+            return Err(BuildError::InvalidFault {
+                detail: format!("fault targets node {node} outside the {node_count}-node backend"),
+            });
         }
     }
     Ok(())
@@ -835,5 +988,44 @@ mod tests {
         assert!(e.to_string().contains("blur"));
         let e = BuildError::MissingFeed { backend: "threads" };
         assert!(e.to_string().contains("threads"));
+        let e = BuildError::InvalidFault {
+            detail: "node 9".into(),
+        };
+        assert!(e.to_string().contains("node 9"));
+    }
+
+    #[test]
+    fn fault_plans_validate_against_the_node_set() {
+        use adapipe_gridsim::node::NodeId;
+        let plan = FaultPlan::new().crash(NodeId(2), SimTime::from_secs_f64(1.0));
+        assert!(validate_faults(&plan, 3).is_ok());
+        assert!(matches!(
+            validate_faults(&plan, 2),
+            Err(BuildError::InvalidFault { .. })
+        ));
+        assert!(validate_faults(&FaultPlan::new(), 0).is_ok());
+    }
+
+    #[test]
+    fn first_run_error_sticks() {
+        let ctl = SessionControl::new();
+        assert_eq!(ctl.error(), None);
+        ctl.fail(RunError::AllNodesDown);
+        // A clone shares the slot; later errors are dropped.
+        let other = ctl.clone();
+        other.fail(RunError::StageTypeMismatch { stage: "x".into() });
+        assert_eq!(ctl.error(), Some(RunError::AllNodesDown));
+        assert!(ctl.error().unwrap().to_string().contains("every node"));
+    }
+
+    #[test]
+    fn run_errors_display_usefully() {
+        let e = RunError::StatefulStageLost { stage: 1, node: 2 };
+        let s = e.to_string();
+        assert!(s.contains("stateful stage 1") && s.contains("node 2"));
+        let e = RunError::StageTypeMismatch {
+            stage: "parse".into(),
+        };
+        assert!(e.to_string().contains("parse"));
     }
 }

@@ -247,7 +247,7 @@ mod tests {
         let (_, mut stages) = p.into_parts();
         let mut item: adapipe_core::stage::BoxedItem = Box::new(Image::synthetic(16, 16, 0));
         for s in &mut stages {
-            item = s.process(item);
+            item = s.process(item).expect("stages are type-aligned");
         }
         let checksum = *item.downcast::<u64>().unwrap();
         assert!(checksum > 0);

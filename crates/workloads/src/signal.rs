@@ -182,8 +182,8 @@ mod tests {
         let p = signal_pipeline(128);
         let (_, mut stages) = p.into_parts();
         let mut item: adapipe_core::stage::BoxedItem = Box::new(Frame::synthetic(128, 0));
-        item = stages[0].process(item);
-        item = stages[1].process(item);
+        item = stages[0].process(item).expect("stages are type-aligned");
+        item = stages[1].process(item).expect("stages are type-aligned");
         let decimated = item.downcast::<Frame>().unwrap();
         assert_eq!(decimated.samples.len(), 64);
     }
@@ -194,7 +194,7 @@ mod tests {
         let (_, mut stages) = p.into_parts();
         let mut item: adapipe_core::stage::BoxedItem = Box::new(Frame::synthetic(128, 3));
         for s in &mut stages {
-            item = s.process(item);
+            item = s.process(item).expect("stages are type-aligned");
         }
         let power = *item.downcast::<f64>().unwrap();
         assert!(power.is_finite() && power >= 0.0);

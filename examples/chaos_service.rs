@@ -1,0 +1,152 @@
+//! Chaos engineering for a live pipeline: a streaming service loses a
+//! node mid-stream, re-maps, and drops nothing.
+//!
+//! The paper's core claim is that an adaptive pipeline re-maps itself
+//! as grid nodes degrade — this example takes the claim to its limit: a
+//! scheduled `FaultPlan` first brown-outs one node, then *kills*
+//! another while requests keep flowing through a live `RunSession` on
+//! the threaded backend:
+//!
+//! 1. declare the fault schedule on the builder (`.faults(plan)`):
+//!    node 2 slows to 30 % for a window; node 1 crashes at t = 0.8 s
+//!    and never comes back;
+//! 2. push steady traffic and consume outputs concurrently; at the
+//!    crash instant the runtime marks the node down, excludes it from
+//!    routing, forces a committed re-map away from it, and replays the
+//!    items that were stranded on the dead worker (at-least-once
+//!    delivery, exactly-once observable output);
+//! 3. watch the live `RunEvent` stream — `NodeDown`, the recovery
+//!    `Remap`, and each `ItemReplayed` rescue;
+//! 4. drain gracefully and emit the machine-readable report, now with
+//!    `replays` and per-node `node_downtime_secs`.
+//!
+//! Run with: `cargo run --release --example chaos_service`
+
+use adapipe::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Per-item work each stage spins for: ~3 ms.
+const STAGE: Duration = Duration::from_millis(3);
+const REQUESTS: u64 = 240;
+
+fn main() {
+    // The chaos schedule, declared up front like any other experiment
+    // input: a brown-out on node 2, then a fatal crash of node 1.
+    let plan = FaultPlan::new()
+        .slowdown(
+            NodeId(2),
+            SimTime::from_secs_f64(0.2),
+            SimTime::from_secs_f64(0.6),
+            0.3,
+        )
+        .crash(NodeId(1), SimTime::from_secs_f64(0.8));
+
+    let pipeline = Pipeline::<u64>::builder()
+        .stage_with(StageSpec::balanced("decode", 0.003, 256), |req: u64| {
+            spin_for(STAGE);
+            req + 1
+        })
+        .stage_with(StageSpec::balanced("transform", 0.003, 256), |x: u64| {
+            spin_for(STAGE);
+            x * 2
+        })
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(200),
+        })
+        .faults(plan)
+        .build()
+        .expect("a valid pipeline");
+
+    let vnodes: Vec<VNodeSpec> = (0..3).map(|i| VNodeSpec::free(format!("v{i}"))).collect();
+    let mut session = pipeline
+        .spawn(
+            Backend::Threads(vnodes),
+            RunConfig {
+                items: REQUESTS, // amortisation hint
+                // Stage "transform" starts on the doomed node.
+                initial_mapping: Some(Mapping::from_assignment(&[NodeId(0), NodeId(1)])),
+                queue_capacity: Some(32),
+                ..RunConfig::default()
+            },
+        )
+        .expect("a compatible backend");
+    let events = session.events();
+
+    println!("== chaos service: brown-out at 0.2s, node crash at 0.8s ==\n");
+
+    // Steady ~150 req/s while the chaos plan unfolds underneath.
+    let epoch = Instant::now();
+    let mut outputs: Vec<u64> = Vec::new();
+    for req in 0..REQUESTS {
+        let target = req as f64 / 150.0;
+        let now = epoch.elapsed().as_secs_f64();
+        if target > now {
+            std::thread::sleep(Duration::from_secs_f64(target - now));
+        }
+        session.push(req);
+        while let TryNext::Item(o) = session.try_next() {
+            outputs.push(o);
+        }
+    }
+
+    // Graceful drain: every pushed request completes despite the crash.
+    let handle = session.drain();
+    outputs.extend(handle.outputs);
+    let report = handle.report;
+
+    let mut downs = 0u32;
+    let mut replays = 0u32;
+    let mut recovery_remaps = 0u32;
+    for ev in events.try_iter() {
+        match ev {
+            RunEvent::NodeDown { node, at } => {
+                downs += 1;
+                println!("NODE DOWN: v{node} at t={:.2}s", at.as_secs_f64());
+            }
+            RunEvent::ItemReplayed { seq, stage, from } => {
+                replays += 1;
+                if replays <= 3 {
+                    println!("replayed item #{seq} (stage {stage}) off dead v{from}");
+                }
+            }
+            RunEvent::Remap(plan) if !plan.to.nodes_used().contains(&NodeId(1)) => {
+                recovery_remaps += 1;
+                println!(
+                    "recovery remap at t={:.2}s: {} -> {}",
+                    plan.at.as_secs_f64(),
+                    plan.from,
+                    plan.to
+                );
+            }
+            _ => {}
+        }
+    }
+
+    println!(
+        "\nserved {} / {REQUESTS} | {downs} node-down event(s) | {replays} replay(s) | \
+         downtime v1 = {:.2}s",
+        report.completed,
+        report.node_downtime.get(1).map_or(0.0, |d| d.as_secs_f64()),
+    );
+    println!(
+        "final mapping {} (crashed node evacuated: {})",
+        report.final_mapping,
+        !report.final_mapping.nodes_used().contains(&NodeId(1)),
+    );
+
+    // The chaos contract: the node really died, the pipeline really
+    // re-mapped, and not one request was lost or duplicated.
+    assert_eq!(handle.error, None, "run failed: {:?}", handle.error);
+    assert_eq!(report.completed, REQUESTS, "a request was dropped");
+    assert!(!report.truncated);
+    assert_eq!(downs, 1, "the crash must surface as NodeDown");
+    assert!(recovery_remaps >= 1, "the crash must force a re-map");
+    assert!(
+        !report.final_mapping.nodes_used().contains(&NodeId(1)),
+        "the dead node must be evacuated"
+    );
+    let expect: Vec<u64> = (0..REQUESTS).map(|x| (x + 1) * 2).collect();
+    assert_eq!(outputs, expect, "outputs must be exactly-once, in order");
+
+    println!("\nmachine-readable report:\n{}", report.to_json());
+}

@@ -95,6 +95,7 @@ use adapipe_core::spec::{PipelineSpec, StageSpec};
 use adapipe_core::stage::{BoxedItem, DynStage, FnStage, StatefulFnStage};
 use adapipe_engine::exec::{self, EngineConfig, EngineSession};
 use adapipe_engine::vnode::VNodeSpec;
+use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::grid::GridSpec;
 use adapipe_gridsim::node::NodeId;
 use adapipe_runtime::arrivals::ArrivalStream;
@@ -108,7 +109,7 @@ use std::marker::PhantomData;
 use std::sync::mpsc::Receiver;
 
 pub use adapipe_runtime::session::{
-    ArrivalProcess, BuildError, RunConfig, RunEvent, RunHooks, TryNext,
+    ArrivalProcess, BuildError, RunConfig, RunError, RunEvent, RunHooks, TryNext,
 };
 
 /// Which execution backend a built [`Pipeline`] runs on.
@@ -143,6 +144,11 @@ pub struct RunHandle<O> {
     pub outputs: Vec<O>,
     /// Run metrics, shape-identical across backends.
     pub report: RunReport,
+    /// The run's fatal error, if one occurred (a stateful stage lost to
+    /// a crashed node, every node down, a wrong-typed item). A failed
+    /// run still returns its partial outputs and an honest, `truncated`
+    /// report.
+    pub error: Option<RunError>,
 }
 
 impl<O> RunHandle<O> {
@@ -176,6 +182,7 @@ pub struct Pipeline<I, O = I> {
     stages: Vec<Box<dyn DynStage>>,
     session: Session,
     feed: Option<Box<dyn Fn(u64) -> I + Send>>,
+    faults: FaultPlan,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -226,21 +233,23 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
     /// honour the declared stage properties (statefulness, replica
     /// bounds) and the backend's node set — otherwise the
     /// typed-validation contract would be silently bypassed by the one
-    /// knob that places stages directly — and a declared queue bound
-    /// must be able to admit at least one item.
+    /// knob that places stages directly — a declared queue bound must
+    /// be able to admit at least one item, and the (merged) fault plan
+    /// may only name nodes the backend has.
     fn validate_run(&self, backend: &Backend<'_>, cfg: &RunConfig) -> Result<(), BuildError> {
         if cfg.queue_capacity == Some(0) {
             return Err(BuildError::ZeroQueueCapacity);
         }
+        let node_count = match backend {
+            Backend::Sim(grid) => grid.len(),
+            Backend::Threads(vnodes) => vnodes.len(),
+        };
         if let Some(mapping) = &cfg.initial_mapping {
-            let node_count = match backend {
-                Backend::Sim(grid) => grid.len(),
-                Backend::Threads(vnodes) => vnodes.len(),
-            };
             let stateless: Vec<bool> = self.spec.stages.iter().map(|s| s.stateless).collect();
             let replica_cap: Vec<usize> = self.spec.stages.iter().map(|s| s.max_replicas).collect();
             session::validate_mapping(mapping, &stateless, &replica_cap, node_count)?;
         }
+        session::validate_faults(&cfg.faults, node_count)?;
         if matches!(backend, Backend::Threads(_)) && cfg.selection == Selection::LeastLoaded {
             return Err(BuildError::UnsupportedSelection { backend: "threads" });
         }
@@ -261,8 +270,11 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
     pub fn spawn<'g>(
         self,
         backend: Backend<'g>,
-        cfg: RunConfig,
+        mut cfg: RunConfig,
     ) -> Result<RunSession<'g, I, O>, BuildError> {
+        // The effective fault plan: whatever the pipeline declared at
+        // build time, then the run's own faults on top.
+        cfg.faults = self.faults.clone().merge(&cfg.faults);
         self.validate_run(&backend, &cfg)?;
         let control = cfg.control.clone();
         let bus = cfg.hooks.events.clone();
@@ -283,6 +295,7 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                     max_sim_time: cfg.max_sim_time,
                     hooks: cfg.hooks,
                     control: cfg.control,
+                    faults: cfg.faults,
                 };
                 let arrivals = self.session.arrivals().stream();
                 SessionInner::Sim(Box::new(SimSession {
@@ -322,13 +335,20 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
     /// [`Backend::Sim`] the batch path feeds arrival *metadata* only —
     /// stage functions are not invoked and [`RunHandle::outputs`] stays
     /// empty, exactly as before the streaming API existed.
-    pub fn run(mut self, backend: Backend<'_>, cfg: RunConfig) -> Result<RunHandle<O>, BuildError> {
-        // The Sim branch validates inside spawn(); the Threads branch
-        // bypasses spawn (it delegates to the engine's batch wrapper)
-        // and must validate here — before the feed check, so
-        // declaration errors (bad mapping, unsupported selection)
-        // surface with the same precedence the pre-session API had.
+    pub fn run(
+        mut self,
+        backend: Backend<'_>,
+        mut cfg: RunConfig,
+    ) -> Result<RunHandle<O>, BuildError> {
+        // The Sim branch merges the pipeline's fault plan and validates
+        // inside spawn(); the Threads branch bypasses spawn (it
+        // delegates to the engine's batch wrapper) and must do both
+        // here — before the feed check, so declaration errors (bad
+        // mapping, unsupported selection) surface with the same
+        // precedence the pre-session API had.
         if matches!(backend, Backend::Threads(_)) {
+            cfg.faults = self.faults.clone().merge(&cfg.faults);
+            self.faults = FaultPlan::new(); // merged; spawn must not re-merge
             self.validate_run(&backend, &cfg)?;
         }
         let items = cfg.items;
@@ -343,10 +363,12 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 Ok(RunHandle {
                     outputs: Vec::new(),
                     report: handle.report,
+                    error: handle.error,
                 })
             }
             Backend::Threads(vnodes) => {
                 let feed = feed.ok_or(BuildError::MissingFeed { backend: "threads" })?;
+                let control = cfg.control.clone();
                 // `execute_fed` is itself spawn + arrival-paced pushes +
                 // drain, so the batch wall-clock pacing logic lives in
                 // exactly one place (the engine crate).
@@ -356,6 +378,7 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 Ok(RunHandle {
                     outputs: outcome.outputs,
                     report: outcome.report,
+                    error: control.error(),
                 })
             }
         }
@@ -382,6 +405,7 @@ fn engine_config(session: &Session, vnodes: Vec<VNodeSpec>, cfg: RunConfig) -> E
     engine_cfg.hooks = cfg.hooks;
     engine_cfg.queue_capacity = cfg.queue_capacity;
     engine_cfg.control = cfg.control;
+    engine_cfg.faults = cfg.faults;
     engine_cfg
 }
 
@@ -504,11 +528,25 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
             SessionInner::Sim(sim) => {
                 let at = sim.arrivals.next().expect("arrival stream is infinite");
                 let seq = sim.stepper.push_at(at);
-                let mut boxed: BoxedItem = Box::new(item);
+                let mut boxed: Option<BoxedItem> = Some(Box::new(item));
                 for stage in &mut sim.stages {
-                    boxed = stage.process(boxed);
+                    match stage.process(boxed.take().expect("item present until an error")) {
+                        Ok(out) => boxed = Some(out),
+                        Err(type_err) => {
+                            // Mis-assembled erased stages: surface the
+                            // typed error on the session; the item
+                            // completes in the simulated world without
+                            // an output (marker semantics).
+                            self.control.fail(RunError::StageTypeMismatch {
+                                stage: type_err.stage,
+                            });
+                            break;
+                        }
+                    }
                 }
-                sim.outputs.insert(seq, boxed);
+                if let Some(out) = boxed {
+                    sim.outputs.insert(seq, out);
+                }
                 seq
             }
             SessionInner::Threads(engine) => engine.push(item),
@@ -596,11 +634,20 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     }
 
     /// Subscribes to the live [`RunEvent`] stream (re-mappings, window
-    /// statistics, backpressure stalls). Events emitted before the
-    /// subscription are not replayed — subscribe right after `spawn`
-    /// to see everything.
+    /// statistics, backpressure stalls, node-down/up transitions, item
+    /// replays). Events emitted before the subscription are not
+    /// replayed — subscribe right after `spawn` to see everything.
     pub fn events(&self) -> Receiver<RunEvent> {
         self.bus.subscribe()
+    }
+
+    /// The run's fatal error, if one was recorded (a stateful stage
+    /// lost to a crashed node, every node down, a wrong-typed item).
+    /// The failed run unwinds cleanly — `next()` stops yielding and
+    /// [`RunSession::drain`] returns a truncated report — and this (or
+    /// [`RunHandle::error`]) says why.
+    pub fn error(&self) -> Option<RunError> {
+        self.control.error()
     }
 
     /// Graceful shutdown: closes the stream, waits until every pushed
@@ -609,6 +656,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     /// [`RunSession::next`] are not repeated.
     pub fn drain(mut self) -> RunHandle<O> {
         self.close();
+        let error = self.control.error();
         match self.inner {
             SessionInner::Sim(mut sim) => {
                 while let Some(seq) = sim.stepper.next_completion() {
@@ -618,16 +666,20 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
                 while let Some(out) = sim.pop_ready() {
                     outputs.push(downcast_output(out));
                 }
+                let control = self.control;
                 RunHandle {
                     outputs,
                     report: sim.stepper.finish(),
+                    error: error.or_else(|| control.error()),
                 }
             }
             SessionInner::Threads(engine) => {
                 let outcome = engine.drain();
+                let control = self.control;
                 RunHandle {
                     outputs: outcome.outputs,
                     report: outcome.report,
+                    error: error.or_else(|| control.error()),
                 }
             }
         }
@@ -688,6 +740,7 @@ pub struct PipelineBuilder<In, Cur = In> {
     arrivals: ArrivalProcess,
     baseline: bool,
     feed: Option<Box<dyn Fn(u64) -> In + Send>>,
+    faults: FaultPlan,
     _types: PhantomData<fn(In) -> Cur>,
 }
 
@@ -704,6 +757,7 @@ impl<In: Send + 'static> PipelineBuilder<In, In> {
             arrivals: ArrivalProcess::AllAtOnce,
             baseline: false,
             feed: None,
+            faults: FaultPlan::new(),
             _types: PhantomData,
         }
     }
@@ -743,6 +797,7 @@ impl PipelineBuilder<u64, u64> {
             arrivals: ArrivalProcess::AllAtOnce,
             baseline: false,
             feed: Some(Box::new(|i| i)),
+            faults: FaultPlan::new(),
             _types: PhantomData,
         }
     }
@@ -764,6 +819,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             arrivals: ArrivalProcess::AllAtOnce,
             baseline: false,
             feed: None,
+            faults: FaultPlan::new(),
             _types: PhantomData,
         }
     }
@@ -796,6 +852,19 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
     /// Sets the arrival process (default [`ArrivalProcess::AllAtOnce`]).
     pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
         self.arrivals = arrivals;
+        self
+    }
+
+    /// Declares scheduled faults the run must survive: slowdowns and
+    /// outages degrade the named nodes, outages and crashes take them
+    /// *down* (routing exclusion, `RunEvent::NodeDown`, a forced
+    /// committed re-map away from them, at-least-once replay of
+    /// stranded items). Honoured identically by both backends; times
+    /// are on the backend clock. Merged with (before) any plan the
+    /// `RunConfig` carries. Validated against the backend's node set at
+    /// `run()`/`spawn()`.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -890,6 +959,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             arrivals: self.arrivals,
             baseline: self.baseline,
             feed: self.feed,
+            faults: self.faults,
             _types: PhantomData,
         }
     }
@@ -916,6 +986,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             stages: self.stages,
             session,
             feed: self.feed,
+            faults: self.faults,
             _types: PhantomData,
         })
     }

@@ -148,8 +148,8 @@ pub use adapipe_workloads as workloads;
 /// builder remains at [`core::pipeline`].
 pub mod prelude {
     pub use crate::api::{
-        ArrivalProcess, Backend, BuildError, Pipeline, PipelineBuilder, RunConfig, RunEvent,
-        RunHandle, RunHooks, RunSession, TryNext,
+        ArrivalProcess, Backend, BuildError, Pipeline, PipelineBuilder, RunConfig, RunError,
+        RunEvent, RunHandle, RunHooks, RunSession, TryNext,
     };
     pub use adapipe_core::prelude::*;
     pub use adapipe_engine::prelude::*;

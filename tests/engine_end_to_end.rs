@@ -73,7 +73,7 @@ fn signal_pipeline_outputs_are_stable_under_remapping() {
             .map(|f| {
                 let mut item: adapipe::core::stage::BoxedItem = Box::new(f);
                 for s in &mut stages {
-                    item = s.process(item);
+                    item = s.process(item).expect("stages are type-aligned");
                 }
                 *item.downcast::<f64>().unwrap()
             })
