@@ -14,6 +14,7 @@
 
 use crate::pipeline::{Pipeline, PipelineBuilder};
 use crate::spec::{PipelineSpec, StageSpec};
+use adapipe_runtime::session::BuildError;
 
 /// Builds a task farm: a single stateless stage intended for replication
 /// across grid nodes.
@@ -26,20 +27,28 @@ use crate::spec::{PipelineSpec, StageSpec};
 /// use adapipe_core::farm::farm;
 /// use adapipe_core::spec::StageSpec;
 ///
-/// let f = farm(StageSpec::balanced("render", 4.0, 1 << 20), |scene: u64| scene * 2);
+/// let f = farm(StageSpec::balanced("render", 4.0, 1 << 20), |scene: u64| scene * 2)
+///     .expect("stateless worker");
 /// assert_eq!(f.len(), 1);
 /// ```
-pub fn farm<I, O, F>(spec: StageSpec, worker: F) -> Pipeline<I, O>
+///
+/// # Errors
+/// Returns [`BuildError::StatefulFarm`] when `spec` is declared
+/// stateful — a farm worker exists to be replicated, which state
+/// forbids. (Historically this was a construction-time panic; it is now
+/// typed, consistent with the unified builder's other validations.)
+pub fn farm<I, O, F>(spec: StageSpec, worker: F) -> Result<Pipeline<I, O>, BuildError>
 where
     I: Send + 'static,
     O: Send + 'static,
     F: FnMut(I) -> O + Send + Clone + 'static,
 {
-    assert!(
-        spec.stateless,
-        "a farm worker must be stateless (it exists to be replicated)"
-    );
-    PipelineBuilder::<I>::new().stage(spec, worker).build()
+    if !spec.stateless {
+        return Err(BuildError::StatefulFarm {
+            stage: spec.name.clone(),
+        });
+    }
+    Ok(PipelineBuilder::<I>::new().stage(spec, worker).build())
 }
 
 /// The simulation-side counterpart: a one-stage [`PipelineSpec`] with
@@ -70,7 +79,7 @@ mod tests {
 
     #[test]
     fn farm_is_a_one_stage_pipeline() {
-        let f = farm(StageSpec::balanced("w", 1.0, 8), |x: u32| x + 1);
+        let f = farm(StageSpec::balanced("w", 1.0, 8), |x: u32| x + 1).expect("stateless");
         assert_eq!(f.len(), 1);
         assert!(f.spec().profile().stateless[0]);
     }
@@ -124,8 +133,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "stateless")]
-    fn stateful_farm_worker_rejected() {
-        let _ = farm(StageSpec::balanced("w", 1.0, 0).with_state(64), |x: u32| x);
+    fn stateful_farm_worker_is_a_typed_error() {
+        use adapipe_runtime::session::BuildError;
+        let err = match farm::<u32, u32, _>(StageSpec::balanced("w", 1.0, 0).with_state(64), |x| x)
+        {
+            Err(err) => err,
+            Ok(_) => panic!("stateful farm must be rejected"),
+        };
+        assert_eq!(err, BuildError::StatefulFarm { stage: "w".into() });
+        assert!(err.to_string().contains("'w'"));
     }
 }

@@ -84,11 +84,15 @@ pub mod prelude {
     pub use crate::metrics::{StageMetrics, StageStats};
     pub use crate::policy::Policy;
     pub use crate::report::{AdaptationEvent, RunReport};
-    #[allow(deprecated)]
-    pub use crate::simengine::sim_run;
     pub use crate::simengine::{ArrivalProcess, SimConfig};
-    pub use crate::spec::{ConstantWork, PipelineSpec, StageSpec, UniformWork, WorkModel};
-    pub use crate::stage::{BoxedItem, DynStage, FnStage, SealedStage, StatefulFnStage};
+    pub use crate::spec::{
+        ConstantWork, PipelineSpec, StageGraph, StageGraphBuilder, StageSpec, UniformWork,
+        WorkModel,
+    };
+    pub use crate::stage::{
+        fan_out_fn, BoxedItem, DynStage, FanOutFn, FnStage, MergeStage, SealedStage,
+        StatefulFnStage,
+    };
     pub use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
     pub use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
     pub use adapipe_runtime::routing::{RoutingTable, Selection};

@@ -17,15 +17,17 @@
 //! [`PipelineSpec`] metadata the planner needs.
 
 use crate::spec::{PipelineSpec, StageSpec};
-use crate::stage::{DynStage, FnStage, StatefulFnStage};
+use crate::stage::{DynStage, FanOutFn, FnStage, StatefulFnStage};
 use adapipe_gridsim::node::NodeId;
 use std::marker::PhantomData;
 
 /// A fully built, type-checked pipeline: erased stage functions plus the
-/// cost metadata.
+/// cost metadata, and — when the spec's stage graph has parallel
+/// blocks — one fan-out duplicator per block (in block order).
 pub struct Pipeline<I, O> {
     spec: PipelineSpec,
     stages: Vec<Box<dyn DynStage>>,
+    fanouts: Vec<FanOutFn>,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -45,13 +47,28 @@ impl<I, O> Pipeline<I, O> {
         &self.spec
     }
 
-    /// Splits the pipeline into its spec and stage functions — engines
-    /// take ownership of both.
+    /// Splits a *linear* pipeline into its spec and stage functions —
+    /// engines take ownership of both.
+    ///
+    /// # Panics
+    /// Panics if the stage graph has parallel blocks (their fan-out
+    /// duplicators would be lost); use [`Pipeline::into_graph_parts`].
     pub fn into_parts(self) -> (PipelineSpec, Vec<Box<dyn DynStage>>) {
+        assert!(
+            self.spec.graph.is_linear(),
+            "branched pipelines split via into_graph_parts()"
+        );
         (self.spec, self.stages)
     }
 
-    /// Reassembles a pipeline from a spec and matching stage functions.
+    /// Splits the pipeline into spec, stage functions, and the per-block
+    /// fan-out duplicators (empty for linear pipelines).
+    pub fn into_graph_parts(self) -> (PipelineSpec, Vec<Box<dyn DynStage>>, Vec<FanOutFn>) {
+        (self.spec, self.stages, self.fanouts)
+    }
+
+    /// Reassembles a *linear* pipeline from a spec and matching stage
+    /// functions.
     ///
     /// The caller asserts the type discipline the builder normally
     /// enforces: stage `0` accepts `I`, each stage feeds the next, and
@@ -59,13 +76,43 @@ impl<I, O> Pipeline<I, O> {
     /// this to hand its (already type-checked) stages to an engine.
     ///
     /// # Panics
-    /// Panics if `stages` is empty or its length disagrees with `spec`.
+    /// Panics if `stages` is empty, its length disagrees with `spec`,
+    /// or the spec's graph has parallel blocks (those need fan-out
+    /// duplicators; use [`Pipeline::from_graph_parts`]).
     pub fn from_parts(spec: PipelineSpec, stages: Vec<Box<dyn DynStage>>) -> Self {
+        assert!(
+            spec.graph.is_linear(),
+            "branched pipelines assemble via from_graph_parts()"
+        );
+        Self::from_graph_parts(spec, stages, Vec::new())
+    }
+
+    /// Reassembles a pipeline from a spec, matching stage functions, and
+    /// one fan-out duplicator per parallel block of the spec's graph.
+    /// The caller asserts the same type discipline as
+    /// [`Pipeline::from_parts`], plus: each merge stage accepts the
+    /// joined `Vec` of its branch outputs, and each fan-out duplicates
+    /// the item type entering its block.
+    ///
+    /// # Panics
+    /// Panics if `stages` is empty, its length disagrees with `spec`,
+    /// or `fanouts` does not cover the graph's parallel blocks.
+    pub fn from_graph_parts(
+        spec: PipelineSpec,
+        stages: Vec<Box<dyn DynStage>>,
+        fanouts: Vec<FanOutFn>,
+    ) -> Self {
         assert!(!stages.is_empty(), "pipeline needs at least one stage");
         assert_eq!(spec.len(), stages.len(), "spec must cover every stage");
+        assert_eq!(
+            spec.graph.blocks(),
+            fanouts.len(),
+            "need one fan-out per parallel block"
+        );
         Pipeline {
             spec,
             stages,
+            fanouts,
             _types: PhantomData,
         }
     }
@@ -189,6 +236,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         Pipeline {
             spec,
             stages: self.stages,
+            fanouts: Vec::new(),
             _types: PhantomData,
         }
     }

@@ -31,7 +31,7 @@
 //! exactly (arrivals first, then the control events), so batch results
 //! are bit-identical to the historical monolithic loop.
 
-use crate::spec::PipelineSpec;
+use crate::spec::{Next, PipelineSpec};
 use adapipe_gridsim::event::EventQueue;
 use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::grid::GridSpec;
@@ -128,6 +128,15 @@ enum Ev {
         node: usize,
         started: SimTime,
     },
+    /// A queued item re-homed by a re-mapping lands at its stage's new
+    /// host. Distinct from `StageIn` because a re-homed *merge* task
+    /// has already consumed its branch arrivals — it must re-enter the
+    /// queue directly, not the join count.
+    Rehome {
+        item: u64,
+        stage: usize,
+        node: usize,
+    },
     /// Planning tick.
     Tick,
     /// Availability observation (scheduled `samples_per_interval` times
@@ -156,16 +165,6 @@ pub fn run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
     stepper.close();
     while !stepper.all_done() && stepper.step() {}
     stepper.finish()
-}
-
-/// Legacy entry point for simulated runs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use adapipe::api::Pipeline::builder() with Backend::Sim (or the \
-            backend-level simengine::run for backend internals)"
-)]
-pub fn sim_run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
-    run(grid, spec, cfg)
 }
 
 /// The physically simulated world: event queue, node queues, transfers.
@@ -200,6 +199,19 @@ struct SimWorld<'a> {
     /// completion), so an open-ended session's footprint tracks the
     /// in-flight window, not the stream length.
     arrival_time: HashMap<u64, SimTime>,
+    /// Per-stage in-edge bytes, precomputed once from the stage graph
+    /// ([`crate::spec::StageGraph::feed_bytes`]) — hot-path forwarding
+    /// must not walk the graph per item.
+    bytes_into: Vec<u64>,
+    /// Branch outputs that reached a merge stage so far, per
+    /// `(block, item)`; the merge task is enqueued when the count hits
+    /// the block's branch count. Entries live only while a join is in
+    /// flight.
+    join_arrived: HashMap<(usize, u64), usize>,
+    /// The merge replica chosen for an item's join, fixed at the first
+    /// branch exit so every branch output of the item converges on one
+    /// host.
+    merge_dest: HashMap<(usize, u64), usize>,
     node_busy: Vec<SimDuration>,
     report: ReportBuilder,
     stage_metrics: crate::metrics::StageMetrics,
@@ -305,6 +317,12 @@ impl<'a> SimStepper<'a> {
             report.set_faults(cfg.faults.clone(), np);
         }
         let free_cores = grid.node_ids().map(|id| grid.node(id).spec.cores).collect();
+        let boundary: Vec<u64> = std::iter::once(spec.input_bytes)
+            .chain(spec.stages.iter().map(|s| s.out_bytes))
+            .collect();
+        let bytes_into = (0..ns)
+            .map(|s| spec.graph.feed_bytes(s, &boundary))
+            .collect();
         let world = SimWorld {
             grid,
             ns,
@@ -321,6 +339,9 @@ impl<'a> SimStepper<'a> {
             rr_exec: vec![0; np],
             link_q: HashMap::new(),
             arrival_time: HashMap::new(),
+            bytes_into,
+            join_arrived: HashMap::new(),
+            merge_dest: HashMap::new(),
             node_busy: vec![SimDuration::ZERO; np],
             // The stream length is open until `close()`.
             report,
@@ -441,6 +462,11 @@ impl<'a> SimStepper<'a> {
                 let table = self.routing.read().expect("routing lock poisoned");
                 self.world.on_done(&table, item, stage, node, started, now);
             }
+            Ev::Rehome { item, stage, node } => {
+                let table = self.routing.read().expect("routing lock poisoned");
+                self.world
+                    .stage_arrival(&table, item, stage, node, now, true);
+            }
             Ev::Retry { node } => {
                 let table = self.routing.read().expect("routing lock poisoned");
                 self.world.try_dispatch(&table, node, now);
@@ -537,19 +563,26 @@ impl SimWorld<'_> {
 
     fn on_arrive(&mut self, routing: &RoutingTable, item: u64, now: SimTime) {
         self.arrival_time.insert(item, now);
-        let dest = self.route_item(routing, 0);
-        let at = match self.spec.source {
-            Some(src) => self.transfer(src.index(), dest, self.spec.input_bytes, now),
-            None => now,
+        let entries = match self.spec.graph.entry() {
+            Next::Stage(stage) => vec![stage],
+            Next::FanOut { block } => self.spec.graph.branch_entries(block),
+            _ => unreachable!("pipelines enter at a stage or a fan-out"),
         };
-        self.events.schedule(
-            at,
-            Ev::StageIn {
-                item,
-                stage: 0,
-                node: dest,
-            },
-        );
+        for stage in entries {
+            let dest = self.route_item(routing, stage);
+            let at = match self.spec.source {
+                Some(src) => self.transfer(src.index(), dest, self.spec.input_bytes, now),
+                None => now,
+            };
+            self.events.schedule(
+                at,
+                Ev::StageIn {
+                    item,
+                    stage,
+                    node: dest,
+                },
+            );
+        }
     }
 
     fn on_stage_in(
@@ -560,24 +593,62 @@ impl SimWorld<'_> {
         node: usize,
         now: SimTime,
     ) {
+        self.stage_arrival(routing, item, stage, node, now, false);
+    }
+
+    /// A stage arrival: a fresh `StageIn` (`rejoined = false`) counts
+    /// toward a merge stage's join; a `Rehome` (`rejoined = true`) is a
+    /// re-mapped queue item whose join already completed and re-enters
+    /// the queue directly.
+    fn stage_arrival(
+        &mut self,
+        routing: &RoutingTable,
+        item: u64,
+        stage: usize,
+        node: usize,
+        now: SimTime,
+        rejoined: bool,
+    ) {
         if stage == self.ns {
             self.record_completion(item, now);
             return;
         }
         if !routing.contains(stage, NodeId(node)) {
-            // The stage moved while this item was in transit: forward it.
+            // The stage moved while this item was in transit: forward
+            // it, preserving its joined-ness.
             let dest = self.route_item(routing, stage);
             let bytes = self.boundary_bytes_into(stage);
             let at = self.transfer(node, dest, bytes, now);
-            self.events.schedule(
-                at,
+            let ev = if rejoined {
+                Ev::Rehome {
+                    item,
+                    stage,
+                    node: dest,
+                }
+            } else {
                 Ev::StageIn {
                     item,
                     stage,
                     node: dest,
-                },
-            );
+                }
+            };
+            self.events.schedule(at, ev);
             return;
+        }
+        if !rejoined {
+            if let Some(block) = self.spec.graph.merge_block_of(stage) {
+                // A merge stage serves one *joined* task per item: count
+                // the branch outputs as they land and enqueue only the
+                // last one.
+                let needed = self.spec.graph.branch_count(block);
+                let count = self.join_arrived.entry((block, item)).or_insert(0);
+                *count += 1;
+                if *count < needed {
+                    return;
+                }
+                self.join_arrived.remove(&(block, item));
+                self.merge_dest.remove(&(block, item));
+            }
         }
         self.queues
             .entry((stage, node))
@@ -599,12 +670,12 @@ impl SimWorld<'_> {
         self.node_busy[node] = self.node_busy[node].saturating_add(now - started);
         self.stage_metrics
             .record(stage, now - started, self.spec.draw_work(stage, item));
-        // Route onward.
-        if stage + 1 == self.ns {
-            match self.spec.sink {
+        // Route onward along the stage graph.
+        let out_bytes = self.spec.stages[stage].out_bytes;
+        match self.spec.graph.after(stage) {
+            Next::Done => match self.spec.sink {
                 Some(sink) => {
-                    let at =
-                        self.transfer(node, sink.index(), self.spec.stages[stage].out_bytes, now);
+                    let at = self.transfer(node, sink.index(), out_bytes, now);
                     self.events.schedule(
                         at,
                         Ev::StageIn {
@@ -615,18 +686,63 @@ impl SimWorld<'_> {
                     );
                 }
                 None => self.record_completion(item, now),
+            },
+            Next::Stage(next) => {
+                let dest = self.route_item(routing, next);
+                let at = self.transfer(node, dest, out_bytes, now);
+                self.events.schedule(
+                    at,
+                    Ev::StageIn {
+                        item,
+                        stage: next,
+                        node: dest,
+                    },
+                );
             }
-        } else {
-            let dest = self.route_item(routing, stage + 1);
-            let at = self.transfer(node, dest, self.spec.stages[stage].out_bytes, now);
-            self.events.schedule(
-                at,
-                Ev::StageIn {
-                    item,
-                    stage: stage + 1,
-                    node: dest,
-                },
-            );
+            Next::FanOut { block } => {
+                // One copy per branch, dispatched in branch order.
+                for entry in self.spec.graph.branch_entries(block) {
+                    let dest = self.route_item(routing, entry);
+                    let at = self.transfer(node, dest, out_bytes, now);
+                    self.events.schedule(
+                        at,
+                        Ev::StageIn {
+                            item,
+                            stage: entry,
+                            node: dest,
+                        },
+                    );
+                }
+            }
+            Next::Join { block, .. } => {
+                // Every branch output of an item converges on one merge
+                // replica, chosen at the first branch exit. A pin that
+                // went stale — its host vacated by a re-map or marked
+                // down — is re-routed (the join count is keyed by item,
+                // not host, so arrivals still pair up).
+                let merge = self.spec.graph.merge_of(block);
+                let dest = match self.merge_dest.get(&(block, item)) {
+                    Some(&d)
+                        if routing.contains(merge, NodeId(d)) && !routing.is_down(NodeId(d)) =>
+                    {
+                        d
+                    }
+                    _ => {
+                        let d = self.route_item(routing, merge);
+                        self.merge_dest.insert((block, item), d);
+                        d
+                    }
+                };
+                let at = self.transfer(node, dest, out_bytes, now);
+                self.events.schedule(
+                    at,
+                    Ev::StageIn {
+                        item,
+                        stage: merge,
+                        node: dest,
+                    },
+                );
+            }
         }
         self.try_dispatch(routing, node, now);
     }
@@ -644,13 +760,11 @@ impl SimWorld<'_> {
             .index()
     }
 
-    /// Bytes entering `stage` (its upstream boundary).
+    /// Bytes entering `stage` along its graph in-edge. A merge stage's
+    /// in-transit payload is one branch output; the largest branch's
+    /// size is the conservative bound used when forwarding it.
     fn boundary_bytes_into(&self, stage: usize) -> u64 {
-        if stage == 0 {
-            self.spec.input_bytes
-        } else {
-            self.spec.stages[stage - 1].out_bytes
-        }
+        self.bytes_into[stage]
     }
 
     /// Arrival time of `bytes` moved `from → to` starting at `now`.
@@ -794,8 +908,11 @@ impl ExecutionBackend for SimWorld<'_> {
                     }
                 }
             }
-            // Re-home orphans round-robin over the new hosts; they arrive
-            // once migration completes.
+            // Re-home orphans round-robin over the new hosts; they
+            // arrive once migration completes. `Rehome`, not `StageIn`:
+            // a queued item at a merge stage has already consumed its
+            // branch arrivals and must re-enter the queue directly, not
+            // be counted as a fresh (and forever-incomplete) join.
             for (k, (item, from)) in orphans.into_iter().enumerate() {
                 if self.down[from] {
                     self.report.record_replay();
@@ -803,12 +920,13 @@ impl ExecutionBackend for SimWorld<'_> {
                         seq: item,
                         stage,
                         from,
+                        branch: self.spec.graph.branch_of(stage),
                     });
                 }
                 let dest = new_placement.hosts()[k % new_placement.width()].index();
                 self.events.schedule(
                     ready,
-                    Ev::StageIn {
+                    Ev::Rehome {
                         item,
                         stage,
                         node: dest,
@@ -1291,6 +1409,129 @@ mod tests {
         let with = run(&grid, &spec, &mk(true));
         assert!(with.makespan >= without.makespan);
         assert_eq!(with.completed, 100);
+    }
+
+    /// (a ‖ b) → join over three nodes; the equivalent serialized chain
+    /// is the same three stages in series.
+    fn two_branch_spec(work: f64) -> PipelineSpec {
+        PipelineSpec::with_graph(
+            vec![
+                crate::spec::StageSpec::balanced("a", work, 0),
+                crate::spec::StageSpec::balanced("b", work, 0),
+                crate::spec::StageSpec::balanced("join", 0.0, 0),
+            ],
+            crate::spec::StageGraph::builder().split(&[1, 1]).build(),
+        )
+    }
+
+    #[test]
+    fn branched_pipeline_completes_every_item_exactly_once() {
+        let grid = testbed_small3();
+        let spec = two_branch_spec(1.0);
+        let cfg = SimConfig {
+            items: 50,
+            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
+            ..SimConfig::default()
+        };
+        let report = run(&grid, &spec, &cfg);
+        assert_eq!(report.completed, 50);
+        assert!(!report.truncated);
+        // Every join consumed both branch outputs: the bottleneck stays
+        // 1 s/item, so 50 items drain in ≈ latency + 49 s.
+        let makespan = report.makespan.as_secs_f64();
+        assert!((makespan - 50.0).abs() < 2.0, "makespan={makespan}");
+    }
+
+    #[test]
+    fn branches_overlap_where_the_serial_chain_cannot() {
+        // One item through (1 s ‖ 1 s) → join arrives in ≈ 1 s; the
+        // serialized chain needs ≈ 2 s.
+        let grid = testbed_small3();
+        let mapping = Mapping::from_assignment(&[n(0), n(1), n(2)]);
+        let mk = |spec: &PipelineSpec| {
+            run(
+                &grid,
+                spec,
+                &SimConfig {
+                    items: 1,
+                    initial_mapping: Some(mapping.clone()),
+                    ..SimConfig::default()
+                },
+            )
+        };
+        let branched = mk(&two_branch_spec(1.0));
+        let chain = mk(&PipelineSpec::new(vec![
+            crate::spec::StageSpec::balanced("a", 1.0, 0),
+            crate::spec::StageSpec::balanced("b", 1.0, 0),
+            crate::spec::StageSpec::balanced("join", 0.0, 0),
+        ]));
+        let overlap = branched.mean_latency.as_secs_f64();
+        let serial = chain.mean_latency.as_secs_f64();
+        assert!((overlap - 1.0).abs() < 0.1, "branched latency {overlap}");
+        assert!((serial - 2.0).abs() < 0.1, "chain latency {serial}");
+    }
+
+    #[test]
+    fn merge_host_crash_rescues_queued_joined_items() {
+        // Fast branches feed a slow merge, so a deep queue of *joined*
+        // items sits at the merge host when it crashes. The forced
+        // re-map must re-home them as already-joined tasks (not count
+        // them as fresh — forever incomplete — branch arrivals): every
+        // item completes on a live node.
+        let grid = testbed_small3();
+        let spec = PipelineSpec::with_graph(
+            vec![
+                crate::spec::StageSpec::balanced("a", 0.05, 0),
+                crate::spec::StageSpec::balanced("b", 0.05, 0),
+                crate::spec::StageSpec::balanced("join", 1.0, 0),
+            ],
+            crate::spec::StageGraph::builder().split(&[1, 1]).build(),
+        );
+        let cfg = SimConfig {
+            items: 100,
+            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
+            policy: Policy::Periodic {
+                interval: SimDuration::from_secs(5),
+            },
+            faults: FaultPlan::new().crash(n(2), secs(20.0)),
+            ..SimConfig::default()
+        };
+        let report = run(&grid, &spec, &cfg);
+        assert_eq!(
+            report.completed, 100,
+            "joined items stranded at the crashed merge host"
+        );
+        assert!(!report.truncated);
+        assert!(report.replays > 0, "the merge backlog must replay");
+        assert!(!report.final_mapping.nodes_used().contains(&n(2)));
+    }
+
+    #[test]
+    fn branched_execution_is_deterministic() {
+        let grid = testbed_hetero8(7);
+        let spec = PipelineSpec::with_graph(
+            vec![
+                crate::spec::StageSpec::balanced("pre", 0.5, 5_000),
+                crate::spec::StageSpec::balanced("a", 1.0, 2_000),
+                crate::spec::StageSpec::balanced("b", 1.5, 2_000),
+                crate::spec::StageSpec::balanced("join", 0.2, 1_000),
+            ],
+            crate::spec::StageGraph::builder()
+                .stages(1)
+                .split(&[1, 1])
+                .build(),
+        );
+        let cfg = SimConfig {
+            items: 120,
+            policy: Policy::periodic_default(),
+            ..SimConfig::default()
+        };
+        let a = run(&grid, &spec, &cfg);
+        let b = run(&grid, &spec, &cfg);
+        assert_eq!(a.completed, 120);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.final_mapping, b.final_mapping);
+        assert_eq!(a.adaptations.len(), b.adaptations.len());
     }
 
     #[test]

@@ -10,6 +10,8 @@ use adapipe_gridsim::node::NodeId;
 use adapipe_gridsim::rng::{mix, unit_f64};
 use adapipe_mapper::model::PipelineProfile;
 
+pub use adapipe_mapper::graph::{Feed, Next, Segment, StageGraph, StageGraphBuilder};
+
 /// Per-item work drawn for `(stage, item)` pairs.
 ///
 /// Implementations must be deterministic functions of the item index so
@@ -151,11 +153,17 @@ impl std::fmt::Debug for StageSpec {
 /// A complete engine-agnostic pipeline description.
 #[derive(Clone, Debug)]
 pub struct PipelineSpec {
-    /// The stages in order.
+    /// The stages in *flattened* order (chain stages in series; inside a
+    /// parallel block: branch 0's stages, branch 1's, …, then the merge
+    /// stage).
     pub stages: Vec<StageSpec>,
-    /// Bytes each input item carries into stage 0.
+    /// The series-parallel shape over the flattened stage ids. A linear
+    /// pipeline carries [`StageGraph::linear`] and behaves exactly as
+    /// before the graph existed.
+    pub graph: StageGraph,
+    /// Bytes each input item carries into the entry stage(s).
     pub input_bytes: u64,
-    /// Node where inputs originate (`None`: materialise at stage 0's
+    /// Node where inputs originate (`None`: materialise at the entry
     /// host for free).
     pub source: Option<NodeId>,
     /// Node where outputs must be delivered (`None`: vanish at the last
@@ -164,14 +172,35 @@ pub struct PipelineSpec {
 }
 
 impl PipelineSpec {
-    /// Builds a spec from stages with no explicit source/sink placement.
+    /// Builds a linear spec from stages with no explicit source/sink
+    /// placement.
     ///
     /// # Panics
     /// Panics if `stages` is empty.
     pub fn new(stages: Vec<StageSpec>) -> Self {
         assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        let graph = StageGraph::linear(stages.len());
         PipelineSpec {
             stages,
+            graph,
+            input_bytes: 0,
+            source: None,
+            sink: None,
+        }
+    }
+
+    /// Builds a spec whose stages (in flattened order) follow an
+    /// explicit series-parallel `graph` — branch spans fan out in
+    /// parallel and rejoin at their merge stage.
+    ///
+    /// # Panics
+    /// Panics if `stages` is empty or `graph` does not tile it.
+    pub fn with_graph(stages: Vec<StageSpec>, graph: StageGraph) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        graph.validate(stages.len());
+        PipelineSpec {
+            stages,
+            graph,
             input_bytes: 0,
             source: None,
             sink: None,
@@ -224,6 +253,7 @@ impl PipelineSpec {
         PipelineProfile {
             stage_work: self.stages.iter().map(|s| s.work.mean()).collect(),
             boundary_bytes,
+            graph: self.graph.clone(),
             stateless: self.stages.iter().map(|s| s.stateless).collect(),
             replica_cap: self
                 .stages
@@ -311,6 +341,34 @@ mod tests {
         profile.validate();
         // Stateful stages are pinned to width 1 regardless of the bound.
         assert_eq!(profile.replica_cap, vec![3, usize::MAX, 1]);
+    }
+
+    #[test]
+    fn branched_spec_profile_carries_the_graph() {
+        let graph = StageGraph::builder().stages(1).split(&[1, 1]).build();
+        let spec = PipelineSpec::with_graph(
+            vec![
+                StageSpec::balanced("pre", 1.0, 10),
+                StageSpec::balanced("a", 2.0, 4),
+                StageSpec::balanced("b", 3.0, 4),
+                StageSpec::balanced("join", 0.5, 8),
+            ],
+            graph.clone(),
+        );
+        let profile = spec.profile();
+        profile.validate();
+        assert_eq!(profile.graph, graph);
+        assert!(!profile.graph.is_linear());
+        assert_eq!(profile.boundary_bytes, vec![0, 10, 4, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "graph covers")]
+    fn mismatched_graph_is_rejected() {
+        let _ = PipelineSpec::with_graph(
+            vec![StageSpec::balanced("only", 1.0, 0)],
+            StageGraph::linear(2),
+        );
     }
 
     #[test]

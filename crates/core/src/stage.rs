@@ -13,9 +13,30 @@
 //! be replicated.
 
 use std::any::Any;
+use std::sync::Arc;
 
 /// A type-erased item flowing through the pipeline.
 pub type BoxedItem = Box<dyn Any + Send>;
+
+/// Clones one erased item into independent copies, one per branch of a
+/// parallel block — the fan-out half of a series-parallel stage graph.
+/// Built by [`fan_out_fn`] from the typed builder (which knows the item
+/// type is `Clone`); shared behind an `Arc` so pipelines stay cloneable.
+pub type FanOutFn = Arc<dyn Fn(BoxedItem) -> Result<Vec<BoxedItem>, StageTypeError> + Send + Sync>;
+
+/// Builds the [`FanOutFn`] duplicating items of type `T` to `branches`
+/// copies (in branch order).
+pub fn fan_out_fn<T: Clone + Send + 'static>(branches: usize) -> FanOutFn {
+    Arc::new(move |item: BoxedItem| {
+        let item = item.downcast::<T>().map_err(|_| StageTypeError {
+            stage: "fan-out".to_string(),
+            expected: std::any::type_name::<T>(),
+        })?;
+        Ok((0..branches)
+            .map(|_| Box::new((*item).clone()) as BoxedItem)
+            .collect())
+    })
+}
 
 /// A stage received an item whose dynamic type is not its declared
 /// input — a pipeline assembled from mismatched erased parts. Surfaced
@@ -163,6 +184,72 @@ where
     }
 }
 
+/// The fan-in half of a parallel block: a stage whose input is the
+/// `Vec` of branch outputs (in branch order) and whose closure folds
+/// them into one item. Engines deliver the joined vector as a
+/// `BoxedItem` wrapping `Vec<BoxedItem>`; each element must downcast to
+/// the common branch output type `B`.
+pub struct MergeStage<B, O, F>
+where
+    F: FnMut(Vec<B>) -> O + Send,
+{
+    name: String,
+    f: F,
+    _types: std::marker::PhantomData<fn(Vec<B>) -> O>,
+}
+
+impl<B, O, F> MergeStage<B, O, F>
+where
+    B: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(Vec<B>) -> O + Send,
+{
+    /// Wraps `f` as a named merge stage.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        MergeStage {
+            name: name.into(),
+            f,
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<B, O, F> DynStage for MergeStage<B, O, F>
+where
+    B: Send + 'static,
+    O: Send + 'static,
+    F: FnMut(Vec<B>) -> O + Send + Clone + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        let parts = item
+            .downcast::<Vec<BoxedItem>>()
+            .map_err(|_| StageTypeError {
+                stage: self.name.clone(),
+                expected: "a joined Vec of branch outputs",
+            })?;
+        let mut typed = Vec::with_capacity(parts.len());
+        for part in *parts {
+            typed.push(*part.downcast::<B>().map_err(|_| StageTypeError {
+                stage: self.name.clone(),
+                expected: std::any::type_name::<B>(),
+            })?);
+        }
+        Ok(Box::new((self.f)(typed)))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        Some(Box::new(MergeStage {
+            name: self.name.clone(),
+            f: self.f.clone(),
+            _types: std::marker::PhantomData,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 /// A stage wrapper that refuses replication regardless of the closure —
 /// used for stages declared stateful.
 pub struct SealedStage {
@@ -235,6 +322,31 @@ mod tests {
         let s = SealedStage::new(Box::new(FnStage::new("st", |x: i32| x)));
         assert!(s.replicate().is_none());
         assert_eq!(s.name(), "st");
+    }
+
+    #[test]
+    fn fan_out_clones_and_merge_folds() {
+        let split = fan_out_fn::<u64>(3);
+        let parts = split(Box::new(7u64)).expect("typed item splits");
+        assert_eq!(parts.len(), 3);
+        let mut m = MergeStage::new("sum", |xs: Vec<u64>| xs.iter().sum::<u64>());
+        let joined: BoxedItem = Box::new(parts);
+        let out = m.process(joined).expect("typed parts merge");
+        assert_eq!(*out.downcast::<u64>().unwrap(), 21);
+        assert!(m.replicate().is_some(), "stateless merges replicate");
+    }
+
+    #[test]
+    fn fan_out_and_merge_report_type_mismatches() {
+        let split = fan_out_fn::<u64>(2);
+        let err = split(Box::new("nope")).unwrap_err();
+        assert_eq!(err.stage, "fan-out");
+        let mut m = MergeStage::new("j", |xs: Vec<u64>| xs[0]);
+        // Not a joined vector at all.
+        assert!(m.process(Box::new(1u64)).is_err());
+        // A joined vector of the wrong element type.
+        let bad: Vec<BoxedItem> = vec![Box::new("x"), Box::new("y")];
+        assert_eq!(m.process(Box::new(bad)).unwrap_err().stage, "j");
     }
 
     #[test]

@@ -59,8 +59,8 @@
 
 use crate::vnode::VNodeSpec;
 use adapipe_core::pipeline::Pipeline;
-use adapipe_core::spec::PipelineSpec;
-use adapipe_core::stage::{BoxedItem, DynStage};
+use adapipe_core::spec::{Next, PipelineSpec};
+use adapipe_core::stage::{BoxedItem, DynStage, FanOutFn};
 use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::net::{LinkSpec, Topology};
 use adapipe_gridsim::node::NodeId;
@@ -277,6 +277,17 @@ impl Credits {
 /// Everything workers share.
 struct Shared {
     spec: PipelineSpec,
+    /// Per-stage in-edge bytes, precomputed once from the stage graph
+    /// (`StageGraph::feed_bytes`) — link emulation must not walk the
+    /// graph per envelope.
+    bytes_into: Vec<u64>,
+    /// Per-parallel-block fan-out duplicators (block order).
+    fanouts: Vec<FanOutFn>,
+    /// Join state per parallel block: branch outputs collected per item
+    /// until the set completes and the merged envelope ships to the
+    /// merge stage's host. Global (not per-worker), so branch outputs
+    /// survive the loss of any vnode.
+    joins: Vec<Mutex<HashMap<u64, Vec<Option<BoxedItem>>>>>,
     vnodes: Vec<VNodeSpec>,
     /// Planning topology; also drives link emulation when enabled.
     topology: Topology,
@@ -318,9 +329,12 @@ impl Shared {
     /// Records one item rescued off the down vnode `from`.
     fn note_replay(&self, seq: u64, stage: usize, from: usize) {
         self.replays.fetch_add(1, Ordering::Relaxed);
-        self.hooks
-            .events
-            .emit(RunEvent::ItemReplayed { seq, stage, from });
+        self.hooks.events.emit(RunEvent::ItemReplayed {
+            seq,
+            stage,
+            from,
+            branch: self.spec.graph.branch_of(stage),
+        });
     }
 }
 
@@ -444,16 +458,52 @@ where
             }
         }
         self.pushed += 1;
-        let dest = self.shared.route(0);
-        let env = Envelope {
-            seq,
-            stage: 0,
-            born: Instant::now(),
-            payload: Box::new(item),
-        };
-        // Worker channels outlive the session; send only fails at
-        // teardown, by which point delivery no longer matters.
-        let _ = self.shared.senders[dest].send(Msg::Work(env));
+        let born = Instant::now();
+        match self.shared.spec.graph.entry() {
+            Next::Stage(stage) => {
+                let dest = self.shared.route(stage);
+                let env = Envelope {
+                    seq,
+                    stage,
+                    born,
+                    payload: Box::new(item),
+                };
+                // Worker channels outlive the session; send only fails
+                // at teardown, by which point delivery no longer
+                // matters.
+                let _ = self.shared.senders[dest].send(Msg::Work(env));
+            }
+            // The graph opens with a parallel block: fan the item out at
+            // the source, one copy per branch (still one credit — the
+            // in-flight bound counts *items*, not branch copies).
+            Next::FanOut { block } => match (self.shared.fanouts[block])(Box::new(item)) {
+                Ok(parts) => {
+                    for (stage, payload) in self
+                        .shared
+                        .spec
+                        .graph
+                        .branch_entries(block)
+                        .into_iter()
+                        .zip(parts)
+                    {
+                        let dest = self.shared.route(stage);
+                        let _ = self.shared.senders[dest].send(Msg::Work(Envelope {
+                            seq,
+                            stage,
+                            born,
+                            payload,
+                        }));
+                    }
+                }
+                Err(type_err) => {
+                    self.shared.control.fail(RunError::StageTypeMismatch {
+                        stage: type_err.stage,
+                    });
+                    fatal_teardown(&self.shared);
+                }
+            },
+            _ => unreachable!("pipelines enter at a stage or a fan-out"),
+        }
         seq
     }
 
@@ -706,8 +756,9 @@ where
 {
     let np = cfg.vnodes.len();
     assert!(np > 0, "engine needs at least one vnode");
-    let (spec, stages) = pipeline.into_parts();
+    let (spec, stages, fanouts) = pipeline.into_graph_parts();
     let ns = spec.len();
+    let blocks = spec.graph.blocks();
 
     // Fault physics: the plan rewrites the vnode load schedules exactly
     // as it rewrites a simulated grid's, so slowdown/outage windows
@@ -784,9 +835,18 @@ where
         .queue_capacity
         .map(|c| Arc::new(Credits::new((c * (ns + 1)) as u64)));
 
+    let boundary: Vec<u64> = std::iter::once(spec.input_bytes)
+        .chain(spec.stages.iter().map(|s| s.out_bytes))
+        .collect();
+    let bytes_into = (0..ns)
+        .map(|s| spec.graph.feed_bytes(s, &boundary))
+        .collect();
     let shared = Arc::new(Shared {
         depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
         spec,
+        bytes_into,
+        fanouts,
+        joins: (0..blocks).map(|_| Mutex::new(HashMap::new())).collect(),
         vnodes,
         topology,
         emulate_links: cfg.emulate_links,
@@ -962,24 +1022,6 @@ where
         session.push(feed(seq));
     }
     session.drain()
-}
-
-/// Legacy entry point for threaded runs.
-#[deprecated(
-    since = "0.2.0",
-    note = "use adapipe::api::Pipeline::builder() with Backend::Threads (or the \
-            backend-level exec::execute for backend internals)"
-)]
-pub fn run_pipeline<I, O>(
-    pipeline: Pipeline<I, O>,
-    inputs: Vec<I>,
-    cfg: &EngineConfig,
-) -> EngineOutcome<O>
-where
-    I: Send + 'static,
-    O: Send + 'static,
-{
-    execute(pipeline, inputs, cfg)
 }
 
 /// Worker body: serve envelopes, honour migrations, account busy time.
@@ -1242,22 +1284,95 @@ fn process_one(
         std::thread::sleep(sleep);
     }
 
-    let ns = shared.spec.len();
-    if stage + 1 == ns {
-        let _ = shared.sink.send(SinkMsg::Done(Finished {
-            seq: env.seq,
-            born: env.born,
-            done: Instant::now(),
-            payload: out,
-        }));
-    } else {
-        let env = Envelope {
-            seq: env.seq,
-            stage: stage + 1,
-            born: env.born,
-            payload: out,
-        };
-        forward(shared, me, env);
+    match shared.spec.graph.after(stage) {
+        Next::Done => {
+            let _ = shared.sink.send(SinkMsg::Done(Finished {
+                seq: env.seq,
+                born: env.born,
+                done: Instant::now(),
+                payload: out,
+            }));
+        }
+        Next::Stage(next) => {
+            forward(
+                shared,
+                me,
+                Envelope {
+                    seq: env.seq,
+                    stage: next,
+                    born: env.born,
+                    payload: out,
+                },
+            );
+        }
+        Next::FanOut { block } => match (shared.fanouts[block])(out) {
+            Ok(parts) => {
+                for (entry, payload) in shared
+                    .spec
+                    .graph
+                    .branch_entries(block)
+                    .into_iter()
+                    .zip(parts)
+                {
+                    forward(
+                        shared,
+                        me,
+                        Envelope {
+                            seq: env.seq,
+                            stage: entry,
+                            born: env.born,
+                            payload,
+                        },
+                    );
+                }
+            }
+            Err(type_err) => {
+                // Same contract as a stage-level mismatch: fail the
+                // session typed, never kill the worker thread.
+                shared.control.fail(RunError::StageTypeMismatch {
+                    stage: type_err.stage,
+                });
+                fatal_teardown(shared);
+                return compute + sleep;
+            }
+        },
+        Next::Join { block, branch } => {
+            // Deposit this branch's output; whoever completes the set
+            // assembles the joined vector (branch order) and ships it to
+            // the merge stage's host. The join map is global, so branch
+            // outputs survive vnode loss and re-maps.
+            let merged = {
+                let mut joins = shared.joins[block].lock().expect("join lock poisoned");
+                let k = shared.spec.graph.branch_count(block);
+                let slots = joins
+                    .entry(env.seq)
+                    .or_insert_with(|| (0..k).map(|_| None).collect());
+                slots[branch] = Some(out);
+                if slots.iter().all(Option::is_some) {
+                    let parts: Vec<BoxedItem> = joins
+                        .remove(&env.seq)
+                        .expect("slots just inserted")
+                        .into_iter()
+                        .map(|p| p.expect("all branches present"))
+                        .collect();
+                    Some(parts)
+                } else {
+                    None
+                }
+            };
+            if let Some(parts) = merged {
+                forward(
+                    shared,
+                    me,
+                    Envelope {
+                        seq: env.seq,
+                        stage: shared.spec.graph.merge_of(block),
+                        born: env.born,
+                        payload: Box::new(parts),
+                    },
+                );
+            }
+        }
     }
     let took = compute + sleep;
     metrics.record(
@@ -1276,11 +1391,7 @@ fn process_one(
 fn forward(shared: &Shared, from: usize, env: Envelope) {
     let dest = shared.route(env.stage);
     if shared.emulate_links && from != dest {
-        let bytes = if env.stage == 0 {
-            shared.spec.input_bytes
-        } else {
-            shared.spec.stages[env.stage - 1].out_bytes
-        };
+        let bytes = shared.bytes_into[env.stage];
         let d = shared
             .topology
             .transfer_time(NodeId(from), NodeId(dest), bytes)
@@ -1671,6 +1782,38 @@ mod tests {
         assert!(seen
             .iter()
             .any(|e| matches!(e, RunEvent::ItemReplayed { .. })));
+    }
+
+    #[test]
+    fn branched_pipeline_joins_every_item_exactly_once() {
+        use adapipe_core::spec::{PipelineSpec, StageGraph};
+        use adapipe_core::stage::{fan_out_fn, FnStage, MergeStage};
+        // (x+1 ‖ x*2) → sum, assembled from erased graph parts.
+        let spec = PipelineSpec::with_graph(
+            vec![
+                StageSpec::balanced("a", 0.001, 8),
+                StageSpec::balanced("b", 0.001, 8),
+                StageSpec::balanced("join", 0.001, 8),
+            ],
+            StageGraph::builder().split(&[1, 1]).build(),
+        );
+        let stages: Vec<Box<dyn DynStage>> = vec![
+            Box::new(FnStage::new("a", |x: u64| x + 1)),
+            Box::new(FnStage::new("b", |x: u64| x * 2)),
+            Box::new(MergeStage::new("join", |parts: Vec<u64>| {
+                parts[0] * 1000 + parts[1]
+            })),
+        ];
+        let pipeline: Pipeline<u64, u64> =
+            Pipeline::from_graph_parts(spec, stages, vec![fan_out_fn::<u64>(2)]);
+        let cfg = EngineConfig::new(free_nodes(3));
+        let outcome = execute(pipeline, (0..100).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 100);
+        assert!(!outcome.report.truncated);
+        // Branch order is part of the merge contract: parts[0] is always
+        // branch a, parts[1] always branch b.
+        let expect: Vec<u64> = (0..100).map(|x| (x + 1) * 1000 + x * 2).collect();
+        assert_eq!(outcome.outputs, expect);
     }
 
     #[test]

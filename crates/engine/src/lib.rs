@@ -26,8 +26,6 @@ pub mod vnode;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use crate::exec::run_pipeline;
     pub use crate::exec::{execute, execute_fed, EngineConfig, EngineOutcome};
     pub use crate::inject::LoadInjector;
     pub use crate::vnode::{calibrate_host, spin_for, VNodeSpec, MIN_WALL_AVAILABILITY};

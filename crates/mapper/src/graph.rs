@@ -1,0 +1,580 @@
+//! Series-parallel stage graphs: the shape of a pipeline.
+//!
+//! Historically the stage topology was implicit — a pipeline *was* a
+//! `Vec` of stages, and every layer (model, planner, engines) hard-coded
+//! the chain `0 → 1 → … → Ns−1`. A [`StageGraph`] makes the shape
+//! explicit and strictly more general: a pipeline is a series of
+//! [`Segment`]s, each either a **chain** of stages or a **parallel
+//! block** that fans every item out to N branch sub-pipelines and fans
+//! the branch results back in at a deterministic **merge** stage.
+//!
+//! Stages keep *flattened* ids: the graph is laid over `0..Ns` in series
+//! order — chain stages first, then (inside a parallel block) branch 0's
+//! stages, branch 1's, …, then the merge stage. A linear pipeline is the
+//! degenerate one-chain graph ([`StageGraph::linear`]), so every
+//! existing `Mapping`, `RoutingTable`, and report indexes stages exactly
+//! as before; only the *edges* between stages change.
+//!
+//! The graph answers the questions the other layers ask:
+//!
+//! * the model: which directed edges carry data, and what is the
+//!   latency-critical path ([`StageGraph::feed_of`], walking
+//!   [`StageGraph::segments`]);
+//! * the engines: where does an item go after finishing a stage
+//!   ([`StageGraph::after`], [`StageGraph::entry`]);
+//! * observability: which branch a stage belongs to
+//!   ([`StageGraph::branch_of`]).
+
+/// One series element of a [`StageGraph`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Segment {
+    /// Stages `start..end` in series.
+    Chain {
+        /// First stage of the run.
+        start: usize,
+        /// One past the last stage of the run.
+        end: usize,
+    },
+    /// A parallel block: each item fans out to every branch (a
+    /// contiguous stage span `start..end`), and the branch results fan
+    /// back in at the `merge` stage, which follows the last branch
+    /// directly in flattened order.
+    Parallel {
+        /// Branch stage spans `(start, end)`, in branch order.
+        branches: Vec<(usize, usize)>,
+        /// The merge stage combining one output per branch into one
+        /// item.
+        merge: usize,
+    },
+}
+
+/// Where an item goes after finishing a stage (or entering the
+/// pipeline).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Next {
+    /// Forward to this stage.
+    Stage(usize),
+    /// Fan out: one copy to the entry stage of every branch of block
+    /// `block`.
+    FanOut {
+        /// Index of the parallel block (in graph order).
+        block: usize,
+    },
+    /// The finished stage is the last of `branch` in `block`: its output
+    /// joins the block's other branch outputs at the merge stage.
+    Join {
+        /// Index of the parallel block.
+        block: usize,
+        /// Branch index within the block.
+        branch: usize,
+    },
+    /// The finished stage was the last: the item is a pipeline output.
+    Done,
+}
+
+/// What feeds a stage its input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Feed {
+    /// The pipeline input (stage is an entry point).
+    Source,
+    /// The output of one upstream stage.
+    Stage(usize),
+    /// The joined outputs of a parallel block: one per branch-last
+    /// stage, in branch order.
+    Merge(Vec<usize>),
+}
+
+/// The series-parallel shape of a pipeline over flattened stage ids
+/// `0..len()`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageGraph {
+    segments: Vec<Segment>,
+    stages: usize,
+}
+
+impl StageGraph {
+    /// The degenerate graph: `ns` stages in one chain — exactly the
+    /// historical linear pipeline.
+    ///
+    /// # Panics
+    /// Panics if `ns` is zero.
+    pub fn linear(ns: usize) -> Self {
+        assert!(ns > 0, "pipeline needs at least one stage");
+        StageGraph {
+            segments: vec![Segment::Chain { start: 0, end: ns }],
+            stages: ns,
+        }
+    }
+
+    /// Starts a [`StageGraphBuilder`].
+    pub fn builder() -> StageGraphBuilder {
+        StageGraphBuilder {
+            segments: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Number of stages (flattened, merge stages included).
+    #[allow(clippy::len_without_is_empty)] // a graph is never empty
+    pub fn len(&self) -> usize {
+        self.stages
+    }
+
+    /// True if the graph is a single chain — the historical pipeline
+    /// shape. Every layer short-circuits to its pre-graph code path on
+    /// this, so linear pipelines behave byte-identically to before.
+    pub fn is_linear(&self) -> bool {
+        !self
+            .segments
+            .iter()
+            .any(|s| matches!(s, Segment::Parallel { .. }))
+    }
+
+    /// The series segments in order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Number of parallel blocks.
+    pub fn blocks(&self) -> usize {
+        self.segments
+            .iter()
+            .filter(|s| matches!(s, Segment::Parallel { .. }))
+            .count()
+    }
+
+    fn block(&self, block: usize) -> (&[(usize, usize)], usize) {
+        let mut seen = 0;
+        for seg in &self.segments {
+            if let Segment::Parallel { branches, merge } = seg {
+                if seen == block {
+                    return (branches, *merge);
+                }
+                seen += 1;
+            }
+        }
+        panic!("block {block} out of range ({} blocks)", self.blocks());
+    }
+
+    /// Entry stages of every branch of `block`, in branch order.
+    pub fn branch_entries(&self, block: usize) -> Vec<usize> {
+        self.block(block).0.iter().map(|&(s, _)| s).collect()
+    }
+
+    /// Number of branches of `block`.
+    pub fn branch_count(&self, block: usize) -> usize {
+        self.block(block).0.len()
+    }
+
+    /// The merge stage of `block`.
+    pub fn merge_of(&self, block: usize) -> usize {
+        self.block(block).1
+    }
+
+    /// The `(block, branch)` containing `stage`, or `None` for series
+    /// stages (merge stages included — a merge runs after the join and
+    /// belongs to no single branch).
+    pub fn branch_of(&self, stage: usize) -> Option<(usize, usize)> {
+        let mut block = 0;
+        for seg in &self.segments {
+            if let Segment::Parallel { branches, .. } = seg {
+                for (bi, &(start, end)) in branches.iter().enumerate() {
+                    if (start..end).contains(&stage) {
+                        return Some((block, bi));
+                    }
+                }
+                block += 1;
+            }
+        }
+        None
+    }
+
+    /// True if `stage` is the merge stage of some parallel block;
+    /// returns the block index.
+    pub fn merge_block_of(&self, stage: usize) -> Option<usize> {
+        let mut block = 0;
+        for seg in &self.segments {
+            if let Segment::Parallel { merge, .. } = seg {
+                if *merge == stage {
+                    return Some(block);
+                }
+                block += 1;
+            }
+        }
+        None
+    }
+
+    /// Where the pipeline input goes: the first stage, or a fan-out if
+    /// the graph opens with a parallel block.
+    pub fn entry(&self) -> Next {
+        match &self.segments[0] {
+            Segment::Chain { start, .. } => Next::Stage(*start),
+            Segment::Parallel { .. } => Next::FanOut { block: 0 },
+        }
+    }
+
+    /// Where an item goes after finishing `stage`.
+    ///
+    /// # Panics
+    /// Panics if `stage` is out of range.
+    pub fn after(&self, stage: usize) -> Next {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        let mut block = 0;
+        for (i, seg) in self.segments.iter().enumerate() {
+            match seg {
+                Segment::Chain { start, end } => {
+                    if (*start..*end).contains(&stage) {
+                        if stage + 1 < *end {
+                            return Next::Stage(stage + 1);
+                        }
+                        return self.after_segment(i, block);
+                    }
+                }
+                Segment::Parallel { branches, merge } => {
+                    for (bi, &(bs, be)) in branches.iter().enumerate() {
+                        if (bs..be).contains(&stage) {
+                            if stage + 1 < be {
+                                return Next::Stage(stage + 1);
+                            }
+                            return Next::Join { block, branch: bi };
+                        }
+                    }
+                    if stage == *merge {
+                        return self.after_segment(i, block);
+                    }
+                    block += 1;
+                }
+            }
+        }
+        unreachable!("validated graphs cover every stage")
+    }
+
+    /// What follows segment `i` (whose last parallel block index, if it
+    /// is one, is `block_here`).
+    fn after_segment(&self, i: usize, block_here: usize) -> Next {
+        let blocks_before_next = match &self.segments[i] {
+            Segment::Parallel { .. } => block_here + 1,
+            Segment::Chain { .. } => block_here,
+        };
+        match self.segments.get(i + 1) {
+            None => Next::Done,
+            Some(Segment::Chain { start, .. }) => Next::Stage(*start),
+            Some(Segment::Parallel { .. }) => Next::FanOut {
+                block: blocks_before_next,
+            },
+        }
+    }
+
+    /// What feeds `stage` its input.
+    ///
+    /// # Panics
+    /// Panics if `stage` is out of range.
+    pub fn feed_of(&self, stage: usize) -> Feed {
+        assert!(stage < self.stages, "stage {stage} out of range");
+        // `prev` = the stage whose output feeds the next series element
+        // (None while nothing upstream exists: the pipeline input).
+        let mut prev: Option<usize> = None;
+        for seg in &self.segments {
+            match seg {
+                Segment::Chain { start, end } => {
+                    if (*start..*end).contains(&stage) {
+                        return if stage == *start {
+                            prev.map_or(Feed::Source, Feed::Stage)
+                        } else {
+                            Feed::Stage(stage - 1)
+                        };
+                    }
+                    prev = Some(end - 1);
+                }
+                Segment::Parallel { branches, merge } => {
+                    for &(bs, be) in branches {
+                        if (bs..be).contains(&stage) {
+                            return if stage == bs {
+                                prev.map_or(Feed::Source, Feed::Stage)
+                            } else {
+                                Feed::Stage(stage - 1)
+                            };
+                        }
+                    }
+                    if stage == *merge {
+                        return Feed::Merge(branches.iter().map(|&(_, be)| be - 1).collect());
+                    }
+                    prev = Some(*merge);
+                }
+            }
+        }
+        unreachable!("validated graphs cover every stage")
+    }
+
+    /// Bytes carried into `stage` per item, given the pipeline's
+    /// boundary sizes (`boundary_bytes[0]` = input bytes,
+    /// `boundary_bytes[s + 1]` = stage `s`'s output bytes). A merge
+    /// stage's input is the largest branch output — the conservative
+    /// size for forwarding a single in-transit branch payload.
+    pub fn feed_bytes(&self, stage: usize, boundary_bytes: &[u64]) -> u64 {
+        match self.feed_of(stage) {
+            Feed::Source => boundary_bytes[0],
+            Feed::Stage(p) => boundary_bytes[p + 1],
+            Feed::Merge(lasts) => lasts
+                .iter()
+                .map(|&l| boundary_bytes[l + 1])
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Validates the graph against a stage count: segments must tile
+    /// `0..ns` exactly in series order, every chain and branch span must
+    /// be non-empty, every parallel block needs at least two branches,
+    /// and each merge stage must directly follow its last branch.
+    ///
+    /// # Panics
+    /// Panics on any violation.
+    pub fn validate(&self, ns: usize) {
+        assert!(
+            !self.segments.is_empty(),
+            "graph needs at least one segment"
+        );
+        assert_eq!(
+            self.stages, ns,
+            "graph covers {} stages, need {ns}",
+            self.stages
+        );
+        let mut cursor = 0usize;
+        for seg in &self.segments {
+            match seg {
+                Segment::Chain { start, end } => {
+                    assert_eq!(*start, cursor, "chain must start at stage {cursor}");
+                    assert!(end > start, "chain must be non-empty");
+                    cursor = *end;
+                }
+                Segment::Parallel { branches, merge } => {
+                    assert!(
+                        branches.len() >= 2,
+                        "a parallel block needs at least two branches"
+                    );
+                    for &(bs, be) in branches {
+                        assert_eq!(bs, cursor, "branch must start at stage {cursor}");
+                        assert!(be > bs, "branch must be non-empty");
+                        cursor = be;
+                    }
+                    assert_eq!(*merge, cursor, "merge must follow the last branch");
+                    cursor += 1;
+                }
+            }
+        }
+        assert_eq!(cursor, ns, "graph covers {cursor} stages, need {ns}");
+    }
+}
+
+/// Incremental [`StageGraph`] construction in flattened stage order.
+///
+/// ```
+/// use adapipe_mapper::graph::StageGraph;
+///
+/// // decode → (analyze ‖ thumbnail) → merge → pack
+/// let g = StageGraph::builder().stages(1).split(&[1, 1]).stages(1).build();
+/// assert_eq!(g.len(), 5);
+/// assert!(!g.is_linear());
+/// assert_eq!(g.merge_of(0), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StageGraphBuilder {
+    segments: Vec<Segment>,
+    cursor: usize,
+}
+
+impl StageGraphBuilder {
+    /// Appends `k` series stages (coalesced into the previous chain
+    /// segment when one is open).
+    pub fn stages(mut self, k: usize) -> Self {
+        if k == 0 {
+            return self;
+        }
+        if let Some(Segment::Chain { end, .. }) = self.segments.last_mut() {
+            *end += k;
+        } else {
+            self.segments.push(Segment::Chain {
+                start: self.cursor,
+                end: self.cursor + k,
+            });
+        }
+        self.cursor += k;
+        self
+    }
+
+    /// Appends a parallel block whose branches have the given stage
+    /// counts, followed by its merge stage.
+    ///
+    /// # Panics
+    /// Panics with fewer than two branches or an empty branch.
+    pub fn split(mut self, branch_lens: &[usize]) -> Self {
+        assert!(
+            branch_lens.len() >= 2,
+            "a parallel block needs at least two branches"
+        );
+        let mut branches = Vec::with_capacity(branch_lens.len());
+        for &len in branch_lens {
+            assert!(len > 0, "branch must be non-empty");
+            branches.push((self.cursor, self.cursor + len));
+            self.cursor += len;
+        }
+        let merge = self.cursor;
+        self.cursor += 1;
+        self.segments.push(Segment::Parallel { branches, merge });
+        self
+    }
+
+    /// Finalises and validates the graph.
+    ///
+    /// # Panics
+    /// Panics if no stage was added.
+    pub fn build(self) -> StageGraph {
+        let graph = StageGraph {
+            segments: self.segments,
+            stages: self.cursor,
+        };
+        graph.validate(graph.stages);
+        graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// pre → (a0 a1 ‖ b0) → merge → post  ⇒ ids 0 | 1 2 | 3 | 4 | 5
+    fn sample() -> StageGraph {
+        StageGraph::builder()
+            .stages(1)
+            .split(&[2, 1])
+            .stages(1)
+            .build()
+    }
+
+    #[test]
+    fn linear_graph_is_the_degenerate_chain() {
+        let g = StageGraph::linear(3);
+        g.validate(3);
+        assert!(g.is_linear());
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.blocks(), 0);
+        assert_eq!(g.entry(), Next::Stage(0));
+        assert_eq!(g.after(0), Next::Stage(1));
+        assert_eq!(g.after(2), Next::Done);
+        assert_eq!(g.feed_of(0), Feed::Source);
+        assert_eq!(g.feed_of(2), Feed::Stage(1));
+        assert_eq!(g.branch_of(1), None);
+    }
+
+    #[test]
+    fn sample_graph_flattens_and_navigates() {
+        let g = sample();
+        g.validate(6);
+        assert!(!g.is_linear());
+        assert_eq!(g.blocks(), 1);
+        assert_eq!(g.branch_entries(0), vec![1, 3]);
+        assert_eq!(g.branch_count(0), 2);
+        assert_eq!(g.merge_of(0), 4);
+        assert_eq!(g.merge_block_of(4), Some(0));
+        assert_eq!(g.merge_block_of(1), None);
+
+        assert_eq!(g.entry(), Next::Stage(0));
+        assert_eq!(g.after(0), Next::FanOut { block: 0 });
+        assert_eq!(g.after(1), Next::Stage(2));
+        assert_eq!(
+            g.after(2),
+            Next::Join {
+                block: 0,
+                branch: 0
+            }
+        );
+        assert_eq!(
+            g.after(3),
+            Next::Join {
+                block: 0,
+                branch: 1
+            }
+        );
+        assert_eq!(g.after(4), Next::Stage(5));
+        assert_eq!(g.after(5), Next::Done);
+
+        assert_eq!(g.feed_of(1), Feed::Stage(0));
+        assert_eq!(g.feed_of(2), Feed::Stage(1));
+        assert_eq!(g.feed_of(3), Feed::Stage(0));
+        assert_eq!(g.feed_of(4), Feed::Merge(vec![2, 3]));
+        assert_eq!(g.feed_of(5), Feed::Stage(4));
+
+        assert_eq!(g.branch_of(0), None);
+        assert_eq!(g.branch_of(1), Some((0, 0)));
+        assert_eq!(g.branch_of(2), Some((0, 0)));
+        assert_eq!(g.branch_of(3), Some((0, 1)));
+        assert_eq!(g.branch_of(4), None);
+    }
+
+    #[test]
+    fn graph_may_open_and_close_with_a_block() {
+        // (a ‖ b) → merge : ids 0 | 1 | 2
+        let g = StageGraph::builder().split(&[1, 1]).build();
+        g.validate(3);
+        assert_eq!(g.entry(), Next::FanOut { block: 0 });
+        assert_eq!(g.feed_of(0), Feed::Source);
+        assert_eq!(g.feed_of(1), Feed::Source);
+        assert_eq!(g.after(2), Next::Done);
+    }
+
+    #[test]
+    fn consecutive_blocks_chain_through_their_merges() {
+        // (a ‖ b) → m0 → (c ‖ d) → m1 : ids 0 1 | 2 | 3 4 | 5
+        let g = StageGraph::builder().split(&[1, 1]).split(&[1, 1]).build();
+        g.validate(6);
+        assert_eq!(g.blocks(), 2);
+        assert_eq!(g.after(2), Next::FanOut { block: 1 });
+        assert_eq!(g.feed_of(3), Feed::Stage(2));
+        assert_eq!(g.merge_of(1), 5);
+        assert_eq!(g.branch_of(4), Some((1, 1)));
+    }
+
+    #[test]
+    fn feed_bytes_follow_graph_edges() {
+        let g = sample();
+        // input 100; out bytes per stage: 10, 20, 30, 40, 50, 60.
+        let boundary = [100, 10, 20, 30, 40, 50, 60];
+        assert_eq!(g.feed_bytes(0, &boundary), 100);
+        assert_eq!(
+            g.feed_bytes(1, &boundary),
+            10,
+            "branch entry gets pre-stage bytes"
+        );
+        assert_eq!(
+            g.feed_bytes(3, &boundary),
+            10,
+            "each branch gets the same feed"
+        );
+        assert_eq!(
+            g.feed_bytes(4, &boundary),
+            40,
+            "merge: largest branch output"
+        );
+        assert_eq!(g.feed_bytes(5, &boundary), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two branches")]
+    fn single_branch_split_panics() {
+        let _ = StageGraph::builder().split(&[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_branch_panics() {
+        let _ = StageGraph::builder().split(&[1, 0]);
+    }
+
+    #[test]
+    fn validate_rejects_wrong_stage_count() {
+        let g = sample();
+        let result = std::panic::catch_unwind(|| g.validate(7));
+        assert!(result.is_err());
+    }
+}

@@ -8,8 +8,13 @@
 //! * [`mapping`] — the mapping representation: per-stage host sets with
 //!   coalescing (consecutive stages sharing a host) and replication
 //!   (stateless stages fanned over several hosts);
+//! * [`graph`] — series-parallel stage graphs: the pipeline *shape*
+//!   (chains plus fan-out/fan-in parallel blocks) over flattened stage
+//!   ids, with the linear chain as the degenerate case;
 //! * [`model`] — the analytic bottleneck model: busy-seconds-per-item on
-//!   every processor and link; throughput = 1 / busiest resource;
+//!   every processor and link (accumulated over the stage graph's
+//!   edges); throughput = 1 / busiest resource, latency follows the
+//!   slowest parallel path;
 //! * [`enumerate`] — assignment enumeration, compositions, neighbourhood
 //!   moves;
 //! * [`search`] — exhaustive search (small instances), contiguous dynamic
@@ -37,6 +42,7 @@
 
 pub mod decide;
 pub mod enumerate;
+pub mod graph;
 pub mod mapping;
 pub mod model;
 pub mod replicate;
@@ -48,6 +54,7 @@ pub mod prelude {
     pub use crate::enumerate::{
         assignment_count, compositions, neighbours, neighbours_touching, Assignments, Move,
     };
+    pub use crate::graph::{Feed, Next, Segment, StageGraph, StageGraphBuilder};
     pub use crate::mapping::{ContiguousMapping, Mapping, Placement};
     pub use crate::model::{evaluate, Bottleneck, PipelineProfile, Prediction};
     pub use crate::replicate::improve;

@@ -11,6 +11,7 @@
 //! are separate resources); contention inside a link direction is what
 //! the simulator adds on top, and experiment T2 quantifies the gap.
 
+use crate::graph::{Segment, StageGraph};
 use crate::mapping::Mapping;
 use adapipe_gridsim::net::Topology;
 use adapipe_gridsim::node::NodeId;
@@ -21,9 +22,13 @@ pub struct PipelineProfile {
     /// Work units each stage spends per item (`len = Ns`).
     pub stage_work: Vec<f64>,
     /// Bytes crossing each stage boundary per item (`len = Ns + 1`):
-    /// index `0` is the input arriving at stage 0, index `Ns` the output
-    /// leaving the last stage.
+    /// index `0` is the input arriving at the entry stage(s), index
+    /// `s + 1` the output leaving stage `s`. Which boundaries become
+    /// network *edges* is decided by [`PipelineProfile::graph`].
     pub boundary_bytes: Vec<u64>,
+    /// The series-parallel stage topology over flattened stage ids.
+    /// [`StageGraph::linear`] reproduces the historical chain exactly.
+    pub graph: StageGraph,
     /// Which stages keep no per-item state and may be replicated.
     pub stateless: Vec<bool>,
     /// Per-stage replica-width caps declared by the programmer
@@ -47,6 +52,7 @@ impl PipelineProfile {
             boundary_bytes: vec![bytes_per_item; ns + 1],
             stateless: vec![true; ns],
             replica_cap: vec![usize::MAX; ns],
+            graph: StageGraph::linear(ns),
             stage_work,
             source: None,
             sink: None,
@@ -84,6 +90,7 @@ impl PipelineProfile {
             self.stage_work.iter().all(|&w| w >= 0.0 && w.is_finite()),
             "stage work must be non-negative and finite"
         );
+        self.graph.validate(ns);
     }
 
     /// Total work per item across all stages.
@@ -181,14 +188,16 @@ pub fn evaluate(
 
     // --- Link busy time per item --------------------------------------
     // Expected seconds per item for each directed link, accumulated over
-    // all stage boundaries; same-host hops use the (cheap) self link.
+    // the stage graph's *edges* (for the linear chain these are exactly
+    // the stage boundaries); same-host hops use the (cheap) self link.
     // A dense np×np accumulator: `evaluate` is the optimisers' inner
     // loop, and a HashMap here dominated planning time on 32-node grids.
     let np = rates.len().max(topology.len());
     let mut max_link: (f64, NodeId, NodeId) = (0.0, NodeId(0), NodeId(0));
     let mut total_comm_latency = 0.0f64;
+    let mut graph_latency = 0.0f64;
     let mut link_seconds = vec![0.0f64; np * np];
-    {
+    if profile.graph.is_linear() {
         let mut add_boundary = |from_hosts: &[NodeId], to_hosts: &[NodeId], bytes: u64| {
             if bytes == 0 {
                 return;
@@ -228,6 +237,13 @@ pub fn evaluate(
                 profile.boundary_bytes[ns],
             );
         }
+    } else {
+        // General series-parallel walk: every graph edge contributes its
+        // expected transfer time to the link budget, and the one-item
+        // latency follows the *slowest parallel path* through each
+        // block — branches overlap, so the block costs max(branch),
+        // not sum(branch).
+        graph_latency = walk_graph(profile, mapping, rates, topology, np, &mut link_seconds);
     }
     for (idx, &secs) in link_seconds.iter().enumerate() {
         if secs > max_link.0 {
@@ -264,17 +280,25 @@ pub fn evaluate(
     };
 
     // Latency: average service time at each stage + expected transfers.
-    let mut latency = total_comm_latency;
-    for s in 0..ns {
-        let placement = mapping.placement(s);
-        let mean_service: f64 = placement
-            .hosts()
-            .iter()
-            .map(|&h| profile.stage_work[s] / rates[h.index()])
-            .sum::<f64>()
-            / placement.width() as f64;
-        latency += mean_service;
-    }
+    // Linear pipelines sum the chain (the historical formula, kept
+    // byte-identical); graphs already folded max-over-branches into the
+    // walk above.
+    let latency = if profile.graph.is_linear() {
+        let mut latency = total_comm_latency;
+        for s in 0..ns {
+            let placement = mapping.placement(s);
+            let mean_service: f64 = placement
+                .hosts()
+                .iter()
+                .map(|&h| profile.stage_work[s] / rates[h.index()])
+                .sum::<f64>()
+                / placement.width() as f64;
+            latency += mean_service;
+        }
+        latency
+    } else {
+        graph_latency
+    };
 
     let throughput = if period > 0.0 {
         1.0 / period
@@ -289,6 +313,133 @@ pub fn evaluate(
         bottleneck,
         node_load,
     }
+}
+
+/// One series-parallel pass over the stage graph: accumulates every
+/// edge's expected transfer seconds into `link_seconds` (the per-link
+/// busy budget) and returns the one-item traversal latency, where a
+/// parallel block contributes the latency of its *slowest branch* (the
+/// branches overlap) plus the merge stage's service time.
+fn walk_graph(
+    profile: &PipelineProfile,
+    mapping: &Mapping,
+    rates: &[f64],
+    topology: &Topology,
+    np: usize,
+    link_seconds: &mut [f64],
+) -> f64 {
+    let ns = profile.stages();
+    let service = |s: usize| -> f64 {
+        let placement = mapping.placement(s);
+        placement
+            .hosts()
+            .iter()
+            .map(|&h| profile.stage_work[s] / rates[h.index()])
+            .sum::<f64>()
+            / placement.width() as f64
+    };
+    // Expected cost of the edge feeding `stage` from `prev` (the last
+    // series stage upstream; `None` = the pipeline input, which only
+    // costs a transfer when an explicit source node is declared).
+    let in_edge = |prev: Option<usize>, stage: usize, link_seconds: &mut [f64]| -> f64 {
+        let to_hosts = mapping.placement(stage).hosts();
+        match prev {
+            Some(p) => edge_cost(
+                topology,
+                mapping.placement(p).hosts(),
+                to_hosts,
+                profile.boundary_bytes[p + 1],
+                np,
+                link_seconds,
+            ),
+            None => match profile.source {
+                Some(src) => edge_cost(
+                    topology,
+                    &[src],
+                    to_hosts,
+                    profile.boundary_bytes[0],
+                    np,
+                    link_seconds,
+                ),
+                None => 0.0,
+            },
+        }
+    };
+
+    let mut latency = 0.0f64;
+    let mut prev: Option<usize> = None;
+    for seg in profile.graph.segments() {
+        match seg {
+            Segment::Chain { start, end } => {
+                for s in *start..*end {
+                    latency += in_edge(prev, s, link_seconds) + service(s);
+                    prev = Some(s);
+                }
+            }
+            Segment::Parallel { branches, merge } => {
+                let feed = prev;
+                let mut block_latency = 0.0f64;
+                for &(bs, be) in branches {
+                    let mut branch_latency = 0.0f64;
+                    let mut bprev = feed;
+                    for s in bs..be {
+                        branch_latency += in_edge(bprev, s, link_seconds) + service(s);
+                        bprev = Some(s);
+                    }
+                    // Branch exit: the result ships to the merge hosts.
+                    branch_latency += edge_cost(
+                        topology,
+                        mapping.placement(be - 1).hosts(),
+                        mapping.placement(*merge).hosts(),
+                        profile.boundary_bytes[be],
+                        np,
+                        link_seconds,
+                    );
+                    block_latency = block_latency.max(branch_latency);
+                }
+                latency += block_latency + service(*merge);
+                prev = Some(*merge);
+            }
+        }
+    }
+    if let Some(dst) = profile.sink {
+        latency += edge_cost(
+            topology,
+            mapping.placement(ns - 1).hosts(),
+            &[dst],
+            profile.boundary_bytes[ns],
+            np,
+            link_seconds,
+        );
+    }
+    latency
+}
+
+/// Expected transfer seconds for one graph edge (replica sets on both
+/// ends, uniformly dealt), accumulated into the per-link busy budget.
+fn edge_cost(
+    topology: &Topology,
+    from_hosts: &[NodeId],
+    to_hosts: &[NodeId],
+    bytes: u64,
+    np: usize,
+    link_seconds: &mut [f64],
+) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    let frac = 1.0 / (from_hosts.len() * to_hosts.len()) as f64;
+    let mut expected = 0.0;
+    for &a in from_hosts {
+        for &b in to_hosts {
+            let t = topology.transfer_time(a, b, bytes).as_secs_f64();
+            expected += frac * t;
+            if a != b {
+                link_seconds[a.index() * np + b.index()] += frac * t;
+            }
+        }
+    }
+    expected
 }
 
 #[cfg(test)]
@@ -426,6 +577,77 @@ mod tests {
         let full = evaluate(&profile, &m, &[2.0], &fast_net(1));
         let half = evaluate(&profile, &m, &[1.0], &fast_net(1));
         assert!((full.throughput / half.throughput - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branched_latency_is_max_over_paths_not_sum() {
+        // (a ‖ b) → merge, with a = 4 units and b = 1 unit of work. The
+        // branches overlap, so one item traverses in max(4, 1) + merge,
+        // not 4 + 1 + merge.
+        let mut profile = PipelineProfile::uniform(vec![4.0, 1.0, 0.0], 0);
+        profile.graph = crate::graph::StageGraph::builder().split(&[1, 1]).build();
+        profile.validate();
+        let m = Mapping::from_assignment(&[n(0), n(1), n(2)]);
+        let p = evaluate(&profile, &m, &[1.0, 1.0, 1.0], &fast_net(3));
+        assert!((p.latency - 4.0).abs() < 1e-6, "latency={}", p.latency);
+        // Throughput is still resource-bound: node 0 is busiest at 4 s.
+        assert!((p.throughput - 0.25).abs() < 1e-9);
+        assert_eq!(p.bottleneck, Bottleneck::Node(n(0)));
+
+        // The equivalent serialized chain pays the sum.
+        let chain = PipelineProfile::uniform(vec![4.0, 1.0, 0.0], 0);
+        let pc = evaluate(&chain, &m, &[1.0, 1.0, 1.0], &fast_net(3));
+        assert!((pc.latency - 5.0).abs() < 1e-6);
+        assert_eq!(pc.throughput, p.throughput, "same resources, same rate");
+    }
+
+    #[test]
+    fn branched_link_budget_follows_graph_edges_not_chain_boundaries() {
+        // pre → (a ‖ b) → merge, 1 MB everywhere, all on distinct nodes.
+        // The graph has NO a→b edge; the serialized chain does.
+        let mut profile = PipelineProfile::uniform(vec![0.01, 0.01, 0.01, 0.01], 1_000_000);
+        profile.graph = crate::graph::StageGraph::builder()
+            .stages(1)
+            .split(&[1, 1])
+            .build();
+        let mut topo = fast_net(4);
+        // Only the a→b direction is slow: the chain must pay it, the
+        // graph must not.
+        topo.set(n(1), n(2), LinkSpec::new(SimDuration::ZERO, 1e6));
+        let m = Mapping::from_assignment(&[n(0), n(1), n(2), n(3)]);
+        let graph_pred = evaluate(&profile, &m, &[1.0; 4], &topo);
+        let chain = PipelineProfile::uniform(vec![0.01, 0.01, 0.01, 0.01], 1_000_000);
+        let chain_pred = evaluate(&chain, &m, &[1.0; 4], &topo);
+        assert_eq!(chain_pred.bottleneck, Bottleneck::Link(n(1), n(2)));
+        assert!(
+            graph_pred.throughput > chain_pred.throughput * 10.0,
+            "graph {} vs chain {}",
+            graph_pred.throughput,
+            chain_pred.throughput
+        );
+    }
+
+    #[test]
+    fn linear_graph_profile_evaluates_identically_to_the_implicit_chain() {
+        // A profile whose graph is StageGraph::linear must be bit-equal
+        // to the historical (implicit-chain) evaluation on every field.
+        let implicit = PipelineProfile::uniform(vec![2.0, 1.0, 3.0], 50_000);
+        let mut explicit = implicit.clone();
+        explicit.graph = crate::graph::StageGraph::linear(3);
+        let mut topo = fast_net(3);
+        topo.set_symmetric(n(0), n(2), LinkSpec::new(SimDuration::from_millis(3), 1e8));
+        let m = Mapping::new(vec![
+            Placement::single(n(0)),
+            Placement::replicated(vec![n(1), n(2)]),
+            Placement::single(n(2)),
+        ]);
+        let rates = [1.0, 0.7, 1.3];
+        let a = evaluate(&implicit, &m, &rates, &topo);
+        let b = evaluate(&explicit, &m, &rates, &topo);
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.latency.to_bits(), b.latency.to_bits());
+        assert_eq!(a.bottleneck, b.bottleneck);
+        assert_eq!(a.node_load, b.node_load);
     }
 
     #[test]

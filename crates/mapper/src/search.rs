@@ -160,7 +160,10 @@ pub fn exhaustive_frontier(
 ///
 /// Runs in `O(ns² · k)`. This ignores link sharing between groups (the
 /// full model re-scores the result), but captures the dominant
-/// coalesce-vs-spread trade-off.
+/// coalesce-vs-spread trade-off. For series-parallel graphs the DP
+/// treats the *flattened* stage order as a chain — a seed
+/// approximation only; every candidate is re-scored by the graph-aware
+/// [`evaluate`] before anything is adopted.
 pub fn contiguous_dp(
     profile: &PipelineProfile,
     rates: &[f64],
@@ -573,6 +576,36 @@ mod tests {
             plan.prediction.throughput
         );
         assert!(!plan.mapping.is_unreplicated());
+    }
+
+    #[test]
+    fn planner_prices_branched_graphs() {
+        // (hot ‖ cold) → join on four free nodes. The planner sees the
+        // series-parallel graph: the hot branch is the bottleneck path,
+        // so the replication pass must widen *it* (and only it).
+        let mut profile = PipelineProfile::uniform(vec![4.0, 0.5, 0.1], 0);
+        profile.graph = crate::graph::StageGraph::builder().split(&[1, 1]).build();
+        profile.validate();
+        let rates = [1.0; 4];
+        let plan = plan(&profile, &rates, &fast_net(4), &PlannerConfig::default());
+        assert!(
+            plan.prediction.throughput > 0.45,
+            "widening the hot branch must lift throughput above 1/4, got {}",
+            plan.prediction.throughput
+        );
+        assert!(
+            plan.mapping.placement(0).width() > 1,
+            "hot branch stage must be farmed: {}",
+            plan.mapping
+        );
+        // Latency follows the slowest parallel path, so it is bounded by
+        // the hot path, not the sum of both branches.
+        let hot_path = 4.0 + 0.1;
+        assert!(
+            plan.prediction.latency <= hot_path + 1e-6,
+            "latency {} exceeds the critical path",
+            plan.prediction.latency
+        );
     }
 
     #[test]

@@ -83,6 +83,23 @@ pub enum BuildError {
         /// The offending stage.
         stage: String,
     },
+    /// A farm was built around a stateful worker — a farm exists to be
+    /// replicated, which state forbids.
+    StatefulFarm {
+        /// The offending stage.
+        stage: String,
+    },
+    /// A parallel block declared fewer than two branches — fan-out to
+    /// one branch is just a chain.
+    TooFewBranches {
+        /// Index of the offending parallel block (in graph order).
+        block: usize,
+    },
+    /// A parallel block declared a branch with no stages.
+    EmptyBranch {
+        /// Index of the offending parallel block (in graph order).
+        block: usize,
+    },
     /// A rate-based arrival process declared a non-positive or
     /// non-finite rate.
     InvalidArrivalRate {
@@ -151,6 +168,18 @@ impl std::fmt::Display for BuildError {
             }
             BuildError::StatefulReplicated { stage } => {
                 write!(f, "stateful stage '{stage}' cannot be replicated")
+            }
+            BuildError::StatefulFarm { stage } => {
+                write!(
+                    f,
+                    "farm worker '{stage}' is stateful; a farm exists to be replicated"
+                )
+            }
+            BuildError::TooFewBranches { block } => {
+                write!(f, "parallel block {block} needs at least two branches")
+            }
+            BuildError::EmptyBranch { block } => {
+                write!(f, "parallel block {block} declares an empty branch")
             }
             BuildError::InvalidArrivalRate { rate } => {
                 write!(f, "arrival rate must be positive and finite, got {rate}")
@@ -261,6 +290,11 @@ pub enum RunEvent {
         stage: usize,
         /// The down node it was rescued from.
         from: usize,
+        /// The stage's position in the stage graph: `Some((block,
+        /// branch))` for a stage inside a parallel block's branch,
+        /// `None` for series stages (linear pipelines always report
+        /// `None`).
+        branch: Option<(usize, usize)>,
     },
 }
 

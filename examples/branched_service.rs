@@ -1,0 +1,129 @@
+//! A branched imaging service: the series-parallel pipeline shape.
+//!
+//! One decoded frame fans out to two branches that genuinely run in
+//! parallel — `analyze` extracts metadata while `thumbnail` renders a
+//! preview — and a deterministic `pack` merge folds the pair (always in
+//! branch order) back into one shipped record:
+//!
+//! ```text
+//!            ┌─ analyze ──┐
+//!  decode ──▶│            ├──▶ pack ──▶ out
+//!            └─ thumbnail ┘
+//! ```
+//!
+//! The planner sees the real graph: the bottleneck is the slowest
+//! *parallel path*, not the sum of all stages, and each branch carries
+//! its own replication bounds. Run with:
+//!
+//! ```sh
+//! cargo run --release --example branched_service
+//! ```
+
+use adapipe::prelude::*;
+use std::time::Duration;
+
+/// A decoded frame, cloned into every branch at the fan-out.
+#[derive(Clone, Debug)]
+struct Frame {
+    id: u64,
+    pixels: u64,
+}
+
+/// What a branch produces; the merge receives one per branch, in branch
+/// order (analyze first, thumbnail second).
+#[derive(Clone, Debug)]
+enum Artifact {
+    Meta { id: u64, brightness: u64 },
+    Thumb { id: u64, bytes: u64 },
+}
+
+fn main() {
+    const ITEMS: u64 = 120;
+
+    let pipeline = Pipeline::<u64>::builder()
+        .stage_with(StageSpec::balanced("decode", 0.002, 1 << 20), |id: u64| {
+            spin_for(Duration::from_millis(2));
+            Frame {
+                id,
+                pixels: 64 + id % 7,
+            }
+        })
+        .parallel(vec![
+            Branch::new().stage_with(StageSpec::balanced("analyze", 0.004, 256), |f: Frame| {
+                spin_for(Duration::from_millis(4));
+                Artifact::Meta {
+                    id: f.id,
+                    brightness: f.pixels * 3,
+                }
+            }),
+            Branch::new()
+                .stage_with(
+                    StageSpec::balanced("thumbnail", 0.004, 16 << 10),
+                    |f: Frame| {
+                        spin_for(Duration::from_millis(4));
+                        Artifact::Thumb {
+                            id: f.id,
+                            bytes: f.pixels / 2,
+                        }
+                    },
+                )
+                .replicas(2), // the thumbnail farm may spread 2 wide, no wider
+        ])
+        .merge_with(
+            StageSpec::balanced("pack", 0.001, 1024),
+            |outs: Vec<Artifact>| match (&outs[0], &outs[1]) {
+                (Artifact::Meta { id, brightness }, Artifact::Thumb { id: tid, bytes }) => {
+                    assert_eq!(id, tid, "a join must never mix frames");
+                    format!("frame {id}: brightness={brightness} thumb={bytes}B")
+                }
+                other => panic!("merge received branches out of order: {other:?}"),
+            },
+        )
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(150),
+        })
+        .feed(|i| i)
+        .build()
+        .expect("valid branched pipeline");
+
+    assert!(!pipeline.spec().graph.is_linear());
+    println!(
+        "running {} stages over a {}-block stage graph on 4 vnodes…",
+        pipeline.len(),
+        pipeline.spec().graph.blocks()
+    );
+
+    let vnodes: Vec<VNodeSpec> = (0..4).map(|i| VNodeSpec::free(format!("v{i}"))).collect();
+    let handle = pipeline
+        .run(
+            Backend::Threads(vnodes),
+            RunConfig {
+                items: ITEMS,
+                ..RunConfig::default()
+            },
+        )
+        .expect("threaded run");
+
+    assert_eq!(handle.report.completed, ITEMS, "items were lost");
+    assert!(handle.error.is_none(), "run failed: {:?}", handle.error);
+    assert_eq!(handle.outputs.len() as u64, ITEMS);
+    // Deterministic merged outputs, in push order (preserve_order).
+    for (i, line) in handle.outputs.iter().enumerate() {
+        let expect = format!(
+            "frame {i}: brightness={} thumb={}B",
+            (64 + i as u64 % 7) * 3,
+            (64 + i as u64 % 7) / 2
+        );
+        assert_eq!(line, &expect, "frame {i} merged wrongly");
+    }
+
+    println!("first: {}", handle.outputs.first().expect("non-empty"));
+    println!("last:  {}", handle.outputs.last().expect("non-empty"));
+    println!(
+        "completed {} frames in {:.3}s (final mapping {})",
+        handle.report.completed,
+        handle.report.makespan.as_secs_f64(),
+        handle.report.final_mapping,
+    );
+    println!("branched service OK");
+}

@@ -103,7 +103,9 @@ fn main() {
                 downs += 1;
                 println!("NODE DOWN: v{node} at t={:.2}s", at.as_secs_f64());
             }
-            RunEvent::ItemReplayed { seq, stage, from } => {
+            RunEvent::ItemReplayed {
+                seq, stage, from, ..
+            } => {
                 replays += 1;
                 if replays <= 3 {
                     println!("replayed item #{seq} (stage {stage}) off dead v{from}");

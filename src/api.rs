@@ -91,8 +91,10 @@
 
 use adapipe_core::pipeline::Pipeline as CorePipeline;
 use adapipe_core::simengine::{SimConfig, SimStepper};
-use adapipe_core::spec::{PipelineSpec, StageSpec};
-use adapipe_core::stage::{BoxedItem, DynStage, FnStage, StatefulFnStage};
+use adapipe_core::spec::{PipelineSpec, Segment, StageGraph, StageSpec};
+use adapipe_core::stage::{
+    fan_out_fn, BoxedItem, DynStage, FanOutFn, FnStage, MergeStage, SealedStage, StatefulFnStage,
+};
 use adapipe_engine::exec::{self, EngineConfig, EngineSession};
 use adapipe_engine::vnode::VNodeSpec;
 use adapipe_gridsim::fault::FaultPlan;
@@ -180,6 +182,8 @@ impl<O> RunHandle<O> {
 pub struct Pipeline<I, O = I> {
     spec: PipelineSpec,
     stages: Vec<Box<dyn DynStage>>,
+    /// One fan-out duplicator per parallel block of the spec's graph.
+    fanouts: Vec<FanOutFn>,
     session: Session,
     feed: Option<Box<dyn Fn(u64) -> I + Send>>,
     faults: FaultPlan,
@@ -298,9 +302,12 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                     faults: cfg.faults,
                 };
                 let arrivals = self.session.arrivals().stream();
+                let graph = self.spec.graph.clone();
                 SessionInner::Sim(Box::new(SimSession {
                     stepper: SimStepper::new(grid, self.spec, &sim_cfg),
                     stages: self.stages,
+                    graph,
+                    fanouts: self.fanouts,
                     arrivals,
                     outputs: HashMap::new(),
                     done_ordered: BTreeSet::new(),
@@ -312,7 +319,7 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
             Backend::Threads(vnodes) => {
                 let items = cfg.items;
                 let engine_cfg = engine_config(&self.session, vnodes, cfg);
-                let core = CorePipeline::from_parts(self.spec, self.stages);
+                let core = CorePipeline::from_graph_parts(self.spec, self.stages, self.fanouts);
                 SessionInner::Threads(exec::spawn(core, &engine_cfg, items))
             }
         };
@@ -373,7 +380,7 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 // drain, so the batch wall-clock pacing logic lives in
                 // exactly one place (the engine crate).
                 let engine_cfg = engine_config(&self.session, vnodes, cfg);
-                let core = CorePipeline::from_parts(self.spec, self.stages);
+                let core = CorePipeline::from_graph_parts(self.spec, self.stages, self.fanouts);
                 let outcome = exec::execute_fed(core, items, feed, &engine_cfg);
                 Ok(RunHandle {
                     outputs: outcome.outputs,
@@ -454,6 +461,11 @@ enum SessionInner<'g, I, O> {
 struct SimSession<'g> {
     stepper: SimStepper<'g>,
     stages: Vec<Box<dyn DynStage>>,
+    /// The stage graph driving push-time execution (fan-out runs each
+    /// branch in branch order; the merge folds the branch outputs).
+    graph: StageGraph,
+    /// One duplicator per parallel block.
+    fanouts: Vec<FanOutFn>,
     arrivals: ArrivalStream,
     /// Outputs computed at push, keyed by sequence number; absent for
     /// marker pushes (the batch wrapper's metadata-only items).
@@ -528,23 +540,15 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
             SessionInner::Sim(sim) => {
                 let at = sim.arrivals.next().expect("arrival stream is infinite");
                 let seq = sim.stepper.push_at(at);
-                let mut boxed: Option<BoxedItem> = Some(Box::new(item));
-                for stage in &mut sim.stages {
-                    match stage.process(boxed.take().expect("item present until an error")) {
-                        Ok(out) => boxed = Some(out),
-                        Err(type_err) => {
-                            // Mis-assembled erased stages: surface the
-                            // typed error on the session; the item
-                            // completes in the simulated world without
-                            // an output (marker semantics).
-                            self.control.fail(RunError::StageTypeMismatch {
-                                stage: type_err.stage,
-                            });
-                            break;
-                        }
-                    }
-                }
-                if let Some(out) = boxed {
+                let SimSession {
+                    ref graph,
+                    ref fanouts,
+                    ref mut stages,
+                    ..
+                } = **sim;
+                if let Some(out) =
+                    run_graph_at_push(graph, fanouts, stages, &self.control, Box::new(item))
+                {
                     sim.outputs.insert(seq, out);
                 }
                 seq
@@ -725,6 +729,75 @@ fn downcast_output<O: 'static>(out: BoxedItem) -> O {
     *out.downcast::<O>().expect("pipeline output type mismatch")
 }
 
+/// Push-time execution for simulation-backend sessions: one item runs
+/// through the stage graph on the caller's thread, in push order — the
+/// canonical sequential semantics. A parallel block fans the item out
+/// (branch order), runs each branch to its end, and folds the branch
+/// outputs through the merge stage, so a session produces the exact
+/// outputs the threaded backend's join workers assemble. Returns `None`
+/// on a type mismatch (the typed error lands on `control`; the item
+/// completes in the simulated world as a marker).
+fn run_graph_at_push(
+    graph: &StageGraph,
+    fanouts: &[FanOutFn],
+    stages: &mut [Box<dyn DynStage>],
+    control: &SessionControl,
+    item: BoxedItem,
+) -> Option<BoxedItem> {
+    let fail = |control: &SessionControl, stage: String| {
+        control.fail(RunError::StageTypeMismatch { stage });
+    };
+    let mut cur = item;
+    let mut block = 0usize;
+    for seg in graph.segments() {
+        match seg {
+            Segment::Chain { start, end } => {
+                for stage in &mut stages[*start..*end] {
+                    match stage.process(cur) {
+                        Ok(out) => cur = out,
+                        Err(type_err) => {
+                            fail(control, type_err.stage);
+                            return None;
+                        }
+                    }
+                }
+            }
+            Segment::Parallel { branches, merge } => {
+                let parts = match fanouts[block](cur) {
+                    Ok(parts) => parts,
+                    Err(type_err) => {
+                        fail(control, type_err.stage);
+                        return None;
+                    }
+                };
+                let mut outs: Vec<BoxedItem> = Vec::with_capacity(parts.len());
+                for (&(bs, be), part) in branches.iter().zip(parts) {
+                    let mut p = part;
+                    for stage in &mut stages[bs..be] {
+                        match stage.process(p) {
+                            Ok(out) => p = out,
+                            Err(type_err) => {
+                                fail(control, type_err.stage);
+                                return None;
+                            }
+                        }
+                    }
+                    outs.push(p);
+                }
+                match stages[*merge].process(Box::new(outs)) {
+                    Ok(out) => cur = out,
+                    Err(type_err) => {
+                        fail(control, type_err.stage);
+                        return None;
+                    }
+                }
+                block += 1;
+            }
+        }
+    }
+    Some(cur)
+}
+
 /// Typed builder for the unified [`Pipeline`]; `Cur` is the item type
 /// flowing out of the last stage added so far, so stage `i+1` must
 /// accept exactly what stage `i` produces — checked at compile time.
@@ -733,6 +806,14 @@ fn downcast_output<O: 'static>(out: BoxedItem) -> O {
 pub struct PipelineBuilder<In, Cur = In> {
     specs: Vec<StageSpec>,
     stages: Vec<Box<dyn DynStage>>,
+    /// The declared series-parallel shape over `specs` (flattened
+    /// order); compiled into a [`StageGraph`] at `build()`.
+    shape: Vec<ShapeSeg>,
+    /// One fan-out duplicator per parallel block declared so far.
+    fanouts: Vec<FanOutFn>,
+    /// First structural error of a `parallel()` declaration, surfaced
+    /// as the typed `build()` result.
+    graph_error: Option<BuildError>,
     input_bytes: u64,
     source: Option<NodeId>,
     sink: Option<NodeId>,
@@ -744,12 +825,39 @@ pub struct PipelineBuilder<In, Cur = In> {
     _types: PhantomData<fn(In) -> Cur>,
 }
 
+/// One element of the builder's declared shape.
+enum ShapeSeg {
+    /// `k` series stages.
+    Series(usize),
+    /// A parallel block: branch stage counts (branch order); the merge
+    /// stage follows implicitly.
+    Block(Vec<usize>),
+}
+
+/// Converts an existing graph back into builder shape so stages can be
+/// appended after `from_spec`/`from_pipeline`.
+fn shape_of(graph: &StageGraph) -> Vec<ShapeSeg> {
+    graph
+        .segments()
+        .iter()
+        .map(|seg| match seg {
+            Segment::Chain { start, end } => ShapeSeg::Series(end - start),
+            Segment::Parallel { branches, .. } => {
+                ShapeSeg::Block(branches.iter().map(|&(s, e)| e - s).collect())
+            }
+        })
+        .collect()
+}
+
 impl<In: Send + 'static> PipelineBuilder<In, In> {
     /// Starts a pipeline whose inputs have type `In`.
     pub fn new() -> Self {
         PipelineBuilder {
             specs: Vec::new(),
             stages: Vec::new(),
+            shape: Vec::new(),
+            fanouts: Vec::new(),
+            graph_error: None,
             input_bytes: 0,
             source: None,
             sink: None,
@@ -771,26 +879,40 @@ impl<In: Send + 'static> Default for PipelineBuilder<In, In> {
 
 impl PipelineBuilder<u64, u64> {
     /// Builds from an engine-agnostic [`PipelineSpec`] alone: each stage
-    /// becomes an identity function over `u64`, and the feed defaults to
-    /// the item index. The simulation backend only consumes the
-    /// metadata, so this is the natural entry point for simulation
-    /// scenarios (and still runs — trivially — on the threaded backend).
+    /// becomes an identity function over `u64` (merge stages take their
+    /// first branch's value), and the feed defaults to the item index.
+    /// The simulation backend only consumes the metadata, so this is the
+    /// natural entry point for simulation scenarios (and still runs —
+    /// trivially — on the threaded backend). Branched specs (built via
+    /// [`PipelineSpec::with_graph`]) keep their graph.
     pub fn from_spec(spec: PipelineSpec) -> Self {
+        let graph = spec.graph.clone();
         let stages: Vec<Box<dyn DynStage>> = spec
             .stages
             .iter()
-            .map(|s| -> Box<dyn DynStage> {
-                if s.stateless {
+            .enumerate()
+            .map(|(i, s)| -> Box<dyn DynStage> {
+                if graph.merge_block_of(i).is_some() {
+                    Box::new(MergeStage::new(s.name.clone(), |mut parts: Vec<u64>| {
+                        parts.swap_remove(0)
+                    }))
+                } else if s.stateless {
                     Box::new(FnStage::new(s.name.clone(), |x: u64| x))
                 } else {
                     Box::new(StatefulFnStage::new(s.name.clone(), |x: u64| x))
                 }
             })
             .collect();
+        let fanouts = (0..graph.blocks())
+            .map(|b| fan_out_fn::<u64>(graph.branch_count(b)))
+            .collect();
         PipelineBuilder {
             input_bytes: spec.input_bytes,
             source: spec.source,
             sink: spec.sink,
+            shape: shape_of(&graph),
+            fanouts,
+            graph_error: None,
             specs: spec.stages,
             stages,
             policy: Policy::Static,
@@ -808,11 +930,14 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
     /// or signal workloads), keeping its stages and cost metadata; the
     /// unified policy/arrivals/feed declarations still apply.
     pub fn from_pipeline(pipeline: CorePipeline<In, Cur>) -> Self {
-        let (spec, stages) = pipeline.into_parts();
+        let (spec, stages, fanouts) = pipeline.into_graph_parts();
         PipelineBuilder {
             input_bytes: spec.input_bytes,
             source: spec.source,
             sink: spec.sink,
+            shape: shape_of(&spec.graph),
+            fanouts,
+            graph_error: None,
             specs: spec.stages,
             stages,
             policy: Policy::Static,
@@ -926,6 +1051,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         };
         self.stages.push(stage);
         self.specs.push(spec);
+        self.note_series_stage();
         self.retype()
     }
 
@@ -945,13 +1071,93 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         self.stages
             .push(Box::new(StatefulFnStage::new(spec.name.clone(), f)));
         self.specs.push(spec);
+        self.note_series_stage();
         self.retype()
+    }
+
+    /// Fans each item out to the given branch sub-pipelines — the
+    /// series-parallel generalisation of the stage chain. Every branch
+    /// receives its own clone of the item (hence `Cur: Clone`), the
+    /// branches execute concurrently (on the threaded backend) over
+    /// their own placements, and the block must be closed with
+    /// [`ParallelBuilder::merge`] (or
+    /// [`ParallelBuilder::merge_with`]), which folds the branch outputs
+    /// — delivered in branch order — back into one item:
+    ///
+    /// ```
+    /// use adapipe::prelude::*;
+    ///
+    /// let pipeline = Pipeline::<u64>::builder()
+    ///     .stage("decode", |x: u64| x + 1)
+    ///     .parallel(vec![
+    ///         Branch::new().stage("analyze", |x: u64| x * 10),
+    ///         Branch::new().stage("thumbnail", |x: u64| x + 100),
+    ///     ])
+    ///     .merge("combine", |outs: Vec<u64>| outs[0] + outs[1])
+    ///     .build()
+    ///     .expect("valid branched pipeline");
+    /// assert_eq!(pipeline.len(), 4, "two branches + merge + decode");
+    /// ```
+    ///
+    /// Structural rules (typed errors at `build()`): a block needs at
+    /// least two branches ([`BuildError::TooFewBranches`]) and every
+    /// branch at least one stage ([`BuildError::EmptyBranch`]).
+    pub fn parallel<B>(mut self, branches: Vec<Branch<Cur, B>>) -> ParallelBuilder<In, B>
+    where
+        Cur: Clone,
+        B: Send + 'static,
+    {
+        let block = self.fanouts.len();
+        if branches.len() < 2 && self.graph_error.is_none() {
+            self.graph_error = Some(BuildError::TooFewBranches { block });
+        }
+        if branches.iter().any(|b| b.specs.is_empty()) && self.graph_error.is_none() {
+            self.graph_error = Some(BuildError::EmptyBranch { block });
+        }
+        let mut lens = Vec::with_capacity(branches.len());
+        let n = branches.len();
+        for branch in branches {
+            let Branch {
+                specs,
+                stages,
+                cap,
+                _types,
+            } = branch;
+            lens.push(specs.len());
+            for mut spec in specs {
+                // The per-branch replication cap tightens each stateless
+                // stage's own declared bound; stateful stages stay
+                // pinned to width one by the usual rules.
+                if spec.stateless {
+                    spec.max_replicas = spec.max_replicas.min(cap);
+                }
+                self.specs.push(spec);
+            }
+            self.stages.extend(stages);
+        }
+        self.fanouts.push(fan_out_fn::<Cur>(n));
+        ParallelBuilder {
+            builder: self.retype(),
+            branch_lens: lens,
+            _types: PhantomData,
+        }
+    }
+
+    fn note_series_stage(&mut self) {
+        if let Some(ShapeSeg::Series(k)) = self.shape.last_mut() {
+            *k += 1;
+        } else {
+            self.shape.push(ShapeSeg::Series(1));
+        }
     }
 
     fn retype<Out: Send + 'static>(self) -> PipelineBuilder<In, Out> {
         PipelineBuilder {
             specs: self.specs,
             stages: self.stages,
+            shape: self.shape,
+            fanouts: self.fanouts,
+            graph_error: self.graph_error,
             input_bytes: self.input_bytes,
             source: self.source,
             sink: self.sink,
@@ -965,8 +1171,13 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
     }
 
     /// Validates and finalises the pipeline. See the module docs (and
-    /// [`adapipe_runtime::session`]) for the full rule set.
+    /// [`adapipe_runtime::session`]) for the full rule set; branched
+    /// declarations additionally require at least two branches per
+    /// parallel block and a non-empty stage list per branch.
     pub fn build(self) -> Result<Pipeline<In, Cur>, BuildError> {
+        if let Some(err) = self.graph_error {
+            return Err(err);
+        }
         let names: Vec<&str> = self.specs.iter().map(|s| s.name.as_str()).collect();
         session::validate_stage_names(&names)?;
         for spec in &self.specs {
@@ -977,17 +1188,158 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         } else {
             Session::new(self.policy, self.arrivals)?
         };
-        let mut spec = PipelineSpec::new(self.specs);
+        let mut graph = StageGraph::builder();
+        for seg in &self.shape {
+            graph = match seg {
+                ShapeSeg::Series(k) => graph.stages(*k),
+                ShapeSeg::Block(lens) => graph.split(lens),
+            };
+        }
+        let mut spec = PipelineSpec::with_graph(self.specs, graph.build());
         spec.input_bytes = self.input_bytes;
         spec.source = self.source;
         spec.sink = self.sink;
         Ok(Pipeline {
             spec,
             stages: self.stages,
+            fanouts: self.fanouts,
             session,
             feed: self.feed,
             faults: self.faults,
             _types: PhantomData,
         })
+    }
+}
+
+/// A branch sub-pipeline of a [`PipelineBuilder::parallel`] block:
+/// a typed chain of stages from the block's input type `I` to the
+/// branch output `Cur`. All branches of one block must end in the same
+/// output type (the merge receives `Vec` of it, in branch order).
+pub struct Branch<I, Cur = I> {
+    specs: Vec<StageSpec>,
+    stages: Vec<Box<dyn DynStage>>,
+    /// Per-branch replication cap, tightening each stage's own bound.
+    cap: usize,
+    _types: PhantomData<fn(I) -> Cur>,
+}
+
+impl<I: Send + 'static> Branch<I, I> {
+    /// Starts a branch whose input (the fanned-out item) has type `I`.
+    pub fn new() -> Self {
+        Branch {
+            specs: Vec::new(),
+            stages: Vec::new(),
+            cap: usize::MAX,
+            _types: PhantomData,
+        }
+    }
+}
+
+impl<I: Send + 'static> Default for Branch<I, I> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: Send + 'static, Cur: Send + 'static> Branch<I, Cur> {
+    /// Appends a stateless stage with default cost metadata.
+    pub fn stage<Out, F>(self, name: impl Into<String>, f: F) -> Branch<I, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        self.stage_with(StageSpec::balanced(name, 1.0, 0), f)
+    }
+
+    /// Appends a stateless stage replicable up to `replicas` nodes.
+    pub fn stage_replicated<Out, F>(
+        self,
+        name: impl Into<String>,
+        f: F,
+        replicas: usize,
+    ) -> Branch<I, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        self.stage_with(StageSpec::balanced(name, 1.0, 0).with_replicas(replicas), f)
+    }
+
+    /// Appends a stage with explicit cost metadata (stateful specs
+    /// produce never-replicated stage instances, as on the main
+    /// builder).
+    pub fn stage_with<Out, F>(mut self, spec: StageSpec, f: F) -> Branch<I, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Out + Send + Clone + 'static,
+    {
+        let stage: Box<dyn DynStage> = if spec.stateless {
+            Box::new(FnStage::new(spec.name.clone(), f))
+        } else {
+            Box::new(StatefulFnStage::new(spec.name.clone(), f))
+        };
+        self.stages.push(stage);
+        self.specs.push(spec);
+        Branch {
+            specs: self.specs,
+            stages: self.stages,
+            cap: self.cap,
+            _types: PhantomData,
+        }
+    }
+
+    /// Declares the branch-wide replication cap: no stage of this
+    /// branch may be farmed wider, on top of each stage's own declared
+    /// bound. A cap of zero is rejected at `build()` like any other
+    /// zero replica bound.
+    pub fn replicas(mut self, cap: usize) -> Self {
+        self.cap = cap;
+        self
+    }
+}
+
+/// A [`PipelineBuilder`] whose last declaration was an open
+/// [`PipelineBuilder::parallel`] block: the only way forward is
+/// [`ParallelBuilder::merge`] / [`ParallelBuilder::merge_with`], so an
+/// unmerged block is unrepresentable.
+pub struct ParallelBuilder<In, B> {
+    builder: PipelineBuilder<In, ()>,
+    branch_lens: Vec<usize>,
+    _types: PhantomData<fn() -> B>,
+}
+
+impl<In: Send + 'static, B: Send + 'static> ParallelBuilder<In, B> {
+    /// Closes the parallel block with a merge stage of default cost
+    /// metadata: `f` receives one output per branch, in branch order,
+    /// and folds them into the block's single output.
+    pub fn merge<Out, F>(self, name: impl Into<String>, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Vec<B>) -> Out + Send + Clone + 'static,
+    {
+        self.merge_with(StageSpec::balanced(name, 1.0, 0), f)
+    }
+
+    /// Closes the parallel block with a merge stage carrying explicit
+    /// cost metadata. A spec marked stateful pins the merge to width
+    /// one (it may accumulate across items).
+    pub fn merge_with<Out, F>(self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        F: FnMut(Vec<B>) -> Out + Send + Clone + 'static,
+    {
+        let mut builder = self.builder;
+        let stage: Box<dyn DynStage> = if spec.stateless {
+            Box::new(MergeStage::new(spec.name.clone(), f))
+        } else {
+            Box::new(SealedStage::new(Box::new(MergeStage::new(
+                spec.name.clone(),
+                f,
+            ))))
+        };
+        builder.stages.push(stage);
+        builder.specs.push(spec);
+        builder.shape.push(ShapeSeg::Block(self.branch_lens));
+        builder.retype()
     }
 }

@@ -13,15 +13,20 @@
 //! |---|---|
 //! | [`gridsim`] | deterministic discrete-event grid substrate |
 //! | [`monitor`] | NWS-style measurement + forecasting |
-//! | [`mapper`] | throughput model + mapping optimisers |
+//! | [`mapper`] | series-parallel stage graphs, throughput model + mapping optimisers |
 //! | [`runtime`] | backend-agnostic adaptive runtime: routing table, adaptation loop, controller, policies, reports, sessions |
-//! | [`core`] | the skeleton: stages, specs, and the simulation backend |
+//! | [`core`] | the skeleton: stages, specs, stage graphs, and the simulation backend |
 //! | [`engine`] | threaded backend with synthetic heterogeneity |
 //! | [`workloads`] | cost models, imaging & signal pipelines, scenarios |
 //!
 //! Both execution backends sit under the shared [`runtime`] layer and
 //! behind the one [`api::Pipeline`] surface (see `README.md` for the
-//! diagram and a "writing a new backend" guide).
+//! diagram and a "writing a new backend" guide). The stage topology is
+//! a first-class *series-parallel graph*: linear chains are the
+//! degenerate case, and [`api::PipelineBuilder::parallel`] /
+//! [`api::ParallelBuilder::merge`] declare fan-out/fan-in branches that
+//! both backends execute with item-identical merged outputs (see the
+//! README's "Composing skeletons").
 //!
 //! ## Quickstart
 //!
@@ -148,8 +153,8 @@ pub use adapipe_workloads as workloads;
 /// builder remains at [`core::pipeline`].
 pub mod prelude {
     pub use crate::api::{
-        ArrivalProcess, Backend, BuildError, Pipeline, PipelineBuilder, RunConfig, RunError,
-        RunEvent, RunHandle, RunHooks, RunSession, TryNext,
+        ArrivalProcess, Backend, Branch, BuildError, ParallelBuilder, Pipeline, PipelineBuilder,
+        RunConfig, RunError, RunEvent, RunHandle, RunHooks, RunSession, TryNext,
     };
     pub use adapipe_core::prelude::*;
     pub use adapipe_engine::prelude::*;

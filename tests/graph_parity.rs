@@ -1,0 +1,329 @@
+//! Series-parallel stage-graph acceptance suite.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Strict generalisation** — a linear pipeline expressed through an
+//!    explicit [`StageGraph::linear`] reproduces the pre-refactor
+//!    planner decision and the pre-refactor `RunReport` exactly (the
+//!    graph machinery must not perturb the chain case by a bit);
+//! 2. **Cross-backend branch parity** — the same branched scenario run
+//!    on `Backend::Sim` and `Backend::Threads` yields item-identical
+//!    merged outputs, including under mid-stream loss of a node hosting
+//!    one branch (zero lost items, forced re-map excluding the dead
+//!    node, at-least-once replay with branch identity on the events).
+
+use adapipe::prelude::*;
+use std::time::Duration;
+
+fn n(i: usize) -> NodeId {
+    NodeId(i)
+}
+
+// --- 1. linear pipelines are the degenerate graph ----------------------
+
+#[test]
+fn linear_graph_reproduces_pre_refactor_planner_decision() {
+    let stages = || {
+        vec![
+            StageSpec::balanced("a", 2.0, 20_000),
+            StageSpec::balanced("b", 1.0, 5_000),
+            StageSpec::balanced("c", 3.0, 20_000),
+            StageSpec::balanced("d", 0.5, 1_000),
+        ]
+    };
+    let implicit = PipelineSpec::new(stages());
+    let explicit = PipelineSpec::with_graph(stages(), StageGraph::linear(4));
+
+    let grid = testbed_hetero8(42);
+    let rates = grid.rates_at(SimTime::ZERO);
+    let cfg = PlannerConfig::default();
+    let plan_implicit = plan(&implicit.profile(), &rates, grid.topology(), &cfg);
+    let plan_explicit = plan(&explicit.profile(), &rates, grid.topology(), &cfg);
+    assert_eq!(plan_implicit.mapping, plan_explicit.mapping);
+    assert_eq!(
+        plan_implicit.prediction.throughput.to_bits(),
+        plan_explicit.prediction.throughput.to_bits()
+    );
+    assert_eq!(
+        plan_implicit.prediction.latency.to_bits(),
+        plan_explicit.prediction.latency.to_bits()
+    );
+    assert_eq!(plan_implicit.strategy, plan_explicit.strategy);
+}
+
+#[test]
+fn linear_graph_reproduces_pre_refactor_run_report_on_fixed_seed() {
+    use adapipe::core::simengine::{run, SimConfig};
+    let stages = || {
+        vec![
+            StageSpec::balanced("a", 1.0, 10_000),
+            StageSpec::balanced("b", 1.0, 10_000),
+            StageSpec::balanced("c", 1.0, 10_000),
+            StageSpec::balanced("d", 1.0, 10_000),
+        ]
+    };
+    let mut implicit = PipelineSpec::new(stages());
+    implicit.input_bytes = 10_000;
+    let mut explicit = PipelineSpec::with_graph(stages(), StageGraph::linear(4));
+    explicit.input_bytes = 10_000;
+
+    let grid = testbed_hetero8(42);
+    let cfg = SimConfig {
+        items: 250,
+        policy: Policy::periodic_default(),
+        observation_noise: 0.05,
+        noise_seed: 1234,
+        ..SimConfig::default()
+    };
+    let a = run(&grid, &implicit, &cfg);
+    let b = run(&grid, &explicit, &cfg);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(
+        a.makespan, b.makespan,
+        "graph machinery perturbed the chain"
+    );
+    assert_eq!(a.mean_latency, b.mean_latency);
+    assert_eq!(a.final_mapping, b.final_mapping);
+    assert_eq!(a.adaptations.len(), b.adaptations.len());
+    assert_eq!(a.planning_cycles, b.planning_cycles);
+    assert_eq!(a.replays, b.replays);
+}
+
+// --- 2. branched scenarios agree across backends ------------------------
+
+/// Fast stages feed a deliberately slow thumbnail branch, so a backlog
+/// piles up behind it (the fault test kills its host mid-backlog).
+const FAST_SECS: f64 = 0.002;
+const SLOW_SECS: f64 = 0.008;
+const ITEMS: u64 = 150;
+
+/// decode → (analyze ‖ thumbnail) → combine, with real per-item spin so
+/// the threaded backend exercises genuine concurrency. Flattened stage
+/// ids: decode=0, analyze=1, thumbnail=2, combine=3.
+fn branched_scenario(policy: Policy) -> Pipeline<u64, u64> {
+    let spin = |secs: f64, x: u64| {
+        spin_for(Duration::from_secs_f64(secs));
+        x
+    };
+    Pipeline::<u64>::builder()
+        .stage_with(
+            StageSpec::balanced("decode", FAST_SECS, 8),
+            move |x: u64| spin(FAST_SECS, x) + 1,
+        )
+        .parallel(vec![
+            Branch::new().stage_with(
+                StageSpec::balanced("analyze", FAST_SECS, 8),
+                move |x: u64| spin(FAST_SECS, x) * 10,
+            ),
+            Branch::new().stage_with(
+                StageSpec::balanced("thumbnail", SLOW_SECS, 8),
+                move |x: u64| spin(SLOW_SECS, x) + 100,
+            ),
+        ])
+        .merge_with(
+            StageSpec::balanced("combine", FAST_SECS, 8),
+            |outs: Vec<u64>| outs[0] + outs[1],
+        )
+        .policy(policy)
+        .build()
+        .expect("branched scenario builds")
+}
+
+fn expected_outputs() -> Vec<u64> {
+    (0..ITEMS).map(|x| (x + 1) * 10 + (x + 1) + 100).collect()
+}
+
+fn scenario_grid() -> GridSpec {
+    let nodes = (0..3)
+        .map(|i| Node::new(NodeSpec::new(format!("n{i}"), 1.0, 1), LoadModel::free()))
+        .collect();
+    GridSpec::new(nodes, Topology::uniform(3, LinkSpec::local()))
+}
+
+fn scenario_vnodes() -> Vec<VNodeSpec> {
+    (0..3).map(|i| VNodeSpec::free(format!("v{i}"))).collect()
+}
+
+fn push_all_and_drain(
+    pipeline: Pipeline<u64, u64>,
+    backend: Backend<'_>,
+    cfg: RunConfig,
+) -> RunHandle<u64> {
+    let mut session = pipeline.spawn(backend, cfg).expect("spawn");
+    for i in 0..ITEMS {
+        session.push(i);
+    }
+    session.drain()
+}
+
+#[test]
+fn branched_outputs_are_item_identical_across_backends() {
+    let cfg = || RunConfig {
+        items: ITEMS,
+        ..RunConfig::default()
+    };
+    let grid = scenario_grid();
+    let sim = push_all_and_drain(
+        branched_scenario(Policy::Static),
+        Backend::Sim(&grid),
+        cfg(),
+    );
+    let threaded = push_all_and_drain(
+        branched_scenario(Policy::Static),
+        Backend::Threads(scenario_vnodes()),
+        cfg(),
+    );
+    assert_eq!(sim.report.completed, ITEMS);
+    assert_eq!(threaded.report.completed, ITEMS);
+    assert!(sim.error.is_none() && threaded.error.is_none());
+    assert_eq!(sim.outputs, expected_outputs(), "sim outputs drifted");
+    assert_eq!(
+        threaded.outputs, sim.outputs,
+        "backends disagree on merged outputs"
+    );
+}
+
+#[test]
+fn losing_a_branch_host_mid_stream_is_survived_identically() {
+    // Stage hosts: decode→n0, analyze→n0, thumbnail→n1, combine→n2;
+    // n1 — the thumbnail branch's only host — dies at 0.15 s with a
+    // deep backlog queued. Both backends must mark it down, force a
+    // re-map excluding it, replay the stranded branch items, and lose
+    // nothing.
+    let mapping = Mapping::new(vec![
+        Placement::single(n(0)),
+        Placement::single(n(0)),
+        Placement::single(n(1)),
+        Placement::single(n(2)),
+    ]);
+    let faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(0.15));
+    let policy = Policy::Periodic {
+        interval: SimDuration::from_millis(100),
+    };
+    let cfg = || RunConfig {
+        items: ITEMS,
+        initial_mapping: Some(mapping.clone()),
+        faults: faults.clone(),
+        ..RunConfig::default()
+    };
+
+    let grid = scenario_grid();
+    let run_one = |backend: Backend<'_>| {
+        let events = {
+            let pipeline = branched_scenario(policy);
+            let mut session = pipeline.spawn(backend, cfg()).expect("spawn");
+            let events = session.events();
+            for i in 0..ITEMS {
+                session.push(i);
+            }
+            (session.drain(), events)
+        };
+        events
+    };
+    let (sim, sim_events) = run_one(Backend::Sim(&grid));
+    let (threaded, threaded_events) = run_one(Backend::Threads(scenario_vnodes()));
+
+    for (tag, handle) in [("sim", &sim), ("threads", &threaded)] {
+        assert_eq!(handle.report.completed, ITEMS, "{tag}: items lost");
+        assert!(!handle.report.truncated, "{tag}: truncated");
+        assert!(handle.error.is_none(), "{tag}: {:?}", handle.error);
+        assert!(
+            !handle.report.final_mapping.nodes_used().contains(&n(1)),
+            "{tag}: dead node still mapped: {}",
+            handle.report.final_mapping
+        );
+        assert!(handle.report.replays > 0, "{tag}: backlog must replay");
+        assert!(
+            handle.report.node_downtime[1] > SimDuration::ZERO,
+            "{tag}: downtime unreported"
+        );
+    }
+    assert_eq!(sim.outputs, expected_outputs());
+    assert_eq!(
+        threaded.outputs, sim.outputs,
+        "backends disagree on merged outputs after the crash"
+    );
+
+    // Both event streams observed the death, and every replay of the
+    // thumbnail stage carries its branch identity (block 0, branch 1).
+    for (tag, events) in [("sim", sim_events), ("threads", threaded_events)] {
+        let seen: Vec<_> = events.try_iter().collect();
+        assert!(
+            seen.iter()
+                .any(|e| matches!(e, RunEvent::NodeDown { node: 1, .. })),
+            "{tag}: NodeDown unseen"
+        );
+        let mut replayed_thumbnail = 0;
+        for event in &seen {
+            if let RunEvent::ItemReplayed { stage, branch, .. } = event {
+                if *stage == 2 {
+                    assert_eq!(
+                        *branch,
+                        Some((0, 1)),
+                        "{tag}: replay lost its branch identity"
+                    );
+                    replayed_thumbnail += 1;
+                }
+            }
+        }
+        assert!(
+            replayed_thumbnail > 0,
+            "{tag}: no thumbnail-branch replays observed"
+        );
+    }
+}
+
+// --- 3. structural validation at build() --------------------------------
+
+#[test]
+fn parallel_block_structure_is_validated_typed() {
+    let one_branch = Pipeline::<u64>::builder()
+        .stage("pre", |x: u64| x)
+        .parallel(vec![Branch::new().stage("only", |x: u64| x)])
+        .merge("join", |outs: Vec<u64>| outs[0])
+        .build();
+    assert!(matches!(
+        one_branch.unwrap_err(),
+        BuildError::TooFewBranches { block: 0 }
+    ));
+
+    let empty_branch = Pipeline::<u64>::builder()
+        .stage("pre", |x: u64| x)
+        .parallel(vec![Branch::new().stage("a", |x: u64| x), Branch::new()])
+        .merge("join", |outs: Vec<u64>| outs[0])
+        .build();
+    assert!(matches!(
+        empty_branch.unwrap_err(),
+        BuildError::EmptyBranch { block: 0 }
+    ));
+
+    // Duplicate names across branches are caught like any duplicate.
+    let dup = Pipeline::<u64>::builder()
+        .parallel(vec![
+            Branch::new().stage("same", |x: u64| x),
+            Branch::new().stage("same", |x: u64| x),
+        ])
+        .merge("join", |outs: Vec<u64>| outs[0])
+        .build();
+    assert!(matches!(
+        dup.unwrap_err(),
+        BuildError::DuplicateStage { .. }
+    ));
+}
+
+#[test]
+fn per_branch_replica_caps_flow_into_the_profile() {
+    let pipeline = Pipeline::<u64>::builder()
+        .parallel(vec![
+            Branch::new()
+                .stage_replicated("wide", |x: u64| x, 8)
+                .replicas(2), // branch cap tightens the stage's own bound
+            Branch::new().stage("free", |x: u64| x),
+        ])
+        .merge("join", |outs: Vec<u64>| outs[0])
+        .build()
+        .expect("valid");
+    let profile = pipeline.spec().profile();
+    assert_eq!(profile.replica_cap[0], 2, "branch cap must win");
+    assert_eq!(profile.replica_cap[1], usize::MAX);
+}

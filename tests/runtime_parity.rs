@@ -3,8 +3,7 @@
 //! execution backends, because both run the same adaptive runtime and
 //! both now sit behind one `Pipeline::builder()` surface. One scenario —
 //! a node collapsing shortly after launch — is written exactly once and
-//! parameterised by [`Backend`]; the deprecated `sim_run`/`run_pipeline`
-//! shims are exercised too and must agree with the builder path.
+//! parameterised by [`Backend`].
 
 use adapipe::prelude::*;
 use std::time::Duration;
@@ -135,69 +134,6 @@ fn parity_under_reactive_policy() {
         interval: SimDuration::from_millis(200),
         degradation: 0.6,
     });
-}
-
-// --- deprecated shims --------------------------------------------------
-// The legacy entry points must keep compiling, emit deprecation
-// warnings (suppressed here), and produce the same observable outcome
-// as the builder path they delegate to.
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_sim_shim_matches_builder_path() {
-    let grid = scenario_grid();
-    let policy = Policy::Periodic {
-        interval: SimDuration::from_millis(200),
-    };
-    let via_builder = scenario(policy)
-        .run(Backend::Sim(&grid), scenario_cfg(7))
-        .expect("builder path")
-        .report;
-
-    let spec = PipelineSpec::new(vec![stage_spec("a"), stage_spec("b")]);
-    let cfg = SimConfig {
-        items: ITEMS,
-        policy,
-        initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1)])),
-        observation_noise: 0.05,
-        noise_seed: 7,
-        timeline_bucket: SimDuration::from_millis(500),
-        ..SimConfig::default()
-    };
-    let via_shim = sim_run(&grid, &spec, &cfg);
-
-    // The simulator is deterministic, so the shim must agree exactly.
-    assert_eq!(via_shim.completed, via_builder.completed);
-    assert_eq!(via_shim.makespan, via_builder.makespan);
-    assert_eq!(via_shim.adaptation_count(), via_builder.adaptation_count());
-    assert_eq!(via_shim.planning_cycles, via_builder.planning_cycles);
-    assert_eq!(via_shim.final_mapping, via_builder.final_mapping);
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_threaded_shim_still_runs() {
-    use adapipe::core::pipeline::PipelineBuilder as CoreBuilder;
-    let pipeline = CoreBuilder::<u64>::new()
-        .stage(stage_spec("a"), |x: u64| {
-            spin_for(Duration::from_secs_f64(STAGE_SECS));
-            x + 1
-        })
-        .stage(stage_spec("b"), |x: u64| {
-            spin_for(Duration::from_secs_f64(STAGE_SECS));
-            x + 1
-        })
-        .build();
-    let mut cfg = EngineConfig::new(scenario_vnodes());
-    cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
-    cfg.policy = Policy::Periodic {
-        interval: SimDuration::from_millis(200),
-    };
-    let outcome = run_pipeline(pipeline, (0..ITEMS).collect(), &cfg);
-    assert_eq!(outcome.report.completed, ITEMS);
-    assert!(outcome.report.adaptation_count() >= 1);
-    let expect: Vec<u64> = (0..ITEMS).map(|x| x + 2).collect();
-    assert_eq!(outcome.outputs, expect);
 }
 
 // --- adaptation behaviour on the threaded backend alone ---------------
