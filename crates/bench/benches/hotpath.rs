@@ -1,0 +1,92 @@
+//! Threaded data-plane throughput ceiling: trivial stages over batched
+//! envelopes (`batch_size = 256`), lock-free epoch-snapshot routing,
+//! and the work-stealing replica pool, at 100k and 1M items. Where the
+//! `streaming` bench bounds the *session surface* tax at per-item
+//! batch sizes, this one measures the wire itself — items/s with
+//! plumbing amortised across whole envelopes.
+//!
+//! CI gates on absolute floors derived from this file (see
+//! `.github/workflows/ci.yml`): ≥ 2M items/s at 1M items, and ≥ 2× the
+//! per-item `threads_session_push` rate from the streaming baseline.
+//!
+//! `cargo bench -p adapipe-bench --bench hotpath`
+//!
+//! Regenerate the committed baseline with:
+//! `ADAPIPE_BENCH_JSON=$PWD/BENCH_hotpath.json \
+//!     cargo bench -p adapipe-bench --bench hotpath`
+
+use adapipe::api::{Backend, Pipeline, RunConfig};
+use adapipe_engine::vnode::VNodeSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Same trivial 2-stage shape as the streaming bench: all plumbing, no
+/// work, so the numbers are the data plane's own ceiling.
+fn pipeline() -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage("inc", |x: u64| x + 1)
+        .stage("double", |x: u64| x * 2)
+        .feed(|i| i)
+        .build()
+        .expect("valid pipeline")
+}
+
+fn vnodes() -> Vec<VNodeSpec> {
+    vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]
+}
+
+fn cfg(items: u64) -> RunConfig {
+    RunConfig {
+        items,
+        batch_size: 256,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    for items in [100_000u64, 1_000_000] {
+        // Batched run(): AllAtOnce arrivals feed the whole stream
+        // through `push_batch`, the fastest path end to end.
+        group.bench_with_input(
+            BenchmarkId::new("threads_batch_run", items),
+            &items,
+            |b, &items| {
+                b.iter(|| {
+                    pipeline()
+                        .run(Backend::Threads(vnodes()), cfg(items))
+                        .expect("batch run")
+                })
+            },
+        );
+        // Live session driven through `push_batch` in envelope-sized
+        // chunks — the streaming producer's fast path.
+        group.bench_with_input(
+            BenchmarkId::new("threads_session_push_batch", items),
+            &items,
+            |b, &items| {
+                b.iter(|| {
+                    let mut session = pipeline()
+                        .spawn(Backend::Threads(vnodes()), cfg(items))
+                        .expect("spawn");
+                    let mut next = 0u64;
+                    while next < items {
+                        let hi = (next + 4096).min(items);
+                        session.push_batch(next..hi);
+                        next = hi;
+                    }
+                    session.drain()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -113,8 +113,13 @@ impl Default for SimConfig {
 
 #[derive(Debug)]
 enum Ev {
-    /// Item enters the system at the source.
-    Arrive { item: u64 },
+    /// A contiguous run of items (`first .. first + count`) enters the
+    /// system at the source. Session pushes landing at the same
+    /// simulated instant coalesce into one event
+    /// ([`SimStepper::push_at`]), so a tight push loop schedules O(1)
+    /// events instead of one per item; the handler replays the items in
+    /// sequence order, reproducing the per-item event order exactly.
+    Arrive { first: u64, count: u64 },
     /// Item lands at a stage instance (stage == Ns means "delivered").
     StageIn {
         item: u64,
@@ -203,6 +208,12 @@ struct SimWorld<'a> {
     /// ([`crate::spec::StageGraph::feed_bytes`]) — hot-path forwarding
     /// must not walk the graph per item.
     bytes_into: Vec<u64>,
+    /// The pipeline's entry stage(s), precomputed once — arrivals must
+    /// not rebuild the fan-out entry list per item.
+    entry_stages: Vec<usize>,
+    /// Branch entry stages per parallel block, precomputed once —
+    /// fan-out dispatch must not allocate a fresh `Vec` per item.
+    block_entries: Vec<Vec<usize>>,
     /// Branch outputs that reached a merge stage so far, per
     /// `(block, item)`; the merge task is enqueued when the count hits
     /// the block's branch count. Entries live only while a join is in
@@ -244,6 +255,12 @@ pub struct SimStepper<'a> {
     /// batch arrivals keep their historical head position in the event
     /// order.
     control_scheduled: bool,
+    /// Coalesced arrival run not yet in the event queue:
+    /// `(instant, first item, count)`. Contiguous same-instant pushes
+    /// extend it in place; it flushes as one `Ev::Arrive` at the next
+    /// step (before any lazily scheduled control event, preserving the
+    /// historical arrivals-first insertion order).
+    pending_arrival: Option<(SimTime, u64, u64)>,
     pushed: u64,
     closed: bool,
     /// Set once the event queue starved or the horizon was crossed:
@@ -323,6 +340,14 @@ impl<'a> SimStepper<'a> {
         let bytes_into = (0..ns)
             .map(|s| spec.graph.feed_bytes(s, &boundary))
             .collect();
+        let entry_stages = match spec.graph.entry() {
+            Next::Stage(stage) => vec![stage],
+            Next::FanOut { block } => spec.graph.branch_entries(block),
+            _ => unreachable!("pipelines enter at a stage or a fan-out"),
+        };
+        let block_entries = (0..spec.graph.blocks())
+            .map(|b| spec.graph.branch_entries(b))
+            .collect();
         let world = SimWorld {
             grid,
             ns,
@@ -340,6 +365,8 @@ impl<'a> SimStepper<'a> {
             link_q: HashMap::new(),
             arrival_time: HashMap::new(),
             bytes_into,
+            entry_stages,
+            block_entries,
             join_arrived: HashMap::new(),
             merge_dest: HashMap::new(),
             node_busy: vec![SimDuration::ZERO; np],
@@ -354,6 +381,7 @@ impl<'a> SimStepper<'a> {
             routing: RwLock::new(RoutingTable::with_selection(mapping, cfg.selection, np)),
             aloop,
             control_scheduled: false,
+            pending_arrival: None,
             pushed: 0,
             closed: false,
             exhausted: false,
@@ -397,8 +425,23 @@ impl<'a> SimStepper<'a> {
         let item = self.pushed;
         self.pushed += 1;
         let at = at.max(self.world.events.now());
-        self.world.events.schedule(at, Ev::Arrive { item });
+        match self.pending_arrival {
+            // Contiguous push at the same instant: extend the pending
+            // run instead of scheduling another event.
+            Some((t, _, ref mut count)) if t == at => *count += 1,
+            _ => {
+                self.flush_arrivals();
+                self.pending_arrival = Some((at, item, 1));
+            }
+        }
         item
+    }
+
+    /// Moves the coalesced arrival run (if any) into the event queue.
+    fn flush_arrivals(&mut self) {
+        if let Some((at, first, count)) = self.pending_arrival.take() {
+            self.world.events.schedule(at, Ev::Arrive { first, count });
+        }
     }
 
     /// Declares the input stream complete: no further `push_at`, and
@@ -417,6 +460,10 @@ impl<'a> SimStepper<'a> {
         if self.exhausted {
             return false;
         }
+        // Buffered arrivals enter the queue first: they were pushed
+        // before this step, so they precede any control event scheduled
+        // below (same tie-break order as unbatched per-push scheduling).
+        self.flush_arrivals();
         // Control events enter the queue lazily at the first step so
         // arrivals injected before any stepping (the batch wrapper)
         // keep their historical head position in the event order.
@@ -445,9 +492,11 @@ impl<'a> SimStepper<'a> {
         }
         self.world.now = now;
         match ev {
-            Ev::Arrive { item } => {
+            Ev::Arrive { first, count } => {
                 let table = self.routing.read().expect("routing lock poisoned");
-                self.world.on_arrive(&table, item, now);
+                for item in first..first + count {
+                    self.world.on_arrive(&table, item, now);
+                }
             }
             Ev::StageIn { item, stage, node } => {
                 let table = self.routing.read().expect("routing lock poisoned");
@@ -563,12 +612,8 @@ impl SimWorld<'_> {
 
     fn on_arrive(&mut self, routing: &RoutingTable, item: u64, now: SimTime) {
         self.arrival_time.insert(item, now);
-        let entries = match self.spec.graph.entry() {
-            Next::Stage(stage) => vec![stage],
-            Next::FanOut { block } => self.spec.graph.branch_entries(block),
-            _ => unreachable!("pipelines enter at a stage or a fan-out"),
-        };
-        for stage in entries {
+        for i in 0..self.entry_stages.len() {
+            let stage = self.entry_stages[i];
             let dest = self.route_item(routing, stage);
             let at = match self.spec.source {
                 Some(src) => self.transfer(src.index(), dest, self.spec.input_bytes, now),
@@ -701,7 +746,8 @@ impl SimWorld<'_> {
             }
             Next::FanOut { block } => {
                 // One copy per branch, dispatched in branch order.
-                for entry in self.spec.graph.branch_entries(block) {
+                for i in 0..self.block_entries[block].len() {
+                    let entry = self.block_entries[block][i];
                     let dest = self.route_item(routing, entry);
                     let at = self.transfer(node, dest, out_bytes, now);
                     self.events.schedule(

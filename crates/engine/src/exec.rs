@@ -1,11 +1,25 @@
 //! The threaded execution engine.
 //!
-//! One worker thread per virtual node; items travel as type-erased
-//! envelopes through per-worker channels. A worker receiving an envelope
-//! for a stage it no longer hosts forwards it according to the shared
-//! routing table, so the controller can re-map a *running* pipeline by
-//! swapping that table — the same drain-and-forward semantics the
-//! simulator models.
+//! One worker thread per virtual node; items travel in type-erased
+//! *batched envelopes* (up to `EngineConfig::batch_size` items each)
+//! through per-worker inboxes. Routing is lock-free on the hot path:
+//! senders route each batch against an immutable [`RoutingSnapshot`]
+//! cached per thread and revalidated with one atomic epoch load — the
+//! controller re-maps a *running* pipeline by publishing a new snapshot
+//! (never by stalling readers behind a lock). Every envelope carries
+//! the epoch it was routed under; a worker receiving an envelope for a
+//! stage it no longer hosts re-homes it to the stage's current hosts —
+//! the same drain-and-forward semantics the simulator models, with the
+//! epoch stamp as the staleness proof (a current-epoch envelope always
+//! lands on a current host).
+//!
+//! Replicated stateless stages form a *work-stealing pool*: each worker
+//! pulls from its own inbox, and when it runs dry it scans the tail of
+//! its siblings' inboxes for stealable envelopes (stateless stage, this
+//! worker is a current co-host, current epoch) instead of going to
+//! sleep. A sender whose destination inbox is backing up additionally
+//! wakes one idle co-host, so a hot replica sheds load without waiting
+//! for the controller to rebalance.
 //!
 //! This module is the *threaded backend* of the shared adaptive
 //! runtime: routing goes through `adapipe-runtime`'s [`RoutingTable`],
@@ -72,7 +86,7 @@ use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
 use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
-use adapipe_runtime::routing::RoutingTable;
+use adapipe_runtime::routing::{RoutingSnapshot, RoutingTable};
 use adapipe_runtime::session::{RunError, RunEvent, RunHooks, SessionControl, TryNext};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
@@ -124,6 +138,15 @@ pub struct EngineConfig {
     /// `capacity × (stages + 1)` so `push()` blocks under backpressure.
     /// `None` = unbounded (the legacy batch behaviour). Must be ≥ 1.
     pub queue_capacity: Option<usize>,
+    /// Envelope batch granularity: the session coalesces up to this
+    /// many pushed items into one routed envelope, and stage exits ship
+    /// their outputs in like-sized batches, amortising channel-send,
+    /// routing, and credit overhead. `1` (the default) reproduces the
+    /// per-item wire behaviour exactly; the credit gate always accounts
+    /// per *item* regardless. Buffered input is flushed on
+    /// [`EngineSession::close`], on any output-side call, and whenever
+    /// the credit gate would block.
+    pub batch_size: usize,
     /// In-flight steering flags shared with a live session.
     pub control: SessionControl,
     /// Scheduled faults, with times read as wall-clock offsets from
@@ -154,6 +177,7 @@ impl EngineConfig {
             emulate_links: false,
             hooks: RunHooks::default(),
             queue_capacity: None,
+            batch_size: 1,
             control: SessionControl::default(),
             faults: FaultPlan::new(),
         }
@@ -178,11 +202,22 @@ pub struct EngineOutcome<O> {
     pub report: RunReport,
 }
 
-struct Envelope {
+/// One in-flight item: its sequence number, birth time, and payload.
+struct ItemSlot {
     seq: u64,
-    stage: usize,
     born: Instant,
     payload: BoxedItem,
+}
+
+/// A routed batch of items bound for one stage on one worker.
+struct Envelope {
+    stage: usize,
+    /// The routing epoch the sender routed this envelope under. A
+    /// receiver that no longer hosts `stage` uses the mismatch with its
+    /// own (current) epoch as proof the envelope is stale and re-homes
+    /// it; a current-epoch envelope always lands on a current host.
+    epoch: u64,
+    items: Vec<ItemSlot>,
 }
 
 enum Msg {
@@ -205,17 +240,65 @@ struct Finished {
     payload: BoxedItem,
 }
 
+/// A worker's inbox: a mutex-guarded deque rather than an mpsc channel
+/// so that (a) senders learn the post-push depth (the steal wake-up
+/// heuristic) and (b) idle siblings can *steal* work envelopes from the
+/// tail. The `idle` flag implements a lost-wakeup-free hand-off with
+/// thieves: a worker advertises idleness before scanning siblings, and
+/// anyone wanting to wake it clears the flag first — a cleared flag
+/// makes a waiting thief loop back and re-scan instead of sleeping
+/// through the notification.
+struct Inbox {
+    queue: Mutex<VecDeque<Msg>>,
+    ready: Condvar,
+    idle: AtomicBool,
+}
+
+impl Inbox {
+    fn new() -> Self {
+        Inbox {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            idle: AtomicBool::new(false),
+        }
+    }
+
+    /// Enqueues `msg` and returns the resulting queue depth.
+    fn send(&self, msg: Msg) -> usize {
+        let mut q = self.queue.lock().expect("inbox lock poisoned");
+        q.push_back(msg);
+        let depth = q.len();
+        drop(q);
+        // The owner re-checks the queue under the lock before waiting,
+        // so notifying without the lock cannot lose the wakeup.
+        self.ready.notify_one();
+        depth
+    }
+
+    /// Wakes the owning worker if it advertised idleness; true if a
+    /// wake was delivered. Clearing `idle` before notifying is what
+    /// makes the hand-off race-free (see the struct docs).
+    fn wake_if_idle(&self) -> bool {
+        if self.idle.swap(false, Ordering::SeqCst) {
+            let guard = self.queue.lock().expect("inbox lock poisoned");
+            self.ready.notify_one();
+            drop(guard);
+            true
+        } else {
+            false
+        }
+    }
+}
+
 /// Collector-side control plane, multiplexed with finished items.
 enum SinkMsg {
-    Done(Finished),
+    /// A batch of finished items (one message per processed envelope
+    /// that ended at the sink).
+    Done(Vec<Finished>),
     /// The input stream is closed; `expected` items were pushed.
-    Closed {
-        expected: u64,
-    },
+    Closed { expected: u64 },
     /// Stop collecting immediately (session abort).
-    Abort {
-        pushed: u64,
-    },
+    Abort { pushed: u64 },
     /// Stop collecting: the run failed fatally (the typed error is on
     /// the shared `SessionControl`). Unlike `Abort`, the expected count
     /// is left as declared, so the report honestly shows truncation.
@@ -260,10 +343,28 @@ impl Credits {
         Some(t0.elapsed())
     }
 
-    fn release(&self) {
+    /// Non-blocking acquire; true if a slot was taken (or the gate is
+    /// broken — same contract as [`Credits::acquire`], which also
+    /// proceeds when broken). The session uses this to decide whether
+    /// it can keep buffering input or must flush before blocking.
+    fn try_acquire(&self) -> bool {
         let mut available = self.available.lock().expect("credit lock poisoned");
-        *available += 1;
-        self.freed.notify_one();
+        if *available > 0 || self.broken.load(Ordering::SeqCst) {
+            *available = available.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_n(&self, n: u64) {
+        let mut available = self.available.lock().expect("credit lock poisoned");
+        *available += n;
+        if n == 1 {
+            self.freed.notify_one();
+        } else {
+            self.freed.notify_all();
+        }
     }
 
     /// Wakes every blocked pusher permanently (fatal teardown).
@@ -288,6 +389,10 @@ struct Shared {
     /// merge stage's host. Global (not per-worker), so branch outputs
     /// survive the loss of any vnode.
     joins: Vec<Mutex<HashMap<u64, Vec<Option<BoxedItem>>>>>,
+    /// Per-parallel-block branch entry stages, precomputed once —
+    /// fanning an item out must not re-derive (and re-allocate) the
+    /// entry list per item.
+    block_entries: Vec<Vec<usize>>,
     vnodes: Vec<VNodeSpec>,
     /// Planning topology; also drives link emulation when enabled.
     topology: Topology,
@@ -295,7 +400,7 @@ struct Shared {
     routing: RwLock<RoutingTable>,
     /// Per stage: prototype (stateless) or the unique instance (stateful).
     depot: Vec<Mutex<Option<Box<dyn DynStage>>>>,
-    senders: Vec<Sender<Msg>>,
+    inboxes: Vec<Inbox>,
     sink: Sender<SinkMsg>,
     epoch: Instant,
     completed: AtomicU64,
@@ -308,6 +413,11 @@ struct Shared {
     control: SessionControl,
     /// Items re-dealt to a live host after their vnode went down.
     replays: AtomicU64,
+    /// Work envelopes taken off a sibling's inbox by an idle co-host.
+    steals: AtomicU64,
+    /// Items that arrived under a retired routing epoch and were
+    /// re-homed to their stage's current hosts.
+    rehomed: AtomicU64,
     /// The in-flight credit gate (shared so fatal teardown can wake a
     /// blocked `push()`).
     credits: Option<Arc<Credits>>,
@@ -316,14 +426,6 @@ struct Shared {
 impl Shared {
     fn now(&self) -> SimTime {
         SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
-    }
-
-    fn route(&self, stage: usize) -> usize {
-        self.routing
-            .read()
-            .expect("routing lock poisoned")
-            .route(stage)
-            .index()
     }
 
     /// Records one item rescued off the down vnode `from`.
@@ -338,6 +440,176 @@ impl Shared {
     }
 }
 
+/// A thread's lock-free view of the routing state: the last snapshot it
+/// loaded plus the shared epoch counter. Revalidation is one atomic
+/// load per batch; the `RwLock` is touched only when an install
+/// actually happened since the last look.
+struct RouteCache {
+    snap: Arc<RoutingSnapshot>,
+    epoch_cell: Arc<AtomicU64>,
+}
+
+impl RouteCache {
+    fn new(shared: &Shared) -> Self {
+        let table = shared.routing.read().expect("routing lock poisoned");
+        RouteCache {
+            snap: table.snapshot(),
+            epoch_cell: table.epoch_cell(),
+        }
+    }
+
+    /// The current snapshot (refreshed if the table published a newer
+    /// epoch since the last call).
+    fn current(&mut self, shared: &Shared) -> &Arc<RoutingSnapshot> {
+        if self.epoch_cell.load(Ordering::Acquire) != self.snap.epoch() {
+            self.snap = shared
+                .routing
+                .read()
+                .expect("routing lock poisoned")
+                .snapshot();
+        }
+        &self.snap
+    }
+}
+
+/// Inbox depth beyond which a sender tries to wake an idle co-host of
+/// the destination's stage (work-stealing assist).
+const STEAL_WAKE_DEPTH: usize = 2;
+
+/// How deep into a victim's backlog (from the tail) a thief scans for a
+/// stealable envelope.
+const STEAL_SCAN: usize = 8;
+
+/// Routes `items` of `stage` against `snap` and delivers them bucketed
+/// per destination worker. The single-host case (linear pipelines)
+/// skips per-item routing entirely; replicated stages keep per-item
+/// round-robin dealing inside the batch. `from` is the sending worker
+/// (`None` for the source), used for link emulation.
+fn ship(
+    shared: &Shared,
+    snap: &RoutingSnapshot,
+    from: Option<usize>,
+    stage: usize,
+    items: Vec<ItemSlot>,
+) {
+    if items.is_empty() {
+        return;
+    }
+    let hosts = snap.hosts(stage);
+    if hosts.len() == 1 {
+        let dest = hosts[0].index();
+        deliver_env(shared, snap, from, stage, dest, items);
+        return;
+    }
+    let np = shared.inboxes.len();
+    let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| Vec::new()).collect();
+    for slot in items {
+        buckets[snap.route(stage).index()].push(slot);
+    }
+    for (dest, batch) in buckets.into_iter().enumerate() {
+        if !batch.is_empty() {
+            deliver_env(shared, snap, from, stage, dest, batch);
+        }
+    }
+}
+
+/// Sends one envelope to `dest`, paying the emulated link cost first
+/// when enabled (NIC-serialisation semantics: the sender sleeps the
+/// transfer time of the whole batch — latency is paid once per
+/// envelope, which is exactly the amortisation batching buys).
+fn deliver_env(
+    shared: &Shared,
+    snap: &RoutingSnapshot,
+    from: Option<usize>,
+    stage: usize,
+    dest: usize,
+    items: Vec<ItemSlot>,
+) {
+    if let Some(from) = from {
+        if shared.emulate_links && from != dest {
+            let bytes = shared.bytes_into[stage].saturating_mul(items.len() as u64);
+            let d = shared
+                .topology
+                .transfer_time(NodeId(from), NodeId(dest), bytes)
+                .as_secs_f64();
+            if d > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(d));
+            }
+        }
+    }
+    dispatch(
+        shared,
+        snap,
+        dest,
+        Envelope {
+            stage,
+            epoch: snap.epoch(),
+            items,
+        },
+    );
+}
+
+/// Feeds a batch of source items into the pipeline entry: one envelope
+/// to the entry stage, or — when the graph opens with a parallel block
+/// — per-item fan-out grouped into one envelope per branch entry (the
+/// in-flight credit still counts *items*, not branch copies).
+fn push_entry(shared: &Shared, cache: &mut RouteCache, items: Vec<ItemSlot>) {
+    let snap = cache.current(shared).clone();
+    match shared.spec.graph.entry() {
+        Next::Stage(stage) => ship(shared, &snap, None, stage, items),
+        Next::FanOut { block } => {
+            let entries = &shared.block_entries[block];
+            let mut per_entry: Vec<Vec<ItemSlot>> = entries
+                .iter()
+                .map(|_| Vec::with_capacity(items.len()))
+                .collect();
+            for slot in items {
+                match (shared.fanouts[block])(slot.payload) {
+                    Ok(parts) => {
+                        for (i, payload) in parts.into_iter().enumerate() {
+                            per_entry[i].push(ItemSlot {
+                                seq: slot.seq,
+                                born: slot.born,
+                                payload,
+                            });
+                        }
+                    }
+                    Err(type_err) => {
+                        shared.control.fail(RunError::StageTypeMismatch {
+                            stage: type_err.stage,
+                        });
+                        fatal_teardown(shared);
+                        return;
+                    }
+                }
+            }
+            for (i, batch) in per_entry.into_iter().enumerate() {
+                ship(shared, &snap, None, entries[i], batch);
+            }
+        }
+        _ => unreachable!("pipelines enter at a stage or a fan-out"),
+    }
+}
+
+/// Enqueues `env` on `dest`'s inbox; if the inbox is backing up and the
+/// stage has live sibling replicas, wakes one idle co-host so it starts
+/// stealing instead of sleeping through the backlog.
+fn dispatch(shared: &Shared, snap: &RoutingSnapshot, dest: usize, env: Envelope) {
+    let stage = env.stage;
+    let depth = shared.inboxes[dest].send(Msg::Work(env));
+    if depth > STEAL_WAKE_DEPTH && shared.spec.stages[stage].stateless {
+        let hosts = snap.hosts(stage);
+        if hosts.len() > 1 {
+            for &h in hosts {
+                if h.index() != dest && !snap.is_down(h) && shared.inboxes[h.index()].wake_if_idle()
+                {
+                    break;
+                }
+            }
+        }
+    }
+}
+
 /// Irrecoverable failure (stateful stage lost, every node down, wrong-
 /// typed item): record nothing further, stop the collector, raise the
 /// done flag, wake every worker and any pusher blocked on the credit
@@ -347,8 +619,8 @@ impl Shared {
 fn fatal_teardown(shared: &Shared) {
     shared.done.store(true, Ordering::SeqCst);
     let _ = shared.sink.send(SinkMsg::Fatal);
-    for tx in &shared.senders {
-        let _ = tx.send(Msg::Shutdown);
+    for inbox in &shared.inboxes {
+        inbox.send(Msg::Shutdown);
     }
     if let Some(credits) = &shared.credits {
         credits.break_gate();
@@ -393,7 +665,7 @@ impl ExecutionBackend for EngineBackend {
         // up from the depot on first use, buffering items meanwhile.
         for &stage in &plan.moved {
             for host in plan.from.placement(stage).hosts() {
-                let _ = self.shared.senders[host.index()].send(Msg::Relinquish { stage });
+                self.shared.inboxes[host.index()].send(Msg::Relinquish { stage });
             }
         }
     }
@@ -402,12 +674,12 @@ impl ExecutionBackend for EngineBackend {
         // Wake the dead worker: its post-message service scan re-deals
         // buffered items to live replicas (or parks them for the forced
         // re-map's Relinquish to flush).
-        let _ = self.shared.senders[node].send(Msg::DepotReady);
+        self.shared.inboxes[node].send(Msg::DepotReady);
     }
 
     fn on_node_up(&mut self, node: usize, _at: SimTime) {
         // Wake the recovered worker so parked items resume service.
-        let _ = self.shared.senders[node].send(Msg::DepotReady);
+        self.shared.inboxes[node].send(Msg::DepotReady);
     }
 }
 
@@ -423,13 +695,23 @@ pub struct EngineSession<I, O> {
     workers: Vec<JoinHandle<(Duration, adapipe_core::metrics::StageMetrics)>>,
     collector: Option<JoinHandle<ReportBuilder>>,
     adaptation: Option<JoinHandle<(Vec<AdaptationEvent>, u64)>>,
-    out_rx: Receiver<Finished>,
+    out_rx: Receiver<Vec<Finished>>,
     events: adapipe_runtime::session::EventBus,
+    /// The pusher's lock-free routing view.
+    cache: RouteCache,
+    /// Input buffered towards the next envelope (≤ `batch_size` items,
+    /// each already holding a credit).
+    pending: Vec<ItemSlot>,
+    batch_size: usize,
+    /// Finished items received from the collector but not yet delivered
+    /// to the caller (tail of the last output batch).
+    inbuf: VecDeque<Finished>,
     pushed: u64,
     closed: bool,
     preserve_order: bool,
     /// Resequencing buffer (`preserve_order` only); bounded by the
-    /// in-flight credit when `queue_capacity` is set.
+    /// in-flight credit when `queue_capacity` is set. In-order arrivals
+    /// bypass it entirely.
     reorder: BTreeMap<u64, O>,
     next_seq: u64,
     _types: PhantomData<fn(I) -> O>,
@@ -440,77 +722,88 @@ where
     I: Send + 'static,
     O: Send + 'static,
 {
-    /// Feeds one item into stage 0. Blocks while the bounded in-flight
-    /// budget is exhausted (emitting [`RunEvent::BackpressureStall`]);
-    /// returns the item's sequence number.
+    /// Feeds one item into the pipeline. The item joins the pending
+    /// envelope and ships when `batch_size` items have accumulated (or
+    /// on `close`/output interaction/credit pressure). Blocks while the
+    /// bounded in-flight budget is exhausted (emitting
+    /// [`RunEvent::BackpressureStall`]); buffered input is flushed
+    /// *before* blocking so the items holding credits can complete.
+    /// Returns the item's sequence number.
     ///
     /// # Panics
     /// Panics if the session was already closed.
     pub fn push(&mut self, item: I) -> u64 {
+        self.push_born(item, Instant::now())
+    }
+
+    /// [`EngineSession::push`] with an explicit birth stamp, so a batch
+    /// push pays one clock read for the whole batch (every item of a
+    /// batch arrives at the call instant — the same arrival semantics
+    /// the all-at-once batch feed declares).
+    fn push_born(&mut self, item: I, born: Instant) -> u64 {
         assert!(!self.closed, "cannot push into a closed session");
         let seq = self.pushed;
         if let Some(credits) = &self.credits {
-            if let Some(waited) = credits.acquire() {
-                self.events.emit(RunEvent::BackpressureStall {
-                    seq,
-                    waited: SimDuration::from_secs_f64(waited.as_secs_f64()),
-                });
+            if !credits.try_acquire() {
+                // The buffered items hold credits that only completions
+                // can return — flush them into the pipeline, then wait.
+                self.flush_pending();
+                let credits = self.credits.as_ref().expect("checked above");
+                if let Some(waited) = credits.acquire() {
+                    self.events.emit(RunEvent::BackpressureStall {
+                        seq,
+                        waited: SimDuration::from_secs_f64(waited.as_secs_f64()),
+                    });
+                }
             }
         }
         self.pushed += 1;
-        let born = Instant::now();
-        match self.shared.spec.graph.entry() {
-            Next::Stage(stage) => {
-                let dest = self.shared.route(stage);
-                let env = Envelope {
-                    seq,
-                    stage,
-                    born,
-                    payload: Box::new(item),
-                };
-                // Worker channels outlive the session; send only fails
-                // at teardown, by which point delivery no longer
-                // matters.
-                let _ = self.shared.senders[dest].send(Msg::Work(env));
-            }
-            // The graph opens with a parallel block: fan the item out at
-            // the source, one copy per branch (still one credit — the
-            // in-flight bound counts *items*, not branch copies).
-            Next::FanOut { block } => match (self.shared.fanouts[block])(Box::new(item)) {
-                Ok(parts) => {
-                    for (stage, payload) in self
-                        .shared
-                        .spec
-                        .graph
-                        .branch_entries(block)
-                        .into_iter()
-                        .zip(parts)
-                    {
-                        let dest = self.shared.route(stage);
-                        let _ = self.shared.senders[dest].send(Msg::Work(Envelope {
-                            seq,
-                            stage,
-                            born,
-                            payload,
-                        }));
-                    }
-                }
-                Err(type_err) => {
-                    self.shared.control.fail(RunError::StageTypeMismatch {
-                        stage: type_err.stage,
-                    });
-                    fatal_teardown(&self.shared);
-                }
-            },
-            _ => unreachable!("pipelines enter at a stage or a fan-out"),
+        self.pending.push(ItemSlot {
+            seq,
+            born,
+            payload: Box::new(item),
+        });
+        if self.pending.len() >= self.batch_size {
+            self.flush_pending();
         }
         seq
     }
 
-    /// Declares the input stream complete. Idempotent; pushing after
-    /// close panics.
+    /// Feeds a whole batch of items through the batched envelope path,
+    /// flushing any remainder at the end of the call (so the batch is
+    /// fully in flight when this returns). Returns the number of items
+    /// pushed. Blocks like [`EngineSession::push`] under a bounded
+    /// in-flight budget.
+    ///
+    /// # Panics
+    /// Panics if the session was already closed.
+    pub fn push_batch(&mut self, items: impl IntoIterator<Item = I>) -> u64 {
+        let born = Instant::now();
+        let mut n = 0;
+        for item in items {
+            self.push_born(item, born);
+            n += 1;
+        }
+        self.flush_pending();
+        n
+    }
+
+    /// Ships the buffered input as one routed envelope (routing the
+    /// pipeline entry — or fanning each item out when the graph opens
+    /// with a parallel block, still one credit per *item*).
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.pending);
+        push_entry(&self.shared, &mut self.cache, items);
+    }
+
+    /// Declares the input stream complete (flushing buffered input).
+    /// Idempotent; pushing after close panics.
     pub fn close(&mut self) {
         if !self.closed {
+            self.flush_pending();
             self.closed = true;
             let _ = self.shared.sink.send(SinkMsg::Closed {
                 expected: self.pushed,
@@ -547,20 +840,37 @@ where
         self.shared.control.error()
     }
 
-    /// Non-blocking poll of the output side.
+    /// Work envelopes stolen off sibling inboxes by idle co-hosts so
+    /// far (work-stealing pool activity).
+    pub fn steals(&self) -> u64 {
+        self.shared.steals.load(Ordering::Relaxed)
+    }
+
+    /// Items that arrived under a retired routing epoch and were
+    /// re-homed to their stage's current hosts (remap drain activity).
+    pub fn rehomed(&self) -> u64 {
+        self.shared.rehomed.load(Ordering::Relaxed)
+    }
+
+    /// Non-blocking poll of the output side (flushes buffered input
+    /// first — waiting for output while input sits buffered would
+    /// deadlock).
     pub fn try_next(&mut self) -> TryNext<O> {
+        self.flush_pending();
         loop {
             if self.preserve_order {
                 if let Some(o) = self.pop_ordered() {
                     return TryNext::Item(o);
                 }
             }
-            match self.out_rx.try_recv() {
-                Ok(fin) => {
-                    if let Some(o) = self.deliver(fin) {
-                        return TryNext::Item(o);
-                    }
+            if let Some(fin) = self.inbuf.pop_front() {
+                if let Some(o) = self.deliver(fin) {
+                    return TryNext::Item(o);
                 }
+                continue;
+            }
+            match self.out_rx.try_recv() {
+                Ok(batch) => self.inbuf.extend(batch),
                 Err(TryRecvError::Empty) => return TryNext::Pending,
                 Err(TryRecvError::Disconnected) => {
                     return match self.flush_reorder() {
@@ -578,8 +888,15 @@ where
             .downcast::<O>()
             .expect("pipeline output type mismatch");
         if self.preserve_order {
-            self.reorder.insert(fin.seq, out);
-            self.pop_ordered()
+            // In-order fast path: the common case (single-replica
+            // stages, no remap in flight) never touches the tree.
+            if fin.seq == self.next_seq {
+                self.next_seq += 1;
+                Some(out)
+            } else {
+                self.reorder.insert(fin.seq, out);
+                self.pop_ordered()
+            }
         } else {
             Some(out)
         }
@@ -641,8 +958,8 @@ where
             .expect("collector panicked");
         report.set_replays(self.shared.replays.load(Ordering::Relaxed));
         self.shared.done.store(true, Ordering::SeqCst);
-        for tx in &self.shared.senders {
-            let _ = tx.send(Msg::Shutdown);
+        for inbox in &self.shared.inboxes {
+            inbox.send(Msg::Shutdown);
         }
         let np = self.shared.vnodes.len();
         let ns = self.shared.spec.len();
@@ -692,8 +1009,8 @@ impl<I, O> Drop for EngineSession<I, O> {
             pushed: self.pushed,
         });
         self.shared.done.store(true, Ordering::SeqCst);
-        for tx in &self.shared.senders {
-            let _ = tx.send(Msg::Shutdown);
+        for inbox in &self.shared.inboxes {
+            inbox.send(Msg::Shutdown);
         }
         if let Some(collector) = self.collector.take() {
             let _ = collector.join();
@@ -719,18 +1036,21 @@ where
     type Item = O;
 
     fn next(&mut self) -> Option<O> {
+        self.flush_pending();
         loop {
             if self.preserve_order {
                 if let Some(o) = self.pop_ordered() {
                     return Some(o);
                 }
             }
-            match self.out_rx.recv() {
-                Ok(fin) => {
-                    if let Some(o) = self.deliver(fin) {
-                        return Some(o);
-                    }
+            if let Some(fin) = self.inbuf.pop_front() {
+                if let Some(o) = self.deliver(fin) {
+                    return Some(o);
                 }
+                continue;
+            }
+            match self.out_rx.recv() {
+                Ok(batch) => self.inbuf.extend(batch),
                 Err(_) => return self.flush_reorder(),
             }
         }
@@ -821,13 +1141,7 @@ where
     let aloop = AdaptationLoop::new(runtime_cfg, &initial_mapping, &launch_rates);
 
     let (sink_tx, sink_rx) = channel::<SinkMsg>();
-    let mut senders = Vec::with_capacity(np);
-    let mut inboxes = Vec::with_capacity(np);
-    for _ in 0..np {
-        let (tx, rx) = channel::<Msg>();
-        senders.push(tx);
-        inboxes.push(rx);
-    }
+    let inboxes: Vec<Inbox> = (0..np).map(|_| Inbox::new()).collect();
 
     // One in-flight slot per stage boundary (source→s0, s0→s1, …,
     // s_last→sink) per unit of declared capacity.
@@ -841,12 +1155,14 @@ where
     let bytes_into = (0..ns)
         .map(|s| spec.graph.feed_bytes(s, &boundary))
         .collect();
+    let block_entries = (0..blocks).map(|b| spec.graph.branch_entries(b)).collect();
     let shared = Arc::new(Shared {
         depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
         spec,
         bytes_into,
         fanouts,
         joins: (0..blocks).map(|_| Mutex::new(HashMap::new())).collect(),
+        block_entries,
         vnodes,
         topology,
         emulate_links: cfg.emulate_links,
@@ -855,7 +1171,7 @@ where
             adapipe_runtime::routing::Selection::RoundRobin,
             np,
         )),
-        senders,
+        inboxes,
         sink: sink_tx,
         epoch: Instant::now(),
         completed: AtomicU64::new(0),
@@ -863,18 +1179,20 @@ where
         hooks: cfg.hooks.clone(),
         control: cfg.control.clone(),
         replays: AtomicU64::new(0),
+        steals: AtomicU64::new(0),
+        rehomed: AtomicU64::new(0),
         credits: credits.clone(),
     });
 
     // --- workers -----------------------------------------------------
     let mut workers = Vec::with_capacity(np);
-    for (me, inbox) in inboxes.into_iter().enumerate() {
+    for me in 0..np {
         let shared = Arc::clone(&shared);
-        workers.push(std::thread::spawn(move || worker_loop(me, inbox, shared)));
+        workers.push(std::thread::spawn(move || worker_loop(me, shared)));
     }
 
     // --- collector ---------------------------------------------------
-    let (out_tx, out_rx) = channel::<Finished>();
+    let (out_tx, out_rx) = channel::<Vec<Finished>>();
     let collector = {
         let shared = Arc::clone(&shared);
         let credits = credits.clone();
@@ -892,21 +1210,25 @@ where
                 }
                 let Ok(msg) = sink_rx.recv() else { break };
                 match msg {
-                    SinkMsg::Done(fin) => {
-                        let at = SimTime::from_secs_f64(
-                            fin.done.duration_since(shared.epoch).as_secs_f64(),
-                        );
-                        let latency = SimDuration::from_secs_f64(
-                            fin.done.duration_since(fin.born).as_secs_f64(),
-                        );
-                        report.record_completion(at, latency);
-                        shared.completed.fetch_add(1, Ordering::Relaxed);
+                    SinkMsg::Done(batch) => {
+                        for fin in &batch {
+                            let at = SimTime::from_secs_f64(
+                                fin.done.duration_since(shared.epoch).as_secs_f64(),
+                            );
+                            let latency = SimDuration::from_secs_f64(
+                                fin.done.duration_since(fin.born).as_secs_f64(),
+                            );
+                            report.record_completion(at, latency);
+                        }
+                        shared
+                            .completed
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
                         if let Some(c) = &credits {
-                            c.release();
+                            c.release_n(batch.len() as u64);
                         }
                         // The session may have gone away (abort path):
                         // delivery failures are fine.
-                        let _ = out_tx.send(fin);
+                        let _ = out_tx.send(batch);
                     }
                     SinkMsg::Closed { expected: e } => {
                         report.set_expected(e);
@@ -931,6 +1253,8 @@ where
         std::thread::spawn(move || adaptation_thread(shared, aloop))
     };
 
+    let cache = RouteCache::new(&shared);
+    let batch_size = cfg.batch_size.max(1);
     EngineSession {
         shared,
         credits,
@@ -939,6 +1263,10 @@ where
         adaptation: Some(adaptation),
         out_rx,
         events: cfg.hooks.events.clone(),
+        cache,
+        pending: Vec::with_capacity(batch_size),
+        batch_size,
+        inbuf: VecDeque::new(),
         pushed: 0,
         closed: false,
         preserve_order: cfg.preserve_order,
@@ -1000,46 +1328,52 @@ where
     F: FnMut(u64) -> I + Send + 'static,
 {
     let mut session = spawn(pipeline, cfg, n_items);
-    // Stream the backend-independent arrival schedule (O(1) state) and
-    // pace the pushes against the wall clock with it — the exact times
-    // the simulator would turn into arrival events. Inputs are drawn
-    // from the feed only when their slot comes up.
-    let mut arrivals = cfg.effective_arrivals().stream();
     let mut feed = feed;
-    let epoch = session.epoch();
-    for seq in 0..n_items {
-        let at = arrivals
-            .next()
-            .expect("arrival stream is infinite")
-            .as_secs_f64();
-        if at > 0.0 {
-            let due = epoch + Duration::from_secs_f64(at);
-            let now = Instant::now();
-            if due > now {
-                std::thread::sleep(due - now);
+    match cfg.effective_arrivals() {
+        // Everything is due at t = 0: feed the whole stream through the
+        // batched envelope path in one call.
+        ArrivalProcess::AllAtOnce => {
+            session.push_batch((0..n_items).map(&mut feed));
+        }
+        // Stream the backend-independent arrival schedule (O(1) state)
+        // and pace the pushes against the wall clock with it — the
+        // exact times the simulator would turn into arrival events.
+        // Inputs are drawn from the feed only when their slot comes up.
+        arrivals => {
+            let mut arrivals = arrivals.stream();
+            let epoch = session.epoch();
+            for seq in 0..n_items {
+                let at = arrivals
+                    .next()
+                    .expect("arrival stream is infinite")
+                    .as_secs_f64();
+                if at > 0.0 {
+                    let due = epoch + Duration::from_secs_f64(at);
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                }
+                session.push(feed(seq));
             }
         }
-        session.push(feed(seq));
     }
     session.drain()
 }
 
 /// Worker body: serve envelopes, honour migrations, account busy time.
-/// Blocks on the inbox; the only exits are the [`Msg::Shutdown`]
-/// sentinel and channel disconnection.
-fn worker_loop(
-    me: usize,
-    inbox: Receiver<Msg>,
-    shared: Arc<Shared>,
-) -> (Duration, adapipe_core::metrics::StageMetrics) {
+/// Blocks on the inbox (stealing from siblings before sleeping); the
+/// only exit is the [`Msg::Shutdown`] sentinel (or the done flag).
+fn worker_loop(me: usize, shared: Arc<Shared>) -> (Duration, adapipe_core::metrics::StageMetrics) {
     let ns = shared.spec.len();
     let mut local: HashMap<usize, Box<dyn DynStage>> = HashMap::new();
     let mut waiting: HashMap<usize, VecDeque<Envelope>> = HashMap::new();
     let mut busy = Duration::ZERO;
     let mut metrics = adapipe_core::metrics::StageMetrics::new(ns);
+    let mut cache = RouteCache::new(&shared);
 
     loop {
-        let Ok(msg) = inbox.recv() else { break };
+        let msg = next_msg(me, &shared, &mut cache);
         // An aborted (or fully torn-down) run discards the backlog: the
         // flag is raised before the Shutdown sentinels, so a worker deep
         // in queued work exits here instead of serving the rest of its
@@ -1049,31 +1383,16 @@ fn worker_loop(
         }
         match msg {
             Msg::Work(env) => {
-                let stage = env.stage;
-                let (hosted, me_down) = {
-                    let table = shared.routing.read().expect("routing lock poisoned");
-                    (table.contains(stage, NodeId(me)), table.is_down(NodeId(me)))
-                };
-                if !hosted {
-                    // Off a down vnode this is a rescue: the stage
-                    // moved away because this node died.
-                    if me_down {
-                        shared.note_replay(env.seq, stage, me);
-                    }
-                    forward(&shared, me, env);
-                } else if me_down {
-                    // This vnode is down: it must not serve. Re-deal the
-                    // item to a live replica when one exists; otherwise
-                    // park it — the forced re-map will move the stage
-                    // away, and the Relinquish wake-up flushes the queue.
-                    divert_off_dead(&shared, me, env, &mut waiting);
-                } else if waiting.get(&stage).is_some_and(|q| !q.is_empty())
-                    || !try_acquire(&shared, &mut local, stage)
-                {
-                    waiting.entry(stage).or_default().push_back(env);
-                } else {
-                    busy += process_one(me, env, &shared, &mut local, &mut metrics);
-                }
+                handle_work(
+                    me,
+                    env,
+                    &shared,
+                    &mut cache,
+                    &mut local,
+                    &mut waiting,
+                    &mut busy,
+                    &mut metrics,
+                );
             }
             Msg::Relinquish { stage } => {
                 if let Some(inst) = local.remove(&stage) {
@@ -1097,17 +1416,10 @@ fn worker_loop(
                         .expect("depot lock poisoned")
                         .is_some();
                     if in_depot {
-                        let hosts: Vec<usize> = shared
-                            .routing
-                            .read()
-                            .expect("routing lock poisoned")
-                            .hosts(stage)
-                            .iter()
-                            .map(|h| h.index())
-                            .collect();
-                        for host in hosts {
-                            if host != me {
-                                let _ = shared.senders[host].send(Msg::DepotReady);
+                        let snap = cache.current(&shared).clone();
+                        for &h in snap.hosts(stage) {
+                            if h.index() != me {
+                                shared.inboxes[h.index()].send(Msg::DepotReady);
                             }
                         }
                     }
@@ -1122,6 +1434,7 @@ fn worker_loop(
         serve_waiting(
             me,
             &shared,
+            &mut cache,
             &mut local,
             &mut waiting,
             &mut busy,
@@ -1131,38 +1444,191 @@ fn worker_loop(
     (busy, metrics)
 }
 
-/// Re-routes an envelope away from the down vnode `me`: to a live
-/// replica when the routing table can name one (counted and announced
-/// as a replay), otherwise parked in `waiting` — every replica is down,
-/// so only a re-map can rescue the item, and the rescue flush happens
-/// on the Relinquish wake-up that re-map sends here.
-fn divert_off_dead(
-    shared: &Shared,
-    me: usize,
-    env: Envelope,
-    waiting: &mut HashMap<usize, VecDeque<Envelope>>,
-) {
-    let stage = env.stage;
-    let (dest, dest_down) = {
-        let table = shared.routing.read().expect("routing lock poisoned");
-        let dest = table.route(stage);
-        (dest.index(), table.is_down(dest))
-    };
-    if dest == me || dest_down {
-        waiting.entry(stage).or_default().push_back(env);
-    } else {
-        shared.note_replay(env.seq, stage, me);
-        let _ = shared.senders[dest].send(Msg::Work(env));
+/// Blocks until a message is available for worker `me`: its own inbox
+/// first, then a steal attempt across sibling inboxes, then a condvar
+/// wait. The idle-flag protocol (see [`Inbox`]) guarantees a thief
+/// woken by [`Inbox::wake_if_idle`] loops back to re-scan instead of
+/// sleeping through the notification.
+fn next_msg(me: usize, shared: &Shared, cache: &mut RouteCache) -> Msg {
+    let inbox = &shared.inboxes[me];
+    loop {
+        if let Some(msg) = inbox.queue.lock().expect("inbox lock poisoned").pop_front() {
+            return msg;
+        }
+        // Out of local work: advertise idleness, then go stealing.
+        inbox.idle.store(true, Ordering::SeqCst);
+        let snap = cache.current(shared).clone();
+        if let Some(msg) = try_steal(me, shared, &snap) {
+            inbox.idle.store(false, Ordering::SeqCst);
+            return msg;
+        }
+        let mut q = inbox.queue.lock().expect("inbox lock poisoned");
+        loop {
+            if let Some(msg) = q.pop_front() {
+                inbox.idle.store(false, Ordering::SeqCst);
+                return msg;
+            }
+            if !inbox.idle.load(Ordering::SeqCst) {
+                break; // a sender cleared the flag: re-scan for steals
+            }
+            q = inbox.ready.wait(q).expect("inbox lock poisoned");
+        }
     }
 }
 
+/// Scans sibling inboxes (tail-first, bounded) for a work envelope this
+/// worker may legally serve: the stage must be stateless (stateful
+/// instances are pinned), currently replicated onto this worker, and
+/// the envelope routed under the *current* epoch (stale envelopes
+/// belong to their addressee, which re-homes them on arrival). A down
+/// worker never steals; down victims keep their backlog for the
+/// replay/rescue path, which does the fault accounting.
+fn try_steal(me: usize, shared: &Shared, snap: &RoutingSnapshot) -> Option<Msg> {
+    if snap.is_down(NodeId(me)) {
+        return None;
+    }
+    let np = shared.inboxes.len();
+    for off in 1..np {
+        let victim = (me + off) % np;
+        if snap.is_down(NodeId(victim)) {
+            continue;
+        }
+        // Never wait on a victim's lock: a missed steal is cheap, a
+        // stalled thief is not.
+        let Ok(mut q) = shared.inboxes[victim].queue.try_lock() else {
+            continue;
+        };
+        let lo = q.len().saturating_sub(STEAL_SCAN);
+        for i in (lo..q.len()).rev() {
+            let Some(Msg::Work(env)) = q.get(i) else {
+                continue;
+            };
+            let stage = env.stage;
+            if shared.spec.stages[stage].stateless
+                && env.epoch == snap.epoch()
+                && snap.contains(stage, NodeId(me))
+                && snap.hosts(stage).len() > 1
+            {
+                let msg = q.remove(i).expect("index in range");
+                shared.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(msg);
+            }
+        }
+    }
+    None
+}
+
+/// Serves one work envelope: re-homes it if this worker no longer hosts
+/// the stage (stale epoch), re-deals it if this vnode is down, buffers
+/// it if the stage instance is unavailable, and processes it otherwise.
+#[allow(clippy::too_many_arguments)]
+fn handle_work(
+    me: usize,
+    env: Envelope,
+    shared: &Shared,
+    cache: &mut RouteCache,
+    local: &mut HashMap<usize, Box<dyn DynStage>>,
+    waiting: &mut HashMap<usize, VecDeque<Envelope>>,
+    busy: &mut Duration,
+    metrics: &mut adapipe_core::metrics::StageMetrics,
+) {
+    let stage = env.stage;
+    let snap = cache.current(shared).clone();
+    let hosted = snap.contains(stage, NodeId(me));
+    let me_down = snap.is_down(NodeId(me));
+    if !hosted {
+        // The sender routed by a snapshot no newer than ours (the inbox
+        // hand-off orders its epoch load before ours), and `contains`
+        // is immutable per snapshot — so a current-epoch envelope
+        // always lands on a current host. Arriving here proves the
+        // envelope is stale: re-home it at the current epoch. Off a
+        // down vnode this is a rescue (the stage moved away because
+        // this node died) — each item counts as a replay.
+        debug_assert_ne!(
+            env.epoch,
+            snap.epoch(),
+            "current-epoch envelope delivered to a non-host of stage {stage}"
+        );
+        shared
+            .rehomed
+            .fetch_add(env.items.len() as u64, Ordering::Relaxed);
+        if me_down {
+            for slot in &env.items {
+                shared.note_replay(slot.seq, stage, me);
+            }
+        }
+        ship(shared, &snap, Some(me), stage, env.items);
+    } else if me_down {
+        // This vnode is down: it must not serve. Re-deal what a live
+        // replica can absorb; park the rest — the forced re-map will
+        // move the stage away, and the Relinquish wake-up flushes the
+        // queue.
+        let parked = redeal(shared, &snap, me, stage, env.items);
+        if !parked.is_empty() {
+            waiting.entry(stage).or_default().push_back(Envelope {
+                stage,
+                epoch: snap.epoch(),
+                items: parked,
+            });
+        }
+    } else if waiting.get(&stage).is_some_and(|q| !q.is_empty())
+        || !try_acquire(shared, local, stage)
+    {
+        waiting.entry(stage).or_default().push_back(env);
+    } else {
+        *busy += process_batch(me, env, shared, cache, local, metrics);
+    }
+}
+
+/// Re-deals a down vnode's items to live replicas (counted and
+/// announced as replays), returning the remainder to park — every
+/// replica is down, so only a re-map can rescue those, and the rescue
+/// flush happens on the Relinquish wake-up that re-map sends here.
+fn redeal(
+    shared: &Shared,
+    snap: &RoutingSnapshot,
+    me: usize,
+    stage: usize,
+    items: Vec<ItemSlot>,
+) -> Vec<ItemSlot> {
+    let np = shared.inboxes.len();
+    let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| Vec::new()).collect();
+    let mut parked = Vec::new();
+    for slot in items {
+        let dest = snap.route(stage);
+        if dest.index() == me || snap.is_down(dest) {
+            parked.push(slot);
+        } else {
+            shared.note_replay(slot.seq, stage, me);
+            buckets[dest.index()].push(slot);
+        }
+    }
+    for (dest, batch) in buckets.into_iter().enumerate() {
+        if !batch.is_empty() {
+            dispatch(
+                shared,
+                snap,
+                dest,
+                Envelope {
+                    stage,
+                    epoch: snap.epoch(),
+                    items: batch,
+                },
+            );
+        }
+    }
+    parked
+}
+
 /// Serves every waiting queue that became actionable: processes queues
-/// whose stage instance is (now) acquirable, forwards queues whose
+/// whose stage instance is (now) acquirable, re-homes queues whose
 /// stage is no longer hosted here, and — when this vnode is down —
 /// re-deals buffered items to live replicas.
+#[allow(clippy::too_many_arguments)]
 fn serve_waiting(
     me: usize,
     shared: &Shared,
+    cache: &mut RouteCache,
     local: &mut HashMap<usize, Box<dyn DynStage>>,
     waiting: &mut HashMap<usize, VecDeque<Envelope>>,
     busy: &mut Duration,
@@ -1174,47 +1640,46 @@ fn serve_waiting(
         .map(|(&s, _)| s)
         .collect();
     for stage in stages {
-        let (hosted, me_down) = {
-            let table = shared.routing.read().expect("routing lock poisoned");
-            (table.contains(stage, NodeId(me)), table.is_down(NodeId(me)))
-        };
+        let snap = cache.current(shared).clone();
+        let hosted = snap.contains(stage, NodeId(me));
+        let me_down = snap.is_down(NodeId(me));
         if !hosted {
             // The stage moved away while these items were buffered:
-            // forward them to its current hosts. Off a down vnode this
-            // is the post-re-map rescue — each item counts as a replay.
-            if let Some(mut queue) = waiting.remove(&stage) {
-                while let Some(env) = queue.pop_front() {
+            // ship them to its current hosts. Off a down vnode this is
+            // the post-re-map rescue — each item counts as a replay.
+            if let Some(queue) = waiting.remove(&stage) {
+                for env in queue {
                     if me_down {
-                        shared.note_replay(env.seq, stage, me);
+                        for slot in &env.items {
+                            shared.note_replay(slot.seq, stage, me);
+                        }
                     }
-                    forward(shared, me, env);
+                    ship(shared, &snap, Some(me), stage, env.items);
                 }
             }
         } else if me_down {
             // Still hosted but down: re-deal whatever a live replica
-            // can absorb; the rest stays parked for the re-map. One
-            // read-lock acquisition for the whole backlog — a deep
-            // stranded queue must not contend the adaptation thread's
-            // recovery re-map once per envelope.
+            // can absorb; the rest stays parked for the re-map. The
+            // snapshot is lock-free, so a deep stranded backlog cannot
+            // contend the adaptation thread's recovery re-map.
             if let Some(queue) = waiting.get_mut(&stage) {
-                let mut parked = VecDeque::new();
-                let table = shared.routing.read().expect("routing lock poisoned");
-                while let Some(env) = queue.pop_front() {
-                    let dest = table.route(stage);
-                    if dest.index() == me || table.is_down(dest) {
-                        parked.push_back(env);
-                    } else {
-                        shared.note_replay(env.seq, stage, me);
-                        let _ = shared.senders[dest.index()].send(Msg::Work(env));
-                    }
+                let mut parked = Vec::new();
+                for env in queue.drain(..) {
+                    parked.extend(redeal(shared, &snap, me, stage, env.items));
                 }
-                drop(table);
-                *queue = parked;
+                if !parked.is_empty() {
+                    queue.push_back(Envelope {
+                        stage,
+                        epoch: snap.epoch(),
+                        items: parked,
+                    });
+                }
             }
         } else if try_acquire(shared, local, stage) {
             let queue = waiting.get_mut(&stage).expect("stage has a waiting queue");
-            while let Some(env) = queue.pop_front() {
-                *busy += process_one(me, env, shared, local, metrics);
+            let envs: Vec<Envelope> = queue.drain(..).collect();
+            for env in envs {
+                *busy += process_batch(me, env, shared, cache, local, metrics);
             }
         }
     }
@@ -1249,158 +1714,177 @@ fn try_acquire(
     }
 }
 
-/// Runs one envelope through its stage, applies the synthetic slowdown,
-/// records the service sample, and routes the result onward. Returns
-/// occupied (busy) time.
-fn process_one(
+/// Appends `slot` to the onward batch for `stage`, creating the bucket
+/// on first use. Linear pipelines keep exactly one bucket, so this is a
+/// length-1 scan — no per-item allocation.
+fn push_onward(onward: &mut Vec<(usize, Vec<ItemSlot>)>, stage: usize, slot: ItemSlot) {
+    match onward.iter_mut().find(|(s, _)| *s == stage) {
+        Some((_, batch)) => batch.push(slot),
+        None => onward.push((stage, vec![slot])),
+    }
+}
+
+/// Runs every item of one envelope through its stage, applies the
+/// synthetic slowdown per item, records service samples, and ships the
+/// results onward in per-destination-stage batches (one sink message
+/// per envelope that finished items). Returns occupied (busy) time.
+fn process_batch(
     me: usize,
     env: Envelope,
     shared: &Shared,
+    cache: &mut RouteCache,
     local: &mut HashMap<usize, Box<dyn DynStage>>,
     metrics: &mut adapipe_core::metrics::StageMetrics,
 ) -> Duration {
     let stage = env.stage;
-    let started_at = shared.now();
-    let t0 = Instant::now();
+    let after = shared.spec.graph.after(stage);
+    let work_mean = shared.spec.stages[stage].work.mean();
     let inst = local
         .get_mut(&stage)
         .expect("instance acquired before process");
-    let out = match inst.process(env.payload) {
-        Ok(out) => out,
-        Err(type_err) => {
-            // A wrong-typed item is a pipeline assembly bug, but it
-            // must fail the *session* with a typed error — not kill
-            // this worker thread and hang everyone blocked on it.
-            shared.control.fail(RunError::StageTypeMismatch {
-                stage: type_err.stage,
-            });
-            fatal_teardown(shared);
-            return t0.elapsed();
+    let mut finished: Vec<Finished> = Vec::new();
+    let mut onward: Vec<(usize, Vec<ItemSlot>)> = Vec::new();
+    // Clock calls are chained across the batch: each item's end stamp
+    // is the next item's start stamp, and a completed item reuses its
+    // end stamp as its sink timestamp — one `Instant::now()` per item
+    // instead of three. A vnode that can never throttle also skips the
+    // per-item wall-offset conversion and rate lookup entirely.
+    let never_throttles = shared.vnodes[me].never_throttles();
+    let mut busy = Duration::ZERO;
+    let mut t_start = Instant::now();
+    for slot in env.items {
+        // An abort mid-batch drops the remainder — same contract as the
+        // discarded inbox backlog (the report shows truncation).
+        if shared.done.load(Ordering::Relaxed) {
+            break;
         }
-    };
-    let compute = t0.elapsed();
-    let sleep = shared.vnodes[me].slowdown_sleep(compute, started_at);
-    if !sleep.is_zero() {
-        std::thread::sleep(sleep);
-    }
-
-    match shared.spec.graph.after(stage) {
-        Next::Done => {
-            let _ = shared.sink.send(SinkMsg::Done(Finished {
-                seq: env.seq,
-                born: env.born,
-                done: Instant::now(),
-                payload: out,
-            }));
-        }
-        Next::Stage(next) => {
-            forward(
-                shared,
-                me,
-                Envelope {
-                    seq: env.seq,
-                    stage: next,
-                    born: env.born,
-                    payload: out,
-                },
-            );
-        }
-        Next::FanOut { block } => match (shared.fanouts[block])(out) {
-            Ok(parts) => {
-                for (entry, payload) in shared
-                    .spec
-                    .graph
-                    .branch_entries(block)
-                    .into_iter()
-                    .zip(parts)
-                {
-                    forward(
-                        shared,
-                        me,
-                        Envelope {
-                            seq: env.seq,
-                            stage: entry,
-                            born: env.born,
-                            payload,
-                        },
-                    );
-                }
-            }
+        let out = match inst.process(slot.payload) {
+            Ok(out) => out,
             Err(type_err) => {
-                // Same contract as a stage-level mismatch: fail the
-                // session typed, never kill the worker thread.
+                // A wrong-typed item is a pipeline assembly bug, but it
+                // must fail the *session* with a typed error — not kill
+                // this worker thread and hang everyone blocked on it.
                 shared.control.fail(RunError::StageTypeMismatch {
                     stage: type_err.stage,
                 });
                 fatal_teardown(shared);
-                return compute + sleep;
+                return busy + t_start.elapsed();
             }
-        },
-        Next::Join { block, branch } => {
-            // Deposit this branch's output; whoever completes the set
-            // assembles the joined vector (branch order) and ships it to
-            // the merge stage's host. The join map is global, so branch
-            // outputs survive vnode loss and re-maps.
-            let merged = {
-                let mut joins = shared.joins[block].lock().expect("join lock poisoned");
-                let k = shared.spec.graph.branch_count(block);
-                let slots = joins
-                    .entry(env.seq)
-                    .or_insert_with(|| (0..k).map(|_| None).collect());
-                slots[branch] = Some(out);
-                if slots.iter().all(Option::is_some) {
-                    let parts: Vec<BoxedItem> = joins
-                        .remove(&env.seq)
-                        .expect("slots just inserted")
-                        .into_iter()
-                        .map(|p| p.expect("all branches present"))
-                        .collect();
-                    Some(parts)
-                } else {
-                    None
-                }
-            };
-            if let Some(parts) = merged {
-                forward(
-                    shared,
-                    me,
-                    Envelope {
-                        seq: env.seq,
-                        stage: shared.spec.graph.merge_of(block),
-                        born: env.born,
-                        payload: Box::new(parts),
-                    },
-                );
+        };
+        let t_end = Instant::now();
+        let compute = t_end.duration_since(t_start);
+        t_start = t_end;
+        let took = if never_throttles {
+            compute
+        } else {
+            let started_at =
+                SimTime::from_secs_f64(t_end.duration_since(shared.epoch).as_secs_f64());
+            let sleep = shared.vnodes[me].slowdown_sleep(compute, started_at);
+            if !sleep.is_zero() {
+                std::thread::sleep(sleep);
+                // The sleep must not be attributed to the next item's
+                // compute window.
+                t_start = Instant::now();
             }
-        }
-    }
-    let took = compute + sleep;
-    metrics.record(
-        stage,
-        SimDuration::from_secs_f64(took.as_secs_f64()),
-        shared.spec.stages[stage].work.mean(),
-    );
-    took
-}
+            compute + sleep
+        };
+        busy += took;
+        metrics.record(
+            stage,
+            SimDuration::from_secs_f64(took.as_secs_f64()),
+            work_mean,
+        );
 
-/// Sends `env` from vnode `from` to the current host of its stage (the
-/// shared routing table deals round-robin over replicas). With link
-/// emulation the sender first sleeps the topology's transfer time —
-/// NIC-serialisation semantics: a worker cannot compute while its
-/// (virtual) NIC is shipping a frame.
-fn forward(shared: &Shared, from: usize, env: Envelope) {
-    let dest = shared.route(env.stage);
-    if shared.emulate_links && from != dest {
-        let bytes = shared.bytes_into[env.stage];
-        let d = shared
-            .topology
-            .transfer_time(NodeId(from), NodeId(dest), bytes)
-            .as_secs_f64();
-        if d > 0.0 {
-            std::thread::sleep(Duration::from_secs_f64(d));
+        match &after {
+            Next::Done => finished.push(Finished {
+                seq: slot.seq,
+                born: slot.born,
+                done: t_end,
+                payload: out,
+            }),
+            Next::Stage(next) => push_onward(
+                &mut onward,
+                *next,
+                ItemSlot {
+                    seq: slot.seq,
+                    born: slot.born,
+                    payload: out,
+                },
+            ),
+            Next::FanOut { block } => match (shared.fanouts[*block])(out) {
+                Ok(parts) => {
+                    let entries = &shared.block_entries[*block];
+                    for (i, payload) in parts.into_iter().enumerate() {
+                        push_onward(
+                            &mut onward,
+                            entries[i],
+                            ItemSlot {
+                                seq: slot.seq,
+                                born: slot.born,
+                                payload,
+                            },
+                        );
+                    }
+                }
+                Err(type_err) => {
+                    // Same contract as a stage-level mismatch: fail the
+                    // session typed, never kill the worker thread.
+                    shared.control.fail(RunError::StageTypeMismatch {
+                        stage: type_err.stage,
+                    });
+                    fatal_teardown(shared);
+                    return busy;
+                }
+            },
+            Next::Join { block, branch } => {
+                // Deposit this branch's output; whoever completes the
+                // set assembles the joined vector (branch order) and
+                // ships it to the merge stage's host. The join map is
+                // global, so branch outputs survive vnode loss and
+                // re-maps.
+                let merged = {
+                    let mut joins = shared.joins[*block].lock().expect("join lock poisoned");
+                    let k = shared.spec.graph.branch_count(*block);
+                    let slots = joins
+                        .entry(slot.seq)
+                        .or_insert_with(|| (0..k).map(|_| None).collect());
+                    slots[*branch] = Some(out);
+                    if slots.iter().all(Option::is_some) {
+                        let parts: Vec<BoxedItem> = joins
+                            .remove(&slot.seq)
+                            .expect("slots just inserted")
+                            .into_iter()
+                            .map(|p| p.expect("all branches present"))
+                            .collect();
+                        Some(parts)
+                    } else {
+                        None
+                    }
+                };
+                if let Some(parts) = merged {
+                    push_onward(
+                        &mut onward,
+                        shared.spec.graph.merge_of(*block),
+                        ItemSlot {
+                            seq: slot.seq,
+                            born: slot.born,
+                            payload: Box::new(parts),
+                        },
+                    );
+                }
+            }
         }
     }
-    let _ = shared.senders[dest].send(Msg::Work(env));
+    if !finished.is_empty() {
+        let _ = shared.sink.send(SinkMsg::Done(finished));
+    }
+    if !onward.is_empty() {
+        let snap = cache.current(shared).clone();
+        for (next, items) in onward {
+            ship(shared, &snap, Some(me), next, items);
+        }
+    }
+    busy
 }
 
 /// The monitoring/adaptation thread: wakes `samples_per_interval` times
@@ -1934,5 +2418,130 @@ mod tests {
         if multicore(4) && outcome.report.final_mapping.placement(0).width() > 1 {
             assert!(outcome.report.makespan.as_secs_f64() < 0.55);
         }
+    }
+
+    #[test]
+    fn batched_envelopes_preserve_order_and_exactly_once() {
+        // batch_size 16 over a 2-stage pipeline: outputs must be the
+        // same complete ordered stream the per-item wire produces.
+        let (s0, f0) = spin_stage("a", 1);
+        let (s1, f1) = spin_stage("b", 1);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.batch_size = 16;
+        let outcome = execute(pipeline, (0..100).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 100);
+        assert!(!outcome.report.truncated);
+        let expect: Vec<u64> = (0..100).map(|x| x + 2).collect();
+        assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn batched_branched_pipeline_joins_exactly_once() {
+        use adapipe_core::spec::{PipelineSpec, StageGraph};
+        use adapipe_core::stage::{fan_out_fn, FnStage, MergeStage};
+        // Fan-out/join with batch_size 8: per-item fan-out and join
+        // accounting inside batches must not lose or duplicate parts.
+        let spec = PipelineSpec::with_graph(
+            vec![
+                StageSpec::balanced("a", 0.001, 8),
+                StageSpec::balanced("b", 0.001, 8),
+                StageSpec::balanced("join", 0.001, 8),
+            ],
+            StageGraph::builder().split(&[1, 1]).build(),
+        );
+        let stages: Vec<Box<dyn DynStage>> = vec![
+            Box::new(FnStage::new("a", |x: u64| x + 1)),
+            Box::new(FnStage::new("b", |x: u64| x * 2)),
+            Box::new(MergeStage::new("join", |parts: Vec<u64>| {
+                parts[0] * 1000 + parts[1]
+            })),
+        ];
+        let pipeline: Pipeline<u64, u64> =
+            Pipeline::from_graph_parts(spec, stages, vec![fan_out_fn::<u64>(2)]);
+        let mut cfg = EngineConfig::new(free_nodes(3));
+        cfg.batch_size = 8;
+        let outcome = execute(pipeline, (0..100).collect(), &cfg);
+        assert_eq!(outcome.report.completed, 100);
+        let expect: Vec<u64> = (0..100).map(|x| (x + 1) * 1000 + x * 2).collect();
+        assert_eq!(outcome.outputs, expect);
+    }
+
+    #[test]
+    fn push_batch_respects_bounded_credits() {
+        // batch_size 8 against a 2-slot in-flight window: push_batch
+        // must flush buffered input before blocking on the credit gate
+        // (buffered items hold credits only completions can return) —
+        // anything else deadlocks here.
+        let (s0, f0) = spin_stage("slow", 2);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.queue_capacity = Some(1);
+        cfg.batch_size = 8;
+        let mut session = spawn(pipeline, &cfg, 50);
+        let pushed = session.push_batch(0..50u64);
+        assert_eq!(pushed, 50);
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 50);
+        assert_eq!(outcome.outputs, (1..=50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pending_input_flushes_on_output_interaction() {
+        // 3 items buffered under a batch_size far larger than the
+        // stream: next() must flush them or it would wait forever.
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.batch_size = 64;
+        let mut session = spawn(pipeline, &cfg, 3);
+        for i in 0..3u64 {
+            session.push(i);
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            got.push(session.next().expect("pending input must flush"));
+        }
+        assert_eq!(got, vec![1, 2, 3]);
+        session.close();
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 3);
+    }
+
+    #[test]
+    fn idle_replica_steals_from_a_loaded_sibling() {
+        use adapipe_mapper::mapping::Placement;
+        // One stateless stage replicated on a quarter-speed and a free
+        // vnode. Round-robin deals half the stream to each; the fast
+        // replica drains its share early and must steal from the slow
+        // one's backlog instead of idling. Exactly-once and ordering
+        // must survive the steals.
+        let (s0, f0) = spin_stage("hot", 2);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let mut cfg = EngineConfig::new(vec![
+            VNodeSpec::with_speed("slow", 0.25),
+            VNodeSpec::free("fast"),
+        ]);
+        cfg.initial_mapping = Some(Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]));
+        let mut session = spawn(pipeline, &cfg, 40);
+        for i in 0..40u64 {
+            session.push(i);
+        }
+        session.close();
+        let mut got = Vec::new();
+        for o in session.by_ref() {
+            got.push(o);
+        }
+        assert_eq!(got, (1..=40).collect::<Vec<_>>());
+        assert!(
+            session.steals() > 0,
+            "fast replica should have stolen from the slow one's backlog"
+        );
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 40);
+        assert!(!outcome.report.truncated);
     }
 }

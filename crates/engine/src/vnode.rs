@@ -62,6 +62,14 @@ impl VNodeSpec {
         self
     }
 
+    /// True when this vnode can never throttle — full speed and a
+    /// constant, fully-available load model — so
+    /// [`VNodeSpec::slowdown_sleep`] is identically zero and the hot
+    /// path may skip the per-item rate lookup entirely.
+    pub fn never_throttles(&self) -> bool {
+        self.speed >= 1.0 && matches!(self.load, LoadModel::Constant { level } if level >= 1.0)
+    }
+
     /// Effective rate at wall-offset `t` (clamped availability).
     pub fn effective_rate(&self, t: SimTime) -> f64 {
         self.speed * self.load.availability(t).max(MIN_WALL_AVAILABILITY)

@@ -7,14 +7,33 @@
 //! towards an old host are forwarded on arrival (backends check
 //! [`RoutingTable::contains`]), new items go straight to the new hosts.
 //!
-//! Selection state is kept in atomics so the hot path takes `&self`:
-//! the threaded engine routes concurrently from many workers under a
-//! read lock, and the simulator gets identical (deterministic)
-//! round-robin behaviour through the same code.
+//! ## Epoch snapshots
+//!
+//! Internally the table is a publish-only cell over an immutable
+//! [`RoutingSnapshot`]: every read (routing, host lookups, health
+//! checks) goes through the current snapshot, and `install` *publishes
+//! a new snapshot* with a bumped epoch instead of mutating in place.
+//! Hot paths clone the `Arc` once ([`RoutingTable::snapshot`]) and
+//! route lock-free against it, revalidating only when the shared
+//! [`RoutingTable::epoch_cell`] says a newer snapshot exists — so a
+//! re-map never stalls the data plane behind a lock. Two pieces of
+//! state deliberately pierce the snapshot immutability, both atomic so
+//! they take `&self`:
+//!
+//! * per-stage round-robin cursors — selection state, carried forward
+//!   across installs for unmoved stages;
+//! * per-node down flags — shared by *every* snapshot of the table, so
+//!   a fault marked through a fresh snapshot is visible instantly to
+//!   readers still holding an older one (fault re-routes must not wait
+//!   for an epoch bump).
+//!
+//! The simulator gets identical (deterministic) round-robin behaviour
+//! through the same code.
 
 use adapipe_gridsim::node::NodeId;
 use adapipe_mapper::mapping::Mapping;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// How the table picks one replica among a stage's hosts.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -30,49 +49,34 @@ pub enum Selection {
     LeastLoaded,
 }
 
-/// The shared stage→replica-set routing table.
+/// One immutable published generation of the routing state: the mapping
+/// in force, its selection cursors, and the (shared) node-health flags.
+/// Obtained from [`RoutingTable::snapshot`]; readers route against it
+/// lock-free and check [`RoutingSnapshot::epoch`] against the table's
+/// [`RoutingTable::epoch_cell`] to detect staleness.
 #[derive(Debug)]
-pub struct RoutingTable {
+pub struct RoutingSnapshot {
     mapping: Mapping,
     /// Per-stage round-robin cursor. Atomic so routing takes `&self`.
     rr: Vec<AtomicUsize>,
     selection: Selection,
     /// Per-node health flag: a down node is skipped by every selection
-    /// policy while at least one of the stage's hosts is up. Atomic so
-    /// fault transitions take `&self` (they race only with routing
-    /// reads, never with `install`'s write lock).
-    down: Vec<AtomicBool>,
+    /// policy while at least one of the stage's hosts is up. Shared by
+    /// every snapshot of the same table (fault transitions must reach
+    /// readers of *older* snapshots without waiting for a republish).
+    down: Arc<Vec<AtomicBool>>,
+    /// Generation counter: starts at 0, +1 per install.
+    epoch: u64,
 }
 
-impl RoutingTable {
-    /// Creates a table routing according to `mapping` with round-robin
-    /// replica selection. Node health covers the mapping's own hosts;
-    /// prefer [`RoutingTable::with_selection`] with the backend's true
-    /// node count when faults may name nodes outside the mapping.
-    pub fn new(mapping: Mapping) -> Self {
-        let nodes = mapping
-            .nodes_used()
-            .iter()
-            .map(|n| n.index() + 1)
-            .max()
-            .unwrap_or(0);
-        Self::with_selection(mapping, Selection::RoundRobin, nodes)
+impl RoutingSnapshot {
+    /// This snapshot's generation (0 at table creation, +1 per
+    /// [`RoutingTable::install`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
-    /// Creates a table with an explicit selection policy over a backend
-    /// of `node_count` nodes.
-    pub fn with_selection(mapping: Mapping, selection: Selection, node_count: usize) -> Self {
-        let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
-        let down = (0..node_count).map(|_| AtomicBool::new(false)).collect();
-        RoutingTable {
-            mapping,
-            rr,
-            selection,
-            down,
-        }
-    }
-
-    /// The mapping currently in force.
+    /// The mapping this snapshot routes by.
     pub fn mapping(&self) -> &Mapping {
         &self.mapping
     }
@@ -87,7 +91,7 @@ impl RoutingTable {
         self.mapping.len()
     }
 
-    /// True if the table routes no stages (not constructible).
+    /// True if the snapshot routes no stages (not constructible).
     pub fn is_empty(&self) -> bool {
         self.mapping.len() == 0
     }
@@ -97,22 +101,23 @@ impl RoutingTable {
         self.mapping.placement(stage).hosts()
     }
 
-    /// True if `node` currently hosts `stage` — backends use this to
-    /// detect items that were in flight across a re-mapping and must be
-    /// forwarded.
+    /// True if `node` hosts `stage` in this snapshot — backends use
+    /// this to detect items that were in flight across a re-mapping
+    /// (routed under an older epoch) and must be re-homed.
     pub fn contains(&self, stage: usize, node: NodeId) -> bool {
         self.mapping.placement(stage).contains(node)
     }
 
     /// Marks `node` down: every selection policy skips it while any
-    /// alternative host is alive. Out-of-range nodes are ignored.
+    /// alternative host is alive. Out-of-range nodes are ignored. The
+    /// flag is shared across snapshots — see the module docs.
     pub fn mark_down(&self, node: NodeId) {
         if let Some(flag) = self.down.get(node.index()) {
             flag.store(true, Ordering::SeqCst);
         }
     }
 
-    /// Lifts a [`RoutingTable::mark_down`].
+    /// Lifts a [`RoutingSnapshot::mark_down`].
     pub fn mark_up(&self, node: NodeId) {
         if let Some(flag) = self.down.get(node.index()) {
             flag.store(false, Ordering::SeqCst);
@@ -140,8 +145,8 @@ impl RoutingTable {
     /// Picks the destination replica for the next item of `stage`,
     /// always round-robin. Tables configured with
     /// [`Selection::LeastLoaded`] need a load probe — route through
-    /// [`RoutingTable::route_with_load`] instead (debug builds assert
-    /// this so a least-loaded table cannot silently round-robin).
+    /// [`RoutingSnapshot::route_with_load`] instead (debug builds
+    /// assert this so a least-loaded table cannot silently round-robin).
     pub fn route(&self, stage: usize) -> NodeId {
         debug_assert!(
             self.selection == Selection::RoundRobin,
@@ -202,17 +207,179 @@ impl RoutingTable {
                     .expect("placement is never empty")
             })
     }
+}
 
-    /// Swaps in a new mapping, returning the stages whose placement
-    /// changed. Selection cursors of moved stages restart at zero so
-    /// post-remap routing is deterministic.
-    pub fn install(&mut self, new: Mapping) -> Vec<usize> {
-        assert_eq!(new.len(), self.mapping.len(), "mapping length must match");
-        let moved = self.mapping.diff(&new);
-        for &stage in &moved {
-            self.rr[stage].store(0, Ordering::Relaxed);
+/// The shared stage→replica-set routing table: a publish cell over the
+/// current [`RoutingSnapshot`]. All read methods delegate to the
+/// current snapshot; [`RoutingTable::install`] publishes a new one.
+#[derive(Debug)]
+pub struct RoutingTable {
+    snap: Arc<RoutingSnapshot>,
+    /// Mirrors the current snapshot's epoch, shared with readers that
+    /// cached an `Arc<RoutingSnapshot>` so they can detect a newer
+    /// publication with one atomic load — no lock on the hot path.
+    epoch_cell: Arc<AtomicU64>,
+}
+
+impl RoutingTable {
+    /// Creates a table routing according to `mapping` with round-robin
+    /// replica selection. Node health covers the mapping's own hosts;
+    /// prefer [`RoutingTable::with_selection`] with the backend's true
+    /// node count when faults may name nodes outside the mapping.
+    pub fn new(mapping: Mapping) -> Self {
+        let nodes = mapping
+            .nodes_used()
+            .iter()
+            .map(|n| n.index() + 1)
+            .max()
+            .unwrap_or(0);
+        Self::with_selection(mapping, Selection::RoundRobin, nodes)
+    }
+
+    /// Creates a table with an explicit selection policy over a backend
+    /// of `node_count` nodes.
+    pub fn with_selection(mapping: Mapping, selection: Selection, node_count: usize) -> Self {
+        let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
+        let down = Arc::new(
+            (0..node_count)
+                .map(|_| AtomicBool::new(false))
+                .collect::<Vec<_>>(),
+        );
+        RoutingTable {
+            snap: Arc::new(RoutingSnapshot {
+                mapping,
+                rr,
+                selection,
+                down,
+                epoch: 0,
+            }),
+            epoch_cell: Arc::new(AtomicU64::new(0)),
         }
-        self.mapping = new;
+    }
+
+    /// The current snapshot: clone the `Arc` once and route lock-free
+    /// against it. Compare [`RoutingSnapshot::epoch`] with the value in
+    /// [`RoutingTable::epoch_cell`] to know when to re-fetch.
+    pub fn snapshot(&self) -> Arc<RoutingSnapshot> {
+        Arc::clone(&self.snap)
+    }
+
+    /// The shared epoch counter, updated on every [`RoutingTable::install`].
+    /// Readers cache it alongside a snapshot so staleness detection is
+    /// one `Relaxed`/`Acquire` load — never a lock.
+    pub fn epoch_cell(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch_cell)
+    }
+
+    /// The current snapshot's epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snap.epoch
+    }
+
+    /// The mapping currently in force.
+    pub fn mapping(&self) -> &Mapping {
+        self.snap.mapping()
+    }
+
+    /// The selection policy.
+    pub fn selection(&self) -> Selection {
+        self.snap.selection()
+    }
+
+    /// Number of stages routed.
+    pub fn len(&self) -> usize {
+        self.snap.len()
+    }
+
+    /// True if the table routes no stages (not constructible).
+    pub fn is_empty(&self) -> bool {
+        self.snap.is_empty()
+    }
+
+    /// The replica hosts of `stage`.
+    pub fn hosts(&self, stage: usize) -> &[NodeId] {
+        self.snap.hosts(stage)
+    }
+
+    /// True if `node` currently hosts `stage` — backends use this to
+    /// detect items that were in flight across a re-mapping and must be
+    /// forwarded.
+    pub fn contains(&self, stage: usize, node: NodeId) -> bool {
+        self.snap.contains(stage, node)
+    }
+
+    /// Marks `node` down: every selection policy skips it while any
+    /// alternative host is alive. Out-of-range nodes are ignored.
+    pub fn mark_down(&self, node: NodeId) {
+        self.snap.mark_down(node);
+    }
+
+    /// Lifts a [`RoutingTable::mark_down`].
+    pub fn mark_up(&self, node: NodeId) {
+        self.snap.mark_up(node);
+    }
+
+    /// True if `node` is currently marked down.
+    pub fn is_down(&self, node: NodeId) -> bool {
+        self.snap.is_down(node)
+    }
+
+    /// True if every host of `stage` is currently marked down — routing
+    /// cannot avoid a dead destination and items will park until a
+    /// re-map rescues them.
+    pub fn all_hosts_down(&self, stage: usize) -> bool {
+        self.snap.all_hosts_down(stage)
+    }
+
+    /// Picks the destination replica for the next item of `stage`,
+    /// always round-robin (see [`RoutingSnapshot::route`]).
+    pub fn route(&self, stage: usize) -> NodeId {
+        self.snap.route(stage)
+    }
+
+    /// Picks the destination replica for the next item of `stage` using
+    /// the configured selection policy; `load` reports the backend's
+    /// current queue depth per node (only consulted under
+    /// [`Selection::LeastLoaded`]).
+    pub fn route_with_load(&self, stage: usize, load: impl Fn(NodeId) -> usize) -> NodeId {
+        self.snap.route_with_load(stage, load)
+    }
+
+    /// Picks the currently least-loaded replica of `stage` (see
+    /// [`RoutingSnapshot::route_least_loaded`]).
+    pub fn route_least_loaded(&self, stage: usize, load: impl Fn(NodeId) -> usize) -> NodeId {
+        self.snap.route_least_loaded(stage, load)
+    }
+
+    /// Publishes a new snapshot routing by `new` (epoch + 1), returning
+    /// the stages whose placement changed. Selection cursors of moved
+    /// stages restart at zero so post-remap routing is deterministic;
+    /// unmoved stages carry their cursor forward. Readers holding the
+    /// old snapshot keep routing by the old mapping until they observe
+    /// the epoch bump — their in-flight items re-home on arrival via
+    /// the receiving backend's `contains` check.
+    pub fn install(&mut self, new: Mapping) -> Vec<usize> {
+        assert_eq!(new.len(), self.snap.len(), "mapping length must match");
+        let moved = self.snap.mapping.diff(&new);
+        let rr = (0..new.len())
+            .map(|stage| {
+                let cursor = if moved.contains(&stage) {
+                    0
+                } else {
+                    self.snap.rr[stage].load(Ordering::Relaxed)
+                };
+                AtomicUsize::new(cursor)
+            })
+            .collect();
+        let epoch = self.snap.epoch + 1;
+        self.snap = Arc::new(RoutingSnapshot {
+            mapping: new,
+            rr,
+            selection: self.snap.selection,
+            down: Arc::clone(&self.snap.down),
+            epoch,
+        });
+        self.epoch_cell.store(epoch, Ordering::Release);
         moved
     }
 }
@@ -366,5 +533,49 @@ mod tests {
         rt.mark_down(NodeId(99));
         assert!(!rt.is_down(NodeId(99)));
         assert_eq!(rt.route(1), n(2));
+    }
+
+    #[test]
+    fn install_publishes_a_new_epoch_snapshot() {
+        let mut rt = replicated_two();
+        let cell = rt.epoch_cell();
+        let before = rt.snapshot();
+        assert_eq!(before.epoch(), 0);
+        assert_eq!(cell.load(Ordering::Acquire), 0);
+
+        let moved = rt.install(Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::single(n(0)),
+        ]));
+        assert_eq!(moved, vec![1]);
+        let after = rt.snapshot();
+        assert_eq!(after.epoch(), 1);
+        assert_eq!(cell.load(Ordering::Acquire), 1, "cell mirrors the epoch");
+
+        // The retired snapshot is immutable: it still routes the old
+        // mapping (in-flight items drain against their epoch)...
+        assert!(before.contains(1, n(2)));
+        assert!(!after.contains(1, n(2)));
+        assert!(after.contains(1, n(0)));
+    }
+
+    #[test]
+    fn down_flags_are_shared_across_snapshots() {
+        let mut rt = replicated_two();
+        let old = rt.snapshot();
+        rt.install(Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::single(n(1)),
+        ]));
+        // A fault marked through the *new* generation reaches a reader
+        // still routing by the old snapshot instantly — no republish.
+        rt.mark_down(n(0));
+        assert!(old.is_down(n(0)));
+        let picks: Vec<NodeId> = (0..4).map(|_| old.route(0)).collect();
+        assert_eq!(picks, vec![n(1); 4], "stale snapshot skips the dead host");
+        // And the other way round: a mark through the old snapshot is
+        // seen by the current table.
+        old.mark_up(n(0));
+        assert!(!rt.is_down(n(0)));
     }
 }

@@ -591,6 +591,18 @@ pub struct RunConfig {
     /// simulation backend models no wall-clock memory pressure and
     /// ignores the knob.
     pub queue_capacity: Option<usize>,
+    /// Envelope batch granularity for the threaded backend: up to this
+    /// many pushed items ship as one routed envelope, and stage exits
+    /// batch their outputs the same way, amortising channel-send,
+    /// routing, and credit overhead across the batch. `1` (the default)
+    /// reproduces the per-item wire behaviour exactly; raise it (64–256
+    /// is typical) for small-item high-rate streams where per-item
+    /// overhead dominates. Buffered input flushes on `close()`, on any
+    /// output-side call, and before blocking on the credit gate, so
+    /// batching never deadlocks against `queue_capacity`; the credit
+    /// gate still accounts per item. The simulation backend models no
+    /// per-message overhead and ignores the knob.
+    pub batch_size: usize,
     /// In-flight steering flags (pause/resume/force re-map) shared with
     /// the session that owns the run.
     pub control: SessionControl,
@@ -624,6 +636,7 @@ impl Default for RunConfig {
             max_sim_time: SimDuration::from_secs(7 * 24 * 3600),
             hooks: RunHooks::default(),
             queue_capacity: None,
+            batch_size: 1,
             control: SessionControl::default(),
             faults: FaultPlan::new(),
         }

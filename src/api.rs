@@ -320,7 +320,7 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 let items = cfg.items;
                 let engine_cfg = engine_config(&self.session, vnodes, cfg);
                 let core = CorePipeline::from_graph_parts(self.spec, self.stages, self.fanouts);
-                SessionInner::Threads(exec::spawn(core, &engine_cfg, items))
+                SessionInner::Threads(Box::new(exec::spawn(core, &engine_cfg, items)))
             }
         };
         Ok(RunSession {
@@ -411,6 +411,7 @@ fn engine_config(session: &Session, vnodes: Vec<VNodeSpec>, cfg: RunConfig) -> E
     engine_cfg.emulate_links = cfg.emulate_links;
     engine_cfg.hooks = cfg.hooks;
     engine_cfg.queue_capacity = cfg.queue_capacity;
+    engine_cfg.batch_size = cfg.batch_size;
     engine_cfg.control = cfg.control;
     engine_cfg.faults = cfg.faults;
     engine_cfg
@@ -451,7 +452,9 @@ enum SessionInner<'g, I, O> {
     /// Cooperative discrete-event session (boxed: the simulated world
     /// is much larger than the threaded handle).
     Sim(Box<SimSession<'g>>),
-    Threads(EngineSession<I, O>),
+    /// Live threaded session (boxed: the pending input buffer and
+    /// routing cache make the handle chunky too).
+    Threads(Box<EngineSession<I, O>>),
 }
 
 /// Simulation-backend session state: the steppable world plus eager
@@ -555,6 +558,30 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
             }
             SessionInner::Threads(engine) => engine.push(item),
         }
+    }
+
+    /// Feeds a whole batch of items, returning how many were pushed.
+    ///
+    /// On the threaded backend this feeds the batched envelope path
+    /// directly: items coalesce into [`RunConfig::batch_size`]-sized
+    /// envelopes as they are pushed and any remainder is flushed before
+    /// the call returns, so the entire batch is in flight afterwards
+    /// (the batch `run()` sugar goes through the same path). On the
+    /// simulation backend it is equivalent to pushing each item in
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if the session was closed.
+    pub fn push_batch(&mut self, items: impl IntoIterator<Item = I>) -> u64 {
+        if let SessionInner::Threads(engine) = &mut self.inner {
+            return engine.push_batch(items);
+        }
+        let mut n = 0;
+        for item in items {
+            self.push(item);
+            n += 1;
+        }
+        n
     }
 
     /// Feeds arrival *metadata* only (simulation backend): the item

@@ -1,0 +1,136 @@
+//! Seeded stress of the batched, work-stealing threaded hot path under
+//! adaptation chaos: a replicated stateless pipeline pushed in bursts
+//! through a live session while a fault plan takes a node down and back
+//! up, periodic re-planning and explicit `force_remap` calls publish new
+//! routing epochs mid-stream, and idle replicas steal from loaded
+//! siblings. The run must stay exactly-once — no lost items, no
+//! duplicates, outputs in push order — and (via the engine's
+//! debug assertions, active in this build) no envelope may ever be
+//! processed against a retired routing epoch on a host that no longer
+//! serves its stage.
+
+use adapipe::prelude::*;
+use std::time::Duration;
+
+fn n(i: usize) -> NodeId {
+    NodeId(i)
+}
+
+fn secs(s: f64) -> SimTime {
+    SimTime::from_secs_f64(s)
+}
+
+const STAGE_SECS: f64 = 0.002;
+const ITEMS: u64 = 300;
+
+/// Small deterministic LCG (Numerical Recipes constants) driving the
+/// push/pull/control interleaving so every run replays the same chaos.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Two replicated stateless spinning stages: enough per-item work for
+/// queues to build (so idle replicas steal) and for the wall-clock
+/// fault schedule to land mid-stream.
+fn stress_pipeline() -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage_with(StageSpec::balanced("a", STAGE_SECS, 8), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x + 1
+        })
+        .stage_with(StageSpec::balanced("b", STAGE_SECS, 8), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x * 3
+        })
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(60),
+        })
+        // Node 1 drops out at 0.15 s and returns at 0.45 s; stranded
+        // envelopes replay, and the periodic controller re-maps away
+        // from (then possibly back onto) it while the stream is live.
+        .faults(FaultPlan::new().outage(n(1), secs(0.15), secs(0.45)))
+        .feed(|i| i)
+        .build()
+        .expect("stress pipeline builds")
+}
+
+fn stress_vnodes() -> Vec<VNodeSpec> {
+    // One deliberately slow replica host so round-robin dealing
+    // overloads it and its siblings have something to steal.
+    vec![
+        VNodeSpec::free("v0"),
+        VNodeSpec::with_speed("v1", 0.5),
+        VNodeSpec::free("v2"),
+        VNodeSpec::free("v3"),
+    ]
+}
+
+/// The chaos run: seeded bursts of batched pushes interleaved with
+/// pulls and forced re-maps, over the outage schedule above.
+#[test]
+fn remap_node_churn_and_stealing_stay_exactly_once() {
+    let cfg = RunConfig {
+        items: ITEMS,
+        initial_mapping: Some(Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::replicated(vec![n(2), n(3)]),
+        ])),
+        // Batched envelopes on the wire, a bounded credit gate, and
+        // order-preserving delivery — the full hot-path configuration.
+        batch_size: 8,
+        queue_capacity: Some(64),
+        ..RunConfig::default()
+    };
+    let mut session = stress_pipeline()
+        .spawn(Backend::Threads(stress_vnodes()), cfg)
+        .expect("spawn threads session");
+
+    let mut rng = Lcg(0x5eed_cafe_f00d);
+    let mut outputs: Vec<u64> = Vec::with_capacity(ITEMS as usize);
+    let mut pushed = 0u64;
+    let mut remaps_forced = 0;
+    while pushed < ITEMS {
+        // Bursts of 1..=12 pushes: short bursts ride the pending
+        // buffer, long ones flush whole envelopes mid-loop.
+        let burst = 1 + rng.next() % 12;
+        let batch: Vec<u64> = (0..burst.min(ITEMS - pushed)).map(|k| pushed + k).collect();
+        pushed += batch.len() as u64;
+        session.push_batch(batch);
+        // Occasionally force a re-plan so fresh routing epochs are
+        // published while envelopes from older epochs are in flight.
+        if rng.next().is_multiple_of(7) {
+            session.force_remap();
+            remaps_forced += 1;
+        }
+        // Pull opportunistically so the credit gate keeps cycling.
+        if !rng.next().is_multiple_of(3) {
+            while let TryNext::Item(o) = session.try_next() {
+                outputs.push(o);
+            }
+        }
+    }
+    assert!(remaps_forced > 0, "seed never forced a remap");
+
+    let handle = session.drain();
+    outputs.extend(handle.outputs);
+    assert!(
+        handle.error.is_none(),
+        "chaos run errored: {:?}",
+        handle.error
+    );
+
+    // Exactly-once, in push order: every item observed once, no
+    // duplicates, no losses, resequenced despite replay and stealing.
+    let expected: Vec<u64> = (0..ITEMS).map(|i| (i + 1) * 3).collect();
+    assert_eq!(outputs, expected, "lost, duplicated, or reordered items");
+    assert_eq!(handle.report.completed, ITEMS);
+    assert!(!handle.report.truncated, "report claims truncation");
+}
