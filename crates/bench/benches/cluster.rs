@@ -1,0 +1,107 @@
+//! Multi-tenant pool efficiency: four concurrent sessions sharing one
+//! worker pool versus a single session owning it, at the same total
+//! item count. Perfect multi-tenancy would make the 4-session aggregate
+//! match the single-session rate (the pool is the bottleneck, not the
+//! tenancy machinery); the CI gate asserts the aggregate keeps >= 0.8x
+//! the single-session pool efficiency and reports the literal
+//! 4-session/1-session throughput ratio.
+//!
+//! `cargo bench -p adapipe-bench --bench cluster`
+//!
+//! Regenerate the committed baseline with:
+//! `ADAPIPE_BENCH_JSON=$PWD/BENCH_cluster.json \
+//!     cargo bench -p adapipe-bench --bench cluster`
+
+use adapipe::api::{
+    Backend, Cluster, ClusterConfig, Pipeline, RunConfig, SessionConfig, ShareQuota,
+};
+use adapipe_engine::vnode::VNodeSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// Total items per measured run, identical in both scenarios so the
+/// mean times divide into a pool-efficiency ratio directly.
+const TOTAL: u64 = 100_000;
+const TENANTS: u64 = 4;
+
+/// Trivial stages: all plumbing, no work, so the numbers isolate the
+/// tenancy machinery (per-tenant lanes, arbiter, shared inboxes).
+fn pipeline() -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage("inc", |x: u64| x + 1)
+        .stage("double", |x: u64| x * 2)
+        .build()
+        .expect("valid pipeline")
+}
+
+fn vnodes() -> Vec<VNodeSpec> {
+    vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]
+}
+
+fn cfg(items: u64) -> RunConfig {
+    RunConfig {
+        items,
+        batch_size: 256,
+        ..RunConfig::default()
+    }
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    // Both scenarios run against a persistent, warm pool — the
+    // cluster's reason to exist — so the measured cost is admission +
+    // serving + drain, not worker-thread launch and teardown.
+    for tenants in [1u64, TENANTS] {
+        let name = if tenants == 1 {
+            "threads_single_session"
+        } else {
+            "threads_quad_session"
+        };
+        group.bench_with_input(BenchmarkId::new(name, TOTAL), &TOTAL, |b, &total| {
+            let mut cluster = Cluster::new(Backend::Threads(vnodes()), ClusterConfig::default())
+                .expect("cluster launches");
+            let per = total / tenants;
+            b.iter(|| {
+                let mut sessions: Vec<_> = (0..tenants)
+                    .map(|_| {
+                        cluster
+                            .admit(
+                                pipeline(),
+                                SessionConfig {
+                                    run: cfg(per),
+                                    quota: ShareQuota::default(),
+                                },
+                            )
+                            .expect("tenant admitted")
+                    })
+                    .collect();
+                // Interleave tenant pushes in envelope-sized chunks so
+                // the pool serves every tenant concurrently through the
+                // weighted-fair lanes.
+                let mut next = 0u64;
+                while next < per {
+                    let hi = (next + 4096).min(per);
+                    for session in sessions.iter_mut() {
+                        session.push_batch(next..hi).unwrap();
+                    }
+                    next = hi;
+                }
+                let handles: Vec<_> = sessions.into_iter().map(|s| s.drain()).collect();
+                for handle in &handles {
+                    assert_eq!(handle.report.completed, per, "tenant lost items");
+                }
+                handles
+            });
+            cluster.shutdown();
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

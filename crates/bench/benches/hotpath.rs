@@ -76,7 +76,7 @@ fn bench_hotpath(c: &mut Criterion) {
                     let mut next = 0u64;
                     while next < items {
                         let hi = (next + 4096).min(items);
-                        session.push_batch(next..hi);
+                        session.push_batch(next..hi).unwrap();
                         next = hi;
                     }
                     session.drain()

@@ -74,7 +74,7 @@ fn bench_streaming(c: &mut Criterion) {
                         .spawn(Backend::Threads(vnodes()), cfg(items))
                         .expect("spawn");
                     for i in 0..items {
-                        session.push(i);
+                        session.push(i).unwrap();
                     }
                     session.drain()
                 })
@@ -107,7 +107,7 @@ fn bench_streaming(c: &mut Criterion) {
                             .spawn(Backend::Sim(&grid), cfg(items))
                             .expect("spawn");
                     for i in 0..items {
-                        session.push(i);
+                        session.push(i).unwrap();
                     }
                     session.drain()
                 })

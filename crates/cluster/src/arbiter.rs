@@ -1,0 +1,135 @@
+//! Windowed demand sensing and share arbitration for one node pool.
+//!
+//! Per sensing window the cluster observes, for every live tenant, two
+//! cheap counters: whether the tenant *progressed* (completed anything
+//! since the last window) and how many of its items sit *backlogged* in
+//! the pool's worker inboxes. From these a per-tenant **demand** — the
+//! capacity fraction the tenant could productively use — is derived:
+//!
+//! * backlogged ⇒ the tenant is supply-limited: it could use the whole
+//!   pool (demand 1.0);
+//! * progressing without backlog ⇒ the tenant keeps up with its current
+//!   grant: demand = current share (its surplus, if any, is released
+//!   only when it goes idle — a keeping-up tenant is never squeezed);
+//! * idle (no progress, no backlog) ⇒ demand decays to zero after a
+//!   grace period of [`IDLE_GRACE`] windows, releasing even the
+//!   tenant's `min_share` floor to the others. The grace period keeps a
+//!   briefly quiet tenant (e.g. between request bursts) from losing its
+//!   guarantee and having to re-earn it with queueing delay.
+//!
+//! The demands feed [`adapipe_mapper::share::arbitrate`] (weighted
+//! progressive filling under `min_share`/`max_share` quotas); the
+//! resulting shares drive both enforcement (weighted-fair envelope
+//! admission at the worker inboxes) and planning (each tenant's planner
+//! sees the pool scaled by its share).
+
+use adapipe_mapper::share::{arbitrate, ShareQuota};
+
+/// Idle windows a tenant may coast before its demand — and with it its
+/// `min_share` floor — is released to the other tenants.
+pub const IDLE_GRACE: u32 = 3;
+
+/// What the cluster observed about one tenant over one sensing window.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantSignal {
+    /// Items of this tenant currently queued in the pool's inboxes.
+    pub backlog: u64,
+    /// True if the tenant completed at least one item this window.
+    pub progressed: bool,
+    /// Consecutive fully idle windows so far (maintained by the
+    /// caller; reset to zero whenever the tenant progresses or queues).
+    pub idle_windows: u32,
+    /// The share currently granted to the tenant.
+    pub share: f64,
+}
+
+/// Derives each tenant's demand — the capacity fraction it could
+/// productively use — from its window signal (see the module docs).
+pub fn window_demands(signals: &[TenantSignal]) -> Vec<f64> {
+    signals
+        .iter()
+        .map(|s| {
+            if s.backlog > 0 {
+                1.0
+            } else if s.progressed || s.idle_windows < IDLE_GRACE {
+                // Keeping up, or within the idle grace period: hold the
+                // current grant (never squeeze a live tenant mid-burst).
+                s.share
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// One arbitration window: demands from the signals, then weighted
+/// progressive filling under the quotas. Returns the new share per
+/// tenant, aligned with the input order.
+pub fn arbitrate_window(signals: &[TenantSignal], quotas: &[ShareQuota]) -> Vec<f64> {
+    arbitrate(&window_demands(signals), quotas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(backlog: u64, progressed: bool, idle: u32, share: f64) -> TenantSignal {
+        TenantSignal {
+            backlog,
+            progressed,
+            idle_windows: idle,
+            share,
+        }
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn backlogged_tenants_split_the_pool_by_weight() {
+        let signals = [sig(100, true, 0, 0.5), sig(100, true, 0, 0.5)];
+        let quotas = [ShareQuota::weighted(3.0), ShareQuota::weighted(1.0)];
+        let s = arbitrate_window(&signals, &quotas);
+        assert!(close(s[0], 0.75) && close(s[1], 0.25), "{s:?}");
+    }
+
+    #[test]
+    fn keeping_up_tenant_holds_its_grant_against_a_spike() {
+        // Tenant 0 keeps up on 0.4; tenant 1 has a huge backlog. The
+        // spike takes the surplus but never squeezes the live tenant.
+        let signals = [sig(0, true, 0, 0.4), sig(10_000, true, 0, 0.6)];
+        let quotas = [ShareQuota::default(), ShareQuota::default()];
+        let s = arbitrate_window(&signals, &quotas);
+        assert!(close(s[0], 0.4), "{s:?}");
+        assert!(close(s[1], 0.6), "{s:?}");
+    }
+
+    #[test]
+    fn briefly_idle_tenant_keeps_its_share_through_the_grace() {
+        let signals = [
+            sig(0, false, IDLE_GRACE - 1, 0.5),
+            sig(10_000, true, 0, 0.5),
+        ];
+        let quotas = [ShareQuota::default(), ShareQuota::default()];
+        let s = arbitrate_window(&signals, &quotas);
+        assert!(close(s[0], 0.5), "{s:?}");
+    }
+
+    #[test]
+    fn long_idle_tenant_releases_everything() {
+        let signals = [sig(0, false, IDLE_GRACE, 0.5), sig(10_000, true, 0, 0.5)];
+        // Even a guaranteed floor is released once truly idle.
+        let quotas = [ShareQuota::bounded(0.4, 1.0), ShareQuota::default()];
+        let s = arbitrate_window(&signals, &quotas);
+        assert!(close(s[0], 0.0) && close(s[1], 1.0), "{s:?}");
+    }
+
+    #[test]
+    fn floor_shields_a_backlogged_tenant_from_a_heavy_peer() {
+        let signals = [sig(50, true, 0, 0.5), sig(50, true, 0, 0.5)];
+        let quotas = [ShareQuota::bounded(0.3, 1.0), ShareQuota::weighted(100.0)];
+        let s = arbitrate_window(&signals, &quotas);
+        assert!(s[0] >= 0.3 - 1e-9, "{s:?}");
+    }
+}

@@ -45,7 +45,7 @@ use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{ReportBuilder, RunReport};
 use adapipe_runtime::routing::{RoutingTable, Selection};
-use adapipe_runtime::session::{RunEvent, RunHooks, SessionControl};
+use adapipe_runtime::session::{RunEvent, RunHooks, SessionControl, SessionId};
 use std::borrow::Cow;
 use std::collections::{HashMap, VecDeque};
 use std::sync::RwLock;
@@ -88,6 +88,17 @@ pub struct SimConfig {
     /// mutated), with down/up transitions driven through the shared
     /// adaptation loop at their exact simulated instants.
     pub faults: FaultPlan,
+    /// Static capacity share granted to this session when several
+    /// sessions time-share one simulated pool (the cluster facade sets
+    /// it from the tenants' quotas via `fair_shares`). Every sensed and
+    /// oracle node rate is scaled by this factor, so the session's
+    /// planner sees — and its service model uses — only its slice of
+    /// the pool. `1.0` (the default) is the single-tenant case.
+    pub rate_scale: f64,
+    /// The session id stamped onto every emitted [`RunEvent`]
+    /// (`SessionId(0)` for standalone runs); a multi-tenant cluster
+    /// assigns distinct ids so merged event streams demultiplex.
+    pub session: SessionId,
 }
 
 impl Default for SimConfig {
@@ -107,6 +118,8 @@ impl Default for SimConfig {
             hooks: RunHooks::default(),
             control: SessionControl::default(),
             faults: FaultPlan::new(),
+            rate_scale: 1.0,
+            session: SessionId(0),
         }
     }
 }
@@ -184,6 +197,15 @@ struct SimWorld<'a> {
     ns: usize,
     horizon: SimTime,
     link_contention: bool,
+    /// Capacity share of the pool granted to this session
+    /// ([`SimConfig::rate_scale`]): stretches every service time by its
+    /// inverse and scales every sensed/oracle rate, so co-tenant
+    /// sessions time-sharing one simulated pool each see and get only
+    /// their slice.
+    rate_scale: f64,
+    /// The session id stamped onto events emitted by the world itself
+    /// (replays); the adaptation loop stamps its own.
+    session: SessionId,
     /// Per-node down flags mirroring the fault tracker (set through
     /// [`ExecutionBackend::on_node_down`]), used to tell a *replay* —
     /// an item rescued off a dead host — from an ordinary migration
@@ -291,9 +313,20 @@ impl<'a> SimStepper<'a> {
         let np = grid.len();
         let speeds: Vec<f64> = grid.node_ids().map(|id| grid.node(id).spec.speed).collect();
 
+        assert!(
+            cfg.rate_scale.is_finite() && cfg.rate_scale > 0.0 && cfg.rate_scale <= 1.0,
+            "rate_scale must lie in (0, 1], got {}",
+            cfg.rate_scale
+        );
         // Launch mapping: supplied, or planned from availability at t=0
         // (what a launch-time scheduler with fresh information would do).
-        let launch_rates = grid.rates_at(SimTime::ZERO);
+        // A fractional pool share scales the planning rates too, so the
+        // launch plan reflects the capacity the session will really get.
+        let launch_rates: Vec<f64> = grid
+            .rates_at(SimTime::ZERO)
+            .iter()
+            .map(|r| r * cfg.rate_scale)
+            .collect();
         let mapping = cfg.initial_mapping.clone().unwrap_or_else(|| {
             adapipe_mapper::search::plan(
                 &profile,
@@ -325,6 +358,7 @@ impl<'a> SimStepper<'a> {
             noise_seed: cfg.noise_seed,
             hooks: cfg.hooks.clone(),
             control: cfg.control.clone(),
+            session: cfg.session,
         };
         let aloop = AdaptationLoop::new(runtime_cfg, &mapping, &launch_rates);
 
@@ -354,6 +388,8 @@ impl<'a> SimStepper<'a> {
             spec,
             horizon: SimTime::ZERO + cfg.max_sim_time,
             link_contention: cfg.link_contention,
+            rate_scale: cfg.rate_scale,
+            session: cfg.session,
             down: vec![false; np],
             hooks: cfg.hooks.clone(),
             events: EventQueue::new(),
@@ -553,6 +589,33 @@ impl<'a> SimStepper<'a> {
             }
         }
         true
+    }
+
+    /// The simulated instant of the next event that would fire — the
+    /// earlier of the event queue's head and any buffered arrival run —
+    /// or `None` when nothing is pending. A cluster interleaving
+    /// several steppers over one pool steps whichever session's next
+    /// event is earliest, giving one coherent merged event clock.
+    ///
+    /// Control events (ticks, samples, faults) are scheduled lazily at
+    /// the first [`SimStepper::step`], so before any stepping this
+    /// reflects arrivals only.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        let queued = self.world.events.peek_time();
+        let pending = self.pending_arrival.map(|(at, _, _)| at);
+        match (queued, pending) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Pops the oldest not-yet-collected completion, without advancing
+    /// the world — or `None` when every completion so far has been
+    /// collected. The cluster drains completions after stepping the
+    /// merged event clock; a single-tenant session should prefer
+    /// [`SimStepper::next_completion`], which steps as needed.
+    pub fn pop_completion(&mut self) -> Option<u64> {
+        self.world.completed_log.pop_front()
     }
 
     /// Advances the world until one more item completes, returning its
@@ -838,7 +901,9 @@ impl SimWorld<'_> {
                 .expect("picked stage has a queue")
                 .pop_front()
                 .expect("picked stage queue is non-empty");
-            let work = self.spec.draw_work(stage, item);
+            // A fractional pool share stretches service: the node spends
+            // `1/rate_scale` of wall time per unit of this session's work.
+            let work = self.spec.draw_work(stage, item) / self.rate_scale;
             let done_at = self.grid.node(NodeId(node)).completion_time(now, work);
             if done_at > self.horizon {
                 // The node cannot finish this task within the run horizon
@@ -920,6 +985,7 @@ impl ExecutionBackend for SimWorld<'_> {
             .node(NodeId(node))
             .load
             .mean_availability(from, to)
+            * self.rate_scale
     }
 
     fn completed(&self) -> u64 {
@@ -930,7 +996,7 @@ impl ExecutionBackend for SimWorld<'_> {
         (0..self.grid.len())
             .map(|i| {
                 let node = self.grid.node(NodeId(i));
-                node.spec.speed * node.load.mean_availability(from, to)
+                node.spec.speed * node.load.mean_availability(from, to) * self.rate_scale
             })
             .collect()
     }
@@ -963,6 +1029,7 @@ impl ExecutionBackend for SimWorld<'_> {
                 if self.down[from] {
                     self.report.record_replay();
                     self.hooks.events.emit(RunEvent::ItemReplayed {
+                        session: self.session,
                         seq: item,
                         stage,
                         from,
@@ -1050,6 +1117,47 @@ mod tests {
         let makespan = report.makespan.as_secs_f64();
         assert!((makespan - 300.0).abs() < 3.0, "makespan={makespan}");
         assert!(report.node_utilisation(0) > 0.95);
+    }
+
+    #[test]
+    fn rate_scale_stretches_service_proportionally() {
+        let (grid, spec) = balanced_setup();
+        let mk = |scale| SimConfig {
+            items: 100,
+            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
+            rate_scale: scale,
+            ..SimConfig::default()
+        };
+        let full = run(&grid, &spec, &mk(1.0));
+        let half = run(&grid, &spec, &mk(0.5));
+        assert_eq!(full.completed, 100);
+        assert_eq!(half.completed, 100);
+        // Half the pool share ⇒ every service takes twice as long ⇒
+        // the steady-state rate halves and the makespan roughly doubles.
+        let ratio = half.makespan.as_secs_f64() / full.makespan.as_secs_f64();
+        assert!((ratio - 2.0).abs() < 0.1, "ratio={ratio}");
+    }
+
+    #[test]
+    fn stepper_surfaces_next_event_and_buffered_completions() {
+        let (grid, spec) = balanced_setup();
+        let cfg = SimConfig {
+            initial_mapping: Some(Mapping::from_assignment(&[n(0), n(1), n(2)])),
+            ..SimConfig::default()
+        };
+        let mut stepper = SimStepper::new(&grid, spec, &cfg);
+        assert_eq!(stepper.next_event_at(), None);
+        stepper.push_at(secs(3.0));
+        // The buffered (not yet flushed) arrival is visible.
+        assert_eq!(stepper.next_event_at(), Some(secs(3.0)));
+        stepper.close();
+        assert_eq!(stepper.pop_completion(), None);
+        while stepper.pop_completion().is_none() {
+            assert!(stepper.next_event_at().is_some(), "events starved early");
+            assert!(stepper.step(), "run exhausted before completion");
+        }
+        assert_eq!(stepper.completed(), 1);
+        assert_eq!(stepper.pop_completion(), None);
     }
 
     #[test]

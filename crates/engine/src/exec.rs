@@ -63,6 +63,23 @@
 //! `Relinquish`, then notifies the new hosts, which buffer items
 //! meanwhile).
 //!
+//! ## Multi-tenant pools
+//!
+//! The worker threads belong to a [`Pool`], not to a session: any
+//! number of concurrent sessions (heterogeneous stage graphs) attach to
+//! one pool with [`attach`], each keeping its own typed push/pull API,
+//! routing table, adaptation loop, collector, credit gate, and
+//! exactly-once replay isolation. Worker inboxes hold one weighted-fair
+//! *lane* per tenant (start-time fair queueing over item counts), so a
+//! spiking tenant's backlog cannot starve a steady co-tenant; the
+//! cluster arbiter moves capacity between tenants by setting shares
+//! ([`TenantHandle::set_share`]), which reweights both lane service and
+//! each tenant's planner view of the pool. Node health is pool-wide
+//! (one tenant's fault tracker marking a node down excludes it for
+//! everyone), while replay, eviction, and fatal teardown stay strictly
+//! tenant-scoped. [`spawn`] is the degenerate cluster-of-one: it
+//! launches a private pool and shuts it down at drain.
+//!
 //! Ordering: with `preserve_order` (default) outputs are resequenced by
 //! item index. During a migration window a *stateful* stage may observe
 //! items slightly out of sequence order (items forwarded from the old
@@ -87,7 +104,7 @@ use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
 use adapipe_runtime::routing::{RoutingSnapshot, RoutingTable};
-use adapipe_runtime::session::{RunError, RunEvent, RunHooks, SessionControl, TryNext};
+use adapipe_runtime::session::{RunError, RunEvent, RunHooks, SessionControl, SessionId, TryNext};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -220,17 +237,27 @@ struct Envelope {
     items: Vec<ItemSlot>,
 }
 
-enum Msg {
-    Work(Envelope),
-    /// Deposit the (stateful) instance of `stage` back into the depot.
-    Relinquish {
-        stage: usize,
-    },
-    /// A stateful instance landed in the depot: retry buffered items
-    /// (pure wake-up; the post-message service scan finds the stage).
-    DepotReady,
-    /// Teardown sentinel: the worker exits after processing it.
+/// Control-plane messages, served strictly before work envelopes.
+enum Ctrl {
+    /// Deposit `tenant`'s (stateful) instance of `stage` back into the
+    /// depot.
+    Relinquish { tenant: Arc<Shared>, stage: usize },
+    /// Pure wake-up: re-run the post-message service scan (a stateful
+    /// instance landed in the depot, a node changed health, or a tenant
+    /// tore down fatally and its blocked peers must re-check).
+    Wake,
+    /// `tenant` is detaching from the pool: drop its lane and local
+    /// state, flush its accounting, and ack via `Shared::detached`.
+    TenantGone { tenant: Arc<Shared> },
+    /// Pool teardown sentinel: the worker exits after processing it.
     Shutdown,
+}
+
+/// One message popped from an inbox: a control message, or a work
+/// envelope tagged with the tenant it belongs to.
+enum Msg {
+    Work { tenant: Arc<Shared>, env: Envelope },
+    Ctrl(Ctrl),
 }
 
 struct Finished {
@@ -240,16 +267,73 @@ struct Finished {
     payload: BoxedItem,
 }
 
-/// A worker's inbox: a mutex-guarded deque rather than an mpsc channel
-/// so that (a) senders learn the post-push depth (the steal wake-up
-/// heuristic) and (b) idle siblings can *steal* work envelopes from the
-/// tail. The `idle` flag implements a lost-wakeup-free hand-off with
-/// thieves: a worker advertises idleness before scanning siblings, and
-/// anyone wanting to wake it clears the flag first — a cleared flag
-/// makes a waiting thief loop back and re-scan instead of sleeping
-/// through the notification.
+/// One tenant's queue inside a worker inbox, with its weighted-fair
+/// virtual-time tag (start-time fair queueing): serving an envelope of
+/// `n` items advances the lane's tag by `n / weight`, and the pop
+/// always takes the backlogged lane with the smallest tag — so over any
+/// congested window each tenant receives worker capacity proportional
+/// to its share, and a spiking tenant's deep backlog cannot starve a
+/// steady co-tenant's shallow one.
+struct Lane {
+    tenant: Arc<Shared>,
+    queue: VecDeque<Envelope>,
+    vtime: f64,
+}
+
+/// The guarded state of one worker inbox: control messages (served
+/// first) plus one weighted-fair lane per tenant.
+struct InboxQueue {
+    ctrl: VecDeque<Ctrl>,
+    lanes: Vec<Lane>,
+    /// The inbox's virtual clock: the start tag of the lane served
+    /// last. A lane going from empty to backlogged is clamped up to it,
+    /// so idle periods bank no credit.
+    vnow: f64,
+}
+
+impl InboxQueue {
+    /// Pops the next message: control first, then the backlogged lane
+    /// with the smallest virtual-time tag (charged by item count over
+    /// the tenant's current share).
+    fn pop(&mut self) -> Option<Msg> {
+        if let Some(c) = self.ctrl.pop_front() {
+            return Some(Msg::Ctrl(c));
+        }
+        let mut best: Option<usize> = None;
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if lane.queue.is_empty() {
+                continue;
+            }
+            match best {
+                Some(b) if lane.vtime >= self.lanes[b].vtime => {}
+                _ => best = Some(i),
+            }
+        }
+        let i = best?;
+        let lane = &mut self.lanes[i];
+        self.vnow = lane.vtime;
+        let env = lane.queue.pop_front().expect("lane checked non-empty");
+        let weight = lane.tenant.share().max(MIN_LANE_WEIGHT);
+        lane.vtime += env.items.len().max(1) as f64 / weight;
+        Some(Msg::Work {
+            tenant: Arc::clone(&lane.tenant),
+            env,
+        })
+    }
+}
+
+/// A worker's inbox: a mutex-guarded structure rather than an mpsc
+/// channel so that (a) senders learn the post-push work depth (the
+/// steal wake-up heuristic), (b) idle siblings can *steal* work
+/// envelopes from the lane tails, and (c) concurrent tenants get
+/// weighted-fair admission via per-tenant lanes instead of one FIFO a
+/// spiking tenant could flood. The `idle` flag implements a
+/// lost-wakeup-free hand-off with thieves: a worker advertises idleness
+/// before scanning siblings, and anyone wanting to wake it clears the
+/// flag first — a cleared flag makes a waiting thief loop back and
+/// re-scan instead of sleeping through the notification.
 struct Inbox {
-    queue: Mutex<VecDeque<Msg>>,
+    queue: Mutex<InboxQueue>,
     ready: Condvar,
     idle: AtomicBool,
 }
@@ -257,22 +341,71 @@ struct Inbox {
 impl Inbox {
     fn new() -> Self {
         Inbox {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(InboxQueue {
+                ctrl: VecDeque::new(),
+                lanes: Vec::new(),
+                vnow: 0.0,
+            }),
             ready: Condvar::new(),
             idle: AtomicBool::new(false),
         }
     }
 
-    /// Enqueues `msg` and returns the resulting queue depth.
-    fn send(&self, msg: Msg) -> usize {
+    /// Enqueues a work envelope on `tenant`'s lane (created on first
+    /// use) and returns the resulting total work depth across lanes.
+    fn send_work(&self, tenant: &Arc<Shared>, env: Envelope) -> usize {
         let mut q = self.queue.lock().expect("inbox lock poisoned");
-        q.push_back(msg);
-        let depth = q.len();
+        let vnow = q.vnow;
+        let idx = match q.lanes.iter().position(|l| l.tenant.id == tenant.id) {
+            Some(i) => i,
+            None => {
+                q.lanes.push(Lane {
+                    tenant: Arc::clone(tenant),
+                    queue: VecDeque::new(),
+                    vtime: vnow,
+                });
+                q.lanes.len() - 1
+            }
+        };
+        let lane = &mut q.lanes[idx];
+        if lane.queue.is_empty() && lane.vtime < vnow {
+            // Re-activation: no banked credit from the idle period.
+            lane.vtime = vnow;
+        }
+        lane.queue.push_back(env);
+        let depth: usize = q.lanes.iter().map(|l| l.queue.len()).sum();
         drop(q);
         // The owner re-checks the queue under the lock before waiting,
         // so notifying without the lock cannot lose the wakeup.
         self.ready.notify_one();
         depth
+    }
+
+    /// Enqueues a control message (served before any lane).
+    fn send_ctrl(&self, c: Ctrl) {
+        let mut q = self.queue.lock().expect("inbox lock poisoned");
+        q.ctrl.push_back(c);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Removes `session`'s lane (dropping whatever it still queued —
+    /// the tenant is detaching, so the backlog is either empty or
+    /// deliberately discarded).
+    fn drop_lane(&self, session: u64) {
+        let mut q = self.queue.lock().expect("inbox lock poisoned");
+        q.lanes.retain(|l| l.tenant.id != session);
+    }
+
+    /// Items currently queued for `session` on this inbox.
+    fn queued_for(&self, session: u64) -> u64 {
+        let q = self.queue.lock().expect("inbox lock poisoned");
+        q.lanes
+            .iter()
+            .filter(|l| l.tenant.id == session)
+            .flat_map(|l| l.queue.iter())
+            .map(|env| env.items.len() as u64)
+            .sum()
     }
 
     /// Wakes the owning worker if it advertised idleness; true if a
@@ -289,6 +422,11 @@ impl Inbox {
         }
     }
 }
+
+/// Floor for a lane's fair-queueing weight: an arbiter granting a
+/// (near-)zero share must throttle a tenant, not freeze its lane's
+/// virtual clock.
+const MIN_LANE_WEIGHT: f64 = 0.01;
 
 /// Collector-side control plane, multiplexed with finished items.
 enum SinkMsg {
@@ -375,8 +513,129 @@ impl Credits {
     }
 }
 
-/// Everything workers share.
+/// Per-worker accounting for one tenant, flushed by the worker when the
+/// tenant detaches ([`Ctrl::TenantGone`]) and read by the session's
+/// teardown after every worker has acked.
+#[derive(Default)]
+struct WorkerAcc {
+    busy: Duration,
+    metrics: Option<adapipe_core::metrics::StageMetrics>,
+}
+
+/// The shared node pool: worker threads, their inboxes, and node health
+/// — everything that outlives any single pipeline session. One `Pool`
+/// serves any number of concurrent tenant sessions; the single-session
+/// entry point [`spawn`] simply launches a pool of one tenant and shuts
+/// it down at drain.
+pub struct Pool {
+    /// The virtual nodes (load schedules already rewritten for the
+    /// pool-wide fault plan).
+    vnodes: Vec<VNodeSpec>,
+    /// Pool-wide scheduled faults (times are wall offsets from launch).
+    faults: FaultPlan,
+    inboxes: Vec<Inbox>,
+    /// Wall-clock zero for every tenant admitted to this pool.
+    epoch: Instant,
+    /// Raised once by [`Pool::shutdown`]: workers exit, stray work is
+    /// discarded, teardown ack-waits stop spinning.
+    done: AtomicBool,
+    /// Node down flags, shared with every tenant's routing table
+    /// (`RoutingTable::with_shared_health`): one tenant's fault tracker
+    /// marking a node down excludes it for all tenants.
+    health: Arc<Vec<AtomicBool>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    next_session: AtomicU64,
+}
+
+impl Pool {
+    /// Launches the pool: one worker thread per vnode, ready to serve
+    /// sessions attached with [`attach`]. `faults` applies pool-wide
+    /// (vnode load schedules are rewritten here once).
+    pub fn launch(vnodes: Vec<VNodeSpec>, faults: FaultPlan) -> Arc<Pool> {
+        assert!(!vnodes.is_empty(), "pool needs at least one vnode");
+        let vnodes: Vec<VNodeSpec> = if faults.is_empty() {
+            vnodes
+        } else {
+            vnodes
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut v)| {
+                    v.load = faults.rewrite_load(NodeId(i), v.load);
+                    v
+                })
+                .collect()
+        };
+        let np = vnodes.len();
+        let pool = Arc::new(Pool {
+            vnodes,
+            faults,
+            inboxes: (0..np).map(|_| Inbox::new()).collect(),
+            epoch: Instant::now(),
+            done: AtomicBool::new(false),
+            health: Arc::new((0..np).map(|_| AtomicBool::new(false)).collect()),
+            workers: Mutex::new(Vec::new()),
+            next_session: AtomicU64::new(0),
+        });
+        let handles: Vec<JoinHandle<()>> = (0..np)
+            .map(|me| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || worker_loop(me, pool))
+            })
+            .collect();
+        *pool.workers.lock().expect("pool worker list poisoned") = handles;
+        pool
+    }
+
+    /// Number of virtual nodes (= worker threads).
+    pub fn node_count(&self) -> usize {
+        self.vnodes.len()
+    }
+
+    /// The pool's vnode specs (fault-rewritten), for tenant planning.
+    pub fn vnode_specs(&self) -> &[VNodeSpec] {
+        &self.vnodes
+    }
+
+    /// The pool-wide fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Items currently queued at worker inboxes for `session`.
+    pub fn queued_for(&self, session: SessionId) -> u64 {
+        self.inboxes.iter().map(|b| b.queued_for(session.0)).sum()
+    }
+
+    fn is_down(&self, node: usize) -> bool {
+        self.health
+            .get(node)
+            .is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Stops and joins every worker. Idempotent; called automatically by
+    /// the owning session's teardown when the pool was created by
+    /// [`spawn`], or by the cluster facade when the cluster closes.
+    /// Sessions still attached unwind with truncated reports (their
+    /// ack-waits observe `done`).
+    pub fn shutdown(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        for inbox in &self.inboxes {
+            inbox.send_ctrl(Ctrl::Shutdown);
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().expect("pool worker list poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything the workers share *about one tenant*: its pipeline, its
+/// routing table, its depot, its sink. The pool-wide half (inboxes,
+/// vnodes, health, the clock) lives in [`Pool`], reached via `pool`.
 struct Shared {
+    /// Pool-unique session id (becomes the public [`SessionId`]).
+    id: u64,
+    pool: Arc<Pool>,
     spec: PipelineSpec,
     /// Per-stage in-edge bytes, precomputed once from the stage graph
     /// (`StageGraph::feed_bytes`) — link emulation must not walk the
@@ -393,19 +652,17 @@ struct Shared {
     /// fanning an item out must not re-derive (and re-allocate) the
     /// entry list per item.
     block_entries: Vec<Vec<usize>>,
-    vnodes: Vec<VNodeSpec>,
     /// Planning topology; also drives link emulation when enabled.
     topology: Topology,
     emulate_links: bool,
     routing: RwLock<RoutingTable>,
     /// Per stage: prototype (stateless) or the unique instance (stateful).
     depot: Vec<Mutex<Option<Box<dyn DynStage>>>>,
-    inboxes: Vec<Inbox>,
     sink: Sender<SinkMsg>,
-    epoch: Instant,
     completed: AtomicU64,
-    /// Teardown flag for the adaptation thread (workers exit on the
-    /// [`Msg::Shutdown`] sentinel instead of polling this).
+    /// Tenant teardown flag: raised by drain/abort/fatal teardown.
+    /// Workers discard this tenant's envelopes once set; the pool keeps
+    /// running for the other tenants.
     done: AtomicBool,
     /// Event bus + error slot shared with the session (fault
     /// notifications, replay announcements, fatal failures).
@@ -421,17 +678,41 @@ struct Shared {
     /// The in-flight credit gate (shared so fatal teardown can wake a
     /// blocked `push()`).
     credits: Option<Arc<Credits>>,
+    /// This tenant's granted fraction of pool capacity (f64 bits),
+    /// written by the cluster arbiter, read by the fair-queueing lanes
+    /// and the share-scaled planner backend. `1.0` for a tenant that
+    /// owns its pool.
+    share: AtomicU64,
+    /// Raised by graceful eviction: further pushes return
+    /// [`RunError::Evicted`] while in-flight items drain normally.
+    evicting: AtomicBool,
+    /// Per-worker busy/metrics accounting, flushed at detach.
+    accs: Vec<Mutex<WorkerAcc>>,
+    /// Workers that have processed this tenant's [`Ctrl::TenantGone`];
+    /// teardown waits for all of them before reading `accs`.
+    detached: AtomicU64,
 }
 
 impl Shared {
     fn now(&self) -> SimTime {
-        SimTime::from_secs_f64(self.epoch.elapsed().as_secs_f64())
+        SimTime::from_secs_f64(self.pool.epoch.elapsed().as_secs_f64())
+    }
+
+    /// The tenant's current capacity share in `(0, 1]`.
+    fn share(&self) -> f64 {
+        f64::from_bits(self.share.load(Ordering::Relaxed))
+    }
+
+    /// True once this tenant — or the whole pool — is tearing down.
+    fn finished(&self) -> bool {
+        self.done.load(Ordering::Relaxed) || self.pool.done.load(Ordering::Relaxed)
     }
 
     /// Records one item rescued off the down vnode `from`.
     fn note_replay(&self, seq: u64, stage: usize, from: usize) {
         self.replays.fetch_add(1, Ordering::Relaxed);
         self.hooks.events.emit(RunEvent::ItemReplayed {
+            session: SessionId(self.id),
             seq,
             stage,
             from,
@@ -486,7 +767,7 @@ const STEAL_SCAN: usize = 8;
 /// round-robin dealing inside the batch. `from` is the sending worker
 /// (`None` for the source), used for link emulation.
 fn ship(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     snap: &RoutingSnapshot,
     from: Option<usize>,
     stage: usize,
@@ -501,7 +782,7 @@ fn ship(
         deliver_env(shared, snap, from, stage, dest, items);
         return;
     }
-    let np = shared.inboxes.len();
+    let np = shared.pool.inboxes.len();
     let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| Vec::new()).collect();
     for slot in items {
         buckets[snap.route(stage).index()].push(slot);
@@ -518,7 +799,7 @@ fn ship(
 /// transfer time of the whole batch — latency is paid once per
 /// envelope, which is exactly the amortisation batching buys).
 fn deliver_env(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     snap: &RoutingSnapshot,
     from: Option<usize>,
     stage: usize,
@@ -553,7 +834,7 @@ fn deliver_env(
 /// to the entry stage, or — when the graph opens with a parallel block
 /// — per-item fan-out grouped into one envelope per branch entry (the
 /// in-flight credit still counts *items*, not branch copies).
-fn push_entry(shared: &Shared, cache: &mut RouteCache, items: Vec<ItemSlot>) {
+fn push_entry(shared: &Arc<Shared>, cache: &mut RouteCache, items: Vec<ItemSlot>) {
     let snap = cache.current(shared).clone();
     match shared.spec.graph.entry() {
         Next::Stage(stage) => ship(shared, &snap, None, stage, items),
@@ -591,17 +872,20 @@ fn push_entry(shared: &Shared, cache: &mut RouteCache, items: Vec<ItemSlot>) {
     }
 }
 
-/// Enqueues `env` on `dest`'s inbox; if the inbox is backing up and the
-/// stage has live sibling replicas, wakes one idle co-host so it starts
-/// stealing instead of sleeping through the backlog.
-fn dispatch(shared: &Shared, snap: &RoutingSnapshot, dest: usize, env: Envelope) {
+/// Enqueues `env` on `dest`'s inbox lane for this tenant; if the inbox
+/// is backing up and the stage has live sibling replicas, wakes one
+/// idle co-host so it starts stealing instead of sleeping through the
+/// backlog.
+fn dispatch(shared: &Arc<Shared>, snap: &RoutingSnapshot, dest: usize, env: Envelope) {
     let stage = env.stage;
-    let depth = shared.inboxes[dest].send(Msg::Work(env));
+    let depth = shared.pool.inboxes[dest].send_work(shared, env);
     if depth > STEAL_WAKE_DEPTH && shared.spec.stages[stage].stateless {
         let hosts = snap.hosts(stage);
         if hosts.len() > 1 {
             for &h in hosts {
-                if h.index() != dest && !snap.is_down(h) && shared.inboxes[h.index()].wake_if_idle()
+                if h.index() != dest
+                    && !snap.is_down(h)
+                    && shared.pool.inboxes[h.index()].wake_if_idle()
                 {
                     break;
                 }
@@ -610,17 +894,19 @@ fn dispatch(shared: &Shared, snap: &RoutingSnapshot, dest: usize, env: Envelope)
     }
 }
 
-/// Irrecoverable failure (stateful stage lost, every node down, wrong-
-/// typed item): record nothing further, stop the collector, raise the
-/// done flag, wake every worker and any pusher blocked on the credit
-/// gate. The typed error is already on `shared.control`; the session
-/// surfaces it via `error()` while `drain()`/`next()` unwind cleanly
-/// with a truncated report.
+/// Irrecoverable failure *of one tenant* (stateful stage lost, every
+/// node down, wrong-typed item, forced eviction): record nothing
+/// further for it, stop its collector, raise its done flag, wake every
+/// worker (so tenant-scoped backlog gets discarded) and any of its
+/// pushers blocked on the credit gate. The typed error is already on
+/// `shared.control`; the session surfaces it via `error()` while
+/// `drain()`/`next()` unwind cleanly with a truncated report. Other
+/// tenants on the pool are untouched.
 fn fatal_teardown(shared: &Shared) {
     shared.done.store(true, Ordering::SeqCst);
     let _ = shared.sink.send(SinkMsg::Fatal);
-    for inbox in &shared.inboxes {
-        inbox.send(Msg::Shutdown);
+    for inbox in &shared.pool.inboxes {
+        inbox.send_ctrl(Ctrl::Wake);
     }
     if let Some(credits) = &shared.credits {
         credits.break_gate();
@@ -629,14 +915,19 @@ fn fatal_teardown(shared: &Shared) {
 
 /// The threaded engine's view for the shared [`AdaptationLoop`]: wall
 /// clock, vnode load schedules, the completion counter, and the
-/// relinquish-on-remap commit.
+/// relinquish-on-remap commit. All capacity observations are scaled by
+/// the tenant's granted share, so each tenant's planner sees "its"
+/// fraction of the pool — the cross-tenant arbiter moves capacity by
+/// moving shares, and every tenant re-plans against the new slice on
+/// its next window. With share = 1 (a pool of one tenant) this is
+/// exactly the single-session backend.
 struct EngineBackend {
     shared: Arc<Shared>,
 }
 
 impl ExecutionBackend for EngineBackend {
     fn node_count(&self) -> usize {
-        self.shared.vnodes.len()
+        self.shared.pool.vnodes.len()
     }
 
     fn now(&self) -> SimTime {
@@ -644,7 +935,10 @@ impl ExecutionBackend for EngineBackend {
     }
 
     fn mean_availability(&self, node: usize, from: SimTime, to: SimTime) -> f64 {
-        self.shared.vnodes[node].load.mean_availability(from, to)
+        self.shared.pool.vnodes[node]
+            .load
+            .mean_availability(from, to)
+            * self.shared.share()
     }
 
     fn completed(&self) -> u64 {
@@ -652,10 +946,12 @@ impl ExecutionBackend for EngineBackend {
     }
 
     fn oracle_rates(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        let share = self.shared.share();
         self.shared
+            .pool
             .vnodes
             .iter()
-            .map(|v| v.speed * v.load.mean_availability(from, to))
+            .map(|v| v.speed * v.load.mean_availability(from, to) * share)
             .collect()
     }
 
@@ -665,7 +961,10 @@ impl ExecutionBackend for EngineBackend {
         // up from the depot on first use, buffering items meanwhile.
         for &stage in &plan.moved {
             for host in plan.from.placement(stage).hosts() {
-                self.shared.inboxes[host.index()].send(Msg::Relinquish { stage });
+                self.shared.pool.inboxes[host.index()].send_ctrl(Ctrl::Relinquish {
+                    tenant: Arc::clone(&self.shared),
+                    stage,
+                });
             }
         }
     }
@@ -674,12 +973,12 @@ impl ExecutionBackend for EngineBackend {
         // Wake the dead worker: its post-message service scan re-deals
         // buffered items to live replicas (or parks them for the forced
         // re-map's Relinquish to flush).
-        self.shared.inboxes[node].send(Msg::DepotReady);
+        self.shared.pool.inboxes[node].send_ctrl(Ctrl::Wake);
     }
 
     fn on_node_up(&mut self, node: usize, _at: SimTime) {
         // Wake the recovered worker so parked items resume service.
-        self.shared.inboxes[node].send(Msg::DepotReady);
+        self.shared.pool.inboxes[node].send_ctrl(Ctrl::Wake);
     }
 }
 
@@ -692,7 +991,10 @@ impl ExecutionBackend for EngineBackend {
 pub struct EngineSession<I, O> {
     shared: Arc<Shared>,
     credits: Option<Arc<Credits>>,
-    workers: Vec<JoinHandle<(Duration, adapipe_core::metrics::StageMetrics)>>,
+    /// True when this session launched its own pool ([`spawn`]): the
+    /// pool is shut down when the session tears down. Cluster-attached
+    /// sessions leave the pool running for their co-tenants.
+    owns_pool: bool,
     collector: Option<JoinHandle<ReportBuilder>>,
     adaptation: Option<JoinHandle<(Vec<AdaptationEvent>, u64)>>,
     out_rx: Receiver<Vec<Finished>>,
@@ -730,9 +1032,12 @@ where
     /// *before* blocking so the items holding credits can complete.
     /// Returns the item's sequence number.
     ///
-    /// # Panics
-    /// Panics if the session was already closed.
-    pub fn push(&mut self, item: I) -> u64 {
+    /// # Errors
+    /// [`RunError::SessionClosed`] after [`EngineSession::close`];
+    /// [`RunError::Evicted`] once the cluster began evicting this
+    /// session (in-flight items still drain). The item is dropped in
+    /// both cases.
+    pub fn push(&mut self, item: I) -> Result<u64, RunError> {
         self.push_born(item, Instant::now())
     }
 
@@ -740,8 +1045,15 @@ where
     /// push pays one clock read for the whole batch (every item of a
     /// batch arrives at the call instant — the same arrival semantics
     /// the all-at-once batch feed declares).
-    fn push_born(&mut self, item: I, born: Instant) -> u64 {
-        assert!(!self.closed, "cannot push into a closed session");
+    fn push_born(&mut self, item: I, born: Instant) -> Result<u64, RunError> {
+        if self.closed {
+            return Err(RunError::SessionClosed);
+        }
+        if self.shared.evicting.load(Ordering::Relaxed) {
+            return Err(RunError::Evicted {
+                session: SessionId(self.shared.id),
+            });
+        }
         let seq = self.pushed;
         if let Some(credits) = &self.credits {
             if !credits.try_acquire() {
@@ -751,6 +1063,7 @@ where
                 let credits = self.credits.as_ref().expect("checked above");
                 if let Some(waited) = credits.acquire() {
                     self.events.emit(RunEvent::BackpressureStall {
+                        session: SessionId(self.shared.id),
                         seq,
                         waited: SimDuration::from_secs_f64(waited.as_secs_f64()),
                     });
@@ -766,7 +1079,7 @@ where
         if self.pending.len() >= self.batch_size {
             self.flush_pending();
         }
-        seq
+        Ok(seq)
     }
 
     /// Feeds a whole batch of items through the batched envelope path,
@@ -775,17 +1088,21 @@ where
     /// pushed. Blocks like [`EngineSession::push`] under a bounded
     /// in-flight budget.
     ///
-    /// # Panics
-    /// Panics if the session was already closed.
-    pub fn push_batch(&mut self, items: impl IntoIterator<Item = I>) -> u64 {
+    /// # Errors
+    /// Same lifecycle errors as [`EngineSession::push`]; items pushed
+    /// before the error remain in flight (and are flushed first).
+    pub fn push_batch(&mut self, items: impl IntoIterator<Item = I>) -> Result<u64, RunError> {
         let born = Instant::now();
         let mut n = 0;
         for item in items {
-            self.push_born(item, born);
+            if let Err(e) = self.push_born(item, born) {
+                self.flush_pending();
+                return Err(e);
+            }
             n += 1;
         }
         self.flush_pending();
-        n
+        Ok(n)
     }
 
     /// Ships the buffered input as one routed envelope (routing the
@@ -800,7 +1117,8 @@ where
     }
 
     /// Declares the input stream complete (flushing buffered input).
-    /// Idempotent; pushing after close panics.
+    /// Idempotent; pushing after close returns
+    /// [`RunError::SessionClosed`].
     pub fn close(&mut self) {
         if !self.closed {
             self.flush_pending();
@@ -826,10 +1144,24 @@ where
         self.pushed.saturating_sub(self.completed())
     }
 
-    /// The session's wall-clock epoch (all report times are relative to
+    /// The pool's wall-clock epoch (all report times are relative to
     /// it).
     pub fn epoch(&self) -> Instant {
-        self.shared.epoch
+        self.shared.pool.epoch
+    }
+
+    /// This session's pool-unique id.
+    pub fn session_id(&self) -> SessionId {
+        SessionId(self.shared.id)
+    }
+
+    /// A cloneable cluster-side handle to this tenant: share control,
+    /// demand sensing, and eviction. Used by the cluster arbiter; a
+    /// plain session never needs it.
+    pub fn tenant_handle(&self) -> TenantHandle {
+        TenantHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// The run's fatal error, if one was recorded (stateful stage lost
@@ -946,9 +1278,12 @@ where
         self.teardown(Vec::new()).report
     }
 
-    /// Joins every thread and assembles the report. The collector must
-    /// already be on its way out (stream closed and delivered, or
-    /// aborted).
+    /// Detaches this tenant from the pool and assembles the report. The
+    /// collector must already be on its way out (stream closed and
+    /// delivered, or aborted). Every worker acks the detach
+    /// ([`Ctrl::TenantGone`]) after flushing this tenant's accounting
+    /// into `Shared::accs`; the wait escapes early if the whole pool is
+    /// shutting down underneath us.
     fn teardown(&mut self, outputs: Vec<O>) -> EngineOutcome<O> {
         let mut report = self
             .collector
@@ -958,17 +1293,16 @@ where
             .expect("collector panicked");
         report.set_replays(self.shared.replays.load(Ordering::Relaxed));
         self.shared.done.store(true, Ordering::SeqCst);
-        for inbox in &self.shared.inboxes {
-            inbox.send(Msg::Shutdown);
+        for inbox in &self.shared.pool.inboxes {
+            inbox.send_ctrl(Ctrl::TenantGone {
+                tenant: Arc::clone(&self.shared),
+            });
         }
-        let np = self.shared.vnodes.len();
-        let ns = self.shared.spec.len();
-        let mut node_busy = vec![SimDuration::ZERO; np];
-        let mut stage_metrics = adapipe_core::metrics::StageMetrics::new(ns);
-        for (i, w) in self.workers.drain(..).enumerate() {
-            let (busy, worker_metrics) = w.join().expect("worker panicked");
-            node_busy[i] = SimDuration::from_secs_f64(busy.as_secs_f64());
-            stage_metrics.absorb(&worker_metrics);
+        let np = self.shared.pool.vnodes.len();
+        while self.shared.detached.load(Ordering::SeqCst) < np as u64
+            && !self.shared.pool.done.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_micros(200));
         }
         let (adaptations, planning_cycles) = self
             .adaptation
@@ -976,6 +1310,16 @@ where
             .expect("adaptation joined twice")
             .join()
             .expect("adaptation thread panicked");
+        let ns = self.shared.spec.len();
+        let mut node_busy = vec![SimDuration::ZERO; np];
+        let mut stage_metrics = adapipe_core::metrics::StageMetrics::new(ns);
+        for (i, acc) in self.shared.accs.iter().enumerate() {
+            let acc = acc.lock().expect("worker accounting poisoned");
+            node_busy[i] = SimDuration::from_secs_f64(acc.busy.as_secs_f64());
+            if let Some(m) = &acc.metrics {
+                stage_metrics.absorb(m);
+            }
+        }
         let final_mapping = self
             .shared
             .routing
@@ -990,16 +1334,20 @@ where
             node_busy,
             stage_metrics,
         );
+        if self.owns_pool {
+            self.shared.pool.shutdown();
+        }
         EngineOutcome { outputs, report }
     }
 }
 
 /// A session dropped without [`EngineSession::drain`] or
 /// [`EngineSession::abort`] (an error path, a panic unwind) must not
-/// leak its threads: workers hold their own `Arc<Shared>`, so the
-/// channels never disconnect on their own, and the adaptation thread
-/// sleeps in a loop until the done flag rises. Drop performs the abort
-/// shutdown — signal, wake, join — discarding outputs and the report.
+/// leak its threads or its pool lanes: workers hold the pool alive on
+/// their own, so nothing disconnects by itself, and the adaptation
+/// thread sleeps in a loop until the done flag rises. Drop performs the
+/// abort shutdown — signal, detach, join — discarding outputs and the
+/// report (and shutting the pool down when this session owns it).
 impl<I, O> Drop for EngineSession<I, O> {
     fn drop(&mut self) {
         if self.collector.is_none() {
@@ -1009,18 +1357,102 @@ impl<I, O> Drop for EngineSession<I, O> {
             pushed: self.pushed,
         });
         self.shared.done.store(true, Ordering::SeqCst);
-        for inbox in &self.shared.inboxes {
-            inbox.send(Msg::Shutdown);
+        for inbox in &self.shared.pool.inboxes {
+            inbox.send_ctrl(Ctrl::TenantGone {
+                tenant: Arc::clone(&self.shared),
+            });
         }
         if let Some(collector) = self.collector.take() {
             let _ = collector.join();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        let np = self.shared.pool.vnodes.len();
+        while self.shared.detached.load(Ordering::SeqCst) < np as u64
+            && !self.shared.pool.done.load(Ordering::SeqCst)
+        {
+            std::thread::sleep(Duration::from_micros(200));
         }
         if let Some(adaptation) = self.adaptation.take() {
             let _ = adaptation.join();
         }
+        if self.owns_pool {
+            self.shared.pool.shutdown();
+        }
+    }
+}
+
+/// A cluster-side handle to one tenant on a pool: read demand signals,
+/// set the granted share, drive eviction. Cloneable and independent of
+/// the typed [`EngineSession`] (the arbiter is type-erased).
+#[derive(Clone)]
+pub struct TenantHandle {
+    shared: Arc<Shared>,
+}
+
+impl TenantHandle {
+    /// The tenant's session id.
+    pub fn session(&self) -> SessionId {
+        SessionId(self.shared.id)
+    }
+
+    /// Items that reached this tenant's sink so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Items queued for this tenant across all pool inboxes (backlog —
+    /// the arbiter's demand signal alongside the completion rate).
+    pub fn queued(&self) -> u64 {
+        self.shared
+            .pool
+            .inboxes
+            .iter()
+            .map(|b| b.queued_for(self.shared.id))
+            .sum()
+    }
+
+    /// The tenant's current capacity share.
+    pub fn share(&self) -> f64 {
+        self.shared.share()
+    }
+
+    /// Grants the tenant `share` of pool capacity (clamped to
+    /// `[0.01, 1.0]` — a zero share would freeze the tenant's fair-
+    /// queueing clock instead of throttling it). Takes effect on the
+    /// next envelope pop and the next planning window.
+    pub fn set_share(&self, share: f64) {
+        let clamped = share.clamp(MIN_LANE_WEIGHT, 1.0);
+        self.shared
+            .share
+            .store(clamped.to_bits(), Ordering::Relaxed);
+    }
+
+    /// True once the tenant finished or was torn down.
+    pub fn is_done(&self) -> bool {
+        self.shared.done.load(Ordering::SeqCst)
+    }
+
+    /// The tenant's fatal error, if any.
+    pub fn error(&self) -> Option<RunError> {
+        self.shared.control.error()
+    }
+
+    /// Begins graceful eviction: the session's further pushes return
+    /// [`RunError::Evicted`], while everything already in flight drains
+    /// normally. The caller still drains/closes the session itself.
+    pub fn begin_eviction(&self) {
+        self.shared.evicting.store(true, Ordering::SeqCst);
+    }
+
+    /// Forced eviction (pool shrink): fails the session with
+    /// [`RunError::Evicted`] and tears its data plane down immediately;
+    /// in-flight items are dropped and the report shows truncation.
+    /// Co-tenants are untouched.
+    pub fn evict_now(&self) {
+        self.shared.evicting.store(true, Ordering::SeqCst);
+        self.shared.control.fail(RunError::Evicted {
+            session: SessionId(self.shared.id),
+        });
+        fatal_teardown(&self.shared);
     }
 }
 
@@ -1062,6 +1494,12 @@ where
 /// remaining-work amortisation (a session's true length is unknown
 /// until it closes); batch wrappers pass the exact stream length.
 ///
+/// This is the single-session path: it launches a private [`Pool`]
+/// (applying `cfg.faults` pool-wide) and attaches the one session as
+/// its owning tenant, so the pool is shut down when the session drains.
+/// Multi-tenant serving launches the pool once and calls [`attach`] per
+/// session.
+///
 /// # Panics
 /// Panics if the initial mapping references unknown nodes or covers the
 /// wrong number of stages, or if `queue_capacity` is zero.
@@ -1074,30 +1512,49 @@ where
     I: Send + 'static,
     O: Send + 'static,
 {
-    let np = cfg.vnodes.len();
-    assert!(np > 0, "engine needs at least one vnode");
+    // Fault physics: the plan rewrites the vnode load schedules (inside
+    // `Pool::launch`) exactly as it rewrites a simulated grid's, so
+    // slowdown/outage windows degrade workers through the same
+    // availability → sleep machinery. The down/up control plane
+    // (routing exclusion, forced re-maps, replay) runs through the
+    // shared adaptation loop.
+    let pool = Pool::launch(cfg.vnodes.clone(), cfg.faults.clone());
+    attach(&pool, pipeline, cfg, items_hint, true)
+}
+
+/// Attaches `pipeline` as one tenant of a running [`Pool`] and returns
+/// its live [`EngineSession`]. Any number of sessions (heterogeneous
+/// stage graphs) may be attached concurrently; each keeps its own typed
+/// push/pull API, routing table, adaptation loop, collector, and
+/// exactly-once replay isolation, while sharing the pool's worker
+/// threads under weighted-fair envelope admission.
+///
+/// Planning and fault handling use the *pool's* vnodes and fault plan —
+/// `cfg.vnodes` and `cfg.faults` are ignored here (faults are a
+/// pool-wide physical property, applied once at [`Pool::launch`]).
+/// `owns_pool` makes the session shut the pool down at teardown (the
+/// [`spawn`] cluster-of-one case).
+///
+/// # Panics
+/// Panics if the initial mapping references unknown nodes or covers the
+/// wrong number of stages, if a provided topology does not cover the
+/// pool, or if `queue_capacity` is zero.
+pub fn attach<I, O>(
+    pool: &Arc<Pool>,
+    pipeline: Pipeline<I, O>,
+    cfg: &EngineConfig,
+    items_hint: u64,
+    owns_pool: bool,
+) -> EngineSession<I, O>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+{
+    let np = pool.vnodes.len();
     let (spec, stages, fanouts) = pipeline.into_graph_parts();
     let ns = spec.len();
     let blocks = spec.graph.blocks();
-
-    // Fault physics: the plan rewrites the vnode load schedules exactly
-    // as it rewrites a simulated grid's, so slowdown/outage windows
-    // degrade workers through the same availability → sleep machinery.
-    // The down/up control plane (routing exclusion, forced re-maps,
-    // replay) runs through the shared adaptation loop.
-    let vnodes: Vec<VNodeSpec> = if cfg.faults.is_empty() {
-        cfg.vnodes.clone()
-    } else {
-        cfg.vnodes
-            .iter()
-            .enumerate()
-            .map(|(i, v)| {
-                let mut v = v.clone();
-                v.load = cfg.faults.rewrite_load(NodeId(i), v.load);
-                v
-            })
-            .collect()
-    };
+    let vnodes = &pool.vnodes;
 
     let topology = cfg
         .topology
@@ -1123,6 +1580,7 @@ where
         );
     }
 
+    let session_id = pool.next_session.fetch_add(1, Ordering::SeqCst);
     let runtime_cfg = RuntimeConfig {
         policy: cfg.policy,
         controller: cfg.controller.clone(),
@@ -1131,17 +1589,17 @@ where
         speeds: vnodes.iter().map(|v| v.speed).collect(),
         state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
         stateless: spec.stages.iter().map(|s| s.stateless).collect(),
-        faults: cfg.faults.clone(),
+        faults: pool.faults.clone(),
         total_items: items_hint,
         observation_noise: cfg.observation_noise,
         noise_seed: cfg.noise_seed,
         hooks: cfg.hooks.clone(),
         control: cfg.control.clone(),
+        session: SessionId(session_id),
     };
     let aloop = AdaptationLoop::new(runtime_cfg, &initial_mapping, &launch_rates);
 
     let (sink_tx, sink_rx) = channel::<SinkMsg>();
-    let inboxes: Vec<Inbox> = (0..np).map(|_| Inbox::new()).collect();
 
     // One in-flight slot per stage boundary (source→s0, s0→s1, …,
     // s_last→sink) per unit of declared capacity.
@@ -1157,23 +1615,24 @@ where
         .collect();
     let block_entries = (0..blocks).map(|b| spec.graph.branch_entries(b)).collect();
     let shared = Arc::new(Shared {
+        id: session_id,
+        pool: Arc::clone(pool),
         depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
         spec,
         bytes_into,
         fanouts,
         joins: (0..blocks).map(|_| Mutex::new(HashMap::new())).collect(),
         block_entries,
-        vnodes,
         topology,
         emulate_links: cfg.emulate_links,
-        routing: RwLock::new(RoutingTable::with_selection(
+        // Health flags are the pool's: any tenant's fault tracker
+        // marking a node down excludes it for every tenant's routing.
+        routing: RwLock::new(RoutingTable::with_shared_health(
             initial_mapping,
             adapipe_runtime::routing::Selection::RoundRobin,
-            np,
+            Arc::clone(&pool.health),
         )),
-        inboxes,
         sink: sink_tx,
-        epoch: Instant::now(),
         completed: AtomicU64::new(0),
         done: AtomicBool::new(false),
         hooks: cfg.hooks.clone(),
@@ -1182,14 +1641,11 @@ where
         steals: AtomicU64::new(0),
         rehomed: AtomicU64::new(0),
         credits: credits.clone(),
+        share: AtomicU64::new(1.0f64.to_bits()),
+        evicting: AtomicBool::new(false),
+        accs: (0..np).map(|_| Mutex::new(WorkerAcc::default())).collect(),
+        detached: AtomicU64::new(0),
     });
-
-    // --- workers -----------------------------------------------------
-    let mut workers = Vec::with_capacity(np);
-    for me in 0..np {
-        let shared = Arc::clone(&shared);
-        workers.push(std::thread::spawn(move || worker_loop(me, shared)));
-    }
 
     // --- collector ---------------------------------------------------
     let (out_tx, out_rx) = channel::<Vec<Finished>>();
@@ -1197,11 +1653,11 @@ where
         let shared = Arc::clone(&shared);
         let credits = credits.clone();
         let bucket = cfg.timeline_bucket;
-        let faults = cfg.faults.clone();
+        let faults = pool.faults.clone();
         std::thread::spawn(move || {
             let mut report = ReportBuilder::new(bucket, u64::MAX);
             if !faults.is_empty() {
-                report.set_faults(faults, shared.vnodes.len());
+                report.set_faults(faults, shared.pool.vnodes.len());
             }
             let mut expected: Option<u64> = None;
             loop {
@@ -1211,14 +1667,22 @@ where
                 let Ok(msg) = sink_rx.recv() else { break };
                 match msg {
                     SinkMsg::Done(batch) => {
-                        for fin in &batch {
+                        // Sink-side bookkeeping is per *envelope*, not
+                        // per item: done stamps are non-decreasing
+                        // within a batch, so the last one is the
+                        // envelope's completion instant.
+                        if let Some(last) = batch.last() {
                             let at = SimTime::from_secs_f64(
-                                fin.done.duration_since(shared.epoch).as_secs_f64(),
+                                last.done.duration_since(shared.pool.epoch).as_secs_f64(),
                             );
-                            let latency = SimDuration::from_secs_f64(
-                                fin.done.duration_since(fin.born).as_secs_f64(),
+                            report.record_envelope(
+                                at,
+                                batch.iter().map(|fin| {
+                                    SimDuration::from_secs_f64(
+                                        fin.done.duration_since(fin.born).as_secs_f64(),
+                                    )
+                                }),
                             );
-                            report.record_completion(at, latency);
                         }
                         shared
                             .completed
@@ -1258,7 +1722,7 @@ where
     EngineSession {
         shared,
         credits,
-        workers,
+        owns_pool,
         collector: Some(collector),
         adaptation: Some(adaptation),
         out_rx,
@@ -1333,7 +1797,9 @@ where
         // Everything is due at t = 0: feed the whole stream through the
         // batched envelope path in one call.
         ArrivalProcess::AllAtOnce => {
-            session.push_batch((0..n_items).map(&mut feed));
+            session
+                .push_batch((0..n_items).map(&mut feed))
+                .expect("batch feed pushes into an open session");
         }
         // Stream the backend-independent arrival schedule (O(1) state)
         // and pace the pushes against the wall clock with it — the
@@ -1354,50 +1820,88 @@ where
                         std::thread::sleep(due - now);
                     }
                 }
-                session.push(feed(seq));
+                session
+                    .push(feed(seq))
+                    .expect("paced feed pushes into an open session");
             }
         }
     }
     session.drain()
 }
 
-/// Worker body: serve envelopes, honour migrations, account busy time.
-/// Blocks on the inbox (stealing from siblings before sleeping); the
-/// only exit is the [`Msg::Shutdown`] sentinel (or the done flag).
-fn worker_loop(me: usize, shared: Arc<Shared>) -> (Duration, adapipe_core::metrics::StageMetrics) {
-    let ns = shared.spec.len();
-    let mut local: HashMap<usize, Box<dyn DynStage>> = HashMap::new();
-    let mut waiting: HashMap<usize, VecDeque<Envelope>> = HashMap::new();
-    let mut busy = Duration::ZERO;
-    let mut metrics = adapipe_core::metrics::StageMetrics::new(ns);
-    let mut cache = RouteCache::new(&shared);
+/// A worker's thread-local view of one tenant: its stage instances,
+/// parked envelopes, routing cache, and accounting (flushed into
+/// `Shared::accs` when the tenant detaches).
+struct TenantLocal {
+    tenant: Arc<Shared>,
+    local: HashMap<usize, Box<dyn DynStage>>,
+    waiting: HashMap<usize, VecDeque<Envelope>>,
+    cache: RouteCache,
+    busy: Duration,
+    metrics: adapipe_core::metrics::StageMetrics,
+}
+
+impl TenantLocal {
+    fn new(tenant: Arc<Shared>) -> Self {
+        let cache = RouteCache::new(&tenant);
+        let ns = tenant.spec.len();
+        TenantLocal {
+            tenant,
+            local: HashMap::new(),
+            waiting: HashMap::new(),
+            cache,
+            busy: Duration::ZERO,
+            metrics: adapipe_core::metrics::StageMetrics::new(ns),
+        }
+    }
+
+    /// Flushes this worker's accounting for the tenant into the shared
+    /// per-worker slot (detach / worker exit).
+    fn flush_acc(self, me: usize) {
+        let mut acc = self.tenant.accs[me]
+            .lock()
+            .expect("worker accounting poisoned");
+        acc.busy += self.busy;
+        match &mut acc.metrics {
+            Some(m) => m.absorb(&self.metrics),
+            None => acc.metrics = Some(self.metrics),
+        }
+    }
+}
+
+/// Worker body: serve envelopes for every attached tenant, honour
+/// migrations, account busy time per tenant. Blocks on the inbox
+/// (stealing from siblings before sleeping); the only exit is the
+/// [`Ctrl::Shutdown`] sentinel (or the pool's done flag).
+fn worker_loop(me: usize, pool: Arc<Pool>) {
+    let mut tenants: HashMap<u64, TenantLocal> = HashMap::new();
 
     loop {
-        let msg = next_msg(me, &shared, &mut cache);
-        // An aborted (or fully torn-down) run discards the backlog: the
-        // flag is raised before the Shutdown sentinels, so a worker deep
-        // in queued work exits here instead of serving the rest of its
-        // inbox first.
-        if shared.done.load(Ordering::Relaxed) {
+        let msg = next_msg(me, &pool);
+        // Pool teardown discards every backlog: the flag is raised
+        // before the Shutdown sentinels, so a worker deep in queued work
+        // exits here instead of serving the rest of its inbox first.
+        if pool.done.load(Ordering::Relaxed) {
             break;
         }
         match msg {
-            Msg::Work(env) => {
-                handle_work(
-                    me,
-                    env,
-                    &shared,
-                    &mut cache,
-                    &mut local,
-                    &mut waiting,
-                    &mut busy,
-                    &mut metrics,
-                );
+            Msg::Work { tenant, env } => {
+                // An aborted/fatally-failed tenant's backlog is
+                // discarded, not served — its co-tenants keep running.
+                if !tenant.done.load(Ordering::Relaxed) {
+                    let tl = tenants
+                        .entry(tenant.id)
+                        .or_insert_with(|| TenantLocal::new(Arc::clone(&tenant)));
+                    handle_work(me, env, tl);
+                }
             }
-            Msg::Relinquish { stage } => {
-                if let Some(inst) = local.remove(&stage) {
-                    if !shared.spec.stages[stage].stateless {
-                        shared.depot[stage]
+            Msg::Ctrl(Ctrl::Relinquish { tenant, stage }) => {
+                let tl = tenants
+                    .entry(tenant.id)
+                    .or_insert_with(|| TenantLocal::new(Arc::clone(&tenant)));
+                if let Some(inst) = tl.local.remove(&stage) {
+                    if !tenant.spec.stages[stage].stateless {
+                        tenant.depot[stage]
                             .lock()
                             .expect("depot lock poisoned")
                             .replace(inst);
@@ -1410,38 +1914,51 @@ fn worker_loop(me: usize, shared: Arc<Shared>) -> (Duration, adapipe_core::metri
                 // Also covers the case where this worker never held the
                 // instance (it sat in the depot through a double
                 // migration) — the notification is idempotent.
-                if !shared.spec.stages[stage].stateless {
-                    let in_depot = shared.depot[stage]
+                if !tenant.spec.stages[stage].stateless {
+                    let in_depot = tenant.depot[stage]
                         .lock()
                         .expect("depot lock poisoned")
                         .is_some();
                     if in_depot {
-                        let snap = cache.current(&shared).clone();
+                        let snap = tl.cache.current(&tenant).clone();
                         for &h in snap.hosts(stage) {
                             if h.index() != me {
-                                shared.inboxes[h.index()].send(Msg::DepotReady);
+                                pool.inboxes[h.index()].send_ctrl(Ctrl::Wake);
                             }
                         }
                     }
                 }
             }
-            Msg::DepotReady => {} // wake-up only; service below
-            Msg::Shutdown => break,
+            Msg::Ctrl(Ctrl::Wake) => {} // wake-up only; service below
+            Msg::Ctrl(Ctrl::TenantGone { tenant }) => {
+                // Detach: flush accounting, drop local state and the
+                // inbox lane, then ack so teardown can read `accs`.
+                if let Some(tl) = tenants.remove(&tenant.id) {
+                    tl.flush_acc(me);
+                }
+                pool.inboxes[me].drop_lane(tenant.id);
+                tenant.detached.fetch_add(1, Ordering::SeqCst);
+            }
+            Msg::Ctrl(Ctrl::Shutdown) => break,
         }
         // After every message, serve or re-route anything that became
-        // actionable: buffered items whose instance landed in the depot,
-        // or whose stage has moved away in the meantime.
-        serve_waiting(
-            me,
-            &shared,
-            &mut cache,
-            &mut local,
-            &mut waiting,
-            &mut busy,
-            &mut metrics,
-        );
+        // actionable for any tenant: buffered items whose instance
+        // landed in the depot, or whose stage has moved away meanwhile.
+        for tl in tenants.values_mut() {
+            if tl.tenant.done.load(Ordering::Relaxed) {
+                // Aborted tenant: discard its parked backlog.
+                tl.waiting.clear();
+                continue;
+            }
+            serve_waiting(me, tl);
+        }
     }
-    (busy, metrics)
+    // Pool shutdown with tenants still attached (cluster torn down
+    // under live sessions): flush what accounting we have — their
+    // teardown ack-waits escape on the pool flag.
+    for (_, tl) in tenants.drain() {
+        tl.flush_acc(me);
+    }
 }
 
 /// Blocks until a message is available for worker `me`: its own inbox
@@ -1449,22 +1966,21 @@ fn worker_loop(me: usize, shared: Arc<Shared>) -> (Duration, adapipe_core::metri
 /// wait. The idle-flag protocol (see [`Inbox`]) guarantees a thief
 /// woken by [`Inbox::wake_if_idle`] loops back to re-scan instead of
 /// sleeping through the notification.
-fn next_msg(me: usize, shared: &Shared, cache: &mut RouteCache) -> Msg {
-    let inbox = &shared.inboxes[me];
+fn next_msg(me: usize, pool: &Pool) -> Msg {
+    let inbox = &pool.inboxes[me];
     loop {
-        if let Some(msg) = inbox.queue.lock().expect("inbox lock poisoned").pop_front() {
+        if let Some(msg) = inbox.queue.lock().expect("inbox lock poisoned").pop() {
             return msg;
         }
         // Out of local work: advertise idleness, then go stealing.
         inbox.idle.store(true, Ordering::SeqCst);
-        let snap = cache.current(shared).clone();
-        if let Some(msg) = try_steal(me, shared, &snap) {
+        if let Some(msg) = try_steal(me, pool) {
             inbox.idle.store(false, Ordering::SeqCst);
             return msg;
         }
         let mut q = inbox.queue.lock().expect("inbox lock poisoned");
         loop {
-            if let Some(msg) = q.pop_front() {
+            if let Some(msg) = q.pop() {
                 inbox.idle.store(false, Ordering::SeqCst);
                 return msg;
             }
@@ -1476,42 +1992,60 @@ fn next_msg(me: usize, shared: &Shared, cache: &mut RouteCache) -> Msg {
     }
 }
 
-/// Scans sibling inboxes (tail-first, bounded) for a work envelope this
+/// Scans sibling inboxes (lane tails, bounded) for a work envelope this
 /// worker may legally serve: the stage must be stateless (stateful
-/// instances are pinned), currently replicated onto this worker, and
-/// the envelope routed under the *current* epoch (stale envelopes
-/// belong to their addressee, which re-homes them on arrival). A down
-/// worker never steals; down victims keep their backlog for the
-/// replay/rescue path, which does the fault accounting.
-fn try_steal(me: usize, shared: &Shared, snap: &RoutingSnapshot) -> Option<Msg> {
-    if snap.is_down(NodeId(me)) {
+/// instances are pinned), currently replicated onto this worker under
+/// the owning tenant's *current* routing epoch (stale envelopes belong
+/// to their addressee, which re-homes them on arrival). A down worker
+/// never steals; down victims keep their backlog for the replay/rescue
+/// path, which does the fault accounting. Stolen envelopes are not
+/// charged to the lane's virtual clock — the thief was idle, so the
+/// capacity was surplus.
+fn try_steal(me: usize, pool: &Pool) -> Option<Msg> {
+    if pool.is_down(me) {
         return None;
     }
-    let np = shared.inboxes.len();
+    let np = pool.inboxes.len();
     for off in 1..np {
         let victim = (me + off) % np;
-        if snap.is_down(NodeId(victim)) {
+        if pool.is_down(victim) {
             continue;
         }
         // Never wait on a victim's lock: a missed steal is cheap, a
         // stalled thief is not.
-        let Ok(mut q) = shared.inboxes[victim].queue.try_lock() else {
+        let Ok(mut q) = pool.inboxes[victim].queue.try_lock() else {
             continue;
         };
-        let lo = q.len().saturating_sub(STEAL_SCAN);
-        for i in (lo..q.len()).rev() {
-            let Some(Msg::Work(env)) = q.get(i) else {
+        for lane in &mut q.lanes {
+            if lane.queue.is_empty() || lane.tenant.done.load(Ordering::Relaxed) {
                 continue;
-            };
-            let stage = env.stage;
-            if shared.spec.stages[stage].stateless
-                && env.epoch == snap.epoch()
-                && snap.contains(stage, NodeId(me))
-                && snap.hosts(stage).len() > 1
-            {
-                let msg = q.remove(i).expect("index in range");
-                shared.steals.fetch_add(1, Ordering::Relaxed);
-                return Some(msg);
+            }
+            // The per-tenant snapshot read happens under the victim's
+            // inbox lock; safe because no path takes an inbox lock
+            // while holding a routing lock (remap commits and fault
+            // hooks run after the adaptation loop released it).
+            let snap = lane
+                .tenant
+                .routing
+                .read()
+                .expect("routing lock poisoned")
+                .snapshot();
+            let lo = lane.queue.len().saturating_sub(STEAL_SCAN);
+            for i in (lo..lane.queue.len()).rev() {
+                let env = &lane.queue[i];
+                let stage = env.stage;
+                if lane.tenant.spec.stages[stage].stateless
+                    && env.epoch == snap.epoch()
+                    && snap.contains(stage, NodeId(me))
+                    && snap.hosts(stage).len() > 1
+                {
+                    let env = lane.queue.remove(i).expect("index in range");
+                    lane.tenant.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(Msg::Work {
+                        tenant: Arc::clone(&lane.tenant),
+                        env,
+                    });
+                }
             }
         }
     }
@@ -1521,17 +2055,15 @@ fn try_steal(me: usize, shared: &Shared, snap: &RoutingSnapshot) -> Option<Msg> 
 /// Serves one work envelope: re-homes it if this worker no longer hosts
 /// the stage (stale epoch), re-deals it if this vnode is down, buffers
 /// it if the stage instance is unavailable, and processes it otherwise.
-#[allow(clippy::too_many_arguments)]
-fn handle_work(
-    me: usize,
-    env: Envelope,
-    shared: &Shared,
-    cache: &mut RouteCache,
-    local: &mut HashMap<usize, Box<dyn DynStage>>,
-    waiting: &mut HashMap<usize, VecDeque<Envelope>>,
-    busy: &mut Duration,
-    metrics: &mut adapipe_core::metrics::StageMetrics,
-) {
+fn handle_work(me: usize, env: Envelope, tl: &mut TenantLocal) {
+    let TenantLocal {
+        tenant: shared,
+        local,
+        waiting,
+        cache,
+        busy,
+        metrics,
+    } = tl;
     let stage = env.stage;
     let snap = cache.current(shared).clone();
     let hosted = snap.contains(stage, NodeId(me));
@@ -1585,13 +2117,13 @@ fn handle_work(
 /// replica is down, so only a re-map can rescue those, and the rescue
 /// flush happens on the Relinquish wake-up that re-map sends here.
 fn redeal(
-    shared: &Shared,
+    shared: &Arc<Shared>,
     snap: &RoutingSnapshot,
     me: usize,
     stage: usize,
     items: Vec<ItemSlot>,
 ) -> Vec<ItemSlot> {
-    let np = shared.inboxes.len();
+    let np = shared.pool.inboxes.len();
     let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| Vec::new()).collect();
     let mut parked = Vec::new();
     for slot in items {
@@ -1624,16 +2156,18 @@ fn redeal(
 /// whose stage instance is (now) acquirable, re-homes queues whose
 /// stage is no longer hosted here, and — when this vnode is down —
 /// re-deals buffered items to live replicas.
-#[allow(clippy::too_many_arguments)]
-fn serve_waiting(
-    me: usize,
-    shared: &Shared,
-    cache: &mut RouteCache,
-    local: &mut HashMap<usize, Box<dyn DynStage>>,
-    waiting: &mut HashMap<usize, VecDeque<Envelope>>,
-    busy: &mut Duration,
-    metrics: &mut adapipe_core::metrics::StageMetrics,
-) {
+fn serve_waiting(me: usize, tl: &mut TenantLocal) {
+    let TenantLocal {
+        tenant: shared,
+        local,
+        waiting,
+        cache,
+        busy,
+        metrics,
+    } = tl;
+    if waiting.is_empty() {
+        return;
+    }
     let stages: Vec<usize> = waiting
         .iter()
         .filter(|(_, q)| !q.is_empty())
@@ -1731,7 +2265,7 @@ fn push_onward(onward: &mut Vec<(usize, Vec<ItemSlot>)>, stage: usize, slot: Ite
 fn process_batch(
     me: usize,
     env: Envelope,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     cache: &mut RouteCache,
     local: &mut HashMap<usize, Box<dyn DynStage>>,
     metrics: &mut adapipe_core::metrics::StageMetrics,
@@ -1749,13 +2283,14 @@ fn process_batch(
     // end stamp as its sink timestamp — one `Instant::now()` per item
     // instead of three. A vnode that can never throttle also skips the
     // per-item wall-offset conversion and rate lookup entirely.
-    let never_throttles = shared.vnodes[me].never_throttles();
+    let never_throttles = shared.pool.vnodes[me].never_throttles();
     let mut busy = Duration::ZERO;
     let mut t_start = Instant::now();
     for slot in env.items {
-        // An abort mid-batch drops the remainder — same contract as the
-        // discarded inbox backlog (the report shows truncation).
-        if shared.done.load(Ordering::Relaxed) {
+        // An abort mid-batch (of this tenant or the whole pool) drops
+        // the remainder — same contract as the discarded inbox backlog
+        // (the report shows truncation).
+        if shared.finished() {
             break;
         }
         let out = match inst.process(slot.payload) {
@@ -1778,8 +2313,8 @@ fn process_batch(
             compute
         } else {
             let started_at =
-                SimTime::from_secs_f64(t_end.duration_since(shared.epoch).as_secs_f64());
-            let sleep = shared.vnodes[me].slowdown_sleep(compute, started_at);
+                SimTime::from_secs_f64(t_end.duration_since(shared.pool.epoch).as_secs_f64());
+            let sleep = shared.pool.vnodes[me].slowdown_sleep(compute, started_at);
             if !sleep.is_zero() {
                 std::thread::sleep(sleep);
                 // The sleep must not be attributed to the next item's
@@ -1910,7 +2445,7 @@ fn adaptation_thread(
     loop {
         let next_fault = aloop
             .next_fault_at()
-            .map(|at| shared.epoch + Duration::from_secs_f64(at.as_secs_f64()));
+            .map(|at| shared.pool.epoch + Duration::from_secs_f64(at.as_secs_f64()));
         let next_wake = match (next_sample, next_fault) {
             (Some(s), Some(f)) => s.min(f),
             (Some(s), None) => s,
@@ -1920,12 +2455,12 @@ fn adaptation_thread(
         };
         // Sleep in short slices so shutdown is prompt.
         while Instant::now() < next_wake {
-            if shared.done.load(Ordering::Relaxed) {
+            if shared.finished() {
                 return aloop.finish();
             }
             std::thread::sleep(Duration::from_millis(2));
         }
-        if shared.done.load(Ordering::Relaxed) {
+        if shared.finished() {
             return aloop.finish();
         }
 
@@ -2017,7 +2552,7 @@ mod tests {
         let mut session = spawn(pipeline, &cfg, 20);
         let mut got = Vec::new();
         for i in 0..20u64 {
-            session.push(i);
+            session.push(i).unwrap();
             // Interleave pulls with pushes — the pipeline is live.
             if let TryNext::Item(o) = session.try_next() {
                 got.push(o);
@@ -2038,7 +2573,7 @@ mod tests {
         let cfg = EngineConfig::new(free_nodes(1));
         let mut session = spawn(pipeline, &cfg, 5);
         for i in 0..5u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         session.close();
         let mut got = Vec::new();
@@ -2064,7 +2599,7 @@ mod tests {
         let mut session = spawn(pipeline, &cfg, 8);
         let t0 = Instant::now();
         for i in 0..8u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         let pushing = t0.elapsed();
         assert!(
@@ -2090,7 +2625,7 @@ mod tests {
         let cfg = EngineConfig::new(free_nodes(1));
         let mut session = spawn(pipeline, &cfg, 200);
         for i in 0..200u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         let t0 = Instant::now();
         let report = session.abort();
@@ -2115,7 +2650,7 @@ mod tests {
         };
         let mut session = spawn(pipeline, &cfg, 100);
         for i in 0..100u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         let t0 = Instant::now();
         drop(session);
@@ -2132,7 +2667,7 @@ mod tests {
         let cfg = EngineConfig::new(free_nodes(1));
         let mut session = spawn(pipeline, &cfg, 50);
         for i in 0..50u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         let report = session.abort();
         assert!(
@@ -2250,7 +2785,7 @@ mod tests {
         let events = cfg.hooks.events.subscribe();
         let mut session = spawn(pipeline, &cfg, 100);
         for i in 0..100u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         let outcome = session.drain();
         assert_eq!(outcome.report.completed, 100, "items lost to the crash");
@@ -2315,7 +2850,7 @@ mod tests {
         let cfg = EngineConfig::new(free_nodes(1));
         let mut session = spawn(pipeline, &cfg, 4);
         for i in 0..4 {
-            session.push(format!("item {i}"));
+            session.push(format!("item {i}")).unwrap();
         }
         // The failure is asynchronous; drain unwinds cleanly.
         let outcome = session.drain();
@@ -2333,7 +2868,7 @@ mod tests {
         let pipeline: Pipeline<String, u64> = Pipeline::from_parts(spec, stages);
         let cfg = EngineConfig::new(free_nodes(1));
         let mut session = spawn(pipeline, &cfg, 1);
-        session.push("oops".to_string());
+        session.push("oops".to_string()).unwrap();
         let t0 = Instant::now();
         while session.error().is_none() && t0.elapsed() < Duration::from_secs(5) {
             std::thread::sleep(Duration::from_millis(2));
@@ -2482,7 +3017,7 @@ mod tests {
         cfg.queue_capacity = Some(1);
         cfg.batch_size = 8;
         let mut session = spawn(pipeline, &cfg, 50);
-        let pushed = session.push_batch(0..50u64);
+        let pushed = session.push_batch(0..50u64).unwrap();
         assert_eq!(pushed, 50);
         let outcome = session.drain();
         assert_eq!(outcome.report.completed, 50);
@@ -2499,7 +3034,7 @@ mod tests {
         cfg.batch_size = 64;
         let mut session = spawn(pipeline, &cfg, 3);
         for i in 0..3u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         let mut got = Vec::new();
         for _ in 0..3 {
@@ -2528,7 +3063,7 @@ mod tests {
         cfg.initial_mapping = Some(Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]));
         let mut session = spawn(pipeline, &cfg, 40);
         for i in 0..40u64 {
-            session.push(i);
+            session.push(i).unwrap();
         }
         session.close();
         let mut got = Vec::new();
@@ -2543,5 +3078,152 @@ mod tests {
         let outcome = session.drain();
         assert_eq!(outcome.report.completed, 40);
         assert!(!outcome.report.truncated);
+    }
+
+    #[test]
+    fn push_after_close_returns_typed_error() {
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 2);
+        session.push(1).unwrap();
+        session.close();
+        assert_eq!(session.push(2), Err(RunError::SessionClosed));
+        assert_eq!(session.push_batch(3..5), Err(RunError::SessionClosed));
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 1, "rejected pushes never ran");
+    }
+
+    #[test]
+    fn eviction_rejects_new_pushes_but_drains_in_flight() {
+        let (s0, f0) = spin_stage("a", 1);
+        let pipeline = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mut session = spawn(pipeline, &cfg, 10);
+        for i in 0..10u64 {
+            session.push(i).unwrap();
+        }
+        let handle = session.tenant_handle();
+        handle.begin_eviction();
+        let id = session.session_id();
+        assert_eq!(session.push(10), Err(RunError::Evicted { session: id }));
+        // Graceful: everything already accepted still completes.
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 10);
+        assert!(!outcome.report.truncated);
+    }
+
+    #[test]
+    fn concurrent_tenants_share_one_pool_exactly_once() {
+        // Three heterogeneous sessions attached to one 2-worker pool,
+        // pushed interleaved: each must finish complete, ordered, and
+        // isolated (disjoint transforms prove no cross-tenant leakage).
+        let pool = Pool::launch(free_nodes(2), FaultPlan::new());
+        let cfg = EngineConfig::new(free_nodes(2));
+        let mk = |add: u64| {
+            let (s0, _) = spin_stage("t", 1);
+            PipelineBuilder::<u64>::new()
+                .stage(s0, move |x: u64| {
+                    spin_for(Duration::from_millis(1));
+                    x + add
+                })
+                .build()
+        };
+        let mut a = attach(&pool, mk(100), &cfg, 30, false);
+        let mut b = attach(&pool, mk(1000), &cfg, 30, false);
+        let mut c = attach(&pool, mk(10000), &cfg, 30, false);
+        assert_ne!(a.session_id(), b.session_id());
+        for i in 0..30u64 {
+            a.push(i).unwrap();
+            b.push(i).unwrap();
+            c.push(i).unwrap();
+        }
+        let (oa, ob, oc) = (a.drain(), b.drain(), c.drain());
+        assert_eq!(oa.outputs, (0..30).map(|x| x + 100).collect::<Vec<_>>());
+        assert_eq!(ob.outputs, (0..30).map(|x| x + 1000).collect::<Vec<_>>());
+        assert_eq!(oc.outputs, (0..30).map(|x| x + 10000).collect::<Vec<_>>());
+        assert!(!oa.report.truncated && !ob.report.truncated && !oc.report.truncated);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn forced_eviction_leaves_co_tenants_running() {
+        let pool = Pool::launch(free_nodes(2), FaultPlan::new());
+        let cfg = EngineConfig::new(free_nodes(2));
+        let (s0, f0) = spin_stage("keep", 1);
+        let keep = PipelineBuilder::<u64>::new().stage(s0, f0).build();
+        let (s1, f1) = spin_stage("goner", 2);
+        let goner = PipelineBuilder::<u64>::new().stage(s1, f1).build();
+        let mut survivor = attach(&pool, keep, &cfg, 40, false);
+        let mut victim = attach(&pool, goner, &cfg, 200, false);
+        for i in 0..200u64 {
+            victim.push(i).unwrap();
+        }
+        let handle = victim.tenant_handle();
+        handle.evict_now();
+        assert_eq!(
+            handle.error(),
+            Some(RunError::Evicted {
+                session: handle.session()
+            })
+        );
+        let report = {
+            // The evicted session unwinds truncated, promptly.
+            let t0 = Instant::now();
+            let outcome = victim.drain();
+            assert!(t0.elapsed() < Duration::from_secs(2));
+            outcome.report
+        };
+        assert!(report.truncated);
+        // The co-tenant is unaffected: full exactly-once stream.
+        for i in 0..40u64 {
+            survivor.push(i).unwrap();
+        }
+        let outcome = survivor.drain();
+        assert_eq!(outcome.outputs, (1..=40).collect::<Vec<_>>());
+        assert!(!outcome.report.truncated);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn weighted_shares_bias_worker_capacity() {
+        // Two identical spin-heavy tenants flood one single-worker pool;
+        // tenant A holds 4× the share of tenant B. Weighted-fair lane
+        // service must let A finish its stream well before B finishes
+        // its own (both streams are equal length).
+        let pool = Pool::launch(free_nodes(1), FaultPlan::new());
+        let cfg = EngineConfig::new(free_nodes(1));
+        let mk = || {
+            let (s0, f0) = spin_stage("w", 2);
+            PipelineBuilder::<u64>::new().stage(s0, f0).build()
+        };
+        let mut a = attach(&pool, mk(), &cfg, 60, false);
+        let mut b = attach(&pool, mk(), &cfg, 60, false);
+        a.tenant_handle().set_share(0.8);
+        b.tenant_handle().set_share(0.2);
+        // Envelope-per-item keeps many envelopes queued per lane.
+        for i in 0..60u64 {
+            a.push(i).unwrap();
+            b.push(i).unwrap();
+        }
+        a.close();
+        b.close();
+        let a_handle = a.tenant_handle();
+        let b_handle = b.tenant_handle();
+        // Wait until A's stream completes; B must still have backlog.
+        let t0 = Instant::now();
+        while a_handle.completed() < 60 && t0.elapsed() < Duration::from_secs(30) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(a_handle.completed(), 60, "high-share tenant finished");
+        let b_done = b_handle.completed();
+        assert!(
+            b_done < 60,
+            "low-share tenant should lag the high-share one (completed {b_done})"
+        );
+        let (oa, ob) = (a.drain(), b.drain());
+        assert_eq!(oa.report.completed, 60);
+        assert_eq!(ob.report.completed, 60);
+        pool.shutdown();
     }
 }

@@ -10,7 +10,9 @@
 //! * [`exec`] — the engine proper: one worker thread per vnode, shared
 //!   routing table, live re-mapping with stateful-instance hand-off, an
 //!   order-preserving collector, and the same monitoring/planning
-//!   controller the simulator uses;
+//!   controller the simulator uses; the worker pool ([`exec::Pool`])
+//!   serves any number of concurrent tenant sessions under
+//!   weighted-fair envelope admission;
 //! * [`inject`] — optional *real* CPU burners for demonstrations of
 //!   genuine contention.
 //!
@@ -26,7 +28,10 @@ pub mod vnode;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::exec::{execute, execute_fed, EngineConfig, EngineOutcome};
+    pub use crate::exec::{
+        attach, execute, execute_fed, spawn, EngineConfig, EngineOutcome, EngineSession, Pool,
+        TenantHandle,
+    };
     pub use crate::inject::LoadInjector;
     pub use crate::vnode::{calibrate_host, spin_for, VNodeSpec, MIN_WALL_AVAILABILITY};
 }

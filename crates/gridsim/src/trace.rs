@@ -93,11 +93,19 @@ impl ThroughputTimeline {
 
     /// Records one completion at `t`.
     pub fn record(&mut self, t: SimTime) {
+        self.record_n(t, 1);
+    }
+
+    /// Records `n` completions at `t` with one bucket update — the
+    /// batched form sinks use when a whole envelope of items lands in
+    /// the same instant (the bucket index is computed once, not per
+    /// item).
+    pub fn record_n(&mut self, t: SimTime, n: u64) {
         let bucket = (t.as_nanos() / self.window.as_nanos()) as usize;
         if bucket >= self.counts.len() {
             self.counts.resize(bucket + 1, 0);
         }
-        self.counts[bucket] += 1;
+        self.counts[bucket] += n;
     }
 
     /// The bucket width.

@@ -21,7 +21,10 @@
 //!   programming, steepest-descent local search with restarts, and the
 //!   [`search::plan`] facade;
 //! * [`replicate`] — greedy widening of stateless bottleneck stages;
-//! * [`decide`] — hysteresis + cost/benefit re-mapping rule.
+//! * [`decide`] — hysteresis + cost/benefit re-mapping rule;
+//! * [`share`] — cross-tenant capacity arbitration: weighted
+//!   progressive filling of one pool over many sessions under
+//!   `min_share`/`max_share` quotas.
 //!
 //! ## Example
 //!
@@ -47,6 +50,7 @@ pub mod mapping;
 pub mod model;
 pub mod replicate;
 pub mod search;
+pub mod share;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -62,6 +66,7 @@ pub mod prelude {
         contiguous_dp, exhaustive_best, exhaustive_frontier, local_search, plan, Plan,
         PlannerConfig, Strategy,
     };
+    pub use crate::share::{arbitrate, fair_shares, ShareQuota};
 }
 
 pub use prelude::*;

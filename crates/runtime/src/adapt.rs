@@ -75,6 +75,10 @@ pub struct RuntimeConfig {
     /// adaptation, force a planning cycle). Checked here — not in the
     /// backends — so every backend honours them identically.
     pub control: crate::session::SessionControl,
+    /// The session this loop adapts, stamped onto every emitted
+    /// [`RunEvent`] so a multi-tenant cluster can merge many loops'
+    /// streams onto one bus. `SessionId(0)` for standalone runs.
+    pub session: crate::session::SessionId,
 }
 
 impl RuntimeConfig {
@@ -249,6 +253,7 @@ impl AdaptationLoop {
                     });
                     drop(table);
                     self.cfg.hooks.events.emit(RunEvent::NodeDown {
+                        session: self.cfg.session,
                         node: node.index(),
                         at,
                     });
@@ -291,6 +296,7 @@ impl AdaptationLoop {
                 FaultTransition::Up { node, at } => {
                     routing.read().expect("routing lock poisoned").mark_up(node);
                     self.cfg.hooks.events.emit(RunEvent::NodeUp {
+                        session: self.cfg.session,
                         node: node.index(),
                         at,
                     });
@@ -404,6 +410,7 @@ impl AdaptationLoop {
                 .hooks
                 .events
                 .emit(crate::session::RunEvent::WindowStats {
+                    session: self.cfg.session,
                     at: now,
                     realized,
                     expected: self.expected_tput,
@@ -555,10 +562,10 @@ impl AdaptationLoop {
             hook(&plan);
         }
         if !self.cfg.hooks.events.is_idle() {
-            self.cfg
-                .hooks
-                .events
-                .emit(crate::session::RunEvent::Remap(plan.clone()));
+            self.cfg.hooks.events.emit(crate::session::RunEvent::Remap {
+                session: self.cfg.session,
+                plan: plan.clone(),
+            });
         }
         plan
     }
@@ -639,6 +646,7 @@ mod tests {
             noise_seed: 1,
             hooks: crate::session::RunHooks::default(),
             control: crate::session::SessionControl::default(),
+            session: crate::session::SessionId(0),
         };
         (cfg, mapping)
     }
@@ -803,7 +811,7 @@ mod tests {
         assert!(!plan.moved.is_empty());
         let remaps: Vec<_> = events
             .try_iter()
-            .filter(|e| matches!(e, crate::session::RunEvent::Remap(_)))
+            .filter(|e| matches!(e, crate::session::RunEvent::Remap { .. }))
             .collect();
         assert_eq!(remaps.len(), 1, "Remap event mirrors the commit");
     }
@@ -886,7 +894,7 @@ mod tests {
             .any(|e| matches!(e, crate::session::RunEvent::NodeDown { node: 1, .. })));
         assert!(kinds
             .iter()
-            .any(|e| matches!(e, crate::session::RunEvent::Remap(_))));
+            .any(|e| matches!(e, crate::session::RunEvent::Remap { .. })));
         // Idempotent: polling again does nothing further.
         let again = aloop.poll_faults(&mut backend, &routing);
         assert!(again.committed.is_none() && !again.fatal);

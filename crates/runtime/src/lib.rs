@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::policy::Policy;
     pub use crate::report::{AdaptationEvent, ReportBuilder, RunReport};
     pub use crate::routing::{RoutingTable, Selection};
-    pub use crate::session::{BuildError, RunConfig, RunError, RunHooks, Session};
+    pub use crate::session::{BuildError, RunConfig, RunError, RunHooks, Session, SessionId};
     pub use adapipe_gridsim::fault::{Fault, FaultPlan};
 }
 

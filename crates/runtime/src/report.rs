@@ -310,6 +310,45 @@ impl ReportBuilder {
         self.completed += 1;
     }
 
+    /// Records a whole envelope of items reaching the sink together at
+    /// `at` — the batched form of [`ReportBuilder::record_completion`]
+    /// for sink collectors that receive one message per envelope.
+    ///
+    /// The timeline bucket and the makespan watermark are updated once
+    /// per envelope instead of once per item (envelopes span
+    /// microseconds; timeline buckets span hundreds of milliseconds, so
+    /// attributing the whole envelope to its final completion instant
+    /// is exact at bucket granularity). The latency *sum* — and
+    /// therefore the reported mean — stays exact over every item, and
+    /// the stride-decimated quantile sampling is identical to calling
+    /// `record_completion` per item.
+    pub fn record_envelope(&mut self, at: SimTime, latencies: impl Iterator<Item = SimDuration>) {
+        let before = self.completed;
+        for latency in latencies {
+            self.latency_sum = self.latency_sum.saturating_add(latency);
+            if self.latencies.len() >= LATENCY_SAMPLE_CAP {
+                let mut keep = false;
+                self.latencies.retain(|_| {
+                    keep = !keep;
+                    keep
+                });
+                self.latency_stride *= 2;
+            }
+            if self.completed.is_multiple_of(self.latency_stride) {
+                self.latencies.push(latency);
+            }
+            self.completed += 1;
+        }
+        let n = self.completed - before;
+        if n == 0 {
+            return;
+        }
+        self.timeline.record_n(at, n);
+        if at > self.last_completion {
+            self.last_completion = at;
+        }
+    }
+
     /// Completions recorded so far.
     pub fn completed(&self) -> u64 {
         self.completed
@@ -547,6 +586,54 @@ mod tests {
         );
         let p50 = r.latency_percentile(0.5).unwrap().as_secs_f64();
         assert!((4.0..=7.0).contains(&p50), "p50 estimate off: {p50}");
+    }
+
+    #[test]
+    fn record_envelope_matches_per_item_recording() {
+        // Same items recorded one-by-one vs. as envelopes must agree on
+        // count, mean, makespan, timeline totals, and retained samples.
+        let mut per_item = ReportBuilder::new(SimDuration::from_secs(1), u64::MAX);
+        let mut batched = ReportBuilder::new(SimDuration::from_secs(1), u64::MAX);
+        let latencies: Vec<SimDuration> = (1..=10).map(SimDuration::from_secs).collect();
+        let at = SimTime::from_secs_f64(2.5);
+        for &l in &latencies {
+            per_item.record_completion(at, l);
+        }
+        batched.record_envelope(at, latencies.iter().copied());
+        // An empty envelope is a no-op.
+        batched.record_envelope(SimTime::from_secs_f64(9.0), std::iter::empty());
+        assert_eq!(batched.completed(), per_item.completed());
+        assert_eq!(batched.latencies, per_item.latencies);
+        assert_eq!(batched.latency_sum, per_item.latency_sum);
+        assert_eq!(batched.last_completion, per_item.last_completion);
+        assert_eq!(batched.timeline.total(), per_item.timeline.total());
+    }
+
+    #[test]
+    fn record_envelope_decimates_past_the_sample_cap() {
+        let mut b = ReportBuilder::new(SimDuration::from_secs(3600), u64::MAX);
+        let n = 2_500_000u64;
+        let batch = 64u64;
+        let mut i = 0u64;
+        while i < n {
+            let count = batch.min(n - i);
+            let env: Vec<SimDuration> = (i..i + count)
+                .map(|k| SimDuration::from_secs((k % 10) + 1))
+                .collect();
+            b.record_envelope(SimTime::from_secs_f64(i as f64 * 1e-3), env.into_iter());
+            i += count;
+        }
+        assert_eq!(b.completed(), n);
+        assert!(b.latencies.len() <= LATENCY_SAMPLE_CAP);
+        assert!(b.latencies.len() > LATENCY_SAMPLE_CAP / 4);
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![SimDuration::ZERO],
+            StageMetrics::new(1),
+        );
+        assert!((r.mean_latency.as_secs_f64() - 5.5).abs() < 1e-3);
     }
 
     #[test]

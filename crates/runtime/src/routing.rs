@@ -239,12 +239,26 @@ impl RoutingTable {
     /// Creates a table with an explicit selection policy over a backend
     /// of `node_count` nodes.
     pub fn with_selection(mapping: Mapping, selection: Selection, node_count: usize) -> Self {
-        let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
         let down = Arc::new(
             (0..node_count)
                 .map(|_| AtomicBool::new(false))
                 .collect::<Vec<_>>(),
         );
+        Self::with_shared_health(mapping, selection, down)
+    }
+
+    /// Creates a table whose node-health flags are the caller's shared
+    /// vector rather than a fresh private one. A multi-tenant pool
+    /// builds every tenant's table over *one* health vector so a node
+    /// marked down through any tenant's snapshot is instantly down for
+    /// all of them — pool health is a property of the hardware, not of
+    /// one session's view of it.
+    pub fn with_shared_health(
+        mapping: Mapping,
+        selection: Selection,
+        down: Arc<Vec<AtomicBool>>,
+    ) -> Self {
+        let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
         RoutingTable {
             snap: Arc::new(RoutingSnapshot {
                 mapping,
@@ -533,6 +547,29 @@ mod tests {
         rt.mark_down(NodeId(99));
         assert!(!rt.is_down(NodeId(99)));
         assert_eq!(rt.route(1), n(2));
+    }
+
+    #[test]
+    fn shared_health_spans_tables() {
+        // Two tenants' tables built over one health vector: a fault
+        // marked through either one is down for both instantly.
+        let down = Arc::new((0..3).map(|_| AtomicBool::new(false)).collect::<Vec<_>>());
+        let a = RoutingTable::with_shared_health(
+            Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]),
+            Selection::RoundRobin,
+            Arc::clone(&down),
+        );
+        let b = RoutingTable::with_shared_health(
+            Mapping::new(vec![Placement::single(n(0)), Placement::single(n(2))]),
+            Selection::RoundRobin,
+            Arc::clone(&down),
+        );
+        a.mark_down(n(0));
+        assert!(b.is_down(n(0)), "tenant B sees tenant A's fault mark");
+        let picks: Vec<NodeId> = (0..4).map(|_| a.route(0)).collect();
+        assert_eq!(picks, vec![n(1); 4]);
+        b.mark_up(n(0));
+        assert!(!a.is_down(n(0)), "recovery through B reaches A");
     }
 
     #[test]

@@ -154,6 +154,26 @@ pub enum BuildError {
         /// What is wrong with the plan.
         detail: String,
     },
+    /// A session admitted to a multi-tenant cluster declared its own
+    /// fault plan — node churn is a property of the shared pool
+    /// (declare it on the cluster), not of one tenant.
+    PerSessionFaults,
+    /// The session's capacity quota is not internally consistent
+    /// (shares outside `[0, 1]`, floor above cap, or a non-positive
+    /// weight).
+    InvalidQuota {
+        /// What is wrong with the quota.
+        detail: String,
+    },
+    /// Admitting this session to the deterministic simulation cluster
+    /// would oversubscribe the pool: the static shares of the live
+    /// sessions already cover the requested capacity.
+    PoolOversubscribed {
+        /// The share the new session asked for (`max_share`).
+        requested: f64,
+        /// The share still unclaimed by live sessions.
+        available: f64,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -223,6 +243,26 @@ impl std::fmt::Display for BuildError {
             BuildError::InvalidFault { detail } => {
                 write!(f, "invalid fault plan: {detail}")
             }
+            BuildError::PerSessionFaults => {
+                write!(
+                    f,
+                    "cluster sessions cannot declare their own fault plans; \
+                     node churn belongs to the shared pool (ClusterConfig)"
+                )
+            }
+            BuildError::InvalidQuota { detail } => {
+                write!(f, "invalid session quota: {detail}")
+            }
+            BuildError::PoolOversubscribed {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "sim cluster pool oversubscribed: session asks for a \
+                     {requested:.3} static share but only {available:.3} is unclaimed"
+                )
+            }
         }
     }
 }
@@ -236,15 +276,27 @@ pub type RemapHook = Arc<dyn Fn(&RemapPlan) + Send + Sync>;
 /// [`EventBus`] subscriber. Generalises the single `on_remap` callback:
 /// a streaming session can watch re-mappings, per-interval window
 /// statistics, and backpressure stalls while the run is in flight.
+///
+/// Every variant carries the [`SessionId`] of the run that produced it,
+/// so a multi-tenant cluster can merge many sessions' streams onto one
+/// bus and subscribers can still demultiplex. Standalone
+/// (single-session) runs report `SessionId(0)`.
 #[derive(Clone, Debug)]
 #[non_exhaustive]
 pub enum RunEvent {
     /// The controller committed a re-mapping (including regret-guard
     /// reverts). Mirrors the `on_remap` hook exactly: both fire once
     /// per committed plan, in the same order.
-    Remap(RemapPlan),
+    Remap {
+        /// The session whose controller committed the plan.
+        session: SessionId,
+        /// The committed re-mapping.
+        plan: RemapPlan,
+    },
     /// One adaptation interval elapsed: what the loop observed.
     WindowStats {
+        /// The session the interval belongs to.
+        session: SessionId,
         /// Backend time of the tick.
         at: SimTime,
         /// Realized throughput over the elapsed interval (items/s).
@@ -258,6 +310,8 @@ pub enum RunEvent {
     },
     /// A `push()` blocked on a full bounded queue (threaded backend).
     BackpressureStall {
+        /// The session whose push stalled.
+        session: SessionId,
         /// Sequence number of the item whose push stalled.
         seq: u64,
         /// How long the push waited for a free slot.
@@ -267,6 +321,8 @@ pub enum RunEvent {
     /// plan: it is now excluded from routing, and — under an adaptive
     /// policy — a committed re-map away from it is forced.
     NodeDown {
+        /// The session whose fault plan (or pool) lost the node.
+        session: SessionId,
         /// The failed node.
         node: usize,
         /// The scheduled instant of the failure, on the backend clock.
@@ -275,6 +331,8 @@ pub enum RunEvent {
     /// A node recovered (outage end): routing may use it again, and the
     /// regular adaptation cycle is free to re-adopt it.
     NodeUp {
+        /// The session observing the recovery.
+        session: SessionId,
         /// The recovered node.
         node: usize,
         /// The scheduled instant of the recovery, on the backend clock.
@@ -284,6 +342,8 @@ pub enum RunEvent {
     /// host (at-least-once replay). Fires once per rescue; the total is
     /// reported in `RunReport::replays`.
     ItemReplayed {
+        /// The session the replayed item belongs to.
+        session: SessionId,
         /// Sequence number of the replayed item.
         seq: u64,
         /// The stage the item was waiting for.
@@ -336,6 +396,19 @@ pub enum RunError {
         /// The crashed node.
         node: usize,
     },
+    /// The session was closed (or aborted) and then pushed into. A
+    /// closed stream's length is already settled, so late items have
+    /// nowhere to go; `push`/`push_batch` return this instead of
+    /// silently dropping the item or panicking.
+    SessionClosed,
+    /// The session was evicted from a shared cluster pool. Graceful
+    /// eviction (`Cluster::evict`) rejects new pushes with this while
+    /// in-flight items drain; forced eviction additionally fails the
+    /// run with it, truncating whatever had not yet completed.
+    Evicted {
+        /// The evicted session.
+        session: SessionId,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -361,11 +434,30 @@ impl std::fmt::Display for RunError {
                      re-maps; the stranded items can never complete"
                 )
             }
+            RunError::SessionClosed => {
+                write!(f, "cannot push into a closed session")
+            }
+            RunError::Evicted { session } => {
+                write!(f, "session {session} was evicted from the cluster")
+            }
         }
     }
 }
 
 impl std::error::Error for RunError {}
+
+/// Identifies one tenant session admitted to a shared cluster pool.
+/// Allocated by the pool at admission, unique for the pool's lifetime,
+/// and carried on cluster-level event streams so heterogeneous tenants
+/// can be told apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
 
 /// A broadcast channel for [`RunEvent`]s: any number of subscribers,
 /// each receiving every event emitted after it subscribed. Cloning the
@@ -981,6 +1073,7 @@ mod tests {
         let b = bus.subscribe();
         assert!(!bus.is_idle());
         bus.emit(RunEvent::BackpressureStall {
+            session: SessionId(0),
             seq: 3,
             waited: SimDuration::from_millis(5),
         });
@@ -993,6 +1086,7 @@ mod tests {
         // A dropped subscriber is pruned on the next emission.
         drop(a);
         bus.emit(RunEvent::WindowStats {
+            session: SessionId(0),
             at: SimTime::ZERO,
             realized: 1.0,
             expected: 1.0,

@@ -83,7 +83,7 @@ fn main() {
         if target > now {
             std::thread::sleep(Duration::from_secs_f64(target - now));
         }
-        session.push(req);
+        session.push(req).unwrap();
         while let TryNext::Item(o) = session.try_next() {
             outputs.push(o);
         }
@@ -99,7 +99,7 @@ fn main() {
     let mut recovery_remaps = 0u32;
     for ev in events.try_iter() {
         match ev {
-            RunEvent::NodeDown { node, at } => {
+            RunEvent::NodeDown { node, at, .. } => {
                 downs += 1;
                 println!("NODE DOWN: v{node} at t={:.2}s", at.as_secs_f64());
             }
@@ -111,7 +111,7 @@ fn main() {
                     println!("replayed item #{seq} (stage {stage}) off dead v{from}");
                 }
             }
-            RunEvent::Remap(plan) if !plan.to.nodes_used().contains(&NodeId(1)) => {
+            RunEvent::Remap { plan, .. } if !plan.to.nodes_used().contains(&NodeId(1)) => {
                 recovery_remaps += 1;
                 println!(
                     "recovery remap at t={:.2}s: {} -> {}",

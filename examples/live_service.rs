@@ -78,7 +78,7 @@ fn main() {
             if target > due {
                 std::thread::sleep(Duration::from_secs_f64(target - due));
             }
-            session.push(offered);
+            session.push(offered).unwrap();
             offered += 1;
             // Consume whatever is ready — the stream stays live.
             while let TryNext::Item(o) = session.try_next() {
@@ -105,7 +105,7 @@ fn main() {
     let mut windows = 0u32;
     for ev in events.try_iter() {
         match ev {
-            RunEvent::Remap(plan) => {
+            RunEvent::Remap { plan, .. } => {
                 remaps += 1;
                 println!(
                     "remap at t={:.2}s: {} -> {} (cost {:.3}s)",
@@ -115,7 +115,7 @@ fn main() {
                     plan.migration_cost.as_secs_f64(),
                 );
             }
-            RunEvent::BackpressureStall { seq, waited } => {
+            RunEvent::BackpressureStall { seq, waited, .. } => {
                 stalls += 1;
                 if stalls <= 3 {
                     println!(

@@ -1,0 +1,120 @@
+//! Multi-tenant serving: a steady interactive tenant and a bursty batch
+//! tenant share one worker pool. The steady tenant holds a `min_share`
+//! floor, so when its co-tenant spikes to 10x the traffic, the
+//! weighted-fair inbox lanes keep serving it — its completion rate must
+//! not collapse (the run asserts it keeps >= 75% of its uncontended
+//! rate).
+//!
+//! `cargo run --release --example multi_tenant`
+
+use adapipe::prelude::*;
+use std::time::{Duration, Instant};
+
+const STAGE: Duration = Duration::from_millis(1);
+/// Steady tenant's pacing: one request every 5 ms.
+const PACE: Duration = Duration::from_millis(5);
+/// Measured phase length (uncontended, then contended).
+const PHASE: Duration = Duration::from_millis(400);
+/// The spike: 10x the steady tenant's per-phase volume, all at once.
+const SPIKE_ITEMS: u64 = 800;
+
+fn service(tag: &str) -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage_with(
+            StageSpec::balanced(tag, STAGE.as_secs_f64(), 8),
+            |x: u64| {
+                spin_for(STAGE);
+                x + 1
+            },
+        )
+        .build()
+        .expect("service builds")
+}
+
+/// Pushes paced steady traffic for one phase and returns the tenant's
+/// completion rate (items/s) over it.
+fn paced_phase(steady: &mut RunSession<'_, u64, u64>, pushed: &mut u64) -> f64 {
+    let t0 = Instant::now();
+    let c0 = steady.completed();
+    while t0.elapsed() < PHASE {
+        steady.push(*pushed).expect("steady push admitted");
+        *pushed += 1;
+        std::thread::sleep(PACE);
+    }
+    // Let the tail land before reading the counter.
+    std::thread::sleep(Duration::from_millis(50));
+    (steady.completed() - c0) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let vnodes: Vec<VNodeSpec> = (0..2).map(|i| VNodeSpec::free(format!("v{i}"))).collect();
+    let mut cluster =
+        Cluster::new(Backend::Threads(vnodes), ClusterConfig::default()).expect("cluster launches");
+
+    // The interactive tenant is guaranteed half the pool while it has
+    // demand; the batch tenant is best-effort.
+    let mut steady = cluster
+        .admit(
+            service("serve"),
+            SessionConfig {
+                run: RunConfig {
+                    items: 200,
+                    ..RunConfig::default()
+                },
+                quota: ShareQuota {
+                    min_share: 0.5,
+                    max_share: 1.0,
+                    weight: 1.0,
+                },
+            },
+        )
+        .expect("steady tenant admitted");
+    let mut spiker = cluster
+        .admit(
+            service("crunch"),
+            SessionConfig {
+                run: RunConfig {
+                    items: SPIKE_ITEMS,
+                    ..RunConfig::default()
+                },
+                quota: ShareQuota::default(),
+            },
+        )
+        .expect("spiking tenant admitted");
+
+    println!(
+        "pool: {} nodes | tenants: {:?}",
+        cluster.node_count(),
+        cluster.sessions()
+    );
+
+    let mut pushed = 0u64;
+    let alone = paced_phase(&mut steady, &mut pushed);
+    println!("steady tenant, uncontended : {alone:6.1} items/s");
+
+    // The co-tenant spikes: 10x the steady volume, flooded at once.
+    spiker.push_batch(0..SPIKE_ITEMS).expect("spike admitted");
+    let contended = paced_phase(&mut steady, &mut pushed);
+    let steady_share = cluster.share_of(steady.session_id()).unwrap_or(0.0);
+    println!(
+        "steady tenant, during spike: {contended:6.1} items/s (granted share {steady_share:.2})"
+    );
+
+    let ratio = contended / alone.max(1e-9);
+    println!("steady rate kept through the spike: {:.0}%", ratio * 100.0);
+    assert!(
+        ratio >= 0.75,
+        "steady tenant starved by the spiking co-tenant: kept only {:.0}% of its rate",
+        ratio * 100.0
+    );
+
+    let steady_handle = steady.drain();
+    let spiker_handle = spiker.drain();
+    assert_eq!(steady_handle.report.completed, pushed);
+    assert_eq!(spiker_handle.report.completed, SPIKE_ITEMS);
+    println!(
+        "drained: steady {} items, spiker {} items — no items lost",
+        steady_handle.report.completed, spiker_handle.report.completed
+    );
+    cluster.shutdown();
+}

@@ -61,7 +61,9 @@
 //!     )
 //!     .expect("spawn");
 //! for i in 0..10 {
-//!     session.push(i); // blocks only when the bounded queues are full
+//!     // Blocks only when the bounded queues are full; a closed or
+//!     // evicted session returns a typed `RunError` instead.
+//!     session.push(i).unwrap();
 //! }
 //! let handle = session.drain(); // graceful: every pushed item completes
 //! assert_eq!(handle.outputs, (1..=10).collect::<Vec<_>>());
@@ -88,7 +90,18 @@
 //! (`on_remap` fires at each committed re-mapping while the pipeline
 //! runs) or the richer [`RunSession::events`] stream; post-run
 //! observation through the [`RunHandle`].
+//!
+//! ## Multi-tenant clusters
+//!
+//! One node pool can serve many concurrent pipelines: [`Cluster::new`]
+//! owns the pool once, [`Cluster::admit`] attaches any number of
+//! sessions (heterogeneous stage graphs, each keeping this same typed
+//! push/pull API) under per-tenant [`ShareQuota`]s, and
+//! [`Cluster::evict`] / [`Cluster::evict_now`] remove tenants
+//! gracefully or forcibly. See the `Cluster` docs for the capacity
+//! arbitration and fairness semantics.
 
+use adapipe_cluster::threads::ThreadCluster;
 use adapipe_core::pipeline::Pipeline as CorePipeline;
 use adapipe_core::simengine::{SimConfig, SimStepper};
 use adapipe_core::spec::{PipelineSpec, Segment, StageGraph, StageSpec};
@@ -100,6 +113,7 @@ use adapipe_engine::vnode::VNodeSpec;
 use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::grid::GridSpec;
 use adapipe_gridsim::node::NodeId;
+use adapipe_gridsim::time::SimTime;
 use adapipe_runtime::arrivals::ArrivalStream;
 use adapipe_runtime::metrics::StageStats;
 use adapipe_runtime::policy::Policy;
@@ -108,10 +122,14 @@ use adapipe_runtime::routing::Selection;
 use adapipe_runtime::session::{self, EventBus, Session, SessionControl};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
 
+pub use adapipe_mapper::share::ShareQuota;
 pub use adapipe_runtime::session::{
-    ArrivalProcess, BuildError, RunConfig, RunError, RunEvent, RunHooks, TryNext,
+    ArrivalProcess, BuildError, RunConfig, RunError, RunEvent, RunHooks, SessionId, TryNext,
 };
 
 /// Which execution backend a built [`Pipeline`] runs on.
@@ -280,54 +298,92 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
         // build time, then the run's own faults on top.
         cfg.faults = self.faults.clone().merge(&cfg.faults);
         self.validate_run(&backend, &cfg)?;
-        let control = cfg.control.clone();
-        let bus = cfg.hooks.events.clone();
-        let inner = match backend {
-            Backend::Sim(grid) => {
-                let defaults = SimConfig::default();
-                let sim_cfg = SimConfig {
-                    items: cfg.items,
-                    arrivals: self.session.arrivals(),
-                    policy: self.session.policy(),
-                    controller: cfg.controller,
-                    initial_mapping: cfg.initial_mapping,
-                    selection: cfg.selection,
-                    observation_noise: cfg.observation_noise,
-                    noise_seed: cfg.noise_seed,
-                    timeline_bucket: cfg.timeline_bucket.unwrap_or(defaults.timeline_bucket),
-                    link_contention: cfg.link_contention,
-                    max_sim_time: cfg.max_sim_time,
-                    hooks: cfg.hooks,
-                    control: cfg.control,
-                    faults: cfg.faults,
-                };
-                let arrivals = self.session.arrivals().stream();
-                let graph = self.spec.graph.clone();
-                SessionInner::Sim(Box::new(SimSession {
-                    stepper: SimStepper::new(grid, self.spec, &sim_cfg),
-                    stages: self.stages,
-                    graph,
-                    fanouts: self.fanouts,
-                    arrivals,
-                    outputs: HashMap::new(),
-                    done_ordered: BTreeSet::new(),
-                    done_unordered: VecDeque::new(),
-                    next_seq: 0,
-                    preserve_order: cfg.preserve_order,
-                }))
-            }
+        match backend {
+            Backend::Sim(grid) => Ok(self.spawn_sim(grid, cfg, 1.0, SessionId(0), None)),
             Backend::Threads(vnodes) => {
+                let control = cfg.control.clone();
+                let bus = cfg.hooks.events.clone();
                 let items = cfg.items;
                 let engine_cfg = engine_config(&self.session, vnodes, cfg);
                 let core = CorePipeline::from_graph_parts(self.spec, self.stages, self.fanouts);
-                SessionInner::Threads(Box::new(exec::spawn(core, &engine_cfg, items)))
+                Ok(RunSession {
+                    inner: SessionInner::Threads(Box::new(exec::spawn(core, &engine_cfg, items))),
+                    control,
+                    bus,
+                })
             }
+        }
+    }
+
+    /// Shared constructor of the simulation-backend session: a
+    /// standalone [`Pipeline::spawn`] owns the whole grid (`share =
+    /// 1.0`, no registry) while [`Cluster::admit`] grants a static
+    /// capacity share and enrols the session in the pool's merged
+    /// event-clock registry. Validation has already happened.
+    fn spawn_sim<'g>(
+        self,
+        grid: &'g GridSpec,
+        cfg: RunConfig,
+        share: f64,
+        sid: SessionId,
+        pool: Option<SimPool<'g>>,
+    ) -> RunSession<'g, I, O> {
+        let control = cfg.control.clone();
+        let bus = cfg.hooks.events.clone();
+        let defaults = SimConfig::default();
+        let sim_cfg = SimConfig {
+            items: cfg.items,
+            arrivals: self.session.arrivals(),
+            policy: self.session.policy(),
+            controller: cfg.controller,
+            initial_mapping: cfg.initial_mapping,
+            selection: cfg.selection,
+            observation_noise: cfg.observation_noise,
+            noise_seed: cfg.noise_seed,
+            timeline_bucket: cfg.timeline_bucket.unwrap_or(defaults.timeline_bucket),
+            link_contention: cfg.link_contention,
+            max_sim_time: cfg.max_sim_time,
+            hooks: cfg.hooks,
+            control: cfg.control,
+            faults: cfg.faults,
+            rate_scale: share,
+            session: sid,
         };
-        Ok(RunSession {
-            inner,
+        let arrivals = self.session.arrivals().stream();
+        let graph = self.spec.graph.clone();
+        let stepper = Arc::new(Mutex::new(SimStepper::new(grid, self.spec, &sim_cfg)));
+        let ctl = Arc::new(SimTenantCtl::default());
+        if let Some(pool) = &pool {
+            pool.lock()
+                .expect("sim pool registry poisoned")
+                .push(SimPoolEntry {
+                    id: sid.0,
+                    stepper: Arc::downgrade(&stepper),
+                    ctl: ctl.clone(),
+                    control: control.clone(),
+                    share,
+                });
+        }
+        RunSession {
+            inner: SessionInner::Sim(Box::new(SimSession {
+                stepper,
+                pool,
+                session: sid,
+                ctl,
+                closed: false,
+                stages: self.stages,
+                graph,
+                fanouts: self.fanouts,
+                arrivals,
+                outputs: HashMap::new(),
+                done_ordered: BTreeSet::new(),
+                done_unordered: VecDeque::new(),
+                next_seq: 0,
+                preserve_order: cfg.preserve_order,
+            })),
             control,
             bus,
-        })
+        }
     }
 
     /// Runs the pipeline to completion on `backend` under `cfg` —
@@ -462,7 +518,19 @@ enum SessionInner<'g, I, O> {
 /// time, in push order — the canonical sequential semantics — and each
 /// result is released when the simulated world completes that item.
 struct SimSession<'g> {
-    stepper: SimStepper<'g>,
+    /// The steppable world. Shared (`Arc`) so a cluster's merged event
+    /// clock can reach co-tenant worlds through weak registry handles;
+    /// a standalone session is the sole owner.
+    stepper: Arc<Mutex<SimStepper<'g>>>,
+    /// The shared-pool registry when this session was admitted by a sim
+    /// [`Cluster`]; `None` for standalone sessions.
+    pool: Option<SimPool<'g>>,
+    session: SessionId,
+    /// Eviction flags shared with the owning cluster.
+    ctl: Arc<SimTenantCtl>,
+    /// Facade-level stream state: `true` after [`RunSession::close`],
+    /// making further pushes a typed [`RunError::SessionClosed`].
+    closed: bool,
     stages: Vec<Box<dyn DynStage>>,
     /// The stage graph driving push-time execution (fan-out runs each
     /// branch in branch order; the merge folds the branch outputs).
@@ -518,9 +586,133 @@ impl SimSession<'_> {
     /// *open* stream is `Pending`, not `Done` — the caller may still
     /// push.
     fn finished(&self) -> bool {
-        (self.stepper.all_done() || self.stepper.is_exhausted())
+        let world_done = {
+            let st = self.stepper.lock().expect("sim stepper poisoned");
+            st.all_done() || st.is_exhausted()
+        };
+        (world_done || self.ctl.killed.load(Ordering::SeqCst))
             && self.done_ordered.is_empty()
             && self.done_unordered.is_empty()
+    }
+
+    /// Moves completions buffered in the world — possibly completed by
+    /// a co-tenant's stepping of the merged clock — into the delivery
+    /// queues, without advancing virtual time.
+    fn drain_completions(&mut self) {
+        let mut seqs = Vec::new();
+        {
+            let mut st = self.stepper.lock().expect("sim stepper poisoned");
+            while let Some(seq) = st.pop_completion() {
+                seqs.push(seq);
+            }
+        }
+        for seq in seqs {
+            self.note_completion(seq);
+        }
+    }
+
+    /// True while some pushed item has not yet completed and the world
+    /// can still make progress toward it.
+    fn pending(&self) -> bool {
+        let st = self.stepper.lock().expect("sim stepper poisoned");
+        !st.is_exhausted() && st.completed() < st.pushed()
+    }
+
+    /// Advances virtual time by one event: the session's own clock when
+    /// standalone, the pool's merged clock (earliest event across all
+    /// co-tenants) when cluster-admitted. Returns `false` when no world
+    /// in scope can fire another event.
+    fn advance(&mut self) -> bool {
+        match &self.pool {
+            None => self.stepper.lock().expect("sim stepper poisoned").step(),
+            Some(pool) => step_earliest(pool),
+        }
+    }
+
+    /// Recovers sole ownership of the stepper (a cluster registry holds
+    /// only weak handles) and produces the final report, unregistering
+    /// the tenant on the way out.
+    fn into_report(self) -> RunReport {
+        let SimSession {
+            stepper,
+            pool,
+            session,
+            ..
+        } = self;
+        if let Some(pool) = &pool {
+            pool.lock()
+                .expect("sim pool registry poisoned")
+                .retain(|e| e.id != session.0);
+        }
+        Arc::try_unwrap(stepper)
+            .ok()
+            .expect("sim stepper uniquely owned at run end")
+            .into_inner()
+            .expect("sim stepper poisoned")
+            .finish()
+    }
+}
+
+/// Cross-thread eviction flags for a sim-cluster tenant, shared between
+/// the tenant's [`RunSession`] and the owning [`Cluster`].
+#[derive(Default)]
+struct SimTenantCtl {
+    /// Graceful eviction: no further pushes are admitted; in-flight
+    /// items drain normally.
+    evicting: AtomicBool,
+    /// Forced eviction: the world no longer participates in the merged
+    /// clock and the run unwinds with [`RunError::Evicted`].
+    killed: AtomicBool,
+}
+
+/// One tenant's entry in a sim cluster's merged-clock registry.
+struct SimPoolEntry<'g> {
+    id: u64,
+    stepper: Weak<Mutex<SimStepper<'g>>>,
+    ctl: Arc<SimTenantCtl>,
+    control: SessionControl,
+    /// The static capacity share granted at admission (the tenant's
+    /// quota ceiling).
+    share: f64,
+}
+
+/// A sim cluster's tenant registry: weak stepper handles (each tenant's
+/// `RunSession` keeps ownership) plus eviction flags and static shares.
+type SimPool<'g> = Arc<Mutex<Vec<SimPoolEntry<'g>>>>;
+
+/// One tick of a sim cluster's merged event clock: find the live
+/// session whose next event is earliest — ties break toward the
+/// earliest-admitted tenant — and step that session's world once.
+/// Force-evicted, dropped, and exhausted worlds no longer participate.
+/// Returns `false` when no world can fire another event.
+fn step_earliest(pool: &SimPool<'_>) -> bool {
+    let entries = pool.lock().expect("sim pool registry poisoned");
+    let mut best: Option<(SimTime, Arc<Mutex<SimStepper<'_>>>)> = None;
+    for entry in entries.iter() {
+        if entry.ctl.killed.load(Ordering::SeqCst) {
+            continue;
+        }
+        let Some(stepper) = entry.stepper.upgrade() else {
+            continue;
+        };
+        let next = {
+            let st = stepper.lock().expect("sim stepper poisoned");
+            if st.is_exhausted() {
+                None
+            } else {
+                st.next_event_at()
+            }
+        };
+        if let Some(at) = next {
+            if best.as_ref().is_none_or(|(bt, _)| at < *bt) {
+                best = Some((at, stepper));
+            }
+        }
+    }
+    drop(entries);
+    match best {
+        Some((_, stepper)) => stepper.lock().expect("sim stepper poisoned").step(),
+        None => false,
     }
 }
 
@@ -536,13 +728,28 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     /// functions run immediately in push order, and the output is
     /// withheld until the simulated world completes the item.
     ///
-    /// # Panics
-    /// Panics if the session was closed.
-    pub fn push(&mut self, item: I) -> u64 {
+    /// # Errors
+    /// [`RunError::SessionClosed`] after [`RunSession::close`] /
+    /// [`RunSession::drain`] began, [`RunError::Evicted`] once a
+    /// cluster evicted this session — on both backends.
+    pub fn push(&mut self, item: I) -> Result<u64, RunError> {
         match &mut self.inner {
             SessionInner::Sim(sim) => {
+                if sim.closed {
+                    return Err(RunError::SessionClosed);
+                }
+                if sim.ctl.evicting.load(Ordering::SeqCst) || sim.ctl.killed.load(Ordering::SeqCst)
+                {
+                    return Err(RunError::Evicted {
+                        session: sim.session,
+                    });
+                }
                 let at = sim.arrivals.next().expect("arrival stream is infinite");
-                let seq = sim.stepper.push_at(at);
+                let seq = sim
+                    .stepper
+                    .lock()
+                    .expect("sim stepper poisoned")
+                    .push_at(at);
                 let SimSession {
                     ref graph,
                     ref fanouts,
@@ -554,7 +761,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
                 {
                     sim.outputs.insert(seq, out);
                 }
-                seq
+                Ok(seq)
             }
             SessionInner::Threads(engine) => engine.push(item),
         }
@@ -570,18 +777,19 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     /// simulation backend it is equivalent to pushing each item in
     /// order.
     ///
-    /// # Panics
-    /// Panics if the session was closed.
-    pub fn push_batch(&mut self, items: impl IntoIterator<Item = I>) -> u64 {
+    /// # Errors
+    /// Same lifecycle errors as [`RunSession::push`]; items already
+    /// admitted before the error stay in flight.
+    pub fn push_batch(&mut self, items: impl IntoIterator<Item = I>) -> Result<u64, RunError> {
         if let SessionInner::Threads(engine) = &mut self.inner {
             return engine.push_batch(items);
         }
         let mut n = 0;
         for item in items {
-            self.push(item);
+            self.push(item)?;
             n += 1;
         }
-        n
+        Ok(n)
     }
 
     /// Feeds arrival *metadata* only (simulation backend): the item
@@ -592,7 +800,10 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
         match &mut self.inner {
             SessionInner::Sim(sim) => {
                 let at = sim.arrivals.next().expect("arrival stream is infinite");
-                sim.stepper.push_at(at);
+                sim.stepper
+                    .lock()
+                    .expect("sim stepper poisoned")
+                    .push_at(at);
             }
             SessionInner::Threads(_) => unreachable!("markers are a simulation-only device"),
         }
@@ -602,15 +813,28 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     /// and `next` now have a definite end.
     pub fn close(&mut self) {
         match &mut self.inner {
-            SessionInner::Sim(sim) => sim.stepper.close(),
+            SessionInner::Sim(sim) => {
+                sim.closed = true;
+                sim.stepper.lock().expect("sim stepper poisoned").close();
+            }
             SessionInner::Threads(engine) => engine.close(),
+        }
+    }
+
+    /// The session's cluster-wide identity. Standalone `spawn` sessions
+    /// report `SessionId(0)`; cluster-admitted sessions carry the id
+    /// tagged on every [`RunEvent`] they emit.
+    pub fn session_id(&self) -> SessionId {
+        match &self.inner {
+            SessionInner::Sim(sim) => sim.session,
+            SessionInner::Threads(engine) => engine.session_id(),
         }
     }
 
     /// Items pushed so far.
     pub fn pushed(&self) -> u64 {
         match &self.inner {
-            SessionInner::Sim(sim) => sim.stepper.pushed(),
+            SessionInner::Sim(sim) => sim.stepper.lock().expect("sim stepper poisoned").pushed(),
             SessionInner::Threads(engine) => engine.pushed(),
         }
     }
@@ -618,7 +842,11 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     /// Items that reached the sink so far.
     pub fn completed(&self) -> u64 {
         match &self.inner {
-            SessionInner::Sim(sim) => sim.stepper.completed(),
+            SessionInner::Sim(sim) => sim
+                .stepper
+                .lock()
+                .expect("sim stepper poisoned")
+                .completed(),
             SessionInner::Threads(engine) => engine.completed(),
         }
     }
@@ -634,6 +862,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     pub fn try_next(&mut self) -> TryNext<O> {
         match &mut self.inner {
             SessionInner::Sim(sim) => {
+                sim.drain_completions();
                 if let Some(out) = sim.pop_ready() {
                     TryNext::Item(downcast_output(out))
                 } else if sim.finished() {
@@ -690,9 +919,16 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
         let error = self.control.error();
         match self.inner {
             SessionInner::Sim(mut sim) => {
-                while let Some(seq) = sim.stepper.next_completion() {
-                    sim.note_completion(seq);
+                loop {
+                    sim.drain_completions();
+                    if sim.ctl.killed.load(Ordering::SeqCst) || !sim.pending() {
+                        break;
+                    }
+                    if !sim.advance() {
+                        break;
+                    }
                 }
+                sim.drain_completions();
                 let mut outputs = Vec::new();
                 while let Some(out) = sim.pop_ready() {
                     outputs.push(downcast_output(out));
@@ -700,7 +936,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
                 let control = self.control;
                 RunHandle {
                     outputs,
-                    report: sim.stepper.finish(),
+                    report: sim.into_report(),
                     error: error.or_else(|| control.error()),
                 }
             }
@@ -720,7 +956,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
     /// comes back `truncated` if anything was lost.
     pub fn abort(self) -> RunReport {
         match self.inner {
-            SessionInner::Sim(sim) => sim.stepper.finish(),
+            SessionInner::Sim(sim) => sim.into_report(),
             SessionInner::Threads(engine) => engine.abort(),
         }
     }
@@ -741,11 +977,16 @@ impl<I: Send + 'static, O: Send + 'static> Iterator for RunSession<'_, I, O> {
     fn next(&mut self) -> Option<O> {
         match &mut self.inner {
             SessionInner::Sim(sim) => loop {
+                sim.drain_completions();
                 if let Some(out) = sim.pop_ready() {
                     return Some(downcast_output(out));
                 }
-                let seq = sim.stepper.next_completion()?;
-                sim.note_completion(seq);
+                if sim.ctl.killed.load(Ordering::SeqCst) || !sim.pending() {
+                    return None;
+                }
+                if !sim.advance() {
+                    return None;
+                }
             },
             SessionInner::Threads(engine) => engine.next(),
         }
@@ -823,6 +1064,315 @@ fn run_graph_at_push(
         }
     }
     Some(cur)
+}
+
+/// Cluster-level configuration: properties of the shared pool itself,
+/// as opposed to any one tenant's [`SessionConfig`].
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Node churn of the shared pool. Outages hit every tenant at the
+    /// same instants (it is one pool); per-session fault plans are
+    /// rejected at [`Cluster::admit`] with
+    /// [`BuildError::PerSessionFaults`].
+    pub faults: FaultPlan,
+    /// Arbitration window of the threaded backend's capacity arbiter
+    /// (ignored by the simulation backend, whose shares are static).
+    pub window: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            faults: FaultPlan::new(),
+            window: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Per-tenant admission configuration: the session's ordinary
+/// [`RunConfig`] plus its capacity [`ShareQuota`].
+#[derive(Default)]
+pub struct SessionConfig {
+    /// The tenant's run configuration. Per-session `faults` are
+    /// rejected — churn belongs to the shared pool
+    /// ([`ClusterConfig::faults`]).
+    pub run: RunConfig,
+    /// The tenant's capacity quota: `min_share` is a guaranteed floor
+    /// while the tenant has demand, `max_share` a hard ceiling, and
+    /// `weight` divides contended capacity. The default is a
+    /// best-effort weight-1 tenant.
+    pub quota: ShareQuota,
+}
+
+/// Many concurrent pipelines on one shared node pool.
+///
+/// A `Cluster` owns the pool once — [`Cluster::new`] launches it — and
+/// [`Cluster::admit`] attaches any number of concurrent sessions:
+/// heterogeneous stage graphs, each keeping the same typed
+/// [`RunSession`] push/pull API a standalone [`Pipeline::spawn`]
+/// returns. Capacity is divided by per-tenant [`ShareQuota`]s:
+///
+/// * **Threaded backend** — a single global arbitration loop senses
+///   each tenant's progress and inbox backlog every
+///   [`ClusterConfig::window`] and re-divides capacity by weighted
+///   progressive filling under the quotas. Shares act twice: they
+///   re-weight the pool inboxes' start-time-fair-queueing lanes (a
+///   spiking tenant cannot starve the rest) and re-scale each tenant's
+///   planner view of the pool (replicas migrate toward tenants that can
+///   use them). Idle tenants release their grant — even the `min_share`
+///   floor — after a short grace period.
+/// * **Simulation backend** — deterministic: each tenant is granted a
+///   *static* share equal to its quota ceiling at admission (the
+///   ceilings may not oversubscribe the pool —
+///   [`BuildError::PoolOversubscribed`]), and the tenants' worlds
+///   interleave through one merged event clock, earliest event first.
+///
+/// Every [`RunEvent`] a tenant emits carries its [`SessionId`];
+/// [`Cluster::events`] subscribes to the merged cluster-wide stream.
+/// [`Cluster::evict`] begins graceful eviction (pushes fail typed,
+/// in-flight items drain); [`Cluster::evict_now`] forcibly detaches the
+/// tenant, failing its run with [`RunError::Evicted`].
+pub struct Cluster<'g> {
+    inner: ClusterInner<'g>,
+    /// The cluster-wide merged event bus: every admitted session's
+    /// hooks emit onto it.
+    bus: EventBus,
+}
+
+enum ClusterInner<'g> {
+    /// Deterministic shared-pool simulation: static shares plus the
+    /// merged event-clock registry.
+    Sim {
+        grid: &'g GridSpec,
+        faults: FaultPlan,
+        pool: SimPool<'g>,
+        next_id: u64,
+    },
+    /// Live threaded pool with the background capacity arbiter.
+    Threads(ThreadCluster),
+}
+
+impl std::fmt::Debug for Cluster<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = match &self.inner {
+            ClusterInner::Sim { .. } => "sim",
+            ClusterInner::Threads(_) => "threads",
+        };
+        f.debug_struct("Cluster")
+            .field("backend", &backend)
+            .field("sessions", &self.sessions())
+            .finish()
+    }
+}
+
+impl<'g> Cluster<'g> {
+    /// Launches the shared node pool. The threaded backend starts its
+    /// workers and the arbiter thread immediately; the simulation
+    /// backend records the grid and fault plan for each admission.
+    pub fn new(backend: Backend<'g>, cfg: ClusterConfig) -> Result<Cluster<'g>, BuildError> {
+        let node_count = match &backend {
+            Backend::Sim(grid) => grid.len(),
+            Backend::Threads(vnodes) => vnodes.len(),
+        };
+        session::validate_faults(&cfg.faults, node_count)?;
+        let inner = match backend {
+            Backend::Sim(grid) => ClusterInner::Sim {
+                grid,
+                faults: cfg.faults,
+                pool: Arc::new(Mutex::new(Vec::new())),
+                next_id: 0,
+            },
+            Backend::Threads(vnodes) => {
+                ClusterInner::Threads(ThreadCluster::launch(vnodes, cfg.faults, cfg.window))
+            }
+        };
+        Ok(Cluster {
+            inner,
+            bus: EventBus::new(),
+        })
+    }
+
+    /// Admits a pipeline as a new tenant and returns its live
+    /// [`RunSession`] — same typed push/pull API as a standalone
+    /// [`Pipeline::spawn`], but sharing this cluster's pool under the
+    /// given quota.
+    ///
+    /// # Errors
+    /// [`BuildError::PerSessionFaults`] if the pipeline or its run
+    /// config declares faults (churn belongs to
+    /// [`ClusterConfig::faults`]); [`BuildError::InvalidQuota`] for a
+    /// malformed quota; [`BuildError::PoolOversubscribed`] (simulation
+    /// backend) when the static share grants would exceed the pool;
+    /// plus everything [`Pipeline::spawn`] validates.
+    pub fn admit<I: Send + 'static, O: Send + 'static>(
+        &mut self,
+        pipeline: Pipeline<I, O>,
+        mut cfg: SessionConfig,
+    ) -> Result<RunSession<'g, I, O>, BuildError> {
+        if !cfg.run.faults.is_empty() || !pipeline.faults.is_empty() {
+            return Err(BuildError::PerSessionFaults);
+        }
+        if !cfg.quota.is_valid() {
+            return Err(BuildError::InvalidQuota {
+                detail: format!(
+                    "min_share {}, max_share {}, weight {}",
+                    cfg.quota.min_share, cfg.quota.max_share, cfg.quota.weight
+                ),
+            });
+        }
+        // Every tenant's events merge onto the cluster-wide bus (demux
+        // by each event's `session` field); subscriptions made through
+        // `RunSession::events` see the same merged stream.
+        cfg.run.hooks.events = self.bus.clone();
+        match &mut self.inner {
+            ClusterInner::Sim {
+                grid,
+                faults,
+                pool,
+                next_id,
+            } => {
+                // No arbiter thread in the deterministic backend: the
+                // tenant's share is granted statically at admission, at
+                // its quota ceiling, and the granted ceilings may not
+                // oversubscribe the pool.
+                let share = cfg.quota.max_share;
+                let taken: f64 = {
+                    let mut entries = pool.lock().expect("sim pool registry poisoned");
+                    entries.retain(|e| {
+                        e.stepper.strong_count() > 0 && !e.ctl.killed.load(Ordering::SeqCst)
+                    });
+                    entries.iter().map(|e| e.share).sum()
+                };
+                if share > 1.0 - taken + 1e-9 {
+                    return Err(BuildError::PoolOversubscribed {
+                        requested: share,
+                        available: (1.0 - taken).max(0.0),
+                    });
+                }
+                cfg.run.faults = faults.clone();
+                pipeline.validate_run(&Backend::Sim(grid), &cfg.run)?;
+                let sid = SessionId(*next_id);
+                *next_id += 1;
+                Ok(pipeline.spawn_sim(grid, cfg.run, share, sid, Some(pool.clone())))
+            }
+            ClusterInner::Threads(tc) => {
+                let vnodes = tc.pool().vnode_specs().to_vec();
+                pipeline.validate_run(&Backend::Threads(vnodes.clone()), &cfg.run)?;
+                let items = cfg.run.items;
+                let control = cfg.run.control.clone();
+                let engine_cfg = engine_config(&pipeline.session, vnodes, cfg.run);
+                let core = CorePipeline::from_graph_parts(
+                    pipeline.spec,
+                    pipeline.stages,
+                    pipeline.fanouts,
+                );
+                let engine = exec::attach(tc.pool(), core, &engine_cfg, items, false);
+                tc.register(engine.tenant_handle(), cfg.quota);
+                Ok(RunSession {
+                    inner: SessionInner::Threads(Box::new(engine)),
+                    control,
+                    bus: self.bus.clone(),
+                })
+            }
+        }
+    }
+
+    /// Begins graceful eviction of a tenant: its pushes start failing
+    /// with [`RunError::Evicted`] while everything already in flight
+    /// drains normally — `drain` on the tenant's session still returns
+    /// a complete report. Returns `false` for an unknown session.
+    pub fn evict(&self, id: SessionId) -> bool {
+        match &self.inner {
+            ClusterInner::Sim { pool, .. } => {
+                let entries = pool.lock().expect("sim pool registry poisoned");
+                match entries.iter().find(|e| e.id == id.0) {
+                    Some(entry) => {
+                        entry.ctl.evicting.store(true, Ordering::SeqCst);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            ClusterInner::Threads(tc) => tc.evict(id),
+        }
+    }
+
+    /// Forcibly detaches a tenant *now*: its run fails with
+    /// [`RunError::Evicted`], in-flight items are dropped (the tenant's
+    /// report comes back truncated), and its capacity share returns to
+    /// the survivors. Returns `false` for an unknown session.
+    pub fn evict_now(&mut self, id: SessionId) -> bool {
+        match &mut self.inner {
+            ClusterInner::Sim { pool, .. } => {
+                let mut entries = pool.lock().expect("sim pool registry poisoned");
+                let Some(idx) = entries.iter().position(|e| e.id == id.0) else {
+                    return false;
+                };
+                let entry = entries.remove(idx);
+                entry.ctl.evicting.store(true, Ordering::SeqCst);
+                entry.ctl.killed.store(true, Ordering::SeqCst);
+                entry.control.fail(RunError::Evicted { session: id });
+                true
+            }
+            ClusterInner::Threads(tc) => tc.evict_now(id),
+        }
+    }
+
+    /// The ids of the currently attached sessions, admission order.
+    pub fn sessions(&self) -> Vec<SessionId> {
+        match &self.inner {
+            ClusterInner::Sim { pool, .. } => pool
+                .lock()
+                .expect("sim pool registry poisoned")
+                .iter()
+                .filter(|e| e.stepper.strong_count() > 0 && !e.ctl.killed.load(Ordering::SeqCst))
+                .map(|e| SessionId(e.id))
+                .collect(),
+            ClusterInner::Threads(tc) => tc.sessions(),
+        }
+    }
+
+    /// The capacity share currently granted to a session: its static
+    /// grant on the simulation backend, the arbiter's latest decision
+    /// on the threaded backend. `None` for an unknown session.
+    pub fn share_of(&self, id: SessionId) -> Option<f64> {
+        match &self.inner {
+            ClusterInner::Sim { pool, .. } => pool
+                .lock()
+                .expect("sim pool registry poisoned")
+                .iter()
+                .find(|e| e.id == id.0)
+                .map(|e| e.share),
+            ClusterInner::Threads(tc) => tc.share_of(id),
+        }
+    }
+
+    /// Number of nodes in the shared pool.
+    pub fn node_count(&self) -> usize {
+        match &self.inner {
+            ClusterInner::Sim { grid, .. } => grid.len(),
+            ClusterInner::Threads(tc) => tc.pool().node_count(),
+        }
+    }
+
+    /// Subscribes to the merged cluster-wide [`RunEvent`] stream; every
+    /// event carries the emitting tenant's [`SessionId`]. Events before
+    /// the subscription are not replayed.
+    pub fn events(&self) -> Receiver<RunEvent> {
+        self.bus.subscribe()
+    }
+
+    /// Shuts the shared pool down. Threaded backend: stops the arbiter
+    /// and joins the workers (attached sessions, if any remain, unwind
+    /// with truncated reports). Simulation backend: drops the registry;
+    /// outstanding sessions keep their own worlds and finish
+    /// independently.
+    pub fn shutdown(self) {
+        match self.inner {
+            ClusterInner::Sim { .. } => {}
+            ClusterInner::Threads(tc) => tc.shutdown(),
+        }
+    }
 }
 
 /// Typed builder for the unified [`Pipeline`]; `Cur` is the item type

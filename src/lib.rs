@@ -110,7 +110,7 @@
 //! let events = session.events(); // live remaps / window stats / stalls
 //! let mut outputs = Vec::new();
 //! for i in 0..20 {
-//!     session.push(i); // blocks only when the bounded queues are full
+//!     session.push(i).unwrap(); // blocks only when the bounded queues are full
 //!     if let TryNext::Item(o) = session.try_next() {
 //!         outputs.push(o); // consume while producing
 //!     }
@@ -153,8 +153,9 @@ pub use adapipe_workloads as workloads;
 /// builder remains at [`core::pipeline`].
 pub mod prelude {
     pub use crate::api::{
-        ArrivalProcess, Backend, Branch, BuildError, ParallelBuilder, Pipeline, PipelineBuilder,
-        RunConfig, RunError, RunEvent, RunHandle, RunHooks, RunSession, TryNext,
+        ArrivalProcess, Backend, Branch, BuildError, Cluster, ClusterConfig, ParallelBuilder,
+        Pipeline, PipelineBuilder, RunConfig, RunError, RunEvent, RunHandle, RunHooks, RunSession,
+        SessionConfig, SessionId, ShareQuota, TryNext,
     };
     pub use adapipe_core::prelude::*;
     pub use adapipe_engine::prelude::*;

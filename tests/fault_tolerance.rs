@@ -85,7 +85,7 @@ fn drive(backend: Backend<'_>, plan: FaultPlan) -> ChaosOutcome {
         .expect("session spawns");
     let events = session.events();
     for i in 0..ITEMS {
-        session.push(i);
+        session.push(i).unwrap();
     }
     let handle = session.drain();
     let mut outcome = ChaosOutcome {
@@ -102,7 +102,7 @@ fn drive(backend: Backend<'_>, plan: FaultPlan) -> ChaosOutcome {
             RunEvent::NodeDown { node, .. } => outcome.node_down.push(node),
             RunEvent::NodeUp { node, .. } => outcome.node_up.push(node),
             RunEvent::ItemReplayed { .. } => outcome.replay_events += 1,
-            RunEvent::Remap(plan) => outcome.remaps.push(plan.to),
+            RunEvent::Remap { plan, .. } => outcome.remaps.push(plan.to),
             _ => {}
         }
     }
@@ -239,7 +239,7 @@ fn stateful_stage_on_crashed_node_is_a_typed_error() {
     let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
         let mut session = pipeline.spawn(backend, scenario_cfg()).expect("spawns");
         for i in 0..ITEMS {
-            session.push(i);
+            session.push(i).unwrap();
         }
         session.drain()
     };
@@ -287,7 +287,7 @@ fn static_policy_crash_fails_fast_on_both_backends() {
     let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
         let mut session = pipeline.spawn(backend, scenario_cfg()).expect("spawns");
         for i in 0..ITEMS {
-            session.push(i);
+            session.push(i).unwrap();
         }
         session.drain()
     };
@@ -338,7 +338,7 @@ fn stateful_stage_survives_finite_outage_on_both_backends() {
     let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
         let mut session = pipeline.spawn(backend, scenario_cfg()).expect("spawns");
         for i in 0..ITEMS {
-            session.push(i);
+            session.push(i).unwrap();
         }
         session.drain()
     };
@@ -390,7 +390,7 @@ fn sim_type_mismatch_is_nonfatal_under_adaptive_policy() {
         )
         .expect("spawns");
     for i in 0..50u64 {
-        session.push(format!("item {i}"));
+        session.push(format!("item {i}")).unwrap();
     }
     let handle = session.drain();
     // The error is surfaced…
@@ -446,7 +446,7 @@ fn builder_and_runconfig_fault_plans_merge() {
         .expect("spawns");
     let events = session.events();
     for i in 0..ITEMS {
-        session.push(i);
+        session.push(i).unwrap();
     }
     let handle = session.drain();
     assert_eq!(handle.report.completed, ITEMS);

@@ -151,7 +151,7 @@ fn push_all_and_drain(
 ) -> RunHandle<u64> {
     let mut session = pipeline.spawn(backend, cfg).expect("spawn");
     for i in 0..ITEMS {
-        session.push(i);
+        session.push(i).unwrap();
     }
     session.drain()
 }
@@ -214,7 +214,7 @@ fn losing_a_branch_host_mid_stream_is_survived_identically() {
             let mut session = pipeline.spawn(backend, cfg()).expect("spawn");
             let events = session.events();
             for i in 0..ITEMS {
-                session.push(i);
+                session.push(i).unwrap();
             }
             (session.drain(), events)
         };

@@ -103,7 +103,7 @@ fn remap_node_churn_and_stealing_stay_exactly_once() {
         let burst = 1 + rng.next() % 12;
         let batch: Vec<u64> = (0..burst.min(ITEMS - pushed)).map(|k| pushed + k).collect();
         pushed += batch.len() as u64;
-        session.push_batch(batch);
+        session.push_batch(batch).unwrap();
         // Occasionally force a re-plan so fresh routing epochs are
         // published while envelopes from older epochs are in flight.
         if rng.next().is_multiple_of(7) {

@@ -109,7 +109,7 @@ fn run_scenario(backend: Backend<'_>) -> ScenarioOutcome {
                 std::thread::sleep(due - now);
             }
         }
-        session.push(i);
+        session.push(i).unwrap();
         // Consume while producing — the stream is live.
         while let TryNext::Item(o) = session.try_next() {
             outputs.push(o);
@@ -121,7 +121,7 @@ fn run_scenario(backend: Backend<'_>) -> ScenarioOutcome {
     let event_remaps = events
         .try_iter()
         .filter_map(|e| match e {
-            RunEvent::Remap(plan) => Some((plan.from, plan.to)),
+            RunEvent::Remap { plan, .. } => Some((plan.from, plan.to)),
             _ => None,
         })
         .collect();
@@ -224,7 +224,7 @@ fn bounded_push_blocks_when_downstream_stalls_and_drain_is_exactly_once() {
 
     let t0 = Instant::now();
     for i in 0..10u64 {
-        session.push(i);
+        session.push(i).unwrap();
     }
     let pushing = t0.elapsed();
     assert!(
@@ -273,7 +273,7 @@ fn unbounded_session_never_blocks_push() {
         .expect("spawn");
     let t0 = Instant::now();
     for i in 0..10u64 {
-        session.push(i);
+        session.push(i).unwrap();
     }
     assert!(
         t0.elapsed() < Duration::from_millis(100),
@@ -328,7 +328,7 @@ fn paused_session_never_remaps_resumed_session_does() {
     let mut paused = control_session(&grid, None);
     paused.pause_adaptation();
     for i in 0..60u64 {
-        paused.push(i);
+        paused.push(i).unwrap();
     }
     let paused_report = paused.drain().report;
     assert_eq!(paused_report.completed, 60);
@@ -340,7 +340,7 @@ fn paused_session_never_remaps_resumed_session_does() {
 
     let mut live = control_session(&grid, None);
     for i in 0..60u64 {
-        live.push(i);
+        live.push(i).unwrap();
     }
     let live_report = live.drain().report;
     assert_eq!(live_report.completed, 60);
@@ -359,7 +359,7 @@ fn force_remap_bypasses_warmup_gating() {
     // With warm-up pushed beyond the run, normal planning never starts…
     let mut gated = control_session(&grid, Some(1_000));
     for i in 0..60u64 {
-        gated.push(i);
+        gated.push(i).unwrap();
     }
     let gated_report = gated.drain().report;
     assert_eq!(gated_report.planning_cycles, 0);
@@ -368,7 +368,7 @@ fn force_remap_bypasses_warmup_gating() {
     // …but a forced re-map plans (and here commits) regardless.
     let mut forced = control_session(&grid, Some(1_000));
     for i in 0..30u64 {
-        forced.push(i);
+        forced.push(i).unwrap();
     }
     // Step far enough for the collapse to be observed, then force.
     while forced.completed() < 20 {
@@ -376,7 +376,7 @@ fn force_remap_bypasses_warmup_gating() {
     }
     forced.force_remap();
     for i in 30..60u64 {
-        forced.push(i);
+        forced.push(i).unwrap();
     }
     let forced_report = forced.drain().report;
     assert_eq!(forced_report.completed, 60);
@@ -406,7 +406,7 @@ fn abort_truncates_threads_session() {
         )
         .expect("spawn");
     for i in 0..100u64 {
-        session.push(i);
+        session.push(i).unwrap();
     }
     let report = session.abort();
     assert!(
@@ -426,7 +426,7 @@ fn abort_truncates_sim_session() {
         .spawn(Backend::Sim(&grid), RunConfig::default())
         .expect("spawn");
     for i in 0..5u64 {
-        session.push(i);
+        session.push(i).unwrap();
     }
     // Deliver one item, abandon the rest.
     assert_eq!(session.next(), Some(0));
@@ -451,7 +451,7 @@ fn try_next_distinguishes_pending_from_done() {
         .expect("spawn");
     // Nothing pushed yet: an open idle stream is Pending, never Done.
     assert_eq!(session.try_next(), TryNext::Pending);
-    session.push(7);
+    session.push(7).unwrap();
     // try_next never advances virtual time on the simulator.
     assert_eq!(session.try_next(), TryNext::Pending);
     assert_eq!(session.next(), Some(8), "next() drives the world");
@@ -474,7 +474,7 @@ fn session_counters_track_progress() {
         .expect("spawn");
     assert_eq!(session.pushed(), 0);
     for i in 0..10u64 {
-        session.push(i);
+        session.push(i).unwrap();
     }
     assert_eq!(session.pushed(), 10);
     assert!(session.in_flight() <= 10);
@@ -533,7 +533,7 @@ fn report_to_json_is_machine_readable() {
     let grid = collapsed_grid();
     let mut session = control_session(&grid, None);
     for i in 0..60u64 {
-        session.push(i);
+        session.push(i).unwrap();
     }
     let report = session.drain().report;
     let json = report.to_json();
