@@ -1,0 +1,100 @@
+//! Keyed-state scaling: a stage with *declared* keyed state may run as
+//! wide as its shard count, so a latency-bound keyed stage (each item
+//! holds its worker for a fixed service time, as any remote-call or
+//! I/O-bound stage does) must scale with shards — the whole point of
+//! declaring the access pattern instead of pinning the stage to one
+//! host. The pair of rows measures the same 512-item keyed-counter
+//! stream at 1 shard (pinned, the pre-declaration behaviour) and at
+//! 4 shards over 4 vnodes; CI gates the 4-shard leg at >= 1.5x the
+//! pinned throughput.
+//!
+//! `cargo bench -p adapipe-bench --bench state`
+//!
+//! Regenerate the committed baseline with:
+//! `ADAPIPE_BENCH_JSON=$PWD/BENCH_state.json \
+//!     cargo bench -p adapipe-bench --bench state`
+
+use adapipe::api::{Backend, Pipeline, RunConfig};
+use adapipe_core::spec::StageSpec;
+use adapipe_engine::vnode::VNodeSpec;
+use adapipe_gridsim::node::NodeId;
+use adapipe_mapper::mapping::{Mapping, Placement};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const ITEMS: u64 = 512;
+/// Per-item service time: a sleep, not a spin, so the bench measures
+/// shard concurrency (latency-bound stage) rather than contending for
+/// the single CI core with CPU-bound work.
+const SERVICE: Duration = Duration::from_micros(200);
+
+/// The keyed session counter from the README, at a declared shard
+/// width. Keys are the raw item values, so items round-robin the
+/// shards evenly.
+fn keyed_pipeline(shards: usize) -> Pipeline<u64, (u64, u64)> {
+    Pipeline::<u64>::builder()
+        .keyed_stage_with(
+            StageSpec::balanced("sessions", 0.0002, 8).with_keyed_state(shards, 64),
+            |x: &u64| *x,
+            || 0u64,
+            |seen, x: u64| {
+                std::thread::sleep(SERVICE);
+                *seen += 1;
+                (x, *seen)
+            },
+        )
+        .feed(|i| i)
+        .build()
+        .expect("valid keyed pipeline")
+}
+
+fn vnodes(n: usize) -> Vec<VNodeSpec> {
+    (0..n).map(|i| VNodeSpec::free(format!("v{i}"))).collect()
+}
+
+/// Launch mapping at the given stage width: the single-shard leg pins
+/// to one host, the 4-shard leg starts shard-per-host so the bench
+/// measures steady-state sharded throughput, not ramp-up planning.
+fn launch_mapping(width: usize) -> Mapping {
+    Mapping::new(vec![Placement::replicated(
+        (0..width).map(NodeId).collect(),
+    )])
+}
+
+fn run_keyed(shards: usize, width: usize) {
+    let mut session = keyed_pipeline(shards)
+        .spawn(
+            Backend::Threads(vnodes(4)),
+            RunConfig {
+                items: ITEMS,
+                initial_mapping: Some(launch_mapping(width)),
+                ..RunConfig::default()
+            },
+        )
+        .expect("spawn");
+    for i in 0..ITEMS {
+        session.push(i).unwrap();
+    }
+    let handle = session.drain();
+    assert_eq!(handle.report.completed, ITEMS, "bench run lost items");
+    assert_eq!(handle.error, None, "bench run errored");
+}
+
+fn bench_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+
+    group.bench_with_input(BenchmarkId::new("keyed_1shard", ITEMS), &ITEMS, |b, _| {
+        b.iter(|| run_keyed(1, 1))
+    });
+    group.bench_with_input(BenchmarkId::new("keyed_4shard", ITEMS), &ITEMS, |b, _| {
+        b.iter(|| run_keyed(4, 4))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_state);
+criterion_main!(benches);

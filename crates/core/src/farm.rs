@@ -15,6 +15,7 @@
 use crate::pipeline::{Pipeline, PipelineBuilder};
 use crate::spec::{PipelineSpec, StageSpec};
 use adapipe_runtime::session::BuildError;
+use adapipe_state::StateCodec;
 
 /// Builds a task farm: a single stateless stage intended for replication
 /// across grid nodes.
@@ -33,22 +34,71 @@ use adapipe_runtime::session::BuildError;
 /// ```
 ///
 /// # Errors
-/// Returns [`BuildError::StatefulFarm`] when `spec` is declared
-/// stateful — a farm worker exists to be replicated, which state
-/// forbids. (Historically this was a construction-time panic; it is now
-/// typed, consistent with the unified builder's other validations.)
+/// Returns [`BuildError::StatefulFarm`] when `spec` carries state the
+/// replication pass cannot split — *opaque* (undeclared) or *exclusive*
+/// state. A spec with **declared keyed state** builds: the farm then
+/// runs shard-per-worker through [`farm_keyed`]'s machinery, which is
+/// the API to reach for when the worker actually needs the managed
+/// per-key state. (Historically any statefulness was a
+/// construction-time panic; it is now typed, consistent with the
+/// unified builder's other validations.)
 pub fn farm<I, O, F>(spec: StageSpec, worker: F) -> Result<Pipeline<I, O>, BuildError>
 where
     I: Send + 'static,
     O: Send + 'static,
     F: FnMut(I) -> O + Send + Clone + 'static,
 {
-    if !spec.stateless {
+    if !spec.state.replicable() {
         return Err(BuildError::StatefulFarm {
             stage: spec.name.clone(),
         });
     }
-    Ok(PipelineBuilder::<I>::new().stage(spec, worker).build())
+    if spec.stateless {
+        Ok(PipelineBuilder::<I>::new().stage(spec, worker).build())
+    } else {
+        // Declared replicable state (keyed/accumulator) with a plain
+        // worker function: the worker holds no managed state, but the
+        // declaration legitimately bounds width and routing, so build
+        // the stage as a replicable closure under the declared spec.
+        let name = spec.name.clone();
+        let stage = Box::new(crate::stage::FnStage::new(name, worker));
+        Ok(PipelineBuilder::<I>::new()
+            .erased_stage::<O>(spec, stage, None)
+            .build())
+    }
+}
+
+/// Builds a task farm over *declared keyed state*: items hash to shards
+/// by `key`, each worker replica owns a shard set, and `f` processes an
+/// item with mutable access to its key's state `S`. This is the
+/// shard-per-worker farm: the planner replicates the stage up to the
+/// declared shard count, and shards migrate with their owners.
+///
+/// # Errors
+/// Returns [`BuildError::StatefulFarm`] when `spec` does not declare
+/// keyed state (`with_keyed_state`): an undeclared-stateful farm worker
+/// still cannot be replicated.
+pub fn farm_keyed<I, O, S, K, F>(
+    spec: StageSpec,
+    key: K,
+    init: impl Fn() -> S + Send + Sync + 'static,
+    f: F,
+) -> Result<Pipeline<I, O>, BuildError>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    K: Fn(&I) -> u64 + Send + Sync + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+{
+    if spec.state.shards() == 0 {
+        return Err(BuildError::StatefulFarm {
+            stage: spec.name.clone(),
+        });
+    }
+    Ok(PipelineBuilder::<I>::new()
+        .keyed_stage(spec, key, init, f)
+        .build())
 }
 
 /// The simulation-side counterpart: a one-stage [`PipelineSpec`] with
@@ -130,6 +180,60 @@ mod tests {
         assert_eq!(report.completed, 300, "farm must re-spread after the crash");
         assert!(report.adaptation_count() >= 1);
         assert!(!report.final_mapping.placement(0).contains(NodeId(2)));
+    }
+
+    #[test]
+    fn declared_keyed_farm_builds_shard_per_worker() {
+        // Satellite of the state subsystem: a *declared* keyed spec is
+        // replicable, so the farm builds instead of erroring.
+        let f = farm::<u32, u32, _>(
+            StageSpec::balanced("w", 1.0, 0).with_keyed_state(4, 256),
+            |x| x + 1,
+        )
+        .expect("declared keyed state is farmable");
+        let profile = f.spec().profile();
+        assert!(profile.stateless[0], "keyed farms replicate");
+        assert_eq!(profile.replica_cap, vec![4], "one shard per worker max");
+    }
+
+    #[test]
+    fn keyed_farm_counts_per_key() {
+        let f = farm_keyed(
+            StageSpec::balanced("sessions", 1.0, 8).with_keyed_state(2, 64),
+            |k: &u64| *k,
+            || 0u64,
+            |n: &mut u64, k: u64| {
+                *n += 1;
+                (k, *n)
+            },
+        )
+        .expect("declared keyed farm builds");
+        assert_eq!(f.len(), 1);
+        assert!(f.keys()[0].is_some(), "keyed farm carries its router key");
+        let (_, mut stages, _, _) = f.into_keyed_parts();
+        let run = |s: &mut Box<dyn crate::stage::DynStage>, k: u64| {
+            *s.process(Box::new(k))
+                .expect("typed")
+                .downcast::<(u64, u64)>()
+                .unwrap()
+        };
+        assert_eq!(run(&mut stages[0], 5), (5, 1));
+        assert_eq!(run(&mut stages[0], 5), (5, 2));
+        assert_eq!(run(&mut stages[0], 6), (6, 1));
+    }
+
+    #[test]
+    fn undeclared_keyed_farm_is_still_a_typed_error() {
+        let err = match farm_keyed::<u64, u64, u64, _, _>(
+            StageSpec::balanced("w", 1.0, 0).with_state(64),
+            |k: &u64| *k,
+            || 0u64,
+            |_: &mut u64, k: u64| k,
+        ) {
+            Err(err) => err,
+            Ok(_) => panic!("opaque state cannot farm"),
+        };
+        assert_eq!(err, BuildError::StatefulFarm { stage: "w".into() });
     }
 
     #[test]

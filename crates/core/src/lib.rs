@@ -97,6 +97,7 @@ pub mod prelude {
     pub use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
     pub use adapipe_runtime::routing::{RoutingTable, Selection};
     pub use adapipe_runtime::session::{BuildError, RunConfig, RunHooks};
+    pub use adapipe_state::{StateAccess, StateCodec, StateSnapshot};
 }
 
 pub use prelude::*;

@@ -17,17 +17,21 @@
 //! [`PipelineSpec`] metadata the planner needs.
 
 use crate::spec::{PipelineSpec, StageSpec};
-use crate::stage::{DynStage, FanOutFn, FnStage, StatefulFnStage};
+use crate::stage::{DynStage, FanOutFn, FnStage, KeyFn, KeyedStage, StatefulFnStage};
 use adapipe_gridsim::node::NodeId;
+use adapipe_state::StateCodec;
 use std::marker::PhantomData;
 
 /// A fully built, type-checked pipeline: erased stage functions plus the
 /// cost metadata, and — when the spec's stage graph has parallel
-/// blocks — one fan-out duplicator per block (in block order).
+/// blocks — one fan-out duplicator per block (in block order). Keyed
+/// stages additionally carry their erased key extractor so the routing
+/// hot path can pick the destination shard per item.
 pub struct Pipeline<I, O> {
     spec: PipelineSpec,
     stages: Vec<Box<dyn DynStage>>,
     fanouts: Vec<FanOutFn>,
+    keys: Vec<Option<KeyFn>>,
     _types: PhantomData<fn(I) -> O>,
 }
 
@@ -62,9 +66,30 @@ impl<I, O> Pipeline<I, O> {
     }
 
     /// Splits the pipeline into spec, stage functions, and the per-block
-    /// fan-out duplicators (empty for linear pipelines).
+    /// fan-out duplicators (empty for linear pipelines). Per-stage key
+    /// extractors are dropped; engines routing keyed stages take them
+    /// via [`Pipeline::into_keyed_parts`].
     pub fn into_graph_parts(self) -> (PipelineSpec, Vec<Box<dyn DynStage>>, Vec<FanOutFn>) {
         (self.spec, self.stages, self.fanouts)
+    }
+
+    /// Splits the pipeline into every erased part, including the
+    /// per-stage key extractors (`None` for unkeyed stages).
+    #[allow(clippy::type_complexity)]
+    pub fn into_keyed_parts(
+        self,
+    ) -> (
+        PipelineSpec,
+        Vec<Box<dyn DynStage>>,
+        Vec<FanOutFn>,
+        Vec<Option<KeyFn>>,
+    ) {
+        (self.spec, self.stages, self.fanouts, self.keys)
+    }
+
+    /// Per-stage key extractors (`None` for unkeyed stages).
+    pub fn keys(&self) -> &[Option<KeyFn>] {
+        &self.keys
     }
 
     /// Reassembles a *linear* pipeline from a spec and matching stage
@@ -102,6 +127,24 @@ impl<I, O> Pipeline<I, O> {
         stages: Vec<Box<dyn DynStage>>,
         fanouts: Vec<FanOutFn>,
     ) -> Self {
+        let keys = vec![None; stages.len()];
+        Self::from_keyed_parts(spec, stages, fanouts, keys)
+    }
+
+    /// Reassembles a pipeline from every erased part, including the
+    /// per-stage key extractors a keyed stage routes by. The caller
+    /// asserts the type discipline of [`Pipeline::from_graph_parts`],
+    /// plus: each `Some` key extractor accepts its stage's input type.
+    ///
+    /// # Panics
+    /// Panics under the [`Pipeline::from_graph_parts`] conditions, or
+    /// if `keys` does not cover every stage.
+    pub fn from_keyed_parts(
+        spec: PipelineSpec,
+        stages: Vec<Box<dyn DynStage>>,
+        fanouts: Vec<FanOutFn>,
+        keys: Vec<Option<KeyFn>>,
+    ) -> Self {
         assert!(!stages.is_empty(), "pipeline needs at least one stage");
         assert_eq!(spec.len(), stages.len(), "spec must cover every stage");
         assert_eq!(
@@ -109,10 +152,12 @@ impl<I, O> Pipeline<I, O> {
             fanouts.len(),
             "need one fan-out per parallel block"
         );
+        assert_eq!(spec.len(), keys.len(), "keys must cover every stage");
         Pipeline {
             spec,
             stages,
             fanouts,
+            keys,
             _types: PhantomData,
         }
     }
@@ -123,6 +168,7 @@ impl<I, O> Pipeline<I, O> {
 pub struct PipelineBuilder<In, Cur = In> {
     spec_stages: Vec<StageSpec>,
     stages: Vec<Box<dyn DynStage>>,
+    keys: Vec<Option<KeyFn>>,
     input_bytes: u64,
     source: Option<NodeId>,
     sink: Option<NodeId>,
@@ -135,6 +181,7 @@ impl<In: Send + 'static> PipelineBuilder<In, In> {
         PipelineBuilder {
             spec_stages: Vec::new(),
             stages: Vec::new(),
+            keys: Vec::new(),
             input_bytes: 0,
             source: None,
             sink: None,
@@ -188,9 +235,11 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         self.stages
             .push(Box::new(FnStage::new(spec.name.clone(), f)));
         self.spec_stages.push(spec);
+        self.keys.push(None);
         PipelineBuilder {
             spec_stages: self.spec_stages,
             stages: self.stages,
+            keys: self.keys,
             input_bytes: self.input_bytes,
             source: self.source,
             sink: self.sink,
@@ -198,8 +247,11 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         }
     }
 
-    /// Appends a stateful stage: it will never be replicated, and
-    /// migrating it costs `spec.state_bytes` of transfer.
+    /// Appends a stateful stage with *opaque* closure state: it will
+    /// never be replicated, and a permanent loss of its host aborts the
+    /// run. Prefer [`PipelineBuilder::keyed_stage`] (or the unified
+    /// builder's declared-state methods) for state the runtime should
+    /// be able to move.
     pub fn stateful_stage<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
     where
         Out: Send + 'static,
@@ -213,9 +265,78 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         self.stages
             .push(Box::new(StatefulFnStage::new(spec.name.clone(), f)));
         self.spec_stages.push(spec);
+        self.keys.push(None);
         PipelineBuilder {
             spec_stages: self.spec_stages,
             stages: self.stages,
+            keys: self.keys,
+            input_bytes: self.input_bytes,
+            source: self.source,
+            sink: self.sink,
+            _types: PhantomData,
+        }
+    }
+
+    /// Appends a stage with *keyed* state: `key` hashes each item to a
+    /// state slice, `init` seeds a first-seen key's state `S`, and `f`
+    /// transforms the item with mutable access to its key's state. The
+    /// spec must declare the pattern (`with_keyed_state`): the declared
+    /// shard count is what lets the stage replicate and migrate.
+    ///
+    /// # Panics
+    /// Panics if `spec` does not declare keyed state.
+    pub fn keyed_stage<Out, S, K, F>(
+        mut self,
+        spec: StageSpec,
+        key: K,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        K: Fn(&Cur) -> u64 + Send + Sync + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+    {
+        assert!(
+            spec.state.shards() > 0,
+            "stage '{}' must declare keyed state (with_keyed_state)",
+            spec.name
+        );
+        let stage = KeyedStage::new(spec.name.clone(), key, init, f);
+        self.keys.push(Some(stage.routing_key()));
+        self.stages.push(Box::new(stage));
+        self.spec_stages.push(spec);
+        PipelineBuilder {
+            spec_stages: self.spec_stages,
+            stages: self.stages,
+            keys: self.keys,
+            input_bytes: self.input_bytes,
+            source: self.source,
+            sink: self.sink,
+            _types: PhantomData,
+        }
+    }
+
+    /// Appends an already-erased stage (with optional routing key) under
+    /// `spec`. The caller asserts the type discipline; the unified
+    /// `adapipe::api` builder uses this for its declared-state stages.
+    pub fn erased_stage<Out>(
+        mut self,
+        spec: StageSpec,
+        stage: Box<dyn DynStage>,
+        key: Option<KeyFn>,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+    {
+        self.stages.push(stage);
+        self.spec_stages.push(spec);
+        self.keys.push(key);
+        PipelineBuilder {
+            spec_stages: self.spec_stages,
+            stages: self.stages,
+            keys: self.keys,
             input_bytes: self.input_bytes,
             source: self.source,
             sink: self.sink,
@@ -237,6 +358,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             spec,
             stages: self.stages,
             fanouts: Vec::new(),
+            keys: self.keys,
             _types: PhantomData,
         }
     }
@@ -319,6 +441,40 @@ mod tests {
         assert_eq!(spec.sink, Some(NodeId(2)));
         let profile = spec.profile();
         assert_eq!(profile.boundary_bytes, vec![1024, 512]);
+    }
+
+    #[test]
+    fn keyed_stage_builds_and_carries_its_key() {
+        let p = PipelineBuilder::<u64>::new()
+            .keyed_stage(
+                StageSpec::balanced("count", 1.0, 8).with_keyed_state(4, 1024),
+                |x: &u64| *x % 10,
+                || 0u64,
+                |n: &mut u64, x: u64| {
+                    *n += 1;
+                    (x, *n)
+                },
+            )
+            .build();
+        assert_eq!(p.spec().profile().replica_cap, vec![4]);
+        let kf = p.keys()[0].clone().expect("keyed stage has a key fn");
+        let item: crate::stage::BoxedItem = Box::new(13u64);
+        assert_eq!(kf(&item), Some(3));
+        let (_, mut stages, _, keys) = p.into_keyed_parts();
+        assert_eq!(keys.len(), 1);
+        let out = stages[0].process(Box::new(13u64)).expect("typed item");
+        assert_eq!(*out.downcast::<(u64, u64)>().unwrap(), (13, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must declare keyed state")]
+    fn keyed_stage_requires_the_declaration() {
+        let _ = PipelineBuilder::<u64>::new().keyed_stage(
+            StageSpec::balanced("k", 1.0, 0),
+            |x: &u64| *x,
+            || 0u64,
+            |_: &mut u64, x: u64| x,
+        );
     }
 
     #[test]

@@ -351,7 +351,8 @@ impl<'a> SimStepper<'a> {
             topology: grid.topology().clone(),
             speeds,
             state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
-            stateless: spec.stages.iter().map(|s| s.stateless).collect(),
+            stateless: spec.stages.iter().map(|s| s.state.replicable()).collect(),
+            state_access: spec.stages.iter().map(|s| s.state).collect(),
             faults: cfg.faults.clone(),
             total_items: cfg.items,
             observation_noise: cfg.observation_noise,
@@ -363,10 +364,12 @@ impl<'a> SimStepper<'a> {
         let aloop = AdaptationLoop::new(runtime_cfg, &mapping, &launch_rates);
 
         let ns = spec.len();
+        let stage_shards: Vec<usize> = spec.stages.iter().map(|s| s.state.shards()).collect();
         let mut report = ReportBuilder::new(cfg.timeline_bucket, u64::MAX);
         if !cfg.faults.is_empty() {
             report.set_faults(cfg.faults.clone(), np);
         }
+        report.set_stage_shards(stage_shards.clone());
         let free_cores = grid.node_ids().map(|id| grid.node(id).spec.cores).collect();
         let boundary: Vec<u64> = std::iter::once(spec.input_bytes)
             .chain(spec.stages.iter().map(|s| s.out_bytes))
@@ -414,7 +417,10 @@ impl<'a> SimStepper<'a> {
 
         SimStepper {
             world,
-            routing: RwLock::new(RoutingTable::with_selection(mapping, cfg.selection, np)),
+            routing: RwLock::new(
+                RoutingTable::with_selection(mapping, cfg.selection, np)
+                    .with_stage_shards(stage_shards),
+            ),
             aloop,
             control_scheduled: false,
             pending_arrival: None,
@@ -648,6 +654,7 @@ impl<'a> SimStepper<'a> {
             aloop,
             ..
         } = self;
+        let (migrations, state_bytes_moved) = aloop.migration_totals();
         let (adaptations, planning_cycles) = aloop.finish();
         let final_mapping = routing
             .into_inner()
@@ -655,11 +662,12 @@ impl<'a> SimStepper<'a> {
             .mapping()
             .clone();
         let SimWorld {
-            report,
+            mut report,
             node_busy,
             stage_metrics,
             ..
         } = world;
+        report.set_migrations(migrations, state_bytes_moved);
         report.finish(
             final_mapping,
             adaptations,
@@ -677,7 +685,7 @@ impl SimWorld<'_> {
         self.arrival_time.insert(item, now);
         for i in 0..self.entry_stages.len() {
             let stage = self.entry_stages[i];
-            let dest = self.route_item(routing, stage);
+            let dest = self.route_item(routing, stage, item);
             let at = match self.spec.source {
                 Some(src) => self.transfer(src.index(), dest, self.spec.input_bytes, now),
                 None => now,
@@ -724,7 +732,7 @@ impl SimWorld<'_> {
         if !routing.contains(stage, NodeId(node)) {
             // The stage moved while this item was in transit: forward
             // it, preserving its joined-ness.
-            let dest = self.route_item(routing, stage);
+            let dest = self.route_item(routing, stage, item);
             let bytes = self.boundary_bytes_into(stage);
             let at = self.transfer(node, dest, bytes, now);
             let ev = if rejoined {
@@ -796,7 +804,7 @@ impl SimWorld<'_> {
                 None => self.record_completion(item, now),
             },
             Next::Stage(next) => {
-                let dest = self.route_item(routing, next);
+                let dest = self.route_item(routing, next, item);
                 let at = self.transfer(node, dest, out_bytes, now);
                 self.events.schedule(
                     at,
@@ -811,7 +819,7 @@ impl SimWorld<'_> {
                 // One copy per branch, dispatched in branch order.
                 for i in 0..self.block_entries[block].len() {
                     let entry = self.block_entries[block][i];
-                    let dest = self.route_item(routing, entry);
+                    let dest = self.route_item(routing, entry, item);
                     let at = self.transfer(node, dest, out_bytes, now);
                     self.events.schedule(
                         at,
@@ -837,7 +845,7 @@ impl SimWorld<'_> {
                         d
                     }
                     _ => {
-                        let d = self.route_item(routing, merge);
+                        let d = self.route_item(routing, merge, item);
                         self.merge_dest.insert((block, item), d);
                         d
                     }
@@ -858,10 +866,17 @@ impl SimWorld<'_> {
 
     // --- mechanics --------------------------------------------------------
 
-    /// Destination replica for the next item of `stage`, under the
-    /// configured selection policy (least-loaded probes the simulated
-    /// queue depths).
-    fn route_item(&self, routing: &RoutingTable, stage: usize) -> usize {
+    /// Destination replica for `item` at `stage`. A stage with declared
+    /// keyed state routes by key hash so every item of a key lands on
+    /// its shard's owner (the simulator models items by sequence number,
+    /// which stands in for the key hash — the real hash only exists on
+    /// the executing backend); every other stage follows the configured
+    /// selection policy (least-loaded probes the simulated queue
+    /// depths).
+    fn route_item(&self, routing: &RoutingTable, stage: usize, item: u64) -> usize {
+        if self.spec.stages[stage].state.shards() > 0 {
+            return routing.route_keyed(stage, item).index();
+        }
         routing
             .route_with_load(stage, |n| {
                 self.queues.get(&(stage, n.index())).map_or(0, |q| q.len())
@@ -1020,11 +1035,14 @@ impl ExecutionBackend for SimWorld<'_> {
                     }
                 }
             }
-            // Re-home orphans round-robin over the new hosts; they
-            // arrive once migration completes. `Rehome`, not `StageIn`:
-            // a queued item at a merge stage has already consumed its
-            // branch arrivals and must re-enter the queue directly, not
-            // be counted as a fresh (and forever-incomplete) join.
+            // Re-home orphans over the new hosts — keyed stages pin
+            // each item to its shard's new owner, everything else goes
+            // round-robin; they arrive once migration completes.
+            // `Rehome`, not `StageIn`: a queued item at a merge stage
+            // has already consumed its branch arrivals and must
+            // re-enter the queue directly, not be counted as a fresh
+            // (and forever-incomplete) join.
+            let shards = self.spec.stages[stage].state.shards();
             for (k, (item, from)) in orphans.into_iter().enumerate() {
                 if self.down[from] {
                     self.report.record_replay();
@@ -1036,7 +1054,15 @@ impl ExecutionBackend for SimWorld<'_> {
                         branch: self.spec.graph.branch_of(stage),
                     });
                 }
-                let dest = new_placement.hosts()[k % new_placement.width()].index();
+                let dest = if shards > 0 {
+                    let owner = adapipe_state::owner_of(
+                        adapipe_state::shard_of(item, shards),
+                        new_placement.width(),
+                    );
+                    new_placement.hosts()[owner].index()
+                } else {
+                    new_placement.hosts()[k % new_placement.width()].index()
+                };
                 self.events.schedule(
                     ready,
                     Ev::Rehome {

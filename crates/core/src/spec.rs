@@ -11,6 +11,7 @@ use adapipe_gridsim::rng::{mix, unit_f64};
 use adapipe_mapper::model::PipelineProfile;
 
 pub use adapipe_mapper::graph::{Feed, Next, Segment, StageGraph, StageGraphBuilder};
+pub use adapipe_state::StateAccess;
 
 /// Per-item work drawn for `(stage, item)` pairs.
 ///
@@ -94,11 +95,16 @@ pub struct StageSpec {
     /// Bytes of internal state a migration must move (0 for stateless).
     pub state_bytes: u64,
     /// True if the stage keeps no per-item state and may be replicated.
+    /// Kept in lockstep with `state`: true iff `state.is_stateless()`.
     pub stateless: bool,
     /// Declared replica-width cap for the planner (`usize::MAX` leaves
-    /// the width to the planner's global `max_width`; meaningful only
-    /// for stateless stages — stateful stages are never replicated).
+    /// the width to the planner's global `max_width`; folded together
+    /// with the state pattern's own bound by [`StageSpec::replica_cap`]).
     pub max_replicas: usize,
+    /// Declared state-access pattern (Danelutto/Torquati taxonomy):
+    /// decides replicability, shard routing, and whether the state can
+    /// migrate off a dying node instead of aborting the run.
+    pub state: StateAccess,
 }
 
 impl StageSpec {
@@ -111,14 +117,66 @@ impl StageSpec {
             state_bytes: 0,
             stateless: true,
             max_replicas: usize::MAX,
+            state: StateAccess::Stateless,
         }
     }
 
-    /// Marks the stage stateful with `state_bytes` of migratable state.
+    /// Marks the stage stateful with `state_bytes` of state the runtime
+    /// cannot inspect (*opaque* closure state: pinned to one node, lost
+    /// with it). Prefer the declared patterns — [`Self::with_keyed_state`],
+    /// [`Self::with_accumulator_state`], [`Self::with_exclusive_state`] —
+    /// which replicate and/or migrate instead.
     pub fn with_state(mut self, state_bytes: u64) -> Self {
         self.stateless = false;
         self.state_bytes = state_bytes;
+        self.state = StateAccess::Opaque;
         self
+    }
+
+    /// Declares keyed state: `state_bytes` of per-key state partitioned
+    /// into `shards` independent slices by key hash. The stage may
+    /// replicate up to `shards` ways and its shards migrate when their
+    /// owner changes.
+    pub fn with_keyed_state(mut self, shards: usize, state_bytes: u64) -> Self {
+        assert!(shards > 0, "keyed state needs at least one shard");
+        self.stateless = false;
+        self.state_bytes = state_bytes;
+        self.state = StateAccess::Keyed { shards };
+        self
+    }
+
+    /// Declares accumulator state: `state_bytes` of one logical value
+    /// with a commutative merge. Replicas keep partials; a vacating
+    /// replica's partial is absorbed by a survivor.
+    pub fn with_accumulator_state(mut self, state_bytes: u64) -> Self {
+        self.stateless = false;
+        self.state_bytes = state_bytes;
+        self.state = StateAccess::Accumulator;
+        self
+    }
+
+    /// Declares exclusive state: serializable but indivisible. Exactly
+    /// one live instance, which can still snapshot and move off a dying
+    /// node instead of aborting the run.
+    pub fn with_exclusive_state(mut self, state_bytes: u64) -> Self {
+        self.stateless = false;
+        self.state_bytes = state_bytes;
+        self.state = StateAccess::Exclusive;
+        self
+    }
+
+    /// The planner-facing replica bound: the declared `max_replicas`
+    /// preference folded with what the state pattern supports.
+    pub fn replica_cap(&self) -> usize {
+        // A zero declaration passes through unclamped so the unified
+        // builder can reject it as a typed error at `build()` (which
+        // also rejects an explicit width on a single-instance pattern —
+        // it validates the raw `max_replicas` declaration, not this
+        // planner-facing clamp).
+        if self.max_replicas == 0 {
+            return 0;
+        }
+        self.state.effective_cap(self.max_replicas)
     }
 
     /// Declares how wide the runtime may legally replicate this stage
@@ -146,6 +204,7 @@ impl std::fmt::Debug for StageSpec {
             .field("state_bytes", &self.state_bytes)
             .field("stateless", &self.stateless)
             .field("max_replicas", &self.max_replicas)
+            .field("state", &self.state)
             .finish()
     }
 }
@@ -235,14 +294,19 @@ impl PipelineSpec {
         self.stages[stage].work.draw(item)
     }
 
-    /// The mapper's view: mean work, boundary bytes, statefulness.
+    /// The mapper's view: mean work, boundary bytes, replicability.
     ///
-    /// Replica bounds: a declared bound of zero passes through — the
-    /// unified builder rejects it at `build()` with a typed error, and
-    /// backend-level callers hit `PipelineProfile::validate`'s assert.
-    /// A bound above one on a *stateful* stage clamps to the only legal
-    /// width (one) here; the unified builder additionally rejects that
-    /// declaration as a typed error before it ever reaches a backend.
+    /// The profile's `stateless` flag carries the planner-relevant
+    /// property — *may this stage run more than one live instance* —
+    /// so declared keyed and accumulator stages replicate even though
+    /// they hold state; only exclusive and opaque state pins to one
+    /// host. Replica caps fold each stage's declared `max_replicas`
+    /// with its state pattern's own bound ([`StageSpec::replica_cap`]):
+    /// a keyed stage never runs wider than its shard count, and
+    /// single-instance patterns clamp to one. A declared bound of zero
+    /// passes through — the unified builder rejects it at `build()`
+    /// with a typed error, and backend-level callers hit
+    /// `PipelineProfile::validate`'s assert.
     pub fn profile(&self) -> PipelineProfile {
         let ns = self.stages.len();
         let mut boundary_bytes = Vec::with_capacity(ns + 1);
@@ -254,18 +318,8 @@ impl PipelineSpec {
             stage_work: self.stages.iter().map(|s| s.work.mean()).collect(),
             boundary_bytes,
             graph: self.graph.clone(),
-            stateless: self.stages.iter().map(|s| s.stateless).collect(),
-            replica_cap: self
-                .stages
-                .iter()
-                .map(|s| {
-                    if s.stateless {
-                        s.max_replicas
-                    } else {
-                        s.max_replicas.min(1)
-                    }
-                })
-                .collect(),
+            stateless: self.stages.iter().map(|s| s.state.replicable()).collect(),
+            replica_cap: self.stages.iter().map(|s| s.replica_cap()).collect(),
             source: self.source,
             sink: self.sink,
         }
@@ -341,6 +395,37 @@ mod tests {
         profile.validate();
         // Stateful stages are pinned to width 1 regardless of the bound.
         assert_eq!(profile.replica_cap, vec![3, usize::MAX, 1]);
+    }
+
+    #[test]
+    fn declared_state_patterns_flow_into_the_profile() {
+        let spec = PipelineSpec::new(vec![
+            StageSpec::balanced("sessions", 1.0, 0).with_keyed_state(4, 4096),
+            StageSpec::balanced("stats", 1.0, 0).with_accumulator_state(64),
+            StageSpec::balanced("ledger", 1.0, 0).with_exclusive_state(256),
+            StageSpec::balanced("legacy", 1.0, 0).with_state(8),
+        ]);
+        let profile = spec.profile();
+        profile.validate();
+        // Keyed and accumulator stages are replicable despite state;
+        // exclusive and opaque state pins to one instance.
+        assert_eq!(profile.stateless, vec![true, true, false, false]);
+        assert_eq!(profile.replica_cap, vec![4, usize::MAX, 1, 1]);
+        assert_eq!(spec.stages[0].state, StateAccess::Keyed { shards: 4 });
+        assert!(spec.stages[0].state.migratable());
+        assert!(!spec.stages[3].state.migratable());
+    }
+
+    #[test]
+    fn keyed_cap_folds_with_declared_replicas() {
+        let s = StageSpec::balanced("k", 1.0, 0)
+            .with_keyed_state(8, 0)
+            .with_replicas(3);
+        assert_eq!(s.replica_cap(), 3);
+        let s = StageSpec::balanced("k", 1.0, 0)
+            .with_replicas(0)
+            .with_keyed_state(8, 0);
+        assert_eq!(s.replica_cap(), 0, "zero passes through for build()");
     }
 
     #[test]

@@ -12,11 +12,24 @@
 //! histogram), in which case it must be declared stateful and will never
 //! be replicated.
 
+use adapipe_state::{StateCodec, StateSnapshot};
 use std::any::Any;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A type-erased item flowing through the pipeline.
 pub type BoxedItem = Box<dyn Any + Send>;
+
+/// Extracts the routing key hash from an erased item headed into a
+/// keyed stage (`None` when the item is not the stage's input type —
+/// the engine then falls back to sequence-number routing). Shared
+/// behind an `Arc` so pipelines stay cloneable.
+pub type KeyFn = Arc<dyn Fn(&BoxedItem) -> Option<u64> + Send + Sync>;
+
+/// Builds the [`KeyFn`] for a keyed stage with input type `I`.
+pub fn key_fn<I: Send + 'static>(key: impl Fn(&I) -> u64 + Send + Sync + 'static) -> KeyFn {
+    Arc::new(move |item: &BoxedItem| item.downcast_ref::<I>().map(&key))
+}
 
 /// Clones one erased item into independent copies, one per branch of a
 /// parallel block — the fan-out half of a series-parallel stage graph.
@@ -79,6 +92,34 @@ pub trait DynStage: Send {
 
     /// Stage name for logs and reports.
     fn name(&self) -> &str;
+
+    /// An *empty shell* of the same stage type (state reset to init),
+    /// regardless of whether the planner may replicate it — the target
+    /// a migration restores a snapshot into. `None` for stages whose
+    /// closure cannot be recreated (opaque state).
+    fn fresh(&self) -> Option<Box<dyn DynStage>> {
+        self.replicate()
+    }
+
+    /// Serializes this instance's state for a migration hand-off, or
+    /// `None` for stages with no movable state (stateless or opaque).
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        None
+    }
+
+    /// Replaces this instance's state from a snapshot. Returns `false`
+    /// when the stage does not support restore or the bytes are
+    /// malformed (the caller keeps the donor instance alive instead).
+    fn restore(&mut self, _snap: StateSnapshot) -> bool {
+        false
+    }
+
+    /// Merges a *partial* snapshot into this instance's state — the
+    /// accumulator hand-off (a keyed stage absorbs disjoint key sets
+    /// the same way). Returns `false` when unsupported or malformed.
+    fn absorb(&mut self, _snap: StateSnapshot) -> bool {
+        false
+    }
 }
 
 /// A stage built from a closure `I -> O`.
@@ -275,6 +316,348 @@ impl DynStage for SealedStage {
     }
 }
 
+/// A stage with *keyed* state: per-key values of type `S`, partitioned
+/// by key hash. Each live instance owns a disjoint slice of the key
+/// space (the router guarantees a key always meets the same instance),
+/// so instances replicate as empty shells and their contents migrate as
+/// codec-encoded `HashMap<key-hash, S>` snapshots.
+pub struct KeyedStage<I, O, S, K, F>
+where
+    K: Fn(&I) -> u64 + Send + Sync,
+    F: FnMut(&mut S, I) -> O + Send,
+{
+    name: String,
+    key: Arc<K>,
+    init: Arc<dyn Fn() -> S + Send + Sync>,
+    f: F,
+    states: HashMap<u64, S>,
+    version: u64,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, S, K, F> KeyedStage<I, O, S, K, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    K: Fn(&I) -> u64 + Send + Sync + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+{
+    /// Wraps `f` as a named keyed stage: `key` hashes an item to its
+    /// state slice, `init` seeds the state of a first-seen key.
+    pub fn new(
+        name: impl Into<String>,
+        key: K,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> Self {
+        KeyedStage {
+            name: name.into(),
+            key: Arc::new(key),
+            init: Arc::new(init),
+            f,
+            states: HashMap::new(),
+            version: 0,
+            _types: std::marker::PhantomData,
+        }
+    }
+
+    /// The erased key extractor the router uses to pick this stage's
+    /// destination shard per item.
+    pub fn routing_key(&self) -> KeyFn {
+        let key = Arc::clone(&self.key);
+        Arc::new(move |item: &BoxedItem| item.downcast_ref::<I>().map(|i| key(i)))
+    }
+}
+
+impl<I, O, S, K, F> DynStage for KeyedStage<I, O, S, K, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    K: Fn(&I) -> u64 + Send + Sync + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        let input = item.downcast::<I>().map_err(|_| StageTypeError {
+            stage: self.name.clone(),
+            expected: std::any::type_name::<I>(),
+        })?;
+        let hash = (self.key)(&input);
+        let state = self.states.entry(hash).or_insert_with(|| (self.init)());
+        Ok(Box::new((self.f)(state, *input)))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        // Replicas start empty: each one owns whichever keys the router
+        // sends it, so fresh shells are the correct seed.
+        Some(Box::new(KeyedStage {
+            name: self.name.clone(),
+            key: Arc::clone(&self.key),
+            init: Arc::clone(&self.init),
+            f: self.f.clone(),
+            states: HashMap::new(),
+            version: 0,
+            _types: std::marker::PhantomData,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        self.version += 1;
+        Some(StateSnapshot::new(self.version, self.states.to_bytes()))
+    }
+
+    fn restore(&mut self, snap: StateSnapshot) -> bool {
+        match HashMap::<u64, S>::from_bytes(&snap.bytes) {
+            Some(states) if snap.version >= self.version => {
+                self.states = states;
+                self.version = snap.version;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn absorb(&mut self, snap: StateSnapshot) -> bool {
+        match HashMap::<u64, S>::from_bytes(&snap.bytes) {
+            Some(states) => {
+                // Key sets from different shards are disjoint; a repeat
+                // of a key we already host keeps the absorbed (newer,
+                // migrated-in) value.
+                self.states.extend(states);
+                self.version = self.version.max(snap.version);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A stage with *accumulator* state: one logical value with a
+/// commutative merge. Every replica keeps a partial seeded from `init`;
+/// a replica vacating a host snapshots its partial for a survivor to
+/// [`DynStage::absorb`] via `merge`.
+pub struct AccumStage<I, O, S, F, M>
+where
+    F: FnMut(&mut S, I) -> O + Send,
+    M: Fn(&mut S, S) + Send + Sync,
+{
+    name: String,
+    init: Arc<dyn Fn() -> S + Send + Sync>,
+    f: F,
+    merge: Arc<M>,
+    state: S,
+    version: u64,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, S, F, M> AccumStage<I, O, S, F, M>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+    M: Fn(&mut S, S) + Send + Sync + 'static,
+{
+    /// Wraps `f` as a named accumulator stage with merge operator
+    /// `merge` (folds the right partial into the left).
+    pub fn new(
+        name: impl Into<String>,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+        merge: M,
+    ) -> Self {
+        let init = Arc::new(init);
+        let state = init();
+        AccumStage {
+            name: name.into(),
+            init,
+            f,
+            merge: Arc::new(merge),
+            state,
+            version: 0,
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, O, S, F, M> DynStage for AccumStage<I, O, S, F, M>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+    M: Fn(&mut S, S) + Send + Sync + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        let input = item.downcast::<I>().map_err(|_| StageTypeError {
+            stage: self.name.clone(),
+            expected: std::any::type_name::<I>(),
+        })?;
+        Ok(Box::new((self.f)(&mut self.state, *input)))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        Some(Box::new(AccumStage {
+            name: self.name.clone(),
+            init: Arc::clone(&self.init),
+            f: self.f.clone(),
+            merge: Arc::clone(&self.merge),
+            state: (self.init)(),
+            version: 0,
+            _types: std::marker::PhantomData,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        self.version += 1;
+        Some(StateSnapshot::new(self.version, self.state.to_bytes()))
+    }
+
+    fn restore(&mut self, snap: StateSnapshot) -> bool {
+        match S::from_bytes(&snap.bytes) {
+            Some(state) if snap.version >= self.version => {
+                self.state = state;
+                self.version = snap.version;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn absorb(&mut self, snap: StateSnapshot) -> bool {
+        match S::from_bytes(&snap.bytes) {
+            Some(partial) => {
+                (self.merge)(&mut self.state, partial);
+                self.version = self.version.max(snap.version);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A stage with *exclusive* declared state: serializable but
+/// indivisible. The planner never replicates it ([`DynStage::replicate`]
+/// is `None`), but unlike opaque closure state it can quiesce,
+/// snapshot, and resume on another host — so a node death migrates it
+/// instead of aborting the run.
+pub struct SnapStage<I, O, S, F>
+where
+    F: FnMut(&mut S, I) -> O + Send,
+{
+    name: String,
+    init: Arc<dyn Fn() -> S + Send + Sync>,
+    f: F,
+    state: S,
+    version: u64,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, S, F> SnapStage<I, O, S, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+{
+    /// Wraps `f` as a named exclusive-state stage seeded from `init`.
+    pub fn new(
+        name: impl Into<String>,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> Self {
+        let init = Arc::new(init);
+        let state = init();
+        SnapStage {
+            name: name.into(),
+            init,
+            f,
+            state,
+            version: 0,
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, O, S, F> DynStage for SnapStage<I, O, S, F>
+where
+    I: Send + 'static,
+    O: Send + 'static,
+    S: StateCodec + Send + 'static,
+    F: FnMut(&mut S, I) -> O + Send + Clone + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        let input = item.downcast::<I>().map_err(|_| StageTypeError {
+            stage: self.name.clone(),
+            expected: std::any::type_name::<I>(),
+        })?;
+        Ok(Box::new((self.f)(&mut self.state, *input)))
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        None
+    }
+
+    fn fresh(&self) -> Option<Box<dyn DynStage>> {
+        Some(Box::new(SnapStage {
+            name: self.name.clone(),
+            init: Arc::clone(&self.init),
+            f: self.f.clone(),
+            state: (self.init)(),
+            version: 0,
+            _types: std::marker::PhantomData,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn snapshot(&mut self) -> Option<StateSnapshot> {
+        self.version += 1;
+        Some(StateSnapshot::new(self.version, self.state.to_bytes()))
+    }
+
+    fn restore(&mut self, snap: StateSnapshot) -> bool {
+        match S::from_bytes(&snap.bytes) {
+            Some(state) if snap.version >= self.version => {
+                self.state = state;
+                self.version = snap.version;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Moves a quiescent instance's state through the byte boundary: a
+/// snapshot restored into a fresh shell of the same stage type. This is
+/// what a migration deposits on the receiving side, proving the state
+/// really serializes (an instance whose state cannot make the round
+/// trip — opaque closures, malformed bytes — moves as the live box
+/// instead, which is only sound within one process).
+pub fn quiesce(mut inst: Box<dyn DynStage>) -> (Box<dyn DynStage>, usize) {
+    let Some(snap) = inst.snapshot() else {
+        return (inst, 0);
+    };
+    let moved = snap.len();
+    if let Some(mut shell) = inst.fresh() {
+        if shell.restore(snap) {
+            return (shell, moved);
+        }
+    }
+    (inst, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +730,144 @@ mod tests {
         // A joined vector of the wrong element type.
         let bad: Vec<BoxedItem> = vec![Box::new("x"), Box::new("y")];
         assert_eq!(m.process(Box::new(bad)).unwrap_err().stage, "j");
+    }
+
+    #[test]
+    fn keyed_stage_state_survives_the_byte_round_trip() {
+        let mut a = KeyedStage::new(
+            "count",
+            |k: &u64| *k,
+            || 0u64,
+            |n: &mut u64, _k: u64| {
+                *n += 1;
+                *n
+            },
+        );
+        let run = |s: &mut dyn DynStage, k: u64| {
+            *s.process(Box::new(k))
+                .expect("typed")
+                .downcast::<u64>()
+                .unwrap()
+        };
+        assert_eq!(run(&mut a, 7), 1);
+        assert_eq!(run(&mut a, 7), 2);
+        assert_eq!(run(&mut a, 9), 1);
+        // Quiesce: snapshot → fresh shell → restore, through real bytes.
+        let (mut b, moved) = quiesce(Box::new(a));
+        assert!(moved > 0, "keyed state must actually ship bytes");
+        assert_eq!(run(b.as_mut(), 7), 3, "key 7 kept its count");
+        assert_eq!(run(b.as_mut(), 9), 2);
+        // Replicas are empty shells: keys start over.
+        let mut c = b.replicate().expect("keyed stages replicate");
+        assert_eq!(run(c.as_mut(), 7), 1);
+    }
+
+    #[test]
+    fn keyed_stage_absorbs_disjoint_key_sets() {
+        let make = || {
+            KeyedStage::new(
+                "m",
+                |k: &u64| *k,
+                || 0u64,
+                |n: &mut u64, _k: u64| {
+                    *n += 10;
+                    *n
+                },
+            )
+        };
+        let mut left = make();
+        let mut right = make();
+        left.process(Box::new(1u64)).unwrap();
+        right.process(Box::new(2u64)).unwrap();
+        right.process(Box::new(2u64)).unwrap();
+        let snap = right.snapshot().expect("keyed snapshots");
+        assert!(left.absorb(snap));
+        let out = left.process(Box::new(2u64)).unwrap();
+        assert_eq!(*out.downcast::<u64>().unwrap(), 30, "absorbed key 2 at 20");
+    }
+
+    #[test]
+    fn accumulator_partials_merge() {
+        let make = || {
+            AccumStage::new(
+                "sum",
+                || 0u64,
+                |acc: &mut u64, x: u64| {
+                    *acc += x;
+                    *acc
+                },
+                |acc: &mut u64, other: u64| *acc += other,
+            )
+        };
+        let mut a = make();
+        a.process(Box::new(5u64)).unwrap();
+        // A replica is an independent partial seeded from init.
+        let mut b = a.replicate().expect("accumulators replicate");
+        b.process(Box::new(7u64)).unwrap();
+        let snap = b.snapshot().expect("accumulators snapshot");
+        assert!(a.absorb(snap), "partials merge");
+        let out = a.process(Box::new(0u64)).unwrap();
+        assert_eq!(*out.downcast::<u64>().unwrap(), 12);
+    }
+
+    #[test]
+    fn exclusive_stage_migrates_but_never_replicates() {
+        let mut s = SnapStage::new(
+            "ledger",
+            || 0i64,
+            |acc: &mut i64, x: i64| {
+                *acc += x;
+                *acc
+            },
+        );
+        s.process(Box::new(40i64)).unwrap();
+        assert!(s.replicate().is_none(), "exclusive state is one instance");
+        let (mut moved, bytes) = quiesce(Box::new(s));
+        assert_eq!(bytes, 8, "one i64 of state shipped");
+        let out = moved.process(Box::new(2i64)).unwrap();
+        assert_eq!(*out.downcast::<i64>().unwrap(), 42);
+    }
+
+    #[test]
+    fn quiesce_falls_back_to_the_live_box_for_opaque_state() {
+        let mut total = 0u64;
+        let s = StatefulFnStage::new("opaque", move |x: u64| {
+            total += x;
+            total
+        });
+        let (mut back, bytes) = quiesce(Box::new(s));
+        assert_eq!(bytes, 0, "opaque state cannot ship");
+        let out = back.process(Box::new(3u64)).unwrap();
+        assert_eq!(*out.downcast::<u64>().unwrap(), 3);
+    }
+
+    #[test]
+    fn stale_snapshots_are_rejected() {
+        let mut s = SnapStage::new(
+            "v",
+            || 0u64,
+            |acc: &mut u64, x: u64| {
+                *acc += x;
+                *acc
+            },
+        );
+        s.process(Box::new(1u64)).unwrap();
+        let old = s.snapshot().unwrap();
+        s.process(Box::new(1u64)).unwrap();
+        let newer = s.snapshot().unwrap();
+        assert!(newer.version > old.version);
+        // A restore must never roll state back to an older snapshot.
+        assert!(!s.restore(old));
+        assert!(s.restore(newer));
+    }
+
+    #[test]
+    fn key_fn_extracts_and_rejects() {
+        let kf = key_fn(|s: &String| s.len() as u64);
+        let item: BoxedItem = Box::new(String::from("abcd"));
+        assert_eq!(kf(&item), Some(4));
+        let wrong: BoxedItem = Box::new(17u8);
+        assert_eq!(kf(&wrong), None);
     }
 
     #[test]

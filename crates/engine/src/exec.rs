@@ -91,7 +91,7 @@
 use crate::vnode::VNodeSpec;
 use adapipe_core::pipeline::Pipeline;
 use adapipe_core::spec::{Next, PipelineSpec};
-use adapipe_core::stage::{BoxedItem, DynStage, FanOutFn};
+use adapipe_core::stage::{quiesce, BoxedItem, DynStage, FanOutFn, KeyFn};
 use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::net::{LinkSpec, Topology};
 use adapipe_gridsim::node::NodeId;
@@ -105,6 +105,7 @@ use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
 use adapipe_runtime::routing::{RoutingSnapshot, RoutingTable};
 use adapipe_runtime::session::{RunError, RunEvent, RunHooks, SessionControl, SessionId, TryNext};
+use adapipe_state::{shard_of, StateAccess, StateSnapshot};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -112,6 +113,15 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// One depot slot: a quiesced stage instance parked for its (possibly
+/// new) owner to collect — `None` while the instance is live on a host.
+type DepotSlot = Mutex<Option<Box<dyn DynStage>>>;
+
+/// What the adaptation thread hands back at teardown: committed
+/// adaptation events, planning cycles, migrations, and declared state
+/// bytes moved.
+type AdaptationOutcome = (Vec<AdaptationEvent>, u64, u64, u64);
 
 /// Threaded-engine configuration.
 #[derive(Clone, Debug)]
@@ -656,8 +666,19 @@ struct Shared {
     topology: Topology,
     emulate_links: bool,
     routing: RwLock<RoutingTable>,
-    /// Per stage: prototype (stateless) or the unique instance (stateful).
-    depot: Vec<Mutex<Option<Box<dyn DynStage>>>>,
+    /// Per stage, per slot: prototype (stateless/accumulator, slot 0),
+    /// the unique instance (exclusive/opaque, slot 0), or one instance
+    /// per shard (keyed — slot = shard). A migration deposits the
+    /// quiesced instance here for the new owner to collect.
+    depot: Vec<Vec<DepotSlot>>,
+    /// Per-stage routing-key extractors (keyed stages only); items with
+    /// no extractor — or a payload the extractor cannot read — hash by
+    /// sequence number.
+    keys: Vec<Option<KeyFn>>,
+    /// Accumulator hand-off: a replica vacating a host parks its partial
+    /// snapshot here; whichever replica processes next absorbs the
+    /// backlog through the stage's merge operator.
+    merge_inbox: Vec<Mutex<Vec<StateSnapshot>>>,
     sink: Sender<SinkMsg>,
     completed: AtomicU64,
     /// Tenant teardown flag: raised by drain/abort/fatal teardown.
@@ -706,6 +727,16 @@ impl Shared {
     /// True once this tenant — or the whole pool — is tearing down.
     fn finished(&self) -> bool {
         self.done.load(Ordering::Relaxed) || self.pool.done.load(Ordering::Relaxed)
+    }
+
+    /// The routing-key hash of one in-flight item at `stage`: the
+    /// declared key extractor when it can read the payload, the item's
+    /// sequence number otherwise (deterministic for the run either way).
+    fn key_hash(&self, stage: usize, slot: &ItemSlot) -> u64 {
+        self.keys[stage]
+            .as_ref()
+            .and_then(|k| k(&slot.payload))
+            .unwrap_or(slot.seq)
     }
 
     /// Records one item rescued off the down vnode `from`.
@@ -784,8 +815,18 @@ fn ship(
     }
     let np = shared.pool.inboxes.len();
     let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| Vec::new()).collect();
-    for slot in items {
-        buckets[snap.route(stage).index()].push(slot);
+    if shared.spec.stages[stage].state.shards() > 0 {
+        // Keyed stage: every item is pinned to its key's shard owner —
+        // never dealt round-robin, never detoured around a down owner
+        // (the state lives there; a re-map moves it, then the items).
+        for slot in items {
+            let hash = shared.key_hash(stage, &slot);
+            buckets[snap.route_keyed(stage, hash).index()].push(slot);
+        }
+    } else {
+        for slot in items {
+            buckets[snap.route(stage).index()].push(slot);
+        }
     }
     for (dest, batch) in buckets.into_iter().enumerate() {
         if !batch.is_empty() {
@@ -996,7 +1037,7 @@ pub struct EngineSession<I, O> {
     /// sessions leave the pool running for their co-tenants.
     owns_pool: bool,
     collector: Option<JoinHandle<ReportBuilder>>,
-    adaptation: Option<JoinHandle<(Vec<AdaptationEvent>, u64)>>,
+    adaptation: Option<JoinHandle<AdaptationOutcome>>,
     out_rx: Receiver<Vec<Finished>>,
     events: adapipe_runtime::session::EventBus,
     /// The pusher's lock-free routing view.
@@ -1304,12 +1345,21 @@ where
         {
             std::thread::sleep(Duration::from_micros(200));
         }
-        let (adaptations, planning_cycles) = self
+        let (adaptations, planning_cycles, migrations, state_bytes_moved) = self
             .adaptation
             .take()
             .expect("adaptation joined twice")
             .join()
             .expect("adaptation thread panicked");
+        report.set_migrations(migrations, state_bytes_moved);
+        report.set_stage_shards(
+            self.shared
+                .spec
+                .stages
+                .iter()
+                .map(|s| s.state.shards())
+                .collect(),
+        );
         let ns = self.shared.spec.len();
         let mut node_busy = vec![SimDuration::ZERO; np];
         let mut stage_metrics = adapipe_core::metrics::StageMetrics::new(ns);
@@ -1551,7 +1601,7 @@ where
     O: Send + 'static,
 {
     let np = pool.vnodes.len();
-    let (spec, stages, fanouts) = pipeline.into_graph_parts();
+    let (spec, stages, fanouts, keys) = pipeline.into_keyed_parts();
     let ns = spec.len();
     let blocks = spec.graph.blocks();
     let vnodes = &pool.vnodes;
@@ -1588,7 +1638,10 @@ where
         topology: topology.clone(),
         speeds: vnodes.iter().map(|v| v.speed).collect(),
         state_bytes: spec.stages.iter().map(|s| s.state_bytes).collect(),
-        stateless: spec.stages.iter().map(|s| s.stateless).collect(),
+        // "Stateless" to the planner means *replicable*: keyed and
+        // accumulator stages run many live instances too.
+        stateless: spec.stages.iter().map(|s| s.state.replicable()).collect(),
+        state_access: spec.stages.iter().map(|s| s.state).collect(),
         faults: pool.faults.clone(),
         total_items: items_hint,
         observation_noise: cfg.observation_noise,
@@ -1614,10 +1667,32 @@ where
         .map(|s| spec.graph.feed_bytes(s, &boundary))
         .collect();
     let block_entries = (0..blocks).map(|b| spec.graph.branch_entries(b)).collect();
+    // Depot: one slot per stage, except keyed stages get one per shard —
+    // the built instance takes slot 0 and fresh (empty) shells seed the
+    // rest; each shard accumulates exactly the keys routed to it.
+    let depot: Vec<Vec<DepotSlot>> = stages
+        .into_iter()
+        .zip(spec.stages.iter())
+        .map(|(built, sspec)| {
+            let shards = sspec.state.shards();
+            let mut slots = Vec::with_capacity(shards.max(1));
+            for _ in 1..shards {
+                let shell = built
+                    .fresh()
+                    .expect("keyed stages always produce fresh shells");
+                slots.push(Mutex::new(Some(shell)));
+            }
+            slots.insert(0, Mutex::new(Some(built)));
+            slots
+        })
+        .collect();
+    let stage_shards: Vec<usize> = spec.stages.iter().map(|s| s.state.shards()).collect();
     let shared = Arc::new(Shared {
         id: session_id,
         pool: Arc::clone(pool),
-        depot: stages.into_iter().map(|s| Mutex::new(Some(s))).collect(),
+        depot,
+        keys,
+        merge_inbox: (0..ns).map(|_| Mutex::new(Vec::new())).collect(),
         spec,
         bytes_into,
         fanouts,
@@ -1627,11 +1702,14 @@ where
         emulate_links: cfg.emulate_links,
         // Health flags are the pool's: any tenant's fault tracker
         // marking a node down excludes it for every tenant's routing.
-        routing: RwLock::new(RoutingTable::with_shared_health(
-            initial_mapping,
-            adapipe_runtime::routing::Selection::RoundRobin,
-            Arc::clone(&pool.health),
-        )),
+        routing: RwLock::new(
+            RoutingTable::with_shared_health(
+                initial_mapping,
+                adapipe_runtime::routing::Selection::RoundRobin,
+                Arc::clone(&pool.health),
+            )
+            .with_stage_shards(stage_shards),
+        ),
         sink: sink_tx,
         completed: AtomicU64::new(0),
         done: AtomicBool::new(false),
@@ -1834,8 +1912,12 @@ where
 /// `Shared::accs` when the tenant detaches).
 struct TenantLocal {
     tenant: Arc<Shared>,
-    local: HashMap<usize, Box<dyn DynStage>>,
-    waiting: HashMap<usize, VecDeque<Envelope>>,
+    /// Held stage instances, keyed by `(stage, slot)` — slot is the
+    /// shard for keyed stages and `0` for everything else.
+    local: HashMap<(usize, usize), Box<dyn DynStage>>,
+    /// Parked envelopes per `(stage, slot)`: the instance is in transit
+    /// (migration), or this vnode is down and the items await rescue.
+    waiting: HashMap<(usize, usize), VecDeque<Envelope>>,
     cache: RouteCache,
     busy: Duration,
     metrics: adapipe_core::metrics::StageMetrics,
@@ -1899,35 +1981,7 @@ fn worker_loop(me: usize, pool: Arc<Pool>) {
                 let tl = tenants
                     .entry(tenant.id)
                     .or_insert_with(|| TenantLocal::new(Arc::clone(&tenant)));
-                if let Some(inst) = tl.local.remove(&stage) {
-                    if !tenant.spec.stages[stage].stateless {
-                        tenant.depot[stage]
-                            .lock()
-                            .expect("depot lock poisoned")
-                            .replace(inst);
-                    }
-                    // Stateless replicas are simply dropped; the depot
-                    // keeps the prototype.
-                }
-                // Wake the stage's current hosts: items they buffered
-                // while the instance was in transit can be served now.
-                // Also covers the case where this worker never held the
-                // instance (it sat in the depot through a double
-                // migration) — the notification is idempotent.
-                if !tenant.spec.stages[stage].stateless {
-                    let in_depot = tenant.depot[stage]
-                        .lock()
-                        .expect("depot lock poisoned")
-                        .is_some();
-                    if in_depot {
-                        let snap = tl.cache.current(&tenant).clone();
-                        for &h in snap.hosts(stage) {
-                            if h.index() != me {
-                                pool.inboxes[h.index()].send_ctrl(Ctrl::Wake);
-                            }
-                        }
-                    }
-                }
+                relinquish(me, &pool, &tenant, stage, tl);
             }
             Msg::Ctrl(Ctrl::Wake) => {} // wake-up only; service below
             Msg::Ctrl(Ctrl::TenantGone { tenant }) => {
@@ -1958,6 +2012,72 @@ fn worker_loop(me: usize, pool: Arc<Pool>) {
     // teardown ack-waits escape on the pool flag.
     for (_, tl) in tenants.drain() {
         tl.flush_acc(me);
+    }
+}
+
+/// Surrenders this worker's instances of `stage` for a migration — the
+/// [`Ctrl::Relinquish`] a re-map commit sends to every old host. What
+/// "surrender" means follows the stage's declared access pattern:
+///
+/// * **Stateless** — the replica is dropped; the depot keeps the
+///   prototype and new hosts replicate their own.
+/// * **Accumulator** — the local partial is snapshotted into the
+///   stage's merge inbox for a surviving replica to absorb, then
+///   dropped (the depot prototype seeds new replicas).
+/// * **Keyed** — every locally-held shard instance is quiesced
+///   (snapshot → fresh shell → restore, proving the state serializes)
+///   and deposited in its shard's depot slot for the new owner.
+/// * **Exclusive / Opaque** — the unique instance is quiesced and
+///   deposited in slot 0; opaque closures cannot snapshot, so
+///   [`quiesce`] passes the live box through unchanged.
+///
+/// Afterwards the stage's current hosts are woken: items they buffered
+/// while the instance was in transit can be served now. The wake also
+/// covers the case where this worker never held the instance (it sat in
+/// the depot through a double migration) — the notification is
+/// idempotent.
+fn relinquish(me: usize, pool: &Pool, tenant: &Arc<Shared>, stage: usize, tl: &mut TenantLocal) {
+    match tenant.spec.stages[stage].state {
+        StateAccess::Stateless => {
+            tl.local.remove(&(stage, 0));
+            return; // nothing migrates; no one is blocked on a depot slot
+        }
+        StateAccess::Accumulator => {
+            if let Some(mut inst) = tl.local.remove(&(stage, 0)) {
+                if let Some(snap) = inst.snapshot() {
+                    tenant.merge_inbox[stage]
+                        .lock()
+                        .expect("merge inbox poisoned")
+                        .push(snap);
+                }
+            }
+        }
+        StateAccess::Keyed { shards } => {
+            for shard in 0..shards {
+                if let Some(inst) = tl.local.remove(&(stage, shard)) {
+                    let (inst, _bytes) = quiesce(inst);
+                    tenant.depot[stage][shard]
+                        .lock()
+                        .expect("depot lock poisoned")
+                        .replace(inst);
+                }
+            }
+        }
+        StateAccess::Exclusive | StateAccess::Opaque => {
+            if let Some(inst) = tl.local.remove(&(stage, 0)) {
+                let (inst, _bytes) = quiesce(inst);
+                tenant.depot[stage][0]
+                    .lock()
+                    .expect("depot lock poisoned")
+                    .replace(inst);
+            }
+        }
+    }
+    let snap = tl.cache.current(tenant).clone();
+    for &h in snap.hosts(stage) {
+        if h.index() != me {
+            pool.inboxes[h.index()].send_ctrl(Ctrl::Wake);
+        }
     }
 }
 
@@ -2090,6 +2210,54 @@ fn handle_work(me: usize, env: Envelope, tl: &mut TenantLocal) {
             }
         }
         ship(shared, &snap, Some(me), stage, env.items);
+        return;
+    }
+    let shards = shared.spec.stages[stage].state.shards();
+    if shards > 0 {
+        // Keyed stage: split the envelope per shard and serve each
+        // shard against its own instance slot. A shard this worker no
+        // longer owns (the envelope predates a shard re-balance) is
+        // forwarded to its current owner; a shard owned by this *down*
+        // vnode parks — its keys pin here until a re-map moves the
+        // shard, whose Relinquish wake-up flushes the queue.
+        let mut per_shard: Vec<(usize, Vec<ItemSlot>)> = Vec::new();
+        for slot in env.items {
+            let shard = shard_of(shared.key_hash(stage, &slot), shards);
+            push_onward(&mut per_shard, shard, slot);
+        }
+        for (shard, items) in per_shard {
+            let owner = snap.shard_owner(stage, shard);
+            if owner.index() != me {
+                shared
+                    .rehomed
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                if me_down {
+                    for slot in &items {
+                        shared.note_replay(slot.seq, stage, me);
+                    }
+                }
+                deliver_env(shared, &snap, Some(me), stage, owner.index(), items);
+            } else if me_down
+                || waiting.get(&(stage, shard)).is_some_and(|q| !q.is_empty())
+                || !try_acquire(shared, local, stage, shard)
+            {
+                waiting
+                    .entry((stage, shard))
+                    .or_default()
+                    .push_back(Envelope {
+                        stage,
+                        epoch: snap.epoch(),
+                        items,
+                    });
+            } else {
+                let env = Envelope {
+                    stage,
+                    epoch: snap.epoch(),
+                    items,
+                };
+                *busy += process_batch(me, env, shard, shared, cache, local, metrics);
+            }
+        }
     } else if me_down {
         // This vnode is down: it must not serve. Re-deal what a live
         // replica can absorb; park the rest — the forced re-map will
@@ -2097,18 +2265,18 @@ fn handle_work(me: usize, env: Envelope, tl: &mut TenantLocal) {
         // queue.
         let parked = redeal(shared, &snap, me, stage, env.items);
         if !parked.is_empty() {
-            waiting.entry(stage).or_default().push_back(Envelope {
+            waiting.entry((stage, 0)).or_default().push_back(Envelope {
                 stage,
                 epoch: snap.epoch(),
                 items: parked,
             });
         }
-    } else if waiting.get(&stage).is_some_and(|q| !q.is_empty())
-        || !try_acquire(shared, local, stage)
+    } else if waiting.get(&(stage, 0)).is_some_and(|q| !q.is_empty())
+        || !try_acquire(shared, local, stage, 0)
     {
-        waiting.entry(stage).or_default().push_back(env);
+        waiting.entry((stage, 0)).or_default().push_back(env);
     } else {
-        *busy += process_batch(me, env, shared, cache, local, metrics);
+        *busy += process_batch(me, env, 0, shared, cache, local, metrics);
     }
 }
 
@@ -2168,35 +2336,49 @@ fn serve_waiting(me: usize, tl: &mut TenantLocal) {
     if waiting.is_empty() {
         return;
     }
-    let stages: Vec<usize> = waiting
+    let slots: Vec<(usize, usize)> = waiting
         .iter()
         .filter(|(_, q)| !q.is_empty())
-        .map(|(&s, _)| s)
+        .map(|(&k, _)| k)
         .collect();
-    for stage in stages {
+    for (stage, slot) in slots {
         let snap = cache.current(shared).clone();
-        let hosted = snap.contains(stage, NodeId(me));
         let me_down = snap.is_down(NodeId(me));
-        if !hosted {
-            // The stage moved away while these items were buffered:
-            // ship them to its current hosts. Off a down vnode this is
-            // the post-re-map rescue — each item counts as a replay.
-            if let Some(queue) = waiting.remove(&stage) {
+        let keyed = shared.spec.stages[stage].state.shards() > 0;
+        let owned = if keyed {
+            // Shard ownership, not mere stage hosting: a co-host that
+            // lost this shard in a re-balance must forward its backlog.
+            snap.contains(stage, NodeId(me)) && snap.shard_owner(stage, slot).index() == me
+        } else {
+            snap.contains(stage, NodeId(me))
+        };
+        if !owned {
+            // The stage (or this shard) moved away while these items
+            // were buffered: ship them to the current owner. Off a down
+            // vnode this is the post-re-map rescue — each item counts
+            // as a replay.
+            if let Some(queue) = waiting.remove(&(stage, slot)) {
                 for env in queue {
                     if me_down {
-                        for slot in &env.items {
-                            shared.note_replay(slot.seq, stage, me);
+                        for item in &env.items {
+                            shared.note_replay(item.seq, stage, me);
                         }
                     }
                     ship(shared, &snap, Some(me), stage, env.items);
                 }
             }
         } else if me_down {
+            if keyed {
+                // Keys pin to their shard owner: nothing can be
+                // re-dealt — the backlog waits for the re-map to move
+                // the shard, whose Relinquish wake-up lands here again.
+                continue;
+            }
             // Still hosted but down: re-deal whatever a live replica
             // can absorb; the rest stays parked for the re-map. The
             // snapshot is lock-free, so a deep stranded backlog cannot
             // contend the adaptation thread's recovery re-map.
-            if let Some(queue) = waiting.get_mut(&stage) {
+            if let Some(queue) = waiting.get_mut(&(stage, slot)) {
                 let mut parked = Vec::new();
                 for env in queue.drain(..) {
                     parked.extend(redeal(shared, &snap, me, stage, env.items));
@@ -2209,41 +2391,55 @@ fn serve_waiting(me: usize, tl: &mut TenantLocal) {
                     });
                 }
             }
-        } else if try_acquire(shared, local, stage) {
-            let queue = waiting.get_mut(&stage).expect("stage has a waiting queue");
+        } else if try_acquire(shared, local, stage, slot) {
+            let queue = waiting
+                .get_mut(&(stage, slot))
+                .expect("slot has a waiting queue");
             let envs: Vec<Envelope> = queue.drain(..).collect();
             for env in envs {
-                *busy += process_batch(me, env, shared, cache, local, metrics);
+                *busy += process_batch(me, env, slot, shared, cache, local, metrics);
             }
         }
     }
 }
 
-/// Ensures `local` holds an instance of `stage`; true on success.
+/// Ensures `local` holds an instance of `(stage, slot)`; true on
+/// success. Stateless and accumulator stages replicate from the depot
+/// prototype (every host gets its own replica / partial); keyed stages
+/// take their shard's unique instance, exclusive and opaque stages the
+/// stage's unique instance — `false` while a migration still has it in
+/// transit (the previous host has not deposited it yet).
 fn try_acquire(
     shared: &Shared,
-    local: &mut HashMap<usize, Box<dyn DynStage>>,
+    local: &mut HashMap<(usize, usize), Box<dyn DynStage>>,
     stage: usize,
+    slot: usize,
 ) -> bool {
-    if local.contains_key(&stage) {
+    if local.contains_key(&(stage, slot)) {
         return true;
     }
-    let mut slot = shared.depot[stage].lock().expect("depot lock poisoned");
-    if shared.spec.stages[stage].stateless {
-        if let Some(proto) = slot.as_ref() {
-            if let Some(replica) = proto.replicate() {
-                local.insert(stage, replica);
-                return true;
+    match shared.spec.stages[stage].state {
+        StateAccess::Stateless | StateAccess::Accumulator => {
+            let proto = shared.depot[stage][0].lock().expect("depot lock poisoned");
+            if let Some(proto) = proto.as_ref() {
+                if let Some(replica) = proto.replicate() {
+                    local.insert((stage, slot), replica);
+                    return true;
+                }
             }
+            false
         }
-        false
-    } else {
-        match slot.take() {
-            Some(inst) => {
-                local.insert(stage, inst);
-                true
+        StateAccess::Keyed { .. } | StateAccess::Exclusive | StateAccess::Opaque => {
+            let mut cell = shared.depot[stage][slot]
+                .lock()
+                .expect("depot lock poisoned");
+            match cell.take() {
+                Some(inst) => {
+                    local.insert((stage, slot), inst);
+                    true
+                }
+                None => false, // still held by the previous host
             }
-            None => false, // still held by the previous host
         }
     }
 }
@@ -2265,17 +2461,31 @@ fn push_onward(onward: &mut Vec<(usize, Vec<ItemSlot>)>, stage: usize, slot: Ite
 fn process_batch(
     me: usize,
     env: Envelope,
+    slot: usize,
     shared: &Arc<Shared>,
     cache: &mut RouteCache,
-    local: &mut HashMap<usize, Box<dyn DynStage>>,
+    local: &mut HashMap<(usize, usize), Box<dyn DynStage>>,
     metrics: &mut adapipe_core::metrics::StageMetrics,
 ) -> Duration {
     let stage = env.stage;
     let after = shared.spec.graph.after(stage);
     let work_mean = shared.spec.stages[stage].work.mean();
     let inst = local
-        .get_mut(&stage)
+        .get_mut(&(stage, slot))
         .expect("instance acquired before process");
+    if shared.spec.stages[stage].state == StateAccess::Accumulator {
+        // Absorb partials parked by replicas that vacated their hosts —
+        // state migrated in via the stage's merge operator, before any
+        // new item folds in.
+        let pending: Vec<StateSnapshot> = shared.merge_inbox[stage]
+            .lock()
+            .expect("merge inbox poisoned")
+            .drain(..)
+            .collect();
+        for snap in pending {
+            inst.absorb(snap);
+        }
+    }
     let mut finished: Vec<Finished> = Vec::new();
     let mut onward: Vec<(usize, Vec<ItemSlot>)> = Vec::new();
     // Clock calls are chained across the batch: each item's end stamp
@@ -2428,10 +2638,7 @@ fn process_batch(
 /// transitions get their own wake-ups at their exact scheduled wall
 /// offsets — even under `Policy::Static`, where no sampling runs but
 /// nodes must still go down (and fatal losses must still surface).
-fn adaptation_thread(
-    shared: Arc<Shared>,
-    mut aloop: AdaptationLoop,
-) -> (Vec<AdaptationEvent>, u64) {
+fn adaptation_thread(shared: Arc<Shared>, mut aloop: AdaptationLoop) -> AdaptationOutcome {
     let sample_wall = aloop
         .sample_dt()
         .map(|dt| Duration::from_secs_f64(dt.as_secs_f64()));
@@ -2442,7 +2649,7 @@ fn adaptation_thread(
 
     let mut next_sample = sample_wall.map(|w| Instant::now() + w);
     let mut rounds: u32 = 0;
-    loop {
+    'run: loop {
         let next_fault = aloop
             .next_fault_at()
             .map(|at| shared.pool.epoch + Duration::from_secs_f64(at.as_secs_f64()));
@@ -2451,24 +2658,24 @@ fn adaptation_thread(
             (Some(s), None) => s,
             (None, Some(f)) => f,
             // Static policy and no further faults: nothing to do, ever.
-            (None, None) => return aloop.finish(),
+            (None, None) => break 'run,
         };
         // Sleep in short slices so shutdown is prompt.
         while Instant::now() < next_wake {
             if shared.finished() {
-                return aloop.finish();
+                break 'run;
             }
             std::thread::sleep(Duration::from_millis(2));
         }
         if shared.finished() {
-            return aloop.finish();
+            break 'run;
         }
 
         if next_fault.is_some_and(|f| f <= Instant::now()) {
             let outcome = aloop.poll_faults(&mut backend, &shared.routing);
             if outcome.fatal {
                 fatal_teardown(&shared);
-                return aloop.finish();
+                break 'run;
             }
         }
         if let Some(due) = next_sample {
@@ -2483,12 +2690,15 @@ fn adaptation_thread(
                     let _ = aloop.tick(&mut backend, &shared.routing);
                     if aloop.is_fatal() {
                         fatal_teardown(&shared);
-                        return aloop.finish();
+                        break 'run;
                     }
                 }
             }
         }
     }
+    let (migrations, state_bytes_moved) = aloop.migration_totals();
+    let (adaptations, planning_cycles) = aloop.finish();
+    (adaptations, planning_cycles, migrations, state_bytes_moved)
 }
 #[cfg(test)]
 mod tests {

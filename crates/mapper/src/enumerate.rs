@@ -110,7 +110,9 @@ pub fn compositions(n: usize, k: usize) -> Vec<Vec<usize>> {
 pub enum Move {
     /// Re-host a (single-host) stage on a different node.
     MoveStage,
-    /// Add one replica to a stateless stage.
+    /// Add one replica to a replicable stage. For keyed state this is
+    /// a *shard rebalance*: the runtime re-derives shard ownership from
+    /// the new host list and live-migrates the shards that moved.
     AddReplica,
     /// Drop one replica from a replicated stage.
     DropReplica,
@@ -119,9 +121,10 @@ pub enum Move {
 /// Generates the one-move neighbourhood of `mapping` over `np` nodes.
 ///
 /// * every single-host stage is re-hosted on every other node;
-/// * every stateless stage gains one replica on every node not already
-///   hosting it, while its width is below both `max_width` and the
-///   stage's declared `replica_cap`;
+/// * every replicable stage gains one replica on every node not
+///   already hosting it, while its width is below both `max_width` and
+///   the stage's declared `replica_cap` (the shard count for keyed
+///   state);
 /// * every replicated stage drops each of its hosts in turn.
 pub fn neighbours(
     mapping: &Mapping,

@@ -29,11 +29,16 @@ pub struct PipelineProfile {
     /// The series-parallel stage topology over flattened stage ids.
     /// [`StageGraph::linear`] reproduces the historical chain exactly.
     pub graph: StageGraph,
-    /// Which stages keep no per-item state and may be replicated.
+    /// Which stages may run more than one live instance: truly
+    /// stateless stages, plus *declared* keyed or accumulator state
+    /// (the runtime shards or merges it behind the planner's back).
+    /// Exclusive and opaque state pins a stage to width one.
     pub stateless: Vec<bool>,
     /// Per-stage replica-width caps declared by the programmer
     /// (`len = Ns`, every entry ≥ 1). `usize::MAX` leaves the width to
-    /// the planner's global `max_width`; stateful stages carry `1`.
+    /// the planner's global `max_width`; exclusive/opaque stages carry
+    /// `1`, and keyed stages their shard count (a width change there
+    /// is a shard rebalance, executed as live migration).
     pub replica_cap: Vec<usize>,
     /// Node where inputs originate; `None` ignores input-edge transfer.
     pub source: Option<NodeId>,

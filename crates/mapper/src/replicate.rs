@@ -1,9 +1,12 @@
-//! Greedy replication of stateless bottleneck stages.
+//! Greedy replication of replicable bottleneck stages.
 //!
-//! When the throughput bottleneck is a processor saturated by a stateless
-//! stage, the pattern can *farm* that stage over several nodes — the
-//! "pipeline of farms" composition from the skeleton literature. This
-//! module widens stages greedily while the model predicts improvement.
+//! When the throughput bottleneck is a processor saturated by a
+//! replicable stage, the pattern can *farm* that stage over several
+//! nodes — the "pipeline of farms" composition from the skeleton
+//! literature. This module widens stages greedily while the model
+//! predicts improvement. "Replicable" covers truly stateless stages
+//! and declared keyed/accumulator state (the runtime shards or merges
+//! it; widening a keyed stage is executed as a shard rebalance).
 
 use crate::mapping::Mapping;
 use crate::model::{evaluate, Bottleneck, PipelineProfile, Prediction};

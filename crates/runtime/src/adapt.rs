@@ -33,6 +33,7 @@ use adapipe_gridsim::time::{SimDuration, SimTime};
 use adapipe_mapper::mapping::Mapping;
 use adapipe_mapper::model::{evaluate, PipelineProfile};
 use adapipe_monitor::sensor::NoisyChannel;
+use adapipe_state::{owner_of, StateAccess};
 use std::sync::RwLock;
 
 /// Everything the shared runtime needs to adapt one pipeline run,
@@ -52,12 +53,18 @@ pub struct RuntimeConfig {
     pub speeds: Vec<f64>,
     /// Migratable state per stage, in bytes.
     pub state_bytes: Vec<u64>,
-    /// Statelessness per stage: a *stateful* stage pinned to a node
-    /// that goes down permanently is a fatal
-    /// [`RunError::StatefulStageLost`] (its state cannot be replayed),
-    /// while stateless stages re-deal their stranded items
-    /// at-least-once and finite outages park-and-recover.
+    /// Replicability per stage (`StateAccess::replicable`): replicable
+    /// stages re-deal their stranded items at-least-once when a node
+    /// goes down, and finite outages park-and-recover.
     pub stateless: Vec<bool>,
+    /// Declared state-access pattern per stage. Only a stage with
+    /// *opaque* (undeclared) state pinned to a permanently lost node is
+    /// a fatal [`RunError::StatefulStageLost`]; declared state (keyed,
+    /// accumulator, exclusive) is snapshottable, so the loop forces a
+    /// recovery re-map and the backend live-migrates the state instead.
+    /// Backends that predate declarations leave this empty: a missing
+    /// entry on a non-replicable stage is treated as opaque.
+    pub state_access: Vec<StateAccess>,
     /// Scheduled faults of this run. The backend applies the physics
     /// (degraded load schedules) itself; the loop owns the control
     /// plane — down/up transitions, routing exclusion, forced re-maps,
@@ -116,6 +123,12 @@ pub struct AdaptationLoop {
     /// slot, which may carry non-fatal errors (e.g. the simulator's
     /// marker-semantics type mismatch).
     fatal: bool,
+    /// State migrations implied by committed re-maps (shard, partial,
+    /// or whole-instance moves), counted centrally from mapping diffs
+    /// so both backends report identical totals.
+    migrations: u64,
+    /// Declared-state bytes those migrations shipped.
+    state_bytes_moved: u64,
 }
 
 /// What [`AdaptationLoop::poll_faults`] did about the transitions due.
@@ -151,8 +164,24 @@ impl AdaptationLoop {
             tracker,
             fault_remap_pending: false,
             fatal: false,
+            migrations: 0,
+            state_bytes_moved: 0,
             cfg,
         }
+    }
+
+    /// The declared access pattern of stage `s`. Backends that predate
+    /// declarations leave `state_access` empty; a missing entry falls
+    /// back to the replicability flag — replicable reads as stateless,
+    /// non-replicable as opaque (the legacy "cannot move it" semantics).
+    fn stage_access(&self, s: usize) -> StateAccess {
+        self.cfg.state_access.get(s).copied().unwrap_or({
+            if self.cfg.stateless.get(s).copied().unwrap_or(true) {
+                StateAccess::Stateless
+            } else {
+                StateAccess::Opaque
+            }
+        })
     }
 
     /// True once a fault transition proved the run unrecoverable (the
@@ -221,9 +250,10 @@ impl AdaptationLoop {
     /// [`RunEvent::NodeDown`], notify the backend
     /// ([`ExecutionBackend::on_node_down`] — the threaded engine
     /// evacuates the dead worker, the simulator arms replay
-    /// accounting), fail fatally if a *stateful* stage was pinned to a
-    /// permanently lost node (a finite outage parks and recovers
-    /// instead) or if every node is now down, and otherwise force a planning
+    /// accounting), fail fatally if a stage with *opaque* (undeclared)
+    /// state was pinned to a permanently lost node (declared state
+    /// live-migrates through the forced re-map below; a finite outage
+    /// parks and recovers) or if every node is now down, and otherwise force a planning
     /// cycle that keeps retrying until a committed re-map excludes
     /// every down node. Nodes coming back **up** are re-admitted to
     /// routing and left for the regular adaptation cycle to re-adopt.
@@ -247,9 +277,11 @@ impl AdaptationLoop {
                 FaultTransition::Down { node, at } => {
                     let table = routing.read().expect("routing lock poisoned");
                     table.mark_down(node);
+                    // Only *opaque* (undeclared) state dies with its
+                    // host: declared state is snapshottable, so the
+                    // recovery re-map below migrates it instead.
                     let lost_stateful = (0..table.len()).find(|&s| {
-                        !self.cfg.stateless.get(s).copied().unwrap_or(true)
-                            && table.contains(s, node)
+                        self.stage_access(s) == StateAccess::Opaque && table.contains(s, node)
                     });
                     drop(table);
                     self.cfg.hooks.events.emit(RunEvent::NodeDown {
@@ -547,6 +579,7 @@ impl AdaptationLoop {
         let migration_cost =
             self.controller
                 .migration_cost(&from, &new, &self.cfg.state_bytes, &self.cfg.topology);
+        self.count_migrations(&from, &new);
         let moved = table.install(new.clone());
         drop(table);
         let plan = RemapPlan {
@@ -568,6 +601,55 @@ impl AdaptationLoop {
             });
         }
         plan
+    }
+
+    /// Tallies the state migrations a committed re-map implies, from
+    /// the mapping diff alone — both backends physically move state
+    /// through their own mechanisms, but the *accounting* lives here so
+    /// `RunReport.migrations` agrees across backends for the same diff.
+    fn count_migrations(&mut self, from: &Mapping, to: &Mapping) {
+        for s in 0..from.len().min(to.len()) {
+            let bytes = self.cfg.state_bytes.get(s).copied().unwrap_or(0);
+            let old = from.placement(s).hosts();
+            let new = to.placement(s).hosts();
+            if old.is_empty() || new.is_empty() {
+                continue;
+            }
+            match self.stage_access(s) {
+                StateAccess::Stateless => {}
+                // A shard moves when its owner (by the shared
+                // `owner_of` rule over the placement width) changes
+                // host; bytes are charged pro rata per shard.
+                StateAccess::Keyed { shards } => {
+                    let moved = (0..shards)
+                        .filter(|&sh| old[owner_of(sh, old.len())] != new[owner_of(sh, new.len())])
+                        .count() as u64;
+                    self.migrations += moved;
+                    self.state_bytes_moved += bytes * moved / shards.max(1) as u64;
+                }
+                // Each replica leaving the placement ships its partial
+                // to be merged on a surviving host.
+                StateAccess::Accumulator => {
+                    let gone = old.iter().filter(|h| !new.contains(h)).count() as u64;
+                    self.migrations += gone;
+                    self.state_bytes_moved += gone * bytes;
+                }
+                // Single instance: one move when the primary changes.
+                StateAccess::Exclusive | StateAccess::Opaque => {
+                    if old[0] != new[0] {
+                        self.migrations += 1;
+                        self.state_bytes_moved += bytes;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total state migrations and bytes shipped so far — backends read
+    /// this at teardown and settle it into the report via
+    /// [`crate::report::ReportBuilder::set_migrations`].
+    pub fn migration_totals(&self) -> (u64, u64) {
+        (self.migrations, self.state_bytes_moved)
     }
 
     /// The wrapped controller (diagnostics).
@@ -640,6 +722,7 @@ mod tests {
             speeds: vec![1.0; np],
             state_bytes: vec![0; np.min(3)],
             stateless: vec![true; np.min(3)],
+            state_access: vec![],
             faults: FaultPlan::new(),
             total_items: 10_000,
             observation_noise: 0.0,
@@ -952,6 +1035,79 @@ mod tests {
             control.error(),
             Some(crate::session::RunError::StatefulStageLost { stage: 1, node: 1 })
         );
+    }
+
+    #[test]
+    fn declared_keyed_stage_on_crashed_node_migrates_instead_of_aborting() {
+        // Same crash as `stateful_stage_on_crashed_node_is_fatal`, but
+        // the stage *declares* its state: keyed shards are
+        // snapshottable, so the loop forces a recovery re-map that
+        // moves the shards — no typed abort.
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.stateless = vec![true, true, true]; // keyed is replicable
+        cfg.state_access = vec![
+            StateAccess::Stateless,
+            StateAccess::Keyed { shards: 4 },
+            StateAccess::Stateless,
+        ];
+        cfg.state_bytes = vec![0, 4096, 0];
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(1.0));
+        let control = cfg.control.clone();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping,
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(1.5),
+            commits: vec![],
+            completed: 0,
+        };
+        let outcome = aloop.poll_faults(&mut backend, &routing);
+        assert!(!outcome.fatal, "declared state must migrate, not abort");
+        assert_eq!(control.error(), None);
+        let plan = outcome.committed.expect("crash must force a re-map");
+        assert!(!plan.to.nodes_used().contains(&n(1)));
+        let (migrations, bytes) = aloop.migration_totals();
+        assert!(migrations > 0, "shard moves must be counted");
+        assert!(bytes > 0, "moved shards carry their bytes");
+    }
+
+    #[test]
+    fn exclusive_state_migrates_as_one_unit_on_crash() {
+        // Declared exclusive state on the crashed node: one
+        // whole-instance migration, full byte charge, no abort.
+        let (mut cfg, mapping) = rig(Policy::periodic_default(), 3);
+        cfg.stateless = vec![true, false, true];
+        cfg.state_access = vec![
+            StateAccess::Stateless,
+            StateAccess::Exclusive,
+            StateAccess::Stateless,
+        ];
+        cfg.state_bytes = vec![0, 1000, 0];
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(1.0));
+        let control = cfg.control.clone();
+        let mut aloop = AdaptationLoop::new(cfg, &mapping, &[1.0; 3]);
+        let routing = RwLock::new(RoutingTable::with_selection(
+            mapping,
+            crate::routing::Selection::RoundRobin,
+            3,
+        ));
+        let mut backend = TestBackend {
+            avail: vec![1.0; 3],
+            now: SimTime::from_secs_f64(1.5),
+            commits: vec![],
+            completed: 0,
+        };
+        let outcome = aloop.poll_faults(&mut backend, &routing);
+        assert!(!outcome.fatal);
+        assert_eq!(control.error(), None);
+        assert!(outcome.committed.is_some());
+        let (migrations, bytes) = aloop.migration_totals();
+        assert_eq!(migrations, 1, "exclusive state moves as one unit");
+        assert_eq!(bytes, 1000);
     }
 
     #[test]

@@ -61,6 +61,16 @@ pub struct RunReport {
     /// Downtime each node accrued over the run (outages plus crash
     /// tails, clamped to the makespan). Empty when no fault plan ran.
     pub node_downtime: Vec<SimDuration>,
+    /// State migrations performed: shard, partial, or whole-instance
+    /// moves of declared stage state between hosts, whether triggered
+    /// by a planning re-map or by a node death.
+    pub migrations: u64,
+    /// Total declared-state bytes shipped across hosts by those
+    /// migrations (snapshot payload sizes, per the stage specs).
+    pub state_bytes_moved: u64,
+    /// Declared shard count per stage (0 for stages without keyed
+    /// state) — the denominator for shard-rebalance accounting.
+    pub stage_shards: Vec<usize>,
 }
 
 impl RunReport {
@@ -172,11 +182,13 @@ impl RunReport {
             self.latency_percentile(q)
                 .map_or_else(|| "null".to_string(), |d| json_f64(d.as_secs_f64()))
         };
+        let stage_shards: Vec<String> = self.stage_shards.iter().map(|s| s.to_string()).collect();
         format!(
             "{{\"completed\":{},\"makespan_secs\":{},\"mean_throughput\":{},\
              \"mean_latency_secs\":{},\"latency_p50_secs\":{},\"latency_p95_secs\":{},\
              \"latency_p99_secs\":{},\"adaptation_count\":{},\"total_migration_cost_secs\":{},\
-             \"planning_cycles\":{},\"truncated\":{},\"replays\":{},\"node_busy_secs\":[{}],\
+             \"planning_cycles\":{},\"truncated\":{},\"replays\":{},\"migrations\":{},\
+             \"state_bytes_moved\":{},\"stage_shards\":[{}],\"node_busy_secs\":[{}],\
              \"node_downtime_secs\":[{}],\"final_mapping\":{},\"adaptations\":[{}]}}",
             self.completed,
             json_f64(self.makespan.as_secs_f64()),
@@ -190,6 +202,9 @@ impl RunReport {
             self.planning_cycles,
             self.truncated,
             self.replays,
+            self.migrations,
+            self.state_bytes_moved,
+            stage_shards.join(","),
             node_busy.join(","),
             node_downtime.join(","),
             mapping_json(&self.final_mapping),
@@ -230,6 +245,9 @@ pub struct ReportBuilder {
     last_completion: SimTime,
     timeline: ThroughputTimeline,
     replays: u64,
+    migrations: u64,
+    state_bytes_moved: u64,
+    stage_shards: Vec<usize>,
     /// The run's fault plan and node count; per-node downtime is
     /// settled against the makespan at [`ReportBuilder::finish`].
     faults: Option<(FaultPlan, usize)>,
@@ -250,6 +268,9 @@ impl ReportBuilder {
             last_completion: SimTime::ZERO,
             timeline: ThroughputTimeline::new(bucket),
             replays: 0,
+            migrations: 0,
+            state_bytes_moved: 0,
+            stage_shards: Vec::new(),
             faults: None,
         }
     }
@@ -278,6 +299,20 @@ impl ReportBuilder {
     /// threads) and settle it at teardown.
     pub fn set_replays(&mut self, replays: u64) {
         self.replays = replays;
+    }
+
+    /// Settles the state-migration totals — both backends count moves
+    /// centrally in the adaptation loop (from mapping diffs) and hand
+    /// the totals here at teardown.
+    pub fn set_migrations(&mut self, migrations: u64, state_bytes_moved: u64) {
+        self.migrations = migrations;
+        self.state_bytes_moved = state_bytes_moved;
+    }
+
+    /// Declares the per-stage shard counts (0 for stages without keyed
+    /// state) so the report can relate migration totals to shard maps.
+    pub fn set_stage_shards(&mut self, stage_shards: Vec<usize>) {
+        self.stage_shards = stage_shards;
     }
 
     /// Records one item reaching the sink at `at` after `latency`.
@@ -392,6 +427,9 @@ impl ReportBuilder {
             truncated,
             replays: self.replays,
             node_downtime,
+            migrations: self.migrations,
+            state_bytes_moved: self.state_bytes_moved,
+            stage_shards: self.stage_shards,
         }
     }
 }
@@ -416,6 +454,9 @@ mod tests {
             truncated: false,
             replays: 0,
             node_downtime: Vec::new(),
+            migrations: 0,
+            state_bytes_moved: 0,
+            stage_shards: Vec::new(),
         }
     }
 
@@ -498,6 +539,28 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"replays\":2"), "missing replays in {json}");
         assert!(json.contains("\"node_downtime_secs\":[0,20]"), "{json}");
+    }
+
+    #[test]
+    fn migration_totals_flow_into_the_report_and_json() {
+        let mut b = ReportBuilder::new(SimDuration::from_secs(1), 1);
+        b.record_completion(SimTime::from_secs_f64(1.0), SimDuration::from_secs(1));
+        b.set_migrations(3, 1024);
+        b.set_stage_shards(vec![4, 0]);
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![SimDuration::ZERO],
+            StageMetrics::new(1),
+        );
+        assert_eq!(r.migrations, 3);
+        assert_eq!(r.state_bytes_moved, 1024);
+        assert_eq!(r.stage_shards, vec![4, 0]);
+        let json = r.to_json();
+        assert!(json.contains("\"migrations\":3"), "{json}");
+        assert!(json.contains("\"state_bytes_moved\":1024"), "{json}");
+        assert!(json.contains("\"stage_shards\":[4,0]"), "{json}");
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 use adapipe_gridsim::node::NodeId;
 use adapipe_mapper::mapping::Mapping;
+use adapipe_state::{owner_of, shard_of};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -65,6 +66,11 @@ pub struct RoutingSnapshot {
     /// every snapshot of the same table (fault transitions must reach
     /// readers of *older* snapshots without waiting for a republish).
     down: Arc<Vec<AtomicBool>>,
+    /// Per-stage shard counts for keyed state (`0` = unkeyed). Fixed
+    /// for the run (declared at build time), carried across installs,
+    /// and consulted lock-free by [`RoutingSnapshot::route_keyed`] on
+    /// the hot path.
+    shards: Arc<Vec<usize>>,
     /// Generation counter: starts at 0, +1 per install.
     epoch: u64,
 }
@@ -183,6 +189,37 @@ impl RoutingSnapshot {
         }
     }
 
+    /// The declared shard count of `stage` (`0` for unkeyed stages).
+    pub fn shard_count(&self, stage: usize) -> usize {
+        self.shards.get(stage).copied().unwrap_or(0)
+    }
+
+    /// The host owning `shard` of `stage` under this snapshot's
+    /// placement: position `shard % width` in the (sorted) host list.
+    /// Deterministic in the placement alone — every reader of the same
+    /// snapshot agrees, with no cursor and no lock.
+    pub fn shard_owner(&self, stage: usize, shard: usize) -> NodeId {
+        let hosts = self.mapping.placement(stage).hosts();
+        hosts[owner_of(shard, hosts.len())]
+    }
+
+    /// Routes an item of a *keyed* stage by its key hash: the key's
+    /// shard is fixed for the run, and the shard's owner follows the
+    /// current placement. Down flags are deliberately **ignored** —
+    /// a key must never detour to a replica that does not own its
+    /// state, so items for a dead owner park at its host until a
+    /// re-map hands the shard to a live node. Stages with no declared
+    /// shard count route by hash over the current width (deterministic,
+    /// but keys are not pinned across re-maps).
+    pub fn route_keyed(&self, stage: usize, hash: u64) -> NodeId {
+        let width = self.mapping.placement(stage).hosts().len();
+        let shards = match self.shard_count(stage) {
+            0 => width,
+            n => n,
+        };
+        self.shard_owner(stage, shard_of(hash, shards))
+    }
+
     /// Picks the currently least-loaded replica of `stage`.
     ///
     /// Tie-breaking is deterministic: among replicas reporting the
@@ -259,16 +296,44 @@ impl RoutingTable {
         down: Arc<Vec<AtomicBool>>,
     ) -> Self {
         let rr = (0..mapping.len()).map(|_| AtomicUsize::new(0)).collect();
+        let shards = Arc::new(vec![0; mapping.len()]);
         RoutingTable {
             snap: Arc::new(RoutingSnapshot {
                 mapping,
                 rr,
                 selection,
                 down,
+                shards,
                 epoch: 0,
             }),
             epoch_cell: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Declares the per-stage shard counts for keyed routing (`0` for
+    /// unkeyed stages). Called once before the run starts — the counts
+    /// are fixed at build time and republished unchanged by every
+    /// [`RoutingTable::install`].
+    ///
+    /// # Panics
+    /// Panics if `shards` does not cover every stage.
+    pub fn with_stage_shards(mut self, shards: Vec<usize>) -> Self {
+        assert_eq!(shards.len(), self.snap.len(), "shards must cover stages");
+        let snap = &self.snap;
+        let rr = snap
+            .rr
+            .iter()
+            .map(|c| AtomicUsize::new(c.load(Ordering::Relaxed)))
+            .collect();
+        self.snap = Arc::new(RoutingSnapshot {
+            mapping: snap.mapping.clone(),
+            rr,
+            selection: snap.selection,
+            down: Arc::clone(&snap.down),
+            shards: Arc::new(shards),
+            epoch: snap.epoch,
+        });
+        self
     }
 
     /// The current snapshot: clone the `Arc` once and route lock-free
@@ -365,6 +430,23 @@ impl RoutingTable {
         self.snap.route_least_loaded(stage, load)
     }
 
+    /// The declared shard count of `stage` (`0` for unkeyed stages).
+    pub fn shard_count(&self, stage: usize) -> usize {
+        self.snap.shard_count(stage)
+    }
+
+    /// The host owning `shard` of `stage` under the current mapping
+    /// (see [`RoutingSnapshot::shard_owner`]).
+    pub fn shard_owner(&self, stage: usize, shard: usize) -> NodeId {
+        self.snap.shard_owner(stage, shard)
+    }
+
+    /// Routes an item of a keyed stage by its key hash (see
+    /// [`RoutingSnapshot::route_keyed`]).
+    pub fn route_keyed(&self, stage: usize, hash: u64) -> NodeId {
+        self.snap.route_keyed(stage, hash)
+    }
+
     /// Publishes a new snapshot routing by `new` (epoch + 1), returning
     /// the stages whose placement changed. Selection cursors of moved
     /// stages restart at zero so post-remap routing is deterministic;
@@ -391,6 +473,7 @@ impl RoutingTable {
             rr,
             selection: self.snap.selection,
             down: Arc::clone(&self.snap.down),
+            shards: Arc::clone(&self.snap.shards),
             epoch,
         });
         self.epoch_cell.store(epoch, Ordering::Release);
@@ -570,6 +653,52 @@ mod tests {
         assert_eq!(picks, vec![n(1); 4]);
         b.mark_up(n(0));
         assert!(!a.is_down(n(0)), "recovery through B reaches A");
+    }
+
+    #[test]
+    fn keyed_routing_pins_keys_to_shard_owners() {
+        let rt = RoutingTable::new(Mapping::new(vec![
+            Placement::replicated(vec![n(0), n(1)]),
+            Placement::single(n(2)),
+        ]))
+        .with_stage_shards(vec![4, 0]);
+        assert_eq!(rt.shard_count(0), 4);
+        // Shards deal over the hosts by index: 0→n0, 1→n1, 2→n0, 3→n1.
+        assert_eq!(rt.shard_owner(0, 0), n(0));
+        assert_eq!(rt.shard_owner(0, 3), n(1));
+        // A key's route is a pure function of (hash, placement): hash 6
+        // → shard 2 → owner n0, every single time.
+        for _ in 0..4 {
+            assert_eq!(rt.route_keyed(0, 6), n(0));
+            assert_eq!(rt.route_keyed(0, 7), n(1));
+        }
+        // Down flags do NOT detour keyed items — the owner holds the
+        // key's state, so items park there until a re-map moves it.
+        rt.mark_down(n(0));
+        assert_eq!(rt.route_keyed(0, 6), n(0));
+    }
+
+    #[test]
+    fn shard_counts_survive_install() {
+        let mut rt = RoutingTable::new(Mapping::new(vec![Placement::single(n(0))]))
+            .with_stage_shards(vec![4]);
+        // Widening 1 → 2 re-deals the shards: only shards whose owner
+        // index changed (the odd ones) land on the new host.
+        let moved = rt.install(Mapping::new(vec![Placement::replicated(vec![n(0), n(1)])]));
+        assert_eq!(moved, vec![0]);
+        assert_eq!(rt.shard_count(0), 4, "shard map carried across installs");
+        assert_eq!(rt.shard_owner(0, 0), n(0));
+        assert_eq!(rt.shard_owner(0, 1), n(1));
+        assert_eq!(rt.shard_owner(0, 2), n(0));
+        assert_eq!(rt.shard_owner(0, 3), n(1));
+    }
+
+    #[test]
+    fn unkeyed_stages_route_by_hash_over_width() {
+        let rt = replicated_two();
+        assert_eq!(rt.route_keyed(0, 2), n(0));
+        assert_eq!(rt.route_keyed(0, 3), n(1));
+        assert_eq!(rt.route_keyed(1, 999), n(2));
     }
 
     #[test]

@@ -83,8 +83,10 @@ pub enum BuildError {
         /// The offending stage.
         stage: String,
     },
-    /// A farm was built around a stateful worker — a farm exists to be
-    /// replicated, which state forbids.
+    /// A farm was built around a worker with *opaque* (undeclared) or
+    /// *exclusive* state — a farm exists to be replicated, which such
+    /// state forbids. Declared keyed or accumulator state builds: the
+    /// farm then runs shard-per-worker (or merges partials).
     StatefulFarm {
         /// The offending stage.
         stage: String,
@@ -373,12 +375,14 @@ pub enum RunError {
         /// Name of the stage that rejected the item.
         stage: String,
     },
-    /// A *stateful* stage was pinned to a node that went down
-    /// permanently (a crash; a finite outage parks the stage's items
-    /// and recovers instead). Stateful stages cannot be replicated, so
-    /// their state dies with the node and at-least-once replay is
-    /// impossible; the run fails instead of silently re-running the
-    /// stage from forked or lost state.
+    /// A stage with *opaque* (undeclared) state was pinned to a node
+    /// that went down permanently (a crash; a finite outage parks the
+    /// stage's items and recovers instead). Opaque state cannot be
+    /// snapshotted, so it dies with the node and at-least-once replay
+    /// is impossible; the run fails instead of silently re-running the
+    /// stage from forked or lost state. Stages that *declare* their
+    /// state (keyed, accumulator, exclusive) never raise this: their
+    /// snapshots live-migrate to a surviving host instead.
     StatefulStageLost {
         /// Index of the stateful stage.
         stage: usize,
@@ -838,8 +842,9 @@ pub fn validate_policy_arrivals(
 
 /// Validates a supplied launch mapping against the declared stage
 /// properties and the backend's node set: arity must match, no stage
-/// may be mapped wider than its legal replica bound (stateful = 1,
-/// stateless = declared cap), and every host must exist. The backends
+/// may be mapped wider than its legal replica bound (non-replicable —
+/// exclusive or opaque state — = 1, replicable = declared cap, which
+/// for keyed stages is the shard count), and every host must exist. The backends
 /// assert the same invariants — this turns the panic into a typed
 /// [`BuildError::InvalidMapping`] at the unified surface.
 pub fn validate_mapping(
@@ -911,9 +916,11 @@ pub fn validate_stage_names<S: AsRef<str>>(names: &[S]) -> Result<(), BuildError
 }
 
 /// Validates one stage's declared replica bound against its
-/// statefulness. `usize::MAX` is the *unset* default ("planner
-/// decides") and is always legal; an explicit bound above one on a
-/// stateful stage declares replication the runtime must refuse.
+/// replicability (`stateless` here means "may run more than one live
+/// instance" — declared keyed and accumulator state qualifies).
+/// `usize::MAX` is the *unset* default ("planner decides") and is
+/// always legal; an explicit bound above one on a non-replicable
+/// stage declares replication the runtime must refuse.
 pub fn validate_replicas(stage: &str, stateless: bool, bound: usize) -> Result<(), BuildError> {
     if bound == 0 {
         return Err(BuildError::ZeroReplicas {

@@ -1,0 +1,127 @@
+//! The declared state-access pattern of a pipeline stage.
+
+/// How a stage's mutable state may be accessed — declared at build time,
+/// consumed by the planner (replica caps), the router (shard maps), and
+/// the execution backends (migration mechanics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StateAccess {
+    /// No mutable state at all: replicate and steal freely.
+    #[default]
+    Stateless,
+    /// State partitions by a key hash into `shards` independent slices.
+    /// Items carrying the same key always meet the same slice, so the
+    /// stage replicates up to `shards` ways — each replica owns the
+    /// shard set `{ s : owner_of(s, width) == replica }` — and a shard
+    /// migrates whole when its owner changes.
+    Keyed {
+        /// Number of independent state slices (fixed for the run).
+        shards: usize,
+    },
+    /// One logical value with a commutative merge: every replica keeps a
+    /// partial, and a replica leaving a node snapshots its partial for
+    /// any survivor to absorb (`Welford::merge` is the in-repo model).
+    Accumulator,
+    /// Serializable but indivisible: exactly one live instance, which
+    /// can nevertheless quiesce, snapshot, and resume elsewhere.
+    Exclusive,
+    /// Undeclared closure state (the legacy `stateful_stage` path): the
+    /// runtime can neither copy nor serialize it. Pins to one node;
+    /// permanent node loss is a typed abort.
+    Opaque,
+}
+
+impl StateAccess {
+    /// True for stages with no mutable state.
+    pub fn is_stateless(self) -> bool {
+        matches!(self, StateAccess::Stateless)
+    }
+
+    /// Can the planner run more than one live instance? Keyed stages
+    /// split by shard, accumulators keep mergeable partials; exclusive
+    /// and opaque state is single-instance by definition.
+    pub fn replicable(self) -> bool {
+        matches!(
+            self,
+            StateAccess::Stateless | StateAccess::Keyed { .. } | StateAccess::Accumulator
+        )
+    }
+
+    /// Can the state leave a dying node? Everything declared can; only
+    /// opaque closure state is unrecoverable.
+    pub fn migratable(self) -> bool {
+        !matches!(self, StateAccess::Opaque)
+    }
+
+    /// Shard count: the keyed slice count, `0` for every other pattern.
+    pub fn shards(self) -> usize {
+        match self {
+            StateAccess::Keyed { shards } => shards,
+            _ => 0,
+        }
+    }
+
+    /// The replica bound this pattern supports, folded into the stage's
+    /// own `max_replicas` preference. A keyed stage cannot usefully run
+    /// wider than its shard count; single-instance patterns clamp to 1.
+    pub fn effective_cap(self, max_replicas: usize) -> usize {
+        match self {
+            StateAccess::Stateless | StateAccess::Accumulator => max_replicas.max(1),
+            StateAccess::Keyed { shards } => max_replicas.max(1).min(shards.max(1)),
+            StateAccess::Exclusive | StateAccess::Opaque => 1,
+        }
+    }
+
+    /// Short label for reports and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            StateAccess::Stateless => "stateless",
+            StateAccess::Keyed { .. } => "keyed",
+            StateAccess::Accumulator => "accumulator",
+            StateAccess::Exclusive => "exclusive",
+            StateAccess::Opaque => "opaque",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicability_follows_the_taxonomy() {
+        assert!(StateAccess::Stateless.replicable());
+        assert!(StateAccess::Keyed { shards: 4 }.replicable());
+        assert!(StateAccess::Accumulator.replicable());
+        assert!(!StateAccess::Exclusive.replicable());
+        assert!(!StateAccess::Opaque.replicable());
+    }
+
+    #[test]
+    fn only_opaque_state_is_unmigratable() {
+        assert!(StateAccess::Stateless.migratable());
+        assert!(StateAccess::Keyed { shards: 2 }.migratable());
+        assert!(StateAccess::Accumulator.migratable());
+        assert!(StateAccess::Exclusive.migratable());
+        assert!(!StateAccess::Opaque.migratable());
+    }
+
+    #[test]
+    fn effective_cap_clamps_by_pattern() {
+        assert_eq!(StateAccess::Stateless.effective_cap(usize::MAX), usize::MAX);
+        assert_eq!(
+            StateAccess::Keyed { shards: 4 }.effective_cap(usize::MAX),
+            4
+        );
+        assert_eq!(StateAccess::Keyed { shards: 8 }.effective_cap(3), 3);
+        assert_eq!(StateAccess::Accumulator.effective_cap(6), 6);
+        assert_eq!(StateAccess::Exclusive.effective_cap(usize::MAX), 1);
+        assert_eq!(StateAccess::Opaque.effective_cap(5), 1);
+    }
+
+    #[test]
+    fn shard_count_is_zero_unless_keyed() {
+        assert_eq!(StateAccess::Keyed { shards: 7 }.shards(), 7);
+        assert_eq!(StateAccess::Accumulator.shards(), 0);
+        assert_eq!(StateAccess::Stateless.shards(), 0);
+    }
+}

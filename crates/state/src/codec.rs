@@ -1,0 +1,262 @@
+//! Dependency-free, deterministic state encoding.
+//!
+//! Stage state must cross a byte boundary to migrate, and the repo is
+//! deliberately free of external crates, so this module is the codec:
+//! fixed-width little-endian scalars, length-prefixed sequences, and
+//! key-sorted maps. Determinism is a requirement, not a nicety — the
+//! cross-backend parity tests compare snapshots produced on different
+//! hosts, so the same logical state must always encode to the same
+//! bytes (which is why map entries are sorted, never iteration-ordered).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Byte encoding for migratable stage state.
+///
+/// `decode` consumes from `pos` and returns `None` on malformed input
+/// (truncation, bad tags) rather than panicking: a corrupt snapshot
+/// must surface as a failed restore, not a poisoned worker.
+pub trait StateCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes one value starting at `pos`, advancing it past the bytes
+    /// consumed.
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes a buffer produced by [`StateCodec::to_bytes`], rejecting
+    /// trailing garbage.
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0;
+        let value = Self::decode(bytes, &mut pos)?;
+        (pos == bytes.len()).then_some(value)
+    }
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Option<&'a [u8]> {
+    let end = pos.checked_add(n)?;
+    let slice = bytes.get(*pos..end)?;
+    *pos = end;
+    Some(slice)
+}
+
+macro_rules! fixed_int {
+    ($($t:ty),*) => {$(
+        impl StateCodec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+                let raw = take(bytes, pos, std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(raw.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+fixed_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl StateCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        usize::try_from(u64::decode(bytes, pos)?).ok()
+    }
+}
+
+impl StateCodec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(f64::from_le_bytes(take(bytes, pos, 8)?.try_into().ok()?))
+    }
+}
+
+impl StateCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        match take(bytes, pos, 1)?[0] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl StateCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = usize::decode(bytes, pos)?;
+        String::from_utf8(take(bytes, pos, len)?.to_vec()).ok()
+    }
+}
+
+impl<T: StateCodec> StateCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = usize::decode(bytes, pos)?;
+        // Guard against a hostile length prefix before allocating.
+        if len > bytes.len().saturating_sub(*pos) {
+            return None;
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(bytes, pos)?);
+        }
+        Some(items)
+    }
+}
+
+impl<T: StateCodec> StateCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(value) => {
+                out.push(1);
+                value.encode(out);
+            }
+        }
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        match take(bytes, pos, 1)?[0] {
+            0 => Some(None),
+            1 => Some(Some(T::decode(bytes, pos)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<K, V> StateCodec for HashMap<K, V>
+where
+    K: StateCodec + Eq + Hash + Ord + Clone,
+    V: StateCodec,
+{
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Sorted by key: the same logical map always encodes to the
+        // same bytes regardless of hasher seed or insertion order.
+        let mut keys: Vec<&K> = self.keys().collect();
+        keys.sort();
+        self.len().encode(out);
+        for key in keys {
+            key.encode(out);
+            self[key].encode(out);
+        }
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        let len = usize::decode(bytes, pos)?;
+        if len > bytes.len().saturating_sub(*pos) {
+            return None;
+        }
+        let mut map = HashMap::with_capacity(len);
+        for _ in 0..len {
+            let key = K::decode(bytes, pos)?;
+            let value = V::decode(bytes, pos)?;
+            map.insert(key, value);
+        }
+        Some(map)
+    }
+}
+
+impl<A: StateCodec, B: StateCodec> StateCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((A::decode(bytes, pos)?, B::decode(bytes, pos)?))
+    }
+}
+
+impl<A: StateCodec, B: StateCodec, C: StateCodec> StateCodec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(bytes: &[u8], pos: &mut usize) -> Option<Self> {
+        Some((
+            A::decode(bytes, pos)?,
+            B::decode(bytes, pos)?,
+            C::decode(bytes, pos)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: StateCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes), Some(value));
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u64);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(3.25f64);
+        round_trip(true);
+        round_trip(usize::MAX);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(String::from("session-äß"));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Some((7u64, String::from("x"))));
+        round_trip(Option::<u64>::None);
+        let mut map = HashMap::new();
+        map.insert(9u64, (3u64, 1.5f64));
+        map.insert(2u64, (1u64, -0.5f64));
+        round_trip(map);
+    }
+
+    #[test]
+    fn map_encoding_is_deterministic() {
+        let mut a = HashMap::new();
+        let mut b = HashMap::new();
+        for k in 0..64u64 {
+            a.insert(k, k * 3);
+        }
+        for k in (0..64u64).rev() {
+            b.insert(k, k * 3);
+        }
+        assert_eq!(a.to_bytes(), b.to_bytes());
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let bytes = vec![5u64, 6].to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(&bytes[..bytes.len() - 1]), None);
+        // A hostile length prefix must not allocate or panic.
+        let huge = u64::MAX.to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(&huge), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), None);
+    }
+}

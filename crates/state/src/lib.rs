@@ -1,0 +1,38 @@
+//! State as a plannable, movable resource.
+//!
+//! The adaptive pipeline pattern treats stage placement as a decision the
+//! runtime revisits while the stream runs. That story breaks down the
+//! moment a stage closes over mutable state: an undeclared closure is a
+//! black box the runtime can neither copy nor move, so the stage pins to
+//! one node, cannot replicate, and a permanent node loss is a typed
+//! abort. This crate implements the state-access taxonomy of Danelutto
+//! and Torquati (*State access patterns in embarrassingly parallel
+//! computations*): stages **declare** how their state is accessed, and
+//! the declaration is what turns state from an obstacle into a resource
+//! the planner can shard, replicate, and migrate.
+//!
+//! Three declared patterns, one legacy escape hatch:
+//!
+//! | Pattern | Replicable | Migratable | Mechanism |
+//! |---|---|---|---|
+//! | [`StateAccess::Keyed`] | yes (≤ shards) | yes | items hash to shards; each replica owns a shard set |
+//! | [`StateAccess::Accumulator`] | yes | yes | per-replica partials, merged on hand-off |
+//! | [`StateAccess::Exclusive`] | no | yes | one serializable instance, moved whole |
+//! | [`StateAccess::Opaque`] | no | no | undeclared closure state (legacy) |
+//!
+//! Movement is mediated by [`StateSnapshot`] — a versioned byte blob
+//! produced by [`StateCodec`]-encodable state — so a stage instance can
+//! leave a node: quiesce, snapshot, ship, restore on the new host.
+//! Shard arithmetic ([`shard_of`], [`owner_of`]) is deliberately tiny
+//! and lives here so the router, the planner, and both execution
+//! backends agree on which replica owns which shard by construction.
+
+mod access;
+mod codec;
+mod shard;
+mod snapshot;
+
+pub use access::StateAccess;
+pub use codec::StateCodec;
+pub use shard::{fnv1a, owner_of, shard_of};
+pub use snapshot::StateSnapshot;

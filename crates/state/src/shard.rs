@@ -1,0 +1,79 @@
+//! Shard arithmetic shared by router, planner, and backends.
+//!
+//! These two functions are the *entire* contract for keyed state
+//! placement. Everything that must agree on which replica owns which
+//! key — the lock-free routing hot path, the planner's migration-cost
+//! model, and both execution backends' hand-off logic — calls the same
+//! two mods, so agreement holds by construction rather than by
+//! coordination.
+
+/// The shard a key hash belongs to. Fixed for the run (the shard count
+/// is declared at build time), so a key's shard never changes — only
+/// the shard's *owner* does, when the stage's replica width changes.
+#[inline]
+pub fn shard_of(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "keyed stage must declare at least one shard");
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// The replica index (position in the stage's host list) that owns
+/// `shard` when the stage runs `width` replicas. Deterministic in the
+/// pair, so a re-map moves exactly the shards whose owner index maps to
+/// a different host — nothing else.
+#[inline]
+pub fn owner_of(shard: usize, width: usize) -> usize {
+    debug_assert!(width > 0, "a placed stage has at least one host");
+    shard % width.max(1)
+}
+
+/// FNV-1a over raw bytes: a tiny, dependency-free default for callers
+/// that key on strings or byte identifiers rather than integers.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_shard_lands_in_range() {
+        for hash in 0..1000u64 {
+            assert!(shard_of(hash, 7) < 7);
+        }
+    }
+
+    #[test]
+    fn ownership_partitions_shards_across_replicas() {
+        // 8 shards over width 3: every replica owns a non-empty set and
+        // the sets partition the shard space.
+        let mut owned = [0usize; 3];
+        for shard in 0..8 {
+            owned[owner_of(shard, 3)] += 1;
+        }
+        assert_eq!(owned.iter().sum::<usize>(), 8);
+        assert!(owned.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn widening_moves_only_reassigned_shards() {
+        // Width 1 → 2: shards whose owner index stays 0 do not move.
+        let moved: Vec<usize> = (0..6)
+            .filter(|&s| owner_of(s, 1) != owner_of(s, 2))
+            .collect();
+        assert_eq!(moved, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn fnv1a_spreads_and_is_stable() {
+        assert_ne!(fnv1a(b"alice"), fnv1a(b"bob"));
+        assert_eq!(fnv1a(b"alice"), fnv1a(b"alice"));
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

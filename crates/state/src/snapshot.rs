@@ -1,0 +1,49 @@
+//! The unit of state movement: a versioned byte blob.
+
+/// A serialized piece of stage state in transit between hosts.
+///
+/// Produced when an instance quiesces (migration, node death, shard
+/// rebalance), consumed by `restore` on the new host or `absorb` by a
+/// surviving accumulator replica. The version is a per-instance
+/// monotonic counter: a restore must never apply an older snapshot over
+/// a newer one, and the counter carries across the hand-off so the
+/// restored instance keeps counting from where the donor stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StateSnapshot {
+    /// Monotonic snapshot counter of the donor instance.
+    pub version: u64,
+    /// Codec-encoded state ([`crate::StateCodec`]).
+    pub bytes: Vec<u8>,
+}
+
+impl StateSnapshot {
+    /// Wraps encoded state bytes under a version counter.
+    pub fn new(version: u64, bytes: Vec<u8>) -> Self {
+        StateSnapshot { version, bytes }
+    }
+
+    /// Size of the encoded state in bytes — what a migration actually
+    /// ships (reported as `state_bytes_moved`).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the encoded state is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_its_payload_size() {
+        let snap = StateSnapshot::new(3, vec![1, 2, 3, 4]);
+        assert_eq!(snap.version, 3);
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+        assert!(StateSnapshot::new(0, Vec::new()).is_empty());
+    }
+}

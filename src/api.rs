@@ -106,7 +106,8 @@ use adapipe_core::pipeline::Pipeline as CorePipeline;
 use adapipe_core::simengine::{SimConfig, SimStepper};
 use adapipe_core::spec::{PipelineSpec, Segment, StageGraph, StageSpec};
 use adapipe_core::stage::{
-    fan_out_fn, BoxedItem, DynStage, FanOutFn, FnStage, MergeStage, SealedStage, StatefulFnStage,
+    fan_out_fn, AccumStage, BoxedItem, DynStage, FanOutFn, FnStage, KeyFn, KeyedStage, MergeStage,
+    SealedStage, SnapStage, StatefulFnStage,
 };
 use adapipe_engine::exec::{self, EngineConfig, EngineSession};
 use adapipe_engine::vnode::VNodeSpec;
@@ -120,6 +121,7 @@ use adapipe_runtime::policy::Policy;
 use adapipe_runtime::report::{AdaptationEvent, RunReport};
 use adapipe_runtime::routing::Selection;
 use adapipe_runtime::session::{self, EventBus, Session, SessionControl};
+use adapipe_state::StateCodec;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -202,6 +204,9 @@ pub struct Pipeline<I, O = I> {
     stages: Vec<Box<dyn DynStage>>,
     /// One fan-out duplicator per parallel block of the spec's graph.
     fanouts: Vec<FanOutFn>,
+    /// Per-stage routing-key extractors (`Some` for keyed stages only):
+    /// the threaded backend routes each item to its key's shard owner.
+    keys: Vec<Option<KeyFn>>,
     session: Session,
     feed: Option<Box<dyn Fn(u64) -> I + Send>>,
     faults: FaultPlan,
@@ -267,8 +272,17 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
             Backend::Threads(vnodes) => vnodes.len(),
         };
         if let Some(mapping) = &cfg.initial_mapping {
-            let stateless: Vec<bool> = self.spec.stages.iter().map(|s| s.stateless).collect();
-            let replica_cap: Vec<usize> = self.spec.stages.iter().map(|s| s.max_replicas).collect();
+            // "Stateless" to the validator means *replicable*: keyed and
+            // accumulator stages legally run many live instances, with
+            // the keyed width capped at the declared shard count.
+            let stateless: Vec<bool> = self
+                .spec
+                .stages
+                .iter()
+                .map(|s| s.state.replicable())
+                .collect();
+            let replica_cap: Vec<usize> =
+                self.spec.stages.iter().map(|s| s.replica_cap()).collect();
             session::validate_mapping(mapping, &stateless, &replica_cap, node_count)?;
         }
         session::validate_faults(&cfg.faults, node_count)?;
@@ -305,7 +319,8 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 let bus = cfg.hooks.events.clone();
                 let items = cfg.items;
                 let engine_cfg = engine_config(&self.session, vnodes, cfg);
-                let core = CorePipeline::from_graph_parts(self.spec, self.stages, self.fanouts);
+                let core =
+                    CorePipeline::from_keyed_parts(self.spec, self.stages, self.fanouts, self.keys);
                 Ok(RunSession {
                     inner: SessionInner::Threads(Box::new(exec::spawn(core, &engine_cfg, items))),
                     control,
@@ -436,7 +451,8 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 // drain, so the batch wall-clock pacing logic lives in
                 // exactly one place (the engine crate).
                 let engine_cfg = engine_config(&self.session, vnodes, cfg);
-                let core = CorePipeline::from_graph_parts(self.spec, self.stages, self.fanouts);
+                let core =
+                    CorePipeline::from_keyed_parts(self.spec, self.stages, self.fanouts, self.keys);
                 let outcome = exec::execute_fed(core, items, feed, &engine_cfg);
                 Ok(RunHandle {
                     outputs: outcome.outputs,
@@ -1261,10 +1277,11 @@ impl<'g> Cluster<'g> {
                 let items = cfg.run.items;
                 let control = cfg.run.control.clone();
                 let engine_cfg = engine_config(&pipeline.session, vnodes, cfg.run);
-                let core = CorePipeline::from_graph_parts(
+                let core = CorePipeline::from_keyed_parts(
                     pipeline.spec,
                     pipeline.stages,
                     pipeline.fanouts,
+                    pipeline.keys,
                 );
                 let engine = exec::attach(tc.pool(), core, &engine_cfg, items, false);
                 tc.register(engine.tenant_handle(), cfg.quota);
@@ -1383,6 +1400,9 @@ impl<'g> Cluster<'g> {
 pub struct PipelineBuilder<In, Cur = In> {
     specs: Vec<StageSpec>,
     stages: Vec<Box<dyn DynStage>>,
+    /// Per-stage routing-key extractors, in lockstep with `stages`
+    /// (`Some` for keyed stages only).
+    keys: Vec<Option<KeyFn>>,
     /// The declared series-parallel shape over `specs` (flattened
     /// order); compiled into a [`StageGraph`] at `build()`.
     shape: Vec<ShapeSeg>,
@@ -1432,6 +1452,7 @@ impl<In: Send + 'static> PipelineBuilder<In, In> {
         PipelineBuilder {
             specs: Vec::new(),
             stages: Vec::new(),
+            keys: Vec::new(),
             shape: Vec::new(),
             fanouts: Vec::new(),
             graph_error: None,
@@ -1483,6 +1504,7 @@ impl PipelineBuilder<u64, u64> {
         let fanouts = (0..graph.blocks())
             .map(|b| fan_out_fn::<u64>(graph.branch_count(b)))
             .collect();
+        let keys = vec![None; stages.len()];
         PipelineBuilder {
             input_bytes: spec.input_bytes,
             source: spec.source,
@@ -1492,6 +1514,7 @@ impl PipelineBuilder<u64, u64> {
             graph_error: None,
             specs: spec.stages,
             stages,
+            keys,
             policy: Policy::Static,
             arrivals: ArrivalProcess::AllAtOnce,
             baseline: false,
@@ -1507,7 +1530,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
     /// or signal workloads), keeping its stages and cost metadata; the
     /// unified policy/arrivals/feed declarations still apply.
     pub fn from_pipeline(pipeline: CorePipeline<In, Cur>) -> Self {
-        let (spec, stages, fanouts) = pipeline.into_graph_parts();
+        let (spec, stages, fanouts, keys) = pipeline.into_keyed_parts();
         PipelineBuilder {
             input_bytes: spec.input_bytes,
             source: spec.source,
@@ -1517,6 +1540,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             graph_error: None,
             specs: spec.stages,
             stages,
+            keys,
             policy: Policy::Static,
             arrivals: ArrivalProcess::AllAtOnce,
             baseline: false,
@@ -1627,14 +1651,21 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
             Box::new(StatefulFnStage::new(spec.name.clone(), f))
         };
         self.stages.push(stage);
+        self.keys.push(None);
         self.specs.push(spec);
         self.note_series_stage();
         self.retype()
     }
 
-    /// Appends a stateful stage: it will never be replicated, and
-    /// migrating it costs `spec.state_bytes` of transfer. The closure
-    /// needs no `Clone` bound.
+    /// Appends a stateful stage with *opaque* (undeclared) closure
+    /// state: it will never be replicated, migrating it costs
+    /// `spec.state_bytes` of transfer, and losing its node permanently
+    /// fails the run with `RunError::StatefulStageLost` — the runtime
+    /// cannot move state it cannot serialize. Prefer the declared
+    /// patterns ([`PipelineBuilder::keyed_stage`],
+    /// [`PipelineBuilder::accumulator_stage`],
+    /// [`PipelineBuilder::exclusive_stage`]), which replicate and/or
+    /// live-migrate instead. The closure needs no `Clone` bound.
     pub fn stateful_stage<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
     where
         Out: Send + 'static,
@@ -1647,6 +1678,193 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         };
         self.stages
             .push(Box::new(StatefulFnStage::new(spec.name.clone(), f)));
+        self.keys.push(None);
+        self.specs.push(spec);
+        self.note_series_stage();
+        self.retype()
+    }
+
+    /// Appends a stage with *keyed* state: items hash to one of
+    /// `shards` independent state slices via `key`, each first-seen key
+    /// is seeded from `init`, and `f` folds the item into its key's
+    /// state. The planner may replicate the stage up to `shards` ways
+    /// (each replica owns a shard subset), and a shard whose owner dies
+    /// is quiesced, snapshotted, and resumed on a live node — the run
+    /// survives.
+    ///
+    /// ```
+    /// use adapipe::prelude::*;
+    ///
+    /// let pipeline = Pipeline::<u64>::builder()
+    ///     .keyed_stage("count", 4, |x: &u64| x % 7, || 0u64, |seen, x: u64| {
+    ///         *seen += 1;
+    ///         (x, *seen)
+    ///     })
+    ///     .build()
+    ///     .expect("valid keyed pipeline");
+    /// assert_eq!(pipeline.len(), 1);
+    /// ```
+    pub fn keyed_stage<Out, S, K, F>(
+        self,
+        name: impl Into<String>,
+        shards: usize,
+        key: K,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        K: Fn(&Cur) -> u64 + Send + Sync + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+    {
+        self.keyed_stage_with(
+            StageSpec::balanced(name, 1.0, 0).with_keyed_state(shards, 0),
+            key,
+            init,
+            f,
+        )
+    }
+
+    /// [`PipelineBuilder::keyed_stage`] with explicit cost metadata;
+    /// `spec` must declare keyed state ([`StageSpec::with_keyed_state`]).
+    ///
+    /// # Panics
+    /// Panics if `spec` does not declare keyed state — the shard count
+    /// is part of the declaration, not something the builder can guess.
+    pub fn keyed_stage_with<Out, S, K, F>(
+        mut self,
+        spec: StageSpec,
+        key: K,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        K: Fn(&Cur) -> u64 + Send + Sync + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+    {
+        assert!(
+            spec.state.shards() > 0,
+            "keyed_stage requires a spec with declared keyed state"
+        );
+        let stage = KeyedStage::<Cur, Out, S, K, F>::new(spec.name.clone(), key, init, f);
+        self.keys.push(Some(stage.routing_key()));
+        self.stages.push(Box::new(stage));
+        self.specs.push(spec);
+        self.note_series_stage();
+        self.retype()
+    }
+
+    /// Appends a stage with *accumulator* state: one logical value with
+    /// a commutative `merge`. Replicas keep partials seeded from
+    /// `init`; a replica vacating a host (re-map or node death) hands
+    /// its partial to a survivor through `merge`, so the run survives
+    /// and no contribution is lost.
+    pub fn accumulator_stage<Out, S, F, M>(
+        self,
+        name: impl Into<String>,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+        merge: M,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+        M: Fn(&mut S, S) + Send + Sync + 'static,
+    {
+        self.accumulator_stage_with(
+            StageSpec::balanced(name, 1.0, 0).with_accumulator_state(0),
+            init,
+            f,
+            merge,
+        )
+    }
+
+    /// [`PipelineBuilder::accumulator_stage`] with explicit cost
+    /// metadata (the accumulator declaration is applied if missing).
+    pub fn accumulator_stage_with<Out, S, F, M>(
+        mut self,
+        spec: StageSpec,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+        merge: M,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+        M: Fn(&mut S, S) + Send + Sync + 'static,
+    {
+        let spec = if spec.state == adapipe_state::StateAccess::Accumulator {
+            spec
+        } else {
+            let bytes = spec.state_bytes;
+            spec.with_accumulator_state(bytes)
+        };
+        self.stages
+            .push(Box::new(AccumStage::<Cur, Out, S, F, M>::new(
+                spec.name.clone(),
+                init,
+                f,
+                merge,
+            )));
+        self.keys.push(None);
+        self.specs.push(spec);
+        self.note_series_stage();
+        self.retype()
+    }
+
+    /// Appends a stage with *exclusive* declared state: serializable
+    /// but indivisible, seeded from `init`. Exactly one live instance
+    /// ever runs, but unlike [`PipelineBuilder::stateful_stage`] the
+    /// state can quiesce, snapshot, and resume on another host — a node
+    /// death migrates it instead of aborting the run.
+    pub fn exclusive_stage<Out, S, F>(
+        self,
+        name: impl Into<String>,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+    {
+        self.exclusive_stage_with(
+            StageSpec::balanced(name, 1.0, 0).with_exclusive_state(0),
+            init,
+            f,
+        )
+    }
+
+    /// [`PipelineBuilder::exclusive_stage`] with explicit cost metadata
+    /// (the exclusive declaration is applied if missing).
+    pub fn exclusive_stage_with<Out, S, F>(
+        mut self,
+        spec: StageSpec,
+        init: impl Fn() -> S + Send + Sync + 'static,
+        f: F,
+    ) -> PipelineBuilder<In, Out>
+    where
+        Out: Send + 'static,
+        S: StateCodec + Send + 'static,
+        F: FnMut(&mut S, Cur) -> Out + Send + Clone + 'static,
+    {
+        let spec = if spec.state == adapipe_state::StateAccess::Exclusive {
+            spec
+        } else {
+            let bytes = spec.state_bytes;
+            spec.with_exclusive_state(bytes)
+        };
+        self.stages.push(Box::new(SnapStage::<Cur, Out, S, F>::new(
+            spec.name.clone(),
+            init,
+            f,
+        )));
+        self.keys.push(None);
         self.specs.push(spec);
         self.note_series_stage();
         self.retype()
@@ -1710,6 +1928,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
                 }
                 self.specs.push(spec);
             }
+            self.keys.extend((0..stages.len()).map(|_| None));
             self.stages.extend(stages);
         }
         self.fanouts.push(fan_out_fn::<Cur>(n));
@@ -1732,6 +1951,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         PipelineBuilder {
             specs: self.specs,
             stages: self.stages,
+            keys: self.keys,
             shape: self.shape,
             fanouts: self.fanouts,
             graph_error: self.graph_error,
@@ -1758,7 +1978,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         let names: Vec<&str> = self.specs.iter().map(|s| s.name.as_str()).collect();
         session::validate_stage_names(&names)?;
         for spec in &self.specs {
-            session::validate_replicas(&spec.name, spec.stateless, spec.max_replicas)?;
+            session::validate_replicas(&spec.name, spec.state.replicable(), spec.max_replicas)?;
         }
         let session = if self.baseline {
             Session::baseline(self.policy, self.arrivals)?
@@ -1779,6 +1999,7 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         Ok(Pipeline {
             spec,
             stages: self.stages,
+            keys: self.keys,
             fanouts: self.fanouts,
             session,
             feed: self.feed,
@@ -1915,6 +2136,7 @@ impl<In: Send + 'static, B: Send + 'static> ParallelBuilder<In, B> {
             ))))
         };
         builder.stages.push(stage);
+        builder.keys.push(None);
         builder.specs.push(spec);
         builder.shape.push(ShapeSeg::Block(self.branch_lens));
         builder.retype()

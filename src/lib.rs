@@ -14,6 +14,7 @@
 //! | [`gridsim`] | deterministic discrete-event grid substrate |
 //! | [`monitor`] | NWS-style measurement + forecasting |
 //! | [`mapper`] | series-parallel stage graphs, throughput model + mapping optimisers |
+//! | [`state`] | state-access taxonomy, shard math, snapshot codec — how stateful stages declare, shard, and move their state |
 //! | [`runtime`] | backend-agnostic adaptive runtime: routing table, adaptation loop, controller, policies, reports, sessions |
 //! | [`core`] | the skeleton: stages, specs, stage graphs, and the simulation backend |
 //! | [`engine`] | threaded backend with synthetic heterogeneity |
@@ -145,6 +146,7 @@ pub use adapipe_gridsim as gridsim;
 pub use adapipe_mapper as mapper;
 pub use adapipe_monitor as monitor;
 pub use adapipe_runtime as runtime;
+pub use adapipe_state as state;
 pub use adapipe_workloads as workloads;
 
 /// One glob import for applications: brings in the preludes of every

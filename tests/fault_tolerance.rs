@@ -360,6 +360,199 @@ fn stateful_stage_survives_finite_outage_on_both_backends() {
     }
 }
 
+/// Number of distinct keys the keyed chaos scenarios spread items over.
+const KEYS: u64 = 7;
+
+/// The keyed chaos scenario: a stateless feeder plus a *declared*
+/// keyed counter (4 shards), launch-mapped so the crash lands on the
+/// counter's host and its shards must live-migrate.
+fn keyed_scenario(plan: FaultPlan) -> Pipeline<u64, (u64, u64)> {
+    Pipeline::<u64>::builder()
+        .stage_with(StageSpec::balanced("a", STAGE_SECS, 8), |x: u64| {
+            spin_for(Duration::from_secs_f64(STAGE_SECS));
+            x
+        })
+        .keyed_stage_with(
+            StageSpec::balanced("count", STAGE_SECS, 8).with_keyed_state(4, 64),
+            |x: &u64| x % KEYS,
+            || 0u64,
+            |seen: &mut u64, x: u64| {
+                spin_for(Duration::from_secs_f64(STAGE_SECS));
+                *seen += 1;
+                (x % KEYS, *seen)
+            },
+        )
+        .policy(Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        })
+        .faults(plan)
+        .feed(|i| i)
+        .build()
+        .expect("keyed scenario builds")
+}
+
+/// Checks a keyed chaos run for exactly-once observable output and
+/// returns the final per-key state (key -> last count observed).
+fn keyed_final_state(tag: &str, outputs: &[(u64, u64)]) -> std::collections::BTreeMap<u64, u64> {
+    assert_eq!(outputs.len() as u64, ITEMS, "{tag}: output count wrong");
+    // Exactly-once per key: for a key with n items, the observed
+    // counts must be exactly {1, 2, …, n} — a duplicate, a lost item,
+    // or forked state (reset to 1 after migration) all break this.
+    let mut per_key: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+    for &(k, c) in outputs {
+        per_key.entry(k).or_default().push(c);
+    }
+    let mut finals = std::collections::BTreeMap::new();
+    for (k, mut counts) in per_key {
+        counts.sort_unstable();
+        let expect: Vec<u64> = (1..=counts.len() as u64).collect();
+        assert_eq!(
+            counts, expect,
+            "{tag}: key {k} counts not exactly-once (lost, duplicated, or forked state)"
+        );
+        finals.insert(k, counts.len() as u64);
+    }
+    finals
+}
+
+/// The tentpole acceptance test: a keyed stateful stage survives
+/// *permanent* node death via live shard migration on both backends —
+/// zero lost items, exactly-once observable output, identical final
+/// per-key state, and `RunReport.migrations > 0` with the moved bytes
+/// accounted.
+#[test]
+fn keyed_state_survives_permanent_crash_on_both_backends() {
+    let grid = grid3();
+    let run = |backend: Backend<'_>| {
+        let mut session = keyed_scenario(crash_plan())
+            .spawn(backend, scenario_cfg())
+            .expect("spawns");
+        for i in 0..ITEMS {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    let sim = run(Backend::Sim(&grid));
+    let threads = run(Backend::Threads(vnodes3()));
+    let mut states = Vec::new();
+    for (tag, handle) in [("sim", &sim), ("threads", &threads)] {
+        assert_eq!(handle.error, None, "{tag}: keyed state must survive");
+        assert_eq!(handle.report.completed, ITEMS, "{tag}: items lost");
+        assert!(!handle.report.truncated, "{tag}");
+        assert!(
+            !handle.report.final_mapping.nodes_used().contains(&n(1)),
+            "{tag}: final mapping still uses the crashed node"
+        );
+        states.push(keyed_final_state(tag, &handle.outputs));
+        // The shards moved, and the report says so.
+        assert!(
+            handle.report.migrations > 0,
+            "{tag}: crash recovery must record migrations"
+        );
+        assert!(
+            handle.report.state_bytes_moved > 0,
+            "{tag}: declared state bytes must be accounted"
+        );
+        assert_eq!(
+            handle.report.stage_shards,
+            vec![0, 4],
+            "{tag}: shard map wrong"
+        );
+        let json = handle.report.to_json();
+        assert!(json.contains("\"migrations\":"), "{tag}: {json}");
+        assert!(json.contains("\"state_bytes_moved\":"), "{tag}: {json}");
+        assert!(json.contains("\"stage_shards\":"), "{tag}: {json}");
+    }
+    // Identical final per-key state across backends.
+    assert_eq!(states[0], states[1], "final keyed state diverges");
+    // Every key was actually exercised.
+    assert_eq!(states[0].len() as u64, KEYS);
+}
+
+/// PR 4 park-and-recover, now with *declared* keyed state: a finite
+/// outage of the keyed stage's host parks its pinned items and
+/// recovers without abort — and without forking any key's counter —
+/// on both backends.
+#[test]
+fn keyed_state_survives_finite_outage_on_both_backends() {
+    let plan = || FaultPlan::new().outage(n(1), secs(0.1), secs(0.3));
+    let grid = grid3();
+    let run = |backend: Backend<'_>| {
+        let mut session = keyed_scenario(plan())
+            .spawn(backend, scenario_cfg())
+            .expect("spawns");
+        for i in 0..ITEMS {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    for (tag, handle) in [
+        ("sim", run(Backend::Sim(&grid))),
+        ("threads", run(Backend::Threads(vnodes3()))),
+    ] {
+        assert_eq!(handle.error, None, "{tag}: outage must be recoverable");
+        assert_eq!(handle.report.completed, ITEMS, "{tag}: items lost");
+        assert!(!handle.report.truncated, "{tag}");
+        keyed_final_state(tag, &handle.outputs);
+    }
+}
+
+/// *Declared* exclusive state is the contrast to the opaque typed-error
+/// case above: the same permanent crash that raises
+/// `StatefulStageLost` for an undeclared closure is survived by an
+/// `exclusive_stage` via quiesce-snapshot-resume, on both backends.
+#[test]
+fn exclusive_state_migrates_where_opaque_state_aborts() {
+    let exclusive_scenario = || {
+        Pipeline::<u64>::builder()
+            .stage_with(StageSpec::balanced("a", STAGE_SECS, 8), |x: u64| {
+                spin_for(Duration::from_secs_f64(STAGE_SECS));
+                x + 1
+            })
+            .exclusive_stage_with(
+                StageSpec::balanced("sum", STAGE_SECS, 8).with_exclusive_state(8),
+                || 0u64,
+                |acc: &mut u64, x: u64| {
+                    spin_for(Duration::from_secs_f64(STAGE_SECS));
+                    *acc += x;
+                    *acc
+                },
+            )
+            .policy(Policy::Periodic {
+                interval: SimDuration::from_millis(100),
+            })
+            .faults(crash_plan())
+            .feed(|i| i)
+            .build()
+            .expect("builds")
+    };
+    let grid = grid3();
+    let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
+        let mut session = pipeline.spawn(backend, scenario_cfg()).expect("spawns");
+        for i in 0..ITEMS {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    for (tag, handle) in [
+        ("sim", run(exclusive_scenario(), Backend::Sim(&grid))),
+        (
+            "threads",
+            run(exclusive_scenario(), Backend::Threads(vnodes3())),
+        ),
+    ] {
+        assert_eq!(handle.error, None, "{tag}: declared state must migrate");
+        assert_eq!(handle.report.completed, ITEMS, "{tag}: items lost");
+        assert!(!handle.report.truncated, "{tag}");
+        // Exactly-once accumulation survived the move: the largest
+        // output is the exact total sum.
+        let max = handle.outputs.iter().max().copied().unwrap();
+        let expect: u64 = (0..ITEMS).map(|x| x + 1).sum();
+        assert_eq!(max, expect, "{tag}: state lost or duplicated in transit");
+        assert!(handle.report.migrations > 0, "{tag}: no migration recorded");
+    }
+}
+
 /// A wrong-typed item on the simulation backend is *non-fatal* (marker
 /// semantics): the error surfaces, but an adaptive policy's ticks must
 /// not exhaust the run and strand the well-typed items in flight.
