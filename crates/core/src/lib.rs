@@ -83,15 +83,15 @@ pub mod prelude {
     pub use crate::farm::{farm, farm_spec};
     pub use crate::metrics::{StageMetrics, StageStats};
     pub use crate::policy::Policy;
-    pub use crate::report::{AdaptationEvent, RunReport};
-    pub use crate::simengine::{ArrivalProcess, SimConfig};
+    pub use crate::report::{AdaptationEvent, DeadLetter, RunReport};
+    pub use crate::simengine::{ArrivalProcess, ItemFate, SimConfig};
     pub use crate::spec::{
-        ConstantWork, PipelineSpec, StageGraph, StageGraphBuilder, StageSpec, UniformWork,
-        WorkModel,
+        ConstantWork, PipelineSpec, ResiliencePolicy, StageGraph, StageGraphBuilder, StageSpec,
+        UniformWork, WorkModel,
     };
     pub use crate::stage::{
-        fan_out_fn, BoxedItem, DynStage, FanOutFn, FnStage, MergeStage, SealedStage,
-        StatefulFnStage,
+        clone_fn, fan_out_fn, BoxedItem, CloneFn, DynStage, FallibleFnStage, FanOutFn, FnStage,
+        MergeStage, SealedStage, StageError, StatefulFnStage,
     };
     pub use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
     pub use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};

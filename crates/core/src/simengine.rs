@@ -43,7 +43,7 @@ use adapipe_runtime::adapt::{AdaptationLoop, RuntimeConfig};
 use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
 use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
-use adapipe_runtime::report::{ReportBuilder, RunReport};
+use adapipe_runtime::report::{DeadLetter, ReportBuilder, RunReport};
 use adapipe_runtime::routing::{RoutingTable, Selection};
 use adapipe_runtime::session::{RunEvent, RunHooks, SessionControl, SessionId};
 use std::borrow::Cow;
@@ -185,6 +185,33 @@ pub fn run(grid: &GridSpec, spec: &PipelineSpec, cfg: &SimConfig) -> RunReport {
     stepper.finish()
 }
 
+/// The resolved resilience outcome of one item, computed by the caller
+/// (the facade runs the real stage closures at push time) and injected
+/// via [`SimStepper::push_at_with_fate`]. The world models items by
+/// metadata only, so it cannot *discover* failures — but given the
+/// fate, it charges their full cost: each failed attempt re-runs the
+/// stage's service time in place, separated by the policy's backoff
+/// schedule, and a poisoned item diverts to the dead-letter channel at
+/// the stage that exhausted its budget instead of reaching the sink.
+#[derive(Clone, Debug, Default)]
+pub struct ItemFate {
+    /// Failed attempts per stage, sparse: `(stage, failed)` with
+    /// `failed ≥ 1`. Stages not listed processed the item cleanly.
+    pub failed: Vec<(usize, u32)>,
+    /// Terminal diversion: the stage that gave up on the item and the
+    /// error carried into the dead-letter record. `None` for items
+    /// that reach the sink (possibly after retries).
+    pub dead: Option<(usize, String)>,
+}
+
+impl ItemFate {
+    /// True when the item processed cleanly everywhere — the common
+    /// case, kept out of the fate map entirely.
+    pub fn is_clean(&self) -> bool {
+        self.failed.is_empty() && self.dead.is_none()
+    }
+}
+
 /// The physically simulated world: event queue, node queues, transfers.
 /// Implements [`ExecutionBackend`] so the shared [`AdaptationLoop`] can
 /// sense it and commit re-mappings into it.
@@ -245,6 +272,10 @@ struct SimWorld<'a> {
     /// branch exit so every branch output of the item converges on one
     /// host.
     merge_dest: HashMap<(usize, u64), usize>,
+    /// Resolved resilience outcomes for items that did *not* process
+    /// cleanly ([`SimStepper::push_at_with_fate`]); entries are removed
+    /// when the item settles. Clean items never enter the map.
+    fates: HashMap<u64, ItemFate>,
     node_busy: Vec<SimDuration>,
     report: ReportBuilder,
     stage_metrics: crate::metrics::StageMetrics,
@@ -408,6 +439,7 @@ impl<'a> SimStepper<'a> {
             block_entries,
             join_arrived: HashMap::new(),
             merge_dest: HashMap::new(),
+            fates: HashMap::new(),
             node_busy: vec![SimDuration::ZERO; np],
             // The stream length is open until `close()`.
             report,
@@ -477,6 +509,31 @@ impl<'a> SimStepper<'a> {
             }
         }
         item
+    }
+
+    /// [`SimStepper::push_at`], annotated with the item's resolved
+    /// resilience outcome. The caller (who ran the real stage closures)
+    /// reports which stages needed retries and whether the item
+    /// ultimately dead-lettered; the world charges the retries' service
+    /// time and backoff on the mapped hosts and diverts a poisoned item
+    /// at the stage that exhausted its budget. A clean fate degenerates
+    /// to a plain push.
+    pub fn push_at_with_fate(&mut self, at: SimTime, fate: ItemFate) -> u64 {
+        let item = self.push_at(at);
+        if !fate.is_clean() {
+            self.world.fates.insert(item, fate);
+        }
+        item
+    }
+
+    /// Items settled so far: completions plus dead-lettered items.
+    pub fn accounted(&self) -> u64 {
+        self.world.report.accounted()
+    }
+
+    /// Items diverted to the dead-letter channel so far.
+    pub fn dead_letters(&self) -> u64 {
+        self.world.report.dead_letters()
     }
 
     /// Moves the coalesced arrival run (if any) into the event queue.
@@ -624,15 +681,18 @@ impl<'a> SimStepper<'a> {
         self.world.completed_log.pop_front()
     }
 
-    /// Advances the world until one more item completes, returning its
-    /// sequence number — or `None` when nothing further can complete
-    /// (no item in flight, queue starved, or horizon crossed).
+    /// Advances the world until one more item settles — completing at
+    /// the sink or diverting to the dead-letter channel — returning its
+    /// sequence number, or `None` when nothing further can settle (no
+    /// item in flight, queue starved, or horizon crossed). Whether a
+    /// drained sequence number carries an output is the caller's to
+    /// know (the facade checks its output map).
     pub fn next_completion(&mut self) -> Option<u64> {
         loop {
             if let Some(item) = self.world.completed_log.pop_front() {
                 return Some(item);
             }
-            if self.completed() >= self.pushed {
+            if self.accounted() >= self.pushed {
                 return None; // nothing in flight: stepping cannot help
             }
             if !self.step() {
@@ -786,6 +846,63 @@ impl SimWorld<'_> {
         self.node_busy[node] = self.node_busy[node].saturating_add(now - started);
         self.stage_metrics
             .record(stage, now - started, self.spec.draw_work(stage, item));
+        // Resilience accounting for the hop: retries consumed, timeout
+        // checks, the opt-in per-hop trace — and, terminally, the
+        // dead-letter diversion for an item that exhausted this stage's
+        // budget (it settles here and never reaches the sink).
+        let failed = self.failed_attempts(stage, item).unwrap_or(0);
+        let policy = &self.spec.stages[stage].resilience;
+        if failed > 0 {
+            self.report.record_retries(u64::from(failed));
+        }
+        if let Some(bound) = policy.timeout {
+            // All attempts of a hop share one simulated duration: the
+            // service span net of backoff, split evenly across them.
+            let mut span = (now - started).as_secs_f64();
+            for retry in 1..=failed {
+                span -= policy.backoff_delay(retry).as_secs_f64();
+            }
+            if span / f64::from(failed + 1) > bound.as_secs_f64() {
+                self.report.record_timeouts(u64::from(failed + 1));
+            }
+        }
+        if policy.trace {
+            self.hooks.events.emit(RunEvent::ItemTrace {
+                session: self.session,
+                seq: item,
+                stage,
+                attempts: failed + 1,
+                at: now,
+            });
+        }
+        let diverted = self
+            .fates
+            .get(&item)
+            .and_then(|f| f.dead.as_ref())
+            .is_some_and(|&(s, _)| s == stage);
+        if diverted {
+            let fate = self.fates.remove(&item).expect("diverted item has a fate");
+            let (_, reason) = fate.dead.expect("diverted fate carries a reason");
+            self.arrival_time.remove(&item);
+            self.report.record_dead_letter(DeadLetter {
+                seq: item,
+                stage,
+                attempts: failed + 1,
+                reason,
+            });
+            self.hooks.events.emit(RunEvent::ItemDeadLettered {
+                session: self.session,
+                seq: item,
+                stage,
+                attempts: failed + 1,
+            });
+            // A diverted item is settled: the session drains it through
+            // the completion log (with no output to deliver) so ordered
+            // delivery and `all_done` stay coherent.
+            self.completed_log.push_back(item);
+            self.try_dispatch(routing, node, now);
+            return;
+        }
         // Route onward along the stage graph.
         let out_bytes = self.spec.stages[stage].out_bytes;
         match self.spec.graph.after(stage) {
@@ -918,8 +1035,20 @@ impl SimWorld<'_> {
                 .expect("picked stage queue is non-empty");
             // A fractional pool share stretches service: the node spends
             // `1/rate_scale` of wall time per unit of this session's work.
-            let work = self.spec.draw_work(stage, item) / self.rate_scale;
-            let done_at = self.grid.node(NodeId(node)).completion_time(now, work);
+            let mut work = self.spec.draw_work(stage, item) / self.rate_scale;
+            let mut backoff = SimDuration::ZERO;
+            if let Some(failed) = self.failed_attempts(stage, item) {
+                // Each failed attempt re-runs the stage in place,
+                // separated by the policy's backoff schedule; the core
+                // is held throughout, matching the threaded engine's
+                // in-place retry loop.
+                let policy = &self.spec.stages[stage].resilience;
+                work *= f64::from(failed + 1);
+                for retry in 1..=failed {
+                    backoff = backoff.saturating_add(policy.backoff_delay(retry));
+                }
+            }
+            let done_at = self.grid.node(NodeId(node)).completion_time(now, work) + backoff;
             if done_at > self.horizon {
                 // The node cannot finish this task within the run horizon
                 // (it is dead or as good as dead): park the item; only a
@@ -978,10 +1107,21 @@ impl SimWorld<'_> {
         None
     }
 
+    /// Failed-attempt count for `(stage, item)` from the item's fate,
+    /// if any — `None` for the common clean hop.
+    fn failed_attempts(&self, stage: usize, item: u64) -> Option<u32> {
+        let fate = self.fates.get(&item)?;
+        fate.failed
+            .iter()
+            .find(|&&(s, _)| s == stage)
+            .map(|&(_, f)| f)
+    }
+
     fn record_completion(&mut self, item: u64, now: SimTime) {
         let arrived = self.arrival_time.remove(&item).unwrap_or(SimTime::ZERO);
         let latency = now.saturating_since(arrived);
         self.report.record_completion(now, latency);
+        self.fates.remove(&item);
         self.completed_log.push_back(item);
     }
 }

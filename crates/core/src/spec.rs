@@ -10,7 +10,10 @@ use adapipe_gridsim::node::NodeId;
 use adapipe_gridsim::rng::{mix, unit_f64};
 use adapipe_mapper::model::PipelineProfile;
 
-pub use adapipe_mapper::graph::{Feed, Next, Segment, StageGraph, StageGraphBuilder};
+pub use adapipe_mapper::graph::{
+    DagGraphBuilder, Feed, GraphError, Next, Segment, StageGraph, StageGraphBuilder,
+};
+pub use adapipe_runtime::session::ResiliencePolicy;
 pub use adapipe_state::StateAccess;
 
 /// Per-item work drawn for `(stage, item)` pairs.
@@ -105,6 +108,9 @@ pub struct StageSpec {
     /// decides replicability, shard routing, and whether the state can
     /// migrate off a dying node instead of aborting the run.
     pub state: StateAccess,
+    /// Per-item failure handling (retries, timeout, dead-letter,
+    /// trace); the default is the historical fail-fast behaviour.
+    pub resilience: ResiliencePolicy,
 }
 
 impl StageSpec {
@@ -118,7 +124,15 @@ impl StageSpec {
             stateless: true,
             max_replicas: usize::MAX,
             state: StateAccess::Stateless,
+            resilience: ResiliencePolicy::default(),
         }
+    }
+
+    /// Declares this stage's failure handling: retries with backoff,
+    /// per-item timeout, dead-letter diversion, per-hop tracing.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
     }
 
     /// Marks the stage stateful with `state_bytes` of state the runtime
@@ -205,6 +219,7 @@ impl std::fmt::Debug for StageSpec {
             .field("stateless", &self.stateless)
             .field("max_replicas", &self.max_replicas)
             .field("state", &self.state)
+            .field("resilience", &self.resilience)
             .finish()
     }
 }

@@ -76,6 +76,53 @@ impl std::fmt::Display for StageTypeError {
 
 impl std::error::Error for StageTypeError {}
 
+/// Clones one erased item of a known concrete type — `None` when the
+/// item is not that type. The facade captures one per stage output so
+/// engines can duplicate items to multiple DAG consumers (and re-present
+/// timed-out items) without knowing the type. Shared behind an `Arc` so
+/// pipelines stay cloneable.
+pub type CloneFn = Arc<dyn Fn(&BoxedItem) -> Option<BoxedItem> + Send + Sync>;
+
+/// Builds the [`CloneFn`] for items of type `T`.
+pub fn clone_fn<T: Clone + Send + 'static>() -> CloneFn {
+    Arc::new(|item: &BoxedItem| {
+        item.downcast_ref::<T>()
+            .map(|i| Box::new(i.clone()) as BoxedItem)
+    })
+}
+
+/// A failed stage attempt, as seen through [`DynStage::try_process`].
+///
+/// `Type` is the historical mis-assembly error (fatal: retrying cannot
+/// fix a wrong dynamic type). `Item` is a *processing* failure from a
+/// fallible stage: the input comes back in the error, so an engine
+/// honouring a [`adapipe_runtime::session::ResiliencePolicy`] can wait
+/// out the backoff and re-present exactly the same item.
+pub enum StageError {
+    /// The item's dynamic type is not the stage's declared input.
+    Type(StageTypeError),
+    /// The stage's closure rejected this item; the input is returned
+    /// for a possible retry.
+    Item {
+        /// The closure's error.
+        reason: String,
+        /// The unconsumed input item.
+        item: BoxedItem,
+    },
+}
+
+impl std::fmt::Debug for StageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageError::Type(e) => f.debug_tuple("Type").field(e).finish(),
+            StageError::Item { reason, .. } => f
+                .debug_struct("Item")
+                .field("reason", reason)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
 /// The execution engines' view of a stage.
 pub trait DynStage: Send {
     /// Processes one item. Engines guarantee items of the declared
@@ -84,6 +131,15 @@ pub trait DynStage: Send {
     /// [`StageTypeError`] the engine turns into a session-level run
     /// error instead of a worker-thread panic.
     fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError>;
+
+    /// Processes one item, distinguishing *retryable* item failures from
+    /// fatal type mismatches. Engines call this (not [`Self::process`])
+    /// so stages built from fallible closures ([`FallibleFnStage`]) can
+    /// hand the input back for a retry. The default forwards to
+    /// `process`, so infallible stages need no change.
+    fn try_process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageError> {
+        self.process(item).map_err(StageError::Type)
+    }
 
     /// Creates an independent instance for replication, or `None` if the
     /// stage cannot be replicated (it is stateful or its closure is not
@@ -164,6 +220,86 @@ where
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
         Some(Box::new(FnStage {
+            name: self.name.clone(),
+            f: self.f.clone(),
+            _types: std::marker::PhantomData,
+        }))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A stage built from a *fallible* closure `I -> Result<O, String>`.
+///
+/// The input type must be `Clone`: the stage clones each item before
+/// attempting it, so a failure hands the untouched original back through
+/// [`StageError::Item`] and the engine's retry loop can re-present it
+/// after the stage's declared backoff.
+pub struct FallibleFnStage<I, O, F>
+where
+    F: FnMut(I) -> Result<O, String> + Send,
+{
+    name: String,
+    f: F,
+    _types: std::marker::PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> FallibleFnStage<I, O, F>
+where
+    I: Clone + Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> Result<O, String> + Send,
+{
+    /// Wraps `f` as a named fallible stage.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FallibleFnStage {
+            name: name.into(),
+            f,
+            _types: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<I, O, F> DynStage for FallibleFnStage<I, O, F>
+where
+    I: Clone + Send + 'static,
+    O: Send + 'static,
+    F: FnMut(I) -> Result<O, String> + Send + Clone + 'static,
+{
+    fn process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageTypeError> {
+        // Compatibility shim for callers that have not migrated to
+        // `try_process`; an item failure has no spelling here and
+        // degrades to a stage-level error.
+        match self.try_process(item) {
+            Ok(out) => Ok(out),
+            Err(StageError::Type(e)) => Err(e),
+            Err(StageError::Item { .. }) => Err(StageTypeError {
+                stage: self.name.clone(),
+                expected: "an item this fallible stage accepts (use try_process)",
+            }),
+        }
+    }
+
+    fn try_process(&mut self, item: BoxedItem) -> Result<BoxedItem, StageError> {
+        let input = item.downcast::<I>().map_err(|_| {
+            StageError::Type(StageTypeError {
+                stage: self.name.clone(),
+                expected: std::any::type_name::<I>(),
+            })
+        })?;
+        match (self.f)((*input).clone()) {
+            Ok(out) => Ok(Box::new(out)),
+            Err(reason) => Err(StageError::Item {
+                reason,
+                item: input,
+            }),
+        }
+    }
+
+    fn replicate(&self) -> Option<Box<dyn DynStage>> {
+        Some(Box::new(FallibleFnStage {
             name: self.name.clone(),
             f: self.f.clone(),
             _types: std::marker::PhantomData,
@@ -868,6 +1004,56 @@ mod tests {
         assert_eq!(kf(&item), Some(4));
         let wrong: BoxedItem = Box::new(17u8);
         assert_eq!(kf(&wrong), None);
+    }
+
+    #[test]
+    fn fallible_stage_returns_the_item_for_retry() {
+        let mut s = FallibleFnStage::new("flaky", |x: u64| {
+            if x.is_multiple_of(2) {
+                Ok(x * 10)
+            } else {
+                Err(format!("odd input {x}"))
+            }
+        });
+        let out = s.try_process(Box::new(4u64)).expect("even succeeds");
+        assert_eq!(*out.downcast::<u64>().unwrap(), 40);
+        match s.try_process(Box::new(3u64)) {
+            Err(StageError::Item { reason, item }) => {
+                assert_eq!(reason, "odd input 3");
+                // The original item comes back unconsumed, re-presentable.
+                assert_eq!(*item.downcast::<u64>().unwrap(), 3);
+            }
+            other => panic!("expected an item failure, got {other:?}"),
+        }
+        // A wrong dynamic type is fatal, not retryable.
+        assert!(matches!(
+            s.try_process(Box::new("nope")),
+            Err(StageError::Type(_))
+        ));
+        assert!(s.replicate().is_some(), "fallible stages replicate");
+    }
+
+    #[test]
+    fn try_process_defaults_to_process_for_infallible_stages() {
+        let mut s = FnStage::new("double", |x: i64| x * 2);
+        let out = s.try_process(Box::new(5i64)).expect("typed");
+        assert_eq!(*out.downcast::<i64>().unwrap(), 10);
+        assert!(matches!(
+            s.try_process(Box::new("x")),
+            Err(StageError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn clone_fn_duplicates_and_rejects() {
+        let cf = clone_fn::<String>();
+        let item: BoxedItem = Box::new(String::from("dup"));
+        let copy = cf(&item).expect("same type clones");
+        assert_eq!(*copy.downcast::<String>().unwrap(), "dup");
+        // The original is untouched.
+        assert_eq!(*item.downcast::<String>().unwrap(), "dup");
+        let wrong: BoxedItem = Box::new(3u8);
+        assert!(cf(&wrong).is_none());
     }
 
     #[test]

@@ -91,7 +91,7 @@
 use crate::vnode::VNodeSpec;
 use adapipe_core::pipeline::Pipeline;
 use adapipe_core::spec::{Next, PipelineSpec};
-use adapipe_core::stage::{quiesce, BoxedItem, DynStage, FanOutFn, KeyFn};
+use adapipe_core::stage::{quiesce, BoxedItem, DynStage, FanOutFn, KeyFn, StageError};
 use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::net::{LinkSpec, Topology};
 use adapipe_gridsim::node::NodeId;
@@ -102,11 +102,11 @@ use adapipe_runtime::arrivals::ArrivalProcess;
 use adapipe_runtime::backend::{ExecutionBackend, RemapPlan};
 use adapipe_runtime::controller::ControllerConfig;
 use adapipe_runtime::policy::Policy;
-use adapipe_runtime::report::{AdaptationEvent, ReportBuilder, RunReport};
+use adapipe_runtime::report::{AdaptationEvent, DeadLetter, ReportBuilder, RunReport};
 use adapipe_runtime::routing::{RoutingSnapshot, RoutingTable};
 use adapipe_runtime::session::{RunError, RunEvent, RunHooks, SessionControl, SessionId, TryNext};
 use adapipe_state::{shard_of, StateAccess, StateSnapshot};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -443,6 +443,19 @@ enum SinkMsg {
     /// A batch of finished items (one message per processed envelope
     /// that ended at the sink).
     Done(Vec<Finished>),
+    /// An item exhausted a stage's retry budget and was diverted to the
+    /// dead-letter channel: it settles (releasing its credit and
+    /// counting toward drain termination) without producing an output.
+    Dead {
+        /// Sequence number of the diverted item.
+        seq: u64,
+        /// The stage that gave up on it.
+        stage: usize,
+        /// Total attempts consumed (first try + retries).
+        attempts: u32,
+        /// The final attempt's error.
+        reason: String,
+    },
     /// The input stream is closed; `expected` items were pushed.
     Closed { expected: u64 },
     /// Stop collecting immediately (session abort).
@@ -691,6 +704,21 @@ struct Shared {
     control: SessionControl,
     /// Items re-dealt to a live host after their vnode went down.
     replays: AtomicU64,
+    /// Retries performed across all stages (in-place re-attempts under
+    /// a per-stage [`adapipe_runtime::session::ResiliencePolicy`]).
+    retries: AtomicU64,
+    /// Attempts whose service time exceeded their stage's declared
+    /// per-attempt bound (observational: a running closure cannot be
+    /// interrupted, so the overrun is counted, not cancelled).
+    timeouts: AtomicU64,
+    /// Sequence numbers diverted to the dead-letter channel. Consulted
+    /// by ordered delivery (a dead seq will never arrive — skip it) and
+    /// by join deposits (a sibling branch of a dead item must not park
+    /// its output forever). Guarded by `dead_count` so the common
+    /// no-dead-letter run never takes the lock.
+    dead: Mutex<BTreeSet<u64>>,
+    /// Lock-free size of `dead`.
+    dead_count: AtomicU64,
     /// Work envelopes taken off a sibling's inbox by an idle co-host.
     steals: AtomicU64,
     /// Items that arrived under a retired routing epoch and were
@@ -737,6 +765,40 @@ impl Shared {
             .as_ref()
             .and_then(|k| k(&slot.payload))
             .unwrap_or(slot.seq)
+    }
+
+    /// True if `seq` was diverted to the dead-letter channel. The
+    /// common path (no dead letters this run) is one relaxed load.
+    fn is_dead(&self, seq: u64) -> bool {
+        self.dead_count.load(Ordering::Relaxed) > 0
+            && self.dead.lock().expect("dead set poisoned").contains(&seq)
+    }
+
+    /// Diverts `seq` to the dead-letter channel: marks it dead, cancels
+    /// any join deposits its sibling branches already parked, announces
+    /// the diversion on the event bus, and settles the item with the
+    /// collector (which records it and releases its credit).
+    fn divert_dead(&self, seq: u64, stage: usize, attempts: u32, reason: String) {
+        {
+            let mut dead = self.dead.lock().expect("dead set poisoned");
+            dead.insert(seq);
+            self.dead_count.store(dead.len() as u64, Ordering::Relaxed);
+        }
+        for join in &self.joins {
+            join.lock().expect("join lock poisoned").remove(&seq);
+        }
+        self.hooks.events.emit(RunEvent::ItemDeadLettered {
+            session: SessionId(self.id),
+            seq,
+            stage,
+            attempts,
+        });
+        let _ = self.sink.send(SinkMsg::Dead {
+            seq,
+            stage,
+            attempts,
+            reason,
+        });
     }
 
     /// Records one item rescued off the down vnode `from`.
@@ -1261,6 +1323,7 @@ where
             .downcast::<O>()
             .expect("pipeline output type mismatch");
         if self.preserve_order {
+            self.skip_dead();
             // In-order fast path: the common case (single-replica
             // stages, no remap in flight) never touches the tree.
             if fin.seq == self.next_seq {
@@ -1275,7 +1338,17 @@ where
         }
     }
 
+    /// Advances the resequencing cursor past dead-lettered sequence
+    /// numbers: a diverted item never produces an output, so ordered
+    /// delivery must not wait for it.
+    fn skip_dead(&mut self) {
+        while self.shared.is_dead(self.next_seq) {
+            self.next_seq += 1;
+        }
+    }
+
     fn pop_ordered(&mut self) -> Option<O> {
+        self.skip_dead();
         let o = self.reorder.remove(&self.next_seq)?;
         self.next_seq += 1;
         Some(o)
@@ -1333,6 +1406,8 @@ where
             .join()
             .expect("collector panicked");
         report.set_replays(self.shared.replays.load(Ordering::Relaxed));
+        report.set_retries(self.shared.retries.load(Ordering::Relaxed));
+        report.set_timeouts(self.shared.timeouts.load(Ordering::Relaxed));
         self.shared.done.store(true, Ordering::SeqCst);
         for inbox in &self.shared.pool.inboxes {
             inbox.send_ctrl(Ctrl::TenantGone {
@@ -1604,6 +1679,9 @@ where
     let (spec, stages, fanouts, keys) = pipeline.into_keyed_parts();
     let ns = spec.len();
     let blocks = spec.graph.blocks();
+    // Fan and join blocks coincide on sugar graphs but are independent
+    // on explicitly wired DAGs.
+    let join_blocks = spec.graph.join_blocks();
     let vnodes = &pool.vnodes;
 
     let topology = cfg
@@ -1696,7 +1774,9 @@ where
         spec,
         bytes_into,
         fanouts,
-        joins: (0..blocks).map(|_| Mutex::new(HashMap::new())).collect(),
+        joins: (0..join_blocks)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect(),
         block_entries,
         topology,
         emulate_links: cfg.emulate_links,
@@ -1716,6 +1796,10 @@ where
         hooks: cfg.hooks.clone(),
         control: cfg.control.clone(),
         replays: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        timeouts: AtomicU64::new(0),
+        dead: Mutex::new(BTreeSet::new()),
+        dead_count: AtomicU64::new(0),
         steals: AtomicU64::new(0),
         rehomed: AtomicU64::new(0),
         credits: credits.clone(),
@@ -1739,7 +1823,9 @@ where
             }
             let mut expected: Option<u64> = None;
             loop {
-                if expected.is_some_and(|e| report.completed() >= e) {
+                // Dead-lettered items settle without reaching the sink:
+                // termination counts everything *accounted for*.
+                if expected.is_some_and(|e| report.accounted() >= e) {
                     break;
                 }
                 let Ok(msg) = sink_rx.recv() else { break };
@@ -1771,6 +1857,24 @@ where
                         // The session may have gone away (abort path):
                         // delivery failures are fine.
                         let _ = out_tx.send(batch);
+                    }
+                    SinkMsg::Dead {
+                        seq,
+                        stage,
+                        attempts,
+                        reason,
+                    } => {
+                        report.record_dead_letter(DeadLetter {
+                            seq,
+                            stage,
+                            attempts,
+                            reason,
+                        });
+                        // The diverted item settles: its credit returns
+                        // so the in-flight gate cannot wedge on it.
+                        if let Some(c) = &credits {
+                            c.release_n(1);
+                        }
                     }
                     SinkMsg::Closed { expected: e } => {
                         report.set_expected(e);
@@ -2454,6 +2558,127 @@ fn push_onward(onward: &mut Vec<(usize, Vec<ItemSlot>)>, stage: usize, slot: Ite
     }
 }
 
+/// Deposits one branch output into join `block`'s slot `branch` for item
+/// `seq`. Returns the assembled parts (branch order) when this deposit
+/// completes the set; `None` while siblings are still outstanding — or
+/// when the item already dead-lettered on another branch, in which case
+/// the output is dropped rather than parked forever.
+fn deposit_join(
+    shared: &Shared,
+    block: usize,
+    branch: usize,
+    seq: u64,
+    out: BoxedItem,
+) -> Option<Vec<BoxedItem>> {
+    if shared.is_dead(seq) {
+        return None;
+    }
+    let mut joins = shared.joins[block].lock().expect("join lock poisoned");
+    let k = shared.spec.graph.branch_count(block);
+    let slots = joins
+        .entry(seq)
+        .or_insert_with(|| (0..k).map(|_| None).collect());
+    slots[branch] = Some(out);
+    if slots.iter().all(Option::is_some) {
+        let parts: Vec<BoxedItem> = joins
+            .remove(&seq)
+            .expect("slots just inserted")
+            .into_iter()
+            .map(|p| p.expect("all branches present"))
+            .collect();
+        Some(parts)
+    } else {
+        None
+    }
+}
+
+/// Outcome of one item's trip through a stage under a non-default
+/// [`adapipe_runtime::session::ResiliencePolicy`].
+enum ResilientOut {
+    /// The stage produced an output, possibly after in-place retries.
+    Done(BoxedItem),
+    /// The item exhausted its retry budget and was diverted to the
+    /// dead-letter channel; it takes no further part in the run.
+    Dead,
+    /// Unrecoverable failure — the session is already torn down; the
+    /// worker must stop processing this tenant's batch.
+    Fatal,
+}
+
+/// Runs one item through `inst` under `stage`'s resilience policy:
+/// bounded in-place retries with exponential backoff on item-level
+/// failures, observational per-attempt timeout accounting (a running
+/// closure cannot be interrupted, so an overrun is counted, never
+/// cancelled), opt-in per-hop tracing, and dead-letter diversion — or a
+/// typed fatal error — once the budget is spent.
+fn process_resilient(
+    inst: &mut dyn DynStage,
+    shared: &Arc<Shared>,
+    stage: usize,
+    seq: u64,
+    mut payload: BoxedItem,
+) -> ResilientOut {
+    let policy = &shared.spec.stages[stage].resilience;
+    let bound = policy
+        .timeout
+        .map(|t| Duration::from_secs_f64(t.as_secs_f64()));
+    let mut attempt: u32 = 1;
+    loop {
+        let started = Instant::now();
+        let result = inst.try_process(payload);
+        if bound.is_some_and(|b| started.elapsed() > b) {
+            shared.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        match result {
+            Ok(out) => {
+                if policy.trace {
+                    shared.hooks.events.emit(RunEvent::ItemTrace {
+                        session: SessionId(shared.id),
+                        seq,
+                        stage,
+                        attempts: attempt,
+                        at: shared.now(),
+                    });
+                }
+                return ResilientOut::Done(out);
+            }
+            Err(StageError::Type(type_err)) => {
+                shared.control.fail(RunError::StageTypeMismatch {
+                    stage: type_err.stage,
+                });
+                fatal_teardown(shared);
+                return ResilientOut::Fatal;
+            }
+            Err(StageError::Item { reason, item }) => {
+                if attempt > policy.max_retries {
+                    if policy.dead_letter {
+                        shared.divert_dead(seq, stage, attempt, reason);
+                        return ResilientOut::Dead;
+                    }
+                    // No dead-letter channel declared: a poison item is
+                    // fatal for the session, with a typed error naming
+                    // the stage and the give-up attempt count.
+                    shared.control.fail(RunError::PoisonItem {
+                        stage: shared.spec.stages[stage].name.clone(),
+                        seq,
+                        attempts: attempt,
+                        reason,
+                    });
+                    fatal_teardown(shared);
+                    return ResilientOut::Fatal;
+                }
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+                let delay = policy.backoff_delay(attempt);
+                if delay.as_secs_f64() > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(delay.as_secs_f64()));
+                }
+                payload = item;
+                attempt += 1;
+            }
+        }
+    }
+}
+
 /// Runs every item of one envelope through its stage, applies the
 /// synthetic slowdown per item, records service samples, and ships the
 /// results onward in per-destination-stage batches (one sink message
@@ -2503,17 +2728,40 @@ fn process_batch(
         if shared.finished() {
             break;
         }
-        let out = match inst.process(slot.payload) {
-            Ok(out) => out,
-            Err(type_err) => {
-                // A wrong-typed item is a pipeline assembly bug, but it
-                // must fail the *session* with a typed error — not kill
-                // this worker thread and hang everyone blocked on it.
-                shared.control.fail(RunError::StageTypeMismatch {
-                    stage: type_err.stage,
-                });
-                fatal_teardown(shared);
-                return busy + t_start.elapsed();
+        // A sibling branch may have dead-lettered this item while this
+        // copy sat queued; its work is moot.
+        if shared.is_dead(slot.seq) {
+            continue;
+        }
+        let policy = &shared.spec.stages[stage].resilience;
+        let out = if policy.is_default() {
+            match inst.process(slot.payload) {
+                Ok(out) => out,
+                Err(type_err) => {
+                    // A wrong-typed item is a pipeline assembly bug, but
+                    // it must fail the *session* with a typed error —
+                    // not kill this worker thread and hang everyone
+                    // blocked on it.
+                    shared.control.fail(RunError::StageTypeMismatch {
+                        stage: type_err.stage,
+                    });
+                    fatal_teardown(shared);
+                    return busy + t_start.elapsed();
+                }
+            }
+        } else {
+            match process_resilient(inst.as_mut(), shared, stage, slot.seq, slot.payload) {
+                ResilientOut::Done(out) => out,
+                ResilientOut::Dead => {
+                    // Diverted to the dead-letter channel: the item is
+                    // settled, nothing ships onward. The attempt time
+                    // still counts as busy.
+                    let t_end = Instant::now();
+                    busy += t_end.duration_since(t_start);
+                    t_start = t_end;
+                    continue;
+                }
+                ResilientOut::Fatal => return busy + t_start.elapsed(),
             }
         };
         let t_end = Instant::now();
@@ -2558,17 +2806,46 @@ fn process_batch(
             ),
             Next::FanOut { block } => match (shared.fanouts[*block])(out) {
                 Ok(parts) => {
-                    let entries = &shared.block_entries[*block];
+                    // Copies ship in edge order. A plain target gets its
+                    // copy as an ordinary envelope; a *slotted* target —
+                    // a DAG shortcut edge feeding a joining stage
+                    // directly — deposits the copy into that join's slot
+                    // instead (the joining stage must receive the
+                    // assembled vector, not a raw copy to process).
+                    let targets = shared.spec.graph.fan_targets(*block);
                     for (i, payload) in parts.into_iter().enumerate() {
-                        push_onward(
-                            &mut onward,
-                            entries[i],
-                            ItemSlot {
-                                seq: slot.seq,
-                                born: slot.born,
-                                payload,
-                            },
-                        );
+                        let target = &targets[i];
+                        match target.slot {
+                            None => push_onward(
+                                &mut onward,
+                                target.stage,
+                                ItemSlot {
+                                    seq: slot.seq,
+                                    born: slot.born,
+                                    payload,
+                                },
+                            ),
+                            Some(jslot) => {
+                                let jblock = shared
+                                    .spec
+                                    .graph
+                                    .merge_block_of(target.stage)
+                                    .expect("slotted fan target joins");
+                                if let Some(parts) =
+                                    deposit_join(shared, jblock, jslot, slot.seq, payload)
+                                {
+                                    push_onward(
+                                        &mut onward,
+                                        target.stage,
+                                        ItemSlot {
+                                            seq: slot.seq,
+                                            born: slot.born,
+                                            payload: Box::new(parts),
+                                        },
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
                 Err(type_err) => {
@@ -2582,31 +2859,7 @@ fn process_batch(
                 }
             },
             Next::Join { block, branch } => {
-                // Deposit this branch's output; whoever completes the
-                // set assembles the joined vector (branch order) and
-                // ships it to the merge stage's host. The join map is
-                // global, so branch outputs survive vnode loss and
-                // re-maps.
-                let merged = {
-                    let mut joins = shared.joins[*block].lock().expect("join lock poisoned");
-                    let k = shared.spec.graph.branch_count(*block);
-                    let slots = joins
-                        .entry(slot.seq)
-                        .or_insert_with(|| (0..k).map(|_| None).collect());
-                    slots[*branch] = Some(out);
-                    if slots.iter().all(Option::is_some) {
-                        let parts: Vec<BoxedItem> = joins
-                            .remove(&slot.seq)
-                            .expect("slots just inserted")
-                            .into_iter()
-                            .map(|p| p.expect("all branches present"))
-                            .collect();
-                        Some(parts)
-                    } else {
-                        None
-                    }
-                };
-                if let Some(parts) = merged {
+                if let Some(parts) = deposit_join(shared, *block, *branch, slot.seq, out) {
                     push_onward(
                         &mut onward,
                         shared.spec.graph.merge_of(*block),

@@ -1,31 +1,48 @@
-//! Series-parallel stage graphs: the shape of a pipeline.
+//! Stage graphs: the shape of a pipeline, as a general DAG.
 //!
 //! Historically the stage topology was implicit — a pipeline *was* a
 //! `Vec` of stages, and every layer (model, planner, engines) hard-coded
-//! the chain `0 → 1 → … → Ns−1`. A [`StageGraph`] makes the shape
-//! explicit and strictly more general: a pipeline is a series of
-//! [`Segment`]s, each either a **chain** of stages or a **parallel
-//! block** that fans every item out to N branch sub-pipelines and fans
-//! the branch results back in at a deterministic **merge** stage.
+//! the chain `0 → 1 → … → Ns−1`. PR 5 made the shape explicit as a
+//! series of [`Segment`]s (chains and parallel blocks). A [`StageGraph`]
+//! is now a **true directed acyclic graph** over flattened stage ids:
+//! every stage has an ordered predecessor list (a stage with several
+//! predecessors *joins* their outputs, one slot per input edge) and an
+//! ordered successor list (a stage with several consumers *fans out* a
+//! copy of its output to each). The chain and parallel-block builders
+//! are sugar over the DAG: a graph built through them additionally
+//! carries its series-parallel [`Segment`] view, and every navigation
+//! query answers exactly what it answered before — linear and
+//! series-parallel pipelines stay byte-identical.
 //!
-//! Stages keep *flattened* ids: the graph is laid over `0..Ns` in series
-//! order — chain stages first, then (inside a parallel block) branch 0's
-//! stages, branch 1's, …, then the merge stage. A linear pipeline is the
-//! degenerate one-chain graph ([`StageGraph::linear`]), so every
-//! existing `Mapping`, `RoutingTable`, and report indexes stages exactly
-//! as before; only the *edges* between stages change.
+//! Two derived groupings drive the engines:
+//!
+//! * **fan blocks** — the fan-out points: the pipeline input when it
+//!   feeds several entry stages, and every stage with two or more
+//!   successors. Numbered with the entry fan-out first (when present),
+//!   then by source stage id — which reproduces the parallel-block
+//!   numbering exactly on sugar-built graphs, so the facade's one
+//!   duplicator-per-block arrays index unchanged.
+//! * **join blocks** — the stages with two or more predecessors, in id
+//!   order. On sugar-built graphs these are precisely the merge stages
+//!   in block order.
 //!
 //! The graph answers the questions the other layers ask:
 //!
 //! * the model: which directed edges carry data, and what is the
-//!   latency-critical path ([`StageGraph::feed_of`], walking
-//!   [`StageGraph::segments`]);
+//!   latency-critical path ([`StageGraph::feed_of`],
+//!   [`StageGraph::topo_order`]);
 //! * the engines: where does an item go after finishing a stage
-//!   ([`StageGraph::after`], [`StageGraph::entry`]);
+//!   ([`StageGraph::after`], [`StageGraph::entry`],
+//!   [`StageGraph::fan_targets`]);
 //! * observability: which branch a stage belongs to
-//!   ([`StageGraph::branch_of`]).
+//!   ([`StageGraph::branch_of`]), stage fan-in/fan-out degrees.
+//!
+//! Explicit DAGs are built with [`StageGraph::dag`] → [`DagGraphBuilder`]
+//! and validated with typed [`GraphError`]s (cycles, unreachable stages,
+//! mis-wired edges) instead of panics — the facade maps these onto its
+//! `BuildError`s.
 
-/// One series element of a [`StageGraph`].
+/// One series element of a series-parallel [`StageGraph`] view.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Segment {
     /// Stages `start..end` in series.
@@ -54,18 +71,18 @@ pub enum Segment {
 pub enum Next {
     /// Forward to this stage.
     Stage(usize),
-    /// Fan out: one copy to the entry stage of every branch of block
-    /// `block`.
+    /// Fan out: one copy to every target of fan block `block` (see
+    /// [`StageGraph::fan_targets`]).
     FanOut {
-        /// Index of the parallel block (in graph order).
+        /// Index of the fan block (parallel block on sugar graphs).
         block: usize,
     },
-    /// The finished stage is the last of `branch` in `block`: its output
-    /// joins the block's other branch outputs at the merge stage.
+    /// The finished stage feeds one input slot of a joining stage: its
+    /// output waits for the join's other inputs.
     Join {
-        /// Index of the parallel block.
+        /// Index of the join block (parallel block on sugar graphs).
         block: usize,
-        /// Branch index within the block.
+        /// Input slot within the join (branch index on sugar graphs).
         branch: usize,
     },
     /// The finished stage was the last: the item is a pipeline output.
@@ -79,17 +96,129 @@ pub enum Feed {
     Source,
     /// The output of one upstream stage.
     Stage(usize),
-    /// The joined outputs of a parallel block: one per branch-last
-    /// stage, in branch order.
+    /// The joined outputs of several predecessors, in input-slot order
+    /// (branch order on sugar graphs).
     Merge(Vec<usize>),
 }
 
-/// The series-parallel shape of a pipeline over flattened stage ids
-/// `0..len()`.
+/// One target of a fan block: the consuming stage, plus the join input
+/// slot when the consumer joins several inputs (a producer may feed one
+/// slot of a downstream join directly).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FanTarget {
+    /// The consuming stage.
+    pub stage: usize,
+    /// `Some(slot)` when the consumer is a joining stage and this copy
+    /// fills input slot `slot`; `None` for a single-input consumer.
+    pub slot: Option<usize>,
+}
+
+/// Typed validation errors of an explicitly wired DAG
+/// ([`DagGraphBuilder::build`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no stages.
+    Empty,
+    /// An edge names a stage outside `0..stages`.
+    StageOutOfRange {
+        /// The offending stage id.
+        stage: usize,
+        /// The declared stage count.
+        stages: usize,
+    },
+    /// An edge from a stage to itself.
+    SelfEdge {
+        /// The offending stage id.
+        stage: usize,
+    },
+    /// The same edge was declared twice (a join takes each producer
+    /// once; duplicate wiring is a mis-wire, not a wider join).
+    DuplicateEdge {
+        /// Edge source.
+        from: usize,
+        /// Edge target.
+        to: usize,
+    },
+    /// The edges contain a cycle through this stage.
+    Cycle {
+        /// A stage on the cycle.
+        stage: usize,
+    },
+    /// A stage is not reachable from any entry stage.
+    Unreachable {
+        /// The unreachable stage.
+        stage: usize,
+    },
+    /// More than one stage has no consumer; a pipeline has one output.
+    MultipleExits {
+        /// The stages with no outgoing edge.
+        exits: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no stages"),
+            GraphError::StageOutOfRange { stage, stages } => {
+                write!(f, "edge names stage {stage}, but only {stages} exist")
+            }
+            GraphError::SelfEdge { stage } => write!(f, "stage {stage} feeds itself"),
+            GraphError::DuplicateEdge { from, to } => {
+                write!(f, "edge {from} → {to} declared twice")
+            }
+            GraphError::Cycle { stage } => {
+                write!(f, "edges form a cycle through stage {stage}")
+            }
+            GraphError::Unreachable { stage } => {
+                write!(f, "stage {stage} is unreachable from the pipeline input")
+            }
+            GraphError::MultipleExits { exits } => {
+                write!(f, "several stages have no consumer: {exits:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// One fan-out point of the graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FanBlock {
+    /// The producing stage; `None` for the pipeline-input fan-out.
+    source: Option<usize>,
+    /// The consumers, in edge order (branch order on sugar graphs).
+    targets: Vec<FanTarget>,
+}
+
+/// The DAG shape of a pipeline over flattened stage ids `0..len()`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct StageGraph {
-    segments: Vec<Segment>,
     stages: usize,
+    /// The series-parallel segment view — present exactly when the
+    /// graph was built through the chain/parallel sugar, and the basis
+    /// of every byte-identical legacy code path.
+    segments: Option<Vec<Segment>>,
+    /// Ordered predecessors per stage (join input slots).
+    preds: Vec<Vec<usize>>,
+    /// Ordered successors per stage (fan-out copies).
+    succs: Vec<Vec<usize>>,
+    /// A deterministic topological order of the stage ids (Kahn,
+    /// smallest-id-first). The identity on sugar graphs.
+    topo: Vec<usize>,
+    /// Entry stages (no predecessor), in id order.
+    entries: Vec<usize>,
+    /// The single exit stage (no successor).
+    exit: usize,
+    /// Fan-out points: entry fan-out first (when the input feeds
+    /// several entries), then multi-consumer stages by id.
+    fan_blocks: Vec<FanBlock>,
+    /// Per-stage fan block index (`Some` for multi-consumer stages).
+    fan_block_of: Vec<Option<usize>>,
+    /// Join stages (≥ 2 predecessors), in id order: join block → stage.
+    join_stages: Vec<usize>,
+    /// Per-stage join block index (`Some` for joining stages).
+    join_block_of: Vec<Option<usize>>,
 }
 
 impl StageGraph {
@@ -100,18 +229,210 @@ impl StageGraph {
     /// Panics if `ns` is zero.
     pub fn linear(ns: usize) -> Self {
         assert!(ns > 0, "pipeline needs at least one stage");
-        StageGraph {
-            segments: vec![Segment::Chain { start: 0, end: ns }],
-            stages: ns,
-        }
+        StageGraph::from_segments(vec![Segment::Chain { start: 0, end: ns }], ns)
     }
 
-    /// Starts a [`StageGraphBuilder`].
+    /// Starts a series-parallel [`StageGraphBuilder`] (sugar over the
+    /// DAG).
     pub fn builder() -> StageGraphBuilder {
         StageGraphBuilder {
             segments: Vec::new(),
             cursor: 0,
         }
+    }
+
+    /// Starts an explicit [`DagGraphBuilder`] over `ns` stages wired by
+    /// id-addressed edges.
+    pub fn dag(ns: usize) -> DagGraphBuilder {
+        DagGraphBuilder {
+            stages: ns,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds the canonical DAG arrays from a validated segment list.
+    #[allow(clippy::needless_range_loop)] // `s` walks spans of `preds`, not one slice
+    fn from_segments(segments: Vec<Segment>, stages: usize) -> Self {
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); stages];
+        // `prev` = the stage whose output feeds the next series element.
+        let mut prev: Option<usize> = None;
+        for seg in &segments {
+            match seg {
+                Segment::Chain { start, end } => {
+                    for s in *start..*end {
+                        if s == *start {
+                            if let Some(p) = prev {
+                                preds[s].push(p);
+                            }
+                        } else {
+                            preds[s].push(s - 1);
+                        }
+                    }
+                    prev = Some(end - 1);
+                }
+                Segment::Parallel { branches, merge } => {
+                    for &(bs, be) in branches {
+                        for s in bs..be {
+                            if s == bs {
+                                if let Some(p) = prev {
+                                    preds[s].push(p);
+                                }
+                            } else {
+                                preds[s].push(s - 1);
+                            }
+                        }
+                        preds[*merge].push(be - 1);
+                    }
+                    prev = Some(*merge);
+                }
+            }
+        }
+        StageGraph::from_preds(Some(segments), stages, preds)
+            .expect("series-parallel segments always form a valid DAG")
+    }
+
+    /// Builds the canonical form from ordered predecessor lists; the
+    /// shared tail of both builders. Successor order follows target-id
+    /// order for the sugar path and edge-declaration order for the DAG
+    /// path (the builder pre-sorts accordingly by feeding preds in that
+    /// order — see `DagGraphBuilder::build`).
+    fn from_preds(
+        segments: Option<Vec<Segment>>,
+        stages: usize,
+        preds: Vec<Vec<usize>>,
+    ) -> Result<Self, GraphError> {
+        if stages == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); stages];
+        for (s, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs[p].push(s);
+            }
+        }
+        // Kahn topological order, smallest ready id first: deterministic
+        // and the identity permutation on sugar-built graphs.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = indeg
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(s, _)| std::cmp::Reverse(s))
+            .collect();
+        let mut topo = Vec::with_capacity(stages);
+        while let Some(std::cmp::Reverse(s)) = ready.pop() {
+            topo.push(s);
+            for &t in &succs[s] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    ready.push(std::cmp::Reverse(t));
+                }
+            }
+        }
+        if topo.len() != stages {
+            let stage = indeg.iter().position(|&d| d > 0).unwrap_or(0);
+            return Err(GraphError::Cycle { stage });
+        }
+        let entries: Vec<usize> = (0..stages).filter(|&s| preds[s].is_empty()).collect();
+        // Reachability: entry stages seed everything (an unreachable
+        // stage would itself be an entry, so with edges all-reachable
+        // follows — but a disconnected component shows up as extra
+        // entries feeding a second exit; catch the exit case below and
+        // treat an isolated never-consuming, never-producing island as
+        // unreachable only when it cannot reach the exit).
+        let exits: Vec<usize> = (0..stages).filter(|&s| succs[s].is_empty()).collect();
+        if exits.len() > 1 {
+            // A stage with no edges at all is a declared-but-unwired
+            // island: report it as unreachable (the more actionable
+            // diagnosis) when the rest of the graph has a unique exit.
+            let isolated: Vec<usize> = exits
+                .iter()
+                .copied()
+                .filter(|&s| preds[s].is_empty() && succs[s].is_empty())
+                .collect();
+            if exits.len() - isolated.len() == 1 {
+                return Err(GraphError::Unreachable { stage: isolated[0] });
+            }
+            return Err(GraphError::MultipleExits { exits });
+        }
+        let exit = exits[0];
+        // Every stage must lie on some input→exit path; since each
+        // non-entry stage has a predecessor and each non-exit stage a
+        // successor, walking backwards from the exit covers exactly the
+        // stages that can influence the output.
+        let mut on_path = vec![false; stages];
+        let mut stack = vec![exit];
+        while let Some(s) = stack.pop() {
+            if on_path[s] {
+                continue;
+            }
+            on_path[s] = true;
+            stack.extend(preds[s].iter().copied());
+        }
+        if let Some(stage) = (0..stages).find(|&s| !on_path[s]) {
+            return Err(GraphError::Unreachable { stage });
+        }
+        // Fan blocks: entry fan-out first, then multi-consumer stages
+        // by id — reproducing parallel-block order on sugar graphs.
+        let join_stages: Vec<usize> = (0..stages).filter(|&s| preds[s].len() >= 2).collect();
+        let mut join_block_of = vec![None; stages];
+        for (b, &s) in join_stages.iter().enumerate() {
+            join_block_of[s] = Some(b);
+        }
+        let slot_of = |from: usize, to: usize| -> Option<usize> {
+            if preds[to].len() >= 2 {
+                Some(
+                    preds[to]
+                        .iter()
+                        .position(|&p| p == from)
+                        .expect("succ edge mirrors a pred edge"),
+                )
+            } else {
+                None
+            }
+        };
+        let mut fan_blocks = Vec::new();
+        let mut fan_block_of = vec![None; stages];
+        if entries.len() >= 2 {
+            fan_blocks.push(FanBlock {
+                source: None,
+                targets: entries
+                    .iter()
+                    .map(|&e| FanTarget {
+                        stage: e,
+                        slot: None, // an entry has no predecessors
+                    })
+                    .collect(),
+            });
+        }
+        for s in 0..stages {
+            if succs[s].len() >= 2 {
+                fan_block_of[s] = Some(fan_blocks.len());
+                fan_blocks.push(FanBlock {
+                    source: Some(s),
+                    targets: succs[s]
+                        .iter()
+                        .map(|&t| FanTarget {
+                            stage: t,
+                            slot: slot_of(s, t),
+                        })
+                        .collect(),
+                });
+            }
+        }
+        Ok(StageGraph {
+            stages,
+            segments,
+            preds,
+            succs,
+            topo,
+            entries,
+            exit,
+            fan_blocks,
+            fan_block_of,
+            join_stages,
+            join_block_of,
+        })
     }
 
     /// Number of stages (flattened, merge stages included).
@@ -124,59 +445,114 @@ impl StageGraph {
     /// shape. Every layer short-circuits to its pre-graph code path on
     /// this, so linear pipelines behave byte-identically to before.
     pub fn is_linear(&self) -> bool {
-        !self
-            .segments
-            .iter()
-            .any(|s| matches!(s, Segment::Parallel { .. }))
+        self.entries == [0] && (0..self.stages.saturating_sub(1)).all(|s| self.succs[s] == [s + 1])
+    }
+
+    /// The series-parallel segment view, when this graph was built
+    /// through the chain/parallel sugar; `None` for explicitly wired
+    /// DAGs.
+    pub fn as_segments(&self) -> Option<&[Segment]> {
+        self.segments.as_deref()
     }
 
     /// The series segments in order.
+    ///
+    /// # Panics
+    /// Panics on an explicitly wired DAG, which has no segment view —
+    /// use [`StageGraph::as_segments`] where a DAG may reach.
     pub fn segments(&self) -> &[Segment] {
-        &self.segments
+        self.as_segments()
+            .expect("explicitly wired DAG has no series-parallel segment view")
     }
 
-    /// Number of parallel blocks.
+    /// Number of fan blocks (parallel blocks on sugar graphs): one
+    /// duplicator is needed per fan block.
     pub fn blocks(&self) -> usize {
-        self.segments
-            .iter()
-            .filter(|s| matches!(s, Segment::Parallel { .. }))
-            .count()
+        self.fan_blocks.len()
     }
 
-    fn block(&self, block: usize) -> (&[(usize, usize)], usize) {
-        let mut seen = 0;
-        for seg in &self.segments {
-            if let Segment::Parallel { branches, merge } = seg {
-                if seen == block {
-                    return (branches, *merge);
-                }
-                seen += 1;
-            }
-        }
-        panic!("block {block} out of range ({} blocks)", self.blocks());
+    /// Number of join blocks (equal to [`StageGraph::blocks`] on sugar
+    /// graphs, independent on explicit DAGs).
+    pub fn join_blocks(&self) -> usize {
+        self.join_stages.len()
     }
 
-    /// Entry stages of every branch of `block`, in branch order.
+    /// The targets of fan block `block`, in edge order: each carries
+    /// the consuming stage and, when that consumer joins several
+    /// inputs, the slot this copy fills.
+    pub fn fan_targets(&self, block: usize) -> &[FanTarget] {
+        &self.fan_blocks[block].targets
+    }
+
+    /// The producing stage of fan block `block`; `None` for the
+    /// pipeline-input fan-out (the input feeds several entry stages).
+    pub fn fan_source(&self, block: usize) -> Option<usize> {
+        self.fan_blocks[block].source
+    }
+
+    /// Entry stages of every target of fan block `block`, in edge order
+    /// (branch order on sugar graphs).
     pub fn branch_entries(&self, block: usize) -> Vec<usize> {
-        self.block(block).0.iter().map(|&(s, _)| s).collect()
+        self.fan_blocks[block]
+            .targets
+            .iter()
+            .map(|t| t.stage)
+            .collect()
     }
 
-    /// Number of branches of `block`.
+    /// Fan-out width of fan block `block`.
     pub fn branch_count(&self, block: usize) -> usize {
-        self.block(block).0.len()
+        // On sugar graphs every fan block pairs with the same-index
+        // join block, so "branch count" and "join width" coincide; the
+        // historical callers mean the join width of block's merge.
+        self.fan_in(self.join_stages[block])
     }
 
-    /// The merge stage of `block`.
+    /// The joining stage of join block `block` (the merge stage on
+    /// sugar graphs).
     pub fn merge_of(&self, block: usize) -> usize {
-        self.block(block).1
+        self.join_stages[block]
+    }
+
+    /// Number of input slots `stage` joins (1 for ordinary stages).
+    pub fn fan_in(&self, stage: usize) -> usize {
+        self.preds[stage].len().max(1)
+    }
+
+    /// Ordered predecessors of `stage` (its join input slots).
+    pub fn preds(&self, stage: usize) -> &[usize] {
+        &self.preds[stage]
+    }
+
+    /// Ordered successors of `stage` (its fan-out copies).
+    pub fn succs(&self, stage: usize) -> &[usize] {
+        &self.succs[stage]
+    }
+
+    /// A deterministic topological order of the stage ids — the
+    /// identity permutation on sugar-built graphs, so planners seeded
+    /// over it reproduce their historical stage walk exactly.
+    pub fn topo_order(&self) -> &[usize] {
+        &self.topo
+    }
+
+    /// Entry stages (fed by the pipeline input), in id order.
+    pub fn entries(&self) -> &[usize] {
+        &self.entries
+    }
+
+    /// The single exit stage (the pipeline output).
+    pub fn exit(&self) -> usize {
+        self.exit
     }
 
     /// The `(block, branch)` containing `stage`, or `None` for series
     /// stages (merge stages included — a merge runs after the join and
-    /// belongs to no single branch).
+    /// belongs to no single branch). Explicit DAGs have no branch
+    /// notion; every stage reports `None`.
     pub fn branch_of(&self, stage: usize) -> Option<(usize, usize)> {
         let mut block = 0;
-        for seg in &self.segments {
+        for seg in self.segments.as_deref()? {
             if let Segment::Parallel { branches, .. } = seg {
                 for (bi, &(start, end)) in branches.iter().enumerate() {
                     if (start..end).contains(&stage) {
@@ -189,27 +565,19 @@ impl StageGraph {
         None
     }
 
-    /// True if `stage` is the merge stage of some parallel block;
-    /// returns the block index.
+    /// True if `stage` joins several inputs; returns its join block
+    /// index (the parallel block on sugar graphs).
     pub fn merge_block_of(&self, stage: usize) -> Option<usize> {
-        let mut block = 0;
-        for seg in &self.segments {
-            if let Segment::Parallel { merge, .. } = seg {
-                if *merge == stage {
-                    return Some(block);
-                }
-                block += 1;
-            }
-        }
-        None
+        self.join_block_of[stage]
     }
 
-    /// Where the pipeline input goes: the first stage, or a fan-out if
-    /// the graph opens with a parallel block.
+    /// Where the pipeline input goes: the single entry stage, or fan
+    /// block 0 when the input feeds several entries.
     pub fn entry(&self) -> Next {
-        match &self.segments[0] {
-            Segment::Chain { start, .. } => Next::Stage(*start),
-            Segment::Parallel { .. } => Next::FanOut { block: 0 },
+        if self.entries.len() == 1 {
+            Next::Stage(self.entries[0])
+        } else {
+            Next::FanOut { block: 0 }
         }
     }
 
@@ -219,48 +587,20 @@ impl StageGraph {
     /// Panics if `stage` is out of range.
     pub fn after(&self, stage: usize) -> Next {
         assert!(stage < self.stages, "stage {stage} out of range");
-        let mut block = 0;
-        for (i, seg) in self.segments.iter().enumerate() {
-            match seg {
-                Segment::Chain { start, end } => {
-                    if (*start..*end).contains(&stage) {
-                        if stage + 1 < *end {
-                            return Next::Stage(stage + 1);
-                        }
-                        return self.after_segment(i, block);
-                    }
-                }
-                Segment::Parallel { branches, merge } => {
-                    for (bi, &(bs, be)) in branches.iter().enumerate() {
-                        if (bs..be).contains(&stage) {
-                            if stage + 1 < be {
-                                return Next::Stage(stage + 1);
-                            }
-                            return Next::Join { block, branch: bi };
-                        }
-                    }
-                    if stage == *merge {
-                        return self.after_segment(i, block);
-                    }
-                    block += 1;
-                }
-            }
-        }
-        unreachable!("validated graphs cover every stage")
-    }
-
-    /// What follows segment `i` (whose last parallel block index, if it
-    /// is one, is `block_here`).
-    fn after_segment(&self, i: usize, block_here: usize) -> Next {
-        let blocks_before_next = match &self.segments[i] {
-            Segment::Parallel { .. } => block_here + 1,
-            Segment::Chain { .. } => block_here,
-        };
-        match self.segments.get(i + 1) {
-            None => Next::Done,
-            Some(Segment::Chain { start, .. }) => Next::Stage(*start),
-            Some(Segment::Parallel { .. }) => Next::FanOut {
-                block: blocks_before_next,
+        match self.succs[stage].as_slice() {
+            [] => Next::Done,
+            &[t] => match self.join_block_of[t] {
+                Some(block) => Next::Join {
+                    block,
+                    branch: self.preds[t]
+                        .iter()
+                        .position(|&p| p == stage)
+                        .expect("succ edge mirrors a pred edge"),
+                },
+                None => Next::Stage(t),
+            },
+            _ => Next::FanOut {
+                block: self.fan_block_of[stage].expect("multi-consumer stage has a fan block"),
             },
         }
     }
@@ -271,46 +611,18 @@ impl StageGraph {
     /// Panics if `stage` is out of range.
     pub fn feed_of(&self, stage: usize) -> Feed {
         assert!(stage < self.stages, "stage {stage} out of range");
-        // `prev` = the stage whose output feeds the next series element
-        // (None while nothing upstream exists: the pipeline input).
-        let mut prev: Option<usize> = None;
-        for seg in &self.segments {
-            match seg {
-                Segment::Chain { start, end } => {
-                    if (*start..*end).contains(&stage) {
-                        return if stage == *start {
-                            prev.map_or(Feed::Source, Feed::Stage)
-                        } else {
-                            Feed::Stage(stage - 1)
-                        };
-                    }
-                    prev = Some(end - 1);
-                }
-                Segment::Parallel { branches, merge } => {
-                    for &(bs, be) in branches {
-                        if (bs..be).contains(&stage) {
-                            return if stage == bs {
-                                prev.map_or(Feed::Source, Feed::Stage)
-                            } else {
-                                Feed::Stage(stage - 1)
-                            };
-                        }
-                    }
-                    if stage == *merge {
-                        return Feed::Merge(branches.iter().map(|&(_, be)| be - 1).collect());
-                    }
-                    prev = Some(*merge);
-                }
-            }
+        match self.preds[stage].as_slice() {
+            [] => Feed::Source,
+            &[p] => Feed::Stage(p),
+            ps => Feed::Merge(ps.to_vec()),
         }
-        unreachable!("validated graphs cover every stage")
     }
 
     /// Bytes carried into `stage` per item, given the pipeline's
     /// boundary sizes (`boundary_bytes[0]` = input bytes,
-    /// `boundary_bytes[s + 1]` = stage `s`'s output bytes). A merge
-    /// stage's input is the largest branch output — the conservative
-    /// size for forwarding a single in-transit branch payload.
+    /// `boundary_bytes[s + 1]` = stage `s`'s output bytes). A joining
+    /// stage's input is the largest predecessor output — the
+    /// conservative size for forwarding a single in-transit payload.
     pub fn feed_bytes(&self, stage: usize, boundary_bytes: &[u64]) -> u64 {
         match self.feed_of(stage) {
             Feed::Source => boundary_bytes[0],
@@ -323,25 +635,31 @@ impl StageGraph {
         }
     }
 
-    /// Validates the graph against a stage count: segments must tile
-    /// `0..ns` exactly in series order, every chain and branch span must
-    /// be non-empty, every parallel block needs at least two branches,
-    /// and each merge stage must directly follow its last branch.
+    /// Every directed edge `(from, to)` of the graph, in target-slot
+    /// order: the model walks these for edge-wise link costs.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.stages).flat_map(move |s| self.preds[s].iter().map(move |&p| (p, s)))
+    }
+
+    /// Validates the graph against a stage count: the DAG invariants
+    /// always hold by construction; this checks the count matches and —
+    /// for sugar-built graphs — that the segments tile `0..ns` exactly
+    /// in series order, preserving the historical error wording.
     ///
     /// # Panics
     /// Panics on any violation.
     pub fn validate(&self, ns: usize) {
-        assert!(
-            !self.segments.is_empty(),
-            "graph needs at least one segment"
-        );
         assert_eq!(
             self.stages, ns,
             "graph covers {} stages, need {ns}",
             self.stages
         );
+        let Some(segments) = self.segments.as_deref() else {
+            return;
+        };
+        assert!(!segments.is_empty(), "graph needs at least one segment");
         let mut cursor = 0usize;
-        for seg in &self.segments {
+        for seg in segments {
             match seg {
                 Segment::Chain { start, end } => {
                     assert_eq!(*start, cursor, "chain must start at stage {cursor}");
@@ -367,7 +685,8 @@ impl StageGraph {
     }
 }
 
-/// Incremental [`StageGraph`] construction in flattened stage order.
+/// Incremental series-parallel [`StageGraph`] construction in flattened
+/// stage order — sugar over the DAG.
 ///
 /// ```
 /// use adapipe_mapper::graph::StageGraph;
@@ -430,12 +749,76 @@ impl StageGraphBuilder {
     /// # Panics
     /// Panics if no stage was added.
     pub fn build(self) -> StageGraph {
-        let graph = StageGraph {
-            segments: self.segments,
-            stages: self.cursor,
-        };
+        assert!(self.cursor > 0, "graph needs at least one segment");
+        let graph = StageGraph::from_segments(self.segments, self.cursor);
         graph.validate(graph.stages);
         graph
+    }
+}
+
+/// Explicit DAG construction: `ns` stages wired by id-addressed edges.
+/// A stage receiving several edges joins its inputs, one slot per edge
+/// in declaration order; a stage feeding several edges fans a copy out
+/// to each consumer. Name-addressed wiring (and duplicate-name
+/// rejection) lives in the facade, which resolves names to ids before
+/// reaching here.
+///
+/// ```
+/// use adapipe_mapper::graph::StageGraph;
+///
+/// // fetch → {parse, audit} → join (a diamond)
+/// let g = StageGraph::dag(4)
+///     .edge(0, 1)
+///     .edge(0, 2)
+///     .edge(1, 3)
+///     .edge(2, 3)
+///     .build()
+///     .unwrap();
+/// assert_eq!(g.fan_in(3), 2);
+/// assert_eq!(g.topo_order(), &[0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DagGraphBuilder {
+    stages: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl DagGraphBuilder {
+    /// Declares a data edge: `from`'s output feeds `to`. The slot order
+    /// of a join follows edge declaration order.
+    pub fn edge(mut self, from: usize, to: usize) -> Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Validates the wiring and builds the graph.
+    ///
+    /// # Errors
+    /// Typed [`GraphError`]s: out-of-range or self-referential edges,
+    /// duplicate edges, cycles, unreachable stages, several exits.
+    pub fn build(self) -> Result<StageGraph, GraphError> {
+        if self.stages == 0 {
+            return Err(GraphError::Empty);
+        }
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.stages];
+        for &(from, to) in &self.edges {
+            for stage in [from, to] {
+                if stage >= self.stages {
+                    return Err(GraphError::StageOutOfRange {
+                        stage,
+                        stages: self.stages,
+                    });
+                }
+            }
+            if from == to {
+                return Err(GraphError::SelfEdge { stage: from });
+            }
+            if preds[to].contains(&from) {
+                return Err(GraphError::DuplicateEdge { from, to });
+            }
+            preds[to].push(from);
+        }
+        StageGraph::from_preds(None, self.stages, preds)
     }
 }
 
@@ -465,6 +848,8 @@ mod tests {
         assert_eq!(g.feed_of(0), Feed::Source);
         assert_eq!(g.feed_of(2), Feed::Stage(1));
         assert_eq!(g.branch_of(1), None);
+        assert_eq!(g.topo_order(), &[0, 1, 2]);
+        assert_eq!(g.exit(), 2);
     }
 
     #[test]
@@ -510,6 +895,24 @@ mod tests {
         assert_eq!(g.branch_of(2), Some((0, 0)));
         assert_eq!(g.branch_of(3), Some((0, 1)));
         assert_eq!(g.branch_of(4), None);
+
+        // The DAG view mirrors the sugar exactly.
+        assert_eq!(g.topo_order(), &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(g.preds(4), &[2, 3]);
+        assert_eq!(g.succs(0), &[1, 3]);
+        assert_eq!(
+            g.fan_targets(0),
+            &[
+                FanTarget {
+                    stage: 1,
+                    slot: None
+                },
+                FanTarget {
+                    stage: 3,
+                    slot: None
+                }
+            ]
+        );
     }
 
     #[test]
@@ -521,6 +924,7 @@ mod tests {
         assert_eq!(g.feed_of(0), Feed::Source);
         assert_eq!(g.feed_of(1), Feed::Source);
         assert_eq!(g.after(2), Next::Done);
+        assert_eq!(g.entries(), &[0, 1]);
     }
 
     #[test]
@@ -576,5 +980,139 @@ mod tests {
         let g = sample();
         let result = std::panic::catch_unwind(|| g.validate(7));
         assert!(result.is_err());
+    }
+
+    /// fetch → {parse, audit} → join : ids 0, 1, 2, 3
+    fn diamond() -> StageGraph {
+        StageGraph::dag(4)
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(2, 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn diamond_dag_navigates_like_a_block() {
+        let g = diamond();
+        assert!(!g.is_linear());
+        assert!(g.as_segments().is_none());
+        assert_eq!(g.entry(), Next::Stage(0));
+        assert_eq!(g.after(0), Next::FanOut { block: 0 });
+        assert_eq!(
+            g.after(1),
+            Next::Join {
+                block: 0,
+                branch: 0
+            }
+        );
+        assert_eq!(
+            g.after(2),
+            Next::Join {
+                block: 0,
+                branch: 1
+            }
+        );
+        assert_eq!(g.after(3), Next::Done);
+        assert_eq!(g.feed_of(3), Feed::Merge(vec![1, 2]));
+        assert_eq!(g.merge_of(0), 3);
+        assert_eq!(g.merge_block_of(3), Some(0));
+        assert_eq!(g.branch_of(1), None, "explicit DAGs have no branches");
+        assert_eq!(g.fan_in(3), 2);
+        assert_eq!(g.exit(), 3);
+    }
+
+    #[test]
+    fn shortcut_edge_feeds_a_join_slot_directly() {
+        // a → {b, join}; b → join: the fan-out's second copy fills the
+        // join's slot directly.
+        let g = StageGraph::dag(3)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+            .unwrap();
+        assert_eq!(g.after(0), Next::FanOut { block: 0 });
+        assert_eq!(
+            g.fan_targets(0),
+            &[
+                FanTarget {
+                    stage: 1,
+                    slot: None
+                },
+                FanTarget {
+                    stage: 2,
+                    slot: Some(1)
+                }
+            ]
+        );
+        assert_eq!(g.feed_of(2), Feed::Merge(vec![1, 0]));
+        assert_eq!(g.topo_order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn dag_with_declared_but_unused_middle_stage_is_unreachable() {
+        // 0 → 2, stage 1 exists but feeds/reads nothing.
+        let err = StageGraph::dag(3).edge(0, 2).build().unwrap_err();
+        assert_eq!(err, GraphError::Unreachable { stage: 1 });
+    }
+
+    #[test]
+    fn dag_rejects_cycles_and_self_edges_and_duplicates() {
+        assert!(matches!(
+            StageGraph::dag(2)
+                .edge(0, 1)
+                .edge(1, 0)
+                .build()
+                .unwrap_err(),
+            GraphError::Cycle { .. }
+        ));
+        assert_eq!(
+            StageGraph::dag(2).edge(0, 0).build().unwrap_err(),
+            GraphError::SelfEdge { stage: 0 }
+        );
+        assert_eq!(
+            StageGraph::dag(2)
+                .edge(0, 1)
+                .edge(0, 1)
+                .build()
+                .unwrap_err(),
+            GraphError::DuplicateEdge { from: 0, to: 1 }
+        );
+        assert_eq!(
+            StageGraph::dag(2).edge(0, 3).build().unwrap_err(),
+            GraphError::StageOutOfRange {
+                stage: 3,
+                stages: 2
+            }
+        );
+    }
+
+    #[test]
+    fn dag_rejects_multiple_exits() {
+        let err = StageGraph::dag(3)
+            .edge(0, 1)
+            .edge(0, 2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, GraphError::MultipleExits { exits: vec![1, 2] });
+    }
+
+    #[test]
+    fn out_of_declaration_order_edges_still_topo_sort() {
+        // 2 → 0 → 1: declaration order is not topological order.
+        let g = StageGraph::dag(3).edge(2, 0).edge(0, 1).build().unwrap();
+        assert_eq!(g.topo_order(), &[2, 0, 1]);
+        assert_eq!(g.entries(), &[2]);
+        assert_eq!(g.exit(), 1);
+        assert_eq!(g.entry(), Next::Stage(2));
+    }
+
+    #[test]
+    fn edges_enumerate_every_wire() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
     }
 }

@@ -242,13 +242,17 @@ pub fn evaluate(
                 profile.boundary_bytes[ns],
             );
         }
-    } else {
+    } else if profile.graph.as_segments().is_some() {
         // General series-parallel walk: every graph edge contributes its
         // expected transfer time to the link budget, and the one-item
         // latency follows the *slowest parallel path* through each
         // block — branches overlap, so the block costs max(branch),
         // not sum(branch).
         graph_latency = walk_graph(profile, mapping, rates, topology, np, &mut link_seconds);
+    } else {
+        // Explicitly wired DAG: edge-wise link budget over every wire,
+        // one-item latency along the critical (longest) path.
+        graph_latency = walk_dag(profile, mapping, rates, topology, np, &mut link_seconds);
     }
     for (idx, &secs) in link_seconds.iter().enumerate() {
         if secs > max_link.0 {
@@ -413,6 +417,78 @@ fn walk_graph(
             mapping.placement(ns - 1).hosts(),
             &[dst],
             profile.boundary_bytes[ns],
+            np,
+            link_seconds,
+        );
+    }
+    latency
+}
+
+/// One topological pass over an explicitly wired DAG: accumulates every
+/// edge's expected transfer seconds into `link_seconds` and returns the
+/// critical-path one-item latency — each stage finishes when its
+/// *slowest* predecessor's output has arrived and its own service is
+/// done, and the pipeline latency is the exit stage's finish time (plus
+/// the sink hop when one is declared).
+fn walk_dag(
+    profile: &PipelineProfile,
+    mapping: &Mapping,
+    rates: &[f64],
+    topology: &Topology,
+    np: usize,
+    link_seconds: &mut [f64],
+) -> f64 {
+    let ns = profile.stages();
+    let service = |s: usize| -> f64 {
+        let placement = mapping.placement(s);
+        placement
+            .hosts()
+            .iter()
+            .map(|&h| profile.stage_work[s] / rates[h.index()])
+            .sum::<f64>()
+            / placement.width() as f64
+    };
+    let mut done = vec![0.0f64; ns];
+    for &s in profile.graph.topo_order() {
+        let to_hosts = mapping.placement(s).hosts();
+        let preds = profile.graph.preds(s);
+        let arrive = if preds.is_empty() {
+            match profile.source {
+                Some(src) => edge_cost(
+                    topology,
+                    &[src],
+                    to_hosts,
+                    profile.boundary_bytes[0],
+                    np,
+                    link_seconds,
+                ),
+                None => 0.0,
+            }
+        } else {
+            let mut latest = 0.0f64;
+            for &p in preds {
+                let hop = edge_cost(
+                    topology,
+                    mapping.placement(p).hosts(),
+                    to_hosts,
+                    profile.boundary_bytes[p + 1],
+                    np,
+                    link_seconds,
+                );
+                latest = latest.max(done[p] + hop);
+            }
+            latest
+        };
+        done[s] = arrive + service(s);
+    }
+    let exit = profile.graph.exit();
+    let mut latency = done[exit];
+    if let Some(dst) = profile.sink {
+        latency += edge_cost(
+            topology,
+            mapping.placement(exit).hosts(),
+            &[dst],
+            profile.boundary_bytes[exit + 1],
             np,
             link_seconds,
         );

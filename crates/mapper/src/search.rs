@@ -160,10 +160,11 @@ pub fn exhaustive_frontier(
 ///
 /// Runs in `O(ns² · k)`. This ignores link sharing between groups (the
 /// full model re-scores the result), but captures the dominant
-/// coalesce-vs-spread trade-off. For series-parallel graphs the DP
-/// treats the *flattened* stage order as a chain — a seed
-/// approximation only; every candidate is re-scored by the graph-aware
-/// [`evaluate`] before anything is adopted.
+/// coalesce-vs-spread trade-off. Groups are contiguous in *stage-id
+/// order* — exact for chains, a seed approximation for wider graphs;
+/// `dp_seed` permutes explicit DAGs into topological order first, and
+/// every candidate is re-scored by the graph-aware [`evaluate`] before
+/// anything is adopted.
 pub fn contiguous_dp(
     profile: &PipelineProfile,
     rates: &[f64],
@@ -171,6 +172,57 @@ pub fn contiguous_dp(
     hosts: &[NodeId],
 ) -> Option<ContiguousMapping> {
     let ns = profile.stages();
+    let ends = contiguous_dp_ends(
+        &profile.stage_work,
+        &profile.boundary_bytes[..ns],
+        rates,
+        topology,
+        hosts,
+    )?;
+    Some(ContiguousMapping::new(ends, hosts.to_vec()))
+}
+
+/// DP seed used by the planner: runs the contiguous split over the
+/// graph's *topological order* and scatters the group hosts back to
+/// stage ids. On chain and series-parallel (builder-sugar) graphs the
+/// topological order is the identity permutation, so this reproduces
+/// the historical contiguous seed exactly; on explicit DAGs it keeps
+/// each group a causally-consecutive slice of the pipeline even when
+/// stage ids were declared out of dependency order.
+fn dp_seed(
+    profile: &PipelineProfile,
+    rates: &[f64],
+    topology: &Topology,
+    hosts: &[NodeId],
+) -> Option<Mapping> {
+    let topo = profile.graph.topo_order();
+    let work: Vec<f64> = topo.iter().map(|&s| profile.stage_work[s]).collect();
+    let ingress: Vec<u64> = topo.iter().map(|&s| profile.boundary_bytes[s]).collect();
+    let ends = contiguous_dp_ends(&work, &ingress, rates, topology, hosts)?;
+    let mut assignment = vec![NodeId(0); profile.stages()];
+    let mut start = 0usize;
+    for (g, &end) in ends.iter().enumerate() {
+        for &stage in &topo[start..end] {
+            assignment[stage] = hosts[g];
+        }
+        start = end;
+    }
+    Some(Mapping::from_assignment(&assignment))
+}
+
+/// Core of the contiguous DP over an abstract stage sequence:
+/// `work[i]` is the compute weight of the i-th stage in the sequence
+/// and `ingress[i]` the bytes flowing into it. Returns the group split
+/// points (`ends[g]` = one past the last sequence position of group
+/// `g`), or `None` when no finite-cost split exists.
+fn contiguous_dp_ends(
+    work: &[f64],
+    ingress: &[u64],
+    rates: &[f64],
+    topology: &Topology,
+    hosts: &[NodeId],
+) -> Option<Vec<usize>> {
+    let ns = work.len();
     let k = hosts.len();
     if k == 0 || k > ns {
         return None;
@@ -178,7 +230,7 @@ pub fn contiguous_dp(
     // Prefix sums of stage work for O(1) group-work queries.
     let mut prefix = vec![0.0f64; ns + 1];
     for s in 0..ns {
-        prefix[s + 1] = prefix[s] + profile.stage_work[s];
+        prefix[s + 1] = prefix[s] + work[s];
     }
     let group_cost = |start: usize, end: usize, g: usize| -> f64 {
         let rate = rates[hosts[g].index()];
@@ -186,14 +238,14 @@ pub fn contiguous_dp(
             return f64::INFINITY;
         }
         let compute = (prefix[end] - prefix[start]) / rate;
-        let ingress = if g == 0 {
+        let transfer = if g == 0 {
             0.0
         } else {
             topology
-                .transfer_time(hosts[g - 1], hosts[g], profile.boundary_bytes[start])
+                .transfer_time(hosts[g - 1], hosts[g], ingress[start])
                 .as_secs_f64()
         };
-        compute + ingress
+        compute + transfer
     };
 
     // dp[g][s] = minimal bottleneck for stages 0..s in groups 0..=g,
@@ -227,7 +279,7 @@ pub fn contiguous_dp(
         s = back[g][s];
         ends[g - 1] = s;
     }
-    Some(ContiguousMapping::new(ends, hosts.to_vec()))
+    Some(ends)
 }
 
 /// Steepest-descent local search from `start`.
@@ -385,17 +437,17 @@ fn plan_large(
             }
         };
 
-    // Seed 1: contiguous DP over the fastest k nodes, for geometrically
-    // spaced k (every k would multiply planning cost ~linearly in np for
-    // marginal gain — the local search bridges nearby k anyway).
+    // Seed 1: contiguous DP over the graph's topological order on the
+    // fastest k nodes, for geometrically spaced k (every k would
+    // multiply planning cost ~linearly in np for marginal gain — the
+    // local search bridges nearby k anyway).
     let k_max = ns.min(np);
     let mut ks: Vec<usize> = std::iter::successors(Some(1usize), |&k| Some(k * 2))
         .take_while(|&k| k < k_max)
         .collect();
     ks.push(k_max);
     for k in ks {
-        if let Some(cm) = contiguous_dp(profile, rates, topology, &by_rate[..k]) {
-            let seed = cm.to_mapping();
+        if let Some(seed) = dp_seed(profile, rates, topology, &by_rate[..k]) {
             let (m, p) = local_search(
                 profile,
                 rates,

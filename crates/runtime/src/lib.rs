@@ -61,9 +61,11 @@ pub mod prelude {
     pub use crate::fault::{FaultTracker, FaultTransition};
     pub use crate::metrics::{StageMetrics, StageStats};
     pub use crate::policy::Policy;
-    pub use crate::report::{AdaptationEvent, ReportBuilder, RunReport};
+    pub use crate::report::{AdaptationEvent, DeadLetter, ReportBuilder, RunReport};
     pub use crate::routing::{RoutingTable, Selection};
-    pub use crate::session::{BuildError, RunConfig, RunError, RunHooks, Session, SessionId};
+    pub use crate::session::{
+        BuildError, ResiliencePolicy, RunConfig, RunError, RunHooks, Session, SessionId,
+    };
     pub use adapipe_gridsim::fault::{Fault, FaultPlan};
 }
 

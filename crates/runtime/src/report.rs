@@ -24,6 +24,22 @@ pub struct AdaptationEvent {
     pub migration_cost: SimDuration,
 }
 
+/// One poison item diverted to the dead-letter channel: the item
+/// exhausted a stage's retry budget and the stage's
+/// `ResiliencePolicy::dead_letter` chose diversion over failing the
+/// run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Sequence number of the diverted item.
+    pub seq: u64,
+    /// The stage that gave up on it.
+    pub stage: usize,
+    /// Total attempts consumed (first try + retries).
+    pub attempts: u32,
+    /// The final attempt's error.
+    pub reason: String,
+}
+
 /// Summary of one pipeline run (simulated or wall-clock).
 #[derive(Debug)]
 pub struct RunReport {
@@ -71,6 +87,18 @@ pub struct RunReport {
     /// Declared shard count per stage (0 for stages without keyed
     /// state) — the denominator for shard-rebalance accounting.
     pub stage_shards: Vec<usize>,
+    /// Retry attempts consumed across all stages (each re-presentation
+    /// of a failed item counts once).
+    pub retries: u64,
+    /// Attempts whose service time exceeded the stage's declared
+    /// per-item timeout.
+    pub timeouts: u64,
+    /// Poison items diverted to the dead-letter channel instead of
+    /// completing (`== dead_letter_log.len()`).
+    pub dead_letters: u64,
+    /// The dead-letter channel itself: one record per diverted item,
+    /// with its originating stage, attempt count, and error.
+    pub dead_letter_log: Vec<DeadLetter>,
 }
 
 impl RunReport {
@@ -188,7 +216,8 @@ impl RunReport {
              \"mean_latency_secs\":{},\"latency_p50_secs\":{},\"latency_p95_secs\":{},\
              \"latency_p99_secs\":{},\"adaptation_count\":{},\"total_migration_cost_secs\":{},\
              \"planning_cycles\":{},\"truncated\":{},\"replays\":{},\"migrations\":{},\
-             \"state_bytes_moved\":{},\"stage_shards\":[{}],\"node_busy_secs\":[{}],\
+             \"state_bytes_moved\":{},\"retries\":{},\"timeouts\":{},\"dead_letters\":{},\
+             \"stage_shards\":[{}],\"node_busy_secs\":[{}],\
              \"node_downtime_secs\":[{}],\"final_mapping\":{},\"adaptations\":[{}]}}",
             self.completed,
             json_f64(self.makespan.as_secs_f64()),
@@ -204,6 +233,9 @@ impl RunReport {
             self.replays,
             self.migrations,
             self.state_bytes_moved,
+            self.retries,
+            self.timeouts,
+            self.dead_letters,
             stage_shards.join(","),
             node_busy.join(","),
             node_downtime.join(","),
@@ -248,6 +280,9 @@ pub struct ReportBuilder {
     migrations: u64,
     state_bytes_moved: u64,
     stage_shards: Vec<usize>,
+    retries: u64,
+    timeouts: u64,
+    dead_letter_log: Vec<DeadLetter>,
     /// The run's fault plan and node count; per-node downtime is
     /// settled against the makespan at [`ReportBuilder::finish`].
     faults: Option<(FaultPlan, usize)>,
@@ -271,6 +306,9 @@ impl ReportBuilder {
             migrations: 0,
             state_bytes_moved: 0,
             stage_shards: Vec::new(),
+            retries: 0,
+            timeouts: 0,
+            dead_letter_log: Vec::new(),
             faults: None,
         }
     }
@@ -313,6 +351,49 @@ impl ReportBuilder {
     /// state) so the report can relate migration totals to shard maps.
     pub fn set_stage_shards(&mut self, stage_shards: Vec<usize>) {
         self.stage_shards = stage_shards;
+    }
+
+    /// Records `n` retry attempts (re-presentations of failed items).
+    pub fn record_retries(&mut self, n: u64) {
+        self.retries += n;
+    }
+
+    /// Overwrites the retry counter — for backends that count retries
+    /// in an atomic shared across worker threads and settle at
+    /// teardown.
+    pub fn set_retries(&mut self, retries: u64) {
+        self.retries = retries;
+    }
+
+    /// Records `n` attempts that exceeded their stage's declared
+    /// per-item timeout.
+    pub fn record_timeouts(&mut self, n: u64) {
+        self.timeouts += n;
+    }
+
+    /// Overwrites the timeout counter (atomic-settling backends).
+    pub fn set_timeouts(&mut self, timeouts: u64) {
+        self.timeouts = timeouts;
+    }
+
+    /// Diverts one poison item into the dead-letter channel. A
+    /// dead-lettered item counts toward stream completion (see
+    /// [`ReportBuilder::accounted`]) but not toward `completed`.
+    pub fn record_dead_letter(&mut self, letter: DeadLetter) {
+        self.dead_letter_log.push(letter);
+    }
+
+    /// Dead letters recorded so far.
+    pub fn dead_letters(&self) -> u64 {
+        self.dead_letter_log.len() as u64
+    }
+
+    /// Items the run has settled one way or the other: completions plus
+    /// dead letters. This — not `completed` alone — is what a stream
+    /// must reach for the run to count as finished rather than
+    /// truncated.
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.dead_letters()
     }
 
     /// Records one item reaching the sink at `at` after `latency`.
@@ -389,9 +470,10 @@ impl ReportBuilder {
         self.completed
     }
 
-    /// True once every expected item has completed.
+    /// True once every expected item has been settled (completed or
+    /// dead-lettered).
     pub fn all_done(&self) -> bool {
-        self.completed >= self.expected_items
+        self.accounted() >= self.expected_items
     }
 
     /// Assembles the final report from the accumulated completions plus
@@ -404,7 +486,7 @@ impl ReportBuilder {
         node_busy: Vec<SimDuration>,
         stage_metrics: StageMetrics,
     ) -> RunReport {
-        let truncated = self.completed < self.expected_items;
+        let truncated = self.accounted() < self.expected_items;
         let node_downtime = match &self.faults {
             Some((plan, node_count)) => plan.downtime(*node_count, self.last_completion),
             None => Vec::new(),
@@ -430,6 +512,10 @@ impl ReportBuilder {
             migrations: self.migrations,
             state_bytes_moved: self.state_bytes_moved,
             stage_shards: self.stage_shards,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            dead_letters: self.dead_letter_log.len() as u64,
+            dead_letter_log: self.dead_letter_log,
         }
     }
 }
@@ -457,6 +543,10 @@ mod tests {
             migrations: 0,
             state_bytes_moved: 0,
             stage_shards: Vec::new(),
+            retries: 0,
+            timeouts: 0,
+            dead_letters: 0,
+            dead_letter_log: Vec::new(),
         }
     }
 
@@ -561,6 +651,43 @@ mod tests {
         assert!(json.contains("\"migrations\":3"), "{json}");
         assert!(json.contains("\"state_bytes_moved\":1024"), "{json}");
         assert!(json.contains("\"stage_shards\":[4,0]"), "{json}");
+    }
+
+    #[test]
+    fn resilience_counters_flow_into_the_report_and_json() {
+        let mut b = ReportBuilder::new(SimDuration::from_secs(1), 3);
+        b.record_completion(SimTime::from_secs_f64(1.0), SimDuration::from_secs(1));
+        b.record_completion(SimTime::from_secs_f64(2.0), SimDuration::from_secs(1));
+        b.record_retries(4);
+        b.record_timeouts(1);
+        assert!(!b.all_done(), "2 of 3 settled");
+        b.record_dead_letter(DeadLetter {
+            seq: 1,
+            stage: 2,
+            attempts: 3,
+            reason: "checksum mismatch".into(),
+        });
+        // A dead letter settles the third item: the stream is complete,
+        // not truncated, even though only 2 items *completed*.
+        assert_eq!(b.accounted(), 3);
+        assert!(b.all_done());
+        let r = b.finish(
+            Mapping::from_assignment(&[NodeId(0)]),
+            vec![],
+            0,
+            vec![SimDuration::ZERO],
+            StageMetrics::new(1),
+        );
+        assert!(!r.truncated);
+        assert_eq!(r.completed, 2);
+        assert_eq!((r.retries, r.timeouts, r.dead_letters), (4, 1, 1));
+        assert_eq!(r.dead_letter_log.len(), 1);
+        assert_eq!(r.dead_letter_log[0].stage, 2);
+        assert_eq!(r.dead_letter_log[0].attempts, 3);
+        let json = r.to_json();
+        for key in ["\"retries\":4", "\"timeouts\":1", "\"dead_letters\":1"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

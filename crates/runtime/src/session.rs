@@ -176,6 +176,31 @@ pub enum BuildError {
         /// The share still unclaimed by live sessions.
         available: f64,
     },
+    /// The declared stage graph contains a cycle — a pipeline item
+    /// could revisit a stage forever.
+    GraphCycle {
+        /// A stage on the cycle (by name).
+        stage: String,
+    },
+    /// A declared stage is wired into no path from source to sink —
+    /// items could never reach (or never leave) it.
+    UnreachableStage {
+        /// The orphaned stage (by name).
+        stage: String,
+    },
+    /// An `edge(from, to)` call names a stage that was never declared
+    /// with `node(...)`.
+    UnknownStage {
+        /// The undeclared name the edge referenced.
+        name: String,
+    },
+    /// A declared edge is structurally invalid: a self-loop, a
+    /// duplicate wire, or a graph whose edges leave more than one
+    /// terminal stage (a pipeline has exactly one sink).
+    InvalidEdge {
+        /// What is wrong with the wiring.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -265,11 +290,141 @@ impl std::fmt::Display for BuildError {
                      {requested:.3} static share but only {available:.3} is unclaimed"
                 )
             }
+            BuildError::GraphCycle { stage } => {
+                write!(f, "stage graph has a cycle through '{stage}'")
+            }
+            BuildError::UnreachableStage { stage } => {
+                write!(
+                    f,
+                    "stage '{stage}' is on no source-to-sink path; wire it with edge()"
+                )
+            }
+            BuildError::UnknownStage { name } => {
+                write!(f, "edge references undeclared stage '{name}'")
+            }
+            BuildError::InvalidEdge { detail } => {
+                write!(f, "invalid edge: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// Per-stage failure handling, honoured identically by both backends.
+///
+/// The default policy is the historical behaviour: no retries, no
+/// timeout accounting, no dead-letter diversion, no tracing — a stage
+/// error fails the run. Each knob opts one stage into one recovery
+/// behaviour:
+///
+/// * **retries** — a failed item is re-presented to the stage up to
+///   `max_retries` more times, waiting `backoff × factor^(n-1)` before
+///   the n-th retry (backend clock: simulated seconds, or a real
+///   `thread::sleep` on the threaded engine);
+/// * **timeout** — a single attempt whose service time exceeds the
+///   bound counts in `RunReport::timeouts` (and, where the item can be
+///   safely re-presented, is retried like a failure);
+/// * **dead-letter** — an item that exhausts its retries is *diverted*
+///   (with its originating stage, attempt count, and error) into the
+///   report's dead-letter channel instead of failing the session;
+/// * **trace** — every (item, stage) hop emits a
+///   [`RunEvent::ItemTrace`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Additional attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Delay before the first retry.
+    pub backoff: SimDuration,
+    /// Multiplier applied to the delay for each further retry.
+    pub backoff_factor: f64,
+    /// Per-attempt service-time bound, if any.
+    pub timeout: Option<SimDuration>,
+    /// Divert exhausted items to the dead-letter channel instead of
+    /// failing the run with [`RunError::PoisonItem`].
+    pub dead_letter: bool,
+    /// Emit a [`RunEvent::ItemTrace`] per (item, stage) hop.
+    pub trace: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff: SimDuration::ZERO,
+            backoff_factor: 2.0,
+            timeout: None,
+            dead_letter: false,
+            trace: false,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// The historical no-recovery policy (all knobs off).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the retry budget: up to `n` re-presentations after the
+    /// first failure.
+    #[must_use]
+    pub fn retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Sets the exponential backoff schedule: `base` before the first
+    /// retry, multiplied by `factor` for each further one.
+    #[must_use]
+    pub fn backoff(mut self, base: SimDuration, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "backoff factor must be finite and at least 1"
+        );
+        self.backoff = base;
+        self.backoff_factor = factor;
+        self
+    }
+
+    /// Sets the per-attempt service-time bound.
+    #[must_use]
+    pub fn timeout(mut self, bound: SimDuration) -> Self {
+        self.timeout = Some(bound);
+        self
+    }
+
+    /// Diverts exhausted items to the dead-letter channel instead of
+    /// failing the run.
+    #[must_use]
+    pub fn dead_letter(mut self) -> Self {
+        self.dead_letter = true;
+        self
+    }
+
+    /// Emits a [`RunEvent::ItemTrace`] per (item, stage) hop.
+    #[must_use]
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Delay before retry number `retry` (1-based): `backoff ×
+    /// factor^(retry-1)`.
+    pub fn backoff_delay(&self, retry: u32) -> SimDuration {
+        if retry == 0 || self.backoff == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let scale = self.backoff_factor.powi(retry.saturating_sub(1) as i32);
+        SimDuration::from_secs_f64(self.backoff.as_secs_f64() * scale)
+    }
+
+    /// True when every knob is at its default — the fast path both
+    /// backends take for stages with no declared resilience.
+    pub fn is_default(&self) -> bool {
+        self.max_retries == 0 && self.timeout.is_none() && !self.dead_letter && !self.trace
+    }
+}
 
 /// A shareable callback observing committed re-mappings.
 pub type RemapHook = Arc<dyn Fn(&RemapPlan) + Send + Sync>;
@@ -339,6 +494,36 @@ pub enum RunEvent {
         node: usize,
         /// The scheduled instant of the recovery, on the backend clock.
         at: SimTime,
+    },
+    /// One (item, stage) hop on a stage whose [`ResiliencePolicy`]
+    /// opted into tracing. Fires once per hop, after the stage settled
+    /// the item (success, dead-letter, or poison failure), with the
+    /// number of attempts the hop consumed.
+    ItemTrace {
+        /// The session the traced item belongs to.
+        session: SessionId,
+        /// Sequence number of the traced item.
+        seq: u64,
+        /// The stage the item passed through.
+        stage: usize,
+        /// Attempts the hop consumed (1 = clean first try).
+        attempts: u32,
+        /// When the hop settled, on the backend clock.
+        at: SimTime,
+    },
+    /// An item exhausted a stage's retry budget and was diverted to the
+    /// dead-letter channel (the stage's policy set `dead_letter`). The
+    /// full record — stage, attempts, error — lands in
+    /// `RunReport::dead_letter_log`.
+    ItemDeadLettered {
+        /// The session the poisoned item belongs to.
+        session: SessionId,
+        /// Sequence number of the diverted item.
+        seq: u64,
+        /// The stage that gave up on it.
+        stage: usize,
+        /// Total attempts consumed (first try + retries).
+        attempts: u32,
     },
     /// An in-flight item stranded on a down node was re-dealt to a live
     /// host (at-least-once replay). Fires once per rescue; the total is
@@ -413,6 +598,20 @@ pub enum RunError {
         /// The evicted session.
         session: SessionId,
     },
+    /// An item exhausted a stage's retry budget on a stage whose
+    /// [`ResiliencePolicy`] did *not* opt into dead-lettering: the item
+    /// has nowhere to go and the run fails. Enable `dead_letter()` on
+    /// the stage to divert such items instead.
+    PoisonItem {
+        /// Name of the stage that exhausted its retries.
+        stage: String,
+        /// Sequence number of the poisoned item.
+        seq: u64,
+        /// Total attempts consumed (first try + retries).
+        attempts: u32,
+        /// The final attempt's error.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -443,6 +642,18 @@ impl std::fmt::Display for RunError {
             }
             RunError::Evicted { session } => {
                 write!(f, "session {session} was evicted from the cluster")
+            }
+            RunError::PoisonItem {
+                stage,
+                seq,
+                attempts,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "item {seq} failed stage '{stage}' {attempts} times ({reason}); \
+                     enable dead_letter() on the stage to divert poison items"
+                )
             }
         }
     }
@@ -1164,6 +1375,56 @@ mod tests {
         other.fail(RunError::StageTypeMismatch { stage: "x".into() });
         assert_eq!(ctl.error(), Some(RunError::AllNodesDown));
         assert!(ctl.error().unwrap().to_string().contains("every node"));
+    }
+
+    #[test]
+    fn resilience_policy_defaults_and_backoff_schedule() {
+        let p = ResiliencePolicy::default();
+        assert!(p.is_default());
+        assert_eq!(p.backoff_delay(1), SimDuration::ZERO);
+        let p = ResiliencePolicy::new()
+            .retries(3)
+            .backoff(SimDuration::from_secs(1), 2.0)
+            .timeout(SimDuration::from_secs(10))
+            .dead_letter()
+            .trace();
+        assert!(!p.is_default());
+        assert_eq!(p.max_retries, 3);
+        assert_eq!(p.timeout, Some(SimDuration::from_secs(10)));
+        assert!(p.dead_letter && p.trace);
+        // Exponential: 1 s, 2 s, 4 s before retries 1, 2, 3.
+        assert_eq!(p.backoff_delay(1), SimDuration::from_secs(1));
+        assert_eq!(p.backoff_delay(2), SimDuration::from_secs(2));
+        assert_eq!(p.backoff_delay(3), SimDuration::from_secs(4));
+        assert_eq!(p.backoff_delay(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn graph_build_errors_display_usefully() {
+        let e = BuildError::GraphCycle { stage: "b".into() };
+        assert!(e.to_string().contains("cycle"));
+        let e = BuildError::UnreachableStage { stage: "c".into() };
+        assert!(e.to_string().contains("'c'"));
+        let e = BuildError::UnknownStage {
+            name: "ghost".into(),
+        };
+        assert!(e.to_string().contains("ghost"));
+        let e = BuildError::InvalidEdge {
+            detail: "duplicate edge a -> b".into(),
+        };
+        assert!(e.to_string().contains("duplicate edge"));
+    }
+
+    #[test]
+    fn poison_item_error_names_the_stage_and_fix() {
+        let e = RunError::PoisonItem {
+            stage: "parse".into(),
+            seq: 7,
+            attempts: 4,
+            reason: "bad utf-8".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("parse") && s.contains("7") && s.contains("dead_letter"));
     }
 
     #[test]

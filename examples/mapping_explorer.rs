@@ -69,4 +69,40 @@ fn main() {
     println!("node dominates in speed it concentrates and replicates work");
     println!("there — exactly the trade-offs the adaptive pattern");
     println!("re-evaluates every monitoring period.");
+
+    // The planner consumes a *stage graph*, not a list: linear chains
+    // and series-parallel splits are special cases of a general DAG.
+    // Print the topology the cost model walks for the README's diamond.
+    let names = ["fetch", "parse", "audit", "combine", "sink"];
+    let diamond = StageGraph::dag(5)
+        .edge(0, 1) // fetch → parse
+        .edge(0, 2) // fetch → audit
+        .edge(1, 3) // parse → combine
+        .edge(2, 3) // audit → combine
+        .edge(3, 4) // combine → sink
+        .build()
+        .expect("the diamond is a valid DAG");
+    println!("\n== stage-graph topology (a general DAG) ==\n");
+    println!(
+        "stages, topologically: {}",
+        diamond
+            .topo_order()
+            .iter()
+            .map(|&s| names[s])
+            .collect::<Vec<_>>()
+            .join(" → ")
+    );
+    println!("edges:");
+    for (from, to) in diamond.edges() {
+        println!("  {} → {}", names[from], names[to]);
+    }
+    println!(
+        "fan-out points: {}   joining stages: {}",
+        diamond.blocks(),
+        diamond.join_blocks()
+    );
+    println!("\nEvery stage above is planned like the 3-stage chain in the");
+    println!("table — the graph only changes which stages feed which, so a");
+    println!("branch can overlap with its sibling instead of queueing");
+    println!("behind it.");
 }

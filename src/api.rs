@@ -103,11 +103,12 @@
 
 use adapipe_cluster::threads::ThreadCluster;
 use adapipe_core::pipeline::Pipeline as CorePipeline;
-use adapipe_core::simengine::{SimConfig, SimStepper};
-use adapipe_core::spec::{PipelineSpec, Segment, StageGraph, StageSpec};
+use adapipe_core::simengine::{ItemFate, SimConfig, SimStepper};
+use adapipe_core::spec::{Next, PipelineSpec, ResiliencePolicy, Segment, StageGraph, StageSpec};
 use adapipe_core::stage::{
-    fan_out_fn, AccumStage, BoxedItem, DynStage, FanOutFn, FnStage, KeyFn, KeyedStage, MergeStage,
-    SealedStage, SnapStage, StatefulFnStage,
+    clone_fn, fan_out_fn, AccumStage, BoxedItem, CloneFn, DynStage, FallibleFnStage, FanOutFn,
+    FnStage, KeyFn, KeyedStage, MergeStage, SealedStage, SnapStage, StageError, StageTypeError,
+    StatefulFnStage,
 };
 use adapipe_engine::exec::{self, EngineConfig, EngineSession};
 use adapipe_engine::vnode::VNodeSpec;
@@ -115,6 +116,7 @@ use adapipe_gridsim::fault::FaultPlan;
 use adapipe_gridsim::grid::GridSpec;
 use adapipe_gridsim::node::NodeId;
 use adapipe_gridsim::time::SimTime;
+use adapipe_mapper::graph::GraphError;
 use adapipe_runtime::arrivals::ArrivalStream;
 use adapipe_runtime::metrics::StageStats;
 use adapipe_runtime::policy::Policy;
@@ -227,6 +229,17 @@ impl<I: Send + 'static> Pipeline<I, I> {
     /// Starts a builder for a pipeline whose inputs have type `I`.
     pub fn builder() -> PipelineBuilder<I, I> {
         PipelineBuilder::new()
+    }
+}
+
+impl<I: Clone + Send + 'static> Pipeline<I, I> {
+    /// Starts a *DAG* builder for a pipeline whose inputs have type
+    /// `I`: named stages wired with explicit [`DagBuilder::edge`] /
+    /// [`DagBuilder::join`] calls instead of the linear /
+    /// series-parallel chain sugar. The input must be `Clone` — a DAG
+    /// may feed one item to several entry stages.
+    pub fn dag() -> DagBuilder<I> {
+        DagBuilder::new()
     }
 }
 
@@ -366,6 +379,9 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
         };
         let arrivals = self.session.arrivals().stream();
         let graph = self.spec.graph.clone();
+        let stage_specs = self.spec.stages.clone();
+        let dag_exec =
+            graph.as_segments().is_none() || stage_specs.iter().any(|s| !s.resilience.is_default());
         let stepper = Arc::new(Mutex::new(SimStepper::new(grid, self.spec, &sim_cfg)));
         let ctl = Arc::new(SimTenantCtl::default());
         if let Some(pool) = &pool {
@@ -389,6 +405,8 @@ impl<I: Send + 'static, O: Send + 'static> Pipeline<I, O> {
                 stages: self.stages,
                 graph,
                 fanouts: self.fanouts,
+                stage_specs,
+                dag_exec,
                 arrivals,
                 outputs: HashMap::new(),
                 done_ordered: BTreeSet::new(),
@@ -553,6 +571,15 @@ struct SimSession<'g> {
     graph: StageGraph,
     /// One duplicator per parallel block.
     fanouts: Vec<FanOutFn>,
+    /// Per-stage cost/resilience metadata (name and
+    /// [`ResiliencePolicy`]) for the push-time executor.
+    stage_specs: Vec<StageSpec>,
+    /// True when push-time execution must walk the general DAG executor
+    /// ([`run_dag_at_push`]): the graph was wired explicitly, or some
+    /// stage declares a non-default resilience policy. Sugar graphs
+    /// with all-default policies keep the historical segment walk
+    /// byte-identical.
+    dag_exec: bool,
     arrivals: ArrivalStream,
     /// Outputs computed at push, keyed by sequence number; absent for
     /// marker pushes (the batch wrapper's metadata-only items).
@@ -627,11 +654,12 @@ impl SimSession<'_> {
         }
     }
 
-    /// True while some pushed item has not yet completed and the world
-    /// can still make progress toward it.
+    /// True while some pushed item has not yet been accounted for —
+    /// completed at the sink *or* diverted to the dead-letter channel —
+    /// and the world can still make progress toward it.
     fn pending(&self) -> bool {
         let st = self.stepper.lock().expect("sim stepper poisoned");
-        !st.is_exhausted() && st.completed() < st.pushed()
+        !st.is_exhausted() && st.accounted() < st.pushed()
     }
 
     /// Advances virtual time by one event: the session's own clock when
@@ -760,21 +788,50 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
                         session: sim.session,
                     });
                 }
+                // Run the stage functions *before* entering the item
+                // into the world: the executor's observed outcome (the
+                // [`ItemFate`] — per-stage retry counts, a possible
+                // dead-letter diversion) rides in with the push so the
+                // world can charge the extra attempts and divert the
+                // item at the fated stage.
+                let seq_hint = sim.stepper.lock().expect("sim stepper poisoned").pushed();
+                let (out, fate) = {
+                    let SimSession {
+                        ref graph,
+                        ref fanouts,
+                        ref mut stages,
+                        ref stage_specs,
+                        dag_exec,
+                        ..
+                    } = **sim;
+                    if dag_exec {
+                        run_dag_at_push(
+                            graph,
+                            fanouts,
+                            stages,
+                            stage_specs,
+                            &self.control,
+                            seq_hint,
+                            Box::new(item),
+                        )
+                    } else {
+                        let out = run_graph_at_push(
+                            graph,
+                            fanouts,
+                            stages,
+                            &self.control,
+                            Box::new(item),
+                        );
+                        (out, ItemFate::default())
+                    }
+                };
                 let at = sim.arrivals.next().expect("arrival stream is infinite");
                 let seq = sim
                     .stepper
                     .lock()
                     .expect("sim stepper poisoned")
-                    .push_at(at);
-                let SimSession {
-                    ref graph,
-                    ref fanouts,
-                    ref mut stages,
-                    ..
-                } = **sim;
-                if let Some(out) =
-                    run_graph_at_push(graph, fanouts, stages, &self.control, Box::new(item))
-                {
+                    .push_at_with_fate(at, fate);
+                if let Some(out) = out {
                     sim.outputs.insert(seq, out);
                 }
                 Ok(seq)
@@ -1080,6 +1137,155 @@ fn run_graph_at_push(
         }
     }
     Some(cur)
+}
+
+/// Push-time execution over a *general* DAG, honouring per-stage
+/// [`ResiliencePolicy`]s: the item's payloads travel the wired graph
+/// (fan-out copies in edge order, join inputs assembled in slot order)
+/// while every stage failure runs the policy's retry loop. Returns the
+/// exit output (or `None` when the item dead-letters, or on a fatal
+/// error already recorded on `control`) plus the [`ItemFate`] the
+/// simulated world needs to charge the retries and divert the item at
+/// the fated stage. `seq` is the sequence number the item is about to
+/// be pushed under (used only in error payloads).
+fn run_dag_at_push(
+    graph: &StageGraph,
+    fanouts: &[FanOutFn],
+    stages: &mut [Box<dyn DynStage>],
+    specs: &[StageSpec],
+    control: &SessionControl,
+    seq: u64,
+    item: BoxedItem,
+) -> (Option<BoxedItem>, ItemFate) {
+    let mut fate = ItemFate::default();
+    // Join assembly state: join block → per-slot deposits. One item in
+    // flight, so the key is the block alone.
+    let mut joins: HashMap<usize, Vec<Option<BoxedItem>>> = HashMap::new();
+    // Payloads ready to be processed, FIFO over the acyclic graph.
+    let mut ready: VecDeque<(usize, BoxedItem)> = VecDeque::new();
+
+    let fail_type = |control: &SessionControl, stage: String| {
+        control.fail(RunError::StageTypeMismatch { stage });
+    };
+
+    match graph.entry() {
+        Next::Stage(s) => ready.push_back((s, item)),
+        Next::FanOut { block } => {
+            if let Err(type_err) = fan_to(graph, fanouts, block, item, &mut joins, &mut ready) {
+                fail_type(control, type_err.stage);
+                return (None, fate);
+            }
+        }
+        Next::Done | Next::Join { .. } => {
+            unreachable!("a pipeline entry is a stage or an input fan-out")
+        }
+    }
+
+    while let Some((stage, payload)) = ready.pop_front() {
+        let policy = &specs[stage].resilience;
+        let mut attempt: u32 = 1;
+        let mut cur = payload;
+        let out = loop {
+            match stages[stage].try_process(cur) {
+                Ok(out) => break out,
+                Err(StageError::Type(type_err)) => {
+                    fail_type(control, type_err.stage);
+                    return (None, fate);
+                }
+                Err(StageError::Item { reason, item }) => {
+                    if attempt > policy.max_retries {
+                        // Budget spent: `attempt - 1` retries happened.
+                        if attempt > 1 {
+                            fate.failed.push((stage, attempt - 1));
+                        }
+                        if policy.dead_letter {
+                            fate.dead = Some((stage, reason));
+                        } else {
+                            control.fail(RunError::PoisonItem {
+                                stage: specs[stage].name.clone(),
+                                seq,
+                                attempts: attempt,
+                                reason,
+                            });
+                        }
+                        return (None, fate);
+                    }
+                    cur = item;
+                    attempt += 1;
+                }
+            }
+        };
+        if attempt > 1 {
+            fate.failed.push((stage, attempt - 1));
+        }
+        match graph.after(stage) {
+            Next::Done => return (Some(out), fate),
+            Next::Stage(s) => ready.push_back((s, out)),
+            Next::Join { block, branch } => {
+                deposit_at_push(graph, block, branch, out, &mut joins, &mut ready);
+            }
+            Next::FanOut { block } => {
+                if let Err(type_err) = fan_to(graph, fanouts, block, out, &mut joins, &mut ready) {
+                    fail_type(control, type_err.stage);
+                    return (None, fate);
+                }
+            }
+        }
+    }
+    unreachable!("acyclic graph executor drained without reaching the exit")
+}
+
+/// Fans one payload through fan block `block`: plain targets queue
+/// their copy for processing; slotted targets (a producer feeding one
+/// input slot of a downstream join directly) deposit it instead.
+fn fan_to(
+    graph: &StageGraph,
+    fanouts: &[FanOutFn],
+    block: usize,
+    payload: BoxedItem,
+    joins: &mut HashMap<usize, Vec<Option<BoxedItem>>>,
+    ready: &mut VecDeque<(usize, BoxedItem)>,
+) -> Result<(), StageTypeError> {
+    let parts = fanouts[block](payload)?;
+    for (target, part) in graph.fan_targets(block).iter().zip(parts) {
+        match target.slot {
+            None => ready.push_back((target.stage, part)),
+            Some(slot) => {
+                let jblock = graph
+                    .merge_block_of(target.stage)
+                    .expect("slotted fan target joins");
+                deposit_at_push(graph, jblock, slot, part, joins, ready);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Deposits one input into join `block`'s slot `slot`; when the set
+/// completes, the assembled vector (slot order) queues for the joining
+/// stage.
+fn deposit_at_push(
+    graph: &StageGraph,
+    block: usize,
+    slot: usize,
+    part: BoxedItem,
+    joins: &mut HashMap<usize, Vec<Option<BoxedItem>>>,
+    ready: &mut VecDeque<(usize, BoxedItem)>,
+) {
+    let k = graph.branch_count(block);
+    let slots = joins
+        .entry(block)
+        .or_insert_with(|| (0..k).map(|_| None).collect());
+    slots[slot] = Some(part);
+    if slots.iter().all(Option::is_some) {
+        let parts: Vec<BoxedItem> = joins
+            .remove(&block)
+            .expect("slots just inserted")
+            .into_iter()
+            .map(|p| p.expect("all slots present"))
+            .collect();
+        ready.push_back((graph.merge_of(block), Box::new(parts)));
+    }
 }
 
 /// Cluster-level configuration: properties of the shared pool itself,
@@ -1684,6 +1890,49 @@ impl<In: Send + 'static, Cur: Send + 'static> PipelineBuilder<In, Cur> {
         self.retype()
     }
 
+    /// Appends a *fallible* stateless stage: the closure may reject an
+    /// item with an error string, and the stage's declared
+    /// [`ResiliencePolicy`] (see [`PipelineBuilder::resilience`])
+    /// decides what happens — retry with backoff, dead-letter
+    /// diversion, or the default fail-fast [`RunError::PoisonItem`].
+    /// The input must be `Clone` so a failed attempt hands the
+    /// untouched item back for re-presentation.
+    pub fn try_stage<Out, F>(self, name: impl Into<String>, f: F) -> PipelineBuilder<In, Out>
+    where
+        Cur: Clone,
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Result<Out, String> + Send + Clone + 'static,
+    {
+        self.try_stage_with(StageSpec::balanced(name, 1.0, 0), f)
+    }
+
+    /// Appends a fallible stage with explicit cost metadata.
+    pub fn try_stage_with<Out, F>(mut self, spec: StageSpec, f: F) -> PipelineBuilder<In, Out>
+    where
+        Cur: Clone,
+        Out: Send + 'static,
+        F: FnMut(Cur) -> Result<Out, String> + Send + Clone + 'static,
+    {
+        self.stages
+            .push(Box::new(FallibleFnStage::new(spec.name.clone(), f)));
+        self.keys.push(None);
+        self.specs.push(spec);
+        self.note_series_stage();
+        self.retype()
+    }
+
+    /// Declares the failure-handling policy of the most recently
+    /// appended stage: bounded retries with exponential backoff,
+    /// per-attempt timeout accounting, dead-letter diversion, per-hop
+    /// tracing — honoured identically by both backends. A call before
+    /// any stage was appended is ignored.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        if let Some(spec) = self.specs.last_mut() {
+            spec.resilience = policy;
+        }
+        self
+    }
+
     /// Appends a stage with *keyed* state: items hash to one of
     /// `shards` independent state slices via `key`, each first-seen key
     /// is seeded from `init`, and `f` folds the item into its key's
@@ -2140,5 +2389,376 @@ impl<In: Send + 'static, B: Send + 'static> ParallelBuilder<In, B> {
         builder.specs.push(spec);
         builder.shape.push(ShapeSeg::Block(self.branch_lens));
         builder.retype()
+    }
+}
+
+/// Builds a [`FanOutFn`] from a producer's [`CloneFn`]: `n - 1` clones
+/// plus the original, in edge order (every copy carries the same
+/// value). A payload the clone function cannot read is the usual typed
+/// mis-assembly error.
+fn fan_out_from_clone(stage: String, clone: CloneFn, n: usize) -> FanOutFn {
+    Arc::new(move |item: BoxedItem| {
+        let mut parts: Vec<BoxedItem> = Vec::with_capacity(n);
+        for _ in 1..n {
+            parts.push(clone(&item).ok_or_else(|| StageTypeError {
+                stage: stage.clone(),
+                expected: "the producer's declared (cloneable) output type",
+            })?);
+        }
+        parts.push(item);
+        Ok(parts)
+    })
+}
+
+/// Builder for a pipeline over a *general DAG* of named stages: declare
+/// stages with [`DagBuilder::node`] / [`DagBuilder::try_node`] /
+/// [`DagBuilder::join`], wire them with [`DagBuilder::edge`], and
+/// [`DagBuilder::build`] validates the wiring into a typed result —
+/// [`BuildError::GraphCycle`], [`BuildError::UnreachableStage`],
+/// [`BuildError::UnknownStage`], [`BuildError::InvalidEdge`],
+/// [`BuildError::DuplicateStage`] — instead of panicking mid-run.
+///
+/// A stage feeding several consumers fans copies out (its output type
+/// must be `Clone`, which every `node` declaration requires); a stage
+/// declared with `join` receives one `Vec` with the outputs of its
+/// inputs, in declaration order. Cross-edge type agreement is checked
+/// dynamically at run time (the same typed
+/// [`RunError::StageTypeMismatch`] contract as the chain builder).
+///
+/// ```
+/// use adapipe::prelude::*;
+///
+/// // fetch ─┬─ parse ─┐
+/// //        └─ audit ─┴─ combine → sink
+/// let pipeline = Pipeline::<u64>::dag()
+///     .node("fetch", |x: u64| x + 1)
+///     .node("parse", |x: u64| x * 2)
+///     .node("audit", |x: u64| x * 10)
+///     .edge("fetch", "parse")
+///     .edge("fetch", "audit")
+///     .join("combine", |outs: Vec<u64>| outs[0] + outs[1], &["parse", "audit"])
+///     .node("sink", |x: u64| x)
+///     .edge("combine", "sink")
+///     .build::<u64>()
+///     .expect("valid DAG");
+/// assert_eq!(pipeline.len(), 5);
+/// ```
+pub struct DagBuilder<In> {
+    names: Vec<String>,
+    specs: Vec<StageSpec>,
+    stages: Vec<Box<dyn DynStage>>,
+    /// Per stage: duplicator of its *output* type, used to synthesize
+    /// the fan-out of a multi-consumer stage.
+    clones: Vec<CloneFn>,
+    /// Declared edges, in declaration order (a join's input slots are
+    /// its in-edges in this order).
+    edges: Vec<(String, String)>,
+    /// Duplicator of the pipeline input (several entry stages fan the
+    /// input out).
+    entry_clone: CloneFn,
+    /// First structural error of the declaration, surfaced at `build()`.
+    err: Option<BuildError>,
+    input_bytes: u64,
+    source: Option<NodeId>,
+    sink: Option<NodeId>,
+    policy: Policy,
+    arrivals: ArrivalProcess,
+    baseline: bool,
+    feed: Option<Box<dyn Fn(u64) -> In + Send>>,
+    faults: FaultPlan,
+    _types: PhantomData<fn(In)>,
+}
+
+impl<In: Clone + Send + 'static> DagBuilder<In> {
+    fn new() -> Self {
+        DagBuilder {
+            names: Vec::new(),
+            specs: Vec::new(),
+            stages: Vec::new(),
+            clones: Vec::new(),
+            edges: Vec::new(),
+            entry_clone: clone_fn::<In>(),
+            err: None,
+            input_bytes: 0,
+            source: None,
+            sink: None,
+            policy: Policy::Static,
+            arrivals: ArrivalProcess::AllAtOnce,
+            baseline: false,
+            feed: None,
+            faults: FaultPlan::new(),
+            _types: PhantomData,
+        }
+    }
+
+    /// Declares a named stateless stage with default cost metadata. Its
+    /// output must be `Clone` (any DAG stage may feed several
+    /// consumers); stages with no in-edge at `build()` are entry stages
+    /// fed by the pipeline input.
+    pub fn node<A, B, F>(self, name: impl Into<String>, f: F) -> Self
+    where
+        A: Send + 'static,
+        B: Clone + Send + 'static,
+        F: FnMut(A) -> B + Send + Clone + 'static,
+    {
+        self.node_with(StageSpec::balanced(name, 1.0, 0), f)
+    }
+
+    /// Declares a named stage with explicit cost metadata (a spec
+    /// marked stateful produces a never-replicated stage instance).
+    pub fn node_with<A, B, F>(mut self, spec: StageSpec, f: F) -> Self
+    where
+        A: Send + 'static,
+        B: Clone + Send + 'static,
+        F: FnMut(A) -> B + Send + Clone + 'static,
+    {
+        let stage: Box<dyn DynStage> = if spec.stateless {
+            Box::new(FnStage::new(spec.name.clone(), f))
+        } else {
+            Box::new(StatefulFnStage::new(spec.name.clone(), f))
+        };
+        self.push_stage(spec, stage, clone_fn::<B>());
+        self
+    }
+
+    /// Declares a named *fallible* stage: the closure may reject an
+    /// item with an error string, handled per the stage's
+    /// [`DagBuilder::resilience`] policy. The input must be `Clone` so
+    /// a failed attempt can be re-presented.
+    pub fn try_node<A, B, F>(self, name: impl Into<String>, f: F) -> Self
+    where
+        A: Clone + Send + 'static,
+        B: Clone + Send + 'static,
+        F: FnMut(A) -> Result<B, String> + Send + Clone + 'static,
+    {
+        self.try_node_with(StageSpec::balanced(name, 1.0, 0), f)
+    }
+
+    /// Declares a fallible stage with explicit cost metadata.
+    pub fn try_node_with<A, B, F>(mut self, spec: StageSpec, f: F) -> Self
+    where
+        A: Clone + Send + 'static,
+        B: Clone + Send + 'static,
+        F: FnMut(A) -> Result<B, String> + Send + Clone + 'static,
+    {
+        let stage: Box<dyn DynStage> = Box::new(FallibleFnStage::new(spec.name.clone(), f));
+        self.push_stage(spec, stage, clone_fn::<B>());
+        self
+    }
+
+    /// Declares a named *joining* stage: it receives one `Vec` holding
+    /// the outputs of `inputs` (in that order) per item, and the edges
+    /// `inputs[i] → name` are wired implicitly. At least two inputs are
+    /// required — a single-input consumer is an ordinary `node` plus an
+    /// `edge`.
+    pub fn join<B, Out, F>(self, name: impl Into<String>, f: F, inputs: &[&str]) -> Self
+    where
+        B: Send + 'static,
+        Out: Clone + Send + 'static,
+        F: FnMut(Vec<B>) -> Out + Send + Clone + 'static,
+    {
+        self.join_with(StageSpec::balanced(name, 1.0, 0), f, inputs)
+    }
+
+    /// Declares a joining stage with explicit cost metadata (a spec
+    /// marked stateful pins the join to width one).
+    pub fn join_with<B, Out, F>(mut self, spec: StageSpec, f: F, inputs: &[&str]) -> Self
+    where
+        B: Send + 'static,
+        Out: Clone + Send + 'static,
+        F: FnMut(Vec<B>) -> Out + Send + Clone + 'static,
+    {
+        if inputs.len() < 2 && self.err.is_none() {
+            self.err = Some(BuildError::InvalidEdge {
+                detail: format!(
+                    "join '{}' declares {} input(s); a join needs at least two",
+                    spec.name,
+                    inputs.len()
+                ),
+            });
+        }
+        let name = spec.name.clone();
+        let stage: Box<dyn DynStage> = if spec.stateless {
+            Box::new(MergeStage::new(name.clone(), f))
+        } else {
+            Box::new(SealedStage::new(Box::new(MergeStage::new(name.clone(), f))))
+        };
+        self.push_stage(spec, stage, clone_fn::<Out>());
+        for input in inputs {
+            self.edges.push(((*input).to_string(), name.clone()));
+        }
+        self
+    }
+
+    fn push_stage(&mut self, spec: StageSpec, stage: Box<dyn DynStage>, clone: CloneFn) {
+        self.names.push(spec.name.clone());
+        self.specs.push(spec);
+        self.stages.push(stage);
+        self.clones.push(clone);
+    }
+
+    /// Wires stage `from`'s output into stage `to`'s input. Declaring
+    /// several out-edges fans copies of `from`'s output to each
+    /// consumer; several in-edges are only legal on a
+    /// [`DagBuilder::join`] stage (which receives them as input slots,
+    /// in edge order).
+    pub fn edge(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.edges.push((from.into(), to.into()));
+        self
+    }
+
+    /// Declares the failure-handling policy of the most recently
+    /// declared stage (retries, backoff, timeout, dead-letter, trace) —
+    /// honoured identically by both backends. A call before any stage
+    /// was declared is ignored.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        if let Some(spec) = self.specs.last_mut() {
+            spec.resilience = policy;
+        }
+        self
+    }
+
+    /// Declares how many bytes each input item carries into the entry
+    /// stages.
+    pub fn input_bytes(mut self, bytes: u64) -> Self {
+        self.input_bytes = bytes;
+        self
+    }
+
+    /// Pins the input source to a grid node.
+    pub fn source(mut self, node: NodeId) -> Self {
+        self.source = Some(node);
+        self
+    }
+
+    /// Pins the output sink to a grid node.
+    pub fn sink(mut self, node: NodeId) -> Self {
+        self.sink = Some(node);
+        self
+    }
+
+    /// Sets the adaptation policy (default [`Policy::Static`]).
+    pub fn policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the arrival process (default [`ArrivalProcess::AllAtOnce`]).
+    pub fn arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Acknowledges a deliberate baseline (waives the policy × arrival
+    /// pairing rule), as on [`PipelineBuilder::as_baseline`].
+    pub fn as_baseline(mut self) -> Self {
+        self.baseline = true;
+        self
+    }
+
+    /// Declares the input feed: item index → input.
+    pub fn feed(mut self, f: impl Fn(u64) -> In + Send + 'static) -> Self {
+        self.feed = Some(Box::new(f));
+        self
+    }
+
+    /// Declares scheduled faults the run must survive (see
+    /// [`PipelineBuilder::faults`]).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Validates the declared DAG and finalises the pipeline. `Out` is
+    /// the output type of the exit stage (the unique stage with no
+    /// consumer); it is checked dynamically at delivery, like every
+    /// other cross-stage type agreement.
+    pub fn build<Out: Send + 'static>(self) -> Result<Pipeline<In, Out>, BuildError> {
+        if let Some(err) = self.err {
+            return Err(err);
+        }
+        if self.specs.is_empty() {
+            return Err(BuildError::EmptyPipeline);
+        }
+        let names: Vec<&str> = self.names.iter().map(String::as_str).collect();
+        session::validate_stage_names(&names)?;
+        for spec in &self.specs {
+            session::validate_replicas(&spec.name, spec.state.replicable(), spec.max_replicas)?;
+        }
+        let session = if self.baseline {
+            Session::baseline(self.policy, self.arrivals)?
+        } else {
+            Session::new(self.policy, self.arrivals)?
+        };
+        let index_of: HashMap<&str, usize> = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), i))
+            .collect();
+        let mut dag = StageGraph::dag(self.specs.len());
+        for (from, to) in &self.edges {
+            let f = *index_of
+                .get(from.as_str())
+                .ok_or_else(|| BuildError::UnknownStage { name: from.clone() })?;
+            let t = *index_of
+                .get(to.as_str())
+                .ok_or_else(|| BuildError::UnknownStage { name: to.clone() })?;
+            dag = dag.edge(f, t);
+        }
+        let graph = dag.build().map_err(|e| graph_build_error(e, &self.names))?;
+        let fanouts: Vec<FanOutFn> = (0..graph.blocks())
+            .map(|b| {
+                let n = graph.fan_targets(b).len();
+                match graph.fan_source(b) {
+                    Some(s) => fan_out_from_clone(self.names[s].clone(), self.clones[s].clone(), n),
+                    None => fan_out_from_clone("input".to_string(), self.entry_clone.clone(), n),
+                }
+            })
+            .collect();
+        let keys = vec![None; self.stages.len()];
+        let mut spec = PipelineSpec::with_graph(self.specs, graph);
+        spec.input_bytes = self.input_bytes;
+        spec.source = self.source;
+        spec.sink = self.sink;
+        Ok(Pipeline {
+            spec,
+            stages: self.stages,
+            keys,
+            fanouts,
+            session,
+            feed: self.feed,
+            faults: self.faults,
+            _types: PhantomData,
+        })
+    }
+}
+
+/// Maps the graph layer's structural [`GraphError`] (stage *ids*) to
+/// the facade's typed [`BuildError`] (stage *names*).
+fn graph_build_error(err: GraphError, names: &[String]) -> BuildError {
+    match err {
+        GraphError::Empty => BuildError::EmptyPipeline,
+        GraphError::Cycle { stage } => BuildError::GraphCycle {
+            stage: names[stage].clone(),
+        },
+        GraphError::Unreachable { stage } => BuildError::UnreachableStage {
+            stage: names[stage].clone(),
+        },
+        GraphError::SelfEdge { stage } => BuildError::InvalidEdge {
+            detail: format!("stage '{}' feeds itself", names[stage]),
+        },
+        GraphError::DuplicateEdge { from, to } => BuildError::InvalidEdge {
+            detail: format!("edge '{}' → '{}' declared twice", names[from], names[to]),
+        },
+        GraphError::MultipleExits { exits } => BuildError::InvalidEdge {
+            detail: format!(
+                "several stages have no consumer: {:?} (a pipeline has one sink)",
+                exits.iter().map(|&s| names[s].as_str()).collect::<Vec<_>>()
+            ),
+        },
+        GraphError::StageOutOfRange { stage, stages } => BuildError::InvalidEdge {
+            detail: format!("edge names stage {stage}, but only {stages} exist"),
+        },
     }
 }

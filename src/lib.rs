@@ -23,11 +23,15 @@
 //! Both execution backends sit under the shared [`runtime`] layer and
 //! behind the one [`api::Pipeline`] surface (see `README.md` for the
 //! diagram and a "writing a new backend" guide). The stage topology is
-//! a first-class *series-parallel graph*: linear chains are the
-//! degenerate case, and [`api::PipelineBuilder::parallel`] /
-//! [`api::ParallelBuilder::merge`] declare fan-out/fan-in branches that
-//! both backends execute with item-identical merged outputs (see the
-//! README's "Composing skeletons").
+//! a first-class *general DAG*: linear chains are the degenerate case,
+//! [`api::PipelineBuilder::parallel`] / [`api::ParallelBuilder::merge`]
+//! declare series-parallel fan-out/fan-in sugar, and [`api::DagBuilder`]
+//! (via `Pipeline::dag()`) wires arbitrary topologies edge-by-edge with
+//! per-stage [`runtime::session::ResiliencePolicy`] (retry, timeout,
+//! dead-letter, trace) —
+//! all executed with item-identical outputs on both backends (see the
+//! README's "Composing skeletons" and "General DAGs & resilience
+//! policies").
 //!
 //! ## Quickstart
 //!
@@ -155,9 +159,9 @@ pub use adapipe_workloads as workloads;
 /// builder remains at [`core::pipeline`].
 pub mod prelude {
     pub use crate::api::{
-        ArrivalProcess, Backend, Branch, BuildError, Cluster, ClusterConfig, ParallelBuilder,
-        Pipeline, PipelineBuilder, RunConfig, RunError, RunEvent, RunHandle, RunHooks, RunSession,
-        SessionConfig, SessionId, ShareQuota, TryNext,
+        ArrivalProcess, Backend, Branch, BuildError, Cluster, ClusterConfig, DagBuilder,
+        ParallelBuilder, Pipeline, PipelineBuilder, RunConfig, RunError, RunEvent, RunHandle,
+        RunHooks, RunSession, SessionConfig, SessionId, ShareQuota, TryNext,
     };
     pub use adapipe_core::prelude::*;
     pub use adapipe_engine::prelude::*;

@@ -1,6 +1,6 @@
-//! Series-parallel stage-graph acceptance suite.
+//! Stage-graph acceptance suite.
 //!
-//! Two contracts are pinned here:
+//! Three contracts are pinned here:
 //!
 //! 1. **Strict generalisation** — a linear pipeline expressed through an
 //!    explicit [`StageGraph::linear`] reproduces the pre-refactor
@@ -10,7 +10,14 @@
 //!    on `Backend::Sim` and `Backend::Threads` yields item-identical
 //!    merged outputs, including under mid-stream loss of a node hosting
 //!    one branch (zero lost items, forced re-map excluding the dead
-//!    node, at-least-once replay with branch identity on the events).
+//!    node, at-least-once replay with branch identity on the events);
+//! 3. **General DAGs + resilience** — an explicitly wired diamond
+//!    (`Pipeline::dag()`) produces item-identical outputs on both
+//!    backends, per-stage retry/dead-letter policies are accounted
+//!    identically in the `RunReport` (poison items diverted with the
+//!    same attempt counts, transient faults absorbed with zero dead
+//!    letters), and mis-wired declarations fail `build()` with typed
+//!    errors instead of panicking mid-run.
 
 use adapipe::prelude::*;
 use std::time::Duration;
@@ -307,6 +314,450 @@ fn parallel_block_structure_is_validated_typed() {
         .build();
     assert!(matches!(
         dup.unwrap_err(),
+        BuildError::DuplicateStage { .. }
+    ));
+}
+
+// --- 4. general DAG topologies + per-stage resilience --------------------
+
+/// The diamond from the README: fetch ─┬─ parse ─┐
+///                                     └─ audit ─┴─ combine → sink
+/// with real per-item spin, expressed through the explicit DAG builder
+/// (named nodes + edges + a two-input join) rather than the
+/// series-parallel sugar. Flattened ids: fetch=0, parse=1, audit=2,
+/// combine=3, sink=4.
+fn diamond_scenario() -> Pipeline<u64, u64> {
+    let spin = |secs: f64, x: u64| {
+        spin_for(Duration::from_secs_f64(secs));
+        x
+    };
+    Pipeline::<u64>::dag()
+        .node_with(StageSpec::balanced("fetch", FAST_SECS, 8), move |x: u64| {
+            spin(FAST_SECS, x) + 1
+        })
+        .node_with(StageSpec::balanced("parse", FAST_SECS, 8), move |x: u64| {
+            spin(FAST_SECS, x) * 10
+        })
+        .node_with(StageSpec::balanced("audit", SLOW_SECS, 8), move |x: u64| {
+            spin(SLOW_SECS, x) + 100
+        })
+        .edge("fetch", "parse")
+        .edge("fetch", "audit")
+        .join_with(
+            StageSpec::balanced("combine", FAST_SECS, 8),
+            |outs: Vec<u64>| outs[0] + outs[1],
+            &["parse", "audit"],
+        )
+        .node("sink", |x: u64| x)
+        .edge("combine", "sink")
+        .build::<u64>()
+        .expect("diamond DAG builds")
+}
+
+#[test]
+fn diamond_dag_outputs_are_item_identical_across_backends() {
+    let cfg = || RunConfig {
+        items: ITEMS,
+        ..RunConfig::default()
+    };
+    let grid = scenario_grid();
+    let sim = push_all_and_drain(diamond_scenario(), Backend::Sim(&grid), cfg());
+    let threaded = push_all_and_drain(
+        diamond_scenario(),
+        Backend::Threads(scenario_vnodes()),
+        cfg(),
+    );
+    assert_eq!(sim.report.completed, ITEMS);
+    assert_eq!(threaded.report.completed, ITEMS);
+    assert!(sim.error.is_none() && threaded.error.is_none());
+    // Same arithmetic as the sugar-built branched scenario: the explicit
+    // topology must not change what the items compute.
+    assert_eq!(sim.outputs, expected_outputs(), "sim DAG outputs drifted");
+    assert_eq!(
+        threaded.outputs, sim.outputs,
+        "backends disagree on DAG outputs"
+    );
+}
+
+#[test]
+fn dag_expressed_chain_matches_chain_builder_outputs() {
+    let chain = Pipeline::<u64>::builder()
+        .stage("a", |x: u64| x + 1)
+        .stage("b", |x: u64| x * 3)
+        .stage("c", |x: u64| x + 7)
+        .build()
+        .expect("chain builds");
+    let dag = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x + 1)
+        .node("b", |x: u64| x * 3)
+        .node("c", |x: u64| x + 7)
+        .edge("a", "b")
+        .edge("b", "c")
+        .build::<u64>()
+        .expect("linear DAG builds");
+    let grid = scenario_grid();
+    let cfg = || RunConfig {
+        items: 40,
+        ..RunConfig::default()
+    };
+    let run = |p: Pipeline<u64, u64>| {
+        let mut session = p.spawn(Backend::Sim(&grid), cfg()).expect("spawn");
+        for i in 0..40 {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    let a = run(chain);
+    let b = run(dag);
+    assert_eq!(
+        a.outputs,
+        (0..40).map(|x| (x + 1) * 3 + 7).collect::<Vec<_>>()
+    );
+    assert_eq!(b.outputs, a.outputs, "DAG-expressed chain diverged");
+}
+
+const POISON_ITEMS: u64 = 50;
+
+/// decode → fragile (rejects every value ending in 4, i.e. inputs
+/// `x % 10 == 3`) → emit, with a retry budget of two and a dead-letter
+/// channel. 5 of the 50 items are poison.
+fn poison_scenario() -> Pipeline<u64, u64> {
+    Pipeline::<u64>::builder()
+        .stage("decode", |x: u64| x + 1)
+        .try_stage("fragile", |v: u64| {
+            if v % 10 == 4 {
+                Err(format!("indigestible payload {v}"))
+            } else {
+                Ok(v)
+            }
+        })
+        .resilience(
+            ResiliencePolicy::new()
+                .retries(2)
+                .backoff(SimDuration::from_millis(1), 2.0)
+                .dead_letter(),
+        )
+        .stage("emit", |v: u64| v * 2)
+        .build()
+        .expect("poison scenario builds")
+}
+
+#[test]
+fn poison_items_dead_letter_identically_across_backends() {
+    let cfg = || RunConfig {
+        items: POISON_ITEMS,
+        ..RunConfig::default()
+    };
+    let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
+        let mut session = pipeline.spawn(backend, cfg()).expect("spawn");
+        for i in 0..POISON_ITEMS {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    let grid = scenario_grid();
+    let sim = run(poison_scenario(), Backend::Sim(&grid));
+    let threaded = run(poison_scenario(), Backend::Threads(scenario_vnodes()));
+
+    let healthy: Vec<u64> = (0..POISON_ITEMS)
+        .filter(|x| x % 10 != 3)
+        .map(|x| (x + 1) * 2)
+        .collect();
+    for (tag, handle) in [("sim", &sim), ("threads", &threaded)] {
+        let report = &handle.report;
+        assert!(handle.error.is_none(), "{tag}: {:?}", handle.error);
+        // Healthy items complete exactly once, in order; poison items
+        // are diverted, not lost and not delivered.
+        assert_eq!(report.completed, POISON_ITEMS - 5, "{tag}: completions");
+        assert_eq!(handle.outputs, healthy, "{tag}: healthy outputs");
+        assert_eq!(report.dead_letters, 5, "{tag}: dead-letter count");
+        assert_eq!(report.retries, 10, "{tag}: 5 poison items × 2 retries");
+        assert_eq!(report.dead_letter_log.len(), 5, "{tag}: log length");
+        for dead in &report.dead_letter_log {
+            assert_eq!(dead.stage, 1, "{tag}: wrong stage in {dead:?}");
+            assert_eq!(dead.attempts, 3, "{tag}: first try + 2 retries");
+            assert_eq!(dead.seq % 10, 3, "{tag}: wrong item diverted: {dead:?}");
+            assert!(
+                dead.reason.contains("indigestible"),
+                "{tag}: reason lost: {dead:?}"
+            );
+        }
+    }
+    // The logs agree entry-for-entry once ordered by item.
+    let sorted = |handle: &RunHandle<u64>| {
+        let mut log = handle.report.dead_letter_log.clone();
+        log.sort_by_key(|d| d.seq);
+        log
+    };
+    assert_eq!(
+        sorted(&sim),
+        sorted(&threaded),
+        "backends disagree on the dead-letter log"
+    );
+}
+
+#[test]
+fn diamond_with_dead_letters_agrees_across_backends() {
+    // The diamond again, but parse is fallible: records whose payload
+    // ends in 4 (5 of 50) fail every attempt and dead-letter after the
+    // retry budget; their audit-branch copies must be purged from the
+    // join on both backends, healthy items must come out exactly once,
+    // and the resilience accounting must be identical.
+    let scenario = || {
+        Pipeline::<u64>::dag()
+            .node("fetch", |x: u64| x + 1)
+            .try_node("parse", |v: u64| {
+                if v % 10 == 4 {
+                    Err(format!("indigestible payload {v}"))
+                } else {
+                    Ok(v * 10)
+                }
+            })
+            .resilience(
+                ResiliencePolicy::new()
+                    .retries(2)
+                    .backoff(SimDuration::from_millis(1), 2.0)
+                    .dead_letter(),
+            )
+            .node("audit", |v: u64| v + 100)
+            .edge("fetch", "parse")
+            .edge("fetch", "audit")
+            .join(
+                "combine",
+                |outs: Vec<u64>| outs[0] + outs[1],
+                &["parse", "audit"],
+            )
+            .node("sink", |x: u64| x)
+            .edge("combine", "sink")
+            .build::<u64>()
+            .expect("fallible diamond builds")
+    };
+    let cfg = || RunConfig {
+        items: POISON_ITEMS,
+        ..RunConfig::default()
+    };
+    let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
+        let mut session = pipeline.spawn(backend, cfg()).expect("spawn");
+        for i in 0..POISON_ITEMS {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    let grid = scenario_grid();
+    let sim = run(scenario(), Backend::Sim(&grid));
+    let threaded = run(scenario(), Backend::Threads(scenario_vnodes()));
+
+    let healthy: Vec<u64> = (0..POISON_ITEMS)
+        .map(|x| x + 1)
+        .filter(|v| v % 10 != 4)
+        .map(|v| v * 10 + v + 100)
+        .collect();
+    for (tag, handle) in [("sim", &sim), ("threads", &threaded)] {
+        let report = &handle.report;
+        assert!(
+            handle.error.is_none(),
+            "{tag}: session must complete, not error: {:?}",
+            handle.error
+        );
+        assert_eq!(report.completed, POISON_ITEMS - 5, "{tag}: completions");
+        assert_eq!(handle.outputs, healthy, "{tag}: healthy merged outputs");
+        assert_eq!(report.dead_letters, 5, "{tag}: dead-letter count");
+        assert_eq!(report.retries, 10, "{tag}: 5 poison items × 2 retries");
+        for dead in &report.dead_letter_log {
+            assert_eq!(dead.stage, 1, "{tag}: only parse gives up");
+            assert_eq!(dead.attempts, 3, "{tag}: first try + 2 retries");
+        }
+    }
+    let sorted = |handle: &RunHandle<u64>| {
+        let mut log = handle.report.dead_letter_log.clone();
+        log.sort_by_key(|d| d.seq);
+        log
+    };
+    assert_eq!(
+        sorted(&sim),
+        sorted(&threaded),
+        "backends disagree on the diamond's dead-letter log"
+    );
+}
+
+#[test]
+fn transient_failures_recover_with_retries_and_zero_dead_letters() {
+    use std::collections::HashSet;
+    use std::sync::{Arc, Mutex};
+
+    // Every value fails its first presentation and succeeds on retry —
+    // a transient fault, fully absorbed by a one-retry budget.
+    let scenario = || {
+        let seen: Arc<Mutex<HashSet<u64>>> = Arc::new(Mutex::new(HashSet::new()));
+        Pipeline::<u64>::builder()
+            .stage("pre", |x: u64| x + 1)
+            .try_stage("flaky", move |v: u64| {
+                if seen.lock().unwrap().insert(v) {
+                    Err("transient glitch".to_string())
+                } else {
+                    Ok(v)
+                }
+            })
+            .resilience(ResiliencePolicy::new().retries(1))
+            .stage("post", |v: u64| v * 2)
+            .build()
+            .expect("transient scenario builds")
+    };
+    let cfg = || RunConfig {
+        items: POISON_ITEMS,
+        ..RunConfig::default()
+    };
+    let run = |pipeline: Pipeline<u64, u64>, backend: Backend<'_>| {
+        let mut session = pipeline.spawn(backend, cfg()).expect("spawn");
+        for i in 0..POISON_ITEMS {
+            session.push(i).unwrap();
+        }
+        session.drain()
+    };
+    let grid = scenario_grid();
+    let sim = run(scenario(), Backend::Sim(&grid));
+    let threaded = run(scenario(), Backend::Threads(scenario_vnodes()));
+
+    let expected: Vec<u64> = (0..POISON_ITEMS).map(|x| (x + 1) * 2).collect();
+    for (tag, handle) in [("sim", &sim), ("threads", &threaded)] {
+        assert!(handle.error.is_none(), "{tag}: {:?}", handle.error);
+        assert_eq!(handle.report.completed, POISON_ITEMS, "{tag}: items lost");
+        assert_eq!(handle.report.retries, POISON_ITEMS, "{tag}: one retry each");
+        assert_eq!(handle.report.dead_letters, 0, "{tag}: nothing diverted");
+        assert!(handle.report.dead_letter_log.is_empty(), "{tag}: log dirty");
+        assert_eq!(handle.outputs, expected, "{tag}: outputs");
+    }
+}
+
+#[test]
+fn exhausted_retries_without_dead_letter_poison_the_run() {
+    let pipeline = Pipeline::<u64>::builder()
+        .stage("decode", |x: u64| x + 1)
+        .try_stage("fragile", |v: u64| {
+            if v == 3 {
+                Err("unrecoverable".to_string())
+            } else {
+                Ok(v)
+            }
+        })
+        .resilience(ResiliencePolicy::new().retries(1))
+        .build()
+        .expect("builds");
+    let grid = scenario_grid();
+    let mut session = pipeline
+        .spawn(
+            Backend::Sim(&grid),
+            RunConfig {
+                items: 10,
+                ..RunConfig::default()
+            },
+        )
+        .expect("spawn");
+    for i in 0..10 {
+        session.push(i).unwrap();
+    }
+    let handle = session.drain();
+    match handle.error {
+        Some(RunError::PoisonItem {
+            ref stage,
+            seq,
+            attempts,
+            ..
+        }) => {
+            assert_eq!(stage, "fragile");
+            assert_eq!(seq, 2, "item 2 decodes to the poison value 3");
+            assert_eq!(attempts, 2, "first try + one retry");
+        }
+        ref other => panic!("expected PoisonItem, got {other:?}"),
+    }
+}
+
+#[test]
+fn dag_wiring_errors_are_typed_at_build() {
+    let unknown = Pipeline::<u64>::dag()
+        .node("fetch", |x: u64| x)
+        .edge("fetch", "nope")
+        .build::<u64>();
+    assert!(
+        matches!(unknown.unwrap_err(), BuildError::UnknownStage { ref name } if name == "nope")
+    );
+
+    let cycle = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x)
+        .node("b", |x: u64| x)
+        .node("c", |x: u64| x)
+        .node("d", |x: u64| x)
+        .edge("a", "b")
+        .edge("b", "c")
+        .edge("c", "b")
+        .edge("b", "d")
+        .build::<u64>();
+    assert!(matches!(
+        cycle.unwrap_err(),
+        BuildError::GraphCycle { ref stage } if stage == "b"
+    ));
+
+    let orphan = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x)
+        .node("b", |x: u64| x)
+        .node("orphan", |x: u64| x)
+        .edge("a", "b")
+        .build::<u64>();
+    assert!(matches!(
+        orphan.unwrap_err(),
+        BuildError::UnreachableStage { ref stage } if stage == "orphan"
+    ));
+
+    let self_edge = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x)
+        .node("b", |x: u64| x)
+        .edge("a", "a")
+        .edge("a", "b")
+        .build::<u64>();
+    assert!(matches!(
+        self_edge.unwrap_err(),
+        BuildError::InvalidEdge { .. }
+    ));
+
+    let duplicate_edge = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x)
+        .node("b", |x: u64| x)
+        .edge("a", "b")
+        .edge("a", "b")
+        .build::<u64>();
+    assert!(matches!(
+        duplicate_edge.unwrap_err(),
+        BuildError::InvalidEdge { .. }
+    ));
+
+    let two_exits = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x)
+        .node("b", |x: u64| x)
+        .node("c", |x: u64| x)
+        .edge("a", "b")
+        .edge("a", "c")
+        .build::<u64>();
+    assert!(matches!(
+        two_exits.unwrap_err(),
+        BuildError::InvalidEdge { .. }
+    ));
+
+    let narrow_join = Pipeline::<u64>::dag()
+        .node("a", |x: u64| x)
+        .join("j", |outs: Vec<u64>| outs[0], &["a"])
+        .build::<u64>();
+    assert!(matches!(
+        narrow_join.unwrap_err(),
+        BuildError::InvalidEdge { .. }
+    ));
+
+    let dup_name = Pipeline::<u64>::dag()
+        .node("same", |x: u64| x)
+        .node("same", |x: u64| x)
+        .edge("same", "same")
+        .build::<u64>();
+    assert!(matches!(
+        dup_name.unwrap_err(),
         BuildError::DuplicateStage { .. }
     ));
 }
