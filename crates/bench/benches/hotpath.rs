@@ -1,12 +1,15 @@
 //! Threaded data-plane throughput ceiling: trivial stages over batched
 //! envelopes (`batch_size = 256`), lock-free epoch-snapshot routing,
-//! and the work-stealing replica pool, at 100k and 1M items. Where the
+//! the work-stealing replica pool, pooled envelope buffers, and the
+//! stride-sampled clock fast path, at 100k and 1M items. Where the
 //! `streaming` bench bounds the *session surface* tax at per-item
 //! batch sizes, this one measures the wire itself — items/s with
-//! plumbing amortised across whole envelopes.
+//! plumbing amortised across whole envelopes. The `_fused` leg pins
+//! both stages to one vnode so the fusion plan collapses the boundary
+//! into a direct call chain.
 //!
 //! CI gates on absolute floors derived from this file (see
-//! `.github/workflows/ci.yml`): ≥ 2M items/s at 1M items, and ≥ 2× the
+//! `.github/workflows/ci.yml`): ≥ 4M items/s at 1M items, and ≥ 2× the
 //! per-item `threads_session_push` rate from the streaming baseline.
 //!
 //! `cargo bench -p adapipe-bench --bench hotpath`
@@ -17,6 +20,8 @@
 
 use adapipe::api::{Backend, Pipeline, RunConfig};
 use adapipe_engine::vnode::VNodeSpec;
+use adapipe_gridsim::node::NodeId;
+use adapipe_mapper::mapping::Mapping;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -80,6 +85,24 @@ fn bench_hotpath(c: &mut Criterion) {
                         next = hi;
                     }
                     session.drain()
+                })
+            },
+        );
+        // Both stages pinned to one vnode: the fusion plan collapses
+        // the boundary into a direct call, so this leg measures the
+        // fused wire — no inter-stage envelope, no inbox hop.
+        group.bench_with_input(
+            BenchmarkId::new("threads_batch_run_fused", items),
+            &items,
+            |b, &items| {
+                b.iter(|| {
+                    let cfg = RunConfig {
+                        initial_mapping: Some(Mapping::all_on(NodeId(0), 2)),
+                        ..cfg(items)
+                    };
+                    pipeline()
+                        .run(Backend::Threads(vec![VNodeSpec::free("v0")]), cfg)
+                        .expect("fused batch run")
                 })
             },
         );

@@ -212,7 +212,7 @@ mod tests {
         assert!(f.keys()[0].is_some(), "keyed farm carries its router key");
         let (_, mut stages, _, _) = f.into_keyed_parts();
         let run = |s: &mut Box<dyn crate::stage::DynStage>, k: u64| {
-            *s.process(Box::new(k))
+            s.process(crate::payload::Payload::new(k))
                 .expect("typed")
                 .downcast::<(u64, u64)>()
                 .unwrap()

@@ -59,6 +59,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod farm;
+pub mod payload;
 pub mod pipeline;
 pub mod simengine;
 pub mod spec;
@@ -82,6 +83,7 @@ pub mod prelude {
     pub use crate::controller::{Controller, ControllerConfig};
     pub use crate::farm::{farm, farm_spec};
     pub use crate::metrics::{StageMetrics, StageStats};
+    pub use crate::payload::Payload;
     pub use crate::policy::Policy;
     pub use crate::report::{AdaptationEvent, DeadLetter, RunReport};
     pub use crate::simengine::{ArrivalProcess, ItemFate, SimConfig};

@@ -1,0 +1,421 @@
+//! The erased item representation for the data plane.
+//!
+//! Historically items travelled as `Box<dyn Any + Send>`: one heap
+//! allocation per item per hop, even for a `u64`. [`Payload`] keeps the
+//! same downcast-checked surface but stores values of up to three words
+//! (24 bytes on 64-bit, the size of a `String` or `Vec`) **inline** —
+//! no allocation at all — and spills larger values to a block drawn
+//! from a thread-local size-class pool, so even the spill path stops
+//! touching the global allocator in steady state.
+//!
+//! Safety model: a `Payload` is a type-erased owned value. The static
+//! vtable generated per concrete type records how to identify, drop,
+//! and (for spilled values) free it; every constructor requires
+//! `T: Send + 'static`, which is what makes the manual `Send` impl
+//! sound. Spill blocks are sized by *class* (a pure function of the
+//! value's layout), so a block may be freed on a different thread than
+//! the one that allocated it — each thread's pool recycles whatever
+//! lands on it.
+
+use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
+use std::any::TypeId;
+use std::cell::RefCell;
+use std::mem::{align_of, size_of, ManuallyDrop, MaybeUninit};
+use std::ptr;
+
+/// Number of machine words stored inline.
+const INLINE_WORDS: usize = 3;
+const INLINE_BYTES: usize = INLINE_WORDS * size_of::<usize>();
+
+/// True when `T` fits the inline slot (size ≤ 3 words, word-aligned).
+const fn fits_inline<T>() -> bool {
+    size_of::<T>() <= INLINE_BYTES && align_of::<T>() <= align_of::<usize>()
+}
+
+union Repr {
+    inline: [MaybeUninit<usize>; INLINE_WORDS],
+    spill: *mut u8,
+}
+
+/// Per-type operations. One static instance exists per concrete `T`
+/// (via const promotion in [`Payload::new`]); `Payload` carries a
+/// `&'static` to it, so erased items cost no per-item metadata beyond
+/// one pointer.
+struct PayloadVtable {
+    /// Monomorphised `TypeId::of::<T>` (not const-evaluable, so stored
+    /// as a function rather than a value).
+    tid: fn() -> TypeId,
+    /// Monomorphised `type_name::<T>` for diagnostics.
+    type_name: fn() -> &'static str,
+    /// Drops the value in place; for spilled values also returns the
+    /// block to the pool.
+    drop_fn: unsafe fn(&mut Repr),
+    /// The value's layout — drives spill-block class selection.
+    size: usize,
+    align: usize,
+    /// True when the value lives in the inline slot.
+    inline: bool,
+}
+
+struct VtOf<T>(std::marker::PhantomData<T>);
+
+impl<T: Send + 'static> VtOf<T> {
+    const VT: PayloadVtable = PayloadVtable {
+        tid: TypeId::of::<T>,
+        type_name: std::any::type_name::<T>,
+        drop_fn: drop_value::<T>,
+        size: size_of::<T>(),
+        align: align_of::<T>(),
+        inline: fits_inline::<T>(),
+    };
+}
+
+/// Drops the `T` held in `repr`; monomorphisation resolves the branch
+/// at compile time.
+unsafe fn drop_value<T>(repr: &mut Repr) {
+    unsafe {
+        if fits_inline::<T>() {
+            ptr::drop_in_place(repr.inline.as_mut_ptr() as *mut T);
+        } else {
+            let block = repr.spill;
+            ptr::drop_in_place(block as *mut T);
+            spill_dealloc(block, size_of::<T>(), align_of::<T>());
+        }
+    }
+}
+
+/// A type-erased owned value: the unit the data plane moves between
+/// stages. Values of at most three words are stored inline (zero
+/// allocations); larger values live in a pooled spill block. Construct
+/// with [`Payload::new`], consume with [`Payload::downcast`].
+pub struct Payload {
+    repr: Repr,
+    vt: &'static PayloadVtable,
+}
+
+// Sound because `Payload::new` requires `T: Send + 'static`: every
+// value a Payload can hold is itself Send, and the vtable is a shared
+// static.
+unsafe impl Send for Payload {}
+
+impl Payload {
+    /// Erases `value`. Inline when `T` is at most three words;
+    /// otherwise spilled to a pooled block.
+    pub fn new<T: Send + 'static>(value: T) -> Payload {
+        let vt: &'static PayloadVtable = &VtOf::<T>::VT;
+        if fits_inline::<T>() {
+            let mut repr = Repr {
+                inline: [MaybeUninit::uninit(); INLINE_WORDS],
+            };
+            unsafe { ptr::write(repr.inline.as_mut_ptr() as *mut T, value) };
+            Payload { repr, vt }
+        } else {
+            let block = spill_alloc(size_of::<T>(), align_of::<T>());
+            unsafe { ptr::write(block as *mut T, value) };
+            Payload {
+                repr: Repr { spill: block },
+                vt,
+            }
+        }
+    }
+
+    /// True when the held value is a `T`.
+    #[inline]
+    pub fn is<T: 'static>(&self) -> bool {
+        (self.vt.tid)() == TypeId::of::<T>()
+    }
+
+    /// The held value's type name (diagnostics only — not stable).
+    pub fn type_name(&self) -> &'static str {
+        (self.vt.type_name)()
+    }
+
+    /// Takes the value out as a `T`, or hands the payload back intact
+    /// if the held type differs. Unlike `Box<dyn Any>::downcast` this
+    /// yields the value directly, not a box around it.
+    #[inline]
+    pub fn downcast<T: 'static>(self) -> Result<T, Payload> {
+        if !self.is::<T>() {
+            return Err(self);
+        }
+        let this = ManuallyDrop::new(self);
+        unsafe {
+            if this.vt.inline {
+                Ok(ptr::read(this.repr.inline.as_ptr() as *const T))
+            } else {
+                let block = this.repr.spill;
+                let value = ptr::read(block as *const T);
+                spill_dealloc(block, this.vt.size, this.vt.align);
+                Ok(value)
+            }
+        }
+    }
+
+    /// Borrows the value as a `T`, if that is what it holds.
+    #[inline]
+    pub fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+        if !self.is::<T>() {
+            return None;
+        }
+        unsafe {
+            Some(if self.vt.inline {
+                &*(self.repr.inline.as_ptr() as *const T)
+            } else {
+                &*(self.repr.spill as *const T)
+            })
+        }
+    }
+
+    /// Mutably borrows the value as a `T`, if that is what it holds.
+    #[inline]
+    pub fn downcast_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        if !self.is::<T>() {
+            return None;
+        }
+        unsafe {
+            Some(if self.vt.inline {
+                &mut *(self.repr.inline.as_mut_ptr() as *mut T)
+            } else {
+                &mut *(self.repr.spill as *mut T)
+            })
+        }
+    }
+}
+
+impl Drop for Payload {
+    fn drop(&mut self) {
+        unsafe { (self.vt.drop_fn)(&mut self.repr) }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Payload")
+            .field("type", &self.type_name())
+            .field("inline", &self.vt.inline)
+            .finish()
+    }
+}
+
+// --- spill pool ---------------------------------------------------------
+//
+// Blocks are drawn from power-of-two size classes (32..=1024 bytes,
+// 16-byte aligned) kept on capped thread-local free lists. The class —
+// and therefore the alloc/dealloc layout — is a pure function of the
+// value's layout, so a block may be freed on any thread: it simply
+// joins that thread's list. Oversized or over-aligned values bypass the
+// pool entirely.
+
+const CLASS_MIN: usize = 32;
+const CLASS_MAX: usize = 1024;
+const CLASS_ALIGN: usize = 16;
+const NUM_CLASSES: usize = 6; // 32, 64, 128, 256, 512, 1024
+/// Retained blocks per class per thread (worst case 1024 B × 64 × 6
+/// classes ≈ 400 KiB per thread, only if every class saturates).
+const PER_CLASS_CAP: usize = 64;
+
+/// The size class of a layout, or `None` when it must bypass the pool.
+#[inline]
+fn class_of(size: usize, align: usize) -> Option<usize> {
+    if size > CLASS_MAX || align > CLASS_ALIGN {
+        return None;
+    }
+    let rounded = size.max(CLASS_MIN).next_power_of_two();
+    Some((rounded.trailing_zeros() - CLASS_MIN.trailing_zeros()) as usize)
+}
+
+#[inline]
+fn class_layout(class: usize) -> Layout {
+    // Class sizes/alignments are compile-time valid.
+    unsafe { Layout::from_size_align_unchecked(CLASS_MIN << class, CLASS_ALIGN) }
+}
+
+struct SpillPool {
+    classes: [Vec<*mut u8>; NUM_CLASSES],
+}
+
+impl Drop for SpillPool {
+    fn drop(&mut self) {
+        for (class, list) in self.classes.iter_mut().enumerate() {
+            for block in list.drain(..) {
+                unsafe { dealloc(block, class_layout(class)) };
+            }
+        }
+    }
+}
+
+thread_local! {
+    static SPILL_POOL: RefCell<SpillPool> = const {
+        RefCell::new(SpillPool {
+            classes: [const { Vec::new() }; NUM_CLASSES],
+        })
+    };
+}
+
+fn spill_alloc(size: usize, align: usize) -> *mut u8 {
+    let (layout, pooled) = match class_of(size, align) {
+        Some(class) => (class_layout(class), Some(class)),
+        None => (
+            Layout::from_size_align(size.max(1), align).expect("valid value layout"),
+            None,
+        ),
+    };
+    if let Some(class) = pooled {
+        // `try_with` so a payload created during thread teardown (after
+        // the pool's own destructor) still works — it just skips reuse.
+        let reused = SPILL_POOL
+            .try_with(|pool| pool.borrow_mut().classes[class].pop())
+            .ok()
+            .flatten();
+        if let Some(block) = reused {
+            return block;
+        }
+    }
+    let block = unsafe { alloc(layout) };
+    if block.is_null() {
+        handle_alloc_error(layout);
+    }
+    block
+}
+
+unsafe fn spill_dealloc(block: *mut u8, size: usize, align: usize) {
+    match class_of(size, align) {
+        Some(class) => {
+            let kept = SPILL_POOL
+                .try_with(|pool| {
+                    let list = &mut pool.borrow_mut().classes[class];
+                    if list.len() < PER_CLASS_CAP {
+                        list.push(block);
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .unwrap_or(false);
+            if !kept {
+                unsafe { dealloc(block, class_layout(class)) };
+            }
+        }
+        None => unsafe {
+            dealloc(
+                block,
+                Layout::from_size_align(size.max(1), align).expect("valid value layout"),
+            )
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn small_values_round_trip_inline() {
+        let p = Payload::new(42u64);
+        assert!(p.vt.inline);
+        assert!(p.is::<u64>());
+        assert_eq!(p.downcast::<u64>().unwrap(), 42);
+
+        let s = Payload::new(String::from("three words"));
+        assert!(s.vt.inline, "String is exactly 3 words");
+        assert_eq!(s.downcast::<String>().unwrap(), "three words");
+
+        let v = Payload::new(vec![1u8, 2, 3]);
+        assert!(v.vt.inline, "Vec is exactly 3 words");
+        assert_eq!(v.downcast::<Vec<u8>>().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn large_values_spill_and_round_trip() {
+        let big = [7u64; 16]; // 128 bytes — over the inline budget
+        let p = Payload::new(big);
+        assert!(!p.vt.inline);
+        assert_eq!(p.downcast::<[u64; 16]>().unwrap(), big);
+    }
+
+    #[test]
+    fn over_aligned_values_bypass_the_pool_but_round_trip() {
+        #[repr(align(64))]
+        #[derive(Clone, Copy, PartialEq, Debug)]
+        struct Cacheline([u8; 64]);
+        let v = Cacheline([9; 64]);
+        let p = Payload::new(v);
+        assert!(!p.vt.inline);
+        assert_eq!(p.downcast::<Cacheline>().unwrap(), v);
+    }
+
+    #[test]
+    fn wrong_type_downcast_returns_the_payload_intact() {
+        let p = Payload::new(5i32);
+        let p = p.downcast::<String>().unwrap_err();
+        assert!(p.is::<i32>());
+        assert_eq!(p.downcast::<i32>().unwrap(), 5);
+    }
+
+    #[test]
+    fn refs_borrow_without_consuming() {
+        let mut p = Payload::new(vec![1u64, 2]);
+        assert_eq!(p.downcast_ref::<Vec<u64>>().unwrap().len(), 2);
+        assert!(p.downcast_ref::<u64>().is_none());
+        p.downcast_mut::<Vec<u64>>().unwrap().push(3);
+        assert_eq!(p.downcast::<Vec<u64>>().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn drop_runs_for_inline_and_spilled_values() {
+        struct Probe(Arc<AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        drop(Payload::new(Probe(Arc::clone(&drops)))); // inline (2 words)
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(Payload::new((Probe(Arc::clone(&drops)), [0u64; 8]))); // spilled
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn spill_blocks_recycle_within_a_thread() {
+        // Exercise alloc→free→alloc through the pool; mostly checks for
+        // layout mismatches under miri-like scrutiny and double frees.
+        for _ in 0..3 {
+            let blocks: Vec<Payload> = (0..8).map(|i| Payload::new([i as u64; 8])).collect();
+            for (i, b) in blocks.into_iter().enumerate() {
+                assert_eq!(b.downcast::<[u64; 8]>().unwrap()[0], i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn payloads_cross_threads() {
+        let p = Payload::new([3u64; 8]); // spilled on this thread
+        let q = Payload::new(String::from("inline"));
+        std::thread::spawn(move || {
+            assert_eq!(p.downcast::<[u64; 8]>().unwrap()[0], 3);
+            assert_eq!(q.downcast::<String>().unwrap(), "inline");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn debug_names_the_held_type() {
+        let p = Payload::new(1u8);
+        let s = format!("{p:?}");
+        assert!(s.contains("u8"), "{s}");
+    }
+
+    #[test]
+    fn class_selection_is_a_pure_function_of_layout() {
+        assert_eq!(class_of(1, 1), Some(0));
+        assert_eq!(class_of(32, 8), Some(0));
+        assert_eq!(class_of(33, 8), Some(1));
+        assert_eq!(class_of(1024, 16), Some(5));
+        assert_eq!(class_of(1025, 8), None);
+        assert_eq!(class_of(64, 32), None, "over-aligned bypasses the pool");
+    }
+}

@@ -388,11 +388,11 @@ mod tests {
             .stage(StageSpec::balanced("double", 1.0, 4), |x: u32| x * 2)
             .build();
         let (_, mut stages) = p.into_parts();
-        let mut item: crate::stage::BoxedItem = Box::new(5u32);
+        let mut item: crate::stage::BoxedItem = crate::payload::Payload::new(5u32);
         for s in &mut stages {
             item = s.process(item).expect("stages are type-aligned");
         }
-        assert_eq!(*item.downcast::<u32>().unwrap(), 12);
+        assert_eq!(item.downcast::<u32>().unwrap(), 12);
     }
 
     #[test]
@@ -410,16 +410,16 @@ mod tests {
         let (_, mut stages) = p.into_parts();
         assert!(stages[0].replicate().is_none());
         assert_eq!(
-            *stages[0]
-                .process(Box::new(2u64))
+            stages[0]
+                .process(crate::payload::Payload::new(2u64))
                 .expect("typed item")
                 .downcast::<u64>()
                 .unwrap(),
             2
         );
         assert_eq!(
-            *stages[0]
-                .process(Box::new(3u64))
+            stages[0]
+                .process(crate::payload::Payload::new(3u64))
                 .expect("typed item")
                 .downcast::<u64>()
                 .unwrap(),
@@ -458,12 +458,14 @@ mod tests {
             .build();
         assert_eq!(p.spec().profile().replica_cap, vec![4]);
         let kf = p.keys()[0].clone().expect("keyed stage has a key fn");
-        let item: crate::stage::BoxedItem = Box::new(13u64);
+        let item: crate::stage::BoxedItem = crate::payload::Payload::new(13u64);
         assert_eq!(kf(&item), Some(3));
         let (_, mut stages, _, keys) = p.into_keyed_parts();
         assert_eq!(keys.len(), 1);
-        let out = stages[0].process(Box::new(13u64)).expect("typed item");
-        assert_eq!(*out.downcast::<(u64, u64)>().unwrap(), (13, 1));
+        let out = stages[0]
+            .process(crate::payload::Payload::new(13u64))
+            .expect("typed item");
+        assert_eq!(out.downcast::<(u64, u64)>().unwrap(), (13, 1));
     }
 
     #[test]

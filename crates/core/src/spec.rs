@@ -337,6 +337,11 @@ impl PipelineSpec {
             replica_cap: self.stages.iter().map(|s| s.replica_cap()).collect(),
             source: self.source,
             sink: self.sink,
+            // Conservative default: the simulator routes every boundary
+            // through its link model, self links included. The threaded
+            // engine — the one backend that fuses co-located chains —
+            // flips this on before planning.
+            fuses_colocated: false,
         }
     }
 

@@ -5,20 +5,29 @@
 //! * the **typed** view ([`FnStage`]) used when building a pipeline — the
 //!   compiler checks that stage `i`'s output type feeds stage `i+1`;
 //! * the **erased** view ([`DynStage`]) used by execution engines — items
-//!   travel as `Box<dyn Any + Send>` so the runtime can re-wire stages
-//!   across hosts without generic plumbing.
+//!   travel as [`Payload`]s so the runtime can re-wire stages across
+//!   hosts without generic plumbing.
 //!
 //! Stage *functions* are `FnMut`: a stage may carry state (e.g. a running
 //! histogram), in which case it must be declared stateful and will never
 //! be replicated.
 
+use crate::payload::Payload;
 use adapipe_state::{StateCodec, StateSnapshot};
-use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A type-erased item flowing through the pipeline.
-pub type BoxedItem = Box<dyn Any + Send>;
+///
+/// Historically this was `Box<dyn Any + Send>` — one heap allocation
+/// per item per stage hop. It is now an alias for [`Payload`], which
+/// stores values of up to three machine words (a `u64`, a `String`, a
+/// `Vec`, …) **inline** with no allocation at all, and spills larger
+/// values to a thread-local pooled block. The downcast-checked surface
+/// is unchanged in spirit ([`Payload::downcast`] /
+/// [`Payload::downcast_ref`]), but `downcast` yields the value itself
+/// rather than a `Box` around it.
+pub type BoxedItem = Payload;
 
 /// Extracts the routing key hash from an erased item headed into a
 /// keyed stage (`None` when the item is not the stage's input type —
@@ -45,9 +54,7 @@ pub fn fan_out_fn<T: Clone + Send + 'static>(branches: usize) -> FanOutFn {
             stage: "fan-out".to_string(),
             expected: std::any::type_name::<T>(),
         })?;
-        Ok((0..branches)
-            .map(|_| Box::new((*item).clone()) as BoxedItem)
-            .collect())
+        Ok((0..branches).map(|_| Payload::new(item.clone())).collect())
     })
 }
 
@@ -85,10 +92,7 @@ pub type CloneFn = Arc<dyn Fn(&BoxedItem) -> Option<BoxedItem> + Send + Sync>;
 
 /// Builds the [`CloneFn`] for items of type `T`.
 pub fn clone_fn<T: Clone + Send + 'static>() -> CloneFn {
-    Arc::new(|item: &BoxedItem| {
-        item.downcast_ref::<T>()
-            .map(|i| Box::new(i.clone()) as BoxedItem)
-    })
+    Arc::new(|item: &BoxedItem| item.downcast_ref::<T>().map(|i| Payload::new(i.clone())))
 }
 
 /// A failed stage attempt, as seen through [`DynStage::try_process`].
@@ -215,7 +219,7 @@ where
             stage: self.name.clone(),
             expected: std::any::type_name::<I>(),
         })?;
-        Ok(Box::new((self.f)(*input)))
+        Ok(Payload::new((self.f)(input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -289,11 +293,11 @@ where
                 expected: std::any::type_name::<I>(),
             })
         })?;
-        match (self.f)((*input).clone()) {
-            Ok(out) => Ok(Box::new(out)),
+        match (self.f)(input.clone()) {
+            Ok(out) => Ok(Payload::new(out)),
             Err(reason) => Err(StageError::Item {
                 reason,
-                item: input,
+                item: Payload::new(input),
             }),
         }
     }
@@ -349,7 +353,7 @@ where
             stage: self.name.clone(),
             expected: std::any::type_name::<I>(),
         })?;
-        Ok(Box::new((self.f)(*input)))
+        Ok(Payload::new((self.f)(input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -405,13 +409,13 @@ where
                 expected: "a joined Vec of branch outputs",
             })?;
         let mut typed = Vec::with_capacity(parts.len());
-        for part in *parts {
-            typed.push(*part.downcast::<B>().map_err(|_| StageTypeError {
+        for part in parts {
+            typed.push(part.downcast::<B>().map_err(|_| StageTypeError {
                 stage: self.name.clone(),
                 expected: std::any::type_name::<B>(),
             })?);
         }
-        Ok(Box::new((self.f)(typed)))
+        Ok(Payload::new((self.f)(typed)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -521,7 +525,7 @@ where
         })?;
         let hash = (self.key)(&input);
         let state = self.states.entry(hash).or_insert_with(|| (self.init)());
-        Ok(Box::new((self.f)(state, *input)))
+        Ok(Payload::new((self.f)(state, input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -634,7 +638,7 @@ where
             stage: self.name.clone(),
             expected: std::any::type_name::<I>(),
         })?;
-        Ok(Box::new((self.f)(&mut self.state, *input)))
+        Ok(Payload::new((self.f)(&mut self.state, input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -736,7 +740,7 @@ where
             stage: self.name.clone(),
             expected: std::any::type_name::<I>(),
         })?;
-        Ok(Box::new((self.f)(&mut self.state, *input)))
+        Ok(Payload::new((self.f)(&mut self.state, input)))
     }
 
     fn replicate(&self) -> Option<Box<dyn DynStage>> {
@@ -801,16 +805,16 @@ mod tests {
     #[test]
     fn fn_stage_processes_typed_items() {
         let mut s = FnStage::new("double", |x: i64| x * 2);
-        let out = s.process(Box::new(21i64)).expect("typed item");
-        assert_eq!(*out.downcast::<i64>().unwrap(), 42);
+        let out = s.process(Payload::new(21i64)).expect("typed item");
+        assert_eq!(out.downcast::<i64>().unwrap(), 42);
         assert_eq!(s.name(), "double");
     }
 
     #[test]
     fn fn_stage_may_change_type() {
         let mut s = FnStage::new("fmt", |x: u32| format!("{x}!"));
-        let out = s.process(Box::new(7u32)).expect("typed item");
-        assert_eq!(*out.downcast::<String>().unwrap(), "7!");
+        let out = s.process(Payload::new(7u32)).expect("typed item");
+        assert_eq!(out.downcast::<String>().unwrap(), "7!");
     }
 
     #[test]
@@ -825,7 +829,7 @@ mod tests {
         let mut a: Box<dyn DynStage> = Box::new(counter_stage);
         let mut b = a.replicate().expect("cloneable");
         let run = |s: &mut Box<dyn DynStage>| {
-            *s.process(Box::new(0u64))
+            s.process(Payload::new(0u64))
                 .expect("typed item")
                 .downcast::<u64>()
                 .unwrap()
@@ -846,26 +850,26 @@ mod tests {
     #[test]
     fn fan_out_clones_and_merge_folds() {
         let split = fan_out_fn::<u64>(3);
-        let parts = split(Box::new(7u64)).expect("typed item splits");
+        let parts = split(Payload::new(7u64)).expect("typed item splits");
         assert_eq!(parts.len(), 3);
         let mut m = MergeStage::new("sum", |xs: Vec<u64>| xs.iter().sum::<u64>());
-        let joined: BoxedItem = Box::new(parts);
+        let joined: BoxedItem = Payload::new(parts);
         let out = m.process(joined).expect("typed parts merge");
-        assert_eq!(*out.downcast::<u64>().unwrap(), 21);
+        assert_eq!(out.downcast::<u64>().unwrap(), 21);
         assert!(m.replicate().is_some(), "stateless merges replicate");
     }
 
     #[test]
     fn fan_out_and_merge_report_type_mismatches() {
         let split = fan_out_fn::<u64>(2);
-        let err = split(Box::new("nope")).unwrap_err();
+        let err = split(Payload::new("nope")).unwrap_err();
         assert_eq!(err.stage, "fan-out");
         let mut m = MergeStage::new("j", |xs: Vec<u64>| xs[0]);
         // Not a joined vector at all.
-        assert!(m.process(Box::new(1u64)).is_err());
+        assert!(m.process(Payload::new(1u64)).is_err());
         // A joined vector of the wrong element type.
-        let bad: Vec<BoxedItem> = vec![Box::new("x"), Box::new("y")];
-        assert_eq!(m.process(Box::new(bad)).unwrap_err().stage, "j");
+        let bad: Vec<BoxedItem> = vec![Payload::new("x"), Payload::new("y")];
+        assert_eq!(m.process(Payload::new(bad)).unwrap_err().stage, "j");
     }
 
     #[test]
@@ -880,7 +884,7 @@ mod tests {
             },
         );
         let run = |s: &mut dyn DynStage, k: u64| {
-            *s.process(Box::new(k))
+            s.process(Payload::new(k))
                 .expect("typed")
                 .downcast::<u64>()
                 .unwrap()
@@ -913,13 +917,13 @@ mod tests {
         };
         let mut left = make();
         let mut right = make();
-        left.process(Box::new(1u64)).unwrap();
-        right.process(Box::new(2u64)).unwrap();
-        right.process(Box::new(2u64)).unwrap();
+        left.process(Payload::new(1u64)).unwrap();
+        right.process(Payload::new(2u64)).unwrap();
+        right.process(Payload::new(2u64)).unwrap();
         let snap = right.snapshot().expect("keyed snapshots");
         assert!(left.absorb(snap));
-        let out = left.process(Box::new(2u64)).unwrap();
-        assert_eq!(*out.downcast::<u64>().unwrap(), 30, "absorbed key 2 at 20");
+        let out = left.process(Payload::new(2u64)).unwrap();
+        assert_eq!(out.downcast::<u64>().unwrap(), 30, "absorbed key 2 at 20");
     }
 
     #[test]
@@ -936,14 +940,14 @@ mod tests {
             )
         };
         let mut a = make();
-        a.process(Box::new(5u64)).unwrap();
+        a.process(Payload::new(5u64)).unwrap();
         // A replica is an independent partial seeded from init.
         let mut b = a.replicate().expect("accumulators replicate");
-        b.process(Box::new(7u64)).unwrap();
+        b.process(Payload::new(7u64)).unwrap();
         let snap = b.snapshot().expect("accumulators snapshot");
         assert!(a.absorb(snap), "partials merge");
-        let out = a.process(Box::new(0u64)).unwrap();
-        assert_eq!(*out.downcast::<u64>().unwrap(), 12);
+        let out = a.process(Payload::new(0u64)).unwrap();
+        assert_eq!(out.downcast::<u64>().unwrap(), 12);
     }
 
     #[test]
@@ -956,12 +960,12 @@ mod tests {
                 *acc
             },
         );
-        s.process(Box::new(40i64)).unwrap();
+        s.process(Payload::new(40i64)).unwrap();
         assert!(s.replicate().is_none(), "exclusive state is one instance");
         let (mut moved, bytes) = quiesce(Box::new(s));
         assert_eq!(bytes, 8, "one i64 of state shipped");
-        let out = moved.process(Box::new(2i64)).unwrap();
-        assert_eq!(*out.downcast::<i64>().unwrap(), 42);
+        let out = moved.process(Payload::new(2i64)).unwrap();
+        assert_eq!(out.downcast::<i64>().unwrap(), 42);
     }
 
     #[test]
@@ -973,8 +977,8 @@ mod tests {
         });
         let (mut back, bytes) = quiesce(Box::new(s));
         assert_eq!(bytes, 0, "opaque state cannot ship");
-        let out = back.process(Box::new(3u64)).unwrap();
-        assert_eq!(*out.downcast::<u64>().unwrap(), 3);
+        let out = back.process(Payload::new(3u64)).unwrap();
+        assert_eq!(out.downcast::<u64>().unwrap(), 3);
     }
 
     #[test]
@@ -987,9 +991,9 @@ mod tests {
                 *acc
             },
         );
-        s.process(Box::new(1u64)).unwrap();
+        s.process(Payload::new(1u64)).unwrap();
         let old = s.snapshot().unwrap();
-        s.process(Box::new(1u64)).unwrap();
+        s.process(Payload::new(1u64)).unwrap();
         let newer = s.snapshot().unwrap();
         assert!(newer.version > old.version);
         // A restore must never roll state back to an older snapshot.
@@ -1000,9 +1004,9 @@ mod tests {
     #[test]
     fn key_fn_extracts_and_rejects() {
         let kf = key_fn(|s: &String| s.len() as u64);
-        let item: BoxedItem = Box::new(String::from("abcd"));
+        let item: BoxedItem = Payload::new(String::from("abcd"));
         assert_eq!(kf(&item), Some(4));
-        let wrong: BoxedItem = Box::new(17u8);
+        let wrong: BoxedItem = Payload::new(17u8);
         assert_eq!(kf(&wrong), None);
     }
 
@@ -1015,19 +1019,19 @@ mod tests {
                 Err(format!("odd input {x}"))
             }
         });
-        let out = s.try_process(Box::new(4u64)).expect("even succeeds");
-        assert_eq!(*out.downcast::<u64>().unwrap(), 40);
-        match s.try_process(Box::new(3u64)) {
+        let out = s.try_process(Payload::new(4u64)).expect("even succeeds");
+        assert_eq!(out.downcast::<u64>().unwrap(), 40);
+        match s.try_process(Payload::new(3u64)) {
             Err(StageError::Item { reason, item }) => {
                 assert_eq!(reason, "odd input 3");
                 // The original item comes back unconsumed, re-presentable.
-                assert_eq!(*item.downcast::<u64>().unwrap(), 3);
+                assert_eq!(item.downcast::<u64>().unwrap(), 3);
             }
             other => panic!("expected an item failure, got {other:?}"),
         }
         // A wrong dynamic type is fatal, not retryable.
         assert!(matches!(
-            s.try_process(Box::new("nope")),
+            s.try_process(Payload::new("nope")),
             Err(StageError::Type(_))
         ));
         assert!(s.replicate().is_some(), "fallible stages replicate");
@@ -1036,10 +1040,10 @@ mod tests {
     #[test]
     fn try_process_defaults_to_process_for_infallible_stages() {
         let mut s = FnStage::new("double", |x: i64| x * 2);
-        let out = s.try_process(Box::new(5i64)).expect("typed");
-        assert_eq!(*out.downcast::<i64>().unwrap(), 10);
+        let out = s.try_process(Payload::new(5i64)).expect("typed");
+        assert_eq!(out.downcast::<i64>().unwrap(), 10);
         assert!(matches!(
-            s.try_process(Box::new("x")),
+            s.try_process(Payload::new("x")),
             Err(StageError::Type(_))
         ));
     }
@@ -1047,25 +1051,25 @@ mod tests {
     #[test]
     fn clone_fn_duplicates_and_rejects() {
         let cf = clone_fn::<String>();
-        let item: BoxedItem = Box::new(String::from("dup"));
+        let item: BoxedItem = Payload::new(String::from("dup"));
         let copy = cf(&item).expect("same type clones");
-        assert_eq!(*copy.downcast::<String>().unwrap(), "dup");
+        assert_eq!(copy.downcast::<String>().unwrap(), "dup");
         // The original is untouched.
-        assert_eq!(*item.downcast::<String>().unwrap(), "dup");
-        let wrong: BoxedItem = Box::new(3u8);
+        assert_eq!(item.downcast::<String>().unwrap(), "dup");
+        let wrong: BoxedItem = Payload::new(3u8);
         assert!(cf(&wrong).is_none());
     }
 
     #[test]
     fn type_mismatch_is_a_typed_error_not_a_panic() {
         let mut s = FnStage::new("typed", |x: i64| x);
-        let err = s.process(Box::new("not an i64")).unwrap_err();
+        let err = s.process(Payload::new("not an i64")).unwrap_err();
         assert_eq!(err.stage, "typed");
         assert_eq!(err.expected, std::any::type_name::<i64>());
         assert!(err.to_string().contains("'typed'"));
         // Stateful stages report identically.
         let mut s = StatefulFnStage::new("acc", |x: u64| x);
-        let err = s.process(Box::new(1i8)).unwrap_err();
+        let err = s.process(Payload::new(1i8)).unwrap_err();
         assert_eq!(err.stage, "acc");
     }
 }

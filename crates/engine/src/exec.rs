@@ -89,6 +89,7 @@
 //! sink.
 
 use crate::vnode::VNodeSpec;
+use adapipe_core::payload::Payload;
 use adapipe_core::pipeline::Pipeline;
 use adapipe_core::spec::{Next, PipelineSpec};
 use adapipe_core::stage::{quiesce, BoxedItem, DynStage, FanOutFn, KeyFn, StageError};
@@ -721,6 +722,10 @@ struct Shared {
     dead_count: AtomicU64,
     /// Work envelopes taken off a sibling's inbox by an idle co-host.
     steals: AtomicU64,
+    /// Stage-boundary hand-offs executed *fused*: the producing worker
+    /// ran the consumer stage directly in the same batch loop instead
+    /// of routing an envelope through an inbox (see [`FusionPlan`]).
+    fused: AtomicU64,
     /// Items that arrived under a retired routing epoch and were
     /// re-homed to their stage's current hosts.
     rehomed: AtomicU64,
@@ -854,6 +859,75 @@ const STEAL_WAKE_DEPTH: usize = 2;
 /// stealable envelope.
 const STEAL_SCAN: usize = 8;
 
+/// Cap per recycled-buffer free list: buffers beyond it are dropped.
+const BUF_POOL_CAP: usize = 64;
+
+/// Process-wide free lists recycling the two hot-path buffer shapes:
+/// envelope item vectors (drained by whichever worker serves them) and
+/// finished-batch vectors (consumed on the session thread after
+/// delivery). Both cross threads, hence shared pools rather than
+/// thread-locals; `try_lock` keeps them strictly off the critical path —
+/// under contention the caller just allocates.
+static SLOT_BUFS: Mutex<Vec<Vec<ItemSlot>>> = Mutex::new(Vec::new());
+static FIN_BUFS: Mutex<Vec<Vec<Finished>>> = Mutex::new(Vec::new());
+
+fn take_slot_buf(cap: usize) -> Vec<ItemSlot> {
+    if let Ok(mut pool) = SLOT_BUFS.try_lock() {
+        if let Some(buf) = pool.pop() {
+            return buf;
+        }
+    }
+    Vec::with_capacity(cap)
+}
+
+/// Returns an item buffer to the pool. Clearing happens here — on the
+/// thread that owned the buffer — so any unconsumed payloads drop
+/// before the buffer is offered to another thread.
+fn put_slot_buf(mut buf: Vec<ItemSlot>) {
+    buf.clear();
+    if buf.capacity() == 0 {
+        return;
+    }
+    if let Ok(mut pool) = SLOT_BUFS.try_lock() {
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(buf);
+        }
+    }
+}
+
+fn take_fin_buf() -> Vec<Finished> {
+    if let Ok(mut pool) = FIN_BUFS.try_lock() {
+        if let Some(buf) = pool.pop() {
+            return buf;
+        }
+    }
+    Vec::new()
+}
+
+fn put_fin_buf(mut buf: Vec<Finished>) {
+    buf.clear();
+    if buf.capacity() == 0 {
+        return;
+    }
+    if let Ok(mut pool) = FIN_BUFS.try_lock() {
+        if pool.len() < BUF_POOL_CAP {
+            pool.push(buf);
+        }
+    }
+}
+
+/// Hard ceiling on the stamp-sampling window (items per clock read) of
+/// [`process_batch`]'s fast path.
+const MAX_STAMP_STRIDE: u32 = 64;
+/// A full sampling window completing faster than this doubles the
+/// stride: the clock reads themselves are a measurable share of the
+/// work.
+const STRIDE_GROW_BELOW: Duration = Duration::from_micros(200);
+/// A window slower than this halves the stride: sink stamps are fixed
+/// up at window boundaries, so the per-item latency error is bounded by
+/// one window and must stay small against real stage times.
+const STRIDE_SHRINK_ABOVE: Duration = Duration::from_millis(1);
+
 /// Routes `items` of `stage` against `snap` and delivers them bucketed
 /// per destination worker. The single-host case (linear pipelines)
 /// skips per-item routing entirely; replicated stages keep per-item
@@ -864,9 +938,10 @@ fn ship(
     snap: &RoutingSnapshot,
     from: Option<usize>,
     stage: usize,
-    items: Vec<ItemSlot>,
+    mut items: Vec<ItemSlot>,
 ) {
     if items.is_empty() {
+        put_slot_buf(items);
         return;
     }
     let hosts = snap.hosts(stage);
@@ -876,23 +951,27 @@ fn ship(
         return;
     }
     let np = shared.pool.inboxes.len();
-    let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| Vec::new()).collect();
+    let cap = items.len();
+    let mut buckets: Vec<Vec<ItemSlot>> = (0..np).map(|_| take_slot_buf(cap)).collect();
     if shared.spec.stages[stage].state.shards() > 0 {
         // Keyed stage: every item is pinned to its key's shard owner —
         // never dealt round-robin, never detoured around a down owner
         // (the state lives there; a re-map moves it, then the items).
-        for slot in items {
+        for slot in items.drain(..) {
             let hash = shared.key_hash(stage, &slot);
             buckets[snap.route_keyed(stage, hash).index()].push(slot);
         }
     } else {
-        for slot in items {
+        for slot in items.drain(..) {
             buckets[snap.route(stage).index()].push(slot);
         }
     }
+    put_slot_buf(items);
     for (dest, batch) in buckets.into_iter().enumerate() {
         if !batch.is_empty() {
             deliver_env(shared, snap, from, stage, dest, batch);
+        } else {
+            put_slot_buf(batch);
         }
     }
 }
@@ -937,17 +1016,15 @@ fn deliver_env(
 /// to the entry stage, or — when the graph opens with a parallel block
 /// — per-item fan-out grouped into one envelope per branch entry (the
 /// in-flight credit still counts *items*, not branch copies).
-fn push_entry(shared: &Arc<Shared>, cache: &mut RouteCache, items: Vec<ItemSlot>) {
+fn push_entry(shared: &Arc<Shared>, cache: &mut RouteCache, mut items: Vec<ItemSlot>) {
     let snap = cache.current(shared).clone();
     match shared.spec.graph.entry() {
         Next::Stage(stage) => ship(shared, &snap, None, stage, items),
         Next::FanOut { block } => {
             let entries = &shared.block_entries[block];
-            let mut per_entry: Vec<Vec<ItemSlot>> = entries
-                .iter()
-                .map(|_| Vec::with_capacity(items.len()))
-                .collect();
-            for slot in items {
+            let mut per_entry: Vec<Vec<ItemSlot>> =
+                entries.iter().map(|_| take_slot_buf(items.len())).collect();
+            for slot in items.drain(..) {
                 match (shared.fanouts[block])(slot.payload) {
                     Ok(parts) => {
                         for (i, payload) in parts.into_iter().enumerate() {
@@ -967,6 +1044,7 @@ fn push_entry(shared: &Arc<Shared>, cache: &mut RouteCache, items: Vec<ItemSlot>
                     }
                 }
             }
+            put_slot_buf(items);
             for (i, batch) in per_entry.into_iter().enumerate() {
                 ship(shared, &snap, None, entries[i], batch);
             }
@@ -1177,7 +1255,7 @@ where
         self.pending.push(ItemSlot {
             seq,
             born,
-            payload: Box::new(item),
+            payload: Payload::new(item),
         });
         if self.pending.len() >= self.batch_size {
             self.flush_pending();
@@ -1215,7 +1293,7 @@ where
         if self.pending.is_empty() {
             return;
         }
-        let items = std::mem::take(&mut self.pending);
+        let items = std::mem::replace(&mut self.pending, take_slot_buf(self.batch_size));
         push_entry(&self.shared, &mut self.cache, items);
     }
 
@@ -1287,6 +1365,16 @@ where
         self.shared.rehomed.load(Ordering::Relaxed)
     }
 
+    /// Stage-boundary hand-offs executed *fused* so far: the producing
+    /// worker ran the consumer stage directly in its batch loop instead
+    /// of routing an envelope through an inbox, because the consumer is
+    /// stateless, default-policy, and mapped solely to that worker.
+    /// Re-maps that separate the pair un-fuse it automatically (the
+    /// fusion plan is epoch-scoped).
+    pub fn fused_hops(&self) -> u64 {
+        self.shared.fused.load(Ordering::Relaxed)
+    }
+
     /// Non-blocking poll of the output side (flushes buffered input
     /// first — waiting for output while input sits buffered would
     /// deadlock).
@@ -1305,7 +1393,10 @@ where
                 continue;
             }
             match self.out_rx.try_recv() {
-                Ok(batch) => self.inbuf.extend(batch),
+                Ok(mut batch) => {
+                    self.inbuf.extend(batch.drain(..));
+                    put_fin_buf(batch);
+                }
                 Err(TryRecvError::Empty) => return TryNext::Pending,
                 Err(TryRecvError::Disconnected) => {
                     return match self.flush_reorder() {
@@ -1318,7 +1409,7 @@ where
     }
 
     fn deliver(&mut self, fin: Finished) -> Option<O> {
-        let out = *fin
+        let out = fin
             .payload
             .downcast::<O>()
             .expect("pipeline output type mismatch");
@@ -1607,7 +1698,10 @@ where
                 continue;
             }
             match self.out_rx.recv() {
-                Ok(batch) => self.inbuf.extend(batch),
+                Ok(mut batch) => {
+                    self.inbuf.extend(batch.drain(..));
+                    put_fin_buf(batch);
+                }
                 Err(_) => return self.flush_reorder(),
             }
         }
@@ -1690,7 +1784,10 @@ where
         .unwrap_or_else(|| Topology::uniform(np, LinkSpec::local()));
     assert_eq!(topology.len(), np, "topology must cover every vnode");
 
-    let profile = spec.profile();
+    let mut profile = spec.profile();
+    // This engine fuses co-located stateless chain edges into direct
+    // calls (see `FusionPlan`), so the planner may discount them.
+    profile.fuses_colocated = true;
     profile.validate();
     let launch_rates: Vec<f64> = vnodes
         .iter()
@@ -1801,6 +1898,7 @@ where
         dead: Mutex::new(BTreeSet::new()),
         dead_count: AtomicU64::new(0),
         steals: AtomicU64::new(0),
+        fused: AtomicU64::new(0),
         rehomed: AtomicU64::new(0),
         credits: credits.clone(),
         share: AtomicU64::new(1.0f64.to_bits()),
@@ -2025,6 +2123,9 @@ struct TenantLocal {
     cache: RouteCache,
     busy: Duration,
     metrics: adapipe_core::metrics::StageMetrics,
+    /// Stage-fusion plan and stamp strides, refreshed lazily per
+    /// routing epoch.
+    fusion: FusionPlan,
 }
 
 impl TenantLocal {
@@ -2038,6 +2139,7 @@ impl TenantLocal {
             cache,
             busy: Duration::ZERO,
             metrics: adapipe_core::metrics::StageMetrics::new(ns),
+            fusion: FusionPlan::new(ns),
         }
     }
 
@@ -2287,6 +2389,7 @@ fn handle_work(me: usize, env: Envelope, tl: &mut TenantLocal) {
         cache,
         busy,
         metrics,
+        fusion,
     } = tl;
     let stage = env.stage;
     let snap = cache.current(shared).clone();
@@ -2359,7 +2462,7 @@ fn handle_work(me: usize, env: Envelope, tl: &mut TenantLocal) {
                     epoch: snap.epoch(),
                     items,
                 };
-                *busy += process_batch(me, env, shard, shared, cache, local, metrics);
+                *busy += process_batch(me, env, shard, shared, cache, local, metrics, fusion);
             }
         }
     } else if me_down {
@@ -2380,7 +2483,7 @@ fn handle_work(me: usize, env: Envelope, tl: &mut TenantLocal) {
     {
         waiting.entry((stage, 0)).or_default().push_back(env);
     } else {
-        *busy += process_batch(me, env, 0, shared, cache, local, metrics);
+        *busy += process_batch(me, env, 0, shared, cache, local, metrics, fusion);
     }
 }
 
@@ -2436,6 +2539,7 @@ fn serve_waiting(me: usize, tl: &mut TenantLocal) {
         cache,
         busy,
         metrics,
+        fusion,
     } = tl;
     if waiting.is_empty() {
         return;
@@ -2501,7 +2605,7 @@ fn serve_waiting(me: usize, tl: &mut TenantLocal) {
                 .expect("slot has a waiting queue");
             let envs: Vec<Envelope> = queue.drain(..).collect();
             for env in envs {
-                *busy += process_batch(me, env, slot, shared, cache, local, metrics);
+                *busy += process_batch(me, env, slot, shared, cache, local, metrics, fusion);
             }
         }
     }
@@ -2549,12 +2653,16 @@ fn try_acquire(
 }
 
 /// Appends `slot` to the onward batch for `stage`, creating the bucket
-/// on first use. Linear pipelines keep exactly one bucket, so this is a
-/// length-1 scan — no per-item allocation.
+/// on first use (from the buffer pool). Linear pipelines keep exactly
+/// one bucket, so this is a length-1 scan — no per-item allocation.
 fn push_onward(onward: &mut Vec<(usize, Vec<ItemSlot>)>, stage: usize, slot: ItemSlot) {
     match onward.iter_mut().find(|(s, _)| *s == stage) {
         Some((_, batch)) => batch.push(slot),
-        None => onward.push((stage, vec![slot])),
+        None => {
+            let mut batch = take_slot_buf(0);
+            batch.push(slot);
+            onward.push((stage, batch));
+        }
     }
 }
 
@@ -2679,10 +2787,243 @@ fn process_resilient(
     }
 }
 
-/// Runs every item of one envelope through its stage, applies the
-/// synthetic slowdown per item, records service samples, and ships the
-/// results onward in per-destination-stage batches (one sink message
-/// per envelope that finished items). Returns occupied (busy) time.
+/// A worker's per-tenant stage-fusion plan, recomputed lazily per
+/// routing epoch: which stage boundaries collapse into direct calls
+/// inside [`process_batch`]'s loop — no envelope, no inbox hop, no
+/// re-routing.
+///
+/// `next[s] = Some(t)` iff `s`'s sole linear successor `t` is
+/// stateless with a default resilience policy and is currently mapped
+/// to exactly this worker — then every output of `s` produced here is
+/// necessarily an input of `t` here, and the hand-off can be a plain
+/// function call. The structural in-degree-1 requirement is implied:
+/// a multi-predecessor stage is reached through a fan-in
+/// ([`Next::Join`] or a slotted fan-out edge), never through
+/// [`Next::Stage`]. The *entry* stage of a fused chain may be stateful
+/// or resilient (a chain starts wherever the envelope landed); only
+/// the fused successors must be stateless and default-policy, so
+/// retry/dead-letter accounting and state migration keep their exact
+/// per-envelope semantics. The moment a re-map separates a pair (or
+/// replicates the successor), the epoch bump invalidates the plan and
+/// the boundary reverts to an envelope — un-fusing is automatic.
+///
+/// `stride` rides along because it is the other per-stage hot-path
+/// knob: the adaptive clock-sampling window of [`process_batch`]'s
+/// fast path. It deliberately survives epoch changes — a re-map does
+/// not forget how coarse a stage's timing windows can safely be.
+struct FusionPlan {
+    /// Routing epoch `next` was computed for (`u64::MAX` = never).
+    epoch: u64,
+    next: Vec<Option<usize>>,
+    stride: Vec<u32>,
+}
+
+impl FusionPlan {
+    fn new(ns: usize) -> Self {
+        FusionPlan {
+            epoch: u64::MAX,
+            next: vec![None; ns],
+            stride: vec![1; ns],
+        }
+    }
+
+    /// Recomputes the plan against `snap` if the epoch moved since the
+    /// last refresh.
+    fn refresh(&mut self, me: usize, shared: &Shared, snap: &RoutingSnapshot) {
+        if self.epoch == snap.epoch() {
+            return;
+        }
+        self.epoch = snap.epoch();
+        for s in 0..self.next.len() {
+            self.next[s] = match shared.spec.graph.after(s) {
+                Next::Stage(t)
+                    if shared.spec.stages[t].state == StateAccess::Stateless
+                        && shared.spec.stages[t].resilience.is_default() =>
+                {
+                    let hosts = snap.hosts(t);
+                    (hosts.len() == 1 && hosts[0].index() == me).then_some(t)
+                }
+                _ => None,
+            };
+        }
+    }
+}
+
+/// Runs one payload through every instance of a fused chain in order.
+/// With `samp`, each hop is clock-stamped and its duration written
+/// there (the fast path measures one item per window this way to split
+/// window time across the chain's stages). `None` means a type
+/// mismatch: the session is already failed and torn down, and the
+/// caller must abandon its batch.
+fn run_chain(
+    insts: &mut [Box<dyn DynStage>],
+    shared: &Arc<Shared>,
+    mut out: BoxedItem,
+    samp: Option<&mut [Duration]>,
+) -> Option<BoxedItem> {
+    // A wrong-typed item is a pipeline assembly bug, but it must fail
+    // the *session* with a typed error — not kill this worker thread
+    // and hang everyone blocked on it.
+    match samp {
+        None => {
+            for inst in insts.iter_mut() {
+                match inst.process(out) {
+                    Ok(o) => out = o,
+                    Err(type_err) => {
+                        shared.control.fail(RunError::StageTypeMismatch {
+                            stage: type_err.stage,
+                        });
+                        fatal_teardown(shared);
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(samp) => {
+            let mut t_prev = Instant::now();
+            for (ci, inst) in insts.iter_mut().enumerate() {
+                match inst.process(out) {
+                    Ok(o) => out = o,
+                    Err(type_err) => {
+                        shared.control.fail(RunError::StageTypeMismatch {
+                            stage: type_err.stage,
+                        });
+                        fatal_teardown(shared);
+                        return None;
+                    }
+                }
+                let t_now = Instant::now();
+                samp[ci] = t_now.duration_since(t_prev);
+                t_prev = t_now;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Routes one stage output according to `after` — into the sink batch,
+/// an onward per-stage batch, a fan-out duplication (plain and slotted
+/// targets), or a join deposit. `Err(())` means a fan-out type
+/// mismatch: the session is already failed and torn down, and the
+/// caller must abandon the rest of its batch.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_out(
+    shared: &Arc<Shared>,
+    after: &Next,
+    seq: u64,
+    born: Instant,
+    done: Instant,
+    out: BoxedItem,
+    finished: &mut Vec<Finished>,
+    onward: &mut Vec<(usize, Vec<ItemSlot>)>,
+) -> Result<(), ()> {
+    match after {
+        Next::Done => finished.push(Finished {
+            seq,
+            born,
+            done,
+            payload: out,
+        }),
+        Next::Stage(next) => push_onward(
+            onward,
+            *next,
+            ItemSlot {
+                seq,
+                born,
+                payload: out,
+            },
+        ),
+        Next::FanOut { block } => match (shared.fanouts[*block])(out) {
+            Ok(parts) => {
+                // Copies ship in edge order. A plain target gets its
+                // copy as an ordinary envelope; a *slotted* target — a
+                // DAG shortcut edge feeding a joining stage directly —
+                // deposits the copy into that join's slot instead (the
+                // joining stage must receive the assembled vector, not
+                // a raw copy to process).
+                let targets = shared.spec.graph.fan_targets(*block);
+                for (i, payload) in parts.into_iter().enumerate() {
+                    let target = &targets[i];
+                    match target.slot {
+                        None => push_onward(onward, target.stage, ItemSlot { seq, born, payload }),
+                        Some(jslot) => {
+                            let jblock = shared
+                                .spec
+                                .graph
+                                .merge_block_of(target.stage)
+                                .expect("slotted fan target joins");
+                            if let Some(parts) = deposit_join(shared, jblock, jslot, seq, payload) {
+                                push_onward(
+                                    onward,
+                                    target.stage,
+                                    ItemSlot {
+                                        seq,
+                                        born,
+                                        payload: Payload::new(parts),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Err(type_err) => {
+                // Same contract as a stage-level mismatch: fail the
+                // session typed, never kill the worker thread.
+                shared.control.fail(RunError::StageTypeMismatch {
+                    stage: type_err.stage,
+                });
+                fatal_teardown(shared);
+                return Err(());
+            }
+        },
+        Next::Join { block, branch } => {
+            if let Some(parts) = deposit_join(shared, *block, *branch, seq, out) {
+                push_onward(
+                    onward,
+                    shared.spec.graph.merge_of(*block),
+                    ItemSlot {
+                        seq,
+                        born,
+                        payload: Payload::new(parts),
+                    },
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every item of one envelope through its stage — and, when the
+/// worker's [`FusionPlan`] fuses the stage with stateless successors
+/// mapped solely here, straight through the whole chain in the same
+/// loop, skipping the per-boundary envelope/inbox round-trip entirely.
+/// Results ship onward in per-destination-stage batches (one sink
+/// message per envelope that finished items). Returns occupied (busy)
+/// time.
+///
+/// Two bookkeeping regimes:
+///
+/// * **Fast path** (entry stage has the default resilience policy and
+///   the vnode can never throttle): the clock is read once per
+///   *window* of [`FusionPlan`] stride items instead of per item, sink
+///   stamps are fixed up at the window boundary, and service metrics
+///   absorb each window as one exact-count batch
+///   (`StageMetrics::record_batch`) — steady-state bookkeeping is
+///   O(windows), not O(items). The stride adapts between 1 and
+///   [`MAX_STAMP_STRIDE`] to keep windows in the
+///   hundreds-of-microseconds band: cheap stages stop paying a clock
+///   read per item, slow stages keep honest latency stamps. Fused
+///   chains stamp one item per window hop-by-hop and split the
+///   window's busy time across the chain's stages in those proportions
+///   (counts and totals stay exact; the adaptation loop plans from
+///   declared rates, so the report is the only consumer).
+/// * **Slow path** (resilient entry stage, or a vnode with throttle
+///   windows): exact per-item, per-hop accounting —
+///   retry/backoff/dead-letter via [`process_resilient`] on the entry
+///   hop, synthetic slowdown sleeps and individual service samples on
+///   every hop.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     me: usize,
     env: Envelope,
@@ -2691,13 +3032,44 @@ fn process_batch(
     cache: &mut RouteCache,
     local: &mut HashMap<(usize, usize), Box<dyn DynStage>>,
     metrics: &mut adapipe_core::metrics::StageMetrics,
+    fusion: &mut FusionPlan,
 ) -> Duration {
     let stage = env.stage;
-    let after = shared.spec.graph.after(stage);
-    let work_mean = shared.spec.stages[stage].work.mean();
-    let inst = local
-        .get_mut(&(stage, slot))
-        .expect("instance acquired before process");
+    let snap = cache.current(shared).clone();
+    fusion.refresh(me, shared, &snap);
+    // The fused chain: the envelope's stage plus every successor the
+    // plan fuses whose instance is acquirable right now. An instance
+    // still in migration transit truncates the chain — those items
+    // travel by envelope and buffer at the receiver, exactly as
+    // unfused traffic would.
+    let mut chain: Vec<usize> = vec![stage];
+    {
+        let mut s = stage;
+        while let Some(t) = fusion.next[s] {
+            if !try_acquire(shared, local, t, 0) {
+                break;
+            }
+            chain.push(t);
+            s = t;
+        }
+    }
+    let after = shared.spec.graph.after(chain[chain.len() - 1]);
+    let works: Vec<f64> = chain
+        .iter()
+        .map(|&s| shared.spec.stages[s].work.mean())
+        .collect();
+    // Each hop needs its own `&mut` inside the item loop: take the
+    // chain's instances out of the map and reinsert them at the end.
+    let mut insts: Vec<Box<dyn DynStage>> = chain
+        .iter()
+        .enumerate()
+        .map(|(ci, &s)| {
+            let key = (s, if ci == 0 { slot } else { 0 });
+            local
+                .remove(&key)
+                .expect("instance acquired before process")
+        })
+        .collect();
     if shared.spec.stages[stage].state == StateAccess::Accumulator {
         // Absorb partials parked by replicas that vacated their hosts —
         // state migrated in via the stage's merge operator, before any
@@ -2708,178 +3080,245 @@ fn process_batch(
             .drain(..)
             .collect();
         for snap in pending {
-            inst.absorb(snap);
+            insts[0].absorb(snap);
         }
     }
-    let mut finished: Vec<Finished> = Vec::new();
-    let mut onward: Vec<(usize, Vec<ItemSlot>)> = Vec::new();
-    // Clock calls are chained across the batch: each item's end stamp
-    // is the next item's start stamp, and a completed item reuses its
-    // end stamp as its sink timestamp — one `Instant::now()` per item
-    // instead of three. A vnode that can never throttle also skips the
-    // per-item wall-offset conversion and rate lookup entirely.
     let never_throttles = shared.pool.vnodes[me].never_throttles();
+    let fast = never_throttles && shared.spec.stages[stage].resilience.is_default();
+    let nseg = chain.len();
+    let mut finished: Vec<Finished> = take_fin_buf();
+    let mut onward: Vec<(usize, Vec<ItemSlot>)> = Vec::new();
     let mut busy = Duration::ZERO;
-    let mut t_start = Instant::now();
-    for slot in env.items {
-        // An abort mid-batch (of this tenant or the whole pool) drops
-        // the remainder — same contract as the discarded inbox backlog
-        // (the report shows truncation).
-        if shared.finished() {
-            break;
-        }
-        // A sibling branch may have dead-lettered this item while this
-        // copy sat queued; its work is moot.
-        if shared.is_dead(slot.seq) {
-            continue;
-        }
-        let policy = &shared.spec.stages[stage].resilience;
-        let out = if policy.is_default() {
-            match inst.process(slot.payload) {
-                Ok(out) => out,
-                Err(type_err) => {
-                    // A wrong-typed item is a pipeline assembly bug, but
-                    // it must fail the *session* with a typed error —
-                    // not kill this worker thread and hang everyone
-                    // blocked on it.
-                    shared.control.fail(RunError::StageTypeMismatch {
-                        stage: type_err.stage,
-                    });
-                    fatal_teardown(shared);
-                    return busy + t_start.elapsed();
-                }
+    let mut fused_hops: u64 = 0;
+    let mut fatal = false;
+    let mut items = env.items;
+    let n = items.len();
+    let mut it = items.drain(..);
+    if fast {
+        // Per-hop durations of the window's sampled item (fused chains
+        // only; a chain of one skips per-hop stamping altogether).
+        let mut samp = vec![Duration::ZERO; nseg];
+        let mut idx = 0usize;
+        let mut t_win = Instant::now();
+        'windows: while idx < n {
+            // An abort mid-batch (of this tenant or the whole pool)
+            // drops the remainder — same contract as the discarded
+            // inbox backlog (the report shows truncation). Checked per
+            // window on this path.
+            if shared.finished() {
+                break;
             }
-        } else {
-            match process_resilient(inst.as_mut(), shared, stage, slot.seq, slot.payload) {
-                ResilientOut::Done(out) => out,
-                ResilientOut::Dead => {
-                    // Diverted to the dead-letter channel: the item is
-                    // settled, nothing ships onward. The attempt time
-                    // still counts as busy.
-                    let t_end = Instant::now();
-                    busy += t_end.duration_since(t_start);
-                    t_start = t_end;
+            let win = (fusion.stride[stage] as usize).min(n - idx);
+            let win_fin_start = finished.len();
+            let mut live: u64 = 0;
+            let mut sampled = nseg == 1;
+            for _ in 0..win {
+                let slot = it.next().expect("window within batch");
+                idx += 1;
+                // A sibling branch may have dead-lettered this item
+                // while this copy sat queued; its work is moot.
+                if shared.is_dead(slot.seq) {
                     continue;
                 }
-                ResilientOut::Fatal => return busy + t_start.elapsed(),
+                let out = if sampled {
+                    run_chain(&mut insts, shared, slot.payload, None)
+                } else {
+                    sampled = true;
+                    run_chain(&mut insts, shared, slot.payload, Some(&mut samp))
+                };
+                let Some(out) = out else {
+                    fatal = true;
+                    break 'windows;
+                };
+                live += 1;
+                if dispatch_out(
+                    shared,
+                    &after,
+                    slot.seq,
+                    slot.born,
+                    t_win,
+                    out,
+                    &mut finished,
+                    &mut onward,
+                )
+                .is_err()
+                {
+                    fatal = true;
+                    break 'windows;
+                }
             }
-        };
-        let t_end = Instant::now();
-        let compute = t_end.duration_since(t_start);
-        t_start = t_end;
-        let took = if never_throttles {
-            compute
-        } else {
-            let started_at =
-                SimTime::from_secs_f64(t_end.duration_since(shared.pool.epoch).as_secs_f64());
-            let sleep = shared.pool.vnodes[me].slowdown_sleep(compute, started_at);
-            if !sleep.is_zero() {
-                std::thread::sleep(sleep);
-                // The sleep must not be attributed to the next item's
-                // compute window.
-                t_start = Instant::now();
+            let t_end = Instant::now();
+            let w = t_end.duration_since(t_win);
+            busy += w;
+            // Completed items take the window boundary as their sink
+            // stamp: stamps stay non-decreasing, and the per-item
+            // error is bounded by one window, which the stride
+            // adaptation keeps short.
+            for f in &mut finished[win_fin_start..] {
+                f.done = t_end;
             }
-            compute + sleep
-        };
-        busy += took;
-        metrics.record(
-            stage,
-            SimDuration::from_secs_f64(took.as_secs_f64()),
-            work_mean,
-        );
-
-        match &after {
-            Next::Done => finished.push(Finished {
-                seq: slot.seq,
-                born: slot.born,
-                done: t_end,
-                payload: out,
-            }),
-            Next::Stage(next) => push_onward(
-                &mut onward,
-                *next,
-                ItemSlot {
-                    seq: slot.seq,
-                    born: slot.born,
-                    payload: out,
-                },
-            ),
-            Next::FanOut { block } => match (shared.fanouts[*block])(out) {
-                Ok(parts) => {
-                    // Copies ship in edge order. A plain target gets its
-                    // copy as an ordinary envelope; a *slotted* target —
-                    // a DAG shortcut edge feeding a joining stage
-                    // directly — deposits the copy into that join's slot
-                    // instead (the joining stage must receive the
-                    // assembled vector, not a raw copy to process).
-                    let targets = shared.spec.graph.fan_targets(*block);
-                    for (i, payload) in parts.into_iter().enumerate() {
-                        let target = &targets[i];
-                        match target.slot {
-                            None => push_onward(
-                                &mut onward,
-                                target.stage,
-                                ItemSlot {
-                                    seq: slot.seq,
-                                    born: slot.born,
-                                    payload,
-                                },
-                            ),
-                            Some(jslot) => {
-                                let jblock = shared
-                                    .spec
-                                    .graph
-                                    .merge_block_of(target.stage)
-                                    .expect("slotted fan target joins");
-                                if let Some(parts) =
-                                    deposit_join(shared, jblock, jslot, slot.seq, payload)
-                                {
-                                    push_onward(
-                                        &mut onward,
-                                        target.stage,
-                                        ItemSlot {
-                                            seq: slot.seq,
-                                            born: slot.born,
-                                            payload: Box::new(parts),
-                                        },
-                                    );
-                                }
-                            }
+            if live > 0 {
+                let wsecs = w.as_secs_f64();
+                if nseg == 1 {
+                    metrics.record_batch(
+                        stage,
+                        SimDuration::from_secs_f64(wsecs),
+                        live,
+                        works[0] * live as f64,
+                    );
+                } else {
+                    let total: f64 = samp.iter().map(Duration::as_secs_f64).sum();
+                    for (ci, &cs) in chain.iter().enumerate() {
+                        let frac = if total > 0.0 {
+                            samp[ci].as_secs_f64() / total
+                        } else {
+                            1.0 / nseg as f64
+                        };
+                        metrics.record_batch(
+                            cs,
+                            SimDuration::from_secs_f64(wsecs * frac),
+                            live,
+                            works[ci] * live as f64,
+                        );
+                    }
+                    fused_hops += (nseg as u64 - 1) * live;
+                }
+            }
+            // Only full windows adapt the stride: a clipped tail
+            // window is fast because it is short, not because the
+            // stage is.
+            if win == fusion.stride[stage] as usize {
+                let stride = &mut fusion.stride[stage];
+                if w < STRIDE_GROW_BELOW && *stride < MAX_STAMP_STRIDE {
+                    *stride *= 2;
+                } else if w > STRIDE_SHRINK_ABOVE && *stride > 1 {
+                    *stride /= 2;
+                }
+            }
+            t_win = t_end;
+        }
+        if fatal {
+            busy += t_win.elapsed();
+        }
+    } else {
+        let entry_resilient = !shared.spec.stages[stage].resilience.is_default();
+        let mut t_start = Instant::now();
+        'items: for slot in it.by_ref() {
+            if shared.finished() {
+                break;
+            }
+            if shared.is_dead(slot.seq) {
+                continue;
+            }
+            let mut out = slot.payload;
+            let mut done = t_start;
+            for (ci, inst) in insts.iter_mut().enumerate() {
+                let cs = chain[ci];
+                if ci == 0 && entry_resilient {
+                    match process_resilient(inst.as_mut(), shared, cs, slot.seq, out) {
+                        ResilientOut::Done(o) => out = o,
+                        ResilientOut::Dead => {
+                            // Diverted to the dead-letter channel: the
+                            // item is settled, nothing ships onward.
+                            // The attempt time still counts as busy.
+                            let t_end = Instant::now();
+                            busy += t_end.duration_since(t_start);
+                            t_start = t_end;
+                            continue 'items;
+                        }
+                        ResilientOut::Fatal => {
+                            busy += t_start.elapsed();
+                            fatal = true;
+                            break 'items;
+                        }
+                    }
+                } else {
+                    match inst.process(out) {
+                        Ok(o) => out = o,
+                        Err(type_err) => {
+                            // Fail the session typed, never kill the
+                            // worker thread (see `run_chain`).
+                            shared.control.fail(RunError::StageTypeMismatch {
+                                stage: type_err.stage,
+                            });
+                            fatal_teardown(shared);
+                            busy += t_start.elapsed();
+                            fatal = true;
+                            break 'items;
                         }
                     }
                 }
-                Err(type_err) => {
-                    // Same contract as a stage-level mismatch: fail the
-                    // session typed, never kill the worker thread.
-                    shared.control.fail(RunError::StageTypeMismatch {
-                        stage: type_err.stage,
-                    });
-                    fatal_teardown(shared);
-                    return busy;
-                }
-            },
-            Next::Join { block, branch } => {
-                if let Some(parts) = deposit_join(shared, *block, *branch, slot.seq, out) {
-                    push_onward(
-                        &mut onward,
-                        shared.spec.graph.merge_of(*block),
-                        ItemSlot {
-                            seq: slot.seq,
-                            born: slot.born,
-                            payload: Box::new(parts),
-                        },
+                let t_end = Instant::now();
+                let compute = t_end.duration_since(t_start);
+                t_start = t_end;
+                done = t_end;
+                let took = if never_throttles {
+                    compute
+                } else {
+                    let started_at = SimTime::from_secs_f64(
+                        t_end.duration_since(shared.pool.epoch).as_secs_f64(),
                     );
-                }
+                    let sleep = shared.pool.vnodes[me].slowdown_sleep(compute, started_at);
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                        // The sleep must not be attributed to the next
+                        // hop's compute window.
+                        t_start = Instant::now();
+                    }
+                    compute + sleep
+                };
+                busy += took;
+                metrics.record(
+                    cs,
+                    SimDuration::from_secs_f64(took.as_secs_f64()),
+                    works[ci],
+                );
+            }
+            if nseg > 1 {
+                fused_hops += nseg as u64 - 1;
+            }
+            if dispatch_out(
+                shared,
+                &after,
+                slot.seq,
+                slot.born,
+                done,
+                out,
+                &mut finished,
+                &mut onward,
+            )
+            .is_err()
+            {
+                fatal = true;
+                break;
             }
         }
     }
-    if !finished.is_empty() {
+    // Dropping the drain clears any unprocessed remainder (abort /
+    // fatal), so the buffer recycles empty with its payloads released.
+    drop(it);
+    put_slot_buf(items);
+    for (ci, inst) in insts.into_iter().enumerate() {
+        let key = (chain[ci], if ci == 0 { slot } else { 0 });
+        local.insert(key, inst);
+    }
+    if fused_hops > 0 {
+        shared.fused.fetch_add(fused_hops, Ordering::Relaxed);
+    }
+    if fatal || finished.is_empty() {
+        // Fatal: nothing ships — the collector already received
+        // `Fatal` and the report shows truncation.
+        put_fin_buf(finished);
+    } else {
         let _ = shared.sink.send(SinkMsg::Done(finished));
     }
-    if !onward.is_empty() {
-        let snap = cache.current(shared).clone();
-        for (next, items) in onward {
-            ship(shared, &snap, Some(me), next, items);
+    if fatal {
+        for (_, batch) in onward {
+            put_slot_buf(batch);
+        }
+    } else {
+        for (next, batch) in onward {
+            ship(shared, &snap, Some(me), next, batch);
         }
     }
     busy
@@ -3541,6 +3980,210 @@ mod tests {
         let outcome = session.drain();
         assert_eq!(outcome.report.completed, 40);
         assert!(!outcome.report.truncated);
+    }
+
+    #[test]
+    fn fused_colocated_chain_is_item_identical_to_spread() {
+        use adapipe_runtime::session::ResiliencePolicy;
+        // Three cheap stateless stages. Coalesced on one vnode the
+        // fusion plan collapses both boundaries into direct calls
+        // (counted per hop); spread over three vnodes nothing may
+        // fuse. Outputs must be bit-identical either way.
+        let build = || {
+            PipelineBuilder::<u64>::new()
+                .stage(StageSpec::balanced("a", 0.001, 8), |x: u64| x + 1)
+                .stage(StageSpec::balanced("b", 0.001, 8), |x: u64| x * 3)
+                .stage(StageSpec::balanced("c", 0.001, 8), |x: u64| x - 2)
+                .build()
+        };
+        let expect: Vec<u64> = (0..500u64).map(|x| (x + 1) * 3 - 2).collect();
+
+        let mut co_cfg = EngineConfig::new(free_nodes(1));
+        co_cfg.initial_mapping = Some(Mapping::all_on(n(0), 3));
+        let mut session = spawn(build(), &co_cfg, 500);
+        for i in 0..500u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        assert_eq!(got, expect);
+        assert!(
+            session.fused_hops() > 0,
+            "co-located stateless chain must fuse"
+        );
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 500);
+        assert!(!outcome.report.truncated);
+
+        let mut sp_cfg = EngineConfig::new(free_nodes(3));
+        sp_cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1), n(2)]));
+        let mut session = spawn(build(), &sp_cfg, 500);
+        for i in 0..500u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        assert_eq!(got, expect);
+        assert_eq!(
+            session.fused_hops(),
+            0,
+            "cross-node boundaries must not fuse"
+        );
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 500);
+
+        // A resilient *entry* stage still fuses into its stateless
+        // successor (the slow path walks the chain per item), so the
+        // retry bookkeeping on the entry hop costs nothing downstream.
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(
+                StageSpec::balanced("a", 0.001, 8)
+                    .with_resilience(ResiliencePolicy::new().retries(2)),
+                |x: u64| x + 1,
+            )
+            .stage(StageSpec::balanced("b", 0.001, 8), |x: u64| x * 3)
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.initial_mapping = Some(Mapping::all_on(n(0), 2));
+        let mut session = spawn(pipeline, &cfg, 100);
+        for i in 0..100u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        assert_eq!(got, (0..100u64).map(|x| (x + 1) * 3).collect::<Vec<_>>());
+        assert!(
+            session.fused_hops() > 0,
+            "resilient entry must not block fusing its successor"
+        );
+        session.drain();
+    }
+
+    #[test]
+    fn stateful_or_resilient_successors_refuse_fusion() {
+        use adapipe_runtime::session::ResiliencePolicy;
+        // a → sum, co-located, but sum is stateful: fusing would route
+        // items around the state-migration bookkeeping, so the plan
+        // must refuse.
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(StageSpec::balanced("a", 0.001, 8), |x: u64| x + 1)
+            .stateful_stage(StageSpec::balanced("sum", 0.001, 8).with_state(8), {
+                let mut acc = 0u64;
+                move |x: u64| {
+                    acc += x;
+                    acc
+                }
+            })
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.initial_mapping = Some(Mapping::all_on(n(0), 2));
+        let mut session = spawn(pipeline, &cfg, 100);
+        for i in 0..100u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        let max = got.iter().max().copied().unwrap();
+        assert_eq!(max, (1..=100u64).sum::<u64>(), "sum lost or doubled");
+        assert_eq!(session.fused_hops(), 0, "stateful successor fused");
+        session.drain();
+
+        // Same refusal for a resilient successor: its retry/dead-letter
+        // accounting is per-envelope and must keep receiving envelopes.
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(StageSpec::balanced("a", 0.001, 8), |x: u64| x + 1)
+            .stage(
+                StageSpec::balanced("b", 0.001, 8)
+                    .with_resilience(ResiliencePolicy::new().retries(2)),
+                |x: u64| x * 2,
+            )
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(1));
+        cfg.initial_mapping = Some(Mapping::all_on(n(0), 2));
+        let mut session = spawn(pipeline, &cfg, 100);
+        for i in 0..100u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        assert_eq!(got, (0..100u64).map(|x| (x + 1) * 2).collect::<Vec<_>>());
+        assert_eq!(session.fused_hops(), 0, "resilient successor fused");
+        session.drain();
+    }
+
+    #[test]
+    fn forced_remap_fuses_newly_colocated_stages() {
+        // Stages start spread (nothing fuses); v1 crashes mid-run, the
+        // forced re-map lands both stages on v0, and the refreshed plan
+        // starts fusing — while replay keeps the stream exactly-once.
+        let (s0, f0) = spin_stage("a", 2);
+        let (s1, f1) = spin_stage("b", 2);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.initial_mapping = Some(Mapping::from_assignment(&[n(0), n(1)]));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        };
+        cfg.faults = FaultPlan::new().crash(n(1), SimTime::from_secs_f64(0.15));
+        let mut session = spawn(pipeline, &cfg, 100);
+        for i in 0..100u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        assert_eq!(got, (2..=101).collect::<Vec<_>>());
+        assert!(
+            session.fused_hops() > 0,
+            "post-crash co-location must start fusing"
+        );
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 100);
+        assert!(!outcome.report.final_mapping.nodes_used().contains(&n(1)));
+    }
+
+    #[test]
+    fn planner_unfuses_when_spreading_wins() {
+        // Two equal spin stages start coalesced (fused); the periodic
+        // controller finds that spreading doubles predicted throughput
+        // — the fusion latency discount must not override the
+        // bottleneck term — re-maps, and the plan un-fuses. Outputs
+        // stay exact through the transition.
+        let (s0, f0) = spin_stage("a", 3);
+        let (s1, f1) = spin_stage("b", 3);
+        let pipeline = PipelineBuilder::<u64>::new()
+            .stage(s0, f0)
+            .stage(s1, f1)
+            .build();
+        let mut cfg = EngineConfig::new(free_nodes(2));
+        cfg.initial_mapping = Some(Mapping::all_on(n(0), 2));
+        cfg.policy = Policy::Periodic {
+            interval: SimDuration::from_millis(100),
+        };
+        let mut session = spawn(pipeline, &cfg, 150);
+        for i in 0..150u64 {
+            session.push(i).unwrap();
+        }
+        session.close();
+        let got: Vec<u64> = session.by_ref().collect();
+        assert_eq!(got, (2..=151).collect::<Vec<_>>());
+        assert!(
+            session.fused_hops() > 0,
+            "coalesced start must fuse until the re-map"
+        );
+        let outcome = session.drain();
+        assert_eq!(outcome.report.completed, 150);
+        assert!(
+            outcome.report.adaptation_count() >= 1,
+            "controller must discover the spread mapping"
+        );
+        assert_eq!(
+            outcome.report.final_mapping.nodes_used().len(),
+            2,
+            "final mapping must be spread"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! are separate resources); contention inside a link direction is what
 //! the simulator adds on top, and experiment T2 quantifies the gap.
 
-use crate::graph::{Segment, StageGraph};
+use crate::graph::{Next, Segment, StageGraph};
 use crate::mapping::Mapping;
 use adapipe_gridsim::net::Topology;
 use adapipe_gridsim::node::NodeId;
@@ -45,6 +45,14 @@ pub struct PipelineProfile {
     /// Node where outputs are delivered; `None` ignores output-edge
     /// transfer.
     pub sink: Option<NodeId>,
+    /// True when the executing backend *fuses* co-located stateless
+    /// chain edges into direct calls (the threaded engine does; the
+    /// simulator routes every boundary through its link model, self
+    /// links included). Only a fusing backend may claim the fused-edge
+    /// latency discount — otherwise the model would under-charge
+    /// co-location and the planner's latency tie-break would steer
+    /// toward mappings the backend cannot actually make cheap.
+    pub fuses_colocated: bool,
 }
 
 impl PipelineProfile {
@@ -61,6 +69,7 @@ impl PipelineProfile {
             stage_work,
             source: None,
             sink: None,
+            fuses_colocated: false,
         }
     }
 
@@ -102,6 +111,32 @@ impl PipelineProfile {
     pub fn total_work(&self) -> f64 {
         self.stage_work.iter().sum()
     }
+}
+
+/// True when the executing backend would *fuse* the edge `from → to`
+/// under `mapping`: the backend fuses at all (`fuses_colocated`, set by
+/// the threaded engine and nothing else), `to` is `from`'s sole linear
+/// successor, declared stateless, and both stages sit unreplicated on
+/// the same host. A fused boundary is a direct call — no envelope, no
+/// inbox hop — so the model charges it no transfer latency. (The engine
+/// additionally requires a default resilience policy on the successor,
+/// which the profile does not carry; a resilient stage that is also
+/// stateless and co-located is rare enough that the latency term's
+/// optimism there is noise — and latency only tie-breaks candidate
+/// rankings anyway.) Same-host hops never contributed to the link busy
+/// budget, so the throughput term is untouched.
+fn fused_edge(profile: &PipelineProfile, mapping: &Mapping, from: usize, to: usize) -> bool {
+    if !profile.fuses_colocated || !profile.stateless[to] {
+        return false;
+    }
+    // `Next::Stage` structurally implies `to` has in-degree 1: fan-out
+    // and join boundaries never take this form.
+    if !matches!(profile.graph.after(from), Next::Stage(t) if t == to) {
+        return false;
+    }
+    let fh = mapping.placement(from).hosts();
+    let th = mapping.placement(to).hosts();
+    fh.len() == 1 && th.len() == 1 && fh[0] == th[0]
 }
 
 /// Which resource limits throughput.
@@ -229,6 +264,9 @@ pub fn evaluate(
             );
         }
         for b in 1..ns {
+            if fused_edge(profile, mapping, b - 1, b) {
+                continue;
+            }
             add_boundary(
                 mapping.placement(b - 1).hosts(),
                 mapping.placement(b).hosts(),
@@ -353,6 +391,7 @@ fn walk_graph(
     let in_edge = |prev: Option<usize>, stage: usize, link_seconds: &mut [f64]| -> f64 {
         let to_hosts = mapping.placement(stage).hosts();
         match prev {
+            Some(p) if fused_edge(profile, mapping, p, stage) => 0.0,
             Some(p) => edge_cost(
                 topology,
                 mapping.placement(p).hosts(),
@@ -467,14 +506,18 @@ fn walk_dag(
         } else {
             let mut latest = 0.0f64;
             for &p in preds {
-                let hop = edge_cost(
-                    topology,
-                    mapping.placement(p).hosts(),
-                    to_hosts,
-                    profile.boundary_bytes[p + 1],
-                    np,
-                    link_seconds,
-                );
+                let hop = if fused_edge(profile, mapping, p, s) {
+                    0.0
+                } else {
+                    edge_cost(
+                        topology,
+                        mapping.placement(p).hosts(),
+                        to_hosts,
+                        profile.boundary_bytes[p + 1],
+                        np,
+                        link_seconds,
+                    )
+                };
                 latest = latest.max(done[p] + hop);
             }
             latest
@@ -729,6 +772,92 @@ mod tests {
         assert_eq!(a.latency.to_bits(), b.latency.to_bits());
         assert_eq!(a.bottleneck, b.bottleneck);
         assert_eq!(a.node_load, b.node_load);
+    }
+
+    #[test]
+    fn fused_boundary_drops_intra_node_latency() {
+        // Three stateless stages coalesced on one host: the engine fuses
+        // both boundaries into direct calls, so the model charges no
+        // transfer latency at all — latency is exactly the service sum.
+        let mut fused = PipelineProfile::uniform(vec![1.0, 2.0, 1.0], 1_000_000);
+        fused.fuses_colocated = true;
+        let m = Mapping::from_assignment(&[n(0), n(0), n(0)]);
+        let rates = [1.0, 1.0];
+        let pf = evaluate(&fused, &m, &rates, &fast_net(2));
+        assert!((pf.latency - 4.0).abs() < 1e-12, "latency={}", pf.latency);
+        // A stateful middle stage can't be a fusion *target*: boundary
+        // 0→1 pays the self-link again. (1→2 stays fused — its target
+        // is stateless.)
+        let mut stateful = fused.clone();
+        stateful.stateless[1] = false;
+        let ps = evaluate(&stateful, &m, &rates, &fast_net(2));
+        assert!(ps.latency > pf.latency);
+        // Throughput is untouched either way: same-host hops never
+        // entered the link busy budget.
+        assert_eq!(pf.throughput.to_bits(), ps.throughput.to_bits());
+        assert_eq!(pf.node_load, ps.node_load);
+    }
+
+    #[test]
+    fn fused_discount_requires_colocated_singletons() {
+        let mut profile = PipelineProfile::uniform(vec![1.0, 1.0], 1_000_000);
+        profile.fuses_colocated = true;
+        let rates = [1.0, 1.0];
+        // Spread over two hosts: the full inter-node charge stands.
+        let spread = Mapping::from_assignment(&[n(0), n(1)]);
+        let p_spread = evaluate(&profile, &spread, &rates, &fast_net(2));
+        assert!(p_spread.latency > 2.0);
+        // Co-located but the successor is replicated: items may cross
+        // hosts, so the boundary keeps its expected transfer cost.
+        let replicated = Mapping::new(vec![
+            Placement::single(n(0)),
+            Placement::replicated(vec![n(0), n(1)]),
+        ]);
+        let p_repl = evaluate(&profile, &replicated, &rates, &fast_net(2));
+        let coalesced = Mapping::from_assignment(&[n(0), n(0)]);
+        let p_co = evaluate(&profile, &coalesced, &rates, &fast_net(2));
+        assert!(
+            (p_co.latency - 2.0).abs() < 1e-12,
+            "fused chain is pure service"
+        );
+        assert!(p_repl.latency > p_co.latency);
+        // A non-fusing backend (the simulator) keeps the self-link
+        // charge: the discount is opt-in via `fuses_colocated`.
+        let mut sim_profile = profile.clone();
+        sim_profile.fuses_colocated = false;
+        let p_sim = evaluate(&sim_profile, &coalesced, &rates, &fast_net(2));
+        assert!(p_sim.latency > p_co.latency);
+    }
+
+    #[test]
+    fn fused_discount_applies_to_graph_chain_edges_only() {
+        // pre → (a ‖ b) → merge → post, everything on one host. The
+        // merge→post edge is a plain linear edge (fusable); the fan-out
+        // and join edges are not, so they keep their self-link charges.
+        let mut profile = PipelineProfile::uniform(vec![1.0; 5], 1_000_000);
+        profile.fuses_colocated = true;
+        profile.graph = crate::graph::StageGraph::builder()
+            .stages(1)
+            .split(&[1, 1])
+            .stages(1)
+            .build();
+        profile.validate();
+        let m = Mapping::from_assignment(&[n(0); 5]);
+        let rates = [1.0];
+        let pf = evaluate(&profile, &m, &rates, &fast_net(1));
+        let mut stateful_post = profile.clone();
+        stateful_post.stateless[4] = false;
+        let ps = evaluate(&stateful_post, &m, &rates, &fast_net(1));
+        // Un-fusing merge→post adds exactly one self-link hop.
+        let self_hop = fast_net(1)
+            .transfer_time(n(0), n(0), 1_000_000)
+            .as_secs_f64();
+        assert!(
+            (ps.latency - pf.latency - self_hop).abs() < 1e-12,
+            "delta={}",
+            ps.latency - pf.latency
+        );
+        assert_eq!(pf.throughput.to_bits(), ps.throughput.to_bits());
     }
 
     #[test]

@@ -44,6 +44,22 @@ impl Welford {
         self.variance().map(f64::sqrt)
     }
 
+    /// Adds `k` samples all equal to `x` in O(1) — the merge of a
+    /// zero-variance batch. Count, sum and mean stay exact; only the
+    /// within-batch spread is collapsed, so callers that absorb whole
+    /// windows of identically-attributed measurements (batched
+    /// engines) keep exact first moments at O(batches) cost.
+    pub fn push_n(&mut self, x: f64, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.merge(&Welford {
+            n: k,
+            mean: x,
+            m2: 0.0,
+        });
+    }
+
     /// Merges another accumulator into this one — the exact parallel
     /// combination (Chan et al.), so per-worker accumulators fold into
     /// the same moments a single stream would have produced.
@@ -154,6 +170,24 @@ mod tests {
         assert!((w.mean().unwrap() - 5.0).abs() < 1e-12);
         // Unbiased variance of this classic dataset is 32/7.
         assert!((w.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_n_matches_repeated_push() {
+        let mut batched = Welford::new();
+        let mut streamed = Welford::new();
+        batched.push(1.0);
+        streamed.push(1.0);
+        batched.push_n(4.0, 5);
+        for _ in 0..5 {
+            streamed.push(4.0);
+        }
+        assert_eq!(batched.count(), streamed.count());
+        assert!((batched.mean().unwrap() - streamed.mean().unwrap()).abs() < 1e-12);
+        assert!((batched.variance().unwrap() - streamed.variance().unwrap()).abs() < 1e-12);
+        // k = 0 is a no-op.
+        batched.push_n(100.0, 0);
+        assert_eq!(batched.count(), 6);
     }
 
     #[test]

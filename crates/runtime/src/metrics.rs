@@ -25,6 +25,21 @@ impl StageStats {
         self.work_done += work;
     }
 
+    /// Records `count` completed tasks totalling `total` busy time and
+    /// `work` work units, absorbed as one zero-variance batch at the
+    /// window mean. Counts, sums and means stay exact; only the
+    /// within-window service spread is collapsed — the trade the
+    /// threaded engine's stride-sampled hot path makes to keep its
+    /// bookkeeping at O(batches) rather than O(items).
+    pub fn record_batch(&mut self, total: SimDuration, count: u64, work: f64) {
+        if count == 0 {
+            return;
+        }
+        self.service
+            .push_n(total.as_secs_f64() / count as f64, count);
+        self.work_done += work;
+    }
+
     /// Number of tasks recorded.
     pub fn count(&self) -> u64 {
         self.service.count()
@@ -83,6 +98,13 @@ impl StageMetrics {
     /// Records a completed task of `stage`.
     pub fn record(&mut self, stage: usize, service: SimDuration, work: f64) {
         self.stages[stage].record(service, work);
+    }
+
+    /// Records a whole window of `count` tasks of `stage` totalling
+    /// `total` busy time and `work` work units in O(1) — see
+    /// [`StageStats::record_batch`].
+    pub fn record_batch(&mut self, stage: usize, total: SimDuration, count: u64, work: f64) {
+        self.stages[stage].record_batch(total, count, work);
     }
 
     /// Merges another run's (or worker's) metrics into this one,
@@ -149,6 +171,35 @@ mod tests {
         assert_eq!(s.count(), 2);
         assert_eq!(s.mean_service(), Some(d(2.0)));
         assert_eq!(s.work_done(), 2.0);
+    }
+
+    #[test]
+    fn record_batch_keeps_exact_count_mean_and_work() {
+        let mut batched = StageStats::default();
+        let mut stream = StageStats::default();
+        for _ in 0..8 {
+            stream.record(d(0.25), 1.5);
+        }
+        batched.record_batch(d(2.0), 8, 12.0);
+        assert_eq!(batched.count(), stream.count());
+        assert_eq!(batched.mean_service(), stream.mean_service());
+        assert!((batched.work_done() - stream.work_done()).abs() < 1e-12);
+        // A zero-count window is a no-op.
+        batched.record_batch(d(5.0), 0, 5.0);
+        assert_eq!(batched.count(), 8);
+        assert!((batched.work_done() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_windows_merge_with_streamed_samples() {
+        // Mixing record() and record_batch() keeps first moments exact.
+        let mut m = StageMetrics::new(1);
+        m.record(0, d(1.0), 2.0);
+        m.record_batch(0, d(3.0), 3, 6.0);
+        let s = m.stage(0);
+        assert_eq!(s.count(), 4);
+        assert!((s.mean_service().unwrap().as_secs_f64() - 1.0).abs() < 1e-12);
+        assert!((s.work_done() - 8.0).abs() < 1e-12);
     }
 
     #[test]

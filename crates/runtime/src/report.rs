@@ -158,6 +158,9 @@ impl RunReport {
     /// without ad-hoc formatting. Times are seconds (`f64`); the final
     /// mapping is an array of per-stage host arrays; the per-item
     /// latency samples are summarised as quantiles rather than dumped.
+    /// `items_per_sec` repeats `mean_throughput` under the key name the
+    /// bench harness uses, so `BENCH_*.json` records are directly
+    /// comparable across runs without knowing which tool wrote them.
     ///
     /// **Quantile caveat:** the emitted `latency_p50/p95/p99` values are
     /// computed from the retained latency samples. Runs beyond ~1M
@@ -213,6 +216,7 @@ impl RunReport {
         let stage_shards: Vec<String> = self.stage_shards.iter().map(|s| s.to_string()).collect();
         format!(
             "{{\"completed\":{},\"makespan_secs\":{},\"mean_throughput\":{},\
+             \"items_per_sec\":{},\
              \"mean_latency_secs\":{},\"latency_p50_secs\":{},\"latency_p95_secs\":{},\
              \"latency_p99_secs\":{},\"adaptation_count\":{},\"total_migration_cost_secs\":{},\
              \"planning_cycles\":{},\"truncated\":{},\"replays\":{},\"migrations\":{},\
@@ -221,6 +225,7 @@ impl RunReport {
              \"node_downtime_secs\":[{}],\"final_mapping\":{},\"adaptations\":[{}]}}",
             self.completed,
             json_f64(self.makespan.as_secs_f64()),
+            json_f64(self.mean_throughput()),
             json_f64(self.mean_throughput()),
             json_f64(self.mean_latency.as_secs_f64()),
             quantile(0.50),
@@ -860,6 +865,7 @@ mod tests {
             "\"completed\":10",
             "\"makespan_secs\":5",
             "\"mean_throughput\":2",
+            "\"items_per_sec\":2",
             "\"latency_p95_secs\":",
             "\"adaptation_count\":1",
             "\"planning_cycles\":0",

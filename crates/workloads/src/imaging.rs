@@ -245,11 +245,12 @@ mod tests {
     fn pipeline_runs_end_to_end_in_process() {
         let p = imaging_pipeline(16);
         let (_, mut stages) = p.into_parts();
-        let mut item: adapipe_core::stage::BoxedItem = Box::new(Image::synthetic(16, 16, 0));
+        let mut item: adapipe_core::stage::BoxedItem =
+            adapipe_core::payload::Payload::new(Image::synthetic(16, 16, 0));
         for s in &mut stages {
             item = s.process(item).expect("stages are type-aligned");
         }
-        let checksum = *item.downcast::<u64>().unwrap();
+        let checksum = item.downcast::<u64>().unwrap();
         assert!(checksum > 0);
     }
 

@@ -182,7 +182,7 @@ mod tests {
             spin_secs: vec![0.001, 0.001],
         };
         let t0 = std::time::Instant::now();
-        let mut boxed: adapipe_core::stage::BoxedItem = Box::new(item);
+        let mut boxed: adapipe_core::stage::BoxedItem = adapipe_core::payload::Payload::new(item);
         for s in &mut stages {
             boxed = s.process(boxed).expect("stages are type-aligned");
         }

@@ -181,7 +181,8 @@ mod tests {
     fn decimation_halves_length() {
         let p = signal_pipeline(128);
         let (_, mut stages) = p.into_parts();
-        let mut item: adapipe_core::stage::BoxedItem = Box::new(Frame::synthetic(128, 0));
+        let mut item: adapipe_core::stage::BoxedItem =
+            adapipe_core::payload::Payload::new(Frame::synthetic(128, 0));
         item = stages[0].process(item).expect("stages are type-aligned");
         item = stages[1].process(item).expect("stages are type-aligned");
         let decimated = item.downcast::<Frame>().unwrap();
@@ -192,11 +193,12 @@ mod tests {
     fn pipeline_produces_finite_power() {
         let p = signal_pipeline(128);
         let (_, mut stages) = p.into_parts();
-        let mut item: adapipe_core::stage::BoxedItem = Box::new(Frame::synthetic(128, 3));
+        let mut item: adapipe_core::stage::BoxedItem =
+            adapipe_core::payload::Payload::new(Frame::synthetic(128, 3));
         for s in &mut stages {
             item = s.process(item).expect("stages are type-aligned");
         }
-        let power = *item.downcast::<f64>().unwrap();
+        let power = item.downcast::<f64>().unwrap();
         assert!(power.is_finite() && power >= 0.0);
     }
 

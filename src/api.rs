@@ -102,6 +102,7 @@
 //! arbitration and fairness semantics.
 
 use adapipe_cluster::threads::ThreadCluster;
+use adapipe_core::payload::Payload;
 use adapipe_core::pipeline::Pipeline as CorePipeline;
 use adapipe_core::simengine::{ItemFate, SimConfig, SimStepper};
 use adapipe_core::spec::{Next, PipelineSpec, ResiliencePolicy, Segment, StageGraph, StageSpec};
@@ -812,7 +813,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
                             stage_specs,
                             &self.control,
                             seq_hint,
-                            Box::new(item),
+                            Payload::new(item),
                         )
                     } else {
                         let out = run_graph_at_push(
@@ -820,7 +821,7 @@ impl<I: Send + 'static, O: Send + 'static> RunSession<'_, I, O> {
                             fanouts,
                             stages,
                             &self.control,
-                            Box::new(item),
+                            Payload::new(item),
                         );
                         (out, ItemFate::default())
                     }
@@ -1067,7 +1068,7 @@ impl<I: Send + 'static, O: Send + 'static> Iterator for RunSession<'_, I, O> {
 }
 
 fn downcast_output<O: 'static>(out: BoxedItem) -> O {
-    *out.downcast::<O>().expect("pipeline output type mismatch")
+    out.downcast::<O>().expect("pipeline output type mismatch")
 }
 
 /// Push-time execution for simulation-backend sessions: one item runs
@@ -1125,7 +1126,7 @@ fn run_graph_at_push(
                     }
                     outs.push(p);
                 }
-                match stages[*merge].process(Box::new(outs)) {
+                match stages[*merge].process(Payload::new(outs)) {
                     Ok(out) => cur = out,
                     Err(type_err) => {
                         fail(control, type_err.stage);
@@ -1284,7 +1285,7 @@ fn deposit_at_push(
             .into_iter()
             .map(|p| p.expect("all slots present"))
             .collect();
-        ready.push_back((graph.merge_of(block), Box::new(parts)));
+        ready.push_back((graph.merge_of(block), Payload::new(parts)));
     }
 }
 

@@ -1,0 +1,85 @@
+//! Allocation regression gate for the threaded hot path.
+//!
+//! The data plane promises O(batches) — not O(items) — heap traffic in
+//! steady state: payloads ≤ 3 words ride inline in `Payload`, envelope
+//! and sink buffers recycle through pools, and the stride-sampled fast
+//! path batches its bookkeeping. This test pins that property with a
+//! counting global allocator: growing the stream by 100k items must add
+//! far fewer than one allocation per item. It lives alone in this
+//! binary so no concurrent test pollutes the counter.
+
+use adapipe::api::{Backend, Pipeline, RunConfig};
+use adapipe_engine::vnode::VNodeSpec;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation (and reallocation — a grow is new heap
+/// traffic) while delegating to the system allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// The hotpath bench shape: two trivial stages, batched envelopes.
+fn run(items: u64) {
+    let outcome = Pipeline::<u64>::builder()
+        .stage("inc", |x: u64| x + 1)
+        .stage("double", |x: u64| x * 2)
+        .feed(|i| i)
+        .build()
+        .expect("valid pipeline")
+        .run(
+            Backend::Threads(vec![VNodeSpec::free("v0"), VNodeSpec::free("v1")]),
+            RunConfig {
+                items,
+                batch_size: 256,
+                ..RunConfig::default()
+            },
+        )
+        .expect("batch run");
+    assert_eq!(outcome.report.completed, items);
+}
+
+#[test]
+fn steady_state_allocations_do_not_scale_per_item() {
+    // Warm-up: fills the buffer pools, lazy statics, and thread-local
+    // machinery so both measured runs start from the same steady state.
+    run(20_000);
+
+    let before_small = ALLOCS.load(Ordering::Relaxed);
+    run(20_000);
+    let small = ALLOCS.load(Ordering::Relaxed) - before_small;
+
+    let before_large = ALLOCS.load(Ordering::Relaxed);
+    run(120_000);
+    let large = ALLOCS.load(Ordering::Relaxed) - before_large;
+
+    // 100k extra items. Per-envelope machinery (256-item batches → ~390
+    // extra envelopes), output-vector growth, and channel nodes are all
+    // allowed; a per-item allocation anywhere would cost ≥ 100k.
+    let delta = large.saturating_sub(small);
+    assert!(
+        delta < 25_000,
+        "100k extra items cost {delta} extra allocations \
+         (small run {small}, large run {large}) — something on the hot \
+         path allocates per item"
+    );
+}

@@ -71,11 +71,12 @@ fn signal_pipeline_outputs_are_stable_under_remapping() {
         signal::frames(frame_len, n)
             .into_iter()
             .map(|f| {
-                let mut item: adapipe::core::stage::BoxedItem = Box::new(f);
+                let mut item: adapipe::core::stage::BoxedItem =
+                    adapipe::core::payload::Payload::new(f);
                 for s in &mut stages {
                     item = s.process(item).expect("stages are type-aligned");
                 }
-                *item.downcast::<f64>().unwrap()
+                item.downcast::<f64>().unwrap()
             })
             .collect()
     };
